@@ -1,0 +1,26 @@
+//! Figure 10 (Experiment 5): clustered index on the delete attribute.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let clustered = PointConfig {
+        cluster_a: true,
+        ..PointConfig::base(BENCH_ROWS)
+    };
+    let unclustered = PointConfig::base(BENCH_ROWS);
+    for (name, cfg, s) in [
+        ("sorted-trad/clust", clustered, StrategyKind::SortedTrad),
+        ("sorted-trad/unclust", unclustered, StrategyKind::SortedTrad),
+        ("not-sorted-trad/clust", clustered, StrategyKind::NotSortedTrad),
+        ("bulk/clust", clustered, StrategyKind::Bulk),
+    ] {
+        bench_cell(c, "fig10_clustered", name, cfg, s, 0.15);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

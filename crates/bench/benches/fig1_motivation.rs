@@ -1,0 +1,29 @@
+//! Figure 1 (introduction): traditional vs drop&create on a 3-index table.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = PointConfig {
+        n_secondary: 2,
+        ..PointConfig::base(BENCH_ROWS)
+    };
+    for frac in [0.05, 0.15] {
+        for s in [StrategyKind::SortedTrad, StrategyKind::DropCreate] {
+            bench_cell(
+                c,
+                "fig1_motivation",
+                &format!("{}/{:.0}%", s.label(), frac * 100.0),
+                cfg,
+                s,
+                frac,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

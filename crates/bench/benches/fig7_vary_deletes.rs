@@ -1,0 +1,30 @@
+//! Figure 7 (Experiment 1): vary the deleted fraction; 1 unclustered index.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = PointConfig::base(BENCH_ROWS);
+    for frac in [0.05, 0.20] {
+        for s in [
+            StrategyKind::SortedTrad,
+            StrategyKind::NotSortedTrad,
+            StrategyKind::Bulk,
+        ] {
+            bench_cell(
+                c,
+                "fig7_vary_deletes",
+                &format!("{}/{:.0}%", s.label(), frac * 100.0),
+                cfg,
+                s,
+                frac,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 8 (Experiment 2): vary the number of indices at 15% deletes.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    for n in [1usize, 3] {
+        let cfg = PointConfig {
+            n_secondary: n - 1,
+            ..PointConfig::base(BENCH_ROWS)
+        };
+        for s in [
+            StrategyKind::SortedTrad,
+            StrategyKind::NotSortedTrad,
+            StrategyKind::DropCreateInsertRebuild,
+            StrategyKind::Bulk,
+        ] {
+            bench_cell(
+                c,
+                "fig8_vary_indices",
+                &format!("{}/{}idx", s.label(), n),
+                cfg,
+                s,
+                0.15,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

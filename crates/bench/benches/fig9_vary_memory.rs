@@ -1,0 +1,33 @@
+//! Figure 9 (Experiment 4): vary the memory budget at 15% deletes.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    for mb in [2.0, 10.0] {
+        let cfg = PointConfig {
+            paper_mem_mb: mb,
+            ..PointConfig::base(BENCH_ROWS)
+        };
+        for s in [
+            StrategyKind::SortedTrad,
+            StrategyKind::NotSortedTrad,
+            StrategyKind::Bulk,
+        ] {
+            bench_cell(
+                c,
+                "fig9_vary_memory",
+                &format!("{}/{mb:.0}MB", s.label()),
+                cfg,
+                s,
+                0.15,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 1 (Experiment 3): index height 3 vs 4 via the fanout knob.
+
+mod common;
+
+use bd_bench::{PointConfig, StrategyKind};
+use common::{bench_cell, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // At bench scale: default fanout => height 2; fanout 12 => height 3-4.
+    for (tag, fanout) in [("short", None), ("tall", Some(12))] {
+        let cfg = PointConfig {
+            fanout,
+            ..PointConfig::base(BENCH_ROWS)
+        };
+        for s in [
+            StrategyKind::BulkPresorted,
+            StrategyKind::Bulk,
+            StrategyKind::SortedTrad,
+            StrategyKind::NotSortedTrad,
+        ] {
+            bench_cell(
+                c,
+                "table1_index_height",
+                &format!("{}/{tag}", s.label()),
+                cfg,
+                s,
+                0.15,
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases]
+//! ```
+//!
+//! `--phases` additionally prints the per-`⋈̄` I/O breakdown of one bulk
+//! delete at the chosen scale.
+//!
+//! Default scale is 100,000 rows (1/10 of the paper with all ratios
+//! preserved); `--rows 1000000` runs the paper's full scale. Output times
+//! are simulated minutes from the disk cost model.
+
+use bd_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut rows: usize = 100_000;
+    let mut show_phases = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--phases" => show_phases = true,
+            "--rows" => {
+                i += 1;
+                rows = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            name => which = name.to_string(),
+        }
+        i += 1;
+    }
+
+    let run = |id: &str| -> bd_core::DbResult<bd_bench::ExperimentReport> {
+        match id {
+            "fig1" => experiments::fig1(rows),
+            "fig7" => experiments::fig7(rows),
+            "fig8" => experiments::fig8(rows),
+            "table1" => experiments::table1(rows),
+            "fig9" => experiments::fig9(rows),
+            "fig10" => experiments::fig10(rows),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                usage()
+            }
+        }
+    };
+
+    println!(
+        "Efficient Bulk Deletes in Relational Databases (ICDE 2001) — reproduction\n\
+         scale: {rows} rows x 512 B; memory budgets scaled by rows/1M; times are\n\
+         simulated minutes under the 1999-era disk cost model\n"
+    );
+    let ids: Vec<&str> = if which == "all" {
+        vec!["fig1", "fig7", "fig8", "table1", "fig9", "fig10"]
+    } else {
+        vec![which.as_str()]
+    };
+    if show_phases {
+        print_phases(rows);
+    }
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run(id) {
+            Ok(report) => {
+                println!("{}", report.render());
+                eprintln!("[{} finished in {:.1}s wall]", id, started.elapsed().as_secs_f32());
+            }
+            Err(e) => {
+                eprintln!("{id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn print_phases(rows: usize) {
+    use bd_bench::{run_point, PointConfig, StrategyKind};
+    let cfg = PointConfig {
+        n_secondary: 2,
+        ..PointConfig::base(rows)
+    };
+    match run_point(&cfg, StrategyKind::Bulk, 0.15) {
+        Ok(report) => {
+            println!(
+                "per-phase breakdown (bulk delete, 15% of {rows} rows, 3 indices):"
+            );
+            print!("{}", report.phase_breakdown());
+            println!();
+        }
+        Err(e) => eprintln!("phase breakdown failed: {e}"),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,246 @@
+//! One runner per table/figure of the paper's evaluation (§4) plus the
+//! motivation figure (§1).
+
+use crate::{run_point, ExperimentReport, PointConfig, StrategyKind};
+use bd_core::DbResult;
+
+fn pct(f: f64) -> String {
+    format!("{:.0}%", f * 100.0)
+}
+
+fn sweep(
+    id: &'static str,
+    title: String,
+    x_label: &'static str,
+    strategies: &[StrategyKind],
+    points: &[(String, PointConfig, f64)],
+    notes: String,
+) -> DbResult<ExperimentReport> {
+    let mut rows = Vec::new();
+    for (x, cfg, fraction) in points {
+        let mut vals = Vec::new();
+        for s in strategies {
+            let report = run_point(cfg, *s, *fraction)?;
+            vals.push(report.sim_minutes());
+        }
+        rows.push((x.clone(), vals));
+    }
+    Ok(ExperimentReport {
+        id,
+        title,
+        x_label,
+        series: strategies.iter().map(|s| s.label()).collect(),
+        rows,
+        notes,
+    })
+}
+
+/// Figure 1 (introduction): commercial-RDBMS-style bulk deletes — the
+/// traditional plan vs. drop & create on a 3-index table, varying the
+/// delete fraction (1/5/10/15 %).
+pub fn fig1(rows: usize) -> DbResult<ExperimentReport> {
+    let cfg = PointConfig {
+        n_secondary: 2,
+        ..PointConfig::base(rows)
+    };
+    let strategies = [StrategyKind::SortedTrad, StrategyKind::DropCreate];
+    let points: Vec<(String, PointConfig, f64)> = [0.01, 0.05, 0.10, 0.15]
+        .iter()
+        .map(|&f| (pct(f), cfg, f))
+        .collect();
+    sweep(
+        "fig1",
+        format!("bulk deletes, traditional RDBMS style: {rows} rows, 3 indices"),
+        "deleted tuples",
+        &strategies,
+        &points,
+        "expected: traditional grows sharply with delete %; drop&create is \
+         ~flat and wins beyond roughly 5%"
+            .into(),
+    )
+}
+
+/// Figure 7 (Experiment 1): vary the number of deleted records; 1
+/// unclustered index, 5 MB (scaled) memory.
+pub fn fig7(rows: usize) -> DbResult<ExperimentReport> {
+    let cfg = PointConfig::base(rows);
+    let strategies = [
+        StrategyKind::SortedTrad,
+        StrategyKind::NotSortedTrad,
+        StrategyKind::Bulk,
+    ];
+    let points: Vec<(String, PointConfig, f64)> = [0.05, 0.10, 0.15, 0.20]
+        .iter()
+        .map(|&f| (pct(f), cfg, f))
+        .collect();
+    sweep(
+        "fig7",
+        format!("vary deletes: {rows} rows, 1 unclustered index, 5 MB memory"),
+        "deleted tuples",
+        &strategies,
+        &points,
+        "expected: bulk << sorted/trad << not-sorted/trad; gap grows with \
+         delete % (~1 order of magnitude at 20%)"
+            .into(),
+    )
+}
+
+/// Figure 8 (Experiment 2): vary the number of indices (1/2/3); 15 %
+/// deletes, 5 MB (scaled) memory.
+pub fn fig8(rows: usize) -> DbResult<ExperimentReport> {
+    let strategies = [
+        StrategyKind::SortedTrad,
+        StrategyKind::NotSortedTrad,
+        StrategyKind::DropCreateInsertRebuild,
+        StrategyKind::Bulk,
+    ];
+    let points: Vec<(String, PointConfig, f64)> = (1..=3usize)
+        .map(|n| {
+            (
+                format!("{n}"),
+                PointConfig {
+                    n_secondary: n - 1,
+                    ..PointConfig::base(rows)
+                },
+                0.15,
+            )
+        })
+        .collect();
+    sweep(
+        "fig8",
+        format!("vary indices: {rows} rows, unclustered, 5 MB memory, 15% deletes"),
+        "number of indexes",
+        &strategies,
+        &points,
+        "expected: bulk's advantage grows with index count; drop/create \
+         (record-at-a-time rebuild, as in the paper's prototype) is the \
+         worst series"
+            .into(),
+    )
+}
+
+/// Table 1 (Experiment 3): vary the index height via fanout; 1 unclustered
+/// index, 15 % deletes, 5 MB (scaled) memory.
+///
+/// The paper shrinks keys-per-node (512 → 100) to grow the height from 3 to
+/// 4 at 1 M rows; with 4 KiB pages we use the default fanout for the short
+/// tree and a reduced fanout for the tall one, and report the measured
+/// heights.
+pub fn table1(rows: usize) -> DbResult<ExperimentReport> {
+    let strategies = [
+        StrategyKind::BulkPresorted,
+        StrategyKind::Bulk,
+        StrategyKind::SortedTrad,
+        StrategyKind::NotSortedTrad,
+    ];
+    // Measure the heights actually obtained so the row labels are honest.
+    let mut points = Vec::new();
+    for fanout in [None, Some(32)] {
+        let cfg = PointConfig {
+            fanout,
+            ..PointConfig::base(rows)
+        };
+        let (db, w) = cfg.build()?;
+        let height = db.table(w.tid)?.index_on(0).unwrap().tree.height();
+        points.push((format!("index height {height}"), cfg, 0.15));
+    }
+    sweep(
+        "table1",
+        format!("vary index height: {rows} rows, 1 unclustered index, 15% deletes"),
+        "configuration",
+        &strategies,
+        &points,
+        "expected: bulk-delete times are nearly height-independent (and \
+         identical with pre-sorted D); traditional times grow sharply with \
+         height"
+            .into(),
+    )
+}
+
+/// Figure 9 (Experiment 4): vary available memory (2/6/10 MB, scaled);
+/// 1 unclustered index, 15 % deletes.
+pub fn fig9(rows: usize) -> DbResult<ExperimentReport> {
+    let strategies = [
+        StrategyKind::SortedTrad,
+        StrategyKind::NotSortedTrad,
+        StrategyKind::Bulk,
+    ];
+    let points: Vec<(String, PointConfig, f64)> = [2.0, 6.0, 10.0]
+        .iter()
+        .map(|&mb| {
+            (
+                format!("{mb:.0} MB"),
+                PointConfig {
+                    paper_mem_mb: mb,
+                    ..PointConfig::base(rows)
+                },
+                0.15,
+            )
+        })
+        .collect();
+    sweep(
+        "fig9",
+        format!("vary memory: {rows} rows, 1 unclustered index, 15% deletes"),
+        "main memory",
+        &strategies,
+        &points,
+        "expected: bulk is flat from the smallest budget up; not-sorted/trad \
+         depends strongly on memory (caching); sorted/trad in between"
+            .into(),
+    )
+}
+
+/// Figure 10 (Experiment 5): clustered index on A (table sorted by A);
+/// vary delete fraction; plus the unclustered sorted/trad baseline.
+pub fn fig10(rows: usize) -> DbResult<ExperimentReport> {
+    let clustered = PointConfig {
+        cluster_a: true,
+        ..PointConfig::base(rows)
+    };
+    let unclustered = PointConfig::base(rows);
+    let fractions = [0.06, 0.10, 0.15, 0.20];
+    let mut rows_out = Vec::new();
+    for &f in &fractions {
+        let sorted_clust = run_point(&clustered, StrategyKind::SortedTrad, f)?;
+        let sorted_unclust = run_point(&unclustered, StrategyKind::SortedTrad, f)?;
+        let notsorted_clust = run_point(&clustered, StrategyKind::NotSortedTrad, f)?;
+        let bulk = run_point(&clustered, StrategyKind::Bulk, f)?;
+        rows_out.push((
+            pct(f),
+            vec![
+                sorted_clust.sim_minutes(),
+                sorted_unclust.sim_minutes(),
+                notsorted_clust.sim_minutes(),
+                bulk.sim_minutes(),
+            ],
+        ));
+    }
+    Ok(ExperimentReport {
+        id: "fig10",
+        title: format!("clustered index: {rows} rows, 1 index, 5 MB memory"),
+        x_label: "deleted tuples",
+        series: vec![
+            "sorted/trad/clust",
+            "sorted/trad/unclust",
+            "not sorted/trad/clust",
+            "bulk delete",
+        ],
+        rows: rows_out,
+        notes: "expected: sorted/trad on a clustered index is the best case \
+                for the traditional approach and slightly beats bulk; bulk \
+                stays within a small factor; not-sorted/trad remains poor"
+            .into(),
+    })
+}
+
+/// Every experiment at the given scale, in paper order.
+pub fn all(rows: usize) -> DbResult<Vec<ExperimentReport>> {
+    Ok(vec![
+        fig1(rows)?,
+        fig7(rows)?,
+        fig8(rows)?,
+        table1(rows)?,
+        fig9(rows)?,
+        fig10(rows)?,
+    ])
+}

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: builds the paper's benchmark database at a chosen
+//! scale, runs each delete strategy, and prints the tables/figures of §4.
+//!
+//! Scaling: the paper's table is 1,000,000 × 512 B (512 MB) with 2–10 MB of
+//! memory. The default reproduction scale is `rows = 100_000` (1/10) with
+//! memory scaled by the same factor, preserving every ratio the experiments
+//! depend on (delete fraction, memory/table, records/page). Reported times
+//! are *simulated minutes* from the disk cost model — the paper's y-axis —
+//! plus raw I/O counts.
+
+pub mod experiments;
+
+use bd_btree::BTreeConfig;
+use bd_core::{Database, DatabaseConfig, DbResult, IndexDef, RunReport, TableId};
+use bd_workload::{TableSpec, Workload};
+
+use bd_btree::Key;
+
+/// Paper scale in rows (used to scale memory budgets proportionally).
+pub const PAPER_ROWS: usize = 1_000_000;
+
+/// Scale memory the paper quotes in MB down to the chosen row count.
+pub fn mem_bytes(paper_mb: f64, rows: usize) -> usize {
+    let scale = rows as f64 / PAPER_ROWS as f64;
+    ((paper_mb * 1024.0 * 1024.0 * scale) as usize).max(64 * 1024)
+}
+
+/// Configuration of one experiment point.
+#[derive(Debug, Clone, Copy)]
+pub struct PointConfig {
+    /// Table rows.
+    pub rows: usize,
+    /// Memory budget as the paper quotes it, in MB (scaled by `rows`).
+    pub paper_mem_mb: f64,
+    /// Number of secondary indices beyond `I_A` (attributes B, C, ...).
+    pub n_secondary: usize,
+    /// Physically sort the table by A (Experiment 5).
+    pub cluster_a: bool,
+    /// Override node fanout of every index (Experiment 3's height knob).
+    pub fanout: Option<usize>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl PointConfig {
+    /// The common configuration: 1 unclustered index on A, 5 MB memory.
+    pub fn base(rows: usize) -> Self {
+        PointConfig {
+            rows,
+            paper_mem_mb: 5.0,
+            n_secondary: 0,
+            cluster_a: false,
+            fanout: None,
+            seed: 42,
+        }
+    }
+
+    fn tree_config(&self) -> BTreeConfig {
+        match self.fanout {
+            Some(f) => BTreeConfig::with_fanout(f),
+            None => BTreeConfig::default(),
+        }
+    }
+
+    /// Build the database and workload for this point.
+    pub fn build(&self) -> DbResult<(Database, Workload)> {
+        let mut spec = TableSpec::paper_scaled()
+            .with_rows(self.rows)
+            .with_seed(self.seed);
+        if self.cluster_a {
+            spec = spec.clustered_by(0);
+        }
+        let mut db = Database::new(DatabaseConfig::with_total_memory(mem_bytes(
+            self.paper_mem_mb,
+            self.rows,
+        )));
+        let w = spec.build(&mut db)?;
+        w.attach_index(
+            &mut db,
+            IndexDef::secondary(0)
+                .unique()
+                .with_config(self.tree_config()),
+        )?;
+        for attr in 1..=self.n_secondary {
+            w.attach_index(
+                &mut db,
+                IndexDef::secondary(attr).with_config(self.tree_config()),
+            )?;
+        }
+        Ok((db, w))
+    }
+}
+
+/// The strategies the paper's figures compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// `sorted/trad` — traditional with D sorted first.
+    SortedTrad,
+    /// `not sorted/trad` — traditional, D in arrival order.
+    NotSortedTrad,
+    /// `drop & create` with a modern bulk-load rebuild (Fig. 1's
+    /// commercial system).
+    DropCreate,
+    /// `drop & create` with record-at-a-time index rebuild (the paper's
+    /// prototype, Fig. 8).
+    DropCreateInsertRebuild,
+    /// `bulk delete` — the vertical sort/merge plan.
+    Bulk,
+    /// `bulk delete` fed an already-sorted D (Table 1's `sorted/bulk`).
+    BulkPresorted,
+}
+
+impl StrategyKind {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StrategyKind::SortedTrad => "sorted/trad",
+            StrategyKind::NotSortedTrad => "not sorted/trad",
+            StrategyKind::DropCreate => "drop&create",
+            StrategyKind::DropCreateInsertRebuild => "drop/create",
+            StrategyKind::Bulk => "bulk delete",
+            StrategyKind::BulkPresorted => "sorted/bulk",
+        }
+    }
+
+    /// Run this strategy over a built point.
+    pub fn run(&self, db: &mut Database, tid: TableId, d_keys: &[Key]) -> DbResult<RunReport> {
+        use bd_core::strategy as s;
+        let outcome = match self {
+            StrategyKind::SortedTrad => s::horizontal(db, tid, 0, d_keys, true)?,
+            StrategyKind::NotSortedTrad => s::horizontal(db, tid, 0, d_keys, false)?,
+            StrategyKind::DropCreate => {
+                s::drop_create(db, tid, 0, d_keys, bd_core::RebuildMode::BulkLoad)?
+            }
+            StrategyKind::DropCreateInsertRebuild => {
+                s::drop_create(db, tid, 0, d_keys, bd_core::RebuildMode::InsertEach)?
+            }
+            StrategyKind::Bulk => s::vertical_sort_merge(db, tid, 0, d_keys)?,
+            StrategyKind::BulkPresorted => {
+                let mut sorted = d_keys.to_vec();
+                sorted.sort_unstable();
+                s::vertical_sort_merge(db, tid, 0, &sorted)?
+            }
+        };
+        Ok(outcome.report)
+    }
+}
+
+/// Run one `(point, strategy, fraction)` cell on a freshly built database,
+/// verifying consistency afterwards.
+pub fn run_point(
+    cfg: &PointConfig,
+    strategy: StrategyKind,
+    delete_fraction: f64,
+) -> DbResult<RunReport> {
+    let (mut db, w) = cfg.build()?;
+    let d = w.delete_set(delete_fraction, cfg.seed.wrapping_add(1));
+    let report = strategy.run(&mut db, w.tid, &d)?;
+    db.check_consistency(w.tid)?;
+    Ok(report)
+}
+
+/// Build a point and draw its delete set (Criterion setup closure).
+pub fn prepare(cfg: &PointConfig, delete_fraction: f64) -> (Database, TableId, Vec<Key>) {
+    let (db, w) = cfg.build().expect("build point");
+    let d = w.delete_set(delete_fraction, cfg.seed.wrapping_add(1));
+    (db, w.tid, d)
+}
+
+/// A rendered experiment: one row per x-value, one column per series.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `fig7`.
+    pub id: &'static str,
+    /// Paper caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Series names in column order.
+    pub series: Vec<&'static str>,
+    /// `(x, simulated minutes per series)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Expected qualitative shape, checked by tests.
+    pub notes: String,
+}
+
+impl ExperimentReport {
+    /// Render as an aligned text table (the `repro` binary's output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n", self.id, self.title));
+        out.push_str(&format!("{:<24}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("{s:>20}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(24 + 20 * self.series.len()));
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&format!("{x:<24}"));
+            for v in vals {
+                out.push_str(&format!("{v:>16.2} min"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("note: {}\n", self.notes));
+        out
+    }
+
+    /// Value for `(x-row, series)` (panics on unknown names; test helper).
+    pub fn value(&self, x: &str, series: &str) -> f64 {
+        let col = self
+            .series
+            .iter()
+            .position(|s| *s == series)
+            .unwrap_or_else(|| panic!("unknown series {series}"));
+        let row = self
+            .rows
+            .iter()
+            .find(|(r, _)| r == x)
+            .unwrap_or_else(|| panic!("unknown x {x}"));
+        row.1[col]
+    }
+}

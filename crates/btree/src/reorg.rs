@@ -1,0 +1,263 @@
+//! Reorganization during bulk deletion (paper §2.3).
+//!
+//! Three policies are offered:
+//!
+//! * [`ReorgPolicy::None`] — leave emptied leaves attached (baseline for the
+//!   ablation);
+//! * [`ReorgPolicy::FreeAtEmpty`] — detach a leaf only when it becomes
+//!   completely empty. This is the paper's configuration ("we only
+//!   reorganize and garbage collect an index page if it is totally empty",
+//!   following Johnson & Shasha \[9]); inner levels are patched after the
+//!   leaf pass, exactly as §2.3 describes ("the inner nodes of the B+-tree
+//!   can be updated and reorganized after ... the leaf pages are
+//!   processed");
+//! * [`ReorgPolicy::CompactLeaves`] — additionally rewrite the whole leaf
+//!   level densely left-packed onto a fresh contiguous extent and rebuild
+//!   the inner levels bottom-up (§2.3's "shift all entries to the left" +
+//!   level-wise inner rebuild). Leaf *merging* is deliberately not offered:
+//!   the paper cites Johnson & Shasha's conclusion "that leaf pages should
+//!   not be merged after deletions".
+
+use std::collections::HashSet;
+
+use bd_storage::{PageId, StorageResult};
+
+use crate::bulk_load::bulk_load;
+use crate::node::{NodeMut, NodeRef};
+use crate::scan::LeafScan;
+use crate::tree::BTree;
+
+/// Leaf reorganization policy applied by the bulk delete operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorgPolicy {
+    /// Leave emptied leaves in place.
+    None,
+    /// Detach completely empty leaves and patch the inner levels (paper
+    /// default).
+    #[default]
+    FreeAtEmpty,
+    /// Free-at-empty plus a dense left-packed rebuild of the leaf level and
+    /// all inner levels onto a fresh contiguous extent (§2.3's "contiguous
+    /// storage area", implemented as a full rewrite).
+    CompactLeaves,
+    /// Free-at-empty plus §2.3's *incremental* base-node reorganization:
+    /// subtree by subtree, leaf entries are shifted left in place within
+    /// each base node's children and the base node is rebuilt, without
+    /// allocating a new extent.
+    BaseNodePack,
+}
+
+/// Remove `freed` children from the inner levels, bottom-up, unlinking and
+/// cascading frees of inner nodes that lose all children; finally collapse
+/// a keyless root chain.
+pub(crate) fn patch_parents(tree: &mut BTree, freed: &HashSet<PageId>) -> StorageResult<()> {
+    patch_parents_from(tree, freed, 1)
+}
+
+/// As [`patch_parents`], but `freed` contains nodes of level
+/// `start_level - 1` (1 = freed leaves, 2 = freed level-1 inner nodes, …).
+pub(crate) fn patch_parents_from(
+    tree: &mut BTree,
+    freed: &HashSet<PageId>,
+    start_level: usize,
+) -> StorageResult<()> {
+    if freed.is_empty() || tree.height() <= start_level {
+        // Freed nodes at or above the root level can only mean an emptied
+        // tree; the bulk path handles that before calling here.
+        if freed.contains(&tree.root_page()) {
+            let (new_root, mut w) = tree.pool().new_page()?;
+            NodeMut::init(&mut w[..], crate::node::NodeKind::Leaf);
+            drop(w);
+            tree.install_root(new_root, 1);
+            tree.set_leaf_extent(Some((new_root, 1)));
+        }
+        return Ok(());
+    }
+    let mut freed = freed.clone();
+    for level in start_level..tree.height() {
+        if freed.is_empty() {
+            break;
+        }
+        let mut next_freed: HashSet<PageId> = HashSet::new();
+        let mut prev: Option<PageId> = None;
+        let mut cur = Some(tree.leftmost_of_level(level)?);
+        while let Some(pid) = cur {
+            let mut w = tree.pool().pin_write(pid)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            // Drop separator entries whose child was freed.
+            let mut i = 0;
+            while i < node.as_ref().nkeys() {
+                if freed.contains(&node.as_ref().inner_child(i + 1)) {
+                    node.inner_remove_entry(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // Handle a freed child0 by promoting the first entry's child.
+            if freed.contains(&node.as_ref().inner_child(0)) {
+                if node.as_ref().nkeys() > 0 {
+                    let (_, c1) = node.inner_remove_entry(0);
+                    node.inner_set_child(0, c1);
+                } else {
+                    // Node lost every child: free it in turn.
+                    next_freed.insert(pid);
+                }
+            }
+            let next = node.as_ref().right_sibling();
+            let is_freed = next_freed.contains(&pid);
+            drop(w);
+            if is_freed {
+                if let Some(pv) = prev {
+                    let mut pw = tree.pool().pin_write(pv)?;
+                    NodeMut::new(&mut pw[..]).set_right_sibling(next);
+                }
+                tree.stats_mut().inners_freed += 1;
+            } else {
+                prev = Some(pid);
+            }
+            cur = next;
+        }
+        freed = next_freed;
+    }
+
+    // The root itself lost every child: the tree is empty.
+    if freed.contains(&tree.root_page()) {
+        let (new_root, mut w) = tree.pool().new_page()?;
+        NodeMut::init(&mut w[..], crate::node::NodeKind::Leaf);
+        drop(w);
+        tree.install_root(new_root, 1);
+        tree.set_leaf_extent(Some((new_root, 1)));
+        return Ok(());
+    }
+
+    // Collapse keyless inner roots.
+    loop {
+        if tree.height() == 1 {
+            break;
+        }
+        let r = tree.pool().pin_read(tree.root_page())?;
+        let node = NodeRef::new(&r[..]);
+        if node.kind() == crate::node::NodeKind::Inner && node.nkeys() == 0 {
+            let only = node.inner_child(0);
+            drop(r);
+            let h = tree.height() - 1;
+            tree.install_root(only, h);
+        } else {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Post-pass hook run by every bulk delete after its leaf pass and parent
+/// patching.
+pub(crate) fn post_pass(tree: &mut BTree, policy: ReorgPolicy) -> StorageResult<()> {
+    match policy {
+        ReorgPolicy::CompactLeaves => compact_leaves(tree, 1.0),
+        ReorgPolicy::BaseNodePack => base_node_pack(tree),
+        ReorgPolicy::None | ReorgPolicy::FreeAtEmpty => Ok(()),
+    }
+}
+
+/// §2.3 base-node reorganization, in place: for every level-1 node (the
+/// "base nodes", whose subtrees are single-level and therefore bounded by
+/// one node's fanout — they fit in memory), shift the live leaf entries
+/// "to the left, beyond base node delimiters" *within that subtree's own
+/// pages*, free the emptied trailing leaves, and rebuild the base node's
+/// separators. Base nodes that end up childless are detached bottom-up.
+pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
+    if tree.height() < 2 {
+        return Ok(());
+    }
+    let leaf_cap = tree.config().leaf_cap;
+    let mut freed_base: HashSet<PageId> = HashSet::new();
+    let mut prev_kept_leaf: Option<PageId> = None;
+    let mut prev_base: Option<PageId> = None;
+    let mut cur = Some(tree.leftmost_of_level(1)?);
+
+    while let Some(base) = cur {
+        // Children of this base node, left to right.
+        let (children, next_base) = {
+            let r = tree.pool().pin_read(base)?;
+            let node = NodeRef::new(&r[..]);
+            let children: Vec<PageId> =
+                (0..=node.nkeys()).map(|i| node.inner_child(i)).collect();
+            (children, node.right_sibling())
+        };
+        // Gather the subtree's live entries (bounded by fanout * leaf_cap).
+        let mut entries = Vec::new();
+        for &leaf in &children {
+            let r = tree.pool().pin_read(leaf)?;
+            let node = NodeRef::new(&r[..]);
+            for i in 0..node.nkeys() {
+                entries.push(node.leaf_entry(i));
+            }
+        }
+        let kept = entries.len().div_ceil(leaf_cap).min(children.len());
+        // Rewrite the first `kept` leaves densely, in place.
+        let mut seps: Vec<(crate::node::Sep, PageId)> = Vec::with_capacity(kept);
+        for (i, chunk) in entries.chunks(leaf_cap.max(1)).enumerate() {
+            let pid = children[i];
+            let mut w = tree.pool().pin_write(pid)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            node.leaf_set_entries(chunk);
+            let next = children.get(i + 1).copied();
+            node.set_right_sibling(next); // provisional; fixed below
+            seps.push((chunk[0], pid));
+        }
+        if entries.is_empty() {
+            // The whole subtree is empty: free every leaf and the base.
+            freed_base.insert(base);
+            tree.stats_mut().leaves_freed += children.len() as u64;
+        } else {
+            // Fix the chain: previous kept leaf -> first kept leaf here;
+            // last kept leaf -> (patched when the next subtree resolves).
+            if let Some(pv) = prev_kept_leaf {
+                let mut w = tree.pool().pin_write(pv)?;
+                NodeMut::new(&mut w[..]).set_right_sibling(Some(seps[0].1));
+            }
+            let last_kept = seps[kept - 1].1;
+            {
+                let mut w = tree.pool().pin_write(last_kept)?;
+                NodeMut::new(&mut w[..]).set_right_sibling(None);
+            }
+            prev_kept_leaf = Some(last_kept);
+            tree.stats_mut().leaves_freed += (children.len() - kept) as u64;
+            // Rebuild the base node over the kept leaves only.
+            let inner_seps: Vec<(crate::node::Sep, u32)> =
+                seps[1..].iter().map(|&(s, c)| (s, c)).collect();
+            let mut w = tree.pool().pin_write(base)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            node.inner_set_entries(seps[0].1, &inner_seps);
+            drop(w);
+            // Unlink freed base nodes between the previous kept base and
+            // this one.
+            if let Some(pb) = prev_base {
+                let mut w = tree.pool().pin_write(pb)?;
+                NodeMut::new(&mut w[..]).set_right_sibling(Some(base));
+            }
+            prev_base = Some(base);
+        }
+        cur = next_base;
+    }
+    // Packing rearranged entries across leaf boundaries; the fixed extent
+    // now contains holes, so confident chained prefetch is disabled.
+    tree.set_leaf_extent(None);
+    patch_parents_from(tree, &freed_base, 2)?;
+    tree.recount()?;
+    Ok(())
+}
+
+/// §2.3 compaction: rewrite every live entry into a dense, contiguous,
+/// left-packed leaf extent and rebuild the inner levels bottom-up.
+pub(crate) fn compact_leaves(tree: &mut BTree, fill: f64) -> StorageResult<()> {
+    let entries: Vec<_> = LeafScan::new(tree)?.collect();
+    let rebuilt = bulk_load(tree.pool().clone(), tree.config(), &entries, fill)?;
+    let root = rebuilt.root_page();
+    let height = rebuilt.height();
+    let extent = rebuilt.leaf_extent();
+    tree.install_root(root, height);
+    tree.set_len(entries.len());
+    tree.set_leaf_extent(extent);
+    Ok(())
+}

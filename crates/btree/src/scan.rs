@@ -1,0 +1,239 @@
+//! Sequential leaf-level scans.
+//!
+//! The bulk delete operator "directly operates on the leaf pages of an
+//! index" — leaf scans walk the B-link sibling chain from left to right.
+//! When the tree still occupies a contiguous extent (fresh bulk load), the
+//! scan issues chained prefetch reads, mirroring the prototype's chained
+//! I/O.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bd_storage::{BufferPool, PageId, Rid, StorageResult};
+
+use crate::node::{Key, NodeRef};
+use crate::tree::BTree;
+
+/// Pages prefetched per chained read when the leaf extent is contiguous.
+const SCAN_CHUNK: usize = 8;
+
+/// Iterator over the leaf *pages* of a tree, left to right.
+pub struct LeafPages {
+    pool: Arc<BufferPool>,
+    next: Option<PageId>,
+    extent: Option<(PageId, usize)>,
+}
+
+impl LeafPages {
+    /// Walk all leaves of `tree` from the leftmost.
+    pub fn new(tree: &BTree) -> StorageResult<Self> {
+        Ok(LeafPages {
+            pool: tree.pool().clone(),
+            next: Some(tree.first_leaf()?),
+            extent: tree.leaf_extent(),
+        })
+    }
+
+    /// Walk leaves starting from a specific leaf page.
+    pub fn from_leaf(tree: &BTree, start: PageId) -> Self {
+        LeafPages {
+            pool: tree.pool().clone(),
+            next: Some(start),
+            extent: tree.leaf_extent(),
+        }
+    }
+
+    fn prefetch(&self, pid: PageId) {
+        if let Some((first, n)) = self.extent {
+            if pid < first {
+                return;
+            }
+            let idx = (pid - first) as usize;
+            if idx < n && idx.is_multiple_of(SCAN_CHUNK) {
+                let run = SCAN_CHUNK.min(n - idx).min(self.pool.capacity() / 2).max(1);
+                let _ = self.pool.prefetch_run(pid, run);
+            }
+        }
+    }
+}
+
+impl Iterator for LeafPages {
+    type Item = StorageResult<PageId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let pid = self.next?;
+        self.prefetch(pid);
+        match self.pool.pin_read(pid) {
+            Ok(r) => {
+                let node = NodeRef::new(&r[..]);
+                self.next = node.right_sibling();
+                Some(Ok(pid))
+            }
+            Err(e) => {
+                self.next = None;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Iterator over all `(key, rid)` entries of a tree in composite order.
+pub struct LeafScan {
+    pages: LeafPages,
+    buf: VecDeque<(Key, Rid)>,
+}
+
+impl LeafScan {
+    /// Scan all entries of `tree`.
+    pub fn new(tree: &BTree) -> StorageResult<Self> {
+        Ok(LeafScan {
+            pages: LeafPages::new(tree)?,
+            buf: VecDeque::new(),
+        })
+    }
+}
+
+impl Iterator for LeafScan {
+    type Item = (Key, Rid);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.buf.pop_front() {
+                return Some(e);
+            }
+            let pid = match self.pages.next()? {
+                Ok(p) => p,
+                Err(_) => return None,
+            };
+            if let Ok(r) = self.pages.pool.pin_read(pid) {
+                let node = NodeRef::new(&r[..]);
+                for i in 0..node.nkeys() {
+                    self.buf.push_back(node.leaf_entry(i));
+                }
+            }
+        }
+    }
+}
+
+/// Read-only sorted-key lookup: merge a *sorted* key list against the leaf
+/// chain, returning every `(key, rid)` entry whose key appears in `keys`.
+/// One descent plus a bounded left-to-right walk — the read-only analogue
+/// of the key-predicate `⋈̄` (used by integrity-constraint checks and by
+/// recovery's materialization phase).
+pub fn lookup_keys_sorted(tree: &BTree, keys: &[Key]) -> StorageResult<Vec<(Key, Rid)>> {
+    debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys unsorted");
+    if keys.is_empty() || tree.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (start, _) = tree.descend(crate::node::key_floor(keys[0]))?;
+    let mut out = Vec::new();
+    let mut ki = 0usize;
+    let mut pages = LeafPages::from_leaf(tree, start);
+    while ki < keys.len() {
+        let Some(pid) = pages.next() else { break };
+        let pid = pid?;
+        let r = tree.pool().pin_read(pid)?;
+        let node = NodeRef::new(&r[..]);
+        for i in 0..node.nkeys() {
+            let e = node.leaf_entry(i);
+            while ki < keys.len() && keys[ki] < e.0 {
+                ki += 1;
+            }
+            if ki >= keys.len() {
+                break;
+            }
+            if keys[ki] == e.0 {
+                out.push(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk_load::bulk_load;
+    use crate::tree::BTreeConfig;
+    use bd_storage::{CostModel, SimDisk};
+
+    fn rid(i: u64) -> Rid {
+        Rid::new(i as u32, 0)
+    }
+
+    #[test]
+    fn scan_after_incremental_inserts() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let mut t = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        for k in (0..200u64).rev() {
+            t.insert(k, rid(k)).unwrap();
+        }
+        let scanned: Vec<(Key, Rid)> = LeafScan::new(&t).unwrap().collect();
+        assert_eq!(scanned.len(), 200);
+        assert!(scanned.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(scanned[0], (0, rid(0)));
+        assert_eq!(scanned[199], (199, rid(199)));
+    }
+
+    #[test]
+    fn scan_of_bulk_loaded_tree_is_chained() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 128);
+        let entries: Vec<(Key, Rid)> = (0..5000u64).map(|k| (k, rid(k))).collect();
+        let t = bulk_load(pool.clone(), BTreeConfig::default(), &entries, 1.0).unwrap();
+        pool.clear_cache().unwrap();
+        pool.reset_stats();
+        let n = LeafScan::new(&t).unwrap().count();
+        assert_eq!(n, 5000);
+        let s = pool.disk_stats();
+        assert!(
+            s.total_random() * 4 <= s.pages_read.max(4),
+            "leaf scan should be mostly chained: {s:?}"
+        );
+    }
+
+    #[test]
+    fn lookup_keys_sorted_finds_exactly_matches() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..2000u64).map(|k| (k * 2, rid(k))).collect();
+        let t = bulk_load(pool, BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+        let keys = vec![0, 2, 3, 100, 101, 3998, 9999];
+        let hits = lookup_keys_sorted(&t, &keys).unwrap();
+        let got: Vec<Key> = hits.iter().map(|e| e.0).collect();
+        assert_eq!(got, vec![0, 2, 100, 3998]);
+    }
+
+    #[test]
+    fn lookup_keys_sorted_collects_duplicates() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let mut entries: Vec<(Key, Rid)> = Vec::new();
+        for k in 0..100u64 {
+            for d in 0..3u16 {
+                entries.push((k, Rid::new(k as u32, d)));
+            }
+        }
+        let t = bulk_load(pool, BTreeConfig::with_fanout(8), &entries, 1.0).unwrap();
+        let hits = lookup_keys_sorted(&t, &[7, 50]).unwrap();
+        assert_eq!(hits.len(), 6);
+        assert!(hits.iter().all(|e| e.0 == 7 || e.0 == 50));
+    }
+
+    #[test]
+    fn lookup_keys_sorted_empty_cases() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
+        let t = bulk_load(pool.clone(), BTreeConfig::default(), &[], 1.0).unwrap();
+        assert!(lookup_keys_sorted(&t, &[1, 2]).unwrap().is_empty());
+        let t2 = bulk_load(pool, BTreeConfig::default(), &[(5, rid(5))], 1.0).unwrap();
+        assert!(lookup_keys_sorted(&t2, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn leaf_pages_visits_every_leaf_once() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..1000u64).map(|k| (k, rid(k))).collect();
+        let t = bulk_load(pool, BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+        let pages: Vec<PageId> = LeafPages::new(&t).unwrap().map(|p| p.unwrap()).collect();
+        let unique: std::collections::HashSet<_> = pages.iter().collect();
+        assert_eq!(pages.len(), unique.len());
+        assert_eq!(pages.len(), 1000usize.div_ceil(16));
+    }
+}

@@ -1,0 +1,177 @@
+//! Structural invariant checker used by tests and property tests.
+
+use std::collections::HashSet;
+
+use bd_storage::{PageId, Rid, StorageResult};
+
+use crate::node::{Key, NodeKind, NodeRef, Sep};
+use crate::tree::BTree;
+
+/// A violated invariant, described for humans.
+#[derive(Debug)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "btree invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Check every structural invariant of `tree`; returns the entries found.
+///
+/// Verified invariants:
+/// * nodes respect the configured capacities;
+/// * separators and leaf entries are sorted;
+/// * every subtree's entries lie within the separator bounds of its parent;
+/// * all levels have the depth implied by `tree.height()`;
+/// * the leaf sibling chain visits every reachable leaf in order (possibly
+///   interleaved with detached empty leaves);
+/// * `tree.len()` equals the number of reachable entries.
+pub fn check(tree: &BTree) -> Result<Vec<(Key, Rid)>, Violation> {
+    let mut entries = Vec::new();
+    let mut reachable_leaves = Vec::new();
+    walk(
+        tree,
+        tree.root_page(),
+        tree.height() - 1,
+        None,
+        None,
+        &mut entries,
+        &mut reachable_leaves,
+    )
+    .map_err(|e| Violation(format!("storage error during walk: {e}")))??;
+
+    if !entries.windows(2).all(|w| w[0] < w[1]) {
+        return Err(Violation("global entry order broken".into()));
+    }
+    if entries.len() != tree.len() {
+        return Err(Violation(format!(
+            "tree.len() = {} but {} entries reachable",
+            tree.len(),
+            entries.len()
+        )));
+    }
+
+    // The sibling chain from the first leaf must visit all reachable leaves
+    // in left-to-right order; detached empty leaves may appear in between.
+    let first = tree
+        .first_leaf()
+        .map_err(|e| Violation(format!("first_leaf: {e}")))?;
+    let reachable_set: HashSet<PageId> = reachable_leaves.iter().copied().collect();
+    let mut chain = Vec::new();
+    let mut pid = Some(first);
+    let mut guard = 0usize;
+    while let Some(p) = pid {
+        guard += 1;
+        if guard > 1_000_000 {
+            return Err(Violation("leaf chain does not terminate".into()));
+        }
+        let r = tree
+            .pool()
+            .pin_read(p)
+            .map_err(|e| Violation(format!("pin leaf {p}: {e}")))?;
+        let node = NodeRef::new(&r[..]);
+        if node.kind() != NodeKind::Leaf {
+            return Err(Violation(format!("page {p} in leaf chain is not a leaf")));
+        }
+        if reachable_set.contains(&p) {
+            chain.push(p);
+        } else if node.nkeys() != 0 {
+            return Err(Violation(format!(
+                "unreachable leaf {p} still holds {} entries",
+                node.nkeys()
+            )));
+        }
+        pid = node.right_sibling();
+    }
+    if chain != reachable_leaves {
+        return Err(Violation(format!(
+            "leaf chain order {chain:?} != reachable order {reachable_leaves:?}"
+        )));
+    }
+    Ok(entries)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    tree: &BTree,
+    pid: PageId,
+    level: usize,
+    lo: Option<Sep>,
+    hi: Option<Sep>,
+    entries: &mut Vec<(Key, Rid)>,
+    leaves: &mut Vec<PageId>,
+) -> StorageResult<Result<(), Violation>> {
+    let r = tree.pool().pin_read(pid)?;
+    let node = NodeRef::new(&r[..]);
+    match node.kind() {
+        NodeKind::Leaf => {
+            if level != 0 {
+                return Ok(Err(Violation(format!(
+                    "leaf {pid} found at level {level}"
+                ))));
+            }
+            if node.nkeys() > tree.config().leaf_cap {
+                return Ok(Err(Violation(format!(
+                    "leaf {pid} holds {} > cap {}",
+                    node.nkeys(),
+                    tree.config().leaf_cap
+                ))));
+            }
+            for i in 0..node.nkeys() {
+                let e = node.leaf_entry(i);
+                if let Some(lo) = lo {
+                    if e < lo {
+                        return Ok(Err(Violation(format!(
+                            "leaf {pid} entry {e:?} below bound {lo:?}"
+                        ))));
+                    }
+                }
+                if let Some(hi) = hi {
+                    if e >= hi {
+                        return Ok(Err(Violation(format!(
+                            "leaf {pid} entry {e:?} at/above bound {hi:?}"
+                        ))));
+                    }
+                }
+                entries.push(e);
+            }
+            leaves.push(pid);
+            Ok(Ok(()))
+        }
+        NodeKind::Inner => {
+            if level == 0 {
+                return Ok(Err(Violation(format!(
+                    "inner node {pid} found at leaf level"
+                ))));
+            }
+            let n = node.nkeys();
+            if n > tree.config().inner_cap {
+                return Ok(Err(Violation(format!(
+                    "inner {pid} holds {} > cap {}",
+                    n,
+                    tree.config().inner_cap
+                ))));
+            }
+            for i in 1..n {
+                if node.inner_sep(i - 1) > node.inner_sep(i) {
+                    return Ok(Err(Violation(format!("inner {pid} separators unsorted"))));
+                }
+            }
+            let seps: Vec<Sep> = (0..n).map(|i| node.inner_sep(i)).collect();
+            let children: Vec<PageId> = (0..=n).map(|i| node.inner_child(i)).collect();
+            drop(r);
+            for (i, &child) in children.iter().enumerate() {
+                let c_lo = if i == 0 { lo } else { Some(seps[i - 1]) };
+                let c_hi = if i == n { hi } else { Some(seps[i]) };
+                match walk(tree, child, level - 1, c_lo, c_hi, entries, leaves)? {
+                    Ok(()) => {}
+                    Err(v) => return Ok(Err(v)),
+                }
+            }
+            Ok(Ok(()))
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Heavier cross-checks of the B-link tree against a model, across fanouts
+//! and operation mixes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bd_btree::{
+    bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted, bulk_load, verify, BTree,
+    BTreeConfig, Key, LeafScan, ReorgPolicy,
+};
+use bd_storage::{BufferPool, CostModel, Rid, SimDisk};
+
+fn pool(frames: usize) -> Arc<BufferPool> {
+    BufferPool::new(SimDisk::new(CostModel::default()), frames)
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed;
+    move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x
+    }
+}
+
+#[test]
+fn random_lifecycle_across_fanouts() {
+    for fanout in [3, 4, 7, 16, 64] {
+        let mut rng = lcg(fanout as u64);
+        let mut tree = BTree::create(pool(1024), BTreeConfig::with_fanout(fanout)).unwrap();
+        let mut model: BTreeMap<Key, Rid> = BTreeMap::new();
+        // Phase 1: random inserts.
+        for _ in 0..2000 {
+            let k = rng() % 3000;
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                let rid = Rid::new(k as u32, 0);
+                tree.insert(k, rid).unwrap();
+                e.insert(rid);
+            }
+        }
+        // Phase 2: random point deletes.
+        for _ in 0..500 {
+            let k = rng() % 3000;
+            if let Some(rid) = model.remove(&k) {
+                assert!(tree.delete_one(k, rid).unwrap());
+            }
+        }
+        // Phase 3: one bulk delete of a random half of the survivors.
+        let mut victims: Vec<(Key, Rid)> = model
+            .iter()
+            .filter(|_| rng().is_multiple_of(2))
+            .map(|(&k, &r)| (k, r))
+            .collect();
+        victims.sort_unstable();
+        bulk_delete_sorted(&mut tree, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
+        for (k, _) in &victims {
+            model.remove(k);
+        }
+        // Phase 4: everything agrees.
+        let entries = verify::check(&tree).unwrap();
+        let expect: Vec<(Key, Rid)> = model.iter().map(|(&k, &r)| (k, r)).collect();
+        assert_eq!(entries, expect, "fanout {fanout}");
+        let scanned: Vec<(Key, Rid)> = LeafScan::new(&tree).unwrap().collect();
+        assert_eq!(scanned, expect, "fanout {fanout} (chain)");
+    }
+}
+
+#[test]
+fn three_bulk_primitives_agree() {
+    // by-keys, sorted-pairs, and rid-probe must remove identical entries.
+    let n = 5000u64;
+    let entries: Vec<(Key, Rid)> = (0..n).map(|k| (k * 2, Rid::new(k as u32, 0))).collect();
+    let keys: Vec<Key> = (0..n).filter(|k| k % 3 == 0).map(|k| k * 2).collect();
+    let pairs: Vec<(Key, Rid)> = entries
+        .iter()
+        .copied()
+        .filter(|(k, _)| k % 6 == 0)
+        .collect();
+    let rids: std::collections::HashSet<Rid> = pairs.iter().map(|e| e.1).collect();
+
+    let mut t1 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
+    let mut t2 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
+    let mut t3 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
+
+    let d1 = bulk_delete_by_keys(&mut t1, &keys, ReorgPolicy::FreeAtEmpty).unwrap();
+    let d2 = bulk_delete_sorted(&mut t2, &pairs, ReorgPolicy::FreeAtEmpty).unwrap();
+    let d3 = bulk_delete_probe(&mut t3, &rids, None, ReorgPolicy::FreeAtEmpty).unwrap();
+    assert_eq!(d1, d2);
+    assert_eq!(d2, d3);
+
+    let s1: Vec<_> = LeafScan::new(&t1).unwrap().collect();
+    let s2: Vec<_> = LeafScan::new(&t2).unwrap().collect();
+    let s3: Vec<_> = LeafScan::new(&t3).unwrap().collect();
+    assert_eq!(s1, s2);
+    assert_eq!(s2, s3);
+    verify::check(&t1).unwrap();
+    verify::check(&t2).unwrap();
+    verify::check(&t3).unwrap();
+}
+
+#[test]
+fn alternating_bulk_loads_and_deletes() {
+    // Repeatedly: bulk delete a stripe, insert a new stripe, verify.
+    let mut tree = BTree::create(pool(1024), BTreeConfig::with_fanout(16)).unwrap();
+    let mut model: BTreeMap<Key, Rid> = BTreeMap::new();
+    for k in 0..4000u64 {
+        let rid = Rid::new(k as u32, 0);
+        tree.insert(k, rid).unwrap();
+        model.insert(k, rid);
+    }
+    for round in 0..5u64 {
+        let lo = round * 700;
+        let hi = lo + 500;
+        let mut victims: Vec<(Key, Rid)> = model
+            .range(lo..hi)
+            .map(|(&k, &r)| (k, r))
+            .collect();
+        victims.sort_unstable();
+        let deleted = bulk_delete_sorted(&mut tree, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
+        assert_eq!(deleted.len(), victims.len());
+        for (k, _) in &victims {
+            model.remove(k);
+        }
+        // Refill part of the hole.
+        for k in (lo..lo + 200).step_by(2) {
+            let rid = Rid::new(900_000 + k as u32, 1);
+            tree.insert(k, rid).unwrap();
+            model.insert(k, rid);
+        }
+        let entries = verify::check(&tree).unwrap();
+        assert_eq!(entries.len(), model.len(), "round {round}");
+    }
+}
+
+#[test]
+fn base_node_pack_after_each_round_stays_consistent() {
+    let entries: Vec<(Key, Rid)> = (0..6000u64).map(|k| (k, Rid::new(k as u32, 0))).collect();
+    let mut tree = bulk_load(pool(1024), BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+    let mut expect: BTreeMap<Key, Rid> = entries.iter().copied().collect();
+    let mut rng = lcg(77);
+    for round in 0..4 {
+        let mut victims: Vec<(Key, Rid)> = expect
+            .iter()
+            .filter(|_| rng().is_multiple_of(3))
+            .map(|(&k, &r)| (k, r))
+            .collect();
+        victims.sort_unstable();
+        bulk_delete_sorted(&mut tree, &victims, ReorgPolicy::BaseNodePack).unwrap();
+        for (k, _) in &victims {
+            expect.remove(k);
+        }
+        let got = verify::check(&tree).unwrap();
+        let want: Vec<(Key, Rid)> = expect.iter().map(|(&k, &r)| (k, r)).collect();
+        assert_eq!(got, want, "round {round}");
+    }
+}
+
+#[test]
+fn deep_tree_operations() {
+    // Fanout 3 at 3000 entries: a genuinely deep tree (~7 levels).
+    let entries: Vec<(Key, Rid)> = (0..3000u64).map(|k| (k, Rid::new(k as u32, 0))).collect();
+    let mut tree = bulk_load(pool(4096), BTreeConfig::with_fanout(3), &entries, 1.0).unwrap();
+    assert!(tree.height() >= 6, "height {}", tree.height());
+    for k in (0..3000u64).step_by(100) {
+        assert_eq!(tree.search(k).unwrap(), vec![Rid::new(k as u32, 0)]);
+    }
+    let victims: Vec<(Key, Rid)> = entries.iter().copied().step_by(2).collect();
+    bulk_delete_sorted(&mut tree, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
+    assert_eq!(tree.len(), 1500);
+    verify::check(&tree).unwrap();
+    // The tall tree still answers range queries correctly.
+    let got = tree.range(1001, 1099).unwrap();
+    let want: Vec<(Key, Rid)> = (1001..=1099)
+        .filter(|k| k % 2 == 1)
+        .map(|k| (k, Rid::new(k as u32, 0)))
+        .collect();
+    assert_eq!(got, want);
+}

@@ -1,0 +1,136 @@
+//! Referential integrity for bulk deletes.
+//!
+//! The paper folds constraint checking into the vertical framework:
+//! "integrity constraints can be processed more efficiently using a
+//! vertical approach ... we propose to check integrity constraints in such
+//! a vertical way as early as possible and before deleting records from
+//! the table and the indices so that no work needs to be undone if an
+//! integrity constraint fails" (§2.2).
+//!
+//! A [`ForeignKey`] declares that `child.child_attr` references
+//! `parent.parent_attr`. Checking is one read-only sorted merge of the
+//! delete list against the child's index ([`bd_btree::lookup_keys_sorted`])
+//! — the same access pattern as the `⋈̄` itself, run *before* any
+//! destructive pass. `RESTRICT` aborts on the first match; `CASCADE` turns
+//! matches into a recursive vertical bulk delete on the child table.
+
+use bd_btree::{lookup_keys_sorted, Key};
+
+use crate::db::{Database, TableId};
+use crate::error::{DbError, DbResult};
+
+/// Action when deleted parent keys are still referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefAction {
+    /// Fail the bulk delete before any destructive work.
+    Restrict,
+    /// Bulk-delete the referencing child rows first (recursively).
+    Cascade,
+}
+
+/// A referential constraint between two tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Display name, e.g. `fk_orders_customer`.
+    pub name: String,
+    /// Referenced (parent) table.
+    pub parent: TableId,
+    /// Referenced attribute in the parent.
+    pub parent_attr: usize,
+    /// Referencing (child) table.
+    pub child: TableId,
+    /// Referencing attribute in the child — must be indexed so the check
+    /// is a leaf-level merge rather than a table scan.
+    pub child_attr: usize,
+    /// What to do with referencing rows.
+    pub action: RefAction,
+}
+
+impl ForeignKey {
+    /// A RESTRICT constraint.
+    pub fn restrict(
+        name: &str,
+        parent: TableId,
+        parent_attr: usize,
+        child: TableId,
+        child_attr: usize,
+    ) -> Self {
+        ForeignKey {
+            name: name.to_string(),
+            parent,
+            parent_attr,
+            child,
+            child_attr,
+            action: RefAction::Restrict,
+        }
+    }
+
+    /// A CASCADE constraint.
+    pub fn cascade(
+        name: &str,
+        parent: TableId,
+        parent_attr: usize,
+        child: TableId,
+        child_attr: usize,
+    ) -> Self {
+        ForeignKey {
+            name: name.to_string(),
+            parent,
+            parent_attr,
+            child,
+            child_attr,
+            action: RefAction::Cascade,
+        }
+    }
+}
+
+/// Count child rows referencing any of the (sorted) `keys` — one read-only
+/// sorted merge over the child index's leaf chain.
+pub fn count_references(db: &Database, fk: &ForeignKey, sorted_keys: &[Key]) -> DbResult<usize> {
+    let child = db.table(fk.child)?;
+    let index = child
+        .index_on(fk.child_attr)
+        .ok_or(DbError::NoSuchIndex {
+            attr: fk.child_attr,
+        })?;
+    Ok(lookup_keys_sorted(&index.tree, sorted_keys)?.len())
+}
+
+/// Enforce `fk` for a pending bulk delete of `sorted_keys` from the parent.
+/// RESTRICT: error if any reference exists. CASCADE: return the child keys
+/// that must be bulk-deleted from the child table first.
+pub fn enforce(
+    db: &Database,
+    fk: &ForeignKey,
+    sorted_keys: &[Key],
+) -> DbResult<Option<Vec<Key>>> {
+    let refs = count_references(db, fk, sorted_keys)?;
+    match fk.action {
+        RefAction::Restrict => {
+            if refs > 0 {
+                Err(DbError::ForeignKeyViolation {
+                    name: fk.name.clone(),
+                    referencing_rows: refs,
+                })
+            } else {
+                Ok(None)
+            }
+        }
+        RefAction::Cascade => {
+            if refs == 0 {
+                Ok(None)
+            } else {
+                // The child rows to delete are exactly those whose
+                // child_attr matches a deleted parent key.
+                let child = db.table(fk.child)?;
+                let index = child.index_on(fk.child_attr).expect("checked above");
+                let mut keys: Vec<Key> = lookup_keys_sorted(&index.tree, sorted_keys)?
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                keys.dedup();
+                Ok(Some(keys))
+            }
+        }
+    }
+}

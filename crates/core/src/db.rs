@@ -1,0 +1,406 @@
+//! The `Database` facade: pool + workspace + tables.
+
+use std::sync::Arc;
+
+use bd_btree::{bulk_load, BTree, Key, LeafScan};
+use bd_exec::sort_all;
+use bd_storage::{BufferPool, CostModel, MemoryBudget, Rid, SimDisk};
+
+use crate::catalog::{Index, IndexDef, Table};
+use crate::constraint::ForeignKey;
+use crate::error::{DbError, DbResult};
+use crate::tuple::{Schema, Tuple};
+
+/// Identifier of a table within a [`Database`].
+pub type TableId = usize;
+
+/// Memory and cost-model configuration.
+///
+/// The paper's prototype shares one allotment between page caching and sort
+/// workspace ("this main memory [is used] not only for caching but also to
+/// carry out sorting"). [`DatabaseConfig::with_total_memory`] splits a total
+/// budget 3/4 buffer pool, 1/4 sort/hash workspace; both halves can also be
+/// set explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct DatabaseConfig {
+    /// Bytes for the buffer pool (page cache).
+    pub pool_bytes: usize,
+    /// Bytes for sort runs and hash tables.
+    pub workspace_bytes: usize,
+    /// Simulated-disk cost model.
+    pub cost: CostModel,
+}
+
+impl DatabaseConfig {
+    /// Split `bytes` into 3/4 pool, 1/4 workspace.
+    pub fn with_total_memory(bytes: usize) -> Self {
+        DatabaseConfig {
+            pool_bytes: bytes / 4 * 3,
+            workspace_bytes: bytes / 4,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        // The paper's default: 10 MB total.
+        DatabaseConfig::with_total_memory(10 << 20)
+    }
+}
+
+/// An embedded single-node database over the simulated disk.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    workspace: Arc<MemoryBudget>,
+    tables: Vec<Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    /// Fresh database with the given memory configuration.
+    pub fn new(config: DatabaseConfig) -> Self {
+        let disk = SimDisk::new(config.cost);
+        Database {
+            pool: BufferPool::with_byte_budget(disk, config.pool_bytes),
+            workspace: Arc::new(MemoryBudget::new(config.workspace_bytes)),
+            tables: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The sort/hash workspace budget.
+    pub fn workspace(&self) -> &Arc<MemoryBudget> {
+        &self.workspace
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> TableId {
+        let heap = bd_storage::HeapFile::create(self.pool.clone());
+        self.tables.push(Table {
+            name: name.to_string(),
+            schema,
+            heap,
+            indices: Vec::new(),
+            hash_indices: Vec::new(),
+        });
+        self.tables.len() - 1
+    }
+
+    /// Access a table.
+    pub fn table(&self, id: TableId) -> DbResult<&Table> {
+        self.tables.get(id).ok_or(DbError::NoSuchTable(id))
+    }
+
+    /// Access a table mutably.
+    pub fn table_mut(&mut self, id: TableId) -> DbResult<&mut Table> {
+        self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))
+    }
+
+    /// Insert a tuple, maintaining every index. Enforces unique
+    /// constraints. Returns the new RID.
+    pub fn insert(&mut self, id: TableId, tuple: &Tuple) -> DbResult<Rid> {
+        let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
+        let bytes = table.schema.encode(tuple)?;
+        for index in &table.indices {
+            if index.def.unique && !index.tree.search(tuple.attr(index.def.attr))?.is_empty() {
+                return Err(DbError::DuplicateKey {
+                    attr: index.def.attr,
+                    key: tuple.attr(index.def.attr),
+                });
+            }
+        }
+        let rid = table.heap.insert(&bytes)?;
+        for index in &mut table.indices {
+            index.tree.insert(tuple.attr(index.def.attr), rid)?;
+        }
+        for h in &mut table.hash_indices {
+            h.index.insert(tuple.attr(h.def.attr), rid)?;
+        }
+        Ok(rid)
+    }
+
+    /// Read the tuple at `rid`.
+    pub fn get(&self, id: TableId, rid: Rid) -> DbResult<Tuple> {
+        let table = self.table(id)?;
+        let bytes = table.heap.get(rid)?;
+        Ok(table.schema.decode(&bytes))
+    }
+
+    /// Look up RIDs by key through the index on `attr`.
+    pub fn lookup(&self, id: TableId, attr: usize, key: Key) -> DbResult<Vec<Rid>> {
+        let table = self.table(id)?;
+        let index = table.index_on(attr).ok_or(DbError::NoSuchIndex { attr })?;
+        Ok(index.tree.search(key)?)
+    }
+
+    /// Build an index described by `def` over the current table contents:
+    /// heap scan → external sort → bottom-up bulk load.
+    pub fn create_index(&mut self, id: TableId, def: IndexDef) -> DbResult<()> {
+        let workspace = self.workspace.clone();
+        let pool = self.pool.clone();
+        let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
+        if table.index_on(def.attr).is_some() {
+            return Err(DbError::IndexExists { attr: def.attr });
+        }
+        let schema = table.schema;
+        let entries = table
+            .heap
+            .scan()
+            .map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
+        let (sorted, _) = sort_all(pool.clone(), entries, workspace.capacity().max(4096))?;
+        let tree = bulk_load(pool, def.config, &sorted, def.fill)?;
+        table.indices.push(Index { def, tree });
+        Ok(())
+    }
+
+    /// Build a hash index on `attr` over the current table contents. Hash
+    /// indices are always maintained record-at-a-time ("updated in the
+    /// traditional way"); the bulk-delete operators never touch them.
+    pub fn create_hash_index(&mut self, id: TableId, attr: usize) -> DbResult<()> {
+        let pool = self.pool.clone();
+        let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
+        if table.hash_index_on(attr).is_some() {
+            return Err(DbError::IndexExists { attr });
+        }
+        let schema = table.schema;
+        let mut index = bd_hashidx::HashIndex::with_capacity(pool, table.heap.len().max(64))?;
+        for (rid, bytes) in table.heap.scan() {
+            index.insert(schema.attr_of(&bytes, attr), rid)?;
+        }
+        table.hash_indices.push(crate::catalog::HashIdx {
+            def: crate::catalog::HashIndexDef {
+                name: format!("H_{}", crate::tuple::attr_name(attr)),
+                attr,
+            },
+            index,
+        });
+        Ok(())
+    }
+
+    /// Drop the index on `attr` (its pages are abandoned, as in the
+    /// prototype). Returns the dropped definition for later re-creation.
+    pub fn drop_index(&mut self, id: TableId, attr: usize) -> DbResult<IndexDef> {
+        let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
+        let pos = table
+            .index_pos(attr)
+            .ok_or(DbError::NoSuchIndex { attr })?;
+        Ok(table.indices.remove(pos).def)
+    }
+
+    /// Register a referential constraint (checked by
+    /// [`crate::strategy::vertical_with_constraints`]).
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Constraints whose *parent* side is `(tid, attr)`.
+    pub fn foreign_keys_on(&self, tid: TableId, attr: usize) -> Vec<ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.parent == tid && fk.parent_attr == attr)
+            .cloned()
+            .collect()
+    }
+
+    /// Constraints whose *parent* side is any attribute of `tid`.
+    pub fn foreign_keys_on_table(&self, tid: TableId) -> Vec<ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.parent == tid)
+            .cloned()
+            .collect()
+    }
+
+    /// `DELETE FROM <table> WHERE <attr> IN (<keys>)` — the crate's
+    /// front-door API: plans with the optimizer, enforces registered
+    /// referential constraints vertically and early, then executes the
+    /// vertical bulk delete.
+    pub fn delete_in(
+        &mut self,
+        id: TableId,
+        attr: usize,
+        keys: &[Key],
+    ) -> DbResult<crate::strategy::DeleteOutcome> {
+        crate::strategy::vertical_with_constraints(
+            self,
+            id,
+            attr,
+            keys,
+            bd_btree::ReorgPolicy::FreeAtEmpty,
+        )
+    }
+
+    /// Full consistency check: every index holds exactly one entry per heap
+    /// record, keyed by that record's attribute value. Expensive; used by
+    /// tests and after recovery.
+    pub fn check_consistency(&self, id: TableId) -> DbResult<()> {
+        let table = self.table(id)?;
+        let mut heap_rows: Vec<(Rid, Tuple)> = table
+            .heap
+            .scan()
+            .map(|(rid, bytes)| (rid, table.schema.decode(&bytes)))
+            .collect();
+        heap_rows.sort_by_key(|(rid, _)| *rid);
+        for index in &table.indices {
+            let mut expect: Vec<(Key, Rid)> = heap_rows
+                .iter()
+                .map(|(rid, t)| (t.attr(index.def.attr), *rid))
+                .collect();
+            expect.sort_unstable();
+            let got: Vec<(Key, Rid)> = LeafScan::new(&index.tree)
+                .map_err(DbError::Storage)?
+                .collect();
+            assert_eq!(
+                got.len(),
+                expect.len(),
+                "index {} has {} entries, heap has {} records",
+                index.def.name,
+                got.len(),
+                expect.len()
+            );
+            assert_eq!(got, expect, "index {} diverges from heap", index.def.name);
+            assert_eq!(index.tree.len(), got.len(), "index len counter wrong");
+        }
+        for h in &table.hash_indices {
+            let mut expect: Vec<(Key, Rid)> = heap_rows
+                .iter()
+                .map(|(rid, t)| (t.attr(h.def.attr), *rid))
+                .collect();
+            expect.sort_unstable();
+            let mut got = h.index.scan().map_err(DbError::Storage)?;
+            got.sort_unstable();
+            assert_eq!(got, expect, "hash index {} diverges from heap", h.def.name);
+            assert_eq!(h.index.len(), got.len(), "hash index len counter wrong");
+        }
+        Ok(())
+    }
+}
+
+/// Borrow the pieces a delete strategy needs from one table, splitting the
+/// borrow so heap and indices can be mutated independently.
+pub struct TableParts<'a> {
+    /// Record layout.
+    pub schema: Schema,
+    /// The heap.
+    pub heap: &'a mut bd_storage::HeapFile,
+    /// All B-tree indices.
+    pub indices: &'a mut Vec<Index>,
+    /// All hash indices (maintained record-at-a-time by every strategy).
+    pub hash_indices: &'a mut Vec<crate::catalog::HashIdx>,
+}
+
+impl Database {
+    /// Split-borrow a table for strategy execution.
+    pub fn parts(&mut self, id: TableId) -> DbResult<(TableParts<'_>, Arc<MemoryBudget>, Arc<BufferPool>)> {
+        let workspace = self.workspace.clone();
+        let pool = self.pool.clone();
+        let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
+        Ok((
+            TableParts {
+                schema: table.schema,
+                heap: &mut table.heap,
+                indices: &mut table.indices,
+                hash_indices: &mut table.hash_indices,
+            },
+            workspace,
+            pool,
+        ))
+    }
+}
+
+/// Direct access to a tree for tests.
+pub fn tree_of(table: &Table, attr: usize) -> &BTree {
+    &table.index_on(attr).expect("index exists").tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> (Database, TableId) {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
+        let tid = db.create_table("R", Schema::new(3, 64));
+        (db, tid)
+    }
+
+    fn row(a: u64, b: u64, c: u64) -> Tuple {
+        Tuple::new(vec![a, b, c])
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let (mut db, tid) = small_db();
+        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(1)).unwrap();
+        let rid = db.insert(tid, &row(1, 10, 100)).unwrap();
+        assert_eq!(db.get(tid, rid).unwrap(), row(1, 10, 100));
+        assert_eq!(db.lookup(tid, 0, 1).unwrap(), vec![rid]);
+        assert_eq!(db.lookup(tid, 1, 10).unwrap(), vec![rid]);
+        db.check_consistency(tid).unwrap();
+    }
+
+    #[test]
+    fn unique_constraint_enforced() {
+        let (mut db, tid) = small_db();
+        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.insert(tid, &row(5, 1, 1)).unwrap();
+        let err = db.insert(tid, &row(5, 2, 2)).unwrap_err();
+        assert_eq!(err, DbError::DuplicateKey { attr: 0, key: 5 });
+        // Non-unique attribute duplicates are fine.
+        db.insert(tid, &row(6, 1, 1)).unwrap();
+        db.check_consistency(tid).unwrap();
+    }
+
+    #[test]
+    fn create_index_over_existing_data() {
+        let (mut db, tid) = small_db();
+        for i in 0..500u64 {
+            db.insert(tid, &row(i, i % 13, i % 7)).unwrap();
+        }
+        db.create_index(tid, IndexDef::secondary(1)).unwrap();
+        let rids = db.lookup(tid, 1, 5).unwrap();
+        assert_eq!(rids.len(), (0..500u64).filter(|i| i % 13 == 5).count());
+        db.check_consistency(tid).unwrap();
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let (mut db, tid) = small_db();
+        db.create_index(tid, IndexDef::secondary(0)).unwrap();
+        assert_eq!(
+            db.create_index(tid, IndexDef::secondary(0)).unwrap_err(),
+            DbError::IndexExists { attr: 0 }
+        );
+    }
+
+    #[test]
+    fn drop_index_returns_def() {
+        let (mut db, tid) = small_db();
+        db.create_index(tid, IndexDef::secondary(2)).unwrap();
+        let def = db.drop_index(tid, 2).unwrap();
+        assert_eq!(def.attr, 2);
+        assert!(db.lookup(tid, 2, 0).is_err());
+        assert_eq!(
+            db.drop_index(tid, 2).unwrap_err(),
+            DbError::NoSuchIndex { attr: 2 }
+        );
+    }
+
+    #[test]
+    fn bad_table_id() {
+        let (db, _) = small_db();
+        assert!(matches!(db.table(9), Err(DbError::NoSuchTable(9))));
+    }
+}

@@ -1,0 +1,106 @@
+//! Engine-level error type.
+
+use std::fmt;
+
+use bd_storage::StorageError;
+
+use bd_btree::Key;
+
+/// Errors raised by the bulk-delete engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// An error bubbled up from the storage layer.
+    Storage(StorageError),
+    /// No table with this id exists.
+    NoSuchTable(usize),
+    /// The table has no index on the named attribute.
+    NoSuchIndex {
+        /// Attribute number (0 = `A`).
+        attr: usize,
+    },
+    /// An index on this attribute already exists.
+    IndexExists {
+        /// Attribute number (0 = `A`).
+        attr: usize,
+    },
+    /// A `DELETE` statement referenced an attribute without an index to
+    /// probe (all strategies need the index on the delete attribute).
+    NoProbeIndex {
+        /// Attribute number (0 = `A`).
+        attr: usize,
+    },
+    /// Inserting `key` would violate a unique constraint.
+    DuplicateKey {
+        /// Attribute carrying the unique constraint.
+        attr: usize,
+        /// Conflicting key value.
+        key: Key,
+    },
+    /// A tuple did not match the table schema.
+    SchemaMismatch {
+        /// Attributes the schema defines.
+        expected: usize,
+        /// Attributes the tuple carried.
+        got: usize,
+    },
+    /// A RESTRICT foreign key still has referencing rows.
+    ForeignKeyViolation {
+        /// Constraint name.
+        name: String,
+        /// Number of child rows still referencing deleted keys.
+        referencing_rows: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::NoSuchTable(id) => write!(f, "no table with id {id}"),
+            DbError::NoSuchIndex { attr } => {
+                write!(f, "no index on attribute {}", crate::tuple::attr_name(*attr))
+            }
+            DbError::IndexExists { attr } => {
+                write!(f, "index on attribute {} already exists", crate::tuple::attr_name(*attr))
+            }
+            DbError::NoProbeIndex { attr } => write!(
+                f,
+                "bulk delete on attribute {} needs an index to probe",
+                crate::tuple::attr_name(*attr)
+            ),
+            DbError::DuplicateKey { attr, key } => write!(
+                f,
+                "unique constraint on attribute {} violated by key {key}",
+                crate::tuple::attr_name(*attr)
+            ),
+            DbError::SchemaMismatch { expected, got } => {
+                write!(f, "tuple has {got} attributes, schema expects {expected}")
+            }
+            DbError::ForeignKeyViolation {
+                name,
+                referencing_rows,
+            } => write!(
+                f,
+                "foreign key {name} violated: {referencing_rows} referencing rows remain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the engine.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! Bulk-delete engine — the primary contribution of *"Efficient Bulk
+//! Deletes in Relational Databases"* (Gaertner, Kemper, Kossmann, Zeller;
+//! ICDE 2001), rebuilt as a Rust library.
+//!
+//! A [`db::Database`] holds tables (heap files with slotted pages) and
+//! B-link-tree indices over a simulated disk with an honest 1999-era cost
+//! model. `DELETE FROM R WHERE R.A IN (SELECT D.A FROM D)` can then be
+//! executed four ways:
+//!
+//! * [`strategy::horizontal`] — the traditional record-at-a-time executor
+//!   (`sorted/trad` and `not sorted/trad` in the paper's figures);
+//! * [`strategy::drop_create`] — drop secondary indices, delete, rebuild;
+//! * [`strategy::vertical`] — the paper's set-oriented bulk delete, driven
+//!   by a [`plan::DeletePlan`];
+//! * [`planner::plan_delete`] — the optimizer choosing ⋈̄ method
+//!   (sort/merge vs. classic hash vs. partitioned hash), ⋈̄ order (unique
+//!   indices first), and primary ⋈̄ predicate (key vs. RID).
+//!
+//! ```
+//! use bd_core::prelude::*;
+//!
+//! let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
+//! let tid = db.create_table("R", Schema::new(3, 64));
+//! db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+//! db.create_index(tid, IndexDef::secondary(1)).unwrap();
+//! for i in 0..1000u64 {
+//!     db.insert(tid, &Tuple::new(vec![i, i % 31, i % 7])).unwrap();
+//! }
+//! // DELETE FROM R WHERE R.A IN (0, 2, 4, ...)
+//! let d: Vec<u64> = (0..1000).step_by(2).collect();
+//! let (plan, outcome) = strategy::vertical_auto(
+//!     &mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+//! println!("{}", plan.render(db.table(tid).unwrap()));
+//! assert_eq!(outcome.deleted.len(), 500);
+//! db.check_consistency(tid).unwrap();
+//! ```
+
+pub mod catalog;
+pub mod constraint;
+pub mod cost;
+pub mod db;
+pub mod error;
+pub mod plan;
+pub mod planner;
+pub mod report;
+pub mod strategy;
+pub mod tuple;
+pub mod update;
+
+pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
+pub use constraint::{ForeignKey, RefAction};
+pub use db::{Database, DatabaseConfig, TableId};
+pub use error::{DbError, DbResult};
+pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
+pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
+pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
+pub use report::{measure, RunReport};
+pub use strategy::{DeleteOutcome, RebuildMode};
+pub use update::{bulk_update, UpdateOutcome};
+pub use tuple::{attr_name, Schema, Tuple};
+
+/// Common imports for examples and downstream crates.
+pub mod prelude {
+    pub use crate::catalog::IndexDef;
+    pub use crate::db::{Database, DatabaseConfig, TableId};
+    pub use crate::error::{DbError, DbResult};
+    pub use crate::plan::DeletePlan;
+    pub use crate::strategy::{self, DeleteOutcome};
+    pub use crate::tuple::{Schema, Tuple};
+    pub use bd_btree::{BTreeConfig, Key, ReorgPolicy};
+    pub use bd_storage::{CostModel, Rid};
+}

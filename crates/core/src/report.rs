@@ -1,0 +1,128 @@
+//! Run reports: simulated time and I/O counters per strategy execution.
+
+use std::sync::Arc;
+
+use bd_storage::{BufferPool, DiskStats, StorageResult};
+
+/// Outcome of one delete-strategy execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Strategy label, e.g. `sorted/trad` or `bulk delete`.
+    pub strategy: String,
+    /// Records deleted from the base table.
+    pub deleted: usize,
+    /// Disk counters accumulated by the run (after a cold-cache reset).
+    pub io: DiskStats,
+    /// Per-phase I/O breakdown (vertical runs only): one entry per `⋈̄`
+    /// step and sort, in execution order.
+    pub phases: Vec<(String, DiskStats)>,
+}
+
+impl RunReport {
+    /// Simulated elapsed milliseconds.
+    pub fn sim_ms(&self) -> f64 {
+        self.io.sim_ms
+    }
+
+    /// Simulated elapsed minutes — the unit the paper's figures report.
+    pub fn sim_minutes(&self) -> f64 {
+        self.io.sim_ms / 60_000.0
+    }
+
+    /// Multi-line phase breakdown (empty string when not instrumented).
+    pub fn phase_breakdown(&self) -> String {
+        let mut out = String::new();
+        for (name, io) in &self.phases {
+            out.push_str(&format!(
+                "    {:<28} {:>8.2} s  ios {:>8} (random {:>6})\n",
+                name,
+                io.sim_ms / 1000.0,
+                io.total_ios(),
+                io.total_random(),
+            ));
+        }
+        out
+    }
+
+    /// One summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<16} deleted {:>8}  sim {:>9.2} min  ios {:>9} (random {:>8}, read {:>9}, write {:>9})",
+            self.strategy,
+            self.deleted,
+            self.sim_minutes(),
+            self.io.total_ios(),
+            self.io.total_random(),
+            self.io.pages_read,
+            self.io.pages_written,
+        )
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Run `body` against a cold cache and account its I/O (including the final
+/// flush of dirty pages, which belongs to the run).
+pub fn measure<T>(
+    pool: &Arc<BufferPool>,
+    strategy: &str,
+    body: impl FnOnce() -> StorageResult<T>,
+) -> StorageResult<(T, RunReport)> {
+    pool.clear_cache()?;
+    pool.reset_stats();
+    let before = pool.disk_stats();
+    let value = body()?;
+    pool.flush_all()?;
+    let io = pool.disk_stats().since(&before);
+    Ok((
+        value,
+        RunReport {
+            strategy: strategy.to_string(),
+            deleted: 0,
+            io,
+            phases: Vec::new(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_storage::{CostModel, SimDisk};
+
+    #[test]
+    fn measure_accounts_io_and_flush() {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(4);
+        let pool = BufferPool::new(disk, 8);
+        let (_, report) = measure(&pool, "probe", || {
+            let mut w = pool.pin_write(first)?;
+            w[0] = 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.io.pages_read, 1);
+        assert_eq!(report.io.pages_written, 1, "flush counted");
+        assert!(report.sim_ms() > 0.0);
+        assert!(report.summary().contains("probe"));
+    }
+
+    #[test]
+    fn measure_starts_cold() {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(2);
+        let pool = BufferPool::new(disk, 8);
+        let _ = pool.pin_read(first).unwrap();
+        let (_, report) = measure(&pool, "x", || {
+            let _ = pool.pin_read(first)?;
+            Ok(())
+        })
+        .unwrap();
+        // The pre-measure pin must not make the in-measure pin a cache hit.
+        assert_eq!(report.io.pages_read, 1);
+    }
+}

@@ -1,0 +1,496 @@
+//! The delete strategies the paper compares.
+//!
+//! * [`horizontal`] — the traditional record-at-a-time executor: probe the
+//!   index on the delete attribute per key, delete the record from the
+//!   heap, and "immediately remove it from all indices", each removal a
+//!   root-to-leaf traversal. With `presort = true` this is the paper's
+//!   `sorted/trad` series; with `false`, `not sorted/trad`.
+//! * [`drop_create`] — drop all secondary indices, run the (sorted)
+//!   traditional delete against the remaining probe index, then rebuild the
+//!   dropped indices by scan + sort + bulk load (the Fig. 1/8 baseline).
+//! * [`vertical`] — the paper's contribution: delete *per structure*, one
+//!   set-oriented `⋈̄` at a time, following a [`DeletePlan`].
+//!
+//! Every strategy returns the same [`DeleteOutcome`] and leaves the table
+//! and indices in exactly equivalent states (property-tested).
+
+use std::sync::Arc;
+
+use bd_btree::{bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted, Key, ReorgPolicy};
+use bd_exec::{range_partitions, sort_all, ByRid, RidSet, BYTES_PER_RID};
+use bd_storage::{BufferPool, MemoryBudget, Rid, StorageResult};
+
+use crate::catalog::{Index, IndexDef};
+use crate::db::{Database, TableId};
+use crate::error::{DbError, DbResult};
+use crate::plan::{DeletePlan, IndexMethod, TableMethod};
+use crate::planner::plan_sort_merge;
+use crate::report::{measure, RunReport};
+use crate::tuple::{Schema, Tuple};
+
+/// What a strategy deleted, plus its cost report.
+#[derive(Debug)]
+pub struct DeleteOutcome {
+    /// Cost report (simulated time, I/O counters).
+    pub report: RunReport,
+    /// The deleted rows, in the order the strategy removed them from the
+    /// heap (available for archiving or bulk re-insertion).
+    pub deleted: Vec<(Rid, Tuple)>,
+}
+
+fn probe_pos(indices: &[Index], attr: usize) -> DbResult<usize> {
+    indices
+        .iter()
+        .position(|i| i.def.attr == attr)
+        .ok_or(DbError::NoProbeIndex { attr })
+}
+
+/// Traditional horizontal delete (`sorted/trad` when `presort`, else
+/// `not sorted/trad`).
+pub fn horizontal(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    presort: bool,
+) -> DbResult<DeleteOutcome> {
+    let (parts, ws, pool) = db.parts(tid)?;
+    let pos = probe_pos(parts.indices, probe_attr)?;
+    let schema = parts.schema;
+    let heap = parts.heap;
+    let indices = parts.indices;
+    let hash_indices = parts.hash_indices;
+    let label = if presort { "sorted/trad" } else { "not sorted/trad" };
+
+    let (deleted, mut report) = measure(&pool, label, || {
+        let keys: Vec<Key> = if presort {
+            sort_all(pool.clone(), d_keys.iter().copied(), ws.capacity().max(4096))?.0
+        } else {
+            d_keys.to_vec()
+        };
+        let mut deleted: Vec<(Rid, Tuple)> = Vec::new();
+        for &key in &keys {
+            // Find the victims through the probe index, then delete the
+            // record and immediately remove it from every index —
+            // one root-to-leaf traversal per index per record.
+            let rids = indices[pos].tree.search(key)?;
+            for rid in rids {
+                let bytes = heap.delete(rid)?;
+                for index in indices.iter_mut() {
+                    let k = schema.attr_of(&bytes, index.def.attr);
+                    let existed = index.tree.delete_one(k, rid)?;
+                    debug_assert!(existed, "index entry missing for rid {rid}");
+                }
+                for h in hash_indices.iter_mut() {
+                    h.index.delete(schema.attr_of(&bytes, h.def.attr), rid)?;
+                }
+                deleted.push((rid, schema.decode(&bytes)));
+            }
+        }
+        Ok(deleted)
+    })?;
+    report.deleted = deleted.len();
+    Ok(DeleteOutcome { report, deleted })
+}
+
+/// How `drop & create` rebuilds the dropped indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Scan + external sort + bottom-up bulk load (what a modern system,
+    /// and the commercial RDBMS of Fig. 1, does).
+    BulkLoad,
+    /// Record-at-a-time inserts into a fresh tree (the paper's prototype:
+    /// "Apparently, creating indices is slower in our prototype than in
+    /// the commercial database system" — Fig. 8's drop&create series).
+    InsertEach,
+}
+
+/// The *drop & create* baseline: drop secondary indices, delete with the
+/// probe index only (sorted traditional), rebuild the dropped indices.
+pub fn drop_create(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    rebuild: RebuildMode,
+) -> DbResult<DeleteOutcome> {
+    let (parts, ws, pool) = db.parts(tid)?;
+    probe_pos(parts.indices, probe_attr)?; // validate before measuring
+    let schema = parts.schema;
+    let heap = parts.heap;
+    let indices = parts.indices;
+    let hash_indices = parts.hash_indices;
+
+    let (deleted, mut report) = measure(&pool, "drop&create", || {
+        // Drop every index except the probe index (still needed to find
+        // the records to delete).
+        let mut dropped: Vec<IndexDef> = Vec::new();
+        let mut i = 0;
+        while i < indices.len() {
+            if indices[i].def.attr != probe_attr {
+                dropped.push(indices.remove(i).def);
+            } else {
+                i += 1;
+            }
+        }
+        let pos = indices
+            .iter()
+            .position(|ix| ix.def.attr == probe_attr)
+            .expect("probe index kept");
+        debug_assert!(pos == 0 || pos < indices.len());
+
+        // Sorted traditional delete against heap + probe index.
+        let keys: Vec<Key> =
+            sort_all(pool.clone(), d_keys.iter().copied(), ws.capacity().max(4096))?.0;
+        let mut deleted: Vec<(Rid, Tuple)> = Vec::new();
+        for &key in &keys {
+            let rids = indices[pos].tree.search(key)?;
+            for rid in rids {
+                let bytes = heap.delete(rid)?;
+                let k = schema.attr_of(&bytes, probe_attr);
+                indices[pos].tree.delete_one(k, rid)?;
+                for h in hash_indices.iter_mut() {
+                    h.index.delete(schema.attr_of(&bytes, h.def.attr), rid)?;
+                }
+                deleted.push((rid, schema.decode(&bytes)));
+            }
+        }
+
+        // Re-create the dropped indices.
+        for def in dropped {
+            let tree = match rebuild {
+                RebuildMode::BulkLoad => {
+                    let entries = heap
+                        .scan()
+                        .map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
+                    let (sorted, _) =
+                        sort_all(pool.clone(), entries, ws.capacity().max(4096))?;
+                    bd_btree::bulk_load(pool.clone(), def.config, &sorted, def.fill)?
+                }
+                RebuildMode::InsertEach => {
+                    let mut tree = bd_btree::BTree::create(pool.clone(), def.config)?;
+                    for (rid, bytes) in heap.scan() {
+                        tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
+                    }
+                    tree
+                }
+            };
+            indices.push(Index { def, tree });
+        }
+        Ok(deleted)
+    })?;
+    report.deleted = deleted.len();
+    Ok(DeleteOutcome { report, deleted })
+}
+
+/// The vertical (set-oriented) bulk delete, following `plan`.
+pub fn vertical(
+    db: &mut Database,
+    tid: TableId,
+    d_keys: &[Key],
+    plan: &DeletePlan,
+    policy: ReorgPolicy,
+) -> DbResult<DeleteOutcome> {
+    let (parts, ws, pool) = db.parts(tid)?;
+    let pos = probe_pos(parts.indices, plan.probe_attr)?;
+    // Resolve index-step positions up front (plan may be stale).
+    let step_pos: Vec<(usize, IndexMethod)> = plan
+        .index_steps
+        .iter()
+        .map(|s| {
+            parts
+                .indices
+                .iter()
+                .position(|i| i.def.attr == s.attr)
+                .map(|p| (p, s.method))
+                .ok_or(DbError::NoSuchIndex { attr: s.attr })
+        })
+        .collect::<DbResult<_>>()?;
+    let schema = parts.schema;
+    let heap = parts.heap;
+    let indices = parts.indices;
+    let hash_indices = parts.hash_indices;
+    let table_method = plan.table;
+
+    let ((deleted, phases), mut report) = measure(&pool, "bulk delete", || {
+        execute_vertical(
+            &pool, &ws, schema, heap, indices, hash_indices, pos, &step_pos, table_method,
+            d_keys, policy,
+        )
+    })?;
+    report.deleted = deleted.len();
+    report.phases = phases;
+    Ok(DeleteOutcome { report, deleted })
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Per-phase I/O deltas recorded by the vertical executor.
+type PhaseStats = Vec<(String, bd_storage::DiskStats)>;
+
+#[allow(clippy::too_many_arguments)] // split borrows of one table
+fn execute_vertical(
+    pool: &Arc<BufferPool>,
+    ws: &Arc<MemoryBudget>,
+    schema: Schema,
+    heap: &mut bd_storage::HeapFile,
+    indices: &mut [Index],
+    hash_indices: &mut [crate::catalog::HashIdx],
+    probe: usize,
+    steps: &[(usize, IndexMethod)],
+    table_method: TableMethod,
+    d_keys: &[Key],
+    policy: ReorgPolicy,
+) -> StorageResult<(Vec<(Rid, Tuple)>, PhaseStats)> {
+    let ws_bytes = ws.capacity().max(4096);
+    let mut phases: Vec<(String, bd_storage::DiskStats)> = Vec::new();
+    let mut mark = pool.disk_stats();
+    let phase = |name: String, pool: &Arc<BufferPool>,
+                     phases: &mut Vec<(String, bd_storage::DiskStats)>,
+                     mark: &mut bd_storage::DiskStats| {
+        let now = pool.disk_stats();
+        phases.push((name, now.since(mark)));
+        *mark = now;
+    };
+
+    // Step 1: sort D on the probe key (sort_D in Fig. 3).
+    let (keys, _) = sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?;
+    phase("sort(D)".into(), pool, &mut phases, &mut mark);
+
+    // Step 2: D ⋈̄ I_A — key-predicate sort/merge bulk delete; its output is
+    // the list of (A, RID) entries removed.
+    let deleted_a = bulk_delete_by_keys(&mut indices[probe].tree, &keys, policy)?;
+    phase(
+        format!("bd {} (key merge)", indices[probe].def.name),
+        pool,
+        &mut phases,
+        &mut mark,
+    );
+
+    // Step 3: ⋈̄ R — delete the records from the base table.
+    let deleted_rows: Vec<(Rid, Vec<u8>)> = match table_method {
+        TableMethod::Merge { presort } => {
+            let rids: Vec<Rid> = if presort {
+                let (sorted, _) = sort_all(
+                    pool.clone(),
+                    deleted_a.iter().map(|&(k, r)| ByRid(r, k)),
+                    ws_bytes,
+                )?;
+                sorted.into_iter().map(|b| b.0).collect()
+            } else {
+                // Clustered probe index: already in RID order.
+                let rids: Vec<Rid> = deleted_a.iter().map(|e| e.1).collect();
+                debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]));
+                rids
+            };
+            heap.bulk_delete_sorted(&rids)?
+        }
+        TableMethod::HashProbe => {
+            let set = RidSet::build(ws, deleted_a.iter().map(|e| e.1))?;
+            heap.bulk_delete_probe(set.as_set())?
+        }
+    };
+    phase("bd R (table)".into(), pool, &mut phases, &mut mark);
+
+    // Step 4: pipe the deleted rows into one ⋈̄ per remaining index.
+    for &(ipos, method) in steps {
+        let attr = indices[ipos].def.attr;
+        let tree = &mut indices[ipos].tree;
+        match method {
+            IndexMethod::SortMerge { presort } => {
+                let pairs: Vec<(Key, Rid)> = if presort {
+                    let proj = deleted_rows
+                        .iter()
+                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+                    sort_all(pool.clone(), proj, ws_bytes)?.0
+                } else {
+                    // Clustered downstream index: RID order implies key
+                    // order, so the projection arrives sorted.
+                    let pairs: Vec<(Key, Rid)> = deleted_rows
+                        .iter()
+                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                        .collect();
+                    debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+                    pairs
+                };
+                bulk_delete_sorted(tree, &pairs, policy)?;
+            }
+            IndexMethod::ClassicHash => {
+                // "On a single-processor machine the same hash table can be
+                // used" — we rebuild it per index; the footprint is
+                // identical and the build is CPU-only.
+                let set = RidSet::build(ws, deleted_rows.iter().map(|e| e.0))?;
+                bulk_delete_probe(tree, set.as_set(), None, policy)?;
+            }
+            IndexMethod::PartitionedHash { .. } => {
+                let proj = deleted_rows
+                    .iter()
+                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+                let (pairs, _) = sort_all(pool.clone(), proj, ws_bytes)?;
+                let per_part = (ws_bytes / BYTES_PER_RID).max(1);
+                for part in range_partitions(&pairs, per_part) {
+                    let set = RidSet::build(ws, part.rids())?;
+                    bulk_delete_probe(tree, set.as_set(), Some((part.lo, part.hi)), policy)?;
+                }
+            }
+        }
+        let name = indices[ipos].def.name.clone();
+        let tag = match method {
+            IndexMethod::SortMerge { .. } => "sort/merge",
+            IndexMethod::ClassicHash => "hash probe",
+            IndexMethod::PartitionedHash { .. } => "partitioned hash",
+        };
+        phase(format!("bd {name} ({tag})"), pool, &mut phases, &mut mark);
+    }
+
+    // Hash indices have no bulk-delete operator ("this work was restricted
+    // to B+-trees"): they are "updated in the traditional way", one chain
+    // walk per deleted record.
+    for h in hash_indices.iter_mut() {
+        let attr = h.def.attr;
+        for (rid, bytes) in &deleted_rows {
+            h.index.delete(schema.attr_of(bytes, attr), *rid)?;
+        }
+        phase(
+            format!("{} (traditional)", h.def.name),
+            pool,
+            &mut phases,
+            &mut mark,
+        );
+    }
+
+    Ok((
+        deleted_rows
+            .into_iter()
+            .map(|(rid, bytes)| (rid, schema.decode(&bytes)))
+            .collect(),
+        phases,
+    ))
+}
+
+/// Plan with the optimizer, then run [`vertical`]. Returns the plan used.
+pub fn vertical_auto(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    policy: ReorgPolicy,
+) -> DbResult<(DeletePlan, DeleteOutcome)> {
+    let ws_bytes = db.workspace().capacity();
+    let plan = crate::planner::plan_delete(db.table(tid)?, probe_attr, d_keys.len(), ws_bytes)?;
+    let outcome = vertical(db, tid, d_keys, &plan, policy)?;
+    Ok((plan, outcome))
+}
+
+/// Vertical bulk delete with referential-integrity enforcement: every
+/// registered constraint on `(tid, probe_attr)` is processed *vertically
+/// and early* — one read-only sorted merge per child index — before any
+/// destructive pass, "so that no work needs to be undone if an integrity
+/// constraint fails" (§2.2). CASCADE constraints trigger recursive bulk
+/// deletes on the child tables (children first, so a RESTRICT further down
+/// still aborts before the parent is touched).
+pub fn vertical_with_constraints(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    policy: ReorgPolicy,
+) -> DbResult<DeleteOutcome> {
+    let mut keys = d_keys.to_vec();
+    keys.sort_unstable();
+    keys.dedup();
+    // Guard against constraint cycles: each (table, probe attr) cascades at
+    // most once per statement.
+    let mut visited = vec![(tid, probe_attr)];
+    enforce_constraints(db, tid, probe_attr, &keys, policy, &mut visited)?;
+    let plan = crate::planner::plan_delete(
+        db.table(tid)?,
+        probe_attr,
+        keys.len(),
+        db.workspace().capacity(),
+    )?;
+    vertical(db, tid, &keys, &plan, policy)
+}
+
+/// Read-only victim resolution: the rows a bulk delete of `sorted_keys` on
+/// `(tid, probe_attr)` would remove, in RID order.
+fn collect_victim_rows(
+    db: &Database,
+    tid: TableId,
+    probe_attr: usize,
+    sorted_keys: &[Key],
+) -> DbResult<Vec<Tuple>> {
+    let table = db.table(tid)?;
+    let index = table
+        .index_on(probe_attr)
+        .ok_or(DbError::NoProbeIndex { attr: probe_attr })?;
+    let mut rids: Vec<Rid> = bd_btree::lookup_keys_sorted(&index.tree, sorted_keys)
+        .map_err(DbError::Storage)?
+        .into_iter()
+        .map(|(_, rid)| rid)
+        .collect();
+    rids.sort_unstable();
+    rids.into_iter()
+        .map(|rid| {
+            let bytes = table.heap.get(rid).map_err(DbError::Storage)?;
+            Ok(table.schema.decode(&bytes))
+        })
+        .collect()
+}
+
+/// Enforce every FK whose parent is `tid`, using the attribute values of
+/// the rows that are about to disappear. RESTRICT errors propagate before
+/// any destructive work; CASCADE deletes child tables depth-first.
+fn enforce_constraints(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    sorted_keys: &[Key],
+    policy: ReorgPolicy,
+    visited: &mut Vec<(TableId, usize)>,
+) -> DbResult<()> {
+    let fks: Vec<crate::constraint::ForeignKey> = db
+        .foreign_keys_on_table(tid)
+        .into_iter()
+        .collect();
+    if fks.is_empty() {
+        return Ok(());
+    }
+    let rows = collect_victim_rows(db, tid, probe_attr, sorted_keys)?;
+    for fk in fks {
+        // The parent values disappearing under this constraint.
+        let mut vals: Vec<Key> = rows.iter().map(|t| t.attr(fk.parent_attr)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        if let Some(child_keys) = crate::constraint::enforce(db, &fk, &vals)? {
+            if visited.contains(&(fk.child, fk.child_attr)) {
+                continue; // cycle: this edge already cascaded this statement
+            }
+            visited.push((fk.child, fk.child_attr));
+            // Depth-first: the child's own constraints run before the
+            // child is deleted, so a RESTRICT anywhere below aborts the
+            // whole statement with nothing modified.
+            enforce_constraints(db, fk.child, fk.child_attr, &child_keys, policy, visited)?;
+            let plan = crate::planner::plan_delete(
+                db.table(fk.child)?,
+                fk.child_attr,
+                child_keys.len(),
+                db.workspace().capacity(),
+            )?;
+            vertical(db, fk.child, &child_keys, &plan, policy)?;
+        }
+    }
+    Ok(())
+}
+
+/// The paper's benchmark configuration: vertical with sort/merge `⋈̄`s
+/// everywhere ("We will only present results that were obtained using
+/// sorting and merging").
+pub fn vertical_sort_merge(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+) -> DbResult<DeleteOutcome> {
+    let plan = plan_sort_merge(db.table(tid)?, probe_attr)?;
+    vertical(db, tid, d_keys, &plan, ReorgPolicy::FreeAtEmpty)
+}

@@ -1,0 +1,154 @@
+//! Schemas and tuples.
+//!
+//! The paper's table `R` has "eleven attributes A, B, ..., K. ... The first
+//! 10 attributes are random integers and the last attribute (i.e., K) is a
+//! string field containing garbage data for padding" to a 512-byte record.
+//! [`Schema::paper`] is exactly that layout; other shapes are configurable.
+
+use crate::error::{DbError, DbResult};
+
+use bd_btree::Key;
+
+/// Printable name of attribute `i` (0 = `A`).
+pub fn attr_name(i: usize) -> char {
+    (b'A' + (i as u8 % 26)) as char
+}
+
+/// Fixed-size record layout: `n_attrs` little-endian `u64`s followed by
+/// zero padding up to `record_len` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Schema {
+    /// Number of integer attributes at the front of the record.
+    pub n_attrs: usize,
+    /// Total record size in bytes (attributes + padding).
+    pub record_len: usize,
+}
+
+impl Schema {
+    /// A schema with `n_attrs` integer attributes padded to `record_len`.
+    pub fn new(n_attrs: usize, record_len: usize) -> Self {
+        assert!(record_len >= n_attrs * 8, "record too small for attributes");
+        Schema {
+            n_attrs,
+            record_len,
+        }
+    }
+
+    /// The paper's layout: 10 integer attributes, 512-byte records.
+    pub fn paper() -> Self {
+        Schema::new(10, 512)
+    }
+
+    /// Encode a tuple into a record buffer.
+    pub fn encode(&self, tuple: &Tuple) -> DbResult<Vec<u8>> {
+        if tuple.attrs.len() != self.n_attrs {
+            return Err(DbError::SchemaMismatch {
+                expected: self.n_attrs,
+                got: tuple.attrs.len(),
+            });
+        }
+        let mut buf = vec![0u8; self.record_len];
+        for (i, a) in tuple.attrs.iter().enumerate() {
+            buf[i * 8..(i + 1) * 8].copy_from_slice(&a.to_le_bytes());
+        }
+        Ok(buf)
+    }
+
+    /// Decode a record buffer into a tuple.
+    pub fn decode(&self, bytes: &[u8]) -> Tuple {
+        debug_assert!(bytes.len() >= self.n_attrs * 8);
+        let attrs = (0..self.n_attrs)
+            .map(|i| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+                u64::from_le_bytes(b)
+            })
+            .collect();
+        Tuple { attrs }
+    }
+
+    /// Read just attribute `attr` out of a record buffer (cheaper than a
+    /// full decode when only one index key is needed).
+    pub fn attr_of(&self, bytes: &[u8], attr: usize) -> Key {
+        debug_assert!(attr < self.n_attrs);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[attr * 8..(attr + 1) * 8]);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// A row: one value per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    /// Attribute values, index 0 = attribute `A`.
+    pub attrs: Vec<Key>,
+}
+
+impl Tuple {
+    /// Tuple from attribute values.
+    pub fn new(attrs: Vec<Key>) -> Self {
+        Tuple { attrs }
+    }
+
+    /// Value of attribute `i`.
+    pub fn attr(&self, i: usize) -> Key {
+        self.attrs[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_shape() {
+        let s = Schema::paper();
+        assert_eq!(s.n_attrs, 10);
+        assert_eq!(s.record_len, 512);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = Schema::new(3, 64);
+        let t = Tuple::new(vec![7, u64::MAX, 0]);
+        let bytes = s.encode(&t).unwrap();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(s.decode(&bytes), t);
+    }
+
+    #[test]
+    fn attr_of_matches_decode() {
+        let s = Schema::paper();
+        let t = Tuple::new((0..10u64).map(|i| i * 1000 + 17).collect());
+        let bytes = s.encode(&t).unwrap();
+        for i in 0..10 {
+            assert_eq!(s.attr_of(&bytes, i), t.attr(i));
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_error() {
+        let s = Schema::new(3, 64);
+        let t = Tuple::new(vec![1, 2]);
+        assert_eq!(
+            s.encode(&t).unwrap_err(),
+            DbError::SchemaMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn attr_names() {
+        assert_eq!(attr_name(0), 'A');
+        assert_eq!(attr_name(2), 'C');
+        assert_eq!(attr_name(10), 'K');
+    }
+
+    #[test]
+    #[should_panic(expected = "record too small")]
+    fn record_must_fit_attrs() {
+        let _ = Schema::new(10, 64);
+    }
+}

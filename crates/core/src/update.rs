@@ -1,0 +1,167 @@
+//! Bulk UPDATE via bulk delete + bulk insert on the affected indices.
+//!
+//! §1: "The techniques presented in this paper can also be applied to speed
+//! up UPDATE statements; for instance, increasing the salary of
+//! above-average Employees involves carrying out a bulk delete (and bulk
+//! insert) on the Emp.salary index."
+//!
+//! [`bulk_update`] applies a tuple transformation to every row matching a
+//! key list, rewriting heap records *in place* (fixed-size records keep
+//! their RIDs) and maintaining only the indices whose keys actually
+//! changed: one set-oriented bulk delete of the old entries followed by the
+//! inserts of the new ones.
+
+use std::collections::HashSet;
+
+use bd_btree::{bulk_delete_sorted, lookup_keys_sorted, Key, ReorgPolicy};
+use bd_storage::Rid;
+
+use crate::db::{Database, TableId};
+use crate::error::{DbError, DbResult};
+use crate::report::{measure, RunReport};
+use crate::tuple::Tuple;
+
+/// Result of a bulk update.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// Cost report.
+    pub report: RunReport,
+    /// Number of rows updated.
+    pub updated: usize,
+    /// Index entries moved (old entry deleted + new entry inserted),
+    /// summed over all indices.
+    pub index_entries_moved: usize,
+}
+
+/// `UPDATE <table> SET ... WHERE <probe_attr> IN (<keys>)`.
+///
+/// `transform` receives each matching tuple and mutates it. Unique
+/// constraints are validated *before* any modification (set-internal swaps
+/// are allowed; collisions with untouched rows are not). Returns an error
+/// and changes nothing on violation.
+pub fn bulk_update(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    keys: &[Key],
+    transform: impl Fn(&mut Tuple),
+) -> DbResult<UpdateOutcome> {
+    let mut keys = keys.to_vec();
+    keys.sort_unstable();
+    keys.dedup();
+
+    // Read-only victim resolution (sorted merge on the probe index).
+    let (rids, old_rows, new_rows) = {
+        let table = db.table(tid)?;
+        let index = table
+            .index_on(probe_attr)
+            .ok_or(DbError::NoProbeIndex { attr: probe_attr })?;
+        let mut rids: Vec<Rid> = lookup_keys_sorted(&index.tree, &keys)
+            .map_err(DbError::Storage)?
+            .into_iter()
+            .map(|(_, rid)| rid)
+            .collect();
+        rids.sort_unstable();
+        let mut old_rows = Vec::with_capacity(rids.len());
+        let mut new_rows = Vec::with_capacity(rids.len());
+        for &rid in &rids {
+            let bytes = table.heap.get(rid).map_err(DbError::Storage)?;
+            let old = table.schema.decode(&bytes);
+            let mut new = old.clone();
+            transform(&mut new);
+            if new.attrs.len() != table.schema.n_attrs {
+                return Err(DbError::SchemaMismatch {
+                    expected: table.schema.n_attrs,
+                    got: new.attrs.len(),
+                });
+            }
+            old_rows.push(old);
+            new_rows.push(new);
+        }
+        (rids, old_rows, new_rows)
+    };
+
+    // Validate unique constraints before touching anything.
+    {
+        let table = db.table(tid)?;
+        let updated_rids: HashSet<Rid> = rids.iter().copied().collect();
+        for index in table.indices.iter().filter(|i| i.def.unique) {
+            let attr = index.def.attr;
+            let mut seen: HashSet<Key> = HashSet::new();
+            for (i, new) in new_rows.iter().enumerate() {
+                let old_k = old_rows[i].attr(attr);
+                let new_k = new.attr(attr);
+                if !seen.insert(new_k) {
+                    return Err(DbError::DuplicateKey { attr, key: new_k });
+                }
+                if new_k == old_k {
+                    continue;
+                }
+                // Collision with a row outside the update set?
+                for rid in index.tree.search(new_k).map_err(DbError::Storage)? {
+                    if !updated_rids.contains(&rid) {
+                        return Err(DbError::DuplicateKey { attr, key: new_k });
+                    }
+                }
+            }
+        }
+    }
+
+    let (parts, _, pool) = db.parts(tid)?;
+    let schema = parts.schema;
+    let heap = parts.heap;
+    let indices = parts.indices;
+    let hash_indices = parts.hash_indices;
+    let ((updated, moved), mut report) = measure(&pool, "bulk update", || {
+        // Rewrite the heap records in place (RID order, so the pass is
+        // one sequential sweep over the affected pages).
+        for (i, &rid) in rids.iter().enumerate() {
+            let bytes = schema.encode(&new_rows[i]).expect("validated schema");
+            heap.update(rid, &bytes)?;
+        }
+        // Per index: bulk delete the changed old entries, insert the new.
+        let mut moved = 0usize;
+        for index in indices.iter_mut() {
+            let attr = index.def.attr;
+            let mut old_pairs: Vec<(Key, Rid)> = Vec::new();
+            let mut new_pairs: Vec<(Key, Rid)> = Vec::new();
+            for (i, &rid) in rids.iter().enumerate() {
+                let (ok, nk) = (old_rows[i].attr(attr), new_rows[i].attr(attr));
+                if ok != nk {
+                    old_pairs.push((ok, rid));
+                    new_pairs.push((nk, rid));
+                }
+            }
+            if old_pairs.is_empty() {
+                continue; // this index's keys did not change
+            }
+            old_pairs.sort_unstable();
+            new_pairs.sort_unstable();
+            let deleted =
+                bulk_delete_sorted(&mut index.tree, &old_pairs, ReorgPolicy::FreeAtEmpty)?;
+            debug_assert_eq!(deleted.len(), old_pairs.len());
+            for &(k, rid) in &new_pairs {
+                index.tree.insert(k, rid)?;
+            }
+            moved += new_pairs.len();
+        }
+        for h in hash_indices.iter_mut() {
+            let attr = h.def.attr;
+            for (i, &rid) in rids.iter().enumerate() {
+                let (ok, nk) = (old_rows[i].attr(attr), new_rows[i].attr(attr));
+                if ok != nk {
+                    h.index.delete(ok, rid)?;
+                    h.index.insert(nk, rid)?;
+                    moved += 1;
+                }
+            }
+        }
+        Ok((rids.len(), moved))
+    })?;
+    report.deleted = 0;
+    Ok(UpdateOutcome {
+        report,
+        updated,
+        index_entries_moved: moved,
+    })
+}

@@ -1,0 +1,785 @@
+#![warn(missing_docs)]
+
+//! Page-based R-tree with a one-pass bulk delete.
+//!
+//! §5 of the paper leaves as future work "algorithms to delete records in
+//! bulk from other index structures such as hash tables, R-trees, or grid
+//! files". This crate realizes the R-tree case:
+//!
+//! * a classic R-tree over `(x, y)` points: choose-subtree by least MBR
+//!   enlargement, sort-based node splits, window queries;
+//! * a **traditional** delete ([`RTree::delete`]) — one root-to-leaf search
+//!   per record, shrinking MBRs on the way back up;
+//! * a **bulk** delete ([`RTree::bulk_delete_probe`]) — the vertical idea
+//!   transplanted: one depth-first pass over the whole tree probes every
+//!   leaf entry against a RID hash set, rewrites leaves in place, drops
+//!   emptied subtrees (free-at-empty), and tightens ancestor MBRs on the
+//!   way back up. Each page is visited exactly once, instead of one
+//!   root-to-leaf traversal per record.
+//!
+//! Node page layout:
+//!
+//! ```text
+//! 0..2   node_type (u16)  0 = leaf, 1 = inner
+//! 2..4   n_entries (u16)
+//! 4..16  reserved
+//! 16..   entries:
+//!   leaf : (x u64, y u64, rid u64)                      24 bytes
+//!   inner: (x_lo u64, y_lo u64, x_hi u64, y_hi u64, child u32)  36 bytes
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bd_storage::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
+use bd_storage::{BufferPool, PageId, Rid, StorageResult, PAGE_SIZE};
+
+/// Coordinate type.
+pub type Coord = u64;
+
+/// A point entry in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PointEntry {
+    /// X coordinate.
+    pub x: Coord,
+    /// Y coordinate.
+    pub y: Coord,
+    /// Record id.
+    pub rid: Rid,
+}
+
+/// An axis-aligned rectangle (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Lower x bound.
+    pub x_lo: Coord,
+    /// Lower y bound.
+    pub y_lo: Coord,
+    /// Upper x bound.
+    pub x_hi: Coord,
+    /// Upper y bound.
+    pub y_hi: Coord,
+}
+
+impl Rect {
+    /// A degenerate rectangle at a point.
+    pub fn point(x: Coord, y: Coord) -> Rect {
+        Rect {
+            x_lo: x,
+            y_lo: y,
+            x_hi: x,
+            y_hi: y,
+        }
+    }
+
+    /// A rectangle from corners.
+    pub fn new(x_lo: Coord, y_lo: Coord, x_hi: Coord, y_hi: Coord) -> Rect {
+        debug_assert!(x_lo <= x_hi && y_lo <= y_hi);
+        Rect { x_lo, y_lo, x_hi, y_hi }
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(self, other: Rect) -> Rect {
+        Rect {
+            x_lo: self.x_lo.min(other.x_lo),
+            y_lo: self.y_lo.min(other.y_lo),
+            x_hi: self.x_hi.max(other.x_hi),
+            y_hi: self.y_hi.max(other.y_hi),
+        }
+    }
+
+    /// Area (in u128 to avoid overflow of u64 coordinates).
+    pub fn area(self) -> u128 {
+        (self.x_hi - self.x_lo) as u128 * (self.y_hi - self.y_lo) as u128
+    }
+
+    /// Area growth needed to absorb `other`.
+    pub fn enlargement(self, other: Rect) -> u128 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True if the rectangles overlap (inclusive).
+    pub fn intersects(self, other: Rect) -> bool {
+        self.x_lo <= other.x_hi
+            && other.x_lo <= self.x_hi
+            && self.y_lo <= other.y_hi
+            && other.y_lo <= self.y_hi
+    }
+
+    /// True if `self` contains `other` entirely.
+    pub fn contains(self, other: Rect) -> bool {
+        self.x_lo <= other.x_lo
+            && self.y_lo <= other.y_lo
+            && self.x_hi >= other.x_hi
+            && self.y_hi >= other.y_hi
+    }
+}
+
+const PAYLOAD: usize = 16;
+const LEAF_ENTRY: usize = 24;
+const INNER_ENTRY: usize = 36;
+
+/// Maximum leaf entries per page.
+pub const MAX_LEAF_CAP: usize = (PAGE_SIZE - PAYLOAD) / LEAF_ENTRY;
+/// Maximum inner entries per page.
+pub const MAX_INNER_CAP: usize = (PAGE_SIZE - PAYLOAD) / INNER_ENTRY;
+
+fn is_leaf(buf: &[u8]) -> bool {
+    get_u16(buf, 0) == 0
+}
+
+fn set_kind(buf: &mut [u8], leaf: bool) {
+    put_u16(buf, 0, if leaf { 0 } else { 1 });
+}
+
+fn n_of(buf: &[u8]) -> usize {
+    get_u16(buf, 2) as usize
+}
+
+fn set_n(buf: &mut [u8], n: usize) {
+    put_u16(buf, 2, n as u16);
+}
+
+fn leaf_entry(buf: &[u8], i: usize) -> PointEntry {
+    let off = PAYLOAD + i * LEAF_ENTRY;
+    PointEntry {
+        x: get_u64(buf, off),
+        y: get_u64(buf, off + 8),
+        rid: Rid::from_u64(get_u64(buf, off + 16)),
+    }
+}
+
+fn set_leaf_entry(buf: &mut [u8], i: usize, e: PointEntry) {
+    let off = PAYLOAD + i * LEAF_ENTRY;
+    put_u64(buf, off, e.x);
+    put_u64(buf, off + 8, e.y);
+    put_u64(buf, off + 16, e.rid.to_u64());
+}
+
+fn inner_entry(buf: &[u8], i: usize) -> (Rect, PageId) {
+    let off = PAYLOAD + i * INNER_ENTRY;
+    (
+        Rect {
+            x_lo: get_u64(buf, off),
+            y_lo: get_u64(buf, off + 8),
+            x_hi: get_u64(buf, off + 16),
+            y_hi: get_u64(buf, off + 24),
+        },
+        get_u32(buf, off + 32),
+    )
+}
+
+fn set_inner_entry(buf: &mut [u8], i: usize, r: Rect, child: PageId) {
+    let off = PAYLOAD + i * INNER_ENTRY;
+    put_u64(buf, off, r.x_lo);
+    put_u64(buf, off + 8, r.y_lo);
+    put_u64(buf, off + 16, r.x_hi);
+    put_u64(buf, off + 24, r.y_hi);
+    put_u32(buf, off + 32, child);
+}
+
+/// Node capacities (lowered in tests to force deep trees).
+#[derive(Debug, Clone, Copy)]
+pub struct RTreeConfig {
+    /// Max entries per leaf.
+    pub leaf_cap: usize,
+    /// Max entries per inner node.
+    pub inner_cap: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            leaf_cap: MAX_LEAF_CAP,
+            inner_cap: MAX_INNER_CAP,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Cap both node kinds at `fanout`.
+    pub fn with_fanout(fanout: usize) -> Self {
+        RTreeConfig {
+            leaf_cap: fanout.clamp(2, MAX_LEAF_CAP),
+            inner_cap: fanout.clamp(2, MAX_INNER_CAP),
+        }
+    }
+}
+
+/// A point R-tree over a buffer pool.
+pub struct RTree {
+    pool: Arc<BufferPool>,
+    cfg: RTreeConfig,
+    root: PageId,
+    height: usize,
+    n_entries: usize,
+}
+
+enum InsertResult {
+    /// Child absorbed the entry; its new MBR.
+    Fit(Rect),
+    /// Child split; its new MBR plus the new sibling's (rect, page).
+    Split(Rect, Rect, PageId),
+}
+
+impl RTree {
+    /// Create an empty tree.
+    pub fn create(pool: Arc<BufferPool>, cfg: RTreeConfig) -> StorageResult<Self> {
+        let (root, mut w) = pool.new_page()?;
+        set_kind(&mut w[..], true);
+        set_n(&mut w[..], 0);
+        drop(w);
+        Ok(RTree {
+            pool,
+            cfg,
+            root,
+            height: 1,
+            n_entries: 0,
+        })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.n_entries
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_entries == 0
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Insert a point entry.
+    pub fn insert(&mut self, e: PointEntry) -> StorageResult<()> {
+        match self.insert_rec(self.root, e)? {
+            InsertResult::Fit(_) => {}
+            InsertResult::Split(left_rect, right_rect, right_pid) => {
+                // Grow a new root.
+                let (new_root, mut w) = self.pool.new_page()?;
+                set_kind(&mut w[..], false);
+                set_n(&mut w[..], 2);
+                set_inner_entry(&mut w[..], 0, left_rect, self.root);
+                set_inner_entry(&mut w[..], 1, right_rect, right_pid);
+                drop(w);
+                self.root = new_root;
+                self.height += 1;
+            }
+        }
+        self.n_entries += 1;
+        Ok(())
+    }
+
+    fn insert_rec(&mut self, pid: PageId, e: PointEntry) -> StorageResult<InsertResult> {
+        let point = Rect::point(e.x, e.y);
+        // Read what we need, then release the pin before recursing.
+        let (leaf, n) = {
+            let r = self.pool.pin_read(pid)?;
+            (is_leaf(&r[..]), n_of(&r[..]))
+        };
+        if leaf {
+            if n < self.cfg.leaf_cap {
+                let mut w = self.pool.pin_write(pid)?;
+                set_leaf_entry(&mut w[..], n, e);
+                set_n(&mut w[..], n + 1);
+                let mbr = Self::leaf_mbr(&w[..]);
+                return Ok(InsertResult::Fit(mbr));
+            }
+            // Split: sort by x (then y), halve.
+            let mut entries: Vec<PointEntry> = {
+                let r = self.pool.pin_read(pid)?;
+                (0..n).map(|i| leaf_entry(&r[..], i)).collect()
+            };
+            entries.push(e);
+            entries.sort_unstable_by_key(|p| (p.x, p.y));
+            let mid = entries.len() / 2;
+            let (left, right) = entries.split_at(mid);
+            let mut w = self.pool.pin_write(pid)?;
+            set_n(&mut w[..], left.len());
+            for (i, &le) in left.iter().enumerate() {
+                set_leaf_entry(&mut w[..], i, le);
+            }
+            let left_mbr = Self::leaf_mbr(&w[..]);
+            drop(w);
+            let (new_pid, mut nw) = self.pool.new_page()?;
+            set_kind(&mut nw[..], true);
+            set_n(&mut nw[..], right.len());
+            for (i, &re) in right.iter().enumerate() {
+                set_leaf_entry(&mut nw[..], i, re);
+            }
+            let right_mbr = Self::leaf_mbr(&nw[..]);
+            return Ok(InsertResult::Split(left_mbr, right_mbr, new_pid));
+        }
+
+        // Inner: choose the child needing least enlargement.
+        let (best_i, best_child) = {
+            let r = self.pool.pin_read(pid)?;
+            let mut best = (0usize, u128::MAX, u128::MAX);
+            for i in 0..n {
+                let (rect, _) = inner_entry(&r[..], i);
+                let grow = rect.enlargement(point);
+                let area = rect.area();
+                if (grow, area) < (best.1, best.2) {
+                    best = (i, grow, area);
+                }
+            }
+            let (_, child) = inner_entry(&r[..], best.0);
+            (best.0, child)
+        };
+        match self.insert_rec(best_child, e)? {
+            InsertResult::Fit(child_mbr) => {
+                let mut w = self.pool.pin_write(pid)?;
+                set_inner_entry(&mut w[..], best_i, child_mbr, best_child);
+                Ok(InsertResult::Fit(Self::inner_mbr(&w[..])))
+            }
+            InsertResult::Split(left_rect, right_rect, right_pid) => {
+                let mut w = self.pool.pin_write(pid)?;
+                set_inner_entry(&mut w[..], best_i, left_rect, best_child);
+                let n = n_of(&w[..]);
+                if n < self.cfg.inner_cap {
+                    set_inner_entry(&mut w[..], n, right_rect, right_pid);
+                    set_n(&mut w[..], n + 1);
+                    return Ok(InsertResult::Fit(Self::inner_mbr(&w[..])));
+                }
+                // Split the inner node: sort children by rect.x_lo, halve.
+                let mut children: Vec<(Rect, PageId)> =
+                    (0..n).map(|i| inner_entry(&w[..], i)).collect();
+                children.push((right_rect, right_pid));
+                children.sort_unstable_by_key(|(r, _)| (r.x_lo, r.y_lo));
+                let mid = children.len() / 2;
+                let (left, right) = children.split_at(mid);
+                set_n(&mut w[..], left.len());
+                for (i, &(r, c)) in left.iter().enumerate() {
+                    set_inner_entry(&mut w[..], i, r, c);
+                }
+                let left_mbr = Self::inner_mbr(&w[..]);
+                drop(w);
+                let (new_pid, mut nw) = self.pool.new_page()?;
+                set_kind(&mut nw[..], false);
+                set_n(&mut nw[..], right.len());
+                for (i, &(r, c)) in right.iter().enumerate() {
+                    set_inner_entry(&mut nw[..], i, r, c);
+                }
+                let right_mbr = Self::inner_mbr(&nw[..]);
+                Ok(InsertResult::Split(left_mbr, right_mbr, new_pid))
+            }
+        }
+    }
+
+    fn leaf_mbr(buf: &[u8]) -> Rect {
+        let n = n_of(buf);
+        debug_assert!(n > 0);
+        let e0 = leaf_entry(buf, 0);
+        let mut mbr = Rect::point(e0.x, e0.y);
+        for i in 1..n {
+            let e = leaf_entry(buf, i);
+            mbr = mbr.union(Rect::point(e.x, e.y));
+        }
+        mbr
+    }
+
+    fn inner_mbr(buf: &[u8]) -> Rect {
+        let n = n_of(buf);
+        debug_assert!(n > 0);
+        let (mut mbr, _) = inner_entry(buf, 0);
+        for i in 1..n {
+            mbr = mbr.union(inner_entry(buf, i).0);
+        }
+        mbr
+    }
+
+    /// All entries inside `window` (inclusive).
+    pub fn search_window(&self, window: Rect) -> StorageResult<Vec<PointEntry>> {
+        let mut out = Vec::new();
+        self.search_rec(self.root, window, &mut out)?;
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn search_rec(
+        &self,
+        pid: PageId,
+        window: Rect,
+        out: &mut Vec<PointEntry>,
+    ) -> StorageResult<()> {
+        let (leaf, n, children) = {
+            let r = self.pool.pin_read(pid)?;
+            if is_leaf(&r[..]) {
+                for i in 0..n_of(&r[..]) {
+                    let e = leaf_entry(&r[..], i);
+                    if window.intersects(Rect::point(e.x, e.y)) {
+                        out.push(e);
+                    }
+                }
+                (true, 0, Vec::new())
+            } else {
+                let n = n_of(&r[..]);
+                let children: Vec<PageId> = (0..n)
+                    .filter(|&i| inner_entry(&r[..], i).0.intersects(window))
+                    .map(|i| inner_entry(&r[..], i).1)
+                    .collect();
+                (false, n, children)
+            }
+        };
+        let _ = n;
+        if !leaf {
+            for c in children {
+                self.search_rec(c, window, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Traditional delete: one root-to-leaf search per record, MBRs
+    /// tightened on the way back up. Returns `true` if the entry existed.
+    pub fn delete(&mut self, e: PointEntry) -> StorageResult<bool> {
+        let found = self.delete_rec(self.root, e)?.is_some();
+        if found {
+            self.n_entries -= 1;
+            self.collapse_root()?;
+        }
+        Ok(found)
+    }
+
+    /// Returns the node's new MBR (None = node emptied and should be
+    /// dropped by the parent) wrapped in Some if the delete happened.
+    fn delete_rec(&mut self, pid: PageId, e: PointEntry) -> StorageResult<Option<Option<Rect>>> {
+        let point = Rect::point(e.x, e.y);
+        let leaf = {
+            let r = self.pool.pin_read(pid)?;
+            is_leaf(&r[..])
+        };
+        if leaf {
+            let mut w = self.pool.pin_write(pid)?;
+            let n = n_of(&w[..]);
+            for i in 0..n {
+                if leaf_entry(&w[..], i) == e {
+                    let last = leaf_entry(&w[..], n - 1);
+                    set_leaf_entry(&mut w[..], i, last);
+                    set_n(&mut w[..], n - 1);
+                    let mbr = (n > 1).then(|| Self::leaf_mbr(&w[..]));
+                    return Ok(Some(mbr));
+                }
+            }
+            return Ok(None);
+        }
+        let candidates: Vec<(usize, Rect, PageId)> = {
+            let r = self.pool.pin_read(pid)?;
+            (0..n_of(&r[..]))
+                .map(|i| {
+                    let (rect, child) = inner_entry(&r[..], i);
+                    (i, rect, child)
+                })
+                .filter(|(_, rect, _)| rect.contains(point))
+                .collect()
+        };
+        for (i, _, child) in candidates {
+            if let Some(child_mbr) = self.delete_rec(child, e)? {
+                let mut w = self.pool.pin_write(pid)?;
+                match child_mbr {
+                    Some(rect) => set_inner_entry(&mut w[..], i, rect, child),
+                    None => {
+                        // Free-at-empty: drop the child entry (swap-remove).
+                        let n = n_of(&w[..]);
+                        let last = inner_entry(&w[..], n - 1);
+                        set_inner_entry(&mut w[..], i, last.0, last.1);
+                        set_n(&mut w[..], n - 1);
+                    }
+                }
+                let n = n_of(&w[..]);
+                let mbr = (n > 0).then(|| Self::inner_mbr(&w[..]));
+                return Ok(Some(mbr));
+            }
+        }
+        Ok(None)
+    }
+
+    fn collapse_root(&mut self) -> StorageResult<()> {
+        loop {
+            let r = self.pool.pin_read(self.root)?;
+            if !is_leaf(&r[..]) && n_of(&r[..]) == 1 {
+                let (_, only) = inner_entry(&r[..], 0);
+                drop(r);
+                self.root = only;
+                self.height -= 1;
+            } else if !is_leaf(&r[..]) && n_of(&r[..]) == 0 {
+                // Tree emptied: fresh leaf root.
+                drop(r);
+                let (new_root, mut w) = self.pool.new_page()?;
+                set_kind(&mut w[..], true);
+                set_n(&mut w[..], 0);
+                drop(w);
+                self.root = new_root;
+                self.height = 1;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// **Bulk delete** (the paper's future work, realized): one depth-first
+    /// pass probes every leaf entry against the RID set, rewrites leaves in
+    /// place, drops emptied subtrees, and tightens every ancestor MBR on
+    /// the way back up — each page visited exactly once, instead of one
+    /// root-to-leaf traversal per victim.
+    pub fn bulk_delete_probe(
+        &mut self,
+        victims: &HashSet<Rid>,
+    ) -> StorageResult<Vec<PointEntry>> {
+        let mut deleted = Vec::new();
+        self.bulk_rec(self.root, victims, &mut deleted)?;
+        self.n_entries -= deleted.len();
+        self.collapse_root()?;
+        deleted.sort_unstable();
+        Ok(deleted)
+    }
+
+    /// Returns the node's new MBR, or None if it emptied.
+    fn bulk_rec(
+        &mut self,
+        pid: PageId,
+        victims: &HashSet<Rid>,
+        deleted: &mut Vec<PointEntry>,
+    ) -> StorageResult<Option<Rect>> {
+        let leaf = {
+            let r = self.pool.pin_read(pid)?;
+            is_leaf(&r[..])
+        };
+        if leaf {
+            let mut w = self.pool.pin_write(pid)?;
+            let n = n_of(&w[..]);
+            let mut kept = 0usize;
+            for i in 0..n {
+                let e = leaf_entry(&w[..], i);
+                if victims.contains(&e.rid) {
+                    deleted.push(e);
+                } else {
+                    set_leaf_entry(&mut w[..], kept, e);
+                    kept += 1;
+                }
+            }
+            set_n(&mut w[..], kept);
+            return Ok((kept > 0).then(|| Self::leaf_mbr(&w[..])));
+        }
+        let children: Vec<(Rect, PageId)> = {
+            let r = self.pool.pin_read(pid)?;
+            (0..n_of(&r[..])).map(|i| inner_entry(&r[..], i)).collect()
+        };
+        let mut kept: Vec<(Rect, PageId)> = Vec::with_capacity(children.len());
+        for (_, child) in children {
+            if let Some(mbr) = self.bulk_rec(child, victims, deleted)? {
+                kept.push((mbr, child));
+            }
+        }
+        let mut w = self.pool.pin_write(pid)?;
+        set_n(&mut w[..], kept.len());
+        for (i, &(r, c)) in kept.iter().enumerate() {
+            set_inner_entry(&mut w[..], i, r, c);
+        }
+        Ok((!kept.is_empty()).then(|| Self::inner_mbr(&w[..])))
+    }
+
+    /// Verify MBR-containment invariants and entry count; returns all
+    /// entries (sorted).
+    pub fn verify(&self) -> StorageResult<Vec<PointEntry>> {
+        let mut out = Vec::new();
+        self.verify_rec(self.root, None, &mut out)?;
+        assert_eq!(out.len(), self.n_entries, "entry count mismatch");
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn verify_rec(
+        &self,
+        pid: PageId,
+        bound: Option<Rect>,
+        out: &mut Vec<PointEntry>,
+    ) -> StorageResult<()> {
+        let r = self.pool.pin_read(pid)?;
+        if is_leaf(&r[..]) {
+            for i in 0..n_of(&r[..]) {
+                let e = leaf_entry(&r[..], i);
+                if let Some(b) = bound {
+                    assert!(
+                        b.contains(Rect::point(e.x, e.y)),
+                        "leaf entry outside parent MBR"
+                    );
+                }
+                out.push(e);
+            }
+            return Ok(());
+        }
+        let entries: Vec<(Rect, PageId)> =
+            (0..n_of(&r[..])).map(|i| inner_entry(&r[..], i)).collect();
+        drop(r);
+        for (rect, child) in entries {
+            if let Some(b) = bound {
+                assert!(b.contains(rect), "child MBR outside parent MBR");
+            }
+            self.verify_rec(child, Some(rect), out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_storage::{CostModel, SimDisk};
+
+    fn pool() -> Arc<BufferPool> {
+        BufferPool::new(SimDisk::new(CostModel::default()), 2048)
+    }
+
+    fn pt(x: Coord, y: Coord, i: u32) -> PointEntry {
+        PointEntry {
+            x,
+            y,
+            rid: Rid::new(i, 0),
+        }
+    }
+
+    fn grid_points(side: u64) -> Vec<PointEntry> {
+        (0..side * side)
+            .map(|i| pt((i % side) * 10, (i / side) * 10, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_window_search() {
+        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
+        for e in grid_points(20) {
+            t.insert(e).unwrap();
+        }
+        assert_eq!(t.len(), 400);
+        assert!(t.height() > 1);
+        let hits = t.search_window(Rect::new(0, 0, 35, 35)).unwrap();
+        assert_eq!(hits.len(), 16); // 4x4 grid cells
+        let all = t.search_window(Rect::new(0, 0, u64::MAX, u64::MAX)).unwrap();
+        assert_eq!(all.len(), 400);
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn traditional_delete_shrinks_mbrs() {
+        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(6)).unwrap();
+        let pts = grid_points(12);
+        for &e in &pts {
+            t.insert(e).unwrap();
+        }
+        for &e in pts.iter().step_by(3) {
+            assert!(t.delete(e).unwrap(), "{e:?}");
+        }
+        assert!(!t.delete(pts[0]).unwrap(), "double delete");
+        assert_eq!(t.len(), pts.len() - pts.len().div_ceil(3));
+        t.verify().unwrap();
+        // Survivors still findable.
+        let hits = t.search_window(Rect::new(0, 0, u64::MAX, u64::MAX)).unwrap();
+        assert_eq!(hits.len(), t.len());
+    }
+
+    #[test]
+    fn bulk_delete_matches_traditional() {
+        let pts = grid_points(16);
+        let victims: Vec<PointEntry> = pts.iter().copied().step_by(2).collect();
+
+        let mut trad = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
+        let mut bulk = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
+        for &e in &pts {
+            trad.insert(e).unwrap();
+            bulk.insert(e).unwrap();
+        }
+        for &e in &victims {
+            assert!(trad.delete(e).unwrap());
+        }
+        let set: HashSet<Rid> = victims.iter().map(|e| e.rid).collect();
+        let deleted = bulk.bulk_delete_probe(&set).unwrap();
+        assert_eq!(deleted.len(), victims.len());
+
+        let a = trad.verify().unwrap();
+        let b = bulk.verify().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_delete_everything() {
+        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(5)).unwrap();
+        let pts = grid_points(10);
+        for &e in &pts {
+            t.insert(e).unwrap();
+        }
+        let set: HashSet<Rid> = pts.iter().map(|e| e.rid).collect();
+        let deleted = t.bulk_delete_probe(&set).unwrap();
+        assert_eq!(deleted.len(), 100);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        // Still usable.
+        t.insert(pt(5, 5, 9999)).unwrap();
+        assert_eq!(t.search_window(Rect::point(5, 5)).unwrap().len(), 1);
+        t.verify().unwrap();
+    }
+
+    #[test]
+    fn bulk_delete_visits_each_page_once() {
+        let mut t = RTree::create(pool(), RTreeConfig::default()).unwrap();
+        let pts = grid_points(50); // 2500 points
+        for &e in &pts {
+            t.insert(e).unwrap();
+        }
+        let victims: HashSet<Rid> = pts.iter().step_by(4).map(|e| e.rid).collect();
+
+        // Traditional: one traversal per victim.
+        let mut trad = RTree::create(pool(), RTreeConfig::default()).unwrap();
+        for &e in &pts {
+            trad.insert(e).unwrap();
+        }
+        let p_bulk = t.pool.clone();
+        let p_trad = trad.pool.clone();
+        p_bulk.clear_cache().unwrap();
+        p_bulk.reset_stats();
+        t.bulk_delete_probe(&victims).unwrap();
+        let bulk_reads = p_bulk.pool_stats().misses;
+
+        p_trad.clear_cache().unwrap();
+        p_trad.reset_stats();
+        for e in pts.iter().step_by(4) {
+            trad.delete(*e).unwrap();
+        }
+        let _trad_reads = p_trad.pool_stats().misses;
+        // Bulk touches each page once: misses bounded by page count.
+        assert!(bulk_reads <= 64, "bulk read {bulk_reads} pages");
+        t.verify().unwrap();
+        trad.verify().unwrap();
+    }
+
+    #[test]
+    fn random_points_model_check() {
+        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(7)).unwrap();
+        let mut x = 1234u64;
+        let mut model = Vec::new();
+        for i in 0..1500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let e = pt(x % 10_000, (x >> 32) % 10_000, i);
+            t.insert(e).unwrap();
+            model.push(e);
+        }
+        // Window query cross-check.
+        let win = Rect::new(2000, 2000, 6000, 6000);
+        let mut expect: Vec<PointEntry> = model
+            .iter()
+            .copied()
+            .filter(|e| win.intersects(Rect::point(e.x, e.y)))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(t.search_window(win).unwrap(), expect);
+        // Bulk delete the window contents.
+        let set: HashSet<Rid> = expect.iter().map(|e| e.rid).collect();
+        let deleted = t.bulk_delete_probe(&set).unwrap();
+        assert_eq!(deleted, expect);
+        assert!(t.search_window(win).unwrap().is_empty());
+        t.verify().unwrap();
+    }
+}

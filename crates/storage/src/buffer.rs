@@ -1,0 +1,544 @@
+//! Buffer pool: a bounded page cache over the simulated disk.
+//!
+//! The paper's prototype "uses only 10 MB of main memory" and varies this
+//! between 2 and 10 MB (Experiment 4). A [`BufferPool`] is created with a
+//! frame budget derived from those byte budgets. Pages are pinned for read
+//! or write through RAII guards; unpinned frames are evicted LRU, writing
+//! dirty pages back to disk. [`BufferPool::prefetch_run`] implements the
+//! chained I/O the paper's traditional algorithm uses "to read chunks of
+//! several pages from disk".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{Mutex, RawRwLock, RwLock};
+
+use crate::disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageBuf;
+
+type ReadGuard = ArcRwLockReadGuard<RawRwLock, PageBuf>;
+type WriteGuard = ArcRwLockWriteGuard<RawRwLock, PageBuf>;
+
+struct Frame {
+    pid: PageId,
+    data: Arc<RwLock<PageBuf>>,
+    pin: AtomicUsize,
+    dirty: AtomicBool,
+    last_used: AtomicU64,
+}
+
+struct Inner {
+    frames: HashMap<PageId, Arc<Frame>>,
+    tick: u64,
+}
+
+/// Cache hit/miss counters for the pool itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that had to read the page from disk.
+    pub misses: u64,
+    /// Dirty pages written back during eviction or flush.
+    pub writebacks: u64,
+}
+
+/// Bounded LRU page cache over a [`SimDisk`].
+pub struct BufferPool {
+    disk: Mutex<SimDisk>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// Pool with room for `capacity` pages.
+    pub fn new(disk: SimDisk, capacity: usize) -> Arc<Self> {
+        assert!(capacity >= 2, "buffer pool needs at least 2 frames");
+        Arc::new(BufferPool {
+            disk: Mutex::new(disk),
+            capacity,
+            inner: Mutex::new(Inner {
+                frames: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        })
+    }
+
+    /// Pool sized from a byte budget (the paper's "5 MB memory" style
+    /// figures), rounding down to whole frames.
+    pub fn with_byte_budget(disk: SimDisk, bytes: usize) -> Arc<Self> {
+        BufferPool::new(disk, (bytes / PAGE_SIZE).max(2))
+    }
+
+    /// Frame capacity of the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate one fresh page on disk (not yet resident).
+    pub fn allocate(&self) -> PageId {
+        self.disk.lock().allocate()
+    }
+
+    /// Allocate `n` contiguous pages on disk, returning the first id.
+    pub fn allocate_contiguous(&self, n: usize) -> PageId {
+        self.disk.lock().allocate_contiguous(n)
+    }
+
+    /// Run a closure against the raw disk (used by temp segments, which
+    /// deliberately bypass the cache).
+    pub fn with_disk<R>(&self, f: impl FnOnce(&mut SimDisk) -> R) -> R {
+        f(&mut self.disk.lock())
+    }
+
+    /// Snapshot of the underlying disk's counters.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.lock().stats()
+    }
+
+    /// Reset the underlying disk's counters and the pool's hit counters.
+    pub fn reset_stats(&self) {
+        self.disk.lock().reset_stats();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Pool-level hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn touch(inner: &mut Inner, frame: &Frame) {
+        inner.tick += 1;
+        frame.last_used.store(inner.tick, Ordering::Relaxed);
+    }
+
+    /// Write back every dirty unpinned frame in ascending page order, using
+    /// chained writes for contiguous runs (write clustering, as a real
+    /// background writer would). Caller holds `inner`.
+    fn write_cluster(&self, inner: &mut Inner) -> StorageResult<()> {
+        let mut dirty: Vec<Arc<Frame>> = inner
+            .frames
+            .values()
+            .filter(|f| {
+                f.dirty.load(Ordering::Acquire) && f.pin.load(Ordering::Acquire) == 0
+            })
+            .cloned()
+            .collect();
+        dirty.sort_by_key(|f| f.pid);
+        let mut disk = self.disk.lock();
+        let mut i = 0;
+        while i < dirty.len() {
+            let start = dirty[i].pid;
+            let mut len = 1;
+            while i + len < dirty.len() && dirty[i + len].pid == start + len as PageId {
+                len += 1;
+            }
+            let run = &dirty[i..i + len];
+            disk.write_chain(start, len, |pid, page| {
+                let frame = &run[(pid - start) as usize];
+                page.copy_from_slice(&frame.data.read()[..]);
+                frame.dirty.store(false, Ordering::Release);
+            })?;
+            self.writebacks.fetch_add(len as u64, Ordering::Relaxed);
+            i += len;
+        }
+        Ok(())
+    }
+
+    /// Evict one unpinned frame (LRU). Caller holds `inner`.
+    fn evict_one(&self, inner: &mut Inner) -> StorageResult<()> {
+        let victim = inner
+            .frames
+            .values()
+            .filter(|f| f.pin.load(Ordering::Acquire) == 0)
+            .min_by_key(|f| f.last_used.load(Ordering::Relaxed))
+            .map(|f| f.pid);
+        let pid = victim.ok_or(StorageError::BufferExhausted)?;
+        if inner.frames[&pid].dirty.load(Ordering::Acquire) {
+            // Eviction hit a dirty page: clean the whole pool in one
+            // clustered pass so scans do not interleave random writes.
+            self.write_cluster(inner)?;
+        }
+        inner.frames.remove(&pid).expect("victim frame present");
+        Ok(())
+    }
+
+    /// Get or load the frame for `pid`, pinned once.
+    fn pin_frame(&self, pid: PageId) -> StorageResult<Arc<Frame>> {
+        let mut inner = self.inner.lock();
+        if let Some(frame) = inner.frames.get(&pid).cloned() {
+            frame.pin.fetch_add(1, Ordering::AcqRel);
+            Self::touch(&mut inner, &frame);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(frame);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        while inner.frames.len() >= self.capacity {
+            self.evict_one(&mut inner)?;
+        }
+        let mut buf: PageBuf = Box::new([0u8; PAGE_SIZE]);
+        self.disk.lock().read(pid, &mut buf)?;
+        let frame = Arc::new(Frame {
+            pid,
+            data: Arc::new(RwLock::new(buf)),
+            pin: AtomicUsize::new(1),
+            dirty: AtomicBool::new(false),
+            last_used: AtomicU64::new(0),
+        });
+        Self::touch(&mut inner, &frame);
+        inner.frames.insert(pid, frame.clone());
+        Ok(frame)
+    }
+
+    /// Pin `pid` for reading.
+    pub fn pin_read(&self, pid: PageId) -> StorageResult<PageRead> {
+        let frame = self.pin_frame(pid)?;
+        let guard = frame.data.read_arc();
+        Ok(PageRead { frame, guard })
+    }
+
+    /// Pin `pid` for writing; the page is marked dirty.
+    pub fn pin_write(&self, pid: PageId) -> StorageResult<PageWrite> {
+        let frame = self.pin_frame(pid)?;
+        frame.dirty.store(true, Ordering::Release);
+        let guard = frame.data.write_arc();
+        Ok(PageWrite { frame, guard })
+    }
+
+    /// Allocate a fresh page and pin it for writing without a disk read.
+    pub fn new_page(&self) -> StorageResult<(PageId, PageWrite)> {
+        let pid = self.allocate();
+        let mut inner = self.inner.lock();
+        while inner.frames.len() >= self.capacity {
+            self.evict_one(&mut inner)?;
+        }
+        let frame = Arc::new(Frame {
+            pid,
+            data: Arc::new(RwLock::new(Box::new([0u8; PAGE_SIZE]))),
+            pin: AtomicUsize::new(1),
+            dirty: AtomicBool::new(true),
+            last_used: AtomicU64::new(0),
+        });
+        Self::touch(&mut inner, &frame);
+        inner.frames.insert(pid, frame.clone());
+        drop(inner);
+        let guard = frame.data.write_arc();
+        Ok((pid, PageWrite { frame, guard }))
+    }
+
+    /// Prefetch the contiguous run `first .. first + n` with chained reads.
+    /// Missing stretches are read with one positioning cost each. `n` must
+    /// not exceed the pool capacity.
+    pub fn prefetch_run(&self, first: PageId, n: usize) -> StorageResult<()> {
+        assert!(n <= self.capacity, "prefetch run exceeds pool capacity");
+        let mut inner = self.inner.lock();
+        // Collect the missing stretch boundaries.
+        let mut missing: Vec<PageId> = (0..n as PageId)
+            .map(|i| first + i)
+            .filter(|pid| !inner.frames.contains_key(pid))
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        while inner.frames.len() + missing.len() > self.capacity {
+            self.evict_one(&mut inner)?;
+        }
+        let mut disk = self.disk.lock();
+        while !missing.is_empty() {
+            // Longest contiguous prefix of the missing list.
+            let start = missing[0];
+            let mut len = 1;
+            while len < missing.len() && missing[len] == start + len as PageId {
+                len += 1;
+            }
+            let mut loaded: Vec<(PageId, PageBuf)> = Vec::with_capacity(len);
+            disk.read_chain(start, len, |pid, bytes| {
+                loaded.push((pid, Box::new(*bytes)));
+            })?;
+            for (pid, buf) in loaded {
+                let frame = Arc::new(Frame {
+                    pid,
+                    data: Arc::new(RwLock::new(buf)),
+                    pin: AtomicUsize::new(0),
+                    dirty: AtomicBool::new(false),
+                    last_used: AtomicU64::new(0),
+                });
+                Self::touch(&mut inner, &frame);
+                inner.frames.insert(pid, frame);
+            }
+            missing.drain(..len);
+        }
+        Ok(())
+    }
+
+    /// Whether `pid` is currently resident.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.inner.lock().frames.contains_key(&pid)
+    }
+
+    /// Write all dirty frames back to disk (frames stay resident and clean).
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let inner = self.inner.lock();
+        let mut dirty: Vec<Arc<Frame>> = inner
+            .frames
+            .values()
+            .filter(|f| f.dirty.load(Ordering::Acquire))
+            .cloned()
+            .collect();
+        // Flush in page order so write-back is as sequential as possible.
+        dirty.sort_by_key(|f| f.pid);
+        let mut disk = self.disk.lock();
+        for frame in dirty {
+            let data = frame.data.read();
+            disk.write(frame.pid, &data)?;
+            frame.dirty.store(false, Ordering::Release);
+            self.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Drop every unpinned frame (flushing dirty ones). Used by benchmarks
+    /// to start strategies from a cold cache.
+    pub fn clear_cache(&self) -> StorageResult<()> {
+        self.flush_all()?;
+        let mut inner = self.inner.lock();
+        inner.frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
+        Ok(())
+    }
+
+    /// Simulate a crash: discard every frame *without* writing dirty pages
+    /// back. After this, reads observe exactly what had reached the disk
+    /// (checkpoint flushes plus whatever eviction happened to write out).
+    /// Panics if any frame is still pinned — a crash cannot be simulated
+    /// mid-operation.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        assert!(
+            inner.frames.values().all(|f| f.pin.load(Ordering::Acquire) == 0),
+            "cannot simulate a crash with pinned pages"
+        );
+        inner.frames.clear();
+    }
+}
+
+/// RAII read pin. Derefs to the page bytes.
+pub struct PageRead {
+    frame: Arc<Frame>,
+    guard: ReadGuard,
+}
+
+impl std::ops::Deref for PageRead {
+    type Target = [u8; PAGE_SIZE];
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl Drop for PageRead {
+    fn drop(&mut self) {
+        self.frame.pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// RAII write pin. Derefs mutably to the page bytes.
+pub struct PageWrite {
+    frame: Arc<Frame>,
+    guard: WriteGuard,
+}
+
+impl PageWrite {
+    /// Page id of the pinned page.
+    pub fn page_id(&self) -> PageId {
+        self.frame.pid
+    }
+}
+
+impl std::ops::Deref for PageWrite {
+    type Target = [u8; PAGE_SIZE];
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PageWrite {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}
+
+impl Drop for PageWrite {
+    fn drop(&mut self) {
+        self.frame.pin.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::CostModel;
+
+    fn small_pool(frames: usize, pages: usize) -> (Arc<BufferPool>, PageId) {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(pages);
+        let pool = BufferPool::new(disk, frames);
+        (pool, first)
+    }
+
+    #[test]
+    fn read_through_and_cache_hit() {
+        let (pool, first) = small_pool(4, 4);
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            w[0] = 42;
+        }
+        let r = pool.pin_read(first).unwrap();
+        assert_eq!(r[0], 42);
+        drop(r);
+        let s = pool.pool_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, first) = small_pool(2, 5);
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            w[7] = 9;
+        }
+        // Touch enough other pages to force eviction of `first`.
+        for i in 1..5 {
+            let _ = pool.pin_read(first + i).unwrap();
+        }
+        assert!(!pool.contains(first));
+        let r = pool.pin_read(first).unwrap();
+        assert_eq!(r[7], 9, "dirty page must survive eviction");
+    }
+
+    #[test]
+    fn all_pinned_exhausts_pool() {
+        let (pool, first) = small_pool(2, 3);
+        let _a = pool.pin_read(first).unwrap();
+        let _b = pool.pin_read(first + 1).unwrap();
+        assert!(matches!(
+            pool.pin_read(first + 2),
+            Err(StorageError::BufferExhausted)
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (pool, first) = small_pool(2, 3);
+        let _ = pool.pin_read(first).unwrap();
+        let _ = pool.pin_read(first + 1).unwrap();
+        let _ = pool.pin_read(first).unwrap(); // page0 now most recent
+        let _ = pool.pin_read(first + 2).unwrap(); // must evict page1
+        assert!(pool.contains(first));
+        assert!(!pool.contains(first + 1));
+    }
+
+    #[test]
+    fn prefetch_run_is_one_chained_read() {
+        let (pool, first) = small_pool(8, 8);
+        pool.reset_stats();
+        pool.prefetch_run(first, 8).unwrap();
+        let d = pool.disk_stats();
+        assert_eq!(d.random_reads, 1);
+        assert_eq!(d.pages_read, 8);
+        // Subsequent pins are all hits.
+        for i in 0..8 {
+            let _ = pool.pin_read(first + i).unwrap();
+        }
+        assert_eq!(pool.pool_stats().hits, 8);
+        assert_eq!(pool.pool_stats().misses, 0);
+    }
+
+    #[test]
+    fn prefetch_skips_resident_pages() {
+        let (pool, first) = small_pool(8, 8);
+        let _ = pool.pin_read(first + 3).unwrap();
+        pool.reset_stats();
+        pool.prefetch_run(first, 8).unwrap();
+        let d = pool.disk_stats();
+        // Two stretches: [0..3) and [4..8) => two positioned reads, 7 pages.
+        assert_eq!(d.random_reads, 2);
+        assert_eq!(d.pages_read, 7);
+    }
+
+    #[test]
+    fn new_page_needs_no_disk_read() {
+        let (pool, _) = small_pool(4, 1);
+        pool.reset_stats();
+        let (pid, mut w) = pool.new_page().unwrap();
+        w[0] = 1;
+        drop(w);
+        assert_eq!(pool.disk_stats().pages_read, 0);
+        let r = pool.pin_read(pid).unwrap();
+        assert_eq!(r[0], 1);
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let (pool, first) = small_pool(4, 2);
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            w[0] = 5;
+        }
+        pool.flush_all().unwrap();
+        // Read the raw disk directly: flushed bytes must be there.
+        let byte = pool.with_disk(|d| {
+            let mut buf = [0u8; PAGE_SIZE];
+            d.read(first, &mut buf).unwrap();
+            buf[0]
+        });
+        assert_eq!(byte, 5);
+        assert!(pool.contains(first));
+    }
+
+    #[test]
+    fn clear_cache_empties_unpinned() {
+        let (pool, first) = small_pool(4, 3);
+        let _ = pool.pin_read(first).unwrap();
+        let held = pool.pin_read(first + 1).unwrap();
+        pool.clear_cache().unwrap();
+        assert!(!pool.contains(first));
+        assert!(pool.contains(first + 1));
+        drop(held);
+    }
+
+    #[test]
+    fn concurrent_pins_are_safe() {
+        let (pool, first) = small_pool(8, 8);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let pid = first + ((t + i) % 8);
+                        let mut w = pool.pin_write(pid).unwrap();
+                        w[0] = w[0].wrapping_add(1);
+                    }
+                });
+            }
+        });
+        let total: u32 = (0..8)
+            .map(|i| pool.pin_read(first + i).unwrap()[0] as u32)
+            .sum();
+        assert_eq!(total, 400); // 50 increments per page, no u8 wraparound
+    }
+}

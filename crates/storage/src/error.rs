@@ -1,0 +1,67 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+use crate::disk::PageId;
+use crate::rid::Rid;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id referenced a page that was never allocated.
+    PageOutOfBounds(PageId),
+    /// Every frame in the buffer pool is pinned; nothing can be evicted.
+    BufferExhausted,
+    /// A record did not fit into the target page.
+    PageFull,
+    /// A slot lookup hit an empty (deleted) slot.
+    SlotEmpty(Rid),
+    /// A slot number exceeded the page's slot directory.
+    SlotOutOfBounds(Rid),
+    /// A record was larger than what a page can ever hold.
+    RecordTooLarge {
+        /// Rejected record length.
+        len: usize,
+        /// Maximum a fresh page can hold.
+        max: usize,
+    },
+    /// A memory reservation exceeded the configured budget.
+    BudgetExceeded {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// Reading past the end of a temporary segment.
+    SegmentExhausted,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds(pid) => write!(f, "page {pid} was never allocated"),
+            StorageError::BufferExhausted => {
+                write!(f, "buffer pool exhausted: all frames are pinned")
+            }
+            StorageError::PageFull => write!(f, "page has insufficient free space"),
+            StorageError::SlotEmpty(rid) => write!(f, "slot {rid} is empty"),
+            StorageError::SlotOutOfBounds(rid) => write!(f, "slot {rid} is out of bounds"),
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+            StorageError::BudgetExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory budget exceeded: requested {requested} bytes, {available} available"
+            ),
+            StorageError::SegmentExhausted => write!(f, "read past end of temporary segment"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,158 @@
+//! Free-space map for heap files.
+//!
+//! Tracks the usable free bytes of every heap page in coarse buckets so the
+//! heap can place re-inserted records without probing pages one by one
+//! (cf. McAuliffe et al.'s free-space management, cited by the paper).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::disk::PageId;
+
+/// Number of free-space buckets. Bucket `b` holds pages with at least
+/// `b * (PAGE_SIZE / BUCKETS)` usable free bytes.
+const BUCKETS: usize = 16;
+const BUCKET_WIDTH: usize = crate::disk::PAGE_SIZE / BUCKETS;
+
+/// In-memory free-space map.
+#[derive(Debug, Default)]
+pub struct FreeSpaceMap {
+    /// Exact free bytes per tracked page.
+    free: HashMap<PageId, usize>,
+    /// bucket -> pages currently in that bucket (BTreeMap so searches favor
+    /// fuller pages first deterministically).
+    buckets: Vec<BTreeMap<PageId, ()>>,
+}
+
+impl FreeSpaceMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        FreeSpaceMap {
+            free: HashMap::new(),
+            buckets: (0..BUCKETS).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    fn bucket_of(free: usize) -> usize {
+        (free / BUCKET_WIDTH).min(BUCKETS - 1)
+    }
+
+    /// Record (or update) the free space of `pid`.
+    pub fn update(&mut self, pid: PageId, free_bytes: usize) {
+        if let Some(old) = self.free.insert(pid, free_bytes) {
+            self.buckets[Self::bucket_of(old)].remove(&pid);
+        }
+        self.buckets[Self::bucket_of(free_bytes)].insert(pid, ());
+    }
+
+    /// Forget a page entirely (page was reclaimed).
+    pub fn remove(&mut self, pid: PageId) {
+        if let Some(old) = self.free.remove(&pid) {
+            self.buckets[Self::bucket_of(old)].remove(&pid);
+        }
+    }
+
+    /// Exact free bytes recorded for `pid`.
+    pub fn free_bytes(&self, pid: PageId) -> Option<usize> {
+        self.free.get(&pid).copied()
+    }
+
+    /// Find a page with at least `needed` free bytes, preferring the fullest
+    /// candidate bucket (best-fit-ish) to keep pages densely packed.
+    pub fn find_page(&self, needed: usize) -> Option<PageId> {
+        // The bucket floor guarantees >= bucket * WIDTH free bytes, so start
+        // from the first bucket whose floor satisfies the request.
+        let start = needed.div_ceil(BUCKET_WIDTH).min(BUCKETS - 1);
+        for b in start..BUCKETS {
+            for (&pid, ()) in &self.buckets[b] {
+                if self.free[&pid] >= needed {
+                    return Some(pid);
+                }
+            }
+        }
+        // `start` bucket may contain pages just below its floor multiple.
+        if start > 0 {
+            for (&pid, ()) in &self.buckets[start - 1] {
+                if self.free[&pid] >= needed {
+                    return Some(pid);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True if no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Pages whose recorded free space equals an entirely-empty slotted page
+    /// (candidates for reclamation).
+    pub fn pages_with_at_least(&self, bytes: usize) -> Vec<PageId> {
+        self.free
+            .iter()
+            .filter(|&(_, &f)| f >= bytes)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_page_with_enough_space() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.update(1, 100);
+        fsm.update(2, 600);
+        fsm.update(3, 3000);
+        assert_eq!(fsm.find_page(500), Some(2));
+        assert_eq!(fsm.find_page(2000), Some(3));
+        assert_eq!(fsm.find_page(3500), None);
+    }
+
+    #[test]
+    fn update_moves_between_buckets() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.update(1, 3000);
+        assert_eq!(fsm.find_page(2500), Some(1));
+        fsm.update(1, 10);
+        assert_eq!(fsm.find_page(2500), None);
+        assert_eq!(fsm.free_bytes(1), Some(10));
+    }
+
+    #[test]
+    fn remove_forgets_page() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.update(7, 1000);
+        fsm.remove(7);
+        assert!(fsm.is_empty());
+        assert_eq!(fsm.find_page(1), None);
+    }
+
+    #[test]
+    fn boundary_requests_checked_against_exact_free() {
+        let mut fsm = FreeSpaceMap::new();
+        // 300 bytes lands in bucket 1 (floor 256). A request for 290 starts
+        // scanning at bucket 2 and must fall back to bucket 1's exact check.
+        fsm.update(9, 300);
+        assert_eq!(fsm.find_page(290), Some(9));
+        assert_eq!(fsm.find_page(301), None);
+    }
+
+    #[test]
+    fn pages_with_at_least_filters() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.update(1, 100);
+        fsm.update(2, 4000);
+        fsm.update(3, 4092);
+        let mut big = fsm.pages_with_at_least(4000);
+        big.sort();
+        assert_eq!(big, vec![2, 3]);
+    }
+}

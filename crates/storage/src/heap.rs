@@ -1,0 +1,578 @@
+//! Heap file: the base table storage (the paper's relation `R`).
+//!
+//! Records live in slotted pages; a record's [`Rid`] is its physical
+//! address and stays valid until that record is deleted. Pages are kept in
+//! allocation order, so iterating `pages` equals ascending-RID order — the
+//! property the vertical sort/merge plan exploits ("relation R is clustered
+//! (i.e., sorted) on RID values").
+//!
+//! Two bulk-delete primitives live here because they are pure storage
+//! operations: a merge of a *sorted* RID list against the page sequence
+//! (used by the Fig. 3 sort/merge plan) and a full scan probing a RID hash
+//! set (used by the Fig. 4 hash plan).
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::disk::PageId;
+use crate::error::{StorageError, StorageResult};
+use crate::fsm::FreeSpaceMap;
+use crate::rid::Rid;
+use crate::slotted::SlottedPage;
+
+/// Pages fetched per chained read during scans.
+const SCAN_CHUNK: usize = 8;
+
+/// A heap file of records.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    /// Pages in allocation (= RID, = scan) order.
+    pages: Vec<PageId>,
+    fsm: FreeSpaceMap,
+    n_records: usize,
+}
+
+impl HeapFile {
+    /// Create an empty heap file on `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        HeapFile {
+            pool,
+            pages: Vec::new(),
+            fsm: FreeSpaceMap::new(),
+            n_records: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.n_records
+    }
+
+    /// True if the heap holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// Number of pages ever allocated to this heap.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The buffer pool this heap lives in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Page ids in scan order.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    fn new_heap_page(&mut self) -> StorageResult<PageId> {
+        let (pid, mut w) = self.pool.new_page()?;
+        SlottedPage::init(&mut w[..]);
+        let free = SlottedPage::new(&mut w[..]).usable_free();
+        drop(w);
+        self.pages.push(pid);
+        self.fsm.update(pid, free);
+        Ok(pid)
+    }
+
+    /// Append a record, returning its RID. Prefers the page the FSM finds;
+    /// allocates a new page when nothing fits.
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<Rid> {
+        let needed = record.len() + 4; // record + slot entry
+        let pid = match self.fsm.find_page(needed) {
+            Some(p) => p,
+            None => self.new_heap_page()?,
+        };
+        let mut w = self.pool.pin_write(pid)?;
+        let mut page = SlottedPage::new(&mut w[..]);
+        let slot = page.insert(record)?;
+        let free = page.usable_free();
+        drop(w);
+        self.fsm.update(pid, free);
+        self.n_records += 1;
+        Ok(Rid::new(pid, slot))
+    }
+
+    /// Read the record at `rid`.
+    pub fn get(&self, rid: Rid) -> StorageResult<Vec<u8>> {
+        let r = self.pool.pin_read(rid.page)?;
+        let bytes = crate::slotted::read::get(&r[..], rid.slot)
+            .map_err(|e| Self::rebind_rid(e, rid))?
+            .to_vec();
+        Ok(bytes)
+    }
+
+    fn rebind_rid(e: StorageError, rid: Rid) -> StorageError {
+        match e {
+            StorageError::SlotEmpty(_) => StorageError::SlotEmpty(rid),
+            StorageError::SlotOutOfBounds(_) => StorageError::SlotOutOfBounds(rid),
+            other => other,
+        }
+    }
+
+    /// Overwrite the record at `rid` in place, returning the old bytes.
+    /// The new record must have the same length (fixed-size records keep
+    /// their RID across updates, so only changed index keys need index
+    /// maintenance).
+    pub fn update(&mut self, rid: Rid, record: &[u8]) -> StorageResult<Vec<u8>> {
+        let mut w = self.pool.pin_write(rid.page)?;
+        let mut page = SlottedPage::new(&mut w[..]);
+        let old = page.get(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?.to_vec();
+        if old.len() != record.len() {
+            return Err(StorageError::RecordTooLarge {
+                len: record.len(),
+                max: old.len(),
+            });
+        }
+        page.overwrite(rid.slot, record)?;
+        Ok(old)
+    }
+
+    /// Delete the record at `rid`, returning its bytes.
+    pub fn delete(&mut self, rid: Rid) -> StorageResult<Vec<u8>> {
+        let mut w = self.pool.pin_write(rid.page)?;
+        let mut page = SlottedPage::new(&mut w[..]);
+        let bytes = page.delete(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?;
+        let free = page.usable_free();
+        drop(w);
+        self.fsm.update(rid.page, free);
+        self.n_records -= 1;
+        Ok(bytes)
+    }
+
+    /// Sequential scan in RID order, using chained reads.
+    pub fn scan(&self) -> HeapScan {
+        HeapScan {
+            pool: self.pool.clone(),
+            pages: self.pages.clone(),
+            next_page: 0,
+            current: VecDeque::new(),
+        }
+    }
+
+    fn prefetch_from(&self, page_pos: usize) {
+        let rest = &self.pages[page_pos..];
+        let n = rest.len().min(SCAN_CHUNK).min(self.pool.capacity() / 2);
+        let mut i = 0;
+        while i < n {
+            let start = rest[i];
+            let mut len = 1;
+            while i + len < n && rest[i + len] == start + len as PageId {
+                len += 1;
+            }
+            // Best effort: prefetch failures surface later at pin time.
+            let _ = self.pool.prefetch_run(start, len);
+            i += len;
+        }
+    }
+
+    /// Delete every RID in `rids` (which must be sorted ascending) in one
+    /// sequential pass over the affected pages. Returns `(rid, bytes)` for
+    /// each deleted record, in RID order.
+    ///
+    /// This is the table-side `⋈̄` of the paper's Fig. 3 plan: the sorted RID
+    /// list is merged against the heap's physical order, so each affected
+    /// page is pinned exactly once and pages are visited monotonically.
+    pub fn bulk_delete_sorted(&mut self, rids: &[Rid]) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
+        debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rid list not sorted");
+        let mut out = Vec::with_capacity(rids.len());
+        let mut i = 0;
+        let mut page_pos = 0;
+        while i < rids.len() {
+            let pid = rids[i].page;
+            // Advance the scan cursor for prefetching.
+            while page_pos < self.pages.len() && self.pages[page_pos] < pid {
+                page_pos += 1;
+            }
+            if page_pos < self.pages.len() && self.pages[page_pos] == pid {
+                self.prefetch_from(page_pos);
+            }
+            let mut w = self.pool.pin_write(pid)?;
+            let mut page = SlottedPage::new(&mut w[..]);
+            while i < rids.len() && rids[i].page == pid {
+                let rid = rids[i];
+                let bytes = page.delete(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?;
+                out.push((rid, bytes));
+                self.n_records -= 1;
+                i += 1;
+            }
+            let free = page.usable_free();
+            drop(w);
+            self.fsm.update(pid, free);
+        }
+        Ok(out)
+    }
+
+    /// Scan the whole heap, deleting every record whose RID is in `victims`.
+    /// Returns deleted `(rid, bytes)` in RID order. This is the hash-probe
+    /// table `⋈̄` of the paper's Fig. 4 plan.
+    pub fn bulk_delete_probe(
+        &mut self,
+        victims: &HashSet<Rid>,
+    ) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
+        let mut out = Vec::with_capacity(victims.len());
+        let pages = self.pages.clone();
+        for (pos, &pid) in pages.iter().enumerate() {
+            if pos % SCAN_CHUNK == 0 {
+                self.prefetch_from(pos);
+            }
+            let mut w = self.pool.pin_write(pid)?;
+            let mut page = SlottedPage::new(&mut w[..]);
+            let mut free = None;
+            for slot in 0..page.slot_count() as u16 {
+                let rid = Rid::new(pid, slot);
+                if page.is_live(slot) && victims.contains(&rid) {
+                    let bytes = page.delete(slot)?;
+                    out.push((rid, bytes));
+                    self.n_records -= 1;
+                    free = Some(page.usable_free());
+                }
+            }
+            if let Some(f) = free {
+                drop(w);
+                self.fsm.update(pid, f);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`HeapFile::bulk_delete_sorted`] but silently skips RIDs whose
+    /// slot is already empty. Used by crash recovery, which *rolls the bulk
+    /// delete forward*: re-running a partially completed pass must tolerate
+    /// records that the pre-crash run already deleted and flushed.
+    pub fn bulk_delete_sorted_lenient(
+        &mut self,
+        rids: &[Rid],
+    ) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
+        debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rid list not sorted");
+        let mut out = Vec::with_capacity(rids.len());
+        let mut i = 0;
+        while i < rids.len() {
+            let pid = rids[i].page;
+            let mut w = self.pool.pin_write(pid)?;
+            let mut page = SlottedPage::new(&mut w[..]);
+            while i < rids.len() && rids[i].page == pid {
+                let rid = rids[i];
+                if page.is_live(rid.slot) {
+                    let bytes = page.delete(rid.slot)?;
+                    out.push((rid, bytes));
+                    self.n_records -= 1;
+                }
+                i += 1;
+            }
+            let free = page.usable_free();
+            drop(w);
+            self.fsm.update(pid, free);
+        }
+        Ok(out)
+    }
+
+    /// Reconstruct a heap handle after a crash from its durable page list
+    /// (the catalog's job in a real system). Counters and the FSM are
+    /// rebuilt from the disk state by [`HeapFile::recount`].
+    pub fn restore(pool: Arc<BufferPool>, pages: Vec<PageId>) -> StorageResult<Self> {
+        let mut heap = HeapFile {
+            pool,
+            pages,
+            fsm: FreeSpaceMap::new(),
+            n_records: 0,
+        };
+        heap.recount()?;
+        Ok(heap)
+    }
+
+    /// Recount live records and rebuild the FSM by scanning every page.
+    /// Returns the live record count.
+    pub fn recount(&mut self) -> StorageResult<usize> {
+        let mut n = 0;
+        for pos in 0..self.pages.len() {
+            if pos % SCAN_CHUNK == 0 {
+                self.prefetch_from(pos);
+            }
+            let pid = self.pages[pos];
+            let r = self.pool.pin_read(pid)?;
+            n += crate::slotted::read::live_records(&r[..]);
+            let mut buf: crate::page::PageBuf = Box::new(*r);
+            drop(r);
+            let free = SlottedPage::new(&mut buf[..]).usable_free();
+            self.fsm.update(pid, free);
+        }
+        self.n_records = n;
+        Ok(n)
+    }
+
+    /// Free bytes the FSM records for `pid` (test/diagnostic hook).
+    pub fn fsm_free(&self, pid: PageId) -> Option<usize> {
+        self.fsm.free_bytes(pid)
+    }
+
+    /// Verify FSM entries against actual page occupancy; returns the number
+    /// of checked pages. Test/diagnostic hook.
+    pub fn verify_fsm(&self) -> StorageResult<usize> {
+        for &pid in &self.pages {
+            let mut w = self.pool.pin_write(pid)?;
+            let page = SlottedPage::new(&mut w[..]);
+            let actual = page.usable_free();
+            let recorded = self.fsm.free_bytes(pid);
+            assert_eq!(
+                recorded,
+                Some(actual),
+                "fsm mismatch on page {pid}: recorded {recorded:?}, actual {actual}"
+            );
+        }
+        Ok(self.pages.len())
+    }
+}
+
+/// Iterator over `(Rid, record bytes)` in RID order.
+pub struct HeapScan {
+    pool: Arc<BufferPool>,
+    pages: Vec<PageId>,
+    next_page: usize,
+    current: VecDeque<(Rid, Vec<u8>)>,
+}
+
+impl Iterator for HeapScan {
+    type Item = (Rid, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.current.pop_front() {
+                return Some(item);
+            }
+            if self.next_page >= self.pages.len() {
+                return None;
+            }
+            if self.next_page.is_multiple_of(SCAN_CHUNK) {
+                let rest = &self.pages[self.next_page..];
+                let n = rest.len().min(SCAN_CHUNK).min(self.pool.capacity() / 2);
+                let mut i = 0;
+                while i < n {
+                    let start = rest[i];
+                    let mut len = 1;
+                    while i + len < n && rest[i + len] == start + len as PageId {
+                        len += 1;
+                    }
+                    let _ = self.pool.prefetch_run(start, len);
+                    i += len;
+                }
+            }
+            let pid = self.pages[self.next_page];
+            self.next_page += 1;
+            if let Ok(r) = self.pool.pin_read(pid) {
+                for slot in 0..crate::slotted::read::slot_count(&r[..]) as u16 {
+                    if crate::slotted::read::is_live(&r[..], slot) {
+                        let bytes = crate::slotted::read::get(&r[..], slot)
+                            .expect("live slot")
+                            .to_vec();
+                        self.current.push_back((Rid::new(pid, slot), bytes));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{CostModel, SimDisk};
+
+    fn heap(frames: usize) -> HeapFile {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), frames);
+        HeapFile::create(pool)
+    }
+
+    fn record(tag: u64) -> Vec<u8> {
+        let mut r = vec![0u8; 512];
+        r[..8].copy_from_slice(&tag.to_le_bytes());
+        r
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut h = heap(8);
+        let rid = h.insert(&record(42)).unwrap();
+        assert_eq!(h.get(rid).unwrap(), record(42));
+        assert_eq!(h.delete(rid).unwrap(), record(42));
+        assert!(h.get(rid).is_err());
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn rids_are_stable_across_other_deletes() {
+        let mut h = heap(8);
+        let rids: Vec<Rid> = (0..20).map(|i| h.insert(&record(i)).unwrap()).collect();
+        h.delete(rids[3]).unwrap();
+        h.delete(rids[11]).unwrap();
+        for (i, &rid) in rids.iter().enumerate() {
+            if i == 3 || i == 11 {
+                continue;
+            }
+            assert_eq!(h.get(rid).unwrap(), record(i as u64));
+        }
+    }
+
+    #[test]
+    fn scan_returns_all_records_in_rid_order() {
+        let mut h = heap(8);
+        let n = 100u64;
+        for i in 0..n {
+            h.insert(&record(i)).unwrap();
+        }
+        let scanned: Vec<(Rid, Vec<u8>)> = h.scan().collect();
+        assert_eq!(scanned.len(), n as usize);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        for (i, (_, bytes)) in scanned.iter().enumerate() {
+            assert_eq!(bytes[..8], (i as u64).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn scan_uses_chained_io() {
+        let mut h = heap(32);
+        for i in 0..200u64 {
+            h.insert(&record(i)).unwrap();
+        }
+        h.pool().clear_cache().unwrap();
+        h.pool().reset_stats();
+        let n = h.scan().count();
+        assert_eq!(n, 200);
+        let s = h.pool().disk_stats();
+        // ~29 pages at 7 records/page; chained in chunks => far fewer
+        // positionings than pages.
+        assert!(s.total_random() * 4 <= s.pages_read, "{s:?}");
+    }
+
+    #[test]
+    fn bulk_delete_sorted_matches_single_deletes() {
+        let mut h = heap(16);
+        let rids: Vec<Rid> = (0..100).map(|i| h.insert(&record(i)).unwrap()).collect();
+        let mut victims: Vec<Rid> = rids.iter().copied().step_by(3).collect();
+        victims.sort();
+        let deleted = h.bulk_delete_sorted(&victims).unwrap();
+        assert_eq!(deleted.len(), victims.len());
+        for ((rid, bytes), &v) in deleted.iter().zip(&victims) {
+            assert_eq!(*rid, v);
+            assert!(!bytes.is_empty());
+        }
+        assert_eq!(h.len(), 100 - victims.len());
+        for &v in &victims {
+            assert!(h.get(v).is_err());
+        }
+        h.verify_fsm().unwrap();
+    }
+
+    #[test]
+    fn bulk_delete_probe_matches_sorted_variant() {
+        let mut h1 = heap(16);
+        let mut h2 = heap(16);
+        let rids1: Vec<Rid> = (0..80).map(|i| h1.insert(&record(i)).unwrap()).collect();
+        let rids2: Vec<Rid> = (0..80).map(|i| h2.insert(&record(i)).unwrap()).collect();
+        assert_eq!(rids1, rids2);
+        let victims: Vec<Rid> = rids1.iter().copied().filter(|r| r.slot % 2 == 0).collect();
+        let a = h1.bulk_delete_sorted(&victims).unwrap();
+        let set: HashSet<Rid> = victims.iter().copied().collect();
+        let b = h2.bulk_delete_probe(&set).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h1.len(), h2.len());
+    }
+
+    #[test]
+    fn bulk_delete_sorted_is_one_pass() {
+        let mut h = heap(64);
+        let rids: Vec<Rid> = (0..500).map(|i| h.insert(&record(i)).unwrap()).collect();
+        let victims: Vec<Rid> = rids.iter().copied().step_by(2).collect();
+        h.pool().clear_cache().unwrap();
+        h.pool().reset_stats();
+        h.bulk_delete_sorted(&victims).unwrap();
+        let pool_stats = h.pool().pool_stats();
+        // Every page pinned at most once plus prefetch: misses bounded by
+        // page count.
+        assert!(pool_stats.misses as usize <= h.num_pages());
+    }
+
+    #[test]
+    fn deleting_missing_rid_is_error() {
+        let mut h = heap(8);
+        let rid = h.insert(&record(1)).unwrap();
+        h.delete(rid).unwrap();
+        assert_eq!(h.delete(rid).unwrap_err(), StorageError::SlotEmpty(rid));
+    }
+
+    #[test]
+    fn update_rewrites_in_place() {
+        let mut h = heap(8);
+        let rid = h.insert(&record(1)).unwrap();
+        let old = h.update(rid, &record(2)).unwrap();
+        assert_eq!(old, record(1));
+        assert_eq!(h.get(rid).unwrap(), record(2));
+        assert_eq!(h.len(), 1);
+        // Length mismatch is rejected.
+        assert!(matches!(
+            h.update(rid, &[1, 2, 3]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        // Updating a deleted record fails.
+        h.delete(rid).unwrap();
+        assert!(matches!(
+            h.update(rid, &record(3)),
+            Err(StorageError::SlotEmpty(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_bulk_delete_skips_missing() {
+        let mut h = heap(8);
+        let rids: Vec<Rid> = (0..30).map(|i| h.insert(&record(i)).unwrap()).collect();
+        h.delete(rids[3]).unwrap();
+        h.delete(rids[7]).unwrap();
+        let mut victims = rids[..10].to_vec();
+        victims.sort_unstable();
+        let out = h.bulk_delete_sorted_lenient(&victims).unwrap();
+        assert_eq!(out.len(), 8, "two were already gone");
+        assert_eq!(h.len(), 20);
+        // Strict variant would have failed on the same input.
+    }
+
+    #[test]
+    fn restore_and_recount_match_reality() {
+        let mut h = heap(16);
+        let rids: Vec<Rid> = (0..60).map(|i| h.insert(&record(i)).unwrap()).collect();
+        for r in rids.iter().step_by(3) {
+            h.delete(*r).unwrap();
+        }
+        h.pool().flush_all().unwrap();
+        let pool = h.pool().clone();
+        let pages = h.page_ids().to_vec();
+        drop(h);
+        let restored = HeapFile::restore(pool, pages).unwrap();
+        assert_eq!(restored.len(), 40);
+        restored.verify_fsm().unwrap();
+        for (i, r) in rids.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(restored.get(*r).is_err());
+            } else {
+                assert_eq!(restored.get(*r).unwrap(), record(i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn freed_space_is_reused() {
+        let mut h = heap(8);
+        for i in 0..14 {
+            h.insert(&record(i)).unwrap();
+        }
+        let pages_before = h.num_pages();
+        let victim = Rid::new(h.page_ids()[0], 2);
+        h.delete(victim).unwrap();
+        let rid = h.insert(&record(99)).unwrap();
+        assert_eq!(rid.page, victim.page, "freed slot page should be reused");
+        assert_eq!(h.num_pages(), pages_before);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Paged storage substrate for the bulk-delete reproduction.
+//!
+//! The paper's prototype ran on a SUN Ultra 10 with a 1998 Seagate Medialist
+//! Pro disk and Solaris direct I/O. This crate replaces that hardware with a
+//! *simulated disk* ([`SimDisk`]): an in-memory page store that charges every
+//! page access against a configurable [`CostModel`] (average seek + average
+//! rotational latency for a random access, transfer time only for a
+//! sequential successor, one positioning cost per *chained* multi-page read).
+//!
+//! Everything above the disk is real database machinery:
+//!
+//! * [`BufferPool`] — a bounded frame cache with pin/unpin, LRU eviction and
+//!   dirty write-back. Memory limits from the paper's experiments (2–10 MB)
+//!   map directly to frame counts.
+//! * [`SlottedPage`] — the classic slotted page layout used by heap pages.
+//! * [`HeapFile`] — a fixed-record heap with stable [`Rid`]s, a free-space
+//!   map, and a sequential scan that issues chained reads.
+//! * [`TempSegment`] — scratch space for external-sort runs that bypasses the
+//!   buffer pool (sort runs must not evict the working set).
+//! * [`MemoryBudget`] — byte accounting shared by sort and hash workspaces.
+
+pub mod budget;
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod fsm;
+pub mod heap;
+pub mod page;
+pub mod rid;
+pub mod segment;
+pub mod slotted;
+
+pub use budget::MemoryBudget;
+pub use buffer::{BufferPool, PageRead, PageWrite};
+pub use disk::{CostModel, DiskStats, PageId, SimDisk, PAGE_SIZE};
+pub use error::{StorageError, StorageResult};
+pub use fsm::FreeSpaceMap;
+pub use heap::{HeapFile, HeapScan};
+pub use page::PageBuf;
+pub use rid::Rid;
+pub use segment::{SegmentReader, SegmentWriter, TempSegment};
+pub use slotted::SlottedPage;

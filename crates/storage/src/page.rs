@@ -1,0 +1,78 @@
+//! Raw page buffer plus little-endian field accessors.
+//!
+//! Higher layers (slotted pages, B-tree nodes) define their layouts in terms
+//! of these helpers so that all on-page encoding lives in one place.
+
+use crate::disk::PAGE_SIZE;
+
+/// An owned page-sized byte buffer.
+pub type PageBuf = Box<[u8; PAGE_SIZE]>;
+
+/// Allocate a zeroed page buffer.
+pub fn zeroed() -> PageBuf {
+    Box::new([0u8; PAGE_SIZE])
+}
+
+/// Read a `u16` at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Write a `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Write a `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u64` at `off`.
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Write a `u64` at `off`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrips() {
+        let mut p = zeroed();
+        put_u16(&mut p[..], 0, 0xBEEF);
+        put_u32(&mut p[..], 2, 0xDEAD_BEEF);
+        put_u64(&mut p[..], 6, u64::MAX - 3);
+        assert_eq!(get_u16(&p[..], 0), 0xBEEF);
+        assert_eq!(get_u32(&p[..], 2), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&p[..], 6), u64::MAX - 3);
+    }
+
+    #[test]
+    fn fields_do_not_bleed() {
+        let mut p = zeroed();
+        put_u64(&mut p[..], 8, u64::MAX);
+        put_u16(&mut p[..], 16, 0);
+        assert_eq!(get_u64(&p[..], 8), u64::MAX);
+        assert_eq!(get_u16(&p[..], 16), 0);
+        assert_eq!(get_u64(&p[..], 0), 0);
+    }
+}

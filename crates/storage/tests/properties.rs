@@ -1,0 +1,160 @@
+//! Property-based tests for the storage substrate.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use bd_storage::{
+    BufferPool, CostModel, FreeSpaceMap, HeapFile, MemoryBudget, Rid, SimDisk, PAGE_SIZE,
+};
+
+fn pool(frames: usize) -> std::sync::Arc<BufferPool> {
+    BufferPool::new(SimDisk::new(CostModel::default()), frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A heap file behaves exactly like a map from RID to record bytes
+    /// under arbitrary insert/delete/get sequences, at any pool size.
+    #[test]
+    fn heap_matches_model(
+        ops in prop::collection::vec((0u8..3, 0usize..64, 1usize..200), 1..300),
+        frames in 4usize..32,
+    ) {
+        let mut heap = HeapFile::create(pool(frames));
+        let mut model: HashMap<Rid, Vec<u8>> = HashMap::new();
+        let mut live: Vec<Rid> = Vec::new();
+        for (op, pick, len) in ops {
+            match op {
+                0 => {
+                    let rec = vec![(len % 251) as u8; len];
+                    let rid = heap.insert(&rec).unwrap();
+                    prop_assert!(!model.contains_key(&rid), "rid reuse while live");
+                    model.insert(rid, rec);
+                    live.push(rid);
+                }
+                1 if !live.is_empty() => {
+                    let rid = live.remove(pick % live.len());
+                    let bytes = heap.delete(rid).unwrap();
+                    prop_assert_eq!(&bytes, &model.remove(&rid).unwrap());
+                }
+                _ if !live.is_empty() => {
+                    let rid = live[pick % live.len()];
+                    prop_assert_eq!(&heap.get(rid).unwrap(), model.get(&rid).unwrap());
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(heap.len(), model.len());
+        // Scan returns exactly the model contents in RID order.
+        let scanned: Vec<(Rid, Vec<u8>)> = heap.scan().collect();
+        prop_assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert_eq!(scanned.len(), model.len());
+        for (rid, bytes) in scanned {
+            prop_assert_eq!(&bytes, model.get(&rid).unwrap());
+        }
+        heap.verify_fsm().unwrap();
+    }
+
+    /// Bulk delete (sorted) equals per-record deletes for any victim set.
+    #[test]
+    fn heap_bulk_delete_matches_loop(
+        n in 1usize..200,
+        picks in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut a = HeapFile::create(pool(16));
+        let mut b = HeapFile::create(pool(16));
+        let mut rids = Vec::new();
+        for i in 0..n {
+            let rec = vec![(i % 251) as u8; 40 + i % 100];
+            let ra = a.insert(&rec).unwrap();
+            let rb = b.insert(&rec).unwrap();
+            prop_assert_eq!(ra, rb);
+            rids.push(ra);
+        }
+        let mut victims: Vec<Rid> = rids
+            .iter()
+            .zip(picks.iter())
+            .filter(|(_, &p)| p)
+            .map(|(&r, _)| r)
+            .collect();
+        // Variable-length records let the FSM place later inserts on
+        // earlier pages, so insertion order is not RID order.
+        victims.sort_unstable();
+        let out = a.bulk_delete_sorted(&victims).unwrap();
+        prop_assert_eq!(out.len(), victims.len());
+        for &v in &victims {
+            b.delete(v).unwrap();
+        }
+        let sa: Vec<_> = a.scan().collect();
+        let sb: Vec<_> = b.scan().collect();
+        prop_assert_eq!(sa, sb);
+    }
+
+    /// The FSM always returns a page that truly fits, and returns `None`
+    /// only when no tracked page fits.
+    #[test]
+    fn fsm_find_is_sound_and_complete(
+        pages in prop::collection::vec(0usize..PAGE_SIZE, 1..60),
+        request in 0usize..PAGE_SIZE,
+    ) {
+        let mut fsm = FreeSpaceMap::new();
+        for (i, &free) in pages.iter().enumerate() {
+            fsm.update(i as u32, free);
+        }
+        match fsm.find_page(request) {
+            Some(pid) => prop_assert!(pages[pid as usize] >= request),
+            None => prop_assert!(pages.iter().all(|&f| f < request)),
+        }
+    }
+
+    /// Budget arithmetic never loses bytes across arbitrary reserve/release
+    /// interleavings.
+    #[test]
+    fn budget_conserves_bytes(
+        ops in prop::collection::vec((any::<bool>(), 1usize..5000), 1..100),
+    ) {
+        let budget = MemoryBudget::new(64 * 1024);
+        let mut held = Vec::new();
+        for (acquire, bytes) in ops {
+            if acquire {
+                if let Ok(r) = budget.reserve(bytes) {
+                    held.push(r);
+                }
+            } else if !held.is_empty() {
+                held.pop();
+            }
+            let expect: usize = held.iter().map(|r| r.bytes()).sum();
+            prop_assert_eq!(budget.used(), expect);
+            prop_assert!(budget.used() <= budget.capacity());
+        }
+        drop(held);
+        prop_assert_eq!(budget.used(), 0);
+    }
+
+    /// Pages written through the pool read back identically regardless of
+    /// eviction pressure, and a flush+crash preserves exactly the flushed
+    /// state.
+    #[test]
+    fn pool_durability_under_pressure(
+        writes in prop::collection::vec((0u32..40, any::<u8>()), 1..200),
+        frames in 2usize..8,
+    ) {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(40);
+        let pool = BufferPool::new(disk, frames);
+        let mut model = [0u8; 40];
+        for (pid, byte) in writes {
+            let mut w = pool.pin_write(first + pid).unwrap();
+            w[0] = byte;
+            model[pid as usize] = byte;
+        }
+        pool.flush_all().unwrap();
+        pool.crash(); // volatile loss: flushed state must be complete
+        for i in 0..40u32 {
+            let r = pool.pin_read(first + i).unwrap();
+            prop_assert_eq!(r[0], model[i as usize]);
+        }
+    }
+}

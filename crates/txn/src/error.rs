@@ -1,0 +1,48 @@
+//! Transaction-layer error type.
+
+use std::fmt;
+
+use bd_core::DbError;
+
+use crate::lock::LockError;
+
+/// Errors raised by the concurrent layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Engine error.
+    Db(DbError),
+    /// Lock acquisition failure.
+    Lock(LockError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Db(e) => write!(f, "{e}"),
+            TxnError::Lock(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<DbError> for TxnError {
+    fn from(e: DbError) -> Self {
+        TxnError::Db(e)
+    }
+}
+
+impl From<bd_storage::StorageError> for TxnError {
+    fn from(e: bd_storage::StorageError) -> Self {
+        TxnError::Db(DbError::Storage(e))
+    }
+}
+
+impl From<LockError> for TxnError {
+    fn from(e: LockError) -> Self {
+        TxnError::Lock(e)
+    }
+}
+
+/// Convenience alias for the concurrent layer.
+pub type TxnResult<T> = Result<T, TxnError>;

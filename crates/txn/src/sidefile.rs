@@ -1,0 +1,215 @@
+//! Side-files: change capture for offline indices (§3.1.1).
+//!
+//! "All changes made to this indices by a updater transaction are logged in
+//! side-files (one for each index). When the bulk deletion has processed an
+//! index the side-file is applied to the index but still the index is
+//! off-line and still other transactions can append the side-file. When
+//! nearly the whole side-file is processed, the bulk deletion quiesces all
+//! updates to the index, processes the last entries of the side-file and
+//! brings the index on-line again."
+
+use parking_lot::Mutex;
+
+use bd_btree::{BTree, Key};
+use bd_storage::{Rid, StorageResult};
+
+/// One captured index change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideOp {
+    /// An entry the updater inserted.
+    Insert {
+        /// Index key.
+        key: Key,
+        /// Record id.
+        rid: Rid,
+    },
+    /// An entry the updater deleted.
+    Delete {
+        /// Index key.
+        key: Key,
+        /// Record id.
+        rid: Rid,
+    },
+}
+
+/// Error appending to a quiesced side-file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quiesced;
+
+impl std::fmt::Display for Quiesced {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "side-file is quiesced; no further appends accepted")
+    }
+}
+
+impl std::error::Error for Quiesced {}
+
+#[derive(Default)]
+struct Inner {
+    ops: Vec<SideOp>,
+    quiesced: bool,
+}
+
+/// Append-only change log for one offline index.
+#[derive(Default)]
+pub struct SideFile {
+    inner: Mutex<Inner>,
+}
+
+impl SideFile {
+    /// Record a change (fails after quiesce — callers must then wait for
+    /// the index to come online and apply directly).
+    pub fn append(&self, op: SideOp) -> Result<(), Quiesced> {
+        let mut inner = self.inner.lock();
+        if inner.quiesced {
+            return Err(Quiesced);
+        }
+        inner.ops.push(op);
+        Ok(())
+    }
+
+    /// Number of pending operations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().ops.len()
+    }
+
+    /// True if no operations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take up to `max` operations for application (appends may continue).
+    pub fn drain_batch(&self, max: usize) -> Vec<SideOp> {
+        let mut inner = self.inner.lock();
+        let take = max.min(inner.ops.len());
+        inner.ops.drain(..take).collect()
+    }
+
+    /// Quiesce: reject further appends and take whatever is left.
+    pub fn quiesce_and_drain(&self) -> Vec<SideOp> {
+        let mut inner = self.inner.lock();
+        inner.quiesced = true;
+        std::mem::take(&mut inner.ops)
+    }
+
+    /// Reopen after the index went back online (for reuse in tests).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.quiesced = false;
+        inner.ops.clear();
+    }
+}
+
+/// Apply a batch of side operations to a tree in log order.
+pub fn apply_ops(tree: &mut BTree, ops: &[SideOp]) -> StorageResult<()> {
+    for op in ops {
+        match *op {
+            SideOp::Insert { key, rid } => tree.insert(key, rid)?,
+            SideOp::Delete { key, rid } => {
+                tree.delete_one(key, rid)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_btree::BTreeConfig;
+    use bd_storage::{BufferPool, CostModel, SimDisk};
+
+    #[test]
+    fn append_drain_order() {
+        let sf = SideFile::default();
+        for i in 0..10u16 {
+            sf.append(SideOp::Insert {
+                key: i as Key,
+                rid: Rid::new(0, i),
+            })
+            .unwrap();
+        }
+        assert_eq!(sf.len(), 10);
+        let batch = sf.drain_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert!(matches!(batch[0], SideOp::Insert { key: 0, .. }));
+        assert_eq!(sf.len(), 6);
+    }
+
+    #[test]
+    fn quiesce_rejects_appends() {
+        let sf = SideFile::default();
+        sf.append(SideOp::Delete {
+            key: 1,
+            rid: Rid::new(0, 0),
+        })
+        .unwrap();
+        let rest = sf.quiesce_and_drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(
+            sf.append(SideOp::Insert {
+                key: 2,
+                rid: Rid::new(0, 1)
+            }),
+            Err(Quiesced)
+        );
+        sf.reset();
+        sf.append(SideOp::Insert {
+            key: 2,
+            rid: Rid::new(0, 1),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn apply_ops_replays_inserts_and_deletes() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
+        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        for k in 0..20u64 {
+            tree.insert(k, Rid::new(1, k as u16)).unwrap();
+        }
+        let ops = vec![
+            SideOp::Insert {
+                key: 100,
+                rid: Rid::new(2, 0),
+            },
+            SideOp::Delete {
+                key: 5,
+                rid: Rid::new(1, 5),
+            },
+            // Insert-then-delete of the same entry nets to nothing.
+            SideOp::Insert {
+                key: 200,
+                rid: Rid::new(2, 1),
+            },
+            SideOp::Delete {
+                key: 200,
+                rid: Rid::new(2, 1),
+            },
+        ];
+        apply_ops(&mut tree, &ops).unwrap();
+        assert_eq!(tree.search(100).unwrap(), vec![Rid::new(2, 0)]);
+        assert_eq!(tree.search(5).unwrap(), Vec::<Rid>::new());
+        assert_eq!(tree.search(200).unwrap(), Vec::<Rid>::new());
+    }
+
+    #[test]
+    fn concurrent_appends_are_safe() {
+        let sf = std::sync::Arc::new(SideFile::default());
+        std::thread::scope(|s| {
+            for t in 0..4u16 {
+                let sf = sf.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        sf.append(SideOp::Insert {
+                            key: i,
+                            rid: Rid::new(t as u32, i as u16),
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(sf.len(), 400);
+    }
+}

@@ -1,0 +1,385 @@
+//! Concurrent database wrapper: bulk deletes running alongside updater
+//! transactions, per the protocol of §3.1.
+//!
+//! Timeline of [`TxnDb::bulk_delete`]:
+//!
+//! 1. acquire the **exclusive table lock**, switch every index offline;
+//! 2. process the base table, the probe index, and all **unique indices**
+//!    (unique first, so the constraint stays checkable);
+//! 3. commit: release the table lock, bring probe + unique indices online —
+//!    "As soon as table R and all unique indices are processed ... the lock
+//!    on R is released and the unique indices are brought on-line";
+//! 4. propagate deletions to the remaining indices while updaters run,
+//!    capturing their changes per [`PropagationMode`]:
+//!    * **side-file** — updater changes are logged and replayed; appends
+//!      continue during catch-up; a final quiesce drains the tail;
+//!    * **direct** — updaters install changes into the offline tree
+//!      directly, marking inserted entries *undeletable* so the bulk
+//!      deleter cannot remove a re-used `(key, RID)`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use bd_btree::{bulk_delete_by_keys, bulk_delete_sorted, Key, ReorgPolicy};
+use bd_core::{Database, DbError, DbResult, TableId, Tuple};
+use bd_exec::{sort_all, ByRid};
+use bd_storage::Rid;
+
+use crate::error::TxnResult;
+use crate::gate::{IndexGate, IndexState};
+use crate::lock::{LockManager, LockMode, TxnId};
+use crate::sidefile::{apply_ops, SideFile, SideOp};
+
+/// How updater changes reach offline indices (§3.1.1 vs §3.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationMode {
+    /// Log updater changes to side-files, replay before going online.
+    SideFile,
+    /// Install updater changes directly with undeletable marks.
+    Direct,
+}
+
+/// Batch size for side-file catch-up; below this the side-file is
+/// quiesced and drained ("when nearly the whole side-file is processed").
+const CATCHUP_BATCH: usize = 64;
+
+type IndexKey = (TableId, usize);
+
+/// Thread-safe database with the §3.1 bulk-delete protocol.
+pub struct TxnDb {
+    db: Mutex<Database>,
+    locks: LockManager,
+    gates: Mutex<HashMap<IndexKey, Arc<IndexGate>>>,
+    sidefiles: Mutex<HashMap<IndexKey, Arc<SideFile>>>,
+    undeletable: Mutex<HashSet<(usize, Key, Rid)>>,
+    /// Serializes whole bulk-delete operations: a second bulk delete must
+    /// not take indices offline while the first is still propagating.
+    bulk_serial: Mutex<()>,
+    next_txn: AtomicU64,
+}
+
+impl TxnDb {
+    /// Wrap a database for concurrent use.
+    pub fn new(db: Database) -> Arc<Self> {
+        Arc::new(TxnDb {
+            db: Mutex::new(db),
+            locks: LockManager::default(),
+            gates: Mutex::new(HashMap::new()),
+            sidefiles: Mutex::new(HashMap::new()),
+            undeletable: Mutex::new(HashSet::new()),
+            bulk_serial: Mutex::new(()),
+            next_txn: AtomicU64::new(1),
+        })
+    }
+
+    /// Run setup/inspection code against the underlying database.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db.lock())
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Commit: release all locks.
+    pub fn commit(&self, txn: TxnId) {
+        self.locks.release_all(txn);
+    }
+
+    fn gate(&self, key: IndexKey) -> Arc<IndexGate> {
+        self.gates.lock().entry(key).or_default().clone()
+    }
+
+    fn sidefile(&self, key: IndexKey) -> Arc<SideFile> {
+        self.sidefiles.lock().entry(key).or_default().clone()
+    }
+
+    fn index_defs(&self, tid: TableId) -> DbResult<Vec<(usize, bool)>> {
+        let db = self.db.lock();
+        Ok(db
+            .table(tid)?
+            .indices
+            .iter()
+            .map(|i| (i.def.attr, i.def.unique))
+            .collect())
+    }
+
+    /// Updater insert: waits for unique indices, routes changes to offline
+    /// non-unique indices via side-file or direct propagation.
+    pub fn insert(&self, txn: TxnId, tid: TableId, tuple: &Tuple) -> TxnResult<Rid> {
+        self.locks.acquire(txn, tid, LockMode::Shared)?;
+        'retry: loop {
+            let defs = self.index_defs(tid)?;
+            // Unique indices must be online for the constraint check.
+            for &(attr, unique) in &defs {
+                if unique {
+                    self.gate((tid, attr)).wait_online();
+                }
+            }
+            let mut db = self.db.lock();
+            let table = db.table_mut(tid)?;
+            let bytes = table.schema.encode(tuple)?;
+            for index in &table.indices {
+                if index.def.unique {
+                    if !self.gate((tid, index.def.attr)).is_online() {
+                        // Went offline between the wait and the lock: retry.
+                        drop(db);
+                        continue 'retry;
+                    }
+                    let key = tuple.attr(index.def.attr);
+                    if !index.tree.search(key)?.is_empty() {
+                        return Err(DbError::DuplicateKey {
+                            attr: index.def.attr,
+                            key,
+                        }
+                        .into());
+                    }
+                }
+            }
+            let rid = table.heap.insert(&bytes)?;
+            let schema = table.schema;
+            for h in &mut table.hash_indices {
+                h.index.insert(schema.attr_of(&bytes, h.def.attr), rid)?;
+            }
+            for index in &mut table.indices {
+                let attr = index.def.attr;
+                let key = schema.attr_of(&bytes, attr);
+                match self.gate((tid, attr)).state() {
+                    IndexState::Online => index.tree.insert(key, rid)?,
+                    IndexState::OfflineSideFile => {
+                        if self
+                            .sidefile((tid, attr))
+                            .append(SideOp::Insert { key, rid })
+                            .is_err()
+                        {
+                            // Quiesced under our feet; the gate flips online
+                            // momentarily — install directly.
+                            index.tree.insert(key, rid)?;
+                        }
+                    }
+                    IndexState::OfflineDirect => {
+                        index.tree.insert(key, rid)?;
+                        self.undeletable.lock().insert((attr, key, rid));
+                    }
+                }
+            }
+            return Ok(rid);
+        }
+    }
+
+    /// Updater point delete by probe key. Returns deleted RIDs.
+    pub fn delete_row(
+        &self,
+        txn: TxnId,
+        tid: TableId,
+        probe_attr: usize,
+        key: Key,
+    ) -> TxnResult<Vec<Rid>> {
+        self.locks.acquire(txn, tid, LockMode::Shared)?;
+        // The probe index must be usable as an access path.
+        self.gate((tid, probe_attr)).wait_online();
+        let mut db = self.db.lock();
+        let table = db.table_mut(tid)?;
+        let schema = table.schema;
+        let rids = table
+            .index_on(probe_attr)
+            .ok_or(DbError::NoProbeIndex { attr: probe_attr })?
+            .tree
+            .search(key)?;
+        for &rid in &rids {
+            let bytes = table.heap.delete(rid)?;
+            for h in &mut table.hash_indices {
+                h.index.delete(schema.attr_of(&bytes, h.def.attr), rid)?;
+            }
+            for index in &mut table.indices {
+                let attr = index.def.attr;
+                let k = schema.attr_of(&bytes, attr);
+                match self.gate((tid, attr)).state() {
+                    IndexState::Online => {
+                        index.tree.delete_one(k, rid)?;
+                    }
+                    IndexState::OfflineSideFile => {
+                        if self
+                            .sidefile((tid, attr))
+                            .append(SideOp::Delete { key: k, rid })
+                            .is_err()
+                        {
+                            index.tree.delete_one(k, rid)?;
+                        }
+                    }
+                    IndexState::OfflineDirect => {
+                        index.tree.delete_one(k, rid)?;
+                        self.undeletable.lock().remove(&(attr, k, rid));
+                    }
+                }
+            }
+        }
+        Ok(rids)
+    }
+
+    /// Read tuples by key through the index on `attr` (waits while that
+    /// index is offline — "the off-line indices cannot be used as access
+    /// paths").
+    pub fn read(&self, txn: TxnId, tid: TableId, attr: usize, key: Key) -> TxnResult<Vec<Tuple>> {
+        self.locks.acquire(txn, tid, LockMode::Shared)?;
+        self.gate((tid, attr)).wait_online();
+        let db = self.db.lock();
+        let table = db.table(tid)?;
+        let rids = table
+            .index_on(attr)
+            .ok_or(DbError::NoSuchIndex { attr })?
+            .tree
+            .search(key)?;
+        rids.into_iter()
+            .map(|rid| Ok(table.schema.decode(&table.heap.get(rid).map_err(DbError::from)?)))
+            .collect()
+    }
+
+    /// Concurrent bulk delete following the §3.1 protocol. Blocks until
+    /// every index is back online. Returns the number of deleted records.
+    pub fn bulk_delete(
+        &self,
+        tid: TableId,
+        probe_attr: usize,
+        d_keys: &[Key],
+        mode: PropagationMode,
+    ) -> TxnResult<usize> {
+        let _serial = self.bulk_serial.lock();
+        let txn = self.begin();
+        self.locks.acquire(txn, tid, LockMode::Exclusive)?;
+
+        let defs = self.index_defs(tid)?;
+        if !defs.iter().any(|&(attr, _)| attr == probe_attr) {
+            self.locks.release_all(txn);
+            return Err(DbError::NoProbeIndex { attr: probe_attr }.into());
+        }
+        let offline_state = match mode {
+            PropagationMode::SideFile => IndexState::OfflineSideFile,
+            PropagationMode::Direct => IndexState::OfflineDirect,
+        };
+        for &(attr, _) in &defs {
+            self.sidefile((tid, attr)).reset();
+            self.gate((tid, attr)).set(offline_state);
+        }
+
+        // Phase 1 (under the table X lock): table, probe index, unique
+        // indices.
+        let deleted_rows: Vec<(Rid, Vec<u8>)>;
+        {
+            let mut db = self.db.lock();
+            let pool = db.pool().clone();
+            let ws_bytes = db.workspace().capacity().max(4096);
+            let table = db.table_mut(tid)?;
+            let schema = table.schema;
+
+            let (keys, _) = sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?;
+            let probe_idx = table
+                .indices
+                .iter_mut()
+                .find(|i| i.def.attr == probe_attr)
+                .expect("probe index checked above");
+            let deleted_a =
+                bulk_delete_by_keys(&mut probe_idx.tree, &keys, ReorgPolicy::FreeAtEmpty)?;
+            let (sorted, _) = sort_all(
+                pool.clone(),
+                deleted_a.iter().map(|&(k, r)| ByRid(r, k)),
+                ws_bytes,
+            )?;
+            let rids: Vec<Rid> = sorted.into_iter().map(|b| b.0).collect();
+            deleted_rows = table.heap.bulk_delete_sorted(&rids)?;
+            // Hash indices are maintained the traditional way, inside the
+            // exclusive phase (no side-file machinery for them).
+            for h in &mut table.hash_indices {
+                let attr = h.def.attr;
+                for (rid, bytes) in &deleted_rows {
+                    h.index.delete(schema.attr_of(bytes, attr), *rid)?;
+                }
+            }
+
+            // Unique indices first (§3.1.3).
+            for index in table
+                .indices
+                .iter_mut()
+                .filter(|i| i.def.unique && i.def.attr != probe_attr)
+            {
+                let attr = index.def.attr;
+                let proj = deleted_rows
+                    .iter()
+                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+                let (pairs, _) = sort_all(pool.clone(), proj, ws_bytes)?;
+                bulk_delete_sorted(&mut index.tree, &pairs, ReorgPolicy::FreeAtEmpty)?;
+            }
+        }
+
+        // Commit point: probe + unique indices online, table lock released.
+        for &(attr, unique) in &defs {
+            if unique || attr == probe_attr {
+                self.gate((tid, attr)).set(IndexState::Online);
+            }
+        }
+        self.locks.release_all(txn);
+
+        // Phase 2: propagate to the non-unique indices while updaters run.
+        for &(attr, unique) in &defs {
+            if unique || attr == probe_attr {
+                continue;
+            }
+            {
+                let mut db = self.db.lock();
+                let pool = db.pool().clone();
+                let ws_bytes = db.workspace().capacity().max(4096);
+                let table = db.table_mut(tid)?;
+                let schema = table.schema;
+                let proj: Vec<(Key, Rid)> = {
+                    let undeletable = self.undeletable.lock();
+                    deleted_rows
+                        .iter()
+                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                        .filter(|&(k, r)| !undeletable.contains(&(attr, k, r)))
+                        .collect()
+                };
+                let (pairs, _) = sort_all(pool, proj, ws_bytes)?;
+                let index = table.index_on_mut(attr).expect("index present");
+                bulk_delete_sorted(&mut index.tree, &pairs, ReorgPolicy::FreeAtEmpty)?;
+            }
+            match mode {
+                PropagationMode::SideFile => {
+                    let sf = self.sidefile((tid, attr));
+                    // Catch-up: apply batches while appends continue.
+                    loop {
+                        let batch = sf.drain_batch(CATCHUP_BATCH);
+                        let done = batch.len() < CATCHUP_BATCH;
+                        if !batch.is_empty() {
+                            let mut db = self.db.lock();
+                            let table = db.table_mut(tid)?;
+                            let index = table.index_on_mut(attr).expect("index present");
+                            apply_ops(&mut index.tree, &batch)?;
+                        }
+                        if done {
+                            break;
+                        }
+                    }
+                    // Quiesce and drain the tail, then go online.
+                    let tail = sf.quiesce_and_drain();
+                    {
+                        let mut db = self.db.lock();
+                        let table = db.table_mut(tid)?;
+                        let index = table.index_on_mut(attr).expect("index present");
+                        apply_ops(&mut index.tree, &tail)?;
+                    }
+                    self.gate((tid, attr)).set(IndexState::Online);
+                    sf.reset();
+                }
+                PropagationMode::Direct => {
+                    self.undeletable.lock().retain(|&(a, _, _)| a != attr);
+                    self.gate((tid, attr)).set(IndexState::Online);
+                }
+            }
+        }
+        Ok(deleted_rows.len())
+    }
+}

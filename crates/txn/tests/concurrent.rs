@@ -1,0 +1,194 @@
+//! Threaded tests of the §3.1 concurrent bulk-delete protocol.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bd_core::{Database, DatabaseConfig, IndexDef, Tuple};
+use bd_txn::{PropagationMode, TxnDb};
+use bd_workload::TableSpec;
+
+fn setup(n_rows: usize) -> (Arc<TxnDb>, usize, Vec<u64>) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
+    let spec = TableSpec::tiny(n_rows);
+    let w = spec.build(&mut db).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+    let tid = w.tid;
+    let a_values = w.a_values.clone();
+    (TxnDb::new(db), tid, a_values)
+}
+
+/// Fresh keys that cannot collide with generated rows (generated values are
+/// multiples of 10).
+fn fresh_tuple(i: u64) -> Tuple {
+    Tuple::new(vec![1_000_001 + i * 2, 2_000_001 + i * 2, 3_000_001 + i * 2, i])
+}
+
+#[test]
+fn bulk_delete_without_concurrency() {
+    let (tdb, tid, a_values) = setup(2000);
+    let victims: Vec<u64> = a_values.iter().copied().step_by(4).collect();
+    let n = tdb
+        .bulk_delete(tid, 0, &victims, PropagationMode::SideFile)
+        .unwrap();
+    assert_eq!(n, victims.len());
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+    let txn = tdb.begin();
+    assert!(tdb.read(txn, tid, 0, victims[0]).unwrap().is_empty());
+    tdb.commit(txn);
+}
+
+fn concurrent_updates_during_bulk(mode: PropagationMode) {
+    let (tdb, tid, a_values) = setup(3000);
+    let victims: Vec<u64> = a_values.iter().copied().step_by(3).collect();
+    let n_updaters = 4;
+    let inserts_per_updater = 50u64;
+
+    let inserted: Vec<u64> = std::thread::scope(|s| {
+        let bulk = {
+            let tdb = tdb.clone();
+            let victims = victims.clone();
+            s.spawn(move || tdb.bulk_delete(tid, 0, &victims, mode).unwrap())
+        };
+        let updaters: Vec<_> = (0..n_updaters)
+            .map(|u| {
+                let tdb = tdb.clone();
+                s.spawn(move || {
+                    let mut keys = Vec::new();
+                    for i in 0..inserts_per_updater {
+                        let txn = tdb.begin();
+                        let t = fresh_tuple(u * 10_000 + i);
+                        tdb.insert(txn, tid, &t).unwrap();
+                        keys.push(t.attr(0));
+                        tdb.commit(txn);
+                    }
+                    keys
+                })
+            })
+            .collect();
+        let deleted = bulk.join().unwrap();
+        assert_eq!(deleted, victims.len());
+        updaters
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    // Every index agrees with the heap.
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+    // Bulk-deleted rows are gone; updater rows are present via every index.
+    let txn = tdb.begin();
+    for &v in victims.iter().step_by(97) {
+        assert!(tdb.read(txn, tid, 0, v).unwrap().is_empty(), "key {v}");
+    }
+    assert_eq!(inserted.len(), (n_updaters * inserts_per_updater) as usize);
+    for &k in inserted.iter().step_by(13) {
+        let rows = tdb.read(txn, tid, 0, k).unwrap();
+        assert_eq!(rows.len(), 1, "inserted key {k} lost");
+        // Also reachable through the non-unique index on B.
+        let b = rows[0].attr(1);
+        assert!(
+            tdb.read(txn, tid, 1, b).unwrap().iter().any(|t| t.attr(0) == k),
+            "inserted key {k} missing from I_B"
+        );
+    }
+    tdb.commit(txn);
+}
+
+#[test]
+fn concurrent_updates_with_side_files() {
+    concurrent_updates_during_bulk(PropagationMode::SideFile);
+}
+
+#[test]
+fn concurrent_updates_with_direct_propagation() {
+    concurrent_updates_during_bulk(PropagationMode::Direct);
+}
+
+#[test]
+fn updater_deletes_during_bulk_propagation() {
+    let (tdb, tid, a_values) = setup(3000);
+    let victims: Vec<u64> = a_values.iter().copied().step_by(3).collect();
+    let victim_set: HashSet<u64> = victims.iter().copied().collect();
+    // Keys the updater will point-delete: survivors only.
+    let updater_targets: Vec<u64> = a_values
+        .iter()
+        .copied()
+        .filter(|k| !victim_set.contains(k))
+        .step_by(7)
+        .take(60)
+        .collect();
+
+    std::thread::scope(|s| {
+        let bulk = {
+            let tdb = tdb.clone();
+            let victims = victims.clone();
+            s.spawn(move || tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile).unwrap())
+        };
+        let del = {
+            let tdb = tdb.clone();
+            let targets = updater_targets.clone();
+            s.spawn(move || {
+                let mut n = 0;
+                for k in targets {
+                    let txn = tdb.begin();
+                    n += tdb.delete_row(txn, tid, 0, k).unwrap().len();
+                    tdb.commit(txn);
+                }
+                n
+            })
+        };
+        bulk.join().unwrap();
+        assert_eq!(del.join().unwrap(), updater_targets.len());
+    });
+
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+    let txn = tdb.begin();
+    for &k in updater_targets.iter().step_by(11) {
+        assert!(tdb.read(txn, tid, 0, k).unwrap().is_empty());
+    }
+    tdb.commit(txn);
+}
+
+#[test]
+fn unique_constraint_still_enforced_after_bulk() {
+    let (tdb, tid, a_values) = setup(500);
+    let keep = a_values[0];
+    let victims: Vec<u64> = a_values[1..100].to_vec();
+    tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile)
+        .unwrap();
+    let txn = tdb.begin();
+    // Re-inserting a surviving unique key fails.
+    let dup = Tuple::new(vec![keep, 9_000_001, 9_000_003, 1]);
+    assert!(tdb.insert(txn, tid, &dup).is_err());
+    // Re-inserting a deleted key succeeds.
+    let again = Tuple::new(vec![victims[0], 9_000_005, 9_000_007, 2]);
+    tdb.insert(txn, tid, &again).unwrap();
+    tdb.commit(txn);
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+}
+
+#[test]
+fn two_bulk_deletes_serialize() {
+    let (tdb, tid, a_values) = setup(2000);
+    let first: Vec<u64> = a_values.iter().copied().step_by(4).collect();
+    let second: Vec<u64> = a_values.iter().copied().skip(1).step_by(4).collect();
+    std::thread::scope(|s| {
+        let h1 = {
+            let tdb = tdb.clone();
+            let v = first.clone();
+            s.spawn(move || tdb.bulk_delete(tid, 0, &v, PropagationMode::SideFile).unwrap())
+        };
+        let h2 = {
+            let tdb = tdb.clone();
+            let v = second.clone();
+            s.spawn(move || tdb.bulk_delete(tid, 0, &v, PropagationMode::Direct).unwrap())
+        };
+        assert_eq!(h1.join().unwrap(), first.len());
+        assert_eq!(h2.join().unwrap(), second.len());
+    });
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+    let remaining = tdb.with(|db| db.table(tid).unwrap().heap.len());
+    assert_eq!(remaining, 2000 - first.len() - second.len());
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Checkpointing and crash recovery for bulk deletes — paper §3.2.
+//!
+//! "We propose to make use of checkpoints to minimize the loss of work
+//! during a system failure. ... To take full advantage of checkpointing and
+//! to save the work done even after a system failure we propose to finish
+//! the bulk deletion instead of rolling it back."
+//!
+//! * [`record`] — log records: materialized delete lists and victim rows,
+//!   fuzzy checkpoints with tree metadata, per-structure completion,
+//!   commit;
+//! * [`log`] — an append-only, force-on-append log manager (stable storage
+//!   in the simulation);
+//! * [`driver`] — [`driver::run_bulk_delete`] with crash injection at every
+//!   interesting point, and [`driver::recover`], which *rolls the bulk
+//!   delete forward* and applies pending side-files afterwards.
+
+pub mod driver;
+pub mod log;
+pub mod record;
+
+pub use driver::{recover, run_bulk_delete, CrashInjector, CrashSite, WalError};
+pub use log::LogManager;
+pub use record::{LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};

@@ -1,0 +1,308 @@
+//! Log records and their wire encoding.
+//!
+//! The records implement §3.2's recipe: the delete list and the "results of
+//! the join variants" are "materialized to stable storage"; checkpoints
+//! record structure metadata and progress "especially ... when the
+//! processing of one structure (R, I_A, I_B, or I_C) is finished".
+
+use bd_btree::Key;
+use bd_storage::Rid;
+
+/// Log sequence number (record index in this prototype).
+pub type Lsn = u64;
+
+/// A structure processed by the bulk delete, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureId {
+    /// The probe index (`I_A`).
+    Probe,
+    /// The base table (`R`).
+    Table,
+    /// A downstream index, by attribute number.
+    Index(u16),
+}
+
+/// One materialized victim row: its RID and all attribute values (enough
+/// to re-derive every downstream index's delete pairs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaterializedRow {
+    /// Record id.
+    pub rid: Rid,
+    /// All attribute values of the row.
+    pub attrs: Vec<Key>,
+}
+
+/// Durable metadata of one tree at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeMeta {
+    /// Indexed attribute.
+    pub attr: u16,
+    /// Root page.
+    pub root: u32,
+    /// Tree height.
+    pub height: u16,
+}
+
+/// WAL record kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A bulk delete started: the sorted delete list `D`.
+    BulkBegin {
+        /// Attribute the delete predicate names.
+        probe_attr: u16,
+        /// Sorted delete keys.
+        keys: Vec<Key>,
+    },
+    /// The victim rows, materialized before any destructive work.
+    RowsMaterialized {
+        /// Victim rows in RID order.
+        rows: Vec<MaterializedRow>,
+    },
+    /// Fuzzy checkpoint: all dirty pages were flushed; tree metadata as of
+    /// this point.
+    Checkpoint {
+        /// Per-index durable metadata.
+        trees: Vec<TreeMeta>,
+    },
+    /// Mid-structure progress: every victim up to and including position
+    /// `done` (in the materialized row order for that structure) has been
+    /// processed and flushed. "The last processed RID or key-value ...
+    /// stored in the log ... will speed up recovery."
+    Progress {
+        /// Which structure.
+        structure: StructureId,
+        /// Victims processed so far.
+        done: u32,
+    },
+    /// One structure's bulk delete pass completed.
+    StructureDone {
+        /// Which structure.
+        structure: StructureId,
+    },
+    /// The bulk delete committed.
+    BulkCommit,
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+}
+
+impl LogRecord {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            LogRecord::BulkBegin { probe_attr, keys } => {
+                out.push(1);
+                put_u16(&mut out, *probe_attr);
+                put_u32(&mut out, keys.len() as u32);
+                for k in keys {
+                    put_u64(&mut out, *k);
+                }
+            }
+            LogRecord::RowsMaterialized { rows } => {
+                out.push(2);
+                put_u32(&mut out, rows.len() as u32);
+                if let Some(first) = rows.first() {
+                    put_u16(&mut out, first.attrs.len() as u16);
+                } else {
+                    put_u16(&mut out, 0);
+                }
+                for row in rows {
+                    put_u64(&mut out, row.rid.to_u64());
+                    for a in &row.attrs {
+                        put_u64(&mut out, *a);
+                    }
+                }
+            }
+            LogRecord::Checkpoint { trees } => {
+                out.push(3);
+                put_u32(&mut out, trees.len() as u32);
+                for t in trees {
+                    put_u16(&mut out, t.attr);
+                    put_u32(&mut out, t.root);
+                    put_u16(&mut out, t.height);
+                }
+            }
+            LogRecord::StructureDone { structure } => {
+                out.push(4);
+                encode_structure(&mut out, *structure);
+            }
+            LogRecord::BulkCommit => out.push(5),
+            LogRecord::Progress { structure, done } => {
+                out.push(6);
+                put_u32(&mut out, *done);
+                encode_structure(&mut out, *structure);
+            }
+        }
+        out
+    }
+
+    /// Deserialize from bytes produced by [`LogRecord::encode`].
+    pub fn decode(buf: &[u8]) -> LogRecord {
+        let mut r = Reader { buf, pos: 1 };
+        match buf[0] {
+            1 => {
+                let probe_attr = r.u16();
+                let n = r.u32() as usize;
+                let keys = (0..n).map(|_| r.u64()).collect();
+                LogRecord::BulkBegin { probe_attr, keys }
+            }
+            2 => {
+                let n = r.u32() as usize;
+                let n_attrs = r.u16() as usize;
+                let rows = (0..n)
+                    .map(|_| MaterializedRow {
+                        rid: Rid::from_u64(r.u64()),
+                        attrs: (0..n_attrs).map(|_| r.u64()).collect(),
+                    })
+                    .collect();
+                LogRecord::RowsMaterialized { rows }
+            }
+            3 => {
+                let n = r.u32() as usize;
+                let trees = (0..n)
+                    .map(|_| TreeMeta {
+                        attr: r.u16(),
+                        root: r.u32(),
+                        height: r.u16(),
+                    })
+                    .collect();
+                LogRecord::Checkpoint { trees }
+            }
+            4 => LogRecord::StructureDone {
+                structure: decode_structure(&mut r),
+            },
+            5 => LogRecord::BulkCommit,
+            6 => {
+                let done = r.u32();
+                LogRecord::Progress {
+                    structure: decode_structure(&mut r),
+                    done,
+                }
+            }
+            t => panic!("bad record tag {t}"),
+        }
+    }
+}
+
+fn encode_structure(out: &mut Vec<u8>, s: StructureId) {
+    match s {
+        StructureId::Probe => out.push(0),
+        StructureId::Table => out.push(1),
+        StructureId::Index(a) => {
+            out.push(2);
+            put_u16(out, a);
+        }
+    }
+}
+
+fn decode_structure(r: &mut Reader<'_>) -> StructureId {
+    let tag = r.buf[r.pos];
+    r.pos += 1;
+    match tag {
+        0 => StructureId::Probe,
+        1 => StructureId::Table,
+        2 => StructureId::Index(r.u16()),
+        t => panic!("bad structure tag {t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: LogRecord) {
+        assert_eq!(LogRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    fn all_records_roundtrip() {
+        roundtrip(LogRecord::BulkBegin {
+            probe_attr: 0,
+            keys: vec![1, u64::MAX, 42],
+        });
+        roundtrip(LogRecord::RowsMaterialized {
+            rows: vec![
+                MaterializedRow {
+                    rid: Rid::new(3, 4),
+                    attrs: vec![10, 20, 30],
+                },
+                MaterializedRow {
+                    rid: Rid::new(9, 1),
+                    attrs: vec![7, 8, 9],
+                },
+            ],
+        });
+        roundtrip(LogRecord::RowsMaterialized { rows: vec![] });
+        roundtrip(LogRecord::Checkpoint {
+            trees: vec![
+                TreeMeta {
+                    attr: 0,
+                    root: 17,
+                    height: 3,
+                },
+                TreeMeta {
+                    attr: 2,
+                    root: 400,
+                    height: 4,
+                },
+            ],
+        });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Probe,
+        });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Table,
+        });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Index(5),
+        });
+        roundtrip(LogRecord::BulkCommit);
+        roundtrip(LogRecord::Progress {
+            structure: StructureId::Index(3),
+            done: 123_456,
+        });
+        roundtrip(LogRecord::Progress {
+            structure: StructureId::Table,
+            done: 0,
+        });
+    }
+
+    #[test]
+    fn empty_key_list() {
+        roundtrip(LogRecord::BulkBegin {
+            probe_attr: 3,
+            keys: vec![],
+        });
+    }
+}

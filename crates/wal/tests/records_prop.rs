@@ -1,0 +1,64 @@
+//! Property test: every log record survives an encode/decode roundtrip.
+
+use proptest::prelude::*;
+
+use bd_storage::Rid;
+use bd_wal::{LogRecord, MaterializedRow, StructureId, TreeMeta};
+
+fn structure_strategy() -> impl Strategy<Value = StructureId> {
+    prop_oneof![
+        Just(StructureId::Probe),
+        Just(StructureId::Table),
+        any::<u16>().prop_map(StructureId::Index),
+    ]
+}
+
+fn record_strategy() -> impl Strategy<Value = LogRecord> {
+    let begin = (any::<u16>(), prop::collection::vec(any::<u64>(), 0..50))
+        .prop_map(|(probe_attr, keys)| LogRecord::BulkBegin { probe_attr, keys });
+    let rows = (1usize..6, prop::collection::vec(any::<u64>(), 0..40)).prop_map(
+        |(n_attrs, flat)| {
+            let rows = flat
+                .chunks(n_attrs)
+                .filter(|c| c.len() == n_attrs)
+                .enumerate()
+                .map(|(i, attrs)| MaterializedRow {
+                    rid: Rid::new(i as u32, (i % 8) as u16),
+                    attrs: attrs.to_vec(),
+                })
+                .collect();
+            LogRecord::RowsMaterialized { rows }
+        },
+    );
+    let ckpt = prop::collection::vec((any::<u16>(), any::<u32>(), 1u16..10), 0..8).prop_map(
+        |trees| LogRecord::Checkpoint {
+            trees: trees
+                .into_iter()
+                .map(|(attr, root, height)| TreeMeta { attr, root, height })
+                .collect(),
+        },
+    );
+    let done = structure_strategy().prop_map(|structure| LogRecord::StructureDone { structure });
+    let progress = (structure_strategy(), any::<u32>())
+        .prop_map(|(structure, done)| LogRecord::Progress { structure, done });
+    prop_oneof![begin, rows, ckpt, done, progress, Just(LogRecord::BulkCommit)]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(record in record_strategy()) {
+        let bytes = record.encode();
+        prop_assert_eq!(LogRecord::decode(&bytes), record);
+    }
+
+    #[test]
+    fn log_manager_replays_any_sequence(
+        records in prop::collection::vec(record_strategy(), 0..30)
+    ) {
+        let log = bd_wal::LogManager::new();
+        for r in &records {
+            log.append(r);
+        }
+        prop_assert_eq!(log.records(), records);
+    }
+}

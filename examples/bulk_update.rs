@@ -1,0 +1,74 @@
+//! Bulk UPDATE via bulk delete + bulk insert on one index (§1): "increasing
+//! the salary of above-average employees involves carrying out a bulk
+//! delete (and bulk insert) on the Emp.salary index."
+//!
+//! The heap records are updated in place (the RIDs do not move); only the
+//! salary index needs its entries moved — which is exactly a bulk delete of
+//! the old `(salary, rid)` entries followed by a bulk insert of the new
+//! ones.
+//!
+//! ```sh
+//! cargo run --release --example bulk_update
+//! ```
+
+use bulk_delete::prelude::*;
+
+use bd_core::bulk_update;
+
+const EMP_ID: usize = 0;
+const SALARY: usize = 1;
+const DEPT: usize = 2;
+
+fn main() -> DbResult<()> {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let tid = db.create_table("emp", Schema::new(3, 64));
+    db.create_index(tid, IndexDef::secondary(EMP_ID).unique())?;
+    db.create_index(tid, IndexDef::secondary(SALARY))?;
+    db.create_index(tid, IndexDef::secondary(DEPT))?;
+
+    let n = 30_000u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        let salary = 30_000 + (i * 7919) % 90_000;
+        total += salary;
+        db.insert(tid, &Tuple::new(vec![i, salary, i % 25]))?;
+    }
+    let avg = total / n;
+    println!("{n} employees, average salary {avg}");
+
+    // UPDATE emp SET salary = salary * 1.1 WHERE salary > avg
+    // Step 1: find the victims through the salary index (range scan), then
+    // address them by employee id.
+    let table = db.table(tid)?;
+    let victims: Vec<Key> = table
+        .index_on(SALARY)
+        .unwrap()
+        .tree
+        .range(avg + 1, u64::MAX)?
+        .into_iter()
+        .map(|(_, rid)| db.get(tid, rid).map(|t| t.attr(EMP_ID)))
+        .collect::<DbResult<_>>()?;
+    println!("{} employees above average get a 10% raise", victims.len());
+
+    // Step 2: one bulk UPDATE — heap records rewritten in place, and only
+    // the salary index (whose keys changed) sees a bulk delete + bulk
+    // insert of its entries. The emp-id and dept indices are untouched.
+    let out = bulk_update(&mut db, tid, EMP_ID, &victims, |t| {
+        t.attrs[SALARY] += t.attrs[SALARY] / 10;
+    })?;
+    println!(
+        "salary index updated in bulk: {} rows, {} index entries moved, {:.2} simulated min",
+        out.updated,
+        out.index_entries_moved,
+        out.report.sim_minutes()
+    );
+
+    db.check_consistency(tid)?;
+    let table = db.table(tid)?;
+    let still_below: usize = table.index_on(SALARY).unwrap().tree.range(0, avg)?.len();
+    println!(
+        "consistency verified; {} employees remain at or below the old average",
+        still_below
+    );
+    Ok(())
+}

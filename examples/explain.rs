@@ -1,0 +1,64 @@
+//! EXPLAIN: watch the cost-based optimizer change its `⋈̄` method choices
+//! as the delete-list size and the memory budget vary (§2.1: the choice
+//! depends on "the size of the table/index, the number of records to be
+//! deleted, and the size of the main memory buffer pool").
+//!
+//! ```sh
+//! cargo run --release --example explain
+//! ```
+
+use bulk_delete::prelude::*;
+
+use bd_core::{horizontal_cost, plan_delete_costed, CostEnv};
+
+fn main() -> DbResult<()> {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
+    let tid = db.create_table("R", Schema::new(3, 128));
+    db.create_index(tid, IndexDef::secondary(0).unique())?;
+    db.create_index(tid, IndexDef::secondary(1))?;
+    db.create_index(tid, IndexDef::secondary(2))?;
+    for i in 0..60_000u64 {
+        db.insert(tid, &Tuple::new(vec![i, i % 5_000, i % 365]))?;
+    }
+    println!("table: 60000 rows, indices on A (unique), B, C\n");
+
+    let cm = CostModel::default();
+    for (n_delete, ws_bytes) in [
+        (600usize, 256 * 1024usize), // small D, roomy workspace
+        (9_000, 256 * 1024),         // 15%, roomy workspace
+        (9_000, 64 * 1024),          // 15%, tight workspace
+        (9_000, 4 * 1024),           // 15%, tiny workspace
+    ] {
+        let table = db.table(tid)?;
+        let (plan, estimate) =
+            plan_delete_costed(table, 0, n_delete, ws_bytes, 1 << 20)?;
+        let env = CostEnv::of(table, n_delete, ws_bytes, 1 << 20);
+        let horizontal = horizontal_cost(table, false, &env).sim_ms(&cm);
+        println!(
+            "== DELETE of {n_delete} keys with {} KiB workspace ==",
+            ws_bytes / 1024
+        );
+        println!("{}", plan.render(table));
+        println!(
+            "estimated: {:.1} s vertical vs {:.1} s traditional ({:.1}x)\n",
+            estimate.sim_ms(&cm) / 1000.0,
+            horizontal / 1000.0,
+            horizontal / estimate.sim_ms(&cm),
+        );
+    }
+
+    // Execute the last plan to show estimate vs measurement.
+    let keys: Vec<Key> = (0..9_000u64).map(|i| i * 6).collect();
+    let table = db.table(tid)?;
+    let (plan, estimate) = plan_delete_costed(table, 0, keys.len(), 256 * 1024, 1 << 20)?;
+    let est_ms = estimate.sim_ms(&cm);
+    let outcome = bd_core::strategy::vertical(&mut db, tid, &keys, &plan, ReorgPolicy::FreeAtEmpty)?;
+    println!(
+        "executed the roomy-workspace plan: estimated {:.1} s, measured {:.1} s",
+        est_ms / 1000.0,
+        outcome.report.sim_ms() / 1000.0
+    );
+    println!("{}", outcome.report.phase_breakdown());
+    db.check_consistency(tid)?;
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! Bulk UPDATE tests: delete + insert on exactly the changed indices,
+//! in-place heap rewrites, early unique validation.
+
+use bulk_delete::prelude::*;
+
+use bd_core::bulk_update;
+use bd_workload::TableSpec;
+
+fn build(n: usize) -> (Database, bd_workload::Workload) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let w = TableSpec::tiny(n).build(&mut db).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+    (db, w)
+}
+
+#[test]
+fn update_matches_per_row_loop() {
+    let (mut db, w) = build(1000);
+    let keys: Vec<u64> = w.a_values.iter().copied().step_by(3).collect();
+
+    // Reference: per-row delete + re-insert through the engine.
+    let reference = {
+        let (mut db2, w2) = build(1000);
+        for &k in &keys {
+            let rid = db2.lookup(w2.tid, 0, k).unwrap()[0];
+            let mut t = db2.get(w2.tid, rid).unwrap();
+            bd_core::strategy::horizontal(&mut db2, w2.tid, 0, &[k], true).unwrap();
+            t.attrs[1] += 1_000_000;
+            db2.insert(w2.tid, &t).unwrap();
+        }
+        db2.check_consistency(w2.tid).unwrap();
+        let table = db2.table(w2.tid).unwrap();
+        let mut rows: Vec<Vec<u64>> =
+            table.heap.scan().map(|(_, b)| table.schema.decode(&b).attrs).collect();
+        rows.sort_unstable();
+        rows
+    };
+
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[1] += 1_000_000).unwrap();
+    assert_eq!(out.updated, keys.len());
+    assert_eq!(out.index_entries_moved, keys.len()); // only index B changed
+    db.check_consistency(w.tid).unwrap();
+    let table = db.table(w.tid).unwrap();
+    let mut rows: Vec<Vec<u64>> =
+        table.heap.scan().map(|(_, b)| table.schema.decode(&b).attrs).collect();
+    rows.sort_unstable();
+    assert_eq!(rows, reference);
+}
+
+#[test]
+fn rids_survive_updates() {
+    let (mut db, w) = build(300);
+    let k = w.a_values[42];
+    let rid_before = db.lookup(w.tid, 0, k).unwrap()[0];
+    bulk_update(&mut db, w.tid, 0, &[k], |t| t.attrs[2] = 999_999_999).unwrap();
+    let rid_after = db.lookup(w.tid, 0, k).unwrap()[0];
+    assert_eq!(rid_before, rid_after, "in-place update must keep the RID");
+    assert_eq!(db.get(w.tid, rid_after).unwrap().attr(2), 999_999_999);
+}
+
+#[test]
+fn unchanged_indices_are_untouched() {
+    let (mut db, w) = build(500);
+    let keys: Vec<u64> = w.a_values.iter().copied().take(100).collect();
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[3] += 7).unwrap();
+    // Attribute 3 has no index: zero index maintenance.
+    assert_eq!(out.index_entries_moved, 0);
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn updating_the_probe_key_itself_works() {
+    let (mut db, w) = build(400);
+    let keys: Vec<u64> = w.a_values.iter().copied().take(50).collect();
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[0] += 100_000_000).unwrap();
+    assert_eq!(out.updated, 50);
+    db.check_consistency(w.tid).unwrap();
+    for &k in &keys {
+        assert!(db.lookup(w.tid, 0, k).unwrap().is_empty());
+        assert_eq!(db.lookup(w.tid, 0, k + 100_000_000).unwrap().len(), 1);
+    }
+}
+
+#[test]
+fn unique_violation_against_untouched_row_aborts_cleanly() {
+    let (mut db, w) = build(300);
+    let victim = w.a_values[0];
+    let existing = w.a_values[1];
+    let before: Vec<Vec<u64>> = {
+        let t = db.table(w.tid).unwrap();
+        let mut r: Vec<Vec<u64>> =
+            t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+        r.sort_unstable();
+        r
+    };
+    // Rewriting victim's A to an existing (untouched) A value must fail.
+    let err = bulk_update(&mut db, w.tid, 0, &[victim], |t| t.attrs[0] = existing).unwrap_err();
+    assert!(matches!(err, DbError::DuplicateKey { attr: 0, .. }));
+    // Nothing changed.
+    let after: Vec<Vec<u64>> = {
+        let t = db.table(w.tid).unwrap();
+        let mut r: Vec<Vec<u64>> =
+            t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+        r.sort_unstable();
+        r
+    };
+    assert_eq!(before, after);
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn swap_within_update_set_is_allowed() {
+    let (mut db, w) = build(300);
+    let a = w.a_values[0];
+    let b = w.a_values[1];
+    // Swap the two unique keys in one statement.
+    let out = bulk_update(&mut db, w.tid, 0, &[a, b], |t| {
+        if t.attr(0) == a {
+            t.attrs[0] = b;
+        } else {
+            t.attrs[0] = a;
+        }
+    })
+    .unwrap();
+    assert_eq!(out.updated, 2);
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn duplicate_new_keys_within_set_rejected() {
+    let (mut db, w) = build(300);
+    let keys: Vec<u64> = w.a_values.iter().copied().take(2).collect();
+    let err = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[0] = 424242).unwrap_err();
+    assert!(matches!(err, DbError::DuplicateKey { attr: 0, key: 424242 }));
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn noop_update_moves_nothing() {
+    let (mut db, w) = build(200);
+    let keys: Vec<u64> = w.a_values.iter().copied().take(30).collect();
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |_| {}).unwrap();
+    assert_eq!(out.updated, 30);
+    assert_eq!(out.index_entries_moved, 0);
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn update_of_missing_keys_is_noop() {
+    let (mut db, w) = build(200);
+    let ghosts = w.missing_keys(20, 5);
+    let out = bulk_update(&mut db, w.tid, 0, &ghosts, |t| t.attrs[1] = 1).unwrap();
+    assert_eq!(out.updated, 0);
+    db.check_consistency(w.tid).unwrap();
+}

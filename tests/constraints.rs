@@ -1,0 +1,211 @@
+//! Referential-integrity tests: constraints are checked vertically and
+//! *early* — a RESTRICT violation aborts before any destructive work, and
+//! CASCADE bulk-deletes the child tables first.
+
+use bulk_delete::prelude::*;
+
+use bd_core::ForeignKey;
+
+/// customers(id, region) ← orders(id, customer_id) ← lineitems(id, order_id)
+fn shop() -> (Database, TableId, TableId, TableId) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let customers = db.create_table("customers", Schema::new(2, 32));
+    db.create_index(customers, IndexDef::secondary(0).unique()).unwrap();
+    let orders = db.create_table("orders", Schema::new(2, 32));
+    db.create_index(orders, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(orders, IndexDef::secondary(1)).unwrap(); // customer_id
+    let lineitems = db.create_table("lineitems", Schema::new(2, 32));
+    db.create_index(lineitems, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(lineitems, IndexDef::secondary(1)).unwrap(); // order_id
+
+    for c in 0..100u64 {
+        db.insert(customers, &Tuple::new(vec![c, c % 7])).unwrap();
+    }
+    let mut order_id = 0u64;
+    let mut line_id = 0u64;
+    for c in 0..100u64 {
+        // Customers 0..50 have orders; each order has 2 line items.
+        if c < 50 {
+            for _ in 0..3 {
+                db.insert(orders, &Tuple::new(vec![order_id, c])).unwrap();
+                for _ in 0..2 {
+                    db.insert(lineitems, &Tuple::new(vec![line_id, order_id])).unwrap();
+                    line_id += 1;
+                }
+                order_id += 1;
+            }
+        }
+    }
+    (db, customers, orders, lineitems)
+}
+
+fn state(db: &Database, tid: TableId) -> Vec<Vec<u64>> {
+    let t = db.table(tid).unwrap();
+    let mut rows: Vec<Vec<u64>> = t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn restrict_aborts_before_any_work() {
+    let (mut db, customers, orders, _) = shop();
+    db.add_foreign_key(ForeignKey::restrict("fk_orders", customers, 0, orders, 1));
+    let before_customers = state(&db, customers);
+    let before_orders = state(&db, orders);
+
+    // Customers 10..20 have orders: RESTRICT must fire.
+    let d: Vec<u64> = (10..20).collect();
+    let err = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap_err();
+    match err {
+        DbError::ForeignKeyViolation { referencing_rows, .. } => {
+            assert_eq!(referencing_rows, 10 * 3)
+        }
+        e => panic!("expected FK violation, got {e}"),
+    }
+    // Nothing changed anywhere — the check ran before the deletes.
+    assert_eq!(state(&db, customers), before_customers);
+    assert_eq!(state(&db, orders), before_orders);
+    db.check_consistency(customers).unwrap();
+}
+
+#[test]
+fn restrict_allows_unreferenced_keys() {
+    let (mut db, customers, orders, _) = shop();
+    db.add_foreign_key(ForeignKey::restrict("fk_orders", customers, 0, orders, 1));
+    // Customers 80..90 have no orders.
+    let d: Vec<u64> = (80..90).collect();
+    let out = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap();
+    assert_eq!(out.deleted.len(), 10);
+    db.check_consistency(customers).unwrap();
+}
+
+#[test]
+fn cascade_deletes_children_first_transitively() {
+    let (mut db, customers, orders, lineitems) = shop();
+    db.add_foreign_key(ForeignKey::cascade("fk_orders", customers, 0, orders, 1));
+    db.add_foreign_key(ForeignKey::cascade("fk_lines", orders, 0, lineitems, 1));
+
+    let d: Vec<u64> = (0..10).collect(); // 10 customers, 30 orders, 60 items
+    let out = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap();
+    assert_eq!(out.deleted.len(), 10);
+    assert_eq!(db.table(customers).unwrap().heap.len(), 90);
+    assert_eq!(db.table(orders).unwrap().heap.len(), 150 - 30);
+    assert_eq!(db.table(lineitems).unwrap().heap.len(), 300 - 60);
+    for t in [customers, orders, lineitems] {
+        db.check_consistency(t).unwrap();
+    }
+    // No dangling references remain.
+    let orders_t = db.table(orders).unwrap();
+    for (_, bytes) in orders_t.heap.scan() {
+        let cust = orders_t.schema.attr_of(&bytes, 1);
+        assert!(!db.lookup(customers, 0, cust).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn cascade_then_restrict_deeper_aborts_everything_upfront() {
+    let (mut db, customers, orders, lineitems) = shop();
+    db.add_foreign_key(ForeignKey::cascade("fk_orders", customers, 0, orders, 1));
+    db.add_foreign_key(ForeignKey::restrict("fk_lines", orders, 0, lineitems, 1));
+
+    let before = (state(&db, customers), state(&db, orders), state(&db, lineitems));
+    let d: Vec<u64> = (0..5).collect();
+    let err = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap_err();
+    assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+    // Early checking: neither parent nor intermediate child was touched.
+    assert_eq!(state(&db, customers), before.0);
+    assert_eq!(state(&db, orders), before.1);
+    assert_eq!(state(&db, lineitems), before.2);
+}
+
+#[test]
+fn constraints_on_other_parent_attrs_use_victim_row_values() {
+    let (mut db, customers, orders, _) = shop();
+    // Constraint hangs off attribute 1 (region) of customers; the delete is
+    // on attr 0, but the victims' region values (c % 7 in 0..7) are
+    // referenced by orders.customer_id (0..50), so RESTRICT fires.
+    db.add_foreign_key(ForeignKey::restrict("fk_region", customers, 1, orders, 1));
+    let d: Vec<u64> = (10..20).collect();
+    let err = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap_err();
+    assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+
+    // With victims whose region values nothing references, it passes:
+    // rebuild with regions >= 1000 for customers 90..100.
+    let (mut db, customers, orders, _) = shop();
+    db.add_foreign_key(ForeignKey::restrict("fk_region", customers, 1, orders, 1));
+    let _ = orders;
+    // Give customers 90..100 unreferenced region values via delete+insert.
+    for c in 90..100u64 {
+        let rid = db.lookup(customers, 0, c).unwrap()[0];
+        let mut t = db.get(customers, rid).unwrap();
+        strategy::horizontal(&mut db, customers, 0, &[c], true).unwrap();
+        t.attrs[1] = 1000 + c;
+        db.insert(customers, &t).unwrap();
+    }
+    let d: Vec<u64> = (90..100).collect();
+    let out = strategy::vertical_with_constraints(
+        &mut db,
+        customers,
+        0,
+        &d,
+        ReorgPolicy::FreeAtEmpty,
+    )
+    .unwrap();
+    assert_eq!(out.deleted.len(), 10);
+}
+
+#[test]
+fn self_referencing_cascade_terminates() {
+    // employees(id, manager_id) with manager_id -> id CASCADE.
+    let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
+    let emp = db.create_table("emp", Schema::new(2, 32));
+    db.create_index(emp, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(emp, IndexDef::secondary(1)).unwrap();
+    // Chain: 0 manages 1 manages 2 ... (manager of 0 is 999 = nobody).
+    for i in 0..50u64 {
+        let mgr = if i == 0 { 999 } else { i - 1 };
+        db.insert(emp, &Tuple::new(vec![i, mgr])).unwrap();
+    }
+    db.add_foreign_key(ForeignKey::cascade("fk_mgr", emp, 0, emp, 1));
+    // Deleting employee 0 cascades to 1 (whose manager is 0)… but the
+    // cycle guard bounds each edge to one cascade per statement.
+    let out = strategy::vertical_with_constraints(&mut db, emp, 0, &[0], ReorgPolicy::FreeAtEmpty)
+        .unwrap();
+    assert!(!out.deleted.is_empty());
+    db.check_consistency(emp).unwrap();
+}

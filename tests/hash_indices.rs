@@ -1,0 +1,158 @@
+//! Hash indices through every code path — "in our prototype, other kinds
+//! of indices are updated in the traditional way" (§5): the vertical bulk
+//! delete must leave hash indices exactly as consistent as B-tree indices,
+//! at traditional (per-record) cost.
+
+use bulk_delete::prelude::*;
+
+use bd_core::bulk_update;
+use bd_workload::TableSpec;
+
+fn build(n: usize) -> (Database, bd_workload::Workload) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let w = TableSpec::tiny(n).build(&mut db).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+    db.create_hash_index(w.tid, 2).unwrap(); // H_C
+    db.create_hash_index(w.tid, 3).unwrap(); // H_D
+    (db, w)
+}
+
+#[test]
+fn hash_index_lookup_after_build() {
+    let (db, w) = build(500);
+    let table = db.table(w.tid).unwrap();
+    let h = table.hash_index_on(2).unwrap();
+    assert_eq!(h.index.len(), 500);
+    // Spot-check a few rows.
+    for (rid, bytes) in table.heap.scan().take(20) {
+        let key = table.schema.attr_of(&bytes, 2);
+        assert!(h.index.search(key).unwrap().contains(&rid));
+    }
+}
+
+#[test]
+fn every_strategy_maintains_hash_indices() {
+    type Runner = Box<dyn Fn(&mut Database, TableId, &[Key])>;
+    let runners: Vec<(&str, Runner)> = vec![
+        (
+            "horizontal",
+            Box::new(|db, tid, d| {
+                strategy::horizontal(db, tid, 0, d, true).unwrap();
+            }),
+        ),
+        (
+            "drop&create",
+            Box::new(|db, tid, d| {
+                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad).unwrap();
+            }),
+        ),
+        (
+            "vertical",
+            Box::new(|db, tid, d| {
+                strategy::vertical_sort_merge(db, tid, 0, d).unwrap();
+            }),
+        ),
+    ];
+    for (name, run) in runners {
+        let (mut db, w) = build(800);
+        let d = w.delete_set(0.25, 3);
+        run(&mut db, w.tid, &d);
+        db.check_consistency(w.tid).unwrap();
+        let table = db.table(w.tid).unwrap();
+        assert_eq!(
+            table.hash_index_on(2).unwrap().index.len(),
+            800 - d.len(),
+            "{name}: hash index count wrong"
+        );
+    }
+}
+
+#[test]
+fn vertical_report_shows_traditional_hash_phase() {
+    let (mut db, w) = build(600);
+    let d = w.delete_set(0.2, 7);
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let phases: Vec<&str> = out.report.phases.iter().map(|(n, _)| n.as_str()).collect();
+    assert!(
+        phases.iter().any(|p| p.contains("H_C") && p.contains("traditional")),
+        "phases: {phases:?}"
+    );
+}
+
+#[test]
+fn bulk_update_maintains_hash_indices() {
+    let (mut db, w) = build(400);
+    let keys: Vec<u64> = w.a_values.iter().copied().take(100).collect();
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[2] += 777_000_000).unwrap();
+    assert_eq!(out.updated, 100);
+    db.check_consistency(w.tid).unwrap();
+    let table = db.table(w.tid).unwrap();
+    let h = table.hash_index_on(2).unwrap();
+    // Every updated row is findable under its new C value.
+    for &k in keys.iter().take(10) {
+        let rid = db.lookup(w.tid, 0, k).unwrap()[0];
+        let c = db.get(w.tid, rid).unwrap().attr(2);
+        assert!(c >= 777_000_000);
+        assert!(h.index.search(c).unwrap().contains(&rid));
+    }
+}
+
+#[test]
+fn concurrent_bulk_delete_keeps_hash_indices_consistent() {
+    let (db, w) = build(2000);
+    let victims: Vec<u64> = w.a_values.iter().copied().step_by(3).collect();
+    let tid = w.tid;
+    let tdb = bd_txn::TxnDb::new(db);
+    std::thread::scope(|s| {
+        let bulk = {
+            let tdb = tdb.clone();
+            let v = victims.clone();
+            s.spawn(move || {
+                tdb.bulk_delete(tid, 0, &v, bd_txn::PropagationMode::SideFile).unwrap()
+            })
+        };
+        let upd = {
+            let tdb = tdb.clone();
+            s.spawn(move || {
+                for i in 0..40u64 {
+                    let txn = tdb.begin();
+                    tdb.insert(
+                        txn,
+                        tid,
+                        &Tuple::new(vec![5_000_001 + i * 2, 6_000_001 + i * 2, i, i]),
+                    )
+                    .unwrap();
+                    tdb.commit(txn);
+                }
+            })
+        };
+        bulk.join().unwrap();
+        upd.join().unwrap();
+    });
+    tdb.with(|db| db.check_consistency(tid).unwrap());
+}
+
+#[test]
+fn recovery_keeps_hash_indices_consistent() {
+    use bd_wal::{recover, run_bulk_delete, CrashInjector, CrashSite, LogManager};
+    let (mut db, w) = build(1500);
+    let victims: Vec<u64> = w.a_values.iter().copied().step_by(4).collect();
+    let log = LogManager::new();
+    let err = run_bulk_delete(
+        &mut db,
+        w.tid,
+        0,
+        &victims,
+        &log,
+        CrashInjector::at(CrashSite::MidStructure(1)),
+    )
+    .unwrap_err();
+    assert!(matches!(err, bd_wal::WalError::Crashed(_)));
+    db.pool().crash();
+    // Restore the in-memory hash-index counters from disk (the catalog's
+    // recount step, analogous to heap/tree recount).
+    let n = recover(&mut db, w.tid, &log, &[]).unwrap();
+    assert_eq!(n, victims.len());
+    db.check_consistency(w.tid).unwrap();
+}

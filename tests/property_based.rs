@@ -1,0 +1,185 @@
+//! Property-based tests: randomized workloads, every strategy against a
+//! model (`BTreeMap`) oracle, B-tree invariants under arbitrary operation
+//! sequences.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use bulk_delete::prelude::*;
+
+use bd_btree::{bulk_delete_sorted, verify, BTree, BTreeConfig};
+use bd_storage::{BufferPool, SimDisk};
+
+fn tiny_db() -> Database {
+    Database::new(DatabaseConfig::with_total_memory(1 << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Vertical bulk delete equals the model: for any row multiset and any
+    /// delete subset, the surviving rows and all index contents match a
+    /// `BTreeMap` oracle.
+    #[test]
+    fn vertical_matches_model(
+        rows in prop::collection::vec((0u64..500, 0u64..100, 0u64..50), 1..300),
+        picks in prop::collection::vec(any::<bool>(), 300),
+    ) {
+        // Deduplicate attribute A (unique index).
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<_> = rows.into_iter().filter(|r| seen.insert(r.0)).collect();
+
+        let mut db = tiny_db();
+        let tid = db.create_table("R", Schema::new(3, 32));
+        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(1)).unwrap();
+        let mut model: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for &(a, b, c) in &rows {
+            db.insert(tid, &Tuple::new(vec![a, b, c])).unwrap();
+            model.insert(a, (b, c));
+        }
+        let d: Vec<u64> = rows
+            .iter()
+            .zip(picks.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|(r, _)| r.0)
+            .collect();
+        let out = strategy::vertical_sort_merge(&mut db, tid, 0, &d).unwrap();
+        prop_assert_eq!(out.deleted.len(), d.len());
+        for k in &d {
+            model.remove(k);
+        }
+        db.check_consistency(tid).unwrap();
+        // Survivors match the model exactly.
+        let table = db.table(tid).unwrap();
+        let mut got: Vec<(u64, u64, u64)> = table
+            .heap
+            .scan()
+            .map(|(_, bytes)| {
+                let t = table.schema.decode(&bytes);
+                (t.attr(0), t.attr(1), t.attr(2))
+            })
+            .collect();
+        got.sort_unstable();
+        let want: Vec<(u64, u64, u64)> =
+            model.iter().map(|(&a, &(b, c))| (a, b, c)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Horizontal and vertical agree on arbitrary inputs.
+    #[test]
+    fn horizontal_equals_vertical(
+        n_rows in 10usize..200,
+        frac_pct in 0usize..=100,
+        seed in 0u64..1000,
+    ) {
+        let spec = bd_workload::TableSpec::tiny(n_rows).with_seed(seed);
+        let frac = frac_pct as f64 / 100.0;
+
+        let run = |vertical: bool| -> Vec<Vec<u64>> {
+            let mut db = tiny_db();
+            let w = spec.build(&mut db).unwrap();
+            w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+            w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+            let d = w.delete_set(frac, seed + 7);
+            if vertical {
+                strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+            } else {
+                strategy::horizontal(&mut db, w.tid, 0, &d, seed % 2 == 0).unwrap();
+            }
+            db.check_consistency(w.tid).unwrap();
+            let table = db.table(w.tid).unwrap();
+            let mut rows: Vec<Vec<u64>> = table
+                .heap
+                .scan()
+                .map(|(_, b)| table.schema.decode(&b).attrs)
+                .collect();
+            rows.sort_unstable();
+            rows
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// B-tree invariants hold after any interleaving of inserts, point
+    /// deletes, and bulk deletes.
+    #[test]
+    fn btree_invariants_under_mixed_ops(
+        ops in prop::collection::vec((0u8..3, 0u64..300), 1..200),
+        fanout in 4usize..32,
+    ) {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 512);
+        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(fanout)).unwrap();
+        let mut model: BTreeMap<u64, Rid> = BTreeMap::new();
+        let mut pending_bulk: Vec<u64> = Vec::new();
+        for (op, k) in ops {
+            match op {
+                0 => {
+                    model.entry(k).or_insert_with(|| {
+                        let rid = Rid::new(k as u32, 0);
+                        tree.insert(k, rid).unwrap();
+                        rid
+                    });
+                }
+                1 => {
+                    if let Some(rid) = model.remove(&k) {
+                        prop_assert!(tree.delete_one(k, rid).unwrap());
+                    }
+                }
+                _ => pending_bulk.push(k),
+            }
+        }
+        // Apply the accumulated bulk delete.
+        let mut victims: Vec<(u64, Rid)> = pending_bulk
+            .iter()
+            .filter_map(|k| model.get(k).map(|&r| (*k, r)))
+            .collect();
+        victims.sort_unstable();
+        victims.dedup();
+        let deleted =
+            bulk_delete_sorted(&mut tree, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
+        prop_assert_eq!(deleted.len(), victims.len());
+        for (k, _) in &victims {
+            model.remove(k);
+        }
+        let entries = verify::check(&tree).expect("invariants");
+        let expect: Vec<(u64, Rid)> = model.iter().map(|(&k, &r)| (k, r)).collect();
+        prop_assert_eq!(entries, expect);
+    }
+
+    /// External sort is a sorting function for any input and budget.
+    #[test]
+    fn external_sort_correct(
+        items in prop::collection::vec(any::<u64>(), 0..5000),
+        budget_kb in 1usize..64,
+    ) {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
+        let (sorted, _) =
+            bd_exec::sort_all(pool, items.clone(), budget_kb * 1024).unwrap();
+        let mut want = items;
+        want.sort_unstable();
+        prop_assert_eq!(sorted, want);
+    }
+
+    /// Range partitions cover the input exactly, in order, within bounds.
+    #[test]
+    fn partitions_cover_input(
+        mut keys in prop::collection::vec(0u64..1000, 1..500),
+        per_part in 1usize..100,
+    ) {
+        keys.sort_unstable();
+        let entries: Vec<(u64, Rid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, Rid::new(i as u32, 0)))
+            .collect();
+        let parts = bd_exec::range_partitions(&entries, per_part);
+        let flat: Vec<(u64, Rid)> =
+            parts.iter().flat_map(|p| p.entries.clone()).collect();
+        prop_assert_eq!(&flat, &entries);
+        for p in &parts {
+            prop_assert!(p.entries.len() <= per_part);
+            prop_assert!(p.entries.iter().all(|e| e.0 >= p.lo && e.0 <= p.hi));
+        }
+    }
+}

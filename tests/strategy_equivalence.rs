@@ -1,0 +1,181 @@
+//! Every delete strategy must leave the table and all indices in exactly
+//! the same logical state — the core correctness property of the paper's
+//! claim that vertical bulk deletion is a drop-in replacement.
+
+use bulk_delete::prelude::*;
+
+use bd_workload::TableSpec;
+
+fn build(n_rows: usize, n_secondary: usize, seed: u64) -> (Database, bd_workload::Workload) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let w = TableSpec::tiny(n_rows).with_seed(seed).build(&mut db).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    for attr in 1..=n_secondary {
+        w.attach_index(&mut db, IndexDef::secondary(attr)).unwrap();
+    }
+    (db, w)
+}
+
+/// Canonical logical state: sorted rows (all attributes).
+fn state(db: &Database, tid: TableId) -> Vec<Vec<u64>> {
+    let table = db.table(tid).unwrap();
+    let mut rows: Vec<Vec<u64>> = table
+        .heap
+        .scan()
+        .map(|(_, bytes)| table.schema.decode(&bytes).attrs)
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
+    let reference = {
+        let (mut db, w) = build(n_rows, 2, seed);
+        let d = w.delete_set(frac, seed + 1);
+        let out = strategy::horizontal(&mut db, w.tid, 0, &d, true).unwrap();
+        assert_eq!(out.deleted.len(), d.len());
+        db.check_consistency(w.tid).unwrap();
+        state(&db, w.tid)
+    };
+
+    type Runner = Box<dyn Fn(&mut Database, TableId, &[Key]) -> usize>;
+    let runners: Vec<(&str, Runner)> = vec![
+        (
+            "not-sorted/trad",
+            Box::new(|db, tid, d| {
+                strategy::horizontal(db, tid, 0, d, false).unwrap().deleted.len()
+            }),
+        ),
+        (
+            "drop&create/bulkload",
+            Box::new(|db, tid, d| {
+                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad)
+                    .unwrap()
+                    .deleted
+                    .len()
+            }),
+        ),
+        (
+            "drop&create/inserts",
+            Box::new(|db, tid, d| {
+                strategy::drop_create(db, tid, 0, d, RebuildMode::InsertEach)
+                    .unwrap()
+                    .deleted
+                    .len()
+            }),
+        ),
+        (
+            "vertical/sort-merge",
+            Box::new(|db, tid, d| {
+                strategy::vertical_sort_merge(db, tid, 0, d).unwrap().deleted.len()
+            }),
+        ),
+        (
+            "vertical/auto",
+            Box::new(|db, tid, d| {
+                strategy::vertical_auto(db, tid, 0, d, ReorgPolicy::FreeAtEmpty)
+                    .unwrap()
+                    .1
+                    .deleted
+                    .len()
+            }),
+        ),
+        (
+            "vertical/compact",
+            Box::new(|db, tid, d| {
+                let plan = bd_core::plan_sort_merge(db.table(tid).unwrap(), 0).unwrap();
+                strategy::vertical(db, tid, d, &plan, ReorgPolicy::CompactLeaves)
+                    .unwrap()
+                    .deleted
+                    .len()
+            }),
+        ),
+    ];
+
+    for (name, run) in runners {
+        let (mut db, w) = build(n_rows, 2, seed);
+        let d = w.delete_set(frac, seed + 1);
+        let n = run(&mut db, w.tid, &d);
+        assert_eq!(n, d.len(), "{name}: wrong delete count");
+        db.check_consistency(w.tid).unwrap();
+        assert_eq!(state(&db, w.tid), reference, "{name}: diverged from reference");
+    }
+}
+
+#[test]
+fn all_strategies_equivalent_small() {
+    run_all_strategies(800, 0.15, 11);
+}
+
+#[test]
+fn all_strategies_equivalent_heavy_delete() {
+    run_all_strategies(600, 0.8, 23);
+}
+
+#[test]
+fn all_strategies_equivalent_light_delete() {
+    run_all_strategies(1200, 0.01, 5);
+}
+
+#[test]
+fn all_strategies_equivalent_delete_everything() {
+    run_all_strategies(400, 1.0, 31);
+}
+
+#[test]
+fn empty_delete_set_is_noop_everywhere() {
+    let (mut db, w) = build(300, 2, 3);
+    let before = state(&db, w.tid);
+    for out in [
+        strategy::horizontal(&mut db, w.tid, 0, &[], true).unwrap(),
+        strategy::horizontal(&mut db, w.tid, 0, &[], false).unwrap(),
+        strategy::vertical_sort_merge(&mut db, w.tid, 0, &[]).unwrap(),
+    ] {
+        assert_eq!(out.deleted.len(), 0);
+    }
+    assert_eq!(state(&db, w.tid), before);
+    db.check_consistency(w.tid).unwrap();
+}
+
+#[test]
+fn missing_keys_delete_nothing() {
+    let (mut db, w) = build(500, 1, 7);
+    let before = state(&db, w.tid);
+    let ghosts = w.missing_keys(100, 9);
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &ghosts).unwrap();
+    assert_eq!(out.deleted.len(), 0);
+    let out = strategy::horizontal(&mut db, w.tid, 0, &ghosts, true).unwrap();
+    assert_eq!(out.deleted.len(), 0);
+    assert_eq!(state(&db, w.tid), before);
+}
+
+#[test]
+fn deleted_rows_are_returned_for_archiving() {
+    let (mut db, w) = build(500, 2, 13);
+    let d = w.delete_set(0.2, 17);
+    let expect: std::collections::HashSet<u64> = d.iter().copied().collect();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    assert_eq!(out.deleted.len(), d.len());
+    for (_, tuple) in &out.deleted {
+        assert!(expect.contains(&tuple.attr(0)));
+    }
+    // RID order (the order the heap pass removes them).
+    assert!(out.deleted.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn repeated_bulk_deletes_compose() {
+    let (mut db, w) = build(1000, 2, 19);
+    let all: Vec<u64> = w.a_values.clone();
+    let first: Vec<u64> = all.iter().copied().step_by(3).collect();
+    let second: Vec<u64> = all.iter().copied().skip(1).step_by(3).collect();
+    strategy::vertical_sort_merge(&mut db, w.tid, 0, &first).unwrap();
+    db.check_consistency(w.tid).unwrap();
+    strategy::vertical_sort_merge(&mut db, w.tid, 0, &second).unwrap();
+    db.check_consistency(w.tid).unwrap();
+    let remaining = db.table(w.tid).unwrap().heap.len();
+    assert_eq!(remaining, 1000 - first.len() - second.len());
+    // Deleting already-deleted keys again is a no-op.
+    let again = strategy::vertical_sort_merge(&mut db, w.tid, 0, &first).unwrap();
+    assert_eq!(again.deleted.len(), 0);
+}
