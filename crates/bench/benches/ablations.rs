@@ -20,10 +20,7 @@ fn plan(method: IndexMethod, table: TableMethod) -> DeletePlan {
     DeletePlan {
         probe_attr: 0,
         table,
-        index_steps: vec![
-            IndexStep { attr: 1, method },
-            IndexStep { attr: 2, method },
-        ],
+        index_steps: vec![IndexStep { attr: 1, method }, IndexStep { attr: 2, method }],
     }
 }
 
@@ -68,7 +65,10 @@ fn bench_index_method(c: &mut Criterion) {
     for (name, method) in [
         ("sort-merge", IndexMethod::SortMerge { presort: true }),
         ("classic-hash", IndexMethod::ClassicHash),
-        ("partitioned-hash", IndexMethod::PartitionedHash { partitions: 4 }),
+        (
+            "partitioned-hash",
+            IndexMethod::PartitionedHash { partitions: 4 },
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter_batched(
@@ -120,7 +120,11 @@ fn bench_prefetch(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_chained_prefetch");
     tune(&mut g);
     for fragmented in [false, true] {
-        let name = if fragmented { "fragmented-leaves" } else { "contiguous-leaves" };
+        let name = if fragmented {
+            "fragmented-leaves"
+        } else {
+            "contiguous-leaves"
+        };
         g.bench_function(name, |b| {
             b.iter_batched(
                 || {

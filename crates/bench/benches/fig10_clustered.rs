@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     for (name, cfg, s) in [
         ("sorted-trad/clust", clustered, StrategyKind::SortedTrad),
         ("sorted-trad/unclust", unclustered, StrategyKind::SortedTrad),
-        ("not-sorted-trad/clust", clustered, StrategyKind::NotSortedTrad),
+        (
+            "not-sorted-trad/clust",
+            clustered,
+            StrategyKind::NotSortedTrad,
+        ),
         ("bulk/clust", clustered, StrategyKind::Bulk),
     ] {
         bench_cell(c, "fig10_clustered", name, cfg, s, 0.15);

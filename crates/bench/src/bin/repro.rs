@@ -1,11 +1,18 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases]
+//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases] [--audit]
 //! ```
 //!
 //! `--phases` additionally prints the per-`⋈̄` I/O breakdown of one bulk
 //! delete at the chosen scale.
+//!
+//! `--audit` runs the differential audit harness instead of the
+//! experiments: the same build + delete workload is executed horizontally
+//! and vertically in two separate databases, and every storage structure
+//! (heap record multiset, B-tree entries and invariants, FSM accounting,
+//! hash chains) is diffed across the two executions. Exits non-zero and
+//! prints the per-structure diff on divergence.
 //!
 //! Default scale is 100,000 rows (1/10 of the paper with all ratios
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
@@ -18,10 +25,12 @@ fn main() {
     let mut which = "all".to_string();
     let mut rows: usize = 100_000;
     let mut show_phases = false;
+    let mut run_audit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--phases" => show_phases = true,
+            "--audit" => run_audit = true,
             "--rows" => {
                 i += 1;
                 rows = args
@@ -50,6 +59,11 @@ fn main() {
         }
     };
 
+    if run_audit {
+        audit(rows);
+        return;
+    }
+
     println!(
         "Efficient Bulk Deletes in Relational Databases (ICDE 2001) — reproduction\n\
          scale: {rows} rows x 512 B; memory budgets scaled by rows/1M; times are\n\
@@ -68,7 +82,11 @@ fn main() {
         match run(id) {
             Ok(report) => {
                 println!("{}", report.render());
-                eprintln!("[{} finished in {:.1}s wall]", id, started.elapsed().as_secs_f32());
+                eprintln!(
+                    "[{} finished in {:.1}s wall]",
+                    id,
+                    started.elapsed().as_secs_f32()
+                );
             }
             Err(e) => {
                 eprintln!("{id} failed: {e}");
@@ -86,9 +104,7 @@ fn print_phases(rows: usize) {
     };
     match run_point(&cfg, StrategyKind::Bulk, 0.15) {
         Ok(report) => {
-            println!(
-                "per-phase breakdown (bulk delete, 15% of {rows} rows, 3 indices):"
-            );
+            println!("per-phase breakdown (bulk delete, 15% of {rows} rows, 3 indices):");
             print!("{}", report.phase_breakdown());
             println!();
         }
@@ -96,7 +112,54 @@ fn print_phases(rows: usize) {
     }
 }
 
+/// Differential strategy-equivalence audit: run the same workload
+/// horizontally and vertically, then diff all physical structures.
+fn audit(rows: usize) {
+    use bd_core::prelude::*;
+    use bd_core::{audit_equivalence, IndexDef};
+    use bd_workload::TableSpec;
+
+    let rows = rows.min(20_000); // the audit is O(n log n) in host time
+    println!(
+        "differential audit: horizontal vs vertical, {rows} rows, \
+         15% delete, 3 B-tree indices + 1 hash index"
+    );
+    let build = |seed: u64| {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
+        let w = TableSpec::tiny(rows)
+            .with_seed(seed)
+            .build(&mut db)
+            .unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(0).unique())
+            .unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+        db.create_hash_index(w.tid, 3).unwrap();
+        (db, w)
+    };
+    let (mut db_a, w_a) = build(1);
+    let (mut db_b, _) = build(1);
+    let d = w_a.delete_set(0.15, 2);
+    strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w_a.tid, 0, &d).unwrap();
+    match audit_equivalence(&db_a, &db_b, w_a.tid) {
+        Ok(report) if report.is_clean() => {
+            println!("{report}");
+        }
+        Ok(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("audit aborted: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn usage() -> ! {
-    eprintln!("usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N]");
+    eprintln!(
+        "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases] [--audit]"
+    );
     std::process::exit(2);
 }

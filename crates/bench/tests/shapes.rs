@@ -32,14 +32,20 @@ fn fig7_bulk_dominates_and_gap_grows() {
         let sorted = r.value(x, "sorted/trad");
         let notsorted = r.value(x, "not sorted/trad");
         assert!(bulk < sorted, "{x}: bulk must beat sorted/trad");
-        assert!(sorted < notsorted, "{x}: sorting D must help the traditional plan");
+        assert!(
+            sorted < notsorted,
+            "{x}: sorting D must help the traditional plan"
+        );
     }
     // The gap grows with the delete fraction, reaching ~an order of
     // magnitude at 20% (paper: "by almost one order of magnitude").
     let gap_5 = r.value("5%", "not sorted/trad") / r.value("5%", "bulk delete");
     let gap_20 = r.value("20%", "not sorted/trad") / r.value("20%", "bulk delete");
     assert!(gap_20 > gap_5, "gap must widen with the delete fraction");
-    assert!(gap_20 >= 8.0, "expected ~order-of-magnitude at 20%, got {gap_20:.1}x");
+    assert!(
+        gap_20 >= 8.0,
+        "expected ~order-of-magnitude at 20%, got {gap_20:.1}x"
+    );
     // Bulk is roughly flat.
     let bulk_5 = r.value("5%", "bulk delete");
     let bulk_20 = r.value("20%", "bulk delete");
@@ -76,7 +82,10 @@ fn table1_bulk_height_independent_traditional_not() {
     // (paper Table 1 shows the same value for sorted/bulk and bulk).
     let b_short = r.value(&short, "bulk delete");
     let b_tall = r.value(&tall, "bulk delete");
-    assert!(b_tall < 1.3 * b_short, "bulk must be nearly height-independent");
+    assert!(
+        b_tall < 1.3 * b_short,
+        "bulk must be nearly height-independent"
+    );
     let sb_short = r.value(&short, "sorted/bulk");
     assert!((sb_short - b_short).abs() / b_short < 0.25);
     // Traditional: grows with height.

@@ -296,9 +296,9 @@ mod tests {
         let mut t = loaded(100, 8);
         let victims = vec![
             (5, rid(5)),
-            (5, Rid::new(99, 9)),   // wrong rid
+            (5, Rid::new(99, 9)), // wrong rid
             (50, rid(50)),
-            (1000, rid(0)),          // key past the end
+            (1000, rid(0)), // key past the end
         ];
         let deleted = bulk_delete_sorted(&mut t, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
         assert_eq!(deleted, vec![(5, rid(5)), (50, rid(50))]);
@@ -484,8 +484,7 @@ mod tests {
             .filter(|k| k % 3 != 0)
             .map(|k| (k, rid(k)))
             .collect();
-        let deleted =
-            bulk_delete_sorted(&mut t, &victims, ReorgPolicy::BaseNodePack).unwrap();
+        let deleted = bulk_delete_sorted(&mut t, &victims, ReorgPolicy::BaseNodePack).unwrap();
         assert_eq!(deleted.len(), victims.len());
         assert_eq!(t.len(), 1000);
         for k in (0..3000u64).step_by(3) {

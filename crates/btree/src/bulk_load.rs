@@ -65,11 +65,9 @@ pub fn bulk_load(
         pool.with_disk(|disk| {
             disk.write_chain(first, n_nodes, |pid, page| {
                 let i = (pid - first) as usize;
-                let group =
-                    &level_seps[i * per_node..((i + 1) * per_node).min(level_seps.len())];
+                let group = &level_seps[i * per_node..((i + 1) * per_node).min(level_seps.len())];
                 let mut node = NodeMut::init(&mut page[..], NodeKind::Inner);
-                let seps: Vec<(Sep, u32)> =
-                    group[1..].iter().map(|&(s, c)| (s, c)).collect();
+                let seps: Vec<(Sep, u32)> = group[1..].iter().map(|&(s, c)| (s, c)).collect();
                 node.inner_set_entries(group[0].1, &seps);
                 let next = (i + 1 < n_nodes).then(|| pid + 1);
                 node.set_right_sibling(next);

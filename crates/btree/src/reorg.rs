@@ -180,8 +180,7 @@ pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
         let (children, next_base) = {
             let r = tree.pool().pin_read(base)?;
             let node = NodeRef::new(&r[..]);
-            let children: Vec<PageId> =
-                (0..=node.nkeys()).map(|i| node.inner_child(i)).collect();
+            let children: Vec<PageId> = (0..=node.nkeys()).map(|i| node.inner_child(i)).collect();
             (children, node.right_sibling())
         };
         // Gather the subtree's live entries (bounded by fanout * leaf_cap).

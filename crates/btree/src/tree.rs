@@ -10,9 +10,7 @@ use std::sync::Arc;
 
 use bd_storage::{BufferPool, PageId, Rid, StorageResult};
 
-use crate::node::{
-    key_floor, Key, NodeKind, NodeMut, NodeRef, Sep, MAX_INNER_CAP, MAX_LEAF_CAP,
-};
+use crate::node::{key_floor, Key, NodeKind, NodeMut, NodeRef, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
 
 /// Node capacity configuration.
 ///
@@ -625,7 +623,9 @@ mod tests {
         let mut model = std::collections::BTreeSet::new();
         let mut x: u64 = 12345;
         for step in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 500;
             if step % 3 == 0 && model.contains(&k) {
                 assert!(t.delete_one(k, rid(k)).unwrap());
@@ -637,7 +637,11 @@ mod tests {
         }
         assert_eq!(t.len(), model.len());
         for k in 0..500u64 {
-            let expect: Vec<Rid> = if model.contains(&k) { vec![rid(k)] } else { vec![] };
+            let expect: Vec<Rid> = if model.contains(&k) {
+                vec![rid(k)]
+            } else {
+                vec![]
+            };
             assert_eq!(t.search(k).unwrap(), expect, "key {k}");
         }
         crate::verify::check(&t).unwrap();

@@ -19,6 +19,27 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
+/// Exact physical summary of a verified tree, produced by [`audit`].
+///
+/// `entries` is the ground truth for differential comparison: two trees
+/// holding the same logical index state have identical entry lists no
+/// matter how their node layouts diverged. The remaining fields describe
+/// the physical shape (for reports and free-at-empty accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeAudit {
+    /// Every `(key, rid)` entry, in tree (= key) order.
+    pub entries: Vec<(Key, Rid)>,
+    /// Tree height in levels.
+    pub height: usize,
+    /// Reachable leaf pages, left to right.
+    pub leaf_pages: Vec<PageId>,
+    /// Entries per reachable leaf (fill profile, left to right).
+    pub leaf_fill: Vec<usize>,
+    /// Empty leaves still linked in the sibling chain but detached from the
+    /// tree (free-at-empty leaves awaiting reuse).
+    pub detached_empty_leaves: usize,
+}
+
 /// Check every structural invariant of `tree`; returns the entries found.
 ///
 /// Verified invariants:
@@ -30,6 +51,12 @@ impl std::error::Error for Violation {}
 ///   interleaved with detached empty leaves);
 /// * `tree.len()` equals the number of reachable entries.
 pub fn check(tree: &BTree) -> Result<Vec<(Key, Rid)>, Violation> {
+    audit(tree).map(|a| a.entries)
+}
+
+/// Run every [`check`] invariant and additionally return the physical
+/// summary the differential audit harness diffs across strategy runs.
+pub fn audit(tree: &BTree) -> Result<TreeAudit, Violation> {
     let mut entries = Vec::new();
     let mut reachable_leaves = Vec::new();
     walk(
@@ -59,8 +86,9 @@ pub fn check(tree: &BTree) -> Result<Vec<(Key, Rid)>, Violation> {
     let first = tree
         .first_leaf()
         .map_err(|e| Violation(format!("first_leaf: {e}")))?;
-    let reachable_set: HashSet<PageId> = reachable_leaves.iter().copied().collect();
+    let reachable_set: HashSet<PageId> = reachable_leaves.iter().map(|&(p, _)| p).collect();
     let mut chain = Vec::new();
+    let mut detached_empty = 0usize;
     let mut pid = Some(first);
     let mut guard = 0usize;
     while let Some(p) = pid {
@@ -83,15 +111,24 @@ pub fn check(tree: &BTree) -> Result<Vec<(Key, Rid)>, Violation> {
                 "unreachable leaf {p} still holds {} entries",
                 node.nkeys()
             )));
+        } else {
+            detached_empty += 1;
         }
         pid = node.right_sibling();
     }
-    if chain != reachable_leaves {
+    let reachable_order: Vec<PageId> = reachable_leaves.iter().map(|&(p, _)| p).collect();
+    if chain != reachable_order {
         return Err(Violation(format!(
-            "leaf chain order {chain:?} != reachable order {reachable_leaves:?}"
+            "leaf chain order {chain:?} != reachable order {reachable_order:?}"
         )));
     }
-    Ok(entries)
+    Ok(TreeAudit {
+        entries,
+        height: tree.height(),
+        leaf_fill: reachable_leaves.iter().map(|&(_, n)| n).collect(),
+        leaf_pages: reachable_order,
+        detached_empty_leaves: detached_empty,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -102,16 +139,14 @@ fn walk(
     lo: Option<Sep>,
     hi: Option<Sep>,
     entries: &mut Vec<(Key, Rid)>,
-    leaves: &mut Vec<PageId>,
+    leaves: &mut Vec<(PageId, usize)>,
 ) -> StorageResult<Result<(), Violation>> {
     let r = tree.pool().pin_read(pid)?;
     let node = NodeRef::new(&r[..]);
     match node.kind() {
         NodeKind::Leaf => {
             if level != 0 {
-                return Ok(Err(Violation(format!(
-                    "leaf {pid} found at level {level}"
-                ))));
+                return Ok(Err(Violation(format!("leaf {pid} found at level {level}"))));
             }
             if node.nkeys() > tree.config().leaf_cap {
                 return Ok(Err(Violation(format!(
@@ -138,7 +173,7 @@ fn walk(
                 }
                 entries.push(e);
             }
-            leaves.push(pid);
+            leaves.push((pid, node.nkeys()));
             Ok(Ok(()))
         }
         NodeKind::Inner => {

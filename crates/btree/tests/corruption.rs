@@ -10,7 +10,13 @@ use std::sync::Arc;
 fn loaded(n: u64, fanout: usize) -> (BTree, Arc<BufferPool>) {
     let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
     let entries: Vec<(Key, Rid)> = (0..n).map(|k| (k, Rid::new(k as u32, 0))).collect();
-    let t = bulk_load(pool.clone(), BTreeConfig::with_fanout(fanout), &entries, 1.0).unwrap();
+    let t = bulk_load(
+        pool.clone(),
+        BTreeConfig::with_fanout(fanout),
+        &entries,
+        1.0,
+    )
+    .unwrap();
     (t, pool)
 }
 
@@ -95,10 +101,7 @@ fn detects_broken_sibling_chain() {
         node.set_right_sibling(next_next);
     }
     let err = verify::check(&t).unwrap_err();
-    assert!(
-        err.0.contains("chain") || err.0.contains("order"),
-        "{err}"
-    );
+    assert!(err.0.contains("chain") || err.0.contains("order"), "{err}");
 }
 
 #[test]
@@ -133,9 +136,6 @@ fn restore_rebuilds_handle_from_metadata() {
     let restored = BTree::restore(pool, cfg, root, height).unwrap();
     assert_eq!(restored.len(), 2000);
     assert_eq!(restored.height(), height);
-    assert_eq!(
-        restored.search(777).unwrap(),
-        vec![Rid::new(777, 0)]
-    );
+    assert_eq!(restored.search(777).unwrap(), vec![Rid::new(777, 0)]);
     verify::check(&restored).unwrap();
 }

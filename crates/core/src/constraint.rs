@@ -88,22 +88,16 @@ impl ForeignKey {
 /// sorted merge over the child index's leaf chain.
 pub fn count_references(db: &Database, fk: &ForeignKey, sorted_keys: &[Key]) -> DbResult<usize> {
     let child = db.table(fk.child)?;
-    let index = child
-        .index_on(fk.child_attr)
-        .ok_or(DbError::NoSuchIndex {
-            attr: fk.child_attr,
-        })?;
+    let index = child.index_on(fk.child_attr).ok_or(DbError::NoSuchIndex {
+        attr: fk.child_attr,
+    })?;
     Ok(lookup_keys_sorted(&index.tree, sorted_keys)?.len())
 }
 
 /// Enforce `fk` for a pending bulk delete of `sorted_keys` from the parent.
 /// RESTRICT: error if any reference exists. CASCADE: return the child keys
 /// that must be bulk-deleted from the child table first.
-pub fn enforce(
-    db: &Database,
-    fk: &ForeignKey,
-    sorted_keys: &[Key],
-) -> DbResult<Option<Vec<Key>>> {
+pub fn enforce(db: &Database, fk: &ForeignKey, sorted_keys: &[Key]) -> DbResult<Option<Vec<Key>>> {
     let refs = count_references(db, fk, sorted_keys)?;
     match fk.action {
         RefAction::Restrict => {

@@ -155,11 +155,14 @@ impl Database {
             return Err(DbError::IndexExists { attr: def.attr });
         }
         let schema = table.schema;
-        let entries = table
-            .heap
-            .scan()
-            .map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
+        let mut scan = table.heap.scan();
+        let entries = (&mut scan).map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
         let (sorted, _) = sort_all(pool.clone(), entries, workspace.capacity().max(4096))?;
+        // A fused scan means the sorted entry list is missing records: the
+        // index must not be built from it.
+        if let Some(e) = scan.take_error() {
+            return Err(DbError::Storage(e));
+        }
         let tree = bulk_load(pool, def.config, &sorted, def.fill)?;
         table.indices.push(Index { def, tree });
         Ok(())
@@ -176,7 +179,7 @@ impl Database {
         }
         let schema = table.schema;
         let mut index = bd_hashidx::HashIndex::with_capacity(pool, table.heap.len().max(64))?;
-        for (rid, bytes) in table.heap.scan() {
+        for (rid, bytes) in table.heap.dump()? {
             index.insert(schema.attr_of(&bytes, attr), rid)?;
         }
         table.hash_indices.push(crate::catalog::HashIdx {
@@ -193,9 +196,7 @@ impl Database {
     /// prototype). Returns the dropped definition for later re-creation.
     pub fn drop_index(&mut self, id: TableId, attr: usize) -> DbResult<IndexDef> {
         let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
-        let pos = table
-            .index_pos(attr)
-            .ok_or(DbError::NoSuchIndex { attr })?;
+        let pos = table.index_pos(attr).ok_or(DbError::NoSuchIndex { attr })?;
         Ok(table.indices.remove(pos).def)
     }
 
@@ -249,7 +250,8 @@ impl Database {
         let table = self.table(id)?;
         let mut heap_rows: Vec<(Rid, Tuple)> = table
             .heap
-            .scan()
+            .dump()?
+            .into_iter()
             .map(|(rid, bytes)| (rid, table.schema.decode(&bytes)))
             .collect();
         heap_rows.sort_by_key(|(rid, _)| *rid);
@@ -303,7 +305,10 @@ pub struct TableParts<'a> {
 
 impl Database {
     /// Split-borrow a table for strategy execution.
-    pub fn parts(&mut self, id: TableId) -> DbResult<(TableParts<'_>, Arc<MemoryBudget>, Arc<BufferPool>)> {
+    pub fn parts(
+        &mut self,
+        id: TableId,
+    ) -> DbResult<(TableParts<'_>, Arc<MemoryBudget>, Arc<BufferPool>)> {
         let workspace = self.workspace.clone();
         let pool = self.pool.clone();
         let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
@@ -342,7 +347,8 @@ mod tests {
     #[test]
     fn insert_lookup_roundtrip() {
         let (mut db, tid) = small_db();
-        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(0).unique())
+            .unwrap();
         db.create_index(tid, IndexDef::secondary(1)).unwrap();
         let rid = db.insert(tid, &row(1, 10, 100)).unwrap();
         assert_eq!(db.get(tid, rid).unwrap(), row(1, 10, 100));
@@ -354,7 +360,8 @@ mod tests {
     #[test]
     fn unique_constraint_enforced() {
         let (mut db, tid) = small_db();
-        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(0).unique())
+            .unwrap();
         db.insert(tid, &row(5, 1, 1)).unwrap();
         let err = db.insert(tid, &row(5, 2, 2)).unwrap_err();
         assert_eq!(err, DbError::DuplicateKey { attr: 0, key: 5 });

@@ -58,10 +58,18 @@ impl fmt::Display for DbError {
             DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::NoSuchTable(id) => write!(f, "no table with id {id}"),
             DbError::NoSuchIndex { attr } => {
-                write!(f, "no index on attribute {}", crate::tuple::attr_name(*attr))
+                write!(
+                    f,
+                    "no index on attribute {}",
+                    crate::tuple::attr_name(*attr)
+                )
             }
             DbError::IndexExists { attr } => {
-                write!(f, "index on attribute {} already exists", crate::tuple::attr_name(*attr))
+                write!(
+                    f,
+                    "index on attribute {} already exists",
+                    crate::tuple::attr_name(*attr)
+                )
             }
             DbError::NoProbeIndex { attr } => write!(
                 f,

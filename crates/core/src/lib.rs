@@ -37,6 +37,7 @@
 //! db.check_consistency(tid).unwrap();
 //! ```
 
+pub mod audit;
 pub mod catalog;
 pub mod constraint;
 pub mod cost;
@@ -49,20 +50,22 @@ pub mod strategy;
 pub mod tuple;
 pub mod update;
 
+pub use audit::{audit_equivalence, audit_table, AuditFinding, AuditReport, ShadowDb};
 pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
 pub use constraint::{ForeignKey, RefAction};
+pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
 pub use db::{Database, DatabaseConfig, TableId};
 pub use error::{DbError, DbResult};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
-pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
 pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
 pub use report::{measure, RunReport};
 pub use strategy::{DeleteOutcome, RebuildMode};
-pub use update::{bulk_update, UpdateOutcome};
 pub use tuple::{attr_name, Schema, Tuple};
+pub use update::{bulk_update, UpdateOutcome};
 
 /// Common imports for examples and downstream crates.
 pub mod prelude {
+    pub use crate::audit::{audit_equivalence, audit_table, AuditReport, ShadowDb};
     pub use crate::catalog::IndexDef;
     pub use crate::db::{Database, DatabaseConfig, TableId};
     pub use crate::error::{DbError, DbResult};

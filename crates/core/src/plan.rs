@@ -89,7 +89,11 @@ impl DeletePlan {
                 .index_on(step.attr)
                 .map(|i| i.def.unique)
                 .unwrap_or(false);
-            let tag = if unique { " (unique, processed early)" } else { "" };
+            let tag = if unique {
+                " (unique, processed early)"
+            } else {
+                ""
+            };
             match step.method {
                 IndexMethod::SortMerge { presort: true } => out.push_str(&format!(
                     "  -> project({n},RID) -> sort({n}) -> bd[sort/merge, key+rid] I_{n}{tag}\n"

@@ -220,7 +220,8 @@ mod tests {
         }
         db.create_index(tid, def_a).unwrap();
         db.create_index(tid, IndexDef::secondary(1)).unwrap();
-        db.create_index(tid, IndexDef::secondary(2).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(2).unique())
+            .unwrap();
         (db, tid)
     }
 

@@ -4,6 +4,8 @@ use std::sync::Arc;
 
 use bd_storage::{BufferPool, DiskStats, StorageResult};
 
+pub use crate::audit::{AuditFinding, AuditReport};
+
 /// Outcome of one delete-strategy execution.
 #[derive(Debug, Clone)]
 pub struct RunReport {

@@ -60,11 +60,20 @@ pub fn horizontal(
     let heap = parts.heap;
     let indices = parts.indices;
     let hash_indices = parts.hash_indices;
-    let label = if presort { "sorted/trad" } else { "not sorted/trad" };
+    let label = if presort {
+        "sorted/trad"
+    } else {
+        "not sorted/trad"
+    };
 
     let (deleted, mut report) = measure(&pool, label, || {
         let keys: Vec<Key> = if presort {
-            sort_all(pool.clone(), d_keys.iter().copied(), ws.capacity().max(4096))?.0
+            sort_all(
+                pool.clone(),
+                d_keys.iter().copied(),
+                ws.capacity().max(4096),
+            )?
+            .0
         } else {
             d_keys.to_vec()
         };
@@ -140,8 +149,12 @@ pub fn drop_create(
         debug_assert!(pos == 0 || pos < indices.len());
 
         // Sorted traditional delete against heap + probe index.
-        let keys: Vec<Key> =
-            sort_all(pool.clone(), d_keys.iter().copied(), ws.capacity().max(4096))?.0;
+        let keys: Vec<Key> = sort_all(
+            pool.clone(),
+            d_keys.iter().copied(),
+            ws.capacity().max(4096),
+        )?
+        .0;
         let mut deleted: Vec<(Rid, Tuple)> = Vec::new();
         for &key in &keys {
             let rids = indices[pos].tree.search(key)?;
@@ -160,16 +173,20 @@ pub fn drop_create(
         for def in dropped {
             let tree = match rebuild {
                 RebuildMode::BulkLoad => {
-                    let entries = heap
-                        .scan()
-                        .map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
-                    let (sorted, _) =
-                        sort_all(pool.clone(), entries, ws.capacity().max(4096))?;
+                    let mut scan = heap.scan();
+                    let entries =
+                        (&mut scan).map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
+                    let (sorted, _) = sort_all(pool.clone(), entries, ws.capacity().max(4096))?;
+                    // A fused scan would rebuild the index without the
+                    // unread pages' records — abort instead.
+                    if let Some(e) = scan.take_error() {
+                        return Err(e);
+                    }
                     bd_btree::bulk_load(pool.clone(), def.config, &sorted, def.fill)?
                 }
                 RebuildMode::InsertEach => {
                     let mut tree = bd_btree::BTree::create(pool.clone(), def.config)?;
-                    for (rid, bytes) in heap.scan() {
+                    for (rid, bytes) in heap.dump()? {
                         tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
                     }
                     tree
@@ -214,8 +231,17 @@ pub fn vertical(
 
     let ((deleted, phases), mut report) = measure(&pool, "bulk delete", || {
         execute_vertical(
-            &pool, &ws, schema, heap, indices, hash_indices, pos, &step_pos, table_method,
-            d_keys, policy,
+            &pool,
+            &ws,
+            schema,
+            heap,
+            indices,
+            hash_indices,
+            pos,
+            &step_pos,
+            table_method,
+            d_keys,
+            policy,
         )
     })?;
     report.deleted = deleted.len();
@@ -244,9 +270,10 @@ fn execute_vertical(
     let ws_bytes = ws.capacity().max(4096);
     let mut phases: Vec<(String, bd_storage::DiskStats)> = Vec::new();
     let mut mark = pool.disk_stats();
-    let phase = |name: String, pool: &Arc<BufferPool>,
-                     phases: &mut Vec<(String, bd_storage::DiskStats)>,
-                     mark: &mut bd_storage::DiskStats| {
+    let phase = |name: String,
+                 pool: &Arc<BufferPool>,
+                 phases: &mut Vec<(String, bd_storage::DiskStats)>,
+                 mark: &mut bd_storage::DiskStats| {
         let now = pool.disk_stats();
         phases.push((name, now.since(mark)));
         *mark = now;
@@ -448,10 +475,8 @@ fn enforce_constraints(
     policy: ReorgPolicy,
     visited: &mut Vec<(TableId, usize)>,
 ) -> DbResult<()> {
-    let fks: Vec<crate::constraint::ForeignKey> = db
-        .foreign_keys_on_table(tid)
-        .into_iter()
-        .collect();
+    let fks: Vec<crate::constraint::ForeignKey> =
+        db.foreign_keys_on_table(tid).into_iter().collect();
     if fks.is_empty() {
         return Ok(());
     }

@@ -37,7 +37,10 @@ impl Partition {
 /// Adjacent partitions may share a boundary key when duplicates straddle a
 /// cut; the probe is by RID, so overlap in key ranges is harmless.
 pub fn range_partitions(sorted: &[(Key, Rid)], max_per_partition: usize) -> Vec<Partition> {
-    assert!(max_per_partition > 0, "partitions must hold at least 1 entry");
+    assert!(
+        max_per_partition > 0,
+        "partitions must hold at least 1 entry"
+    );
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input unsorted");
     sorted
         .chunks(max_per_partition)

@@ -12,7 +12,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use bd_storage::{BufferPool, Rid, SegmentReader, SegmentWriter, StorageResult, TempSegment};
+use bd_storage::{
+    BufferPool, Rid, SegmentReader, SegmentWriter, StorageError, StorageResult, TempSegment,
+};
 
 use bd_btree::Key;
 
@@ -152,7 +154,14 @@ impl<T: Rec> ExternalSorter<T> {
             // Everything fit in memory: one in-place sort.
             self.buf.sort_unstable();
             let stats = self.stats;
-            return Ok((SortedStream::Mem(self.buf.into_iter()), stats));
+            return Ok((
+                SortedStream {
+                    inner: StreamInner::Mem(self.buf.into_iter()),
+                    error: None,
+                    fused: false,
+                },
+                stats,
+            ));
         }
         self.spill()?;
         // Multi-pass merge down to a final fan-in.
@@ -171,24 +180,53 @@ impl<T: Rec> ExternalSorter<T> {
         }
         let merge = KWayMerge::new(&self.pool, std::mem::take(&mut self.runs))?;
         let stats = self.stats;
-        Ok((SortedStream::Merge(merge), stats))
+        Ok((
+            SortedStream {
+                inner: StreamInner::Merge(merge),
+                error: None,
+                fused: false,
+            },
+            stats,
+        ))
     }
 }
 
-/// Sorted output of an [`ExternalSorter`].
-pub enum SortedStream<T: Rec> {
+enum StreamInner<T: Rec> {
     /// Fully in-memory result.
     Mem(std::vec::IntoIter<T>),
     /// Streaming k-way merge over spilled runs.
     Merge(KWayMerge<T>),
 }
 
+/// Sorted output of an [`ExternalSorter`].
+///
+/// The spilled-run path does real I/O, so iteration can fail mid-merge.
+/// [`SortedStream::into_vec`] is the loss-free path: it surfaces any read
+/// error as a `Result`. The `Iterator` impl (needed by merge-join style
+/// consumers) cannot return errors through its items; instead it *fuses and
+/// records*: on the first error the stream permanently ends and the error is
+/// held for the caller to retrieve via [`SortedStream::take_error`]. It is a
+/// bug for a caller to drain the iterator without checking `take_error()` —
+/// a recorded error means the sorted output was truncated mid-merge.
+pub struct SortedStream<T: Rec> {
+    inner: StreamInner<T>,
+    error: Option<StorageError>,
+    /// Set when an error ended iteration; stays set after `take_error` so
+    /// the stream never resumes past a known-lost item.
+    fused: bool,
+}
+
 impl<T: Rec> SortedStream<T> {
     /// Drain the stream into a vector.
-    pub fn into_vec(self) -> StorageResult<Vec<T>> {
-        match self {
-            SortedStream::Mem(it) => Ok(it.collect()),
-            SortedStream::Merge(mut m) => {
+    pub fn into_vec(mut self) -> StorageResult<Vec<T>> {
+        if self.fused {
+            // The stream already lost items to an error; never hand back a
+            // truncated vector, even if the error was taken separately.
+            return Err(self.error.take().unwrap_or(StorageError::SegmentExhausted));
+        }
+        match self.inner {
+            StreamInner::Mem(it) => Ok(it.collect()),
+            StreamInner::Merge(mut m) => {
                 let mut out = Vec::new();
                 while let Some(item) = m.next_item()? {
                     out.push(item);
@@ -197,14 +235,36 @@ impl<T: Rec> SortedStream<T> {
             }
         }
     }
+
+    /// The error that fused the stream, if any.
+    pub fn error(&self) -> Option<&StorageError> {
+        self.error.as_ref()
+    }
+
+    /// Take the error that fused the stream. Callers draining via the
+    /// `Iterator` impl must check this after exhaustion: `Some(_)` means
+    /// the stream ended early and the sorted output is incomplete.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
 }
 
 impl<T: Rec> Iterator for SortedStream<T> {
     type Item = T;
     fn next(&mut self) -> Option<T> {
-        match self {
-            SortedStream::Mem(it) => it.next(),
-            SortedStream::Merge(m) => m.next_item().ok().flatten(),
+        if self.fused {
+            return None;
+        }
+        match &mut self.inner {
+            StreamInner::Mem(it) => it.next(),
+            StreamInner::Merge(m) => match m.next_item() {
+                Ok(item) => item,
+                Err(e) => {
+                    self.error = Some(e);
+                    self.fused = true;
+                    None
+                }
+            },
         }
     }
 }

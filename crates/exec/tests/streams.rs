@@ -14,7 +14,9 @@ fn lcg(n: usize, seed: u64) -> Vec<u64> {
     let mut x = seed;
     (0..n)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x
         })
         .collect()
@@ -64,6 +66,52 @@ fn all_equal_items() {
     let items = vec![7u64; 30_000];
     let (sorted, _) = sort_all(pool(), items.clone(), 8 * 1024).unwrap();
     assert_eq!(sorted, items);
+}
+
+#[test]
+fn merge_read_error_fuses_and_is_recorded() {
+    // Regression: the Iterator impl used to map a spilled-run read error to
+    // `None` (`.ok().flatten()`), silently truncating the sorted output
+    // mid-merge. It must fuse and record the error instead.
+    let p = pool();
+    let mut s = ExternalSorter::<u64>::new(p.clone(), 64 * 1024);
+    s.extend(lcg(60_000, 21)).unwrap();
+    let (mut stream, stats) = s.finish().unwrap();
+    assert!(stats.runs > 1, "{stats:?}");
+    // All pages on this pool belong to spilled runs; failing the last
+    // allocated page guarantees the fault sits in a run the final merge
+    // still has to read (the first chunk of each run is already buffered).
+    let bad = p.with_disk(|d| {
+        let last = d.num_pages() as u32 - 1;
+        d.fail_reads_at(Some(last));
+        last
+    });
+    let truncated: Vec<u64> = (&mut stream).collect();
+    assert!(truncated.len() < 60_000, "fault did not hit the merge path");
+    assert_eq!(
+        stream.take_error(),
+        Some(bd_storage::StorageError::InjectedFault(bad)),
+        "stream must record the merge read error"
+    );
+    assert_eq!(stream.take_error(), None, "error is taken once");
+    assert_eq!(stream.next(), None, "fused after error");
+}
+
+#[test]
+fn into_vec_propagates_merge_read_error() {
+    let p = pool();
+    let mut s = ExternalSorter::<u64>::new(p.clone(), 64 * 1024);
+    s.extend(lcg(60_000, 22)).unwrap();
+    let (stream, _) = s.finish().unwrap();
+    let bad = p.with_disk(|d| {
+        let last = d.num_pages() as u32 - 1;
+        d.fail_reads_at(Some(last));
+        last
+    });
+    assert_eq!(
+        stream.into_vec().unwrap_err(),
+        bd_storage::StorageError::InjectedFault(bad)
+    );
 }
 
 #[test]

@@ -103,7 +103,9 @@ impl HashIndex {
 
     /// Size the bucket count for an expected entry count at ~70% fill.
     pub fn with_capacity(pool: Arc<BufferPool>, expected: usize) -> StorageResult<Self> {
-        let buckets = (expected as f64 / (BUCKET_CAP as f64 * 0.7)).ceil().max(1.0) as usize;
+        let buckets = (expected as f64 / (BUCKET_CAP as f64 * 0.7))
+            .ceil()
+            .max(1.0) as usize;
         HashIndex::create(pool, buckets)
     }
 
@@ -217,6 +219,59 @@ impl HashIndex {
         Ok(n)
     }
 
+    /// Dump every bucket's overflow chain and check the structure's
+    /// invariants: every entry must hash to the bucket whose chain holds it,
+    /// chain pages must respect [`BUCKET_CAP`], and the in-memory entry
+    /// counter must match the on-disk entry count. Violations are returned
+    /// as human-readable strings (the audit harness folds them into its
+    /// report); I/O failures surface as errors.
+    pub fn audit(&self) -> StorageResult<HashAudit> {
+        let mut chains = Vec::with_capacity(self.buckets.len());
+        let mut violations = Vec::new();
+        let mut total = 0usize;
+        for (b, &bucket) in self.buckets.iter().enumerate() {
+            let mut pages = Vec::new();
+            let mut entries = Vec::new();
+            let mut pid = Some(bucket);
+            while let Some(p) = pid {
+                let r = self.pool.pin_read(p)?;
+                let n = page_n(&r[..]);
+                if n > BUCKET_CAP {
+                    violations.push(format!("bucket {b} page {p} holds {n} > cap {BUCKET_CAP}"));
+                }
+                for i in 0..n.min(BUCKET_CAP) {
+                    let (k, rid) = page_entry(&r[..], i);
+                    if bucket_of(k, self.buckets.len()) != b {
+                        violations.push(format!(
+                            "bucket {b} page {p} holds key {k} that hashes to bucket {}",
+                            bucket_of(k, self.buckets.len())
+                        ));
+                    }
+                    entries.push((k, rid));
+                }
+                pages.push(p);
+                pid = page_overflow(&r[..]);
+                if pages.len() > 1_000_000 {
+                    violations.push(format!("bucket {b} chain does not terminate"));
+                    break;
+                }
+            }
+            total += entries.len();
+            chains.push(BucketChain {
+                bucket: b,
+                pages,
+                entries,
+            });
+        }
+        if total != self.n_entries {
+            violations.push(format!(
+                "entry counter says {} but chains hold {total}",
+                self.n_entries
+            ));
+        }
+        Ok(HashAudit { chains, violations })
+    }
+
     /// Longest overflow chain (diagnostics).
     pub fn max_chain_len(&self) -> StorageResult<usize> {
         let mut max = 0;
@@ -231,6 +286,34 @@ impl HashIndex {
             max = max.max(len);
         }
         Ok(max)
+    }
+}
+
+/// One bucket's chain as found on disk by [`HashIndex::audit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketChain {
+    /// Bucket number.
+    pub bucket: usize,
+    /// Pages of the chain, bucket page first.
+    pub pages: Vec<PageId>,
+    /// Entries in chain order.
+    pub entries: Vec<(Key, Rid)>,
+}
+
+/// Result of [`HashIndex::audit`]: the full chain dump plus any violated
+/// invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashAudit {
+    /// Per-bucket chain contents.
+    pub chains: Vec<BucketChain>,
+    /// Human-readable invariant violations (empty = structurally sound).
+    pub violations: Vec<String>,
+}
+
+impl HashAudit {
+    /// All entries across every chain, unsorted.
+    pub fn entries(&self) -> Vec<(Key, Rid)> {
+        self.chains.iter().flat_map(|c| c.entries.clone()).collect()
     }
 }
 
@@ -321,13 +404,67 @@ mod tests {
     }
 
     #[test]
+    fn audit_dumps_chains_and_flags_misplaced_entries() {
+        let mut h = HashIndex::create(pool(), 4).unwrap();
+        for k in 0..200u64 {
+            h.insert(k, rid(k)).unwrap();
+        }
+        let audit = h.audit().unwrap();
+        assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+        let mut got = audit.entries();
+        got.sort_unstable();
+        let mut expect = h.scan().unwrap();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+
+        // Plant a misplaced entry: write a key into a bucket it does not
+        // hash to, behind the index's back.
+        let misplaced = (0u64..).find(|&k| bucket_of(k, 4) != 0).unwrap();
+        let p0 = h.buckets[0];
+        {
+            let mut w = h.pool.pin_write(p0).unwrap();
+            let n = page_n(&w[..]);
+            assert!(n < BUCKET_CAP);
+            page_set_entry(&mut w[..], n, (misplaced, Rid::new(7, 7)));
+            page_set_n(&mut w[..], n + 1);
+        }
+        h.n_entries += 1;
+        let audit = h.audit().unwrap();
+        assert!(
+            audit
+                .violations
+                .iter()
+                .any(|v| v.contains("hashes to bucket")),
+            "{:?}",
+            audit.violations
+        );
+    }
+
+    #[test]
+    fn audit_flags_counter_drift() {
+        let mut h = HashIndex::create(pool(), 2).unwrap();
+        for k in 0..20u64 {
+            h.insert(k, rid(k)).unwrap();
+        }
+        h.n_entries += 1; // simulate a lost update to the counter
+        let audit = h.audit().unwrap();
+        assert!(
+            audit.violations.iter().any(|v| v.contains("counter")),
+            "{:?}",
+            audit.violations
+        );
+    }
+
+    #[test]
     fn model_equivalence_under_mixed_ops() {
         use std::collections::HashSet;
         let mut h = HashIndex::create(pool(), 8).unwrap();
         let mut model: HashSet<(Key, Rid)> = HashSet::new();
         let mut x = 99u64;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x % 200;
             let r = rid(x % 50);
             if x.is_multiple_of(3) {

@@ -75,7 +75,12 @@ impl Rect {
     /// A rectangle from corners.
     pub fn new(x_lo: Coord, y_lo: Coord, x_hi: Coord, y_hi: Coord) -> Rect {
         debug_assert!(x_lo <= x_hi && y_lo <= y_hi);
-        Rect { x_lo, y_lo, x_hi, y_hi }
+        Rect {
+            x_lo,
+            y_lo,
+            x_hi,
+            y_hi,
+        }
     }
 
     /// Smallest rectangle covering both.
@@ -525,10 +530,7 @@ impl RTree {
     /// place, drops emptied subtrees, and tightens every ancestor MBR on
     /// the way back up — each page visited exactly once, instead of one
     /// root-to-leaf traversal per victim.
-    pub fn bulk_delete_probe(
-        &mut self,
-        victims: &HashSet<Rid>,
-    ) -> StorageResult<Vec<PointEntry>> {
+    pub fn bulk_delete_probe(&mut self, victims: &HashSet<Rid>) -> StorageResult<Vec<PointEntry>> {
         let mut deleted = Vec::new();
         self.bulk_rec(self.root, victims, &mut deleted)?;
         self.n_entries -= deleted.len();
@@ -658,7 +660,9 @@ mod tests {
         assert!(t.height() > 1);
         let hits = t.search_window(Rect::new(0, 0, 35, 35)).unwrap();
         assert_eq!(hits.len(), 16); // 4x4 grid cells
-        let all = t.search_window(Rect::new(0, 0, u64::MAX, u64::MAX)).unwrap();
+        let all = t
+            .search_window(Rect::new(0, 0, u64::MAX, u64::MAX))
+            .unwrap();
         assert_eq!(all.len(), 400);
         t.verify().unwrap();
     }
@@ -677,7 +681,9 @@ mod tests {
         assert_eq!(t.len(), pts.len() - pts.len().div_ceil(3));
         t.verify().unwrap();
         // Survivors still findable.
-        let hits = t.search_window(Rect::new(0, 0, u64::MAX, u64::MAX)).unwrap();
+        let hits = t
+            .search_window(Rect::new(0, 0, u64::MAX, u64::MAX))
+            .unwrap();
         assert_eq!(hits.len(), t.len());
     }
 
@@ -761,7 +767,9 @@ mod tests {
         let mut x = 1234u64;
         let mut model = Vec::new();
         for i in 0..1500u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let e = pt(x % 10_000, (x >> 32) % 10_000, i);
             t.insert(e).unwrap();
             model.push(e);

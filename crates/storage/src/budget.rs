@@ -67,7 +67,12 @@ impl MemoryBudget {
                 .used
                 .compare_exchange(cur, new, Ordering::AcqRel, Ordering::Relaxed)
             {
-                Ok(_) => return Ok(Reservation { budget: self, bytes }),
+                Ok(_) => {
+                    return Ok(Reservation {
+                        budget: self,
+                        bytes,
+                    })
+                }
                 Err(actual) => cur = actual,
             }
         }

@@ -134,9 +134,7 @@ impl BufferPool {
         let mut dirty: Vec<Arc<Frame>> = inner
             .frames
             .values()
-            .filter(|f| {
-                f.dirty.load(Ordering::Acquire) && f.pin.load(Ordering::Acquire) == 0
-            })
+            .filter(|f| f.dirty.load(Ordering::Acquire) && f.pin.load(Ordering::Acquire) == 0)
             .cloned()
             .collect();
         dirty.sort_by_key(|f| f.pid);
@@ -317,7 +315,9 @@ impl BufferPool {
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush_all()?;
         let mut inner = self.inner.lock();
-        inner.frames.retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
+        inner
+            .frames
+            .retain(|_, f| f.pin.load(Ordering::Acquire) > 0);
         Ok(())
     }
 
@@ -329,7 +329,10 @@ impl BufferPool {
     pub fn crash(&self) {
         let mut inner = self.inner.lock();
         assert!(
-            inner.frames.values().all(|f| f.pin.load(Ordering::Acquire) == 0),
+            inner
+                .frames
+                .values()
+                .all(|f| f.pin.load(Ordering::Acquire) == 0),
             "cannot simulate a crash with pinned pages"
         );
         inner.frames.clear();

@@ -119,6 +119,8 @@ pub struct SimDisk {
     head: Option<PageId>,
     cost: CostModel,
     stats: DiskStats,
+    /// Page whose reads fail (fault-injection hook for tests/diagnostics).
+    fail_read: Option<PageId>,
 }
 
 impl SimDisk {
@@ -129,7 +131,15 @@ impl SimDisk {
             head: None,
             cost,
             stats: DiskStats::default(),
+            fail_read: None,
         }
+    }
+
+    /// Fault injection for tests and diagnostics: any subsequent read that
+    /// touches `pid` fails with [`StorageError::InjectedFault`] until the
+    /// hook is cleared with `None`. Writes are unaffected.
+    pub fn fail_reads_at(&mut self, pid: Option<PageId>) {
+        self.fail_read = pid;
     }
 
     /// Number of allocated pages.
@@ -185,6 +195,9 @@ impl SimDisk {
     /// Read one page into `dst`.
     pub fn read(&mut self, pid: PageId, dst: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
         self.check(pid)?;
+        if self.fail_read == Some(pid) {
+            return Err(StorageError::InjectedFault(pid));
+        }
         self.charge(pid, 1, true);
         dst.copy_from_slice(&self.pages[pid as usize][..]);
         Ok(())
@@ -202,6 +215,11 @@ impl SimDisk {
             return Ok(());
         }
         self.check(first + n as PageId - 1)?;
+        if let Some(bad) = self.fail_read {
+            if (first..first + n as PageId).contains(&bad) {
+                return Err(StorageError::InjectedFault(bad));
+            }
+        }
         self.charge(first, n as u64, true);
         for i in 0..n {
             let pid = first + i as PageId;
@@ -302,7 +320,12 @@ mod tests {
         }
         let rnd = d.stats();
         assert_eq!(rnd.random_reads + rnd.sequential_reads, 10);
-        assert!(rnd.sim_ms > 3.0 * seq.sim_ms, "{} vs {}", rnd.sim_ms, seq.sim_ms);
+        assert!(
+            rnd.sim_ms > 3.0 * seq.sim_ms,
+            "{} vs {}",
+            rnd.sim_ms,
+            seq.sim_ms
+        );
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum StorageError {
     },
     /// Reading past the end of a temporary segment.
     SegmentExhausted,
+    /// A read failed because a fault was injected at this page
+    /// ([`crate::SimDisk::fail_reads_at`], tests/diagnostics only).
+    InjectedFault(PageId),
 }
 
 impl fmt::Display for StorageError {
@@ -57,6 +60,9 @@ impl fmt::Display for StorageError {
                 "memory budget exceeded: requested {requested} bytes, {available} available"
             ),
             StorageError::SegmentExhausted => write!(f, "read past end of temporary segment"),
+            StorageError::InjectedFault(pid) => {
+                write!(f, "injected read fault at page {pid}")
+            }
         }
     }
 }

@@ -121,7 +121,10 @@ impl HeapFile {
     pub fn update(&mut self, rid: Rid, record: &[u8]) -> StorageResult<Vec<u8>> {
         let mut w = self.pool.pin_write(rid.page)?;
         let mut page = SlottedPage::new(&mut w[..]);
-        let old = page.get(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?.to_vec();
+        let old = page
+            .get(rid.slot)
+            .map_err(|e| Self::rebind_rid(e, rid))?
+            .to_vec();
         if old.len() != record.len() {
             return Err(StorageError::RecordTooLarge {
                 len: record.len(),
@@ -136,7 +139,9 @@ impl HeapFile {
     pub fn delete(&mut self, rid: Rid) -> StorageResult<Vec<u8>> {
         let mut w = self.pool.pin_write(rid.page)?;
         let mut page = SlottedPage::new(&mut w[..]);
-        let bytes = page.delete(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?;
+        let bytes = page
+            .delete(rid.slot)
+            .map_err(|e| Self::rebind_rid(e, rid))?;
         let free = page.usable_free();
         drop(w);
         self.fsm.update(rid.page, free);
@@ -145,12 +150,30 @@ impl HeapFile {
     }
 
     /// Sequential scan in RID order, using chained reads.
+    ///
+    /// The `Iterator` impl fuses-and-records on I/O failure; callers that
+    /// must not lose records (index builds, consistency checks) check
+    /// [`HeapScan::take_error`] after exhaustion, or use
+    /// [`HeapFile::dump`] which does so for them.
     pub fn scan(&self) -> HeapScan {
         HeapScan {
             pool: self.pool.clone(),
             pages: self.pages.clone(),
             next_page: 0,
             current: VecDeque::new(),
+            error: None,
+            fused: false,
+        }
+    }
+
+    /// Scan the whole heap into a vector, propagating any I/O error
+    /// (the loss-free counterpart of [`HeapFile::scan`]).
+    pub fn dump(&self) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
+        let mut scan = self.scan();
+        let out: Vec<(Rid, Vec<u8>)> = (&mut scan).collect();
+        match scan.take_error() {
+            Some(e) => Err(e),
+            None => Ok(out),
         }
     }
 
@@ -195,7 +218,9 @@ impl HeapFile {
             let mut page = SlottedPage::new(&mut w[..]);
             while i < rids.len() && rids[i].page == pid {
                 let rid = rids[i];
-                let bytes = page.delete(rid.slot).map_err(|e| Self::rebind_rid(e, rid))?;
+                let bytes = page
+                    .delete(rid.slot)
+                    .map_err(|e| Self::rebind_rid(e, rid))?;
                 out.push((rid, bytes));
                 self.n_records -= 1;
                 i += 1;
@@ -310,30 +335,78 @@ impl HeapFile {
         self.fsm.free_bytes(pid)
     }
 
-    /// Verify FSM entries against actual page occupancy; returns the number
-    /// of checked pages. Test/diagnostic hook.
-    pub fn verify_fsm(&self) -> StorageResult<usize> {
+    /// Compare every page's FSM entry against its actual slotted-page
+    /// occupancy, returning each mismatch instead of panicking (the audit
+    /// harness folds these into its report).
+    pub fn audit_fsm(&self) -> StorageResult<Vec<FsmMismatch>> {
+        let mut out = Vec::new();
         for &pid in &self.pages {
             let mut w = self.pool.pin_write(pid)?;
             let page = SlottedPage::new(&mut w[..]);
             let actual = page.usable_free();
             let recorded = self.fsm.free_bytes(pid);
-            assert_eq!(
-                recorded,
-                Some(actual),
-                "fsm mismatch on page {pid}: recorded {recorded:?}, actual {actual}"
-            );
+            if recorded != Some(actual) {
+                out.push(FsmMismatch {
+                    page: pid,
+                    recorded,
+                    actual,
+                });
+            }
         }
+        Ok(out)
+    }
+
+    /// Verify FSM entries against actual page occupancy; returns the number
+    /// of checked pages. Test/diagnostic hook (panics on mismatch; use
+    /// [`HeapFile::audit_fsm`] for a structured result).
+    pub fn verify_fsm(&self) -> StorageResult<usize> {
+        let mismatches = self.audit_fsm()?;
+        assert!(mismatches.is_empty(), "fsm mismatches: {mismatches:?}");
         Ok(self.pages.len())
     }
 }
 
+/// One FSM-vs-occupancy divergence found by [`HeapFile::audit_fsm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmMismatch {
+    /// Page whose record diverges.
+    pub page: PageId,
+    /// Free bytes the FSM recorded (`None` = page untracked).
+    pub recorded: Option<usize>,
+    /// Free bytes the slotted page actually has.
+    pub actual: usize,
+}
+
 /// Iterator over `(Rid, record bytes)` in RID order.
+///
+/// Pinning a page can fail (pool exhaustion, I/O error); an `Iterator`
+/// cannot return that through its items, and silently skipping the page
+/// would hand an incomplete scan to index rebuilds. The iterator therefore
+/// *fuses and records*: on the first pin failure the scan permanently ends
+/// and the error is held for [`HeapScan::take_error`]. Callers that need
+/// every record must check it after exhaustion (or use [`HeapFile::dump`]).
 pub struct HeapScan {
     pool: Arc<BufferPool>,
     pages: Vec<PageId>,
     next_page: usize,
     current: VecDeque<(Rid, Vec<u8>)>,
+    error: Option<StorageError>,
+    /// Set when an error ended the scan; stays set after `take_error` so
+    /// the scan never resumes past a known-lost page.
+    fused: bool,
+}
+
+impl HeapScan {
+    /// The error that fused the scan, if any.
+    pub fn error(&self) -> Option<&StorageError> {
+        self.error.as_ref()
+    }
+
+    /// Take the error that fused the scan. `Some(_)` means the scan ended
+    /// early and at least one page's records were never yielded.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
 }
 
 impl Iterator for HeapScan {
@@ -344,7 +417,7 @@ impl Iterator for HeapScan {
             if let Some(item) = self.current.pop_front() {
                 return Some(item);
             }
-            if self.next_page >= self.pages.len() {
+            if self.fused || self.next_page >= self.pages.len() {
                 return None;
             }
             if self.next_page.is_multiple_of(SCAN_CHUNK) {
@@ -357,20 +430,28 @@ impl Iterator for HeapScan {
                     while i + len < n && rest[i + len] == start + len as PageId {
                         len += 1;
                     }
+                    // Best effort: prefetch failures surface at pin time.
                     let _ = self.pool.prefetch_run(start, len);
                     i += len;
                 }
             }
             let pid = self.pages[self.next_page];
             self.next_page += 1;
-            if let Ok(r) = self.pool.pin_read(pid) {
-                for slot in 0..crate::slotted::read::slot_count(&r[..]) as u16 {
-                    if crate::slotted::read::is_live(&r[..], slot) {
-                        let bytes = crate::slotted::read::get(&r[..], slot)
-                            .expect("live slot")
-                            .to_vec();
-                        self.current.push_back((Rid::new(pid, slot), bytes));
+            match self.pool.pin_read(pid) {
+                Ok(r) => {
+                    for slot in 0..crate::slotted::read::slot_count(&r[..]) as u16 {
+                        if crate::slotted::read::is_live(&r[..], slot) {
+                            let bytes = crate::slotted::read::get(&r[..], slot)
+                                .expect("live slot")
+                                .to_vec();
+                            self.current.push_back((Rid::new(pid, slot), bytes));
+                        }
                     }
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    self.fused = true;
+                    return None;
                 }
             }
         }
@@ -430,6 +511,37 @@ mod tests {
         for (i, (_, bytes)) in scanned.iter().enumerate() {
             assert_eq!(bytes[..8], (i as u64).to_le_bytes());
         }
+    }
+
+    #[test]
+    fn scan_records_pin_failure_instead_of_skipping_page() {
+        // Regression: HeapScan used to `if let Ok(..)` the pin and silently
+        // drop the whole page's records — an index rebuilt from such a scan
+        // would be missing entries. The scan must fuse and record instead.
+        let mut h = heap(8);
+        for i in 0..30u64 {
+            h.insert(&record(i)).unwrap();
+        }
+        assert!(h.num_pages() >= 3);
+        let bad = h.page_ids()[1];
+        h.pool().clear_cache().unwrap();
+        h.pool().with_disk(|d| d.fail_reads_at(Some(bad)));
+        let mut scan = h.scan();
+        let got: Vec<(Rid, Vec<u8>)> = (&mut scan).collect();
+        // Everything up to the bad page was yielded; nothing after it.
+        assert!(got.iter().all(|(rid, _)| rid.page < bad));
+        assert_eq!(
+            scan.take_error(),
+            Some(StorageError::InjectedFault(bad)),
+            "scan must record the pin failure"
+        );
+        assert_eq!(scan.take_error(), None, "error is taken once");
+        assert_eq!(scan.next(), None, "fused after error");
+        // dump() is the loss-free path: it propagates the same error.
+        assert_eq!(h.dump().unwrap_err(), StorageError::InjectedFault(bad));
+        // Clearing the fault restores a complete scan.
+        h.pool().with_disk(|d| d.fail_reads_at(None));
+        assert_eq!(h.dump().unwrap().len(), 30);
     }
 
     #[test]

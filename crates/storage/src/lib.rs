@@ -37,7 +37,7 @@ pub use buffer::{BufferPool, PageRead, PageWrite};
 pub use disk::{CostModel, DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use error::{StorageError, StorageResult};
 pub use fsm::FreeSpaceMap;
-pub use heap::{HeapFile, HeapScan};
+pub use heap::{FsmMismatch, HeapFile, HeapScan};
 pub use page::PageBuf;
 pub use rid::Rid;
 pub use segment::{SegmentReader, SegmentWriter, TempSegment};

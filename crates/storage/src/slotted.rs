@@ -60,7 +60,10 @@ impl<'a> SlottedPage<'a> {
 
     fn slot(&self, i: usize) -> (usize, usize) {
         let base = HDR + i * SLOT;
-        (get_u16(self.buf, base) as usize, get_u16(self.buf, base + 2) as usize)
+        (
+            get_u16(self.buf, base) as usize,
+            get_u16(self.buf, base + 2) as usize,
+        )
     }
 
     fn set_slot(&mut self, i: usize, off: usize, len: usize) {
@@ -230,7 +233,9 @@ pub mod read {
 
     /// Number of live records on the page.
     pub fn live_records(buf: &[u8]) -> usize {
-        (0..slot_count(buf) as u16).filter(|&s| is_live(buf, s)).count()
+        (0..slot_count(buf) as u16)
+            .filter(|&s| is_live(buf, s))
+            .count()
     }
 }
 
@@ -344,8 +349,14 @@ mod tests {
         assert_eq!(p.get(b).unwrap(), b"bbbb");
         // Deleted and out-of-range slots are rejected.
         p.delete(a).unwrap();
-        assert!(matches!(p.overwrite(a, b"XXXX"), Err(StorageError::SlotEmpty(_))));
-        assert!(matches!(p.overwrite(99, b"XXXX"), Err(StorageError::SlotOutOfBounds(_))));
+        assert!(matches!(
+            p.overwrite(a, b"XXXX"),
+            Err(StorageError::SlotEmpty(_))
+        ));
+        assert!(matches!(
+            p.overwrite(99, b"XXXX"),
+            Err(StorageError::SlotOutOfBounds(_))
+        ));
     }
 
     #[test]
@@ -361,9 +372,6 @@ mod tests {
     fn out_of_bounds_slot() {
         let mut buf = zeroed();
         let p = SlottedPage::init(&mut buf[..]);
-        assert!(matches!(
-            p.get(99),
-            Err(StorageError::SlotOutOfBounds(_))
-        ));
+        assert!(matches!(p.get(99), Err(StorageError::SlotOutOfBounds(_))));
     }
 }

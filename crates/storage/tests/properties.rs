@@ -47,13 +47,16 @@ proptest! {
             }
         }
         prop_assert_eq!(heap.len(), model.len());
-        // Scan returns exactly the model contents in RID order.
-        let scanned: Vec<(Rid, Vec<u8>)> = heap.scan().collect();
+        // Dump (error-checked scan) returns exactly the model contents in
+        // RID order.
+        let scanned = heap.dump().unwrap();
         prop_assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
         prop_assert_eq!(scanned.len(), model.len());
         for (rid, bytes) in scanned {
             prop_assert_eq!(&bytes, model.get(&rid).unwrap());
         }
+        // The structured FSM audit agrees with the assert-based checker.
+        prop_assert_eq!(heap.audit_fsm().unwrap(), vec![]);
         heap.verify_fsm().unwrap();
     }
 

@@ -107,7 +107,12 @@ impl LockManager {
     /// Acquire `mode` on `resource` for `txn`, blocking until granted or
     /// timed out. Re-acquisition and shared→exclusive upgrade (when `txn`
     /// is the only holder) are supported.
-    pub fn acquire(&self, txn: TxnId, resource: ResourceId, mode: LockMode) -> Result<(), LockError> {
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        resource: ResourceId,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
         let deadline = Instant::now() + self.timeout;
         let mut table = self.table.lock();
         loop {

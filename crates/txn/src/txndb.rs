@@ -235,7 +235,11 @@ impl TxnDb {
             .tree
             .search(key)?;
         rids.into_iter()
-            .map(|rid| Ok(table.schema.decode(&table.heap.get(rid).map_err(DbError::from)?)))
+            .map(|rid| {
+                Ok(table
+                    .schema
+                    .decode(&table.heap.get(rid).map_err(DbError::from)?))
+            })
             .collect()
     }
 

@@ -11,7 +11,8 @@ fn setup(n_rows: usize) -> (Arc<TxnDb>, usize, Vec<u64>) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let spec = TableSpec::tiny(n_rows);
     let w = spec.build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
     let tid = w.tid;
@@ -22,7 +23,12 @@ fn setup(n_rows: usize) -> (Arc<TxnDb>, usize, Vec<u64>) {
 /// Fresh keys that cannot collide with generated rows (generated values are
 /// multiples of 10).
 fn fresh_tuple(i: u64) -> Tuple {
-    Tuple::new(vec![1_000_001 + i * 2, 2_000_001 + i * 2, 3_000_001 + i * 2, i])
+    Tuple::new(vec![
+        1_000_001 + i * 2,
+        2_000_001 + i * 2,
+        3_000_001 + i * 2,
+        i,
+    ])
 }
 
 #[test]
@@ -89,7 +95,10 @@ fn concurrent_updates_during_bulk(mode: PropagationMode) {
         // Also reachable through the non-unique index on B.
         let b = rows[0].attr(1);
         assert!(
-            tdb.read(txn, tid, 1, b).unwrap().iter().any(|t| t.attr(0) == k),
+            tdb.read(txn, tid, 1, b)
+                .unwrap()
+                .iter()
+                .any(|t| t.attr(0) == k),
             "inserted key {k} missing from I_B"
         );
     }
@@ -124,7 +133,10 @@ fn updater_deletes_during_bulk_propagation() {
         let bulk = {
             let tdb = tdb.clone();
             let victims = victims.clone();
-            s.spawn(move || tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile).unwrap())
+            s.spawn(move || {
+                tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile)
+                    .unwrap()
+            })
         };
         let del = {
             let tdb = tdb.clone();
@@ -178,12 +190,18 @@ fn two_bulk_deletes_serialize() {
         let h1 = {
             let tdb = tdb.clone();
             let v = first.clone();
-            s.spawn(move || tdb.bulk_delete(tid, 0, &v, PropagationMode::SideFile).unwrap())
+            s.spawn(move || {
+                tdb.bulk_delete(tid, 0, &v, PropagationMode::SideFile)
+                    .unwrap()
+            })
         };
         let h2 = {
             let tdb = tdb.clone();
             let v = second.clone();
-            s.spawn(move || tdb.bulk_delete(tid, 0, &v, PropagationMode::Direct).unwrap())
+            s.spawn(move || {
+                tdb.bulk_delete(tid, 0, &v, PropagationMode::Direct)
+                    .unwrap()
+            })
         };
         assert_eq!(h1.join().unwrap(), first.len());
         assert_eq!(h2.join().unwrap(), second.len());

@@ -13,7 +13,8 @@ fn setup(n_rows: usize) -> (Arc<TxnDb>, usize, Vec<u64>) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let spec = TableSpec::tiny(n_rows);
     let w = spec.build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
     let tid = w.tid;
@@ -50,8 +51,12 @@ fn updater_blocks_during_exclusive_phase_then_proceeds() {
             let flag = insert_done.clone();
             s.spawn(move || {
                 let txn = tdb.begin();
-                tdb.insert(txn, tid, &Tuple::new(vec![7_000_001, 7_000_003, 7_000_005, 1]))
-                    .unwrap();
+                tdb.insert(
+                    txn,
+                    tid,
+                    &Tuple::new(vec![7_000_001, 7_000_003, 7_000_005, 1]),
+                )
+                .unwrap();
                 tdb.commit(txn);
                 flag.store(true, Ordering::SeqCst);
             })
@@ -78,7 +83,8 @@ fn reads_through_offline_index_wait_for_consistency() {
             let tdb = tdb.clone();
             let victims = victims.clone();
             s.spawn(move || {
-                tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile).unwrap()
+                tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile)
+                    .unwrap()
             })
         };
         let reader = {
@@ -149,7 +155,14 @@ fn direct_mode_protects_reinserted_entries() {
     let (tdb, tid, a_values) = setup(3000);
     let victims: Vec<u64> = a_values.iter().copied().step_by(2).collect();
     let reinserted: Vec<Tuple> = (0..50u64)
-        .map(|i| Tuple::new(vec![8_000_001 + 2 * i, 8_100_001 + 2 * i, 8_200_001 + 2 * i, i]))
+        .map(|i| {
+            Tuple::new(vec![
+                8_000_001 + 2 * i,
+                8_100_001 + 2 * i,
+                8_200_001 + 2 * i,
+                i,
+            ])
+        })
         .collect();
 
     std::thread::scope(|s| {
@@ -157,7 +170,8 @@ fn direct_mode_protects_reinserted_entries() {
             let tdb = tdb.clone();
             let victims = victims.clone();
             s.spawn(move || {
-                tdb.bulk_delete(tid, 0, &victims, PropagationMode::Direct).unwrap()
+                tdb.bulk_delete(tid, 0, &victims, PropagationMode::Direct)
+                    .unwrap()
             })
         };
         let ins = {

@@ -194,8 +194,7 @@ fn run_phase(
 ) -> Result<(), WalError> {
     // Per-structure victim lists, sorted in that structure's order.
     let sorted_pairs = |attr: usize| -> Vec<(Key, Rid)> {
-        let mut pairs: Vec<(Key, Rid)> =
-            rows.iter().map(|r| (r.attrs[attr], r.rid)).collect();
+        let mut pairs: Vec<(Key, Rid)> = rows.iter().map(|r| (r.attrs[attr], r.rid)).collect();
         pairs.sort_unstable();
         pairs
     };
@@ -229,7 +228,9 @@ fn run_phase(
                         let attr = table.hash_indices[hi].def.attr;
                         for row in &rows[done..end] {
                             let key = row.attrs[attr];
-                            table.hash_indices[hi].index.delete(key, row.rid)
+                            table.hash_indices[hi]
+                                .index
+                                .delete(key, row.rid)
                                 .map_err(DbError::Storage)?;
                         }
                     }
@@ -405,12 +406,18 @@ pub fn recover(
         // Resume from the last durable progress record for this structure;
         // back off one chunk so the possibly half-flushed chunk re-runs
         // (the passes are lenient, so this is safe).
-        let start = progress
-            .get(&phase)
-            .copied()
-            .unwrap_or(0)
-            .saturating_sub(0);
-        run_phase(db, tid, probe_attr, phase, &rows, start, log, i, CrashInjector::none())?;
+        let start = progress.get(&phase).copied().unwrap_or(0).saturating_sub(0);
+        run_phase(
+            db,
+            tid,
+            probe_attr,
+            phase,
+            &rows,
+            start,
+            log,
+            i,
+            CrashInjector::none(),
+        )?;
         log.append(&LogRecord::StructureDone { structure: phase });
         checkpoint(db, tid, log)?;
     }

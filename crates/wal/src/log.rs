@@ -31,7 +31,9 @@ impl LogManager {
         let mut inner = self.inner.lock();
         let bytes = record.encode();
         let start = inner.buf.len();
-        inner.buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        inner
+            .buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         inner.buf.extend_from_slice(&bytes);
         inner.offsets.push((start + 4, bytes.len()));
         (inner.offsets.len() - 1) as Lsn

@@ -16,8 +16,8 @@ fn structure_strategy() -> impl Strategy<Value = StructureId> {
 fn record_strategy() -> impl Strategy<Value = LogRecord> {
     let begin = (any::<u16>(), prop::collection::vec(any::<u64>(), 0..50))
         .prop_map(|(probe_attr, keys)| LogRecord::BulkBegin { probe_attr, keys });
-    let rows = (1usize..6, prop::collection::vec(any::<u64>(), 0..40)).prop_map(
-        |(n_attrs, flat)| {
+    let rows =
+        (1usize..6, prop::collection::vec(any::<u64>(), 0..40)).prop_map(|(n_attrs, flat)| {
             let rows = flat
                 .chunks(n_attrs)
                 .filter(|c| c.len() == n_attrs)
@@ -28,20 +28,27 @@ fn record_strategy() -> impl Strategy<Value = LogRecord> {
                 })
                 .collect();
             LogRecord::RowsMaterialized { rows }
-        },
-    );
-    let ckpt = prop::collection::vec((any::<u16>(), any::<u32>(), 1u16..10), 0..8).prop_map(
-        |trees| LogRecord::Checkpoint {
-            trees: trees
-                .into_iter()
-                .map(|(attr, root, height)| TreeMeta { attr, root, height })
-                .collect(),
-        },
-    );
+        });
+    let ckpt =
+        prop::collection::vec((any::<u16>(), any::<u32>(), 1u16..10), 0..8).prop_map(|trees| {
+            LogRecord::Checkpoint {
+                trees: trees
+                    .into_iter()
+                    .map(|(attr, root, height)| TreeMeta { attr, root, height })
+                    .collect(),
+            }
+        });
     let done = structure_strategy().prop_map(|structure| LogRecord::StructureDone { structure });
     let progress = (structure_strategy(), any::<u32>())
         .prop_map(|(structure, done)| LogRecord::Progress { structure, done });
-    prop_oneof![begin, rows, ckpt, done, progress, Just(LogRecord::BulkCommit)]
+    prop_oneof![
+        begin,
+        rows,
+        ckpt,
+        done,
+        progress,
+        Just(LogRecord::BulkCommit)
+    ]
 }
 
 proptest! {

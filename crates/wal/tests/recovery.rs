@@ -9,7 +9,8 @@ use bd_workload::TableSpec;
 fn setup(n_rows: usize) -> (Database, usize, Vec<u64>) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let w = TableSpec::tiny(n_rows).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
     (db, w.tid, w.a_values)
@@ -58,8 +59,8 @@ fn crash_and_recover_at(site: CrashSite) {
     let expect = reference_state(n_rows, &victims);
 
     let log = LogManager::new();
-    let err = run_bulk_delete(&mut db, tid, 0, &victims, &log, CrashInjector::at(site))
-        .unwrap_err();
+    let err =
+        run_bulk_delete(&mut db, tid, 0, &victims, &log, CrashInjector::at(site)).unwrap_err();
     assert!(matches!(err, bd_wal::WalError::Crashed(s) if s == site));
 
     // Volatile memory is lost; only the disk and the log survive.
@@ -149,7 +150,12 @@ fn recovery_applies_pending_side_files_last() {
     let n = recover(&mut db, tid, &log, &side).unwrap();
     assert_eq!(n, victims.len());
     let table = db.table(tid).unwrap();
-    let hits = table.index_on(1).unwrap().tree.search(new_row.attr(1)).unwrap();
+    let hits = table
+        .index_on(1)
+        .unwrap()
+        .tree
+        .search(new_row.attr(1))
+        .unwrap();
     assert_eq!(hits, vec![bd_storage::Rid::new(999_999, 0)]);
 }
 
@@ -209,7 +215,10 @@ fn crash_at_progress_resumes_from_last_chunk() {
         CrashInjector::at(CrashSite::AtProgress(1, 1)),
     )
     .unwrap_err();
-    assert!(matches!(err, bd_wal::WalError::Crashed(CrashSite::AtProgress(1, 1))));
+    assert!(matches!(
+        err,
+        bd_wal::WalError::Crashed(CrashSite::AtProgress(1, 1))
+    ));
     let pre_crash_records = log.len();
 
     db.pool().crash();

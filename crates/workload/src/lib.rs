@@ -221,7 +221,8 @@ mod tests {
     fn build_and_attach_marks_clustered() {
         let mut d = db();
         let w = TableSpec::tiny(200).clustered_by(0).build(&mut d).unwrap();
-        w.attach_index(&mut d, IndexDef::secondary(0).unique()).unwrap();
+        w.attach_index(&mut d, IndexDef::secondary(0).unique())
+            .unwrap();
         w.attach_index(&mut d, IndexDef::secondary(1)).unwrap();
         let t = d.table(w.tid).unwrap();
         assert!(t.index_on(0).unwrap().def.clustered);

@@ -47,7 +47,11 @@ fn main() -> DbResult<()> {
     // fully processed. We answer it with the order-date index.
     let cutoff = days - 90;
     let table = db.table(tid)?;
-    let old_orders = table.index_on(ORDER_DATE).unwrap().tree.range(0, cutoff - 1)?;
+    let old_orders = table
+        .index_on(ORDER_DATE)
+        .unwrap()
+        .tree
+        .range(0, cutoff - 1)?;
     let mut archive_ids = Vec::new();
     for (_, rid) in old_orders {
         let t = db.get(tid, rid)?;
@@ -63,8 +67,13 @@ fn main() -> DbResult<()> {
 
     // Step 2: bulk delete by order id; the outcome carries the full rows,
     // which go to the archive ("tape").
-    let (plan, outcome) =
-        strategy::vertical_auto(&mut db, tid, ORDER_ID, &archive_ids, ReorgPolicy::FreeAtEmpty)?;
+    let (plan, outcome) = strategy::vertical_auto(
+        &mut db,
+        tid,
+        ORDER_ID,
+        &archive_ids,
+        ReorgPolicy::FreeAtEmpty,
+    )?;
     println!("\n{}", plan.render(db.table(tid)?));
     println!("{}", outcome.report.summary());
 

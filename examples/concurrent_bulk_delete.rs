@@ -16,18 +16,23 @@ fn main() {
     // Build the table: unique id, plus two non-unique indices.
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let tid = db.create_table("events", Schema::new(3, 64));
-    db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(tid, IndexDef::secondary(0).unique())
+        .unwrap();
     db.create_index(tid, IndexDef::secondary(1)).unwrap();
     db.create_index(tid, IndexDef::secondary(2)).unwrap();
     let mut victims = Vec::new();
     for i in 0..40_000u64 {
-        db.insert(tid, &Tuple::new(vec![i, i % 365, i % 97])).unwrap();
+        db.insert(tid, &Tuple::new(vec![i, i % 365, i % 97]))
+            .unwrap();
         if i % 3 == 0 {
             victims.push(i);
         }
     }
     let tdb = TxnDb::new(db);
-    println!("loaded 40000 events; bulk-deleting {} concurrently", victims.len());
+    println!(
+        "loaded 40000 events; bulk-deleting {} concurrently",
+        victims.len()
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let inserted = std::thread::scope(|s| {
@@ -76,6 +81,9 @@ fn main() {
     // Reads through the previously-offline index work again.
     let txn = tdb.begin();
     let rows = tdb.read(txn, tid, 1, 100).unwrap();
-    println!("index on attribute B is back online ({} rows for B = 100)", rows.len());
+    println!(
+        "index on attribute B is back online ({} rows for B = 100)",
+        rows.len()
+    );
     tdb.commit(txn);
 }

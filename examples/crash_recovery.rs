@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             victims.push(i);
         }
     }
-    println!("loaded 20000 rows; bulk delete of {} rows will crash mid-flight", victims.len());
+    println!(
+        "loaded 20000 rows; bulk delete of {} rows will crash mid-flight",
+        victims.len()
+    );
 
     // Run with a crash injected in the middle of the first secondary-index
     // pass: the probe index and the table are already done, the index pass

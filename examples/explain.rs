@@ -30,8 +30,7 @@ fn main() -> DbResult<()> {
         (9_000, 4 * 1024),           // 15%, tiny workspace
     ] {
         let table = db.table(tid)?;
-        let (plan, estimate) =
-            plan_delete_costed(table, 0, n_delete, ws_bytes, 1 << 20)?;
+        let (plan, estimate) = plan_delete_costed(table, 0, n_delete, ws_bytes, 1 << 20)?;
         let env = CostEnv::of(table, n_delete, ws_bytes, 1 << 20);
         let horizontal = horizontal_cost(table, false, &env).sim_ms(&cm);
         println!(
@@ -52,7 +51,8 @@ fn main() -> DbResult<()> {
     let table = db.table(tid)?;
     let (plan, estimate) = plan_delete_costed(table, 0, keys.len(), 256 * 1024, 1 << 20)?;
     let est_ms = estimate.sim_ms(&cm);
-    let outcome = bd_core::strategy::vertical(&mut db, tid, &keys, &plan, ReorgPolicy::FreeAtEmpty)?;
+    let outcome =
+        bd_core::strategy::vertical(&mut db, tid, &keys, &plan, ReorgPolicy::FreeAtEmpty)?;
     println!(
         "executed the roomy-workspace plan: estimated {:.1} s, measured {:.1} s",
         est_ms / 1000.0,

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 60,000 trip endpoints across a 100km x 100km city (meters).
     let mut x = 42u64;
     let mut rng = move || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x
     };
     for i in 0..60_000u32 {
@@ -40,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         tree.insert(e)?;
     }
-    println!("trip index: {} points, R-tree height {}", tree.len(), tree.height());
+    println!(
+        "trip index: {} points, R-tree height {}",
+        tree.len(),
+        tree.height()
+    );
 
     // The archiving set: every 4th trip is completed — scattered uniformly.
     let victims: Vec<PointEntry> = tree

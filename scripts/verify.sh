@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo verification: format, lint, release build, tier-1 tests.
+# Everything runs offline — external deps are vendored under vendor/.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy -- -D warnings
+cargo build --release
+cargo test -q

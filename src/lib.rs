@@ -61,8 +61,9 @@ pub use bd_workload as workload;
 pub mod prelude {
     pub use bd_btree::{BTreeConfig, Key, ReorgPolicy};
     pub use bd_core::{
-        strategy, Database, DatabaseConfig, DbError, DbResult, DeletePlan, IndexDef, RebuildMode,
-        Schema, TableId, Tuple,
+        audit_equivalence, audit_table, strategy, AuditFinding, AuditReport, Database,
+        DatabaseConfig, DbError, DbResult, DeletePlan, IndexDef, RebuildMode, Schema, ShadowDb,
+        TableId, Tuple,
     };
     pub use bd_storage::{CostModel, DiskStats, Rid};
     pub use bd_txn::{PropagationMode, TxnDb};

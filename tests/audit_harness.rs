@@ -1,0 +1,159 @@
+//! Self-tests for the differential audit harness: a clean database audits
+//! clean, and a single planted corruption in any structure produces a
+//! report naming that structure.
+
+use bulk_delete::prelude::*;
+
+use bd_workload::TableSpec;
+
+fn build(n_rows: usize, seed: u64) -> (Database, bd_workload::Workload) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
+    let w = TableSpec::tiny(n_rows)
+        .with_seed(seed)
+        .build(&mut db)
+        .unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+    db.create_hash_index(w.tid, 2).unwrap();
+    (db, w)
+}
+
+fn structures(report: &AuditReport) -> Vec<&str> {
+    report
+        .findings
+        .iter()
+        .map(|f| f.structure.as_str())
+        .collect()
+}
+
+#[test]
+fn clean_database_audits_clean() {
+    let (mut db, w) = build(400, 41);
+    let d = w.delete_set(0.3, 42);
+    db.delete_in(w.tid, 0, &d).unwrap();
+    let report = audit_table(&db, w.tid).unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.render(), "audit clean: no divergence");
+    // A database is always equivalent to itself.
+    let eq = audit_equivalence(&db, &db, w.tid).unwrap();
+    assert!(eq.is_clean(), "{eq}");
+}
+
+#[test]
+fn heap_delete_behind_indices_is_caught() {
+    let (mut db, w) = build(300, 43);
+    // Remove one record from the heap without maintaining any index.
+    let victim = db.table(w.tid).unwrap().heap.dump().unwrap()[7].0;
+    db.table_mut(w.tid).unwrap().heap.delete(victim).unwrap();
+
+    let report = audit_table(&db, w.tid).unwrap();
+    assert!(!report.is_clean());
+    let hit = structures(&report);
+    // Every index still holds an entry for the vanished record.
+    assert!(hit.contains(&"btree I_A"), "structures: {hit:?}");
+    assert!(hit.contains(&"btree I_B"), "structures: {hit:?}");
+    assert!(hit.contains(&"hash H_C"), "structures: {hit:?}");
+    let detail = &report.findings[0].detail;
+    assert!(detail.contains("only in index"), "detail: {detail}");
+}
+
+#[test]
+fn phantom_btree_entry_is_caught() {
+    let (mut db, w) = build(300, 47);
+    // Plant a single entry in I_B that no heap record backs.
+    db.table_mut(w.tid).unwrap().indices[1]
+        .tree
+        .insert(999_999, Rid::new(0, 0))
+        .unwrap();
+
+    let report = audit_table(&db, w.tid).unwrap();
+    assert_eq!(structures(&report), vec!["btree I_B"], "{report}");
+    let detail = &report.findings[0].detail;
+    assert!(detail.contains("only in index"), "detail: {detail}");
+    assert!(detail.contains("999999"), "detail: {detail}");
+}
+
+#[test]
+fn phantom_hash_entry_is_caught() {
+    let (mut db, w) = build(300, 53);
+    db.table_mut(w.tid).unwrap().hash_indices[0]
+        .index
+        .insert(888_888, Rid::new(0, 0))
+        .unwrap();
+
+    let report = audit_table(&db, w.tid).unwrap();
+    assert_eq!(structures(&report), vec!["hash H_C"], "{report}");
+    assert!(report.findings[0].detail.contains("only in index"));
+}
+
+#[test]
+fn audit_equivalence_detects_single_entry_divergence() {
+    let (mut db_a, w_a) = build(500, 59);
+    let (mut db_b, w_b) = build(500, 59);
+    let d = w_a.delete_set(0.2, 60);
+    assert_eq!(d, w_b.delete_set(0.2, 60), "same seed, same delete set");
+    strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w_b.tid, 0, &d).unwrap();
+    let eq = audit_equivalence(&db_a, &db_b, w_a.tid).unwrap();
+    assert!(eq.is_clean(), "different strategies must agree: {eq}");
+
+    // Remove exactly one B-tree entry from side B, consistently with B's
+    // own heap left alone — a divergence only the differential check sees.
+    let (key, rid) = {
+        let table = db_b.table(w_b.tid).unwrap();
+        let (rid, bytes) = table.heap.dump().unwrap().swap_remove(11);
+        (table.schema.decode(&bytes).attr(0), rid)
+    };
+    assert!(db_b.table_mut(w_b.tid).unwrap().indices[0]
+        .tree
+        .delete_one(key, rid)
+        .unwrap());
+
+    let eq = audit_equivalence(&db_a, &db_b, w_a.tid).unwrap();
+    assert!(!eq.is_clean());
+    assert!(
+        structures(&eq).contains(&"btree I_A"),
+        "must name the corrupted tree: {eq}"
+    );
+    assert!(eq.render().contains("divergence"));
+    // The report converts into a test-friendly error.
+    assert!(eq.into_result().is_err());
+}
+
+#[test]
+fn shadow_detects_unmirrored_mutations() {
+    let (mut db, w) = build(250, 61);
+    let shadow = ShadowDb::mirror_of(&db, w.tid).unwrap();
+    assert!(shadow.diff(&db, w.tid).unwrap().is_clean());
+    assert_eq!(shadow.len(w.tid), 250);
+
+    // Engine-side delete the model never hears about.
+    let d = w.delete_set(0.1, 62);
+    db.delete_in(w.tid, 0, &d).unwrap();
+    let report = shadow.diff(&db, w.tid).unwrap();
+    assert!(!report.is_clean());
+    let hit = structures(&report);
+    assert!(hit.contains(&"heap"), "structures: {hit:?}");
+    assert!(report.render().contains("model"));
+}
+
+#[test]
+fn shadow_mirrors_full_workload() {
+    let (mut db, w) = build(250, 67);
+    let mut shadow = ShadowDb::mirror_of(&db, w.tid).unwrap();
+    // Mirrored deletes and inserts keep the diff clean throughout.
+    let d = w.delete_set(0.4, 68);
+    db.delete_in(w.tid, 0, &d).unwrap();
+    shadow.delete_in(w.tid, 0, &d);
+    assert!(shadow.diff(&db, w.tid).unwrap().is_clean());
+
+    for i in 0..50u64 {
+        let t = Tuple::new(vec![5_000_000 + i, i % 13, i % 5, i]);
+        let rid = db.insert(w.tid, &t).unwrap();
+        shadow.insert(w.tid, rid, t);
+    }
+    let report = shadow.diff(&db, w.tid).unwrap();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(shadow.len(w.tid), db.table(w.tid).unwrap().heap.len());
+}

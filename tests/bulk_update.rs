@@ -9,7 +9,8 @@ use bd_workload::TableSpec;
 fn build(n: usize) -> (Database, bd_workload::Workload) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
     let w = TableSpec::tiny(n).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
     (db, w)
@@ -32,8 +33,11 @@ fn update_matches_per_row_loop() {
         }
         db2.check_consistency(w2.tid).unwrap();
         let table = db2.table(w2.tid).unwrap();
-        let mut rows: Vec<Vec<u64>> =
-            table.heap.scan().map(|(_, b)| table.schema.decode(&b).attrs).collect();
+        let mut rows: Vec<Vec<u64>> = table
+            .heap
+            .scan()
+            .map(|(_, b)| table.schema.decode(&b).attrs)
+            .collect();
         rows.sort_unstable();
         rows
     };
@@ -43,8 +47,11 @@ fn update_matches_per_row_loop() {
     assert_eq!(out.index_entries_moved, keys.len()); // only index B changed
     db.check_consistency(w.tid).unwrap();
     let table = db.table(w.tid).unwrap();
-    let mut rows: Vec<Vec<u64>> =
-        table.heap.scan().map(|(_, b)| table.schema.decode(&b).attrs).collect();
+    let mut rows: Vec<Vec<u64>> = table
+        .heap
+        .scan()
+        .map(|(_, b)| table.schema.decode(&b).attrs)
+        .collect();
     rows.sort_unstable();
     assert_eq!(rows, reference);
 }
@@ -90,8 +97,11 @@ fn unique_violation_against_untouched_row_aborts_cleanly() {
     let existing = w.a_values[1];
     let before: Vec<Vec<u64>> = {
         let t = db.table(w.tid).unwrap();
-        let mut r: Vec<Vec<u64>> =
-            t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+        let mut r: Vec<Vec<u64>> = t
+            .heap
+            .scan()
+            .map(|(_, b)| t.schema.decode(&b).attrs)
+            .collect();
         r.sort_unstable();
         r
     };
@@ -101,8 +111,11 @@ fn unique_violation_against_untouched_row_aborts_cleanly() {
     // Nothing changed.
     let after: Vec<Vec<u64>> = {
         let t = db.table(w.tid).unwrap();
-        let mut r: Vec<Vec<u64>> =
-            t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+        let mut r: Vec<Vec<u64>> = t
+            .heap
+            .scan()
+            .map(|(_, b)| t.schema.decode(&b).attrs)
+            .collect();
         r.sort_unstable();
         r
     };
@@ -133,7 +146,13 @@ fn duplicate_new_keys_within_set_rejected() {
     let (mut db, w) = build(300);
     let keys: Vec<u64> = w.a_values.iter().copied().take(2).collect();
     let err = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[0] = 424242).unwrap_err();
-    assert!(matches!(err, DbError::DuplicateKey { attr: 0, key: 424242 }));
+    assert!(matches!(
+        err,
+        DbError::DuplicateKey {
+            attr: 0,
+            key: 424242
+        }
+    ));
     db.check_consistency(w.tid).unwrap();
 }
 

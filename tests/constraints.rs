@@ -10,12 +10,15 @@ use bd_core::ForeignKey;
 fn shop() -> (Database, TableId, TableId, TableId) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
     let customers = db.create_table("customers", Schema::new(2, 32));
-    db.create_index(customers, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(customers, IndexDef::secondary(0).unique())
+        .unwrap();
     let orders = db.create_table("orders", Schema::new(2, 32));
-    db.create_index(orders, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(orders, IndexDef::secondary(0).unique())
+        .unwrap();
     db.create_index(orders, IndexDef::secondary(1)).unwrap(); // customer_id
     let lineitems = db.create_table("lineitems", Schema::new(2, 32));
-    db.create_index(lineitems, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(lineitems, IndexDef::secondary(0).unique())
+        .unwrap();
     db.create_index(lineitems, IndexDef::secondary(1)).unwrap(); // order_id
 
     for c in 0..100u64 {
@@ -29,7 +32,8 @@ fn shop() -> (Database, TableId, TableId, TableId) {
             for _ in 0..3 {
                 db.insert(orders, &Tuple::new(vec![order_id, c])).unwrap();
                 for _ in 0..2 {
-                    db.insert(lineitems, &Tuple::new(vec![line_id, order_id])).unwrap();
+                    db.insert(lineitems, &Tuple::new(vec![line_id, order_id]))
+                        .unwrap();
                     line_id += 1;
                 }
                 order_id += 1;
@@ -41,7 +45,11 @@ fn shop() -> (Database, TableId, TableId, TableId) {
 
 fn state(db: &Database, tid: TableId) -> Vec<Vec<u64>> {
     let t = db.table(tid).unwrap();
-    let mut rows: Vec<Vec<u64>> = t.heap.scan().map(|(_, b)| t.schema.decode(&b).attrs).collect();
+    let mut rows: Vec<Vec<u64>> = t
+        .heap
+        .scan()
+        .map(|(_, b)| t.schema.decode(&b).attrs)
+        .collect();
     rows.sort_unstable();
     rows
 }
@@ -55,16 +63,13 @@ fn restrict_aborts_before_any_work() {
 
     // Customers 10..20 have orders: RESTRICT must fire.
     let d: Vec<u64> = (10..20).collect();
-    let err = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap_err();
+    let err =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap_err();
     match err {
-        DbError::ForeignKeyViolation { referencing_rows, .. } => {
+        DbError::ForeignKeyViolation {
+            referencing_rows, ..
+        } => {
             assert_eq!(referencing_rows, 10 * 3)
         }
         e => panic!("expected FK violation, got {e}"),
@@ -81,14 +86,9 @@ fn restrict_allows_unreferenced_keys() {
     db.add_foreign_key(ForeignKey::restrict("fk_orders", customers, 0, orders, 1));
     // Customers 80..90 have no orders.
     let d: Vec<u64> = (80..90).collect();
-    let out = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap();
+    let out =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap();
     assert_eq!(out.deleted.len(), 10);
     db.check_consistency(customers).unwrap();
 }
@@ -100,14 +100,9 @@ fn cascade_deletes_children_first_transitively() {
     db.add_foreign_key(ForeignKey::cascade("fk_lines", orders, 0, lineitems, 1));
 
     let d: Vec<u64> = (0..10).collect(); // 10 customers, 30 orders, 60 items
-    let out = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap();
+    let out =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap();
     assert_eq!(out.deleted.len(), 10);
     assert_eq!(db.table(customers).unwrap().heap.len(), 90);
     assert_eq!(db.table(orders).unwrap().heap.len(), 150 - 30);
@@ -129,16 +124,15 @@ fn cascade_then_restrict_deeper_aborts_everything_upfront() {
     db.add_foreign_key(ForeignKey::cascade("fk_orders", customers, 0, orders, 1));
     db.add_foreign_key(ForeignKey::restrict("fk_lines", orders, 0, lineitems, 1));
 
-    let before = (state(&db, customers), state(&db, orders), state(&db, lineitems));
+    let before = (
+        state(&db, customers),
+        state(&db, orders),
+        state(&db, lineitems),
+    );
     let d: Vec<u64> = (0..5).collect();
-    let err = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap_err();
+    let err =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap_err();
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
     // Early checking: neither parent nor intermediate child was touched.
     assert_eq!(state(&db, customers), before.0);
@@ -154,14 +148,9 @@ fn constraints_on_other_parent_attrs_use_victim_row_values() {
     // referenced by orders.customer_id (0..50), so RESTRICT fires.
     db.add_foreign_key(ForeignKey::restrict("fk_region", customers, 1, orders, 1));
     let d: Vec<u64> = (10..20).collect();
-    let err = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap_err();
+    let err =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap_err();
     assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
 
     // With victims whose region values nothing references, it passes:
@@ -178,14 +167,9 @@ fn constraints_on_other_parent_attrs_use_victim_row_values() {
         db.insert(customers, &t).unwrap();
     }
     let d: Vec<u64> = (90..100).collect();
-    let out = strategy::vertical_with_constraints(
-        &mut db,
-        customers,
-        0,
-        &d,
-        ReorgPolicy::FreeAtEmpty,
-    )
-    .unwrap();
+    let out =
+        strategy::vertical_with_constraints(&mut db, customers, 0, &d, ReorgPolicy::FreeAtEmpty)
+            .unwrap();
     assert_eq!(out.deleted.len(), 10);
 }
 
@@ -194,7 +178,8 @@ fn self_referencing_cascade_terminates() {
     // employees(id, manager_id) with manager_id -> id CASCADE.
     let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
     let emp = db.create_table("emp", Schema::new(2, 32));
-    db.create_index(emp, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(emp, IndexDef::secondary(0).unique())
+        .unwrap();
     db.create_index(emp, IndexDef::secondary(1)).unwrap();
     // Chain: 0 manages 1 manages 2 ... (manager of 0 is 999 = nobody).
     for i in 0..50u64 {

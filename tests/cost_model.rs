@@ -13,7 +13,8 @@ fn build(n: usize, n_secondary: usize, mem: usize) -> (Database, bd_workload::Wo
         .with_seed(5)
         .build(&mut db)
         .unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     for a in 1..=n_secondary {
         w.attach_index(&mut db, IndexDef::secondary(a)).unwrap();
     }
@@ -76,7 +77,9 @@ fn estimates_rank_vertical_far_below_horizontal() {
     let e = env(&db, w.tid, d_len);
     let cm = CostModel::default();
     let plan = plan_sort_merge(db.table(w.tid).unwrap(), 0).unwrap();
-    let vertical = plan_cost(db.table(w.tid).unwrap(), &plan, &e).unwrap().sim_ms(&cm);
+    let vertical = plan_cost(db.table(w.tid).unwrap(), &plan, &e)
+        .unwrap()
+        .sim_ms(&cm);
     let horizontal = horizontal_cost(db.table(w.tid).unwrap(), false, &e).sim_ms(&cm);
     assert!(
         vertical * 3.0 < horizontal,
@@ -97,8 +100,8 @@ fn costed_planner_returns_executable_cheapest_plan() {
     )
     .unwrap();
     assert!(estimate.pages_read > 0.0);
-    let out = bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty)
-        .unwrap();
+    let out =
+        bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     db.check_consistency(w.tid).unwrap();
     // The cost-based choice is at least as cheap (by its own estimate) as
@@ -106,8 +109,12 @@ fn costed_planner_returns_executable_cheapest_plan() {
     let e = env(&db, w.tid, d.len());
     let cm = CostModel::default();
     let sm = plan_sort_merge(db.table(w.tid).unwrap(), 0).unwrap();
-    let sm_cost = plan_cost(db.table(w.tid).unwrap(), &sm, &e).unwrap().sim_ms(&cm);
-    let chosen_cost = plan_cost(db.table(w.tid).unwrap(), &plan, &e).unwrap().sim_ms(&cm);
+    let sm_cost = plan_cost(db.table(w.tid).unwrap(), &sm, &e)
+        .unwrap()
+        .sim_ms(&cm);
+    let chosen_cost = plan_cost(db.table(w.tid).unwrap(), &plan, &e)
+        .unwrap()
+        .sim_ms(&cm);
     assert!(chosen_cost <= sm_cost * 1.0001);
 }
 
@@ -115,9 +122,8 @@ fn costed_planner_returns_executable_cheapest_plan() {
 fn estimates_scale_with_delete_fraction_for_horizontal() {
     let (db, w) = build(10_000, 1, 1 << 20);
     let cm = CostModel::default();
-    let small = horizontal_cost(db.table(w.tid).unwrap(), false, &env(&db, w.tid, 500))
-        .sim_ms(&cm);
-    let large = horizontal_cost(db.table(w.tid).unwrap(), false, &env(&db, w.tid, 2_000))
-        .sim_ms(&cm);
+    let small = horizontal_cost(db.table(w.tid).unwrap(), false, &env(&db, w.tid, 500)).sim_ms(&cm);
+    let large =
+        horizontal_cost(db.table(w.tid).unwrap(), false, &env(&db, w.tid, 2_000)).sim_ms(&cm);
     assert!(large > 2.0 * small, "horizontal cost must grow ~linearly");
 }

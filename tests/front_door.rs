@@ -10,7 +10,8 @@ use bd_workload::TableSpec;
 fn delete_in_plans_and_executes() {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
     let w = TableSpec::tiny(1000).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     let d = w.delete_set(0.3, 1);
     let out = db.delete_in(w.tid, 0, &d).unwrap();
@@ -23,9 +24,11 @@ fn delete_in_plans_and_executes() {
 fn delete_in_enforces_registered_constraints() {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
     let parent = db.create_table("p", Schema::new(2, 32));
-    db.create_index(parent, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(parent, IndexDef::secondary(0).unique())
+        .unwrap();
     let child = db.create_table("c", Schema::new(2, 32));
-    db.create_index(child, IndexDef::secondary(0).unique()).unwrap();
+    db.create_index(child, IndexDef::secondary(0).unique())
+        .unwrap();
     db.create_index(child, IndexDef::secondary(1)).unwrap();
     for i in 0..50u64 {
         db.insert(parent, &Tuple::new(vec![i, i])).unwrap();
@@ -60,7 +63,8 @@ fn delete_in_without_probe_index_fails() {
 fn delete_in_dedups_its_key_list() {
     let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
     let w = TableSpec::tiny(200).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     let k = w.a_values[0];
     let out = db.delete_in(w.tid, 0, &[k, k, k]).unwrap();
     assert_eq!(out.deleted.len(), 1);

@@ -11,7 +11,8 @@ use bd_workload::TableSpec;
 fn build(n: usize) -> (Database, bd_workload::Workload) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
     let w = TableSpec::tiny(n).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     db.create_hash_index(w.tid, 2).unwrap(); // H_C
     db.create_hash_index(w.tid, 3).unwrap(); // H_D
@@ -75,7 +76,9 @@ fn vertical_report_shows_traditional_hash_phase() {
     let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
     let phases: Vec<&str> = out.report.phases.iter().map(|(n, _)| n.as_str()).collect();
     assert!(
-        phases.iter().any(|p| p.contains("H_C") && p.contains("traditional")),
+        phases
+            .iter()
+            .any(|p| p.contains("H_C") && p.contains("traditional")),
         "phases: {phases:?}"
     );
 }
@@ -109,7 +112,8 @@ fn concurrent_bulk_delete_keeps_hash_indices_consistent() {
             let tdb = tdb.clone();
             let v = victims.clone();
             s.spawn(move || {
-                tdb.bulk_delete(tid, 0, &v, bd_txn::PropagationMode::SideFile).unwrap()
+                tdb.bulk_delete(tid, 0, &v, bd_txn::PropagationMode::SideFile)
+                    .unwrap()
             })
         };
         let upd = {

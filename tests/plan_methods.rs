@@ -14,7 +14,8 @@ fn build(n_rows: usize, mem: usize, clustered: bool) -> (Database, bd_workload::
         spec = spec.clustered_by(0);
     }
     let w = spec.build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
     (db, w)
@@ -35,10 +36,7 @@ fn plan_with(method: IndexMethod, table: TableMethod) -> DeletePlan {
     DeletePlan {
         probe_attr: 0,
         table,
-        index_steps: vec![
-            IndexStep { attr: 1, method },
-            IndexStep { attr: 2, method },
-        ],
+        index_steps: vec![IndexStep { attr: 1, method }, IndexStep { attr: 2, method }],
     }
 }
 

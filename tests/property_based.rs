@@ -67,6 +67,54 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    /// The shadow database tracks arbitrary insert/delete interleavings:
+    /// after mirroring every mutation, `ShadowDb::diff` finds no divergence
+    /// in the heap, any B-tree, the FSM, or the hash index.
+    #[test]
+    fn shadow_db_mirrors_engine(
+        rows in prop::collection::vec((0u64..600, 0u64..60, 0u64..20), 1..250),
+        more in prop::collection::vec((600u64..900, 0u64..60, 0u64..20), 0..80),
+        picks in prop::collection::vec(any::<bool>(), 250),
+    ) {
+        // Deduplicate attribute A (unique index) across both batches.
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<_> = rows.into_iter().filter(|r| seen.insert(r.0)).collect();
+        let more: Vec<_> = more.into_iter().filter(|r| seen.insert(r.0)).collect();
+
+        let mut db = tiny_db();
+        let tid = db.create_table("R", Schema::new(3, 32));
+        db.create_index(tid, IndexDef::secondary(0).unique()).unwrap();
+        db.create_index(tid, IndexDef::secondary(1)).unwrap();
+        db.create_hash_index(tid, 2).unwrap();
+        let mut shadow = ShadowDb::mirror_of(&db, tid).unwrap();
+        for &(a, b, c) in &rows {
+            let t = Tuple::new(vec![a, b, c]);
+            let rid = db.insert(tid, &t).unwrap();
+            shadow.insert(tid, rid, t);
+        }
+        // DELETE ... WHERE A IN (picked keys), mirrored semantically.
+        let d: Vec<u64> = rows
+            .iter()
+            .zip(picks.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|(r, _)| r.0)
+            .collect();
+        let out = db.delete_in(tid, 0, &d).unwrap();
+        let mirrored = shadow.delete_in(tid, 0, &d);
+        prop_assert_eq!(out.deleted.len(), mirrored.len());
+        let diff = shadow.diff(&db, tid).unwrap();
+        prop_assert!(diff.is_clean(), "after delete: {}", diff);
+        // Inserts after the delete exercise free-space reuse.
+        for &(a, b, c) in &more {
+            let t = Tuple::new(vec![a, b, c]);
+            let rid = db.insert(tid, &t).unwrap();
+            shadow.insert(tid, rid, t);
+        }
+        let diff = shadow.diff(&db, tid).unwrap();
+        prop_assert!(diff.is_clean(), "after refill: {}", diff);
+        prop_assert_eq!(shadow.len(tid), db.table(tid).unwrap().heap.len());
+    }
+
     /// Horizontal and vertical agree on arbitrary inputs.
     #[test]
     fn horizontal_equals_vertical(

@@ -8,8 +8,12 @@ use bd_workload::TableSpec;
 
 fn build(n_rows: usize, n_secondary: usize, seed: u64) -> (Database, bd_workload::Workload) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(2 << 20));
-    let w = TableSpec::tiny(n_rows).with_seed(seed).build(&mut db).unwrap();
-    w.attach_index(&mut db, IndexDef::secondary(0).unique()).unwrap();
+    let w = TableSpec::tiny(n_rows)
+        .with_seed(seed)
+        .build(&mut db)
+        .unwrap();
+    w.attach_index(&mut db, IndexDef::secondary(0).unique())
+        .unwrap();
     for attr in 1..=n_secondary {
         w.attach_index(&mut db, IndexDef::secondary(attr)).unwrap();
     }
@@ -29,13 +33,16 @@ fn state(db: &Database, tid: TableId) -> Vec<Vec<u64>> {
 }
 
 fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
-    let reference = {
+    // The reference database stays alive: every other strategy's physical
+    // state is diffed against it with `audit_equivalence`.
+    let (reference_db, reference, ref_tid) = {
         let (mut db, w) = build(n_rows, 2, seed);
         let d = w.delete_set(frac, seed + 1);
         let out = strategy::horizontal(&mut db, w.tid, 0, &d, true).unwrap();
         assert_eq!(out.deleted.len(), d.len());
         db.check_consistency(w.tid).unwrap();
-        state(&db, w.tid)
+        let s = state(&db, w.tid);
+        (db, s, w.tid)
     };
 
     type Runner = Box<dyn Fn(&mut Database, TableId, &[Key]) -> usize>;
@@ -43,7 +50,10 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "not-sorted/trad",
             Box::new(|db, tid, d| {
-                strategy::horizontal(db, tid, 0, d, false).unwrap().deleted.len()
+                strategy::horizontal(db, tid, 0, d, false)
+                    .unwrap()
+                    .deleted
+                    .len()
             }),
         ),
         (
@@ -67,7 +77,10 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "vertical/sort-merge",
             Box::new(|db, tid, d| {
-                strategy::vertical_sort_merge(db, tid, 0, d).unwrap().deleted.len()
+                strategy::vertical_sort_merge(db, tid, 0, d)
+                    .unwrap()
+                    .deleted
+                    .len()
             }),
         ),
         (
@@ -94,11 +107,23 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
 
     for (name, run) in runners {
         let (mut db, w) = build(n_rows, 2, seed);
+        let mut shadow = ShadowDb::mirror_of(&db, w.tid).unwrap();
         let d = w.delete_set(frac, seed + 1);
         let n = run(&mut db, w.tid, &d);
         assert_eq!(n, d.len(), "{name}: wrong delete count");
+        shadow.delete_in(w.tid, 0, &d);
         db.check_consistency(w.tid).unwrap();
-        assert_eq!(state(&db, w.tid), reference, "{name}: diverged from reference");
+        assert_eq!(
+            state(&db, w.tid),
+            reference,
+            "{name}: diverged from reference"
+        );
+        // Differential physical-state audit against the reference execution.
+        let eq = audit_equivalence(&db, &reference_db, ref_tid).unwrap();
+        assert!(eq.is_clean(), "{name}: {eq}");
+        // Model-based audit: the engine matches the shadow database.
+        let diff = shadow.diff(&db, w.tid).unwrap();
+        assert!(diff.is_clean(), "{name}: shadow diff: {diff}");
     }
 }
 

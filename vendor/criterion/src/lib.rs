@@ -1,0 +1,241 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of criterion's registration API its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — mean wall time over the configured
+//! sample count, printed per benchmark — because this repo's quantitative
+//! results come from the `repro` binary's simulated cost model, not from
+//! criterion statistics. The benches remain useful as relative-speed smoke
+//! checks and as compile coverage for the hot paths.
+
+use std::time::{Duration, Instant};
+
+/// How batched iterations recreate their setup value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// Small batches (treated like `PerIteration` here).
+    SmallInput,
+    /// Large batches (treated like `PerIteration` here).
+    LargeInput,
+}
+
+/// Measurement marker types.
+pub mod measurement {
+    /// Wall-clock time (the only measurement this stand-in offers).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Per-group/bench timing configuration.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    #[allow(dead_code)] // accepted, not consulted: samples are count-bounded
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: Settings::default(),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Register and run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(&name, Settings::default(), &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget (advisory; this stand-in times
+    /// `sample_size` iterations regardless).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Register and run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.settings, &mut f);
+        self
+    }
+
+    /// End the group (no-op; printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, f: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters > 0 {
+        bencher.total / bencher.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!(
+        "bench {name}: mean {mean:?} over {} iterations",
+        bencher.iters
+    );
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    settings: Settings,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` with no per-iteration setup.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` with a fresh untimed `setup` value per iteration.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        // One untimed warm-up pass (setup dominates these benches; a timed
+        // warm-up loop would multiply table builds).
+        black_box(routine(setup()));
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function that runs each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(10));
+        let mut count = 0u32;
+        g.bench_function("iter_batched", |b| {
+            b.iter_batched(|| 2u64, |x| x * x, BatchSize::PerIteration)
+        });
+        g.finish();
+        c.bench_function("iter", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+}

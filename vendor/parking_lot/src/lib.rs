@@ -1,0 +1,452 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *subset* of `parking_lot`'s API it actually uses, implemented on
+//! top of `std::sync` primitives:
+//!
+//! - [`Mutex`] / [`MutexGuard`] — non-poisoning `lock()`.
+//! - [`Condvar`] with `wait` / `wait_until` / `notify_*`.
+//! - [`RwLock`] with plain guards plus the `arc_lock`-style
+//!   [`RwLock::read_arc`] / [`RwLock::write_arc`] returning owned
+//!   (`'static`) guards that keep the lock alive via an [`Arc`].
+//! - A [`lock_api`] module exposing the Arc guard type names.
+//!
+//! Semantics match `parking_lot` where the workspace depends on them:
+//! lock acquisition never returns poison errors (a panicked holder simply
+//! releases), and the Arc guards are `'static` so they can be stored in
+//! structs such as the buffer pool's page pins.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Strip a poison error: the protected data stays accessible, matching
+/// parking_lot's non-poisoning behaviour.
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Non-poisoning mutex over [`std::sync::Mutex`].
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex holding `t`.
+    pub fn new(t: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(unpoison(self.inner.lock())),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.inner.get_mut())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard for [`Mutex`]. The `Option` lets [`Condvar::wait`] take the
+/// underlying std guard and put it back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait; mirrors `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable usable with this module's [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, atomically releasing and reacquiring the lock.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        guard.inner = Some(unpoison(self.cv.wait(inner)));
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, res) = self
+            .cv
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.cv.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock with owned Arc guards
+// ---------------------------------------------------------------------------
+
+/// Raw readers-writer lock: state < 0 means an exclusive holder, state > 0
+/// counts shared holders. Writers take priority only by contention (no
+/// fairness guarantee, same as this workspace needs).
+pub struct RawRwLock {
+    state: std::sync::Mutex<i64>,
+    cv: std::sync::Condvar,
+}
+
+impl Default for RawRwLock {
+    fn default() -> Self {
+        RawRwLock {
+            state: std::sync::Mutex::new(0),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+}
+
+impl RawRwLock {
+    fn lock_shared(&self) {
+        let mut s = unpoison(self.state.lock());
+        while *s < 0 {
+            s = unpoison(self.cv.wait(s));
+        }
+        *s += 1;
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = unpoison(self.state.lock());
+        *s -= 1;
+        if *s == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = unpoison(self.state.lock());
+        while *s != 0 {
+            s = unpoison(self.cv.wait(s));
+        }
+        *s = -1;
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut s = unpoison(self.state.lock());
+        *s = 0;
+        self.cv.notify_all();
+    }
+}
+
+/// Readers-writer lock whose guards can either borrow (`read`/`write`) or
+/// own the lock through an `Arc` (`read_arc`/`write_arc`).
+pub struct RwLock<T: ?Sized> {
+    raw: RawRwLock,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialized by `raw` exactly like a std RwLock.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Create a lock holding `t`.
+    pub fn new(t: T) -> Self {
+        RwLock {
+            raw: RawRwLock::default(),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared borrow-based guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.raw.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquire an exclusive borrow-based guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.raw.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Acquire a shared guard that owns an `Arc` of the lock (parking_lot's
+    /// `arc_lock` feature).
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        self.raw.lock_shared();
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Acquire an exclusive guard that owns an `Arc` of the lock.
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        self.raw.lock_exclusive();
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(self),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Shared guard borrowing the lock.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared lock held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+/// Exclusive guard borrowing the lock.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive lock held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive lock held.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+/// Guard types matching `parking_lot::lock_api`'s Arc-owning guards.
+pub mod lock_api {
+    use super::*;
+
+    /// Shared guard owning an `Arc` of the lock; `'static` when `T` is.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: shared lock held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_shared();
+        }
+    }
+
+    /// Exclusive guard owning an `Arc` of the lock; `'static` when `T` is.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: exclusive lock held for the guard's lifetime.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: exclusive lock held for the guard's lifetime.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw.unlock_exclusive();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (m.clone(), cv.clone());
+        let h = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while *g == 0 {
+            cv.wait(&mut g);
+        }
+        assert_eq!(*g, 7);
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(
+            &mut g,
+            Instant::now() + std::time::Duration::from_millis(10),
+        );
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn arc_guards_outlive_borrow() {
+        let lock = Arc::new(RwLock::new(5u8));
+        let guard = {
+            let l = lock.clone();
+            l.read_arc()
+        };
+        assert_eq!(*guard, 5);
+        drop(guard);
+        let mut w = lock.write_arc();
+        *w = 9;
+        drop(w);
+        assert_eq!(*lock.read(), 9);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_excludes_writer() {
+        let lock = Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = lock.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let mut w = lock.write_arc();
+                        *w += 1;
+                        drop(w);
+                        let r = lock.read_arc();
+                        assert!(*r <= 400);
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 400);
+    }
+}

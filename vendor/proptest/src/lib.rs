@@ -1,0 +1,367 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small deterministic property-testing engine exposing the subset of the
+//! proptest 1.x API its tests use:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, `prop_flat_map`, `boxed`;
+//! - strategies for integer/bool `any`, integer ranges (half-open and
+//!   inclusive), [`strategy::Just`], tuples up to arity 4, and
+//!   [`collection::vec`] with exact or ranged lengths;
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`];
+//! - [`test_runner::Config`] aliased as `ProptestConfig` in the prelude.
+//!
+//! Differences from upstream: failing cases are *not* shrunk — the failure
+//! message instead reports the case number and seed, and every run is fully
+//! deterministic (seed derived from the case number), so a failure
+//! reproduces by re-running the same test.
+
+use std::fmt;
+
+pub mod strategy;
+
+/// Error type carried by `prop_assert*` early returns.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed property with explanation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Test-runner configuration (upstream `proptest::test_runner::Config`).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from the case number so failures
+    /// reproduce exactly on re-run.
+    pub fn for_case(case: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(
+                0xB01D_FACE_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::Rng;
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` works from the prelude.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Lengths a generated `Vec` may take.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        /// Exclusive upper bound.
+        pub(crate) hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the upstream `prop` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Run the cases of one property; used by the [`proptest!`] macro.
+pub fn run_cases(
+    config: test_runner::Config,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    for i in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(i);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest: property failed at case {i} of {}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Define property tests. Mirrors upstream's macro for the supported
+/// grammar: an optional `#![proptest_config(expr)]` header followed by
+/// functions whose arguments are `pat in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `fn` in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    // The caller writes `#[test]` on each fn (real-proptest idiom); pass
+    // the attributes through rather than stacking a duplicate `#[test]`.
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, |__rng| {
+                $crate::__proptest_bindings!(__rng, $($args)*);
+                let __out: ::std::result::Result<(), $crate::TestCaseError> = {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __out
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: expand `pat in strategy` argument bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_one_binding!($rng, $arg, $strat);
+        $crate::__proptest_bindings!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_one_binding!($rng, $arg, $strat);
+        $crate::__proptest_bindings!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Internal: one generated binding (always `mut` so `mut pat` callers work).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one_binding {
+    ($rng:ident, $arg:ident, $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::strategy::Strategy::generate(&$strat, $rng);
+    };
+}
+
+/// Assert a boolean property, failing the current case on `false`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality, failing the current case with both values on mismatch.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), __l, __r,
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Assert inequality, failing the current case when the values match.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(
+            v in prop::collection::vec((0u8..3, 10usize..20), 1..50),
+            exact in prop::collection::vec(any::<bool>(), 7),
+            x in 0u64..=5,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            for (a, b) in v {
+                prop_assert!(a < 3, "a out of range: {}", a);
+                prop_assert!((10..20).contains(&b));
+            }
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(x <= 5);
+        }
+
+        #[test]
+        fn mut_bindings_and_maps(
+            mut keys in prop::collection::vec(0u32..100, 1..40),
+            tagged in (1usize..4).prop_map(|n| n * 2),
+        ) {
+            keys.sort_unstable();
+            prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(tagged % 2 == 0 && (2..8).contains(&tagged));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in prop::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), 2u8..4], 64,
+        )) {
+            prop_assert!(picks.iter().all(|&p| p < 4));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1000, 5..10);
+        let a = strat.generate(&mut crate::TestRng::for_case(3));
+        let b = strat.generate(&mut crate::TestRng::for_case(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_number() {
+        crate::run_cases(ProptestConfig::with_cases(4), |rng| {
+            let v = rng.below(10);
+            prop_assert!(v > 100, "v was {}", v);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,241 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the pieces of `rand` it uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`], [`Rng::gen`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256** seeded via
+//! splitmix64 — high quality and fully deterministic, which is all the
+//! workloads and tests require (nothing asserts byte-compatibility with
+//! upstream `rand`'s stream).
+
+/// Core trait: a source of random `u64`s plus derived sampling helpers.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive integer ranges).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample(self, lo, hi_inclusive)
+    }
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+/// Types constructible from raw random bits (the `Standard` distribution).
+pub trait Standard {
+    /// Draw one value.
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types that support uniform range sampling.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Sample uniformly from `lo..=hi`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full domain of a 128-bit span cannot happen for <=64-bit
+                    // types except the complete u64/i64 range.
+                    return rng.next_u64() as $t;
+                }
+                // Widening multiply avoids modulo bias well below 2^64 spans.
+                let wide = (rng.next_u64() as u128).wrapping_mul(span) >> 64;
+                (lo as u128).wrapping_add(wide) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Lower bound and *inclusive* upper bound.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt + SteppedDown> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        (self.start, self.end.step_down())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one.
+pub trait SteppedDown {
+    /// `self - 1`, panicking on underflow (empty range).
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_stepped_down {
+    ($($t:ty),*) => {$(
+        impl SteppedDown for $t {
+            fn step_down(self) -> Self {
+                self.checked_sub(1).expect("gen_range: empty range")
+            }
+        }
+    )*};
+}
+impl_stepped_down!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Rngs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, the standard xoshiro seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (the one `SliceRandom` method the workspace uses).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Convenience re-exports matching `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let s: i64 = rng.gen_range(-7..8);
+            assert!((-7..8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}
