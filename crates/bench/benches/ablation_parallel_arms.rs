@@ -1,0 +1,40 @@
+//! Ablation: worker count for the independent `⋈̄` arms of the vertical
+//! bulk delete (phase-task executor fan-out).
+//!
+//! Criterion measures *wall* time; the simulated critical-path clock is
+//! reported by `repro fig8 --parallel N`. Both should move the same way:
+//! with 3 indices the fan-out group has two concurrent sort/merge arms, so
+//! workers > 1 overlap them, and more workers than arms buys nothing.
+
+mod common;
+
+use bd_bench::{prepare, PointConfig, StrategyKind};
+use common::{tune, BENCH_ROWS};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_parallel_arms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_parallel_arms");
+    tune(&mut g);
+    for workers in [1usize, 2, 3, 4] {
+        let cfg = PointConfig {
+            n_secondary: 2,
+            workers,
+            ..PointConfig::base(BENCH_ROWS)
+        };
+        g.bench_function(format!("workers-{workers}"), |b| {
+            b.iter_batched(
+                || prepare(&cfg, 0.15),
+                |(mut db, tid, d)| {
+                    StrategyKind::Bulk
+                        .run_workers(&mut db, tid, &d, workers)
+                        .expect("bulk delete");
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_arms);
+criterion_main!(benches);

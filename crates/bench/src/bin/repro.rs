@@ -1,18 +1,26 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases] [--audit]
+//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--parallel N]
+//!       [--phases] [--audit]
 //! ```
 //!
+//! `--parallel N` allows the independent `⋈̄` / rebuild arms of the bulk
+//! strategies N worker threads. Parallel runs produce the identical
+//! physical state (the arms touch disjoint structures); the figures gain a
+//! `crit-path` column per parallelizable strategy — the simulated time if
+//! the arms truly overlap — next to the serial clock.
+//!
 //! `--phases` additionally prints the per-`⋈̄` I/O breakdown of one bulk
-//! delete at the chosen scale.
+//! delete at the chosen scale (`∥` marks arms of a concurrent group).
 //!
 //! `--audit` runs the differential audit harness instead of the
 //! experiments: the same build + delete workload is executed horizontally
 //! and vertically in two separate databases, and every storage structure
 //! (heap record multiset, B-tree entries and invariants, FSM accounting,
-//! hash chains) is diffed across the two executions. Exits non-zero and
-//! prints the per-structure diff on divergence.
+//! hash chains) is diffed across the two executions — and then again
+//! between a serial and a parallel vertical run. Exits non-zero and prints
+//! the per-structure diff on divergence.
 //!
 //! Default scale is 100,000 rows (1/10 of the paper with all ratios
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
@@ -24,6 +32,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut rows: usize = 100_000;
+    let mut workers: usize = 1;
     let mut show_phases = false;
     let mut run_audit = false;
     let mut i = 0;
@@ -38,6 +47,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--parallel" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             name => which = name.to_string(),
         }
@@ -46,12 +63,12 @@ fn main() {
 
     let run = |id: &str| -> bd_core::DbResult<bd_bench::ExperimentReport> {
         match id {
-            "fig1" => experiments::fig1(rows),
-            "fig7" => experiments::fig7(rows),
-            "fig8" => experiments::fig8(rows),
-            "table1" => experiments::table1(rows),
-            "fig9" => experiments::fig9(rows),
-            "fig10" => experiments::fig10(rows),
+            "fig1" => experiments::fig1(rows, workers),
+            "fig7" => experiments::fig7(rows, workers),
+            "fig8" => experiments::fig8(rows, workers),
+            "table1" => experiments::table1(rows, workers),
+            "fig9" => experiments::fig9(rows, workers),
+            "fig10" => experiments::fig10(rows, workers),
             other => {
                 eprintln!("unknown experiment `{other}`");
                 usage()
@@ -60,7 +77,7 @@ fn main() {
     };
 
     if run_audit {
-        audit(rows);
+        audit(rows, workers);
         return;
     }
 
@@ -69,13 +86,19 @@ fn main() {
          scale: {rows} rows x 512 B; memory budgets scaled by rows/1M; times are\n\
          simulated minutes under the 1999-era disk cost model\n"
     );
+    if workers > 1 {
+        println!(
+            "parallel arms: {workers} workers; `crit-path` columns give the \
+             simulated time with concurrent `⋈̄` arms overlapped\n"
+        );
+    }
     let ids: Vec<&str> = if which == "all" {
         vec!["fig1", "fig7", "fig8", "table1", "fig9", "fig10"]
     } else {
         vec![which.as_str()]
     };
     if show_phases {
-        print_phases(rows);
+        print_phases(rows, workers);
     }
     for id in ids {
         let started = std::time::Instant::now();
@@ -96,16 +119,25 @@ fn main() {
     }
 }
 
-fn print_phases(rows: usize) {
+fn print_phases(rows: usize, workers: usize) {
     use bd_bench::{run_point, PointConfig, StrategyKind};
     let cfg = PointConfig {
         n_secondary: 2,
+        workers,
         ..PointConfig::base(rows)
     };
     match run_point(&cfg, StrategyKind::Bulk, 0.15) {
         Ok(report) => {
             println!("per-phase breakdown (bulk delete, 15% of {rows} rows, 3 indices):");
             print!("{}", report.phase_breakdown());
+            if workers > 1 {
+                println!(
+                    "  serial clock {:.2} min; critical path {:.2} min ({} workers)",
+                    report.sim_minutes(),
+                    report.critical_path_minutes(),
+                    workers,
+                );
+            }
             println!();
         }
         Err(e) => eprintln!("phase breakdown failed: {e}"),
@@ -113,16 +145,18 @@ fn print_phases(rows: usize) {
 }
 
 /// Differential strategy-equivalence audit: run the same workload
-/// horizontally and vertically, then diff all physical structures.
-fn audit(rows: usize) {
+/// horizontally and vertically (and vertically again with parallel arms),
+/// then diff all physical structures pairwise.
+fn audit(rows: usize, workers: usize) {
     use bd_core::prelude::*;
     use bd_core::{audit_equivalence, IndexDef};
     use bd_workload::TableSpec;
 
     let rows = rows.min(20_000); // the audit is O(n log n) in host time
+    let par_workers = if workers > 1 { workers } else { 3 };
     println!(
-        "differential audit: horizontal vs vertical, {rows} rows, \
-         15% delete, 3 B-tree indices + 1 hash index"
+        "differential audit: horizontal vs vertical vs vertical/parallel({par_workers}), \
+         {rows} rows, 15% delete, 3 B-tree indices + 1 hash index"
     );
     let build = |seed: u64| {
         let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
@@ -137,29 +171,40 @@ fn audit(rows: usize) {
         db.create_hash_index(w.tid, 3).unwrap();
         (db, w)
     };
-    let (mut db_a, w_a) = build(1);
-    let (mut db_b, _) = build(1);
-    let d = w_a.delete_set(0.15, 2);
-    strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
-    strategy::vertical_sort_merge(&mut db_b, w_a.tid, 0, &d).unwrap();
-    match audit_equivalence(&db_a, &db_b, w_a.tid) {
+    let check = |label: &str, report: bd_core::DbResult<bd_core::AuditReport>| match report {
         Ok(report) if report.is_clean() => {
-            println!("{report}");
+            println!("[{label}] {report}");
         }
         Ok(report) => {
-            eprintln!("{report}");
+            eprintln!("[{label}] {report}");
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("audit aborted: {e}");
+            eprintln!("[{label}] audit aborted: {e}");
             std::process::exit(1);
         }
-    }
+    };
+    let (mut db_a, w_a) = build(1);
+    let (mut db_b, _) = build(1);
+    let (mut db_c, _) = build(1);
+    let d = w_a.delete_set(0.15, 2);
+    strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w_a.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge_parallel(&mut db_c, w_a.tid, 0, &d, par_workers).unwrap();
+    check(
+        "horizontal vs vertical",
+        audit_equivalence(&db_a, &db_b, w_a.tid),
+    );
+    check(
+        "vertical serial vs parallel",
+        audit_equivalence(&db_b, &db_c, w_a.tid),
+    );
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--phases] [--audit]"
+        "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] \
+         [--parallel N] [--phases] [--audit]"
     );
     std::process::exit(2);
 }

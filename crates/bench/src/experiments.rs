@@ -16,20 +16,33 @@ fn sweep(
     points: &[(String, PointConfig, f64)],
     notes: String,
 ) -> DbResult<ExperimentReport> {
+    // When the points run with workers, every parallelizable strategy gets
+    // a second column: its critical-path clock (concurrent arms overlap).
+    let workers = points.first().map_or(1, |p| p.1.workers.max(1));
     let mut rows = Vec::new();
     for (x, cfg, fraction) in points {
         let mut vals = Vec::new();
         for s in strategies {
             let report = run_point(cfg, *s, *fraction)?;
             vals.push(report.sim_minutes());
+            if workers > 1 && s.parallelizable() {
+                vals.push(report.critical_path_minutes());
+            }
         }
         rows.push((x.clone(), vals));
+    }
+    let mut series = Vec::new();
+    for s in strategies {
+        series.push(s.label());
+        if workers > 1 && s.parallelizable() {
+            series.push(s.crit_label());
+        }
     }
     Ok(ExperimentReport {
         id,
         title,
         x_label,
-        series: strategies.iter().map(|s| s.label()).collect(),
+        series,
         rows,
         notes,
     })
@@ -38,9 +51,10 @@ fn sweep(
 /// Figure 1 (introduction): commercial-RDBMS-style bulk deletes — the
 /// traditional plan vs. drop & create on a 3-index table, varying the
 /// delete fraction (1/5/10/15 %).
-pub fn fig1(rows: usize) -> DbResult<ExperimentReport> {
+pub fn fig1(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     let cfg = PointConfig {
         n_secondary: 2,
+        workers,
         ..PointConfig::base(rows)
     };
     let strategies = [StrategyKind::SortedTrad, StrategyKind::DropCreate];
@@ -62,8 +76,11 @@ pub fn fig1(rows: usize) -> DbResult<ExperimentReport> {
 
 /// Figure 7 (Experiment 1): vary the number of deleted records; 1
 /// unclustered index, 5 MB (scaled) memory.
-pub fn fig7(rows: usize) -> DbResult<ExperimentReport> {
-    let cfg = PointConfig::base(rows);
+pub fn fig7(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
+    let cfg = PointConfig {
+        workers,
+        ..PointConfig::base(rows)
+    };
     let strategies = [
         StrategyKind::SortedTrad,
         StrategyKind::NotSortedTrad,
@@ -87,7 +104,7 @@ pub fn fig7(rows: usize) -> DbResult<ExperimentReport> {
 
 /// Figure 8 (Experiment 2): vary the number of indices (1/2/3); 15 %
 /// deletes, 5 MB (scaled) memory.
-pub fn fig8(rows: usize) -> DbResult<ExperimentReport> {
+pub fn fig8(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     let strategies = [
         StrategyKind::SortedTrad,
         StrategyKind::NotSortedTrad,
@@ -100,6 +117,7 @@ pub fn fig8(rows: usize) -> DbResult<ExperimentReport> {
                 format!("{n}"),
                 PointConfig {
                     n_secondary: n - 1,
+                    workers,
                     ..PointConfig::base(rows)
                 },
                 0.15,
@@ -126,7 +144,7 @@ pub fn fig8(rows: usize) -> DbResult<ExperimentReport> {
 /// 4 at 1 M rows; with 4 KiB pages we use the default fanout for the short
 /// tree and a reduced fanout for the tall one, and report the measured
 /// heights.
-pub fn table1(rows: usize) -> DbResult<ExperimentReport> {
+pub fn table1(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     let strategies = [
         StrategyKind::BulkPresorted,
         StrategyKind::Bulk,
@@ -138,6 +156,7 @@ pub fn table1(rows: usize) -> DbResult<ExperimentReport> {
     for fanout in [None, Some(32)] {
         let cfg = PointConfig {
             fanout,
+            workers,
             ..PointConfig::base(rows)
         };
         let (db, w) = cfg.build()?;
@@ -159,7 +178,7 @@ pub fn table1(rows: usize) -> DbResult<ExperimentReport> {
 
 /// Figure 9 (Experiment 4): vary available memory (2/6/10 MB, scaled);
 /// 1 unclustered index, 15 % deletes.
-pub fn fig9(rows: usize) -> DbResult<ExperimentReport> {
+pub fn fig9(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     let strategies = [
         StrategyKind::SortedTrad,
         StrategyKind::NotSortedTrad,
@@ -172,6 +191,7 @@ pub fn fig9(rows: usize) -> DbResult<ExperimentReport> {
                 format!("{mb:.0} MB"),
                 PointConfig {
                     paper_mem_mb: mb,
+                    workers,
                     ..PointConfig::base(rows)
                 },
                 0.15,
@@ -192,12 +212,16 @@ pub fn fig9(rows: usize) -> DbResult<ExperimentReport> {
 
 /// Figure 10 (Experiment 5): clustered index on A (table sorted by A);
 /// vary delete fraction; plus the unclustered sorted/trad baseline.
-pub fn fig10(rows: usize) -> DbResult<ExperimentReport> {
+pub fn fig10(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     let clustered = PointConfig {
         cluster_a: true,
+        workers,
         ..PointConfig::base(rows)
     };
-    let unclustered = PointConfig::base(rows);
+    let unclustered = PointConfig {
+        workers,
+        ..PointConfig::base(rows)
+    };
     let fractions = [0.06, 0.10, 0.15, 0.20];
     let mut rows_out = Vec::new();
     for &f in &fractions {
@@ -205,26 +229,31 @@ pub fn fig10(rows: usize) -> DbResult<ExperimentReport> {
         let sorted_unclust = run_point(&unclustered, StrategyKind::SortedTrad, f)?;
         let notsorted_clust = run_point(&clustered, StrategyKind::NotSortedTrad, f)?;
         let bulk = run_point(&clustered, StrategyKind::Bulk, f)?;
-        rows_out.push((
-            pct(f),
-            vec![
-                sorted_clust.sim_minutes(),
-                sorted_unclust.sim_minutes(),
-                notsorted_clust.sim_minutes(),
-                bulk.sim_minutes(),
-            ],
-        ));
+        let mut vals = vec![
+            sorted_clust.sim_minutes(),
+            sorted_unclust.sim_minutes(),
+            notsorted_clust.sim_minutes(),
+            bulk.sim_minutes(),
+        ];
+        if workers > 1 {
+            vals.push(bulk.critical_path_minutes());
+        }
+        rows_out.push((pct(f), vals));
+    }
+    let mut series = vec![
+        "sorted/trad/clust",
+        "sorted/trad/unclust",
+        "not sorted/trad/clust",
+        "bulk delete",
+    ];
+    if workers > 1 {
+        series.push(StrategyKind::Bulk.crit_label());
     }
     Ok(ExperimentReport {
         id: "fig10",
         title: format!("clustered index: {rows} rows, 1 index, 5 MB memory"),
         x_label: "deleted tuples",
-        series: vec![
-            "sorted/trad/clust",
-            "sorted/trad/unclust",
-            "not sorted/trad/clust",
-            "bulk delete",
-        ],
+        series,
         rows: rows_out,
         notes: "expected: sorted/trad on a clustered index is the best case \
                 for the traditional approach and slightly beats bulk; bulk \
@@ -234,13 +263,13 @@ pub fn fig10(rows: usize) -> DbResult<ExperimentReport> {
 }
 
 /// Every experiment at the given scale, in paper order.
-pub fn all(rows: usize) -> DbResult<Vec<ExperimentReport>> {
+pub fn all(rows: usize, workers: usize) -> DbResult<Vec<ExperimentReport>> {
     Ok(vec![
-        fig1(rows)?,
-        fig7(rows)?,
-        fig8(rows)?,
-        table1(rows)?,
-        fig9(rows)?,
-        fig10(rows)?,
+        fig1(rows, workers)?,
+        fig7(rows, workers)?,
+        fig8(rows, workers)?,
+        table1(rows, workers)?,
+        fig9(rows, workers)?,
+        fig10(rows, workers)?,
     ])
 }

@@ -42,6 +42,10 @@ pub struct PointConfig {
     pub fanout: Option<usize>,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads for the independent `⋈̄` arms (1 = serial; the
+    /// physical result is identical either way, only the critical-path
+    /// clock changes).
+    pub workers: usize,
 }
 
 impl PointConfig {
@@ -54,6 +58,7 @@ impl PointConfig {
             cluster_a: false,
             fanout: None,
             seed: 42,
+            workers: 1,
         }
     }
 
@@ -125,26 +130,67 @@ impl StrategyKind {
         }
     }
 
-    /// Run this strategy over a built point.
+    /// Run this strategy over a built point (serial arms).
     pub fn run(&self, db: &mut Database, tid: TableId, d_keys: &[Key]) -> DbResult<RunReport> {
+        self.run_workers(db, tid, d_keys, 1)
+    }
+
+    /// Run this strategy with the independent `⋈̄` / rebuild arms allowed
+    /// `workers` threads. The horizontal strategies have no independent
+    /// arms and ignore `workers`.
+    pub fn run_workers(
+        &self,
+        db: &mut Database,
+        tid: TableId,
+        d_keys: &[Key],
+        workers: usize,
+    ) -> DbResult<RunReport> {
         use bd_core::strategy as s;
         let outcome = match self {
             StrategyKind::SortedTrad => s::horizontal(db, tid, 0, d_keys, true)?,
             StrategyKind::NotSortedTrad => s::horizontal(db, tid, 0, d_keys, false)?,
-            StrategyKind::DropCreate => {
-                s::drop_create(db, tid, 0, d_keys, bd_core::RebuildMode::BulkLoad)?
-            }
-            StrategyKind::DropCreateInsertRebuild => {
-                s::drop_create(db, tid, 0, d_keys, bd_core::RebuildMode::InsertEach)?
-            }
-            StrategyKind::Bulk => s::vertical_sort_merge(db, tid, 0, d_keys)?,
+            StrategyKind::DropCreate => s::drop_create_parallel(
+                db,
+                tid,
+                0,
+                d_keys,
+                bd_core::RebuildMode::BulkLoad,
+                workers,
+            )?,
+            StrategyKind::DropCreateInsertRebuild => s::drop_create_parallel(
+                db,
+                tid,
+                0,
+                d_keys,
+                bd_core::RebuildMode::InsertEach,
+                workers,
+            )?,
+            StrategyKind::Bulk => s::vertical_sort_merge_parallel(db, tid, 0, d_keys, workers)?,
             StrategyKind::BulkPresorted => {
                 let mut sorted = d_keys.to_vec();
                 sorted.sort_unstable();
-                s::vertical_sort_merge(db, tid, 0, &sorted)?
+                s::vertical_sort_merge_parallel(db, tid, 0, &sorted, workers)?
             }
         };
         Ok(outcome.report)
+    }
+
+    /// Whether this strategy has independent arms that parallelise (and
+    /// therefore a critical-path clock distinct from the serial one).
+    pub fn parallelizable(&self) -> bool {
+        !matches!(self, StrategyKind::SortedTrad | StrategyKind::NotSortedTrad)
+    }
+
+    /// Label of this strategy's critical-path series in parallel sweeps.
+    pub fn crit_label(&self) -> &'static str {
+        match self {
+            StrategyKind::SortedTrad => "sorted/trad crit",
+            StrategyKind::NotSortedTrad => "not sorted crit",
+            StrategyKind::DropCreate => "drop&create crit",
+            StrategyKind::DropCreateInsertRebuild => "drop/create crit",
+            StrategyKind::Bulk => "bulk crit-path",
+            StrategyKind::BulkPresorted => "sorted/bulk crit",
+        }
     }
 }
 
@@ -157,7 +203,7 @@ pub fn run_point(
 ) -> DbResult<RunReport> {
     let (mut db, w) = cfg.build()?;
     let d = w.delete_set(delete_fraction, cfg.seed.wrapping_add(1));
-    let report = strategy.run(&mut db, w.tid, &d)?;
+    let report = strategy.run_workers(&mut db, w.tid, &d, cfg.workers.max(1))?;
     db.check_consistency(w.tid)?;
     Ok(report)
 }

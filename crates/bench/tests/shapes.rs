@@ -8,7 +8,7 @@ const ROWS: usize = 10_000;
 
 #[test]
 fn fig1_traditional_grows_drop_create_flatter() {
-    let r = experiments::fig1(ROWS).unwrap();
+    let r = experiments::fig1(ROWS, 1).unwrap();
     let trad_1 = r.value("1%", "sorted/trad");
     let trad_15 = r.value("15%", "sorted/trad");
     let dc_1 = r.value("1%", "drop&create");
@@ -26,7 +26,7 @@ fn fig1_traditional_grows_drop_create_flatter() {
 
 #[test]
 fn fig7_bulk_dominates_and_gap_grows() {
-    let r = experiments::fig7(ROWS).unwrap();
+    let r = experiments::fig7(ROWS, 1).unwrap();
     for x in ["5%", "10%", "15%", "20%"] {
         let bulk = r.value(x, "bulk delete");
         let sorted = r.value(x, "sorted/trad");
@@ -54,7 +54,7 @@ fn fig7_bulk_dominates_and_gap_grows() {
 
 #[test]
 fn fig8_bulk_advantage_grows_with_indices() {
-    let r = experiments::fig8(ROWS).unwrap();
+    let r = experiments::fig8(ROWS, 1).unwrap();
     // Traditional grows with index count; bulk nearly flat.
     assert!(r.value("3", "sorted/trad") > 2.0 * r.value("1", "sorted/trad"));
     assert!(r.value("3", "bulk delete") < 1.5 * r.value("1", "bulk delete"));
@@ -73,7 +73,7 @@ fn fig8_bulk_advantage_grows_with_indices() {
 
 #[test]
 fn table1_bulk_height_independent_traditional_not() {
-    let r = experiments::table1(ROWS).unwrap();
+    let r = experiments::table1(ROWS, 1).unwrap();
     let rows: Vec<&str> = r.rows.iter().map(|(x, _)| x.as_str()).collect();
     assert_eq!(rows.len(), 2);
     let (short, tall) = (rows[0].to_string(), rows[1].to_string());
@@ -94,7 +94,7 @@ fn table1_bulk_height_independent_traditional_not() {
 
 #[test]
 fn fig9_bulk_flat_traditional_memory_sensitive() {
-    let r = experiments::fig9(ROWS).unwrap();
+    let r = experiments::fig9(ROWS, 1).unwrap();
     let b2 = r.value("2 MB", "bulk delete");
     let b10 = r.value("10 MB", "bulk delete");
     assert!(b2 < 1.5 * b10, "bulk must work with very little memory");
@@ -109,7 +109,7 @@ fn fig9_bulk_flat_traditional_memory_sensitive() {
 
 #[test]
 fn fig10_clustering_is_traditionals_best_case() {
-    let r = experiments::fig10(ROWS).unwrap();
+    let r = experiments::fig10(ROWS, 1).unwrap();
     for x in ["6%", "10%", "15%", "20%"] {
         // Clustering helps sorted/trad massively (paper: its best case).
         assert!(
@@ -122,4 +122,24 @@ fn fig10_clustering_is_traditionals_best_case() {
         // "performs almost as well"; ours is even faster).
         assert!(r.value(x, "bulk delete") <= r.value(x, "sorted/trad/clust") * 1.5);
     }
+}
+
+#[test]
+fn fig8_parallel_crit_path_beats_serial_clock() {
+    let parallel = experiments::fig8(ROWS, 3).unwrap();
+    // (The per-arm cost model is unchanged, but interleaved arms move the
+    // simulated disk head differently, so the global serial clock is not
+    // bit-identical across worker counts — only the physical end state is.)
+    // With 3 indices the fan-out group has two concurrent arms, so the
+    // critical path is strictly below the serial clock; with 1 index
+    // there is nothing to overlap and the clocks agree.
+    let crit3 = parallel.value("3", "bulk crit-path");
+    let serial3 = parallel.value("3", "bulk delete");
+    assert!(
+        crit3 < serial3,
+        "critical path must be strictly below serial ({crit3} !< {serial3})"
+    );
+    let crit1 = parallel.value("1", "bulk crit-path");
+    let serial1 = parallel.value("1", "bulk delete");
+    assert!((crit1 - serial1).abs() < 1e-9, "no arms, no overlap");
 }

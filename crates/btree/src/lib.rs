@@ -32,3 +32,12 @@ pub use node::{Key, NodeKind, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
 pub use reorg::ReorgPolicy;
 pub use scan::{lookup_keys_sorted, LeafPages, LeafScan};
 pub use tree::{BTree, BTreeConfig, TreeStats};
+
+// Bulk-delete arms are dispatched to worker threads by the phase-task
+// executor; a tree handle must therefore stay `Send` (it is `Arc<BufferPool>`
+// plus plain data — this assertion turns an accidental `Rc`/`RefCell`
+// regression into a compile error here rather than in bd-core).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<BTree>();
+};

@@ -1,0 +1,316 @@
+//! The phase-task executor: runs a delete plan as a DAG of [`PhaseTask`]s.
+//!
+//! §2.2's observation is that the vertical strategy decomposes a bulk
+//! delete into *independent per-structure operations*: after the base-table
+//! pass produced the deleted-record stream, the `⋈̄` on each remaining
+//! index touches pages no other arm touches. The executor exploits exactly
+//! that independence:
+//!
+//! * **serial phases** (`sort D`, the key-predicate probe `⋈̄`, the table
+//!   `⋈̄`, and unique-index arms, which §3.1 sequences first) run in plan
+//!   order on the calling thread;
+//! * **fan-out groups** — one [`PhaseTask`] per remaining secondary index
+//!   and per hash index — run concurrently on scoped worker threads
+//!   against the shared, thread-safe `Arc<BufferPool>`.
+//!
+//! Every task runs under its own [`IoScope`], so the report can show both
+//! the *serial* simulated clock (the disk's global sum — the 1999 cost
+//! model is untouched per arm) and the *critical-path* clock (concurrent
+//! arms overlap; each group costs its slowest arm).
+//!
+//! Error handling joins cleanly: the first failing arm trips the group's
+//! [`CancelToken`]; sibling arms abort at their next disk access with
+//! `StorageError::Cancelled`; queued arms never start. All workers are
+//! joined before the original (non-`Cancelled`, lowest task index) error
+//! surfaces, so no page pin outlives the run and the pool is never
+//! poisoned. Phase rows are recorded at fixed slots, so the breakdown
+//! order is independent of arm completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bd_storage::{CancelToken, IoScope, StorageError, StorageResult};
+
+use crate::report::{PhaseRow, PhaseTimer};
+
+/// Boxed body of one task, movable to a worker thread.
+type TaskBody<'env> = Box<dyn FnOnce() -> StorageResult<()> + Send + 'env>;
+
+/// One schedulable unit of the delete DAG: a named body that may be
+/// dispatched to a worker thread. Bodies own (or exclusively borrow) the
+/// structure they mutate — dispatching an arm hands that structure to one
+/// worker, which is what makes the fan-out safe.
+pub struct PhaseTask<'env> {
+    name: String,
+    body: TaskBody<'env>,
+}
+
+impl<'env> PhaseTask<'env> {
+    /// A task running `body` under the label `name`.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl FnOnce() -> StorageResult<()> + Send + 'env,
+    ) -> Self {
+        PhaseTask {
+            name: name.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// The task's display label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Executes the phase DAG of one strategy run: serial phases in order,
+/// fan-out groups on up to `workers` scoped threads.
+pub struct PhaseExecutor {
+    timer: PhaseTimer,
+    workers: usize,
+    next_group: u32,
+}
+
+impl PhaseExecutor {
+    /// An executor allowed `workers` concurrent arms (1 = fully serial;
+    /// fan-out groups then run their arms sequentially in task order,
+    /// which produces the identical physical state).
+    pub fn new(workers: usize) -> Self {
+        PhaseExecutor {
+            timer: PhaseTimer::new(),
+            workers: workers.max(1),
+            next_group: 0,
+        }
+    }
+
+    /// Worker budget of this executor.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run one serial phase on the calling thread.
+    pub fn serial<T>(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce() -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        self.timer.phase(name, body)
+    }
+
+    /// Run a group of independent arms, concurrently when `workers > 1`.
+    ///
+    /// On failure every sibling is cancelled, all threads are joined, and
+    /// the lowest-index non-`Cancelled` error is returned. Rows for every
+    /// task (including cancelled/skipped ones, with zero I/O) are recorded
+    /// in submission order.
+    pub fn fan_out(&mut self, tasks: Vec<PhaseTask<'_>>) -> StorageResult<()> {
+        let group = self.next_group;
+        self.next_group += 1;
+        if tasks.is_empty() {
+            return Ok(());
+        }
+        let workers = self.workers.min(tasks.len());
+        let cancel = CancelToken::new();
+
+        if workers <= 1 {
+            // Serial execution of the group: same task order, same physical
+            // result, rows still tagged with the group id (the group is a
+            // unit of *potential* concurrency).
+            let mut first_err: Option<StorageError> = None;
+            for task in tasks {
+                if first_err.is_some() {
+                    // A failed arm aborts the rest of the group, exactly as
+                    // cancellation does in the concurrent case.
+                    self.timer.push_row(PhaseRow {
+                        name: task.name,
+                        io: Default::default(),
+                        group: Some(group),
+                    });
+                    continue;
+                }
+                let scope = IoScope::new();
+                let result = {
+                    let _guard = scope.enter();
+                    (task.body)()
+                };
+                self.timer.push_row(PhaseRow {
+                    name: task.name,
+                    io: scope.stats(),
+                    group: Some(group),
+                });
+                if let Err(e) = result {
+                    first_err = Some(e);
+                }
+            }
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+
+        let n = tasks.len();
+        let mut names = Vec::with_capacity(n);
+        let cells: Vec<Mutex<Option<TaskBody<'_>>>> = tasks
+            .into_iter()
+            .map(|t| {
+                names.push(t.name);
+                Mutex::new(Some(t.body))
+            })
+            .collect();
+        let stats: Vec<Mutex<Option<bd_storage::DiskStats>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let failures: Mutex<Vec<(usize, StorageError)>> = Mutex::new(Vec::new());
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    if cancel.is_cancelled() {
+                        continue; // skip queued arms after a failure
+                    }
+                    let body = cells[i]
+                        .lock()
+                        .expect("task cell lock")
+                        .take()
+                        .expect("task claimed once");
+                    let scope = IoScope::with_cancel(cancel.clone());
+                    let result = {
+                        let _guard = scope.enter();
+                        body()
+                    };
+                    *stats[i].lock().expect("stats slot lock") = Some(scope.stats());
+                    if let Err(e) = result {
+                        cancel.cancel();
+                        failures.lock().expect("failure lock").push((i, e));
+                    }
+                });
+            }
+        });
+
+        for (i, name) in names.into_iter().enumerate() {
+            let io = stats[i]
+                .lock()
+                .expect("stats slot lock")
+                .take()
+                .unwrap_or_default();
+            self.timer.push_row(PhaseRow {
+                name,
+                io,
+                group: Some(group),
+            });
+        }
+
+        let mut failures = failures.into_inner().expect("failure lock");
+        if failures.is_empty() {
+            return Ok(());
+        }
+        // Deterministic error selection: the originating failure, not the
+        // Cancelled echoes of aborted siblings; ties by task order.
+        failures.sort_by_key(|(i, e)| (*e == StorageError::Cancelled, *i));
+        Err(failures.remove(0).1)
+    }
+
+    /// Consume the executor, yielding the phase rows in plan order.
+    pub fn into_rows(self) -> Vec<PhaseRow> {
+        self.timer.into_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_storage::{BufferPool, CostModel, SimDisk};
+    use std::sync::Arc;
+
+    fn pool_with_pages(n: usize) -> (Arc<BufferPool>, u32) {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(n);
+        (BufferPool::new(disk, n.max(2)), first)
+    }
+
+    #[test]
+    fn fan_out_runs_every_arm_and_orders_rows() {
+        let (pool, first) = pool_with_pages(16);
+        let mut exec = PhaseExecutor::new(4);
+        let tasks: Vec<PhaseTask> = (0..4u32)
+            .map(|t| {
+                let pool = pool.clone();
+                PhaseTask::new(format!("arm {t}"), move || {
+                    for i in 0..=t {
+                        let _ = pool.pin_read(first + t * 4 + i)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        exec.fan_out(tasks).unwrap();
+        let rows = exec.into_rows();
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["arm 0", "arm 1", "arm 2", "arm 3"]);
+        for (t, row) in rows.iter().enumerate() {
+            assert_eq!(row.io.pages_read, t as u64 + 1, "per-arm attribution");
+            assert_eq!(row.group, Some(0));
+        }
+    }
+
+    #[test]
+    fn failing_arm_cancels_siblings_and_surfaces_original_error() {
+        let (pool, first) = pool_with_pages(64);
+        pool.with_disk(|d| d.fail_reads_at(Some(first + 32)));
+        let mut exec = PhaseExecutor::new(2);
+        let spinner = {
+            let pool = pool.clone();
+            PhaseTask::new("spinner", move || {
+                // Keeps issuing disk reads until the sibling's failure
+                // cancels it (bounded to avoid hanging on regression).
+                for round in 0..10_000 {
+                    pool.clear_cache()?;
+                    let _ = pool.pin_read(first + (round % 8) as u32)?;
+                    std::thread::yield_now();
+                }
+                Ok(())
+            })
+        };
+        let failer = {
+            let pool = pool.clone();
+            PhaseTask::new("failer", move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let _ = pool.pin_read(first + 32)?;
+                Ok(())
+            })
+        };
+        let err = exec.fan_out(vec![spinner, failer]).unwrap_err();
+        assert_eq!(err, StorageError::InjectedFault(first + 32));
+        assert_eq!(pool.pinned_frames(), 0, "no pins survive the abort");
+        let rows = exec.into_rows();
+        assert_eq!(rows.len(), 2, "both arms reported");
+        // The pool still works after the abort.
+        pool.with_disk(|d| d.fail_reads_at(None));
+        let _ = pool.pin_read(first).unwrap();
+    }
+
+    #[test]
+    fn serial_fallback_matches_task_order_and_stops_after_error() {
+        let (pool, first) = pool_with_pages(8);
+        pool.with_disk(|d| d.fail_reads_at(Some(first + 1)));
+        let mut exec = PhaseExecutor::new(1);
+        let mk = |pid: u32| {
+            let pool = pool.clone();
+            PhaseTask::new(format!("arm {pid}"), move || {
+                let _ = pool.pin_read(pid)?;
+                Ok(())
+            })
+        };
+        let err = exec
+            .fan_out(vec![mk(first), mk(first + 1), mk(first + 2)])
+            .unwrap_err();
+        assert_eq!(err, StorageError::InjectedFault(first + 1));
+        let rows = exec.into_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].io.pages_read, 0, "arm after the failure skipped");
+    }
+}

@@ -43,6 +43,7 @@ pub mod constraint;
 pub mod cost;
 pub mod db;
 pub mod error;
+pub mod executor;
 pub mod plan;
 pub mod planner;
 pub mod report;
@@ -56,9 +57,10 @@ pub use constraint::{ForeignKey, RefAction};
 pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
 pub use db::{Database, DatabaseConfig, TableId};
 pub use error::{DbError, DbResult};
+pub use executor::{PhaseExecutor, PhaseTask};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
 pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
-pub use report::{measure, RunReport};
+pub use report::{measure, PhaseRow, PhaseTimer, RunReport};
 pub use strategy::{DeleteOutcome, RebuildMode};
 pub use tuple::{attr_name, Schema, Tuple};
 pub use update::{bulk_update, UpdateOutcome};

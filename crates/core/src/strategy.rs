@@ -11,21 +11,34 @@
 //! * [`vertical`] — the paper's contribution: delete *per structure*, one
 //!   set-oriented `⋈̄` at a time, following a [`DeletePlan`].
 //!
+//! The vertical and drop&create strategies run on the
+//! [`PhaseExecutor`](crate::executor::PhaseExecutor): the serial prefix
+//! (sort `D`, the key-predicate `⋈̄`, the table pass, and §3.1's
+//! unique-index arms) in plan order, then one independent arm per remaining
+//! secondary index and hash index. With [`vertical_parallel`] (or the other
+//! `*_parallel` entry points) those arms are dispatched to worker threads;
+//! because each arm touches only its own structure's pages, the physical
+//! result is identical to the serial run — only the critical-path clock
+//! shrinks.
+//!
 //! Every strategy returns the same [`DeleteOutcome`] and leaves the table
-//! and indices in exactly equivalent states (property-tested).
+//! and indices in exactly equivalent states (property-tested, and audited
+//! serial-vs-parallel).
 
 use std::sync::Arc;
+use std::sync::Mutex;
 
 use bd_btree::{bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted, Key, ReorgPolicy};
 use bd_exec::{range_partitions, sort_all, ByRid, RidSet, BYTES_PER_RID};
 use bd_storage::{BufferPool, MemoryBudget, Rid, StorageResult};
 
-use crate::catalog::{Index, IndexDef};
+use crate::catalog::{HashIdx, Index, IndexDef};
 use crate::db::{Database, TableId};
 use crate::error::{DbError, DbResult};
+use crate::executor::{PhaseExecutor, PhaseTask};
 use crate::plan::{DeletePlan, IndexMethod, TableMethod};
 use crate::planner::plan_sort_merge;
-use crate::report::{measure, RunReport};
+use crate::report::{measure, PhaseRow, RunReport};
 use crate::tuple::{Schema, Tuple};
 
 /// What a strategy deleted, plus its cost report.
@@ -37,6 +50,13 @@ pub struct DeleteOutcome {
     /// heap (available for archiving or bulk re-insertion).
     pub deleted: Vec<(Rid, Tuple)>,
 }
+
+/// What the table-and-index passes of a strategy hand back to `measure`:
+/// the deleted rows plus the per-phase I/O rows the executor recorded.
+type RowsAndPhases = (Vec<(Rid, Tuple)>, Vec<PhaseRow>);
+
+/// The planner's per-index steps, as `(position in catalog, ⋈̄ method)`.
+type IndexSteps = Vec<(usize, IndexMethod)>;
 
 fn probe_pos(indices: &[Index], attr: usize) -> DbResult<usize> {
     indices
@@ -123,6 +143,20 @@ pub fn drop_create(
     d_keys: &[Key],
     rebuild: RebuildMode,
 ) -> DbResult<DeleteOutcome> {
+    drop_create_parallel(db, tid, probe_attr, d_keys, rebuild, 1)
+}
+
+/// [`drop_create`] with the rebuild arms dispatched to up to `workers`
+/// threads — each dropped index is rebuilt independently (scan + sort +
+/// load touch only that index's pages and scratch segments).
+pub fn drop_create_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    rebuild: RebuildMode,
+    workers: usize,
+) -> DbResult<DeleteOutcome> {
     let (parts, ws, pool) = db.parts(tid)?;
     probe_pos(parts.indices, probe_attr)?; // validate before measuring
     let schema = parts.schema;
@@ -130,31 +164,64 @@ pub fn drop_create(
     let indices = parts.indices;
     let hash_indices = parts.hash_indices;
 
-    let (deleted, mut report) = measure(&pool, "drop&create", || {
-        // Drop every index except the probe index (still needed to find
-        // the records to delete).
-        let mut dropped: Vec<IndexDef> = Vec::new();
-        let mut i = 0;
-        while i < indices.len() {
-            if indices[i].def.attr != probe_attr {
-                dropped.push(indices.remove(i).def);
-            } else {
-                i += 1;
-            }
-        }
-        let pos = indices
-            .iter()
-            .position(|ix| ix.def.attr == probe_attr)
-            .expect("probe index kept");
-        debug_assert!(pos == 0 || pos < indices.len());
+    let ((deleted, phases), mut report) = measure(&pool, "drop&create", || {
+        execute_drop_create(
+            &pool,
+            &ws,
+            schema,
+            heap,
+            indices,
+            hash_indices,
+            probe_attr,
+            d_keys,
+            rebuild,
+            workers,
+        )
+    })?;
+    report.deleted = deleted.len();
+    report.phases = phases;
+    report.workers = workers.max(1);
+    Ok(DeleteOutcome { report, deleted })
+}
 
-        // Sorted traditional delete against heap + probe index.
-        let keys: Vec<Key> = sort_all(
-            pool.clone(),
-            d_keys.iter().copied(),
-            ws.capacity().max(4096),
-        )?
-        .0;
+#[allow(clippy::too_many_arguments)] // split borrows of one table
+fn execute_drop_create(
+    pool: &Arc<BufferPool>,
+    ws: &Arc<MemoryBudget>,
+    schema: Schema,
+    heap: &mut bd_storage::HeapFile,
+    indices: &mut Vec<Index>,
+    hash_indices: &mut [HashIdx],
+    probe_attr: usize,
+    d_keys: &[Key],
+    rebuild: RebuildMode,
+    workers: usize,
+) -> StorageResult<RowsAndPhases> {
+    let ws_bytes = ws.capacity().max(4096);
+    let mut exec = PhaseExecutor::new(workers);
+
+    // Drop every index except the probe index (still needed to find the
+    // records to delete). Catalog-only: no I/O, no phase row.
+    let mut dropped: Vec<IndexDef> = Vec::new();
+    let mut i = 0;
+    while i < indices.len() {
+        if indices[i].def.attr != probe_attr {
+            dropped.push(indices.remove(i).def);
+        } else {
+            i += 1;
+        }
+    }
+    let pos = indices
+        .iter()
+        .position(|ix| ix.def.attr == probe_attr)
+        .expect("probe index kept");
+    debug_assert!(pos == 0 || pos < indices.len());
+
+    // Sorted traditional delete against heap + probe index.
+    let keys: Vec<Key> = exec.serial("sort(D)", || {
+        Ok(sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?.0)
+    })?;
+    let deleted: Vec<(Rid, Tuple)> = exec.serial("trad delete (probe+heap)", || {
         let mut deleted: Vec<(Rid, Tuple)> = Vec::new();
         for &key in &keys {
             let rids = indices[pos].tree.search(key)?;
@@ -168,45 +235,93 @@ pub fn drop_create(
                 deleted.push((rid, schema.decode(&bytes)));
             }
         }
-
-        // Re-create the dropped indices.
-        for def in dropped {
-            let tree = match rebuild {
-                RebuildMode::BulkLoad => {
-                    let mut scan = heap.scan();
-                    let entries =
-                        (&mut scan).map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
-                    let (sorted, _) = sort_all(pool.clone(), entries, ws.capacity().max(4096))?;
-                    // A fused scan would rebuild the index without the
-                    // unread pages' records — abort instead.
-                    if let Some(e) = scan.take_error() {
-                        return Err(e);
-                    }
-                    bd_btree::bulk_load(pool.clone(), def.config, &sorted, def.fill)?
-                }
-                RebuildMode::InsertEach => {
-                    let mut tree = bd_btree::BTree::create(pool.clone(), def.config)?;
-                    for (rid, bytes) in heap.dump()? {
-                        tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
-                    }
-                    tree
-                }
-            };
-            indices.push(Index { def, tree });
-        }
         Ok(deleted)
     })?;
-    report.deleted = deleted.len();
-    Ok(DeleteOutcome { report, deleted })
+
+    // Re-create the dropped indices — one independent arm per index. Each
+    // arm scans the (now immutable) heap and builds only its own tree, so
+    // the arms are safe to dispatch concurrently.
+    let n_arms = dropped.len();
+    if n_arms > 0 {
+        let concurrency = workers.clamp(1, n_arms);
+        let arm_bytes = if concurrency > 1 {
+            (ws_bytes / concurrency).max(4096)
+        } else {
+            ws_bytes
+        };
+        let heap: &bd_storage::HeapFile = heap;
+        let slots: Vec<Mutex<Option<Index>>> = (0..n_arms).map(|_| Mutex::new(None)).collect();
+        let mut tasks: Vec<PhaseTask> = Vec::new();
+        for (slot, def) in slots.iter().zip(dropped) {
+            let tag = match rebuild {
+                RebuildMode::BulkLoad => "bulk load",
+                RebuildMode::InsertEach => "insert each",
+            };
+            let name = format!("rebuild {} ({tag})", def.name);
+            let pool = pool.clone();
+            tasks.push(PhaseTask::new(name, move || {
+                let tree = match rebuild {
+                    RebuildMode::BulkLoad => {
+                        let mut scan = heap.scan();
+                        let entries =
+                            (&mut scan).map(|(rid, bytes)| (schema.attr_of(&bytes, def.attr), rid));
+                        let (sorted, _) = sort_all(pool.clone(), entries, arm_bytes)?;
+                        // A fused scan would rebuild the index without the
+                        // unread pages' records — abort instead.
+                        if let Some(e) = scan.take_error() {
+                            return Err(e);
+                        }
+                        bd_btree::bulk_load(pool.clone(), def.config, &sorted, def.fill)?
+                    }
+                    RebuildMode::InsertEach => {
+                        let mut tree = bd_btree::BTree::create(pool.clone(), def.config)?;
+                        for (rid, bytes) in heap.dump()? {
+                            tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
+                        }
+                        tree
+                    }
+                };
+                *slot.lock().expect("rebuild slot lock") = Some(Index { def, tree });
+                Ok(())
+            }));
+        }
+        exec.fan_out(tasks)?;
+        for slot in slots {
+            let index = slot
+                .into_inner()
+                .expect("rebuild slot lock")
+                .expect("rebuild arm completed");
+            indices.push(index);
+        }
+    }
+    Ok((deleted, exec.into_rows()))
 }
 
-/// The vertical (set-oriented) bulk delete, following `plan`.
+/// The vertical (set-oriented) bulk delete, following `plan` (serial).
 pub fn vertical(
     db: &mut Database,
     tid: TableId,
     d_keys: &[Key],
     plan: &DeletePlan,
     policy: ReorgPolicy,
+) -> DbResult<DeleteOutcome> {
+    vertical_parallel(db, tid, d_keys, plan, policy, 1)
+}
+
+/// [`vertical`] with the independent `⋈̄` arms (non-unique secondary
+/// indices and hash indices) dispatched to up to `workers` threads.
+///
+/// §3.1's ordering is preserved: unique-index arms run first, serially, so
+/// they come back online before the fan-out. The physical end state is
+/// identical to the serial run; the report additionally carries the
+/// critical-path clock ([`RunReport::critical_path_ms`]).
+pub fn vertical_parallel(
+    db: &mut Database,
+    tid: TableId,
+    d_keys: &[Key],
+    plan: &DeletePlan,
+    policy: ReorgPolicy,
+    workers: usize,
 ) -> DbResult<DeleteOutcome> {
     let (parts, ws, pool) = db.parts(tid)?;
     let pos = probe_pos(parts.indices, plan.probe_attr)?;
@@ -242,16 +357,81 @@ pub fn vertical(
             table_method,
             d_keys,
             policy,
+            workers,
         )
     })?;
     report.deleted = deleted.len();
     report.phases = phases;
+    report.workers = workers.max(1);
     Ok(DeleteOutcome { report, deleted })
 }
 
-#[allow(clippy::too_many_arguments)]
-/// Per-phase I/O deltas recorded by the vertical executor.
-type PhaseStats = Vec<(String, bd_storage::DiskStats)>;
+/// One downstream index `⋈̄` arm: consume the deleted-record stream and
+/// remove the matching entries from `index` by `method`. Runs unchanged on
+/// the caller's thread (serial phases, unique arms) or on a worker.
+#[allow(clippy::too_many_arguments)] // one arm's full environment, passed by value to workers
+fn run_index_arm(
+    pool: &Arc<BufferPool>,
+    ws: &MemoryBudget,
+    sort_bytes: usize,
+    schema: Schema,
+    index: &mut Index,
+    method: IndexMethod,
+    deleted_rows: &[(Rid, Vec<u8>)],
+    policy: ReorgPolicy,
+) -> StorageResult<()> {
+    let attr = index.def.attr;
+    let tree = &mut index.tree;
+    match method {
+        IndexMethod::SortMerge { presort } => {
+            let pairs: Vec<(Key, Rid)> = if presort {
+                let proj = deleted_rows
+                    .iter()
+                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+                sort_all(pool.clone(), proj, sort_bytes)?.0
+            } else {
+                // Clustered downstream index: RID order implies key
+                // order, so the projection arrives sorted.
+                let pairs: Vec<(Key, Rid)> = deleted_rows
+                    .iter()
+                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                    .collect();
+                debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+                pairs
+            };
+            bulk_delete_sorted(tree, &pairs, policy)?;
+        }
+        IndexMethod::ClassicHash => {
+            // "On a single-processor machine the same hash table can be
+            // used" — we rebuild it per index; the footprint is
+            // identical and the build is CPU-only. Concurrent arms each
+            // hold a reservation against the shared workspace budget, so
+            // oversubscription fails honestly instead of silently.
+            let set = RidSet::build(ws, deleted_rows.iter().map(|e| e.0))?;
+            bulk_delete_probe(tree, set.as_set(), None, policy)?;
+        }
+        IndexMethod::PartitionedHash { .. } => {
+            let proj = deleted_rows
+                .iter()
+                .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+            let (pairs, _) = sort_all(pool.clone(), proj, sort_bytes)?;
+            let per_part = (sort_bytes / BYTES_PER_RID).max(1);
+            for part in range_partitions(&pairs, per_part) {
+                let set = RidSet::build(ws, part.rids())?;
+                bulk_delete_probe(tree, set.as_set(), Some((part.lo, part.hi)), policy)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn method_tag(method: IndexMethod) -> &'static str {
+    match method {
+        IndexMethod::SortMerge { .. } => "sort/merge",
+        IndexMethod::ClassicHash => "hash probe",
+        IndexMethod::PartitionedHash { .. } => "partitioned hash",
+    }
+}
 
 #[allow(clippy::too_many_arguments)] // split borrows of one table
 fn execute_vertical(
@@ -260,41 +440,31 @@ fn execute_vertical(
     schema: Schema,
     heap: &mut bd_storage::HeapFile,
     indices: &mut [Index],
-    hash_indices: &mut [crate::catalog::HashIdx],
+    hash_indices: &mut [HashIdx],
     probe: usize,
     steps: &[(usize, IndexMethod)],
     table_method: TableMethod,
     d_keys: &[Key],
     policy: ReorgPolicy,
-) -> StorageResult<(Vec<(Rid, Tuple)>, PhaseStats)> {
+    workers: usize,
+) -> StorageResult<RowsAndPhases> {
     let ws_bytes = ws.capacity().max(4096);
-    let mut phases: Vec<(String, bd_storage::DiskStats)> = Vec::new();
-    let mut mark = pool.disk_stats();
-    let phase = |name: String,
-                 pool: &Arc<BufferPool>,
-                 phases: &mut Vec<(String, bd_storage::DiskStats)>,
-                 mark: &mut bd_storage::DiskStats| {
-        let now = pool.disk_stats();
-        phases.push((name, now.since(mark)));
-        *mark = now;
-    };
+    let mut exec = PhaseExecutor::new(workers);
 
     // Step 1: sort D on the probe key (sort_D in Fig. 3).
-    let (keys, _) = sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?;
-    phase("sort(D)".into(), pool, &mut phases, &mut mark);
+    let keys: Vec<Key> = exec.serial("sort(D)", || {
+        Ok(sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?.0)
+    })?;
 
     // Step 2: D ⋈̄ I_A — key-predicate sort/merge bulk delete; its output is
     // the list of (A, RID) entries removed.
-    let deleted_a = bulk_delete_by_keys(&mut indices[probe].tree, &keys, policy)?;
-    phase(
+    let deleted_a = exec.serial(
         format!("bd {} (key merge)", indices[probe].def.name),
-        pool,
-        &mut phases,
-        &mut mark,
-    );
+        || bulk_delete_by_keys(&mut indices[probe].tree, &keys, policy),
+    )?;
 
     // Step 3: ⋈̄ R — delete the records from the base table.
-    let deleted_rows: Vec<(Rid, Vec<u8>)> = match table_method {
+    let deleted_rows: Vec<(Rid, Vec<u8>)> = exec.serial("bd R (table)", || match table_method {
         TableMethod::Merge { presort } => {
             let rids: Vec<Rid> = if presort {
                 let (sorted, _) = sort_all(
@@ -309,80 +479,100 @@ fn execute_vertical(
                 debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]));
                 rids
             };
-            heap.bulk_delete_sorted(&rids)?
+            heap.bulk_delete_sorted(&rids)
         }
         TableMethod::HashProbe => {
             let set = RidSet::build(ws, deleted_a.iter().map(|e| e.1))?;
-            heap.bulk_delete_probe(set.as_set())?
+            heap.bulk_delete_probe(set.as_set())
         }
-    };
-    phase("bd R (table)".into(), pool, &mut phases, &mut mark);
+    })?;
 
     // Step 4: pipe the deleted rows into one ⋈̄ per remaining index.
-    for &(ipos, method) in steps {
-        let attr = indices[ipos].def.attr;
-        let tree = &mut indices[ipos].tree;
-        match method {
-            IndexMethod::SortMerge { presort } => {
-                let pairs: Vec<(Key, Rid)> = if presort {
-                    let proj = deleted_rows
-                        .iter()
-                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
-                    sort_all(pool.clone(), proj, ws_bytes)?.0
-                } else {
-                    // Clustered downstream index: RID order implies key
-                    // order, so the projection arrives sorted.
-                    let pairs: Vec<(Key, Rid)> = deleted_rows
-                        .iter()
-                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
-                        .collect();
-                    debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
-                    pairs
-                };
-                bulk_delete_sorted(tree, &pairs, policy)?;
-            }
-            IndexMethod::ClassicHash => {
-                // "On a single-processor machine the same hash table can be
-                // used" — we rebuild it per index; the footprint is
-                // identical and the build is CPU-only.
-                let set = RidSet::build(ws, deleted_rows.iter().map(|e| e.0))?;
-                bulk_delete_probe(tree, set.as_set(), None, policy)?;
-            }
-            IndexMethod::PartitionedHash { .. } => {
-                let proj = deleted_rows
-                    .iter()
-                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
-                let (pairs, _) = sort_all(pool.clone(), proj, ws_bytes)?;
-                let per_part = (ws_bytes / BYTES_PER_RID).max(1);
-                for part in range_partitions(&pairs, per_part) {
-                    let set = RidSet::build(ws, part.rids())?;
-                    bulk_delete_probe(tree, set.as_set(), Some((part.lo, part.hi)), policy)?;
-                }
-            }
-        }
-        let name = indices[ipos].def.name.clone();
-        let tag = match method {
-            IndexMethod::SortMerge { .. } => "sort/merge",
-            IndexMethod::ClassicHash => "hash probe",
-            IndexMethod::PartitionedHash { .. } => "partitioned hash",
-        };
-        phase(format!("bd {name} ({tag})"), pool, &mut phases, &mut mark);
+    //
+    // §3.1: unique indices first, serially — they can be brought back
+    // online before anything else runs. The planner already orders them
+    // first in `index_steps`; the partition below keeps that guarantee
+    // even against a hand-built plan.
+    let (unique_steps, fan_steps): (IndexSteps, IndexSteps) = steps
+        .iter()
+        .copied()
+        .partition(|&(ipos, _)| indices[ipos].def.unique);
+
+    for &(ipos, method) in &unique_steps {
+        let name = format!("bd {} ({})", indices[ipos].def.name, method_tag(method));
+        let index = &mut indices[ipos];
+        let deleted_rows = &deleted_rows;
+        exec.serial(name, || {
+            run_index_arm(
+                pool,
+                ws,
+                ws_bytes,
+                schema,
+                index,
+                method,
+                deleted_rows,
+                policy,
+            )
+        })?;
     }
 
-    // Hash indices have no bulk-delete operator ("this work was restricted
-    // to B+-trees"): they are "updated in the traditional way", one chain
-    // walk per deleted record.
-    for h in hash_indices.iter_mut() {
-        let attr = h.def.attr;
-        for (rid, bytes) in &deleted_rows {
-            h.index.delete(schema.attr_of(bytes, attr), *rid)?;
+    // The fan-out group: one arm per remaining secondary index, plus one
+    // per hash index ("updated in the traditional way" — the chain walks
+    // of one hash index are independent of every other structure). Arms
+    // borrow disjoint structures, so the group can run on worker threads.
+    let n_arms = fan_steps.len() + hash_indices.len();
+    if n_arms > 0 {
+        let concurrency = workers.clamp(1, n_arms);
+        // Concurrent arms split the sort workspace; the serial path keeps
+        // the full budget (bit-identical to the pre-executor behaviour).
+        let arm_bytes = if concurrency > 1 {
+            (ws_bytes / concurrency).max(4096)
+        } else {
+            ws_bytes
+        };
+
+        // Disjoint `&mut Index` borrows for the fan-out arms, re-ordered
+        // to match plan order (iter_mut yields catalog order).
+        let rank_of = |ipos: usize| fan_steps.iter().position(|&(p, _)| p == ipos);
+        let mut arm_indices: Vec<(usize, &mut Index)> = indices
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, ix)| rank_of(i).map(|r| (r, ix)))
+            .collect();
+        arm_indices.sort_by_key(|&(r, _)| r);
+
+        let deleted_rows = &deleted_rows;
+        let ws: &MemoryBudget = ws;
+        let mut tasks: Vec<PhaseTask> = Vec::new();
+        for ((_, index), &(_, method)) in arm_indices.into_iter().zip(fan_steps.iter()) {
+            let name = format!("bd {} ({})", index.def.name, method_tag(method));
+            let pool = pool.clone();
+            tasks.push(PhaseTask::new(name, move || {
+                run_index_arm(
+                    &pool,
+                    ws,
+                    arm_bytes,
+                    schema,
+                    index,
+                    method,
+                    deleted_rows,
+                    policy,
+                )
+            }));
         }
-        phase(
-            format!("{} (traditional)", h.def.name),
-            pool,
-            &mut phases,
-            &mut mark,
-        );
+        for h in hash_indices.iter_mut() {
+            let name = format!("{} (traditional)", h.def.name);
+            let attr = h.def.attr;
+            tasks.push(PhaseTask::new(name, move || {
+                let entries: Vec<(Key, Rid)> = deleted_rows
+                    .iter()
+                    .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                    .collect();
+                h.index.bulk_delete(&entries)?;
+                Ok(())
+            }));
+        }
+        exec.fan_out(tasks)?;
     }
 
     Ok((
@@ -390,7 +580,7 @@ fn execute_vertical(
             .into_iter()
             .map(|(rid, bytes)| (rid, schema.decode(&bytes)))
             .collect(),
-        phases,
+        exec.into_rows(),
     ))
 }
 
@@ -402,9 +592,21 @@ pub fn vertical_auto(
     d_keys: &[Key],
     policy: ReorgPolicy,
 ) -> DbResult<(DeletePlan, DeleteOutcome)> {
+    vertical_auto_parallel(db, tid, probe_attr, d_keys, policy, 1)
+}
+
+/// [`vertical_auto`] with parallel `⋈̄` arms (see [`vertical_parallel`]).
+pub fn vertical_auto_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    policy: ReorgPolicy,
+    workers: usize,
+) -> DbResult<(DeletePlan, DeleteOutcome)> {
     let ws_bytes = db.workspace().capacity();
     let plan = crate::planner::plan_delete(db.table(tid)?, probe_attr, d_keys.len(), ws_bytes)?;
-    let outcome = vertical(db, tid, d_keys, &plan, policy)?;
+    let outcome = vertical_parallel(db, tid, d_keys, &plan, policy, workers)?;
     Ok((plan, outcome))
 }
 
@@ -516,6 +718,18 @@ pub fn vertical_sort_merge(
     probe_attr: usize,
     d_keys: &[Key],
 ) -> DbResult<DeleteOutcome> {
+    vertical_sort_merge_parallel(db, tid, probe_attr, d_keys, 1)
+}
+
+/// [`vertical_sort_merge`] with parallel `⋈̄` arms (see
+/// [`vertical_parallel`]).
+pub fn vertical_sort_merge_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+) -> DbResult<DeleteOutcome> {
     let plan = plan_sort_merge(db.table(tid)?, probe_attr)?;
-    vertical(db, tid, d_keys, &plan, ReorgPolicy::FreeAtEmpty)
+    vertical_parallel(db, tid, d_keys, &plan, ReorgPolicy::FreeAtEmpty, workers)
 }

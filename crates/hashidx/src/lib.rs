@@ -195,6 +195,22 @@ impl HashIndex {
         Ok(false)
     }
 
+    /// Delete every `(key, rid)` entry of `entries` — the hash-index arm
+    /// of a bulk delete. Each entry still costs one chain walk (hash
+    /// indices are "updated in the traditional way"; the bulk-delete
+    /// operator "was restricted to B+-trees"), but the whole arm is one
+    /// entry point on an owned, `Send` handle, so the executor can
+    /// dispatch it to a worker thread. Returns how many entries existed.
+    pub fn bulk_delete(&mut self, entries: &[(Key, Rid)]) -> StorageResult<usize> {
+        let mut removed = 0;
+        for &(key, rid) in entries {
+            if self.delete(key, rid)? {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// All entries, in arbitrary order (consistency checks).
     pub fn scan(&self) -> StorageResult<Vec<(Key, Rid)>> {
         let mut out = Vec::with_capacity(self.n_entries);
@@ -481,3 +497,11 @@ mod tests {
         assert_eq!(scanned, expect);
     }
 }
+
+// Hash-index arms are dispatched to worker threads by the phase-task
+// executor; the handle must stay `Send` (see the matching assertion on
+// `bd_btree::BTree`).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<HashIndex>();
+};

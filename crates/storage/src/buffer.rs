@@ -289,6 +289,17 @@ impl BufferPool {
         self.inner.lock().frames.contains_key(&pid)
     }
 
+    /// Number of frames currently pinned (by any thread). An aborted run
+    /// must leave this at zero — asserted by the fault-injection tests.
+    pub fn pinned_frames(&self) -> usize {
+        self.inner
+            .lock()
+            .frames
+            .values()
+            .filter(|f| f.pin.load(Ordering::Acquire) > 0)
+            .count()
+    }
+
     /// Write all dirty frames back to disk (frames stay resident and clean).
     pub fn flush_all(&self) -> StorageResult<()> {
         let inner = self.inner.lock();

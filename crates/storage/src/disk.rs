@@ -84,6 +84,17 @@ pub struct DiskStats {
 }
 
 impl DiskStats {
+    /// Add `other`'s counters into `self` (shard merging, scope roll-up).
+    pub fn merge(&mut self, other: &DiskStats) {
+        self.random_reads += other.random_reads;
+        self.sequential_reads += other.sequential_reads;
+        self.random_writes += other.random_writes;
+        self.sequential_writes += other.sequential_writes;
+        self.pages_read += other.pages_read;
+        self.pages_written += other.pages_written;
+        self.sim_ms += other.sim_ms;
+    }
+
     /// Stats accumulated since `earlier` was captured.
     pub fn since(&self, earlier: &DiskStats) -> DiskStats {
         DiskStats {
@@ -166,21 +177,24 @@ impl SimDisk {
 
     fn charge(&mut self, first: PageId, n: u64, is_read: bool) {
         let sequential = self.head == Some(first);
+        let mut delta = DiskStats::default();
         if !sequential {
-            self.stats.sim_ms += self.cost.positioning_ms();
+            delta.sim_ms += self.cost.positioning_ms();
         }
-        self.stats.sim_ms += self.cost.transfer_ms * n as f64;
+        delta.sim_ms += self.cost.transfer_ms * n as f64;
         match (is_read, sequential) {
-            (true, true) => self.stats.sequential_reads += 1,
-            (true, false) => self.stats.random_reads += 1,
-            (false, true) => self.stats.sequential_writes += 1,
-            (false, false) => self.stats.random_writes += 1,
+            (true, true) => delta.sequential_reads = 1,
+            (true, false) => delta.random_reads = 1,
+            (false, true) => delta.sequential_writes = 1,
+            (false, false) => delta.random_writes = 1,
         }
         if is_read {
-            self.stats.pages_read += n;
+            delta.pages_read = n;
         } else {
-            self.stats.pages_written += n;
+            delta.pages_written = n;
         }
+        self.stats.merge(&delta);
+        crate::io_scope::record(&delta);
         self.head = Some(first + n as PageId);
     }
 
@@ -194,6 +208,7 @@ impl SimDisk {
 
     /// Read one page into `dst`.
     pub fn read(&mut self, pid: PageId, dst: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
+        crate::io_scope::check_cancelled()?;
         self.check(pid)?;
         if self.fail_read == Some(pid) {
             return Err(StorageError::InjectedFault(pid));
@@ -214,6 +229,7 @@ impl SimDisk {
         if n == 0 {
             return Ok(());
         }
+        crate::io_scope::check_cancelled()?;
         self.check(first + n as PageId - 1)?;
         if let Some(bad) = self.fail_read {
             if (first..first + n as PageId).contains(&bad) {
@@ -230,6 +246,7 @@ impl SimDisk {
 
     /// Write one page.
     pub fn write(&mut self, pid: PageId, src: &[u8; PAGE_SIZE]) -> StorageResult<()> {
+        crate::io_scope::check_cancelled()?;
         self.check(pid)?;
         self.charge(pid, 1, false);
         self.pages[pid as usize].copy_from_slice(src);
@@ -247,6 +264,7 @@ impl SimDisk {
         if n == 0 {
             return Ok(());
         }
+        crate::io_scope::check_cancelled()?;
         self.check(first + n as PageId - 1)?;
         self.charge(first, n as u64, false);
         for i in 0..n {

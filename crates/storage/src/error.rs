@@ -37,6 +37,9 @@ pub enum StorageError {
     /// A read failed because a fault was injected at this page
     /// ([`crate::SimDisk::fail_reads_at`], tests/diagnostics only).
     InjectedFault(PageId),
+    /// The access ran under an [`crate::IoScope`] whose [`crate::CancelToken`]
+    /// was tripped — a sibling task failed and this task is being aborted.
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +65,9 @@ impl fmt::Display for StorageError {
             StorageError::SegmentExhausted => write!(f, "read past end of temporary segment"),
             StorageError::InjectedFault(pid) => {
                 write!(f, "injected read fault at page {pid}")
+            }
+            StorageError::Cancelled => {
+                write!(f, "task cancelled: a concurrent sibling task failed")
             }
         }
     }

@@ -1,0 +1,246 @@
+//! Per-task I/O accounting and cooperative cancellation.
+//!
+//! The phase-task executor runs independent `⋈̄` arms of a bulk delete on
+//! worker threads against one shared [`crate::SimDisk`]. The disk's global
+//! [`DiskStats`] keep summing every charge — that sum is the *serial*
+//! simulated clock. To additionally report the *critical-path* clock (what
+//! the arms would cost if they truly overlapped), every charge is also
+//! attributed to the [`IoScope`]s active on the charging thread.
+//!
+//! An [`IoScope`] hands out one counter *shard per entering thread*, so
+//! workers sharing a scope never contend on a counter; [`IoScope::stats`]
+//! merges the shards ("merged on join"). Scopes nest: a charge is recorded
+//! into every scope on the current thread's stack, so a whole-run scope and
+//! a per-phase scope can coexist.
+//!
+//! A scope may carry a [`CancelToken`]. The simulated disk checks the token
+//! before charging any access and fails with
+//! [`StorageError::Cancelled`](crate::StorageError::Cancelled), which is how
+//! a failing arm aborts its siblings: the executor trips the shared token
+//! and every other arm stops at its next disk access, unwinding through the
+//! usual `Result` path (RAII page pins are released, nothing is poisoned).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::DiskStats;
+use crate::error::{StorageError, StorageResult};
+
+/// Shared abort flag checked by the simulated disk before every access.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trip the token: every scope carrying it fails its next disk access.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One thread's private counter shard.
+#[derive(Debug, Default)]
+struct Shard {
+    stats: Mutex<DiskStats>,
+}
+
+/// A per-task I/O tracker: enter it on any thread doing work for the task,
+/// read the merged counters after the task joins.
+#[derive(Debug, Default)]
+pub struct IoScope {
+    shards: Mutex<Vec<Arc<Shard>>>,
+    cancel: Option<CancelToken>,
+}
+
+impl IoScope {
+    /// A scope with no cancellation.
+    pub fn new() -> Self {
+        IoScope::default()
+    }
+
+    /// A scope whose disk accesses abort with `StorageError::Cancelled`
+    /// once `token` is tripped.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        IoScope {
+            shards: Mutex::new(Vec::new()),
+            cancel: Some(token),
+        }
+    }
+
+    /// Activate this scope on the current thread. Disk charges made while
+    /// the guard lives are attributed to this scope (in a thread-private
+    /// shard) in addition to the disk's global counters.
+    pub fn enter(&self) -> ScopeGuard {
+        let shard = Arc::new(Shard::default());
+        self.shards.lock().push(shard.clone());
+        ACTIVE.with(|stack| {
+            stack.borrow_mut().push(ActiveEntry {
+                shard,
+                cancel: self.cancel.clone(),
+            })
+        });
+        ScopeGuard { _priv: () }
+    }
+
+    /// Merge every shard into one [`DiskStats`] (the join step).
+    pub fn stats(&self) -> DiskStats {
+        let mut total = DiskStats::default();
+        for shard in self.shards.lock().iter() {
+            total.merge(&shard.stats.lock());
+        }
+        total
+    }
+}
+
+struct ActiveEntry {
+    shard: Arc<Shard>,
+    cancel: Option<CancelToken>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<ActiveEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard deactivating the scope on the current thread.
+#[must_use = "the scope is only active while the guard lives"]
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Attribute a charge to every scope active on this thread (no-op when none
+/// is). Called by the simulated disk with the disk lock held, so shard
+/// updates from one thread are never concurrent with themselves.
+pub(crate) fn record(delta: &DiskStats) {
+    ACTIVE.with(|stack| {
+        for entry in stack.borrow().iter() {
+            entry.shard.stats.lock().merge(delta);
+        }
+    });
+}
+
+/// Fail if any scope active on this thread carries a tripped cancel token.
+pub(crate) fn check_cancelled() -> StorageResult<()> {
+    ACTIVE.with(|stack| {
+        for entry in stack.borrow().iter() {
+            if let Some(token) = &entry.cancel {
+                if token.is_cancelled() {
+                    return Err(StorageError::Cancelled);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::{CostModel, SimDisk};
+
+    fn pool_with_pages(n: usize) -> (std::sync::Arc<BufferPool>, u32) {
+        let mut disk = SimDisk::new(CostModel::default());
+        let first = disk.allocate_contiguous(n);
+        (BufferPool::new(disk, n.max(2)), first)
+    }
+
+    #[test]
+    fn scope_attributes_only_charges_inside_guard() {
+        let (pool, first) = pool_with_pages(4);
+        let _ = pool.pin_read(first).unwrap(); // outside any scope
+        pool.clear_cache().unwrap();
+        let scope = IoScope::new();
+        {
+            let _g = scope.enter();
+            let _ = pool.pin_read(first + 1).unwrap();
+        }
+        let _ = pool.pin_read(first + 2).unwrap(); // after the guard dropped
+        let s = scope.stats();
+        assert_eq!(s.pages_read, 1);
+        assert!(s.sim_ms > 0.0);
+    }
+
+    #[test]
+    fn nested_scopes_both_record() {
+        let (pool, first) = pool_with_pages(2);
+        let outer = IoScope::new();
+        let inner = IoScope::new();
+        {
+            let _og = outer.enter();
+            let _ = pool.pin_read(first).unwrap();
+            {
+                let _ig = inner.enter();
+                let _ = pool.pin_read(first + 1).unwrap();
+            }
+        }
+        assert_eq!(outer.stats().pages_read, 2);
+        assert_eq!(inner.stats().pages_read, 1);
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let (pool, first) = pool_with_pages(8);
+        let scope = IoScope::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let pool = pool.clone();
+                let scope = &scope;
+                s.spawn(move || {
+                    let _g = scope.enter();
+                    let _ = pool.pin_read(first + t).unwrap();
+                });
+            }
+        });
+        assert_eq!(scope.stats().pages_read, 4);
+    }
+
+    #[test]
+    fn cancelled_scope_fails_disk_access() {
+        let (pool, first) = pool_with_pages(4);
+        let token = CancelToken::new();
+        let scope = IoScope::with_cancel(token.clone());
+        let _g = scope.enter();
+        let _ = pool.pin_read(first).unwrap();
+        token.cancel();
+        assert_eq!(
+            pool.pin_read(first + 1).err(),
+            Some(StorageError::Cancelled)
+        );
+        drop(_g);
+        // Outside the scope the pool works again (nothing poisoned).
+        let _ = pool.pin_read(first + 2).unwrap();
+    }
+
+    #[test]
+    fn global_stats_unaffected_by_scopes() {
+        let (pool, first) = pool_with_pages(2);
+        pool.reset_stats();
+        let scope = IoScope::new();
+        let _g = scope.enter();
+        let _ = pool.pin_read(first).unwrap();
+        drop(_g);
+        assert_eq!(pool.disk_stats().pages_read, scope.stats().pages_read);
+    }
+}

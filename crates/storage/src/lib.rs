@@ -20,6 +20,9 @@
 //! * [`TempSegment`] — scratch space for external-sort runs that bypasses the
 //!   buffer pool (sort runs must not evict the working set).
 //! * [`MemoryBudget`] — byte accounting shared by sort and hash workspaces.
+//! * [`IoScope`] / [`CancelToken`] — per-task I/O attribution (sharded
+//!   counters merged on join) and cooperative cancellation for concurrent
+//!   bulk-delete arms; the disk's own counters keep the serial total.
 
 pub mod budget;
 pub mod buffer;
@@ -27,6 +30,7 @@ pub mod disk;
 pub mod error;
 pub mod fsm;
 pub mod heap;
+pub mod io_scope;
 pub mod page;
 pub mod rid;
 pub mod segment;
@@ -38,6 +42,7 @@ pub use disk::{CostModel, DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use error::{StorageError, StorageResult};
 pub use fsm::FreeSpaceMap;
 pub use heap::{FsmMismatch, HeapFile, HeapScan};
+pub use io_scope::{CancelToken, IoScope, ScopeGuard};
 pub use page::PageBuf;
 pub use rid::Rid;
 pub use segment::{SegmentReader, SegmentWriter, TempSegment};

@@ -15,10 +15,14 @@ use crate::error::{StorageError, StorageResult};
 /// How many pages a segment writer/reader moves per chained I/O.
 const CHUNK_PAGES: usize = 8;
 
-/// A finished temporary segment: contiguous pages plus a byte length.
+/// A finished temporary segment: its pages in write order plus a byte
+/// length. Each extent is contiguous; a segment written without competing
+/// allocations coalesces to a single extent, while sort arms spilling
+/// concurrently against the shared disk produce several (their chunk
+/// allocations interleave).
 #[derive(Debug, Clone)]
 pub struct TempSegment {
-    first_page: PageId,
+    extents: Vec<(PageId, usize)>, // (first page, page count), write order
     num_pages: usize,
     len_bytes: usize,
 }
@@ -34,6 +38,11 @@ impl TempSegment {
         self.num_pages
     }
 
+    /// Number of contiguous extents (1 unless allocations interleaved).
+    pub fn num_extents(&self) -> usize {
+        self.extents.len()
+    }
+
     /// Open a sequential reader over the segment.
     pub fn reader(&self, pool: Arc<BufferPool>) -> SegmentReader {
         SegmentReader {
@@ -41,7 +50,8 @@ impl TempSegment {
             seg: self.clone(),
             buf: Vec::new(),
             buf_off: 0,
-            next_page: 0,
+            ext_idx: 0,
+            ext_off: 0,
             bytes_left: self.len_bytes,
         }
     }
@@ -99,29 +109,26 @@ impl SegmentWriter {
 
     /// Flush remaining bytes and return the finished segment.
     ///
-    /// Note: every flush allocates contiguous pages, but separate flushes may
-    /// not be adjacent if other allocations interleave; the common case (all
-    /// writes before any other allocation) yields one contiguous extent. The
-    /// reader handles both.
+    /// Every flush allocates contiguous pages, but separate flushes may not
+    /// be adjacent if other allocations interleave (concurrent sort arms
+    /// spilling against the shared disk). Adjacent flushes are coalesced, so
+    /// the common serial case yields one extent; the reader handles both.
     pub fn finish(mut self) -> StorageResult<TempSegment> {
         if !self.chunk.is_empty() {
             let n = self.chunk.len().div_ceil(PAGE_SIZE);
             self.flush_pages(n)?;
         }
-        // Verify the extents are contiguous; if not, that's a logic error in
-        // this prototype (segments are written without interleaving).
-        let (first, mut expect_next) = match self.pages.first() {
-            Some(&(f, n)) => (f, f + n as PageId),
-            None => (0, 0),
-        };
-        let mut total_pages = self.pages.first().map(|&(_, n)| n).unwrap_or(0);
-        for &(f, n) in self.pages.iter().skip(1) {
-            assert_eq!(f, expect_next, "temp segment extents must be contiguous");
-            expect_next = f + n as PageId;
+        let mut extents: Vec<(PageId, usize)> = Vec::new();
+        let mut total_pages = 0;
+        for &(f, n) in &self.pages {
             total_pages += n;
+            match extents.last_mut() {
+                Some((pf, pn)) if *pf + *pn as PageId == f => *pn += n,
+                _ => extents.push((f, n)),
+            }
         }
         Ok(TempSegment {
-            first_page: first,
+            extents,
             num_pages: total_pages,
             len_bytes: self.len_bytes,
         })
@@ -134,7 +141,8 @@ pub struct SegmentReader {
     seg: TempSegment,
     buf: Vec<u8>,
     buf_off: usize,
-    next_page: usize,
+    ext_idx: usize,
+    ext_off: usize,
     bytes_left: usize,
 }
 
@@ -145,18 +153,25 @@ impl SegmentReader {
     }
 
     fn refill(&mut self) -> StorageResult<()> {
-        if self.next_page >= self.seg.num_pages {
+        let Some(&(ext_first, ext_len)) = self.seg.extents.get(self.ext_idx) else {
             return Err(StorageError::SegmentExhausted);
-        }
-        let n = CHUNK_PAGES.min(self.seg.num_pages - self.next_page);
-        let first = self.seg.first_page + self.next_page as PageId;
+        };
+        // Chained reads stay within one contiguous extent; crossing into the
+        // next extent is a fresh chain (honestly charged as a new positioning
+        // — the pages really are discontiguous on the simulated platter).
+        let n = CHUNK_PAGES.min(ext_len - self.ext_off);
+        let first = ext_first + self.ext_off as PageId;
         self.buf.clear();
         self.buf_off = 0;
         let buf = &mut self.buf;
         self.pool.with_disk(|disk| {
             disk.read_chain(first, n, |_, page| buf.extend_from_slice(&page[..]))
         })?;
-        self.next_page += n;
+        self.ext_off += n;
+        if self.ext_off == ext_len {
+            self.ext_idx += 1;
+            self.ext_off = 0;
+        }
         Ok(())
     }
 
@@ -255,6 +270,41 @@ mod tests {
         // 3 chained writes + 3 chained reads; at most one positioning each.
         assert!(s.total_random() <= 6, "random ios: {}", s.total_random());
         assert_eq!(s.pages_written, (data.len() / PAGE_SIZE) as u64);
+    }
+
+    #[test]
+    fn interleaved_allocations_yield_multi_extent_segment() {
+        // Two writers spilling alternately (as concurrent sort arms do):
+        // each one's flushes land on discontiguous pages, so the finished
+        // segments carry multiple extents and must still round-trip.
+        let pool = pool();
+        let data_a: Vec<u8> = (0..CHUNK_PAGES * PAGE_SIZE * 3 + 99)
+            .map(|i| (i % 241) as u8)
+            .collect();
+        let data_b: Vec<u8> = (0..CHUNK_PAGES * PAGE_SIZE * 3 + 41)
+            .map(|i| (i % 239) as u8)
+            .collect();
+        let mut w_a = SegmentWriter::new(pool.clone());
+        let mut w_b = SegmentWriter::new(pool.clone());
+        let step = CHUNK_PAGES * PAGE_SIZE;
+        for i in 0..3 {
+            w_a.write(&data_a[i * step..((i + 1) * step).min(data_a.len())])
+                .unwrap();
+            w_b.write(&data_b[i * step..((i + 1) * step).min(data_b.len())])
+                .unwrap();
+        }
+        w_a.write(&data_a[3 * step..]).unwrap();
+        w_b.write(&data_b[3 * step..]).unwrap();
+        let seg_a = w_a.finish().unwrap();
+        let seg_b = w_b.finish().unwrap();
+        assert!(seg_a.num_extents() > 1, "flushes interleaved");
+        assert!(seg_b.num_extents() > 1, "flushes interleaved");
+        for (seg, data) in [(seg_a, data_a), (seg_b, data_b)] {
+            let mut r = seg.reader(pool.clone());
+            let mut out = vec![0u8; data.len()];
+            r.read_exact(&mut out).unwrap();
+            assert_eq!(out, data);
+        }
     }
 
     #[test]

@@ -9,3 +9,7 @@ cargo fmt --check
 cargo clippy -- -D warnings
 cargo build --release
 cargo test -q
+
+# Differential strategy-equivalence audit: horizontal vs vertical vs
+# vertical with parallel `⋈̄` arms must leave bit-equivalent structures.
+cargo run --release -p bd-bench --bin repro -- --audit --parallel 3

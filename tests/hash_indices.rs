@@ -74,7 +74,7 @@ fn vertical_report_shows_traditional_hash_phase() {
     let (mut db, w) = build(600);
     let d = w.delete_set(0.2, 7);
     let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
-    let phases: Vec<&str> = out.report.phases.iter().map(|(n, _)| n.as_str()).collect();
+    let phases: Vec<&str> = out.report.phases.iter().map(|p| p.name.as_str()).collect();
     assert!(
         phases
             .iter()

@@ -7,7 +7,7 @@ use bd_bench::experiments;
 #[test]
 #[ignore = "full paper scale: ~1 minute in release, far slower in debug"]
 fn fig7_at_paper_scale_matches_paper_shape() {
-    let r = experiments::fig7(1_000_000).unwrap();
+    let r = experiments::fig7(1_000_000, 1).unwrap();
     // Paper's Table 1 column (the 15% point of Fig. 7, in minutes):
     // sorted/trad 64.65, not sorted/trad 102.05, bulk 24.87.
     let sorted = r.value("15%", "sorted/trad");
