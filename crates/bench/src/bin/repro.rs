@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--parallel N]
-//!       [--phases] [--audit]
+//!       [--phases] [--audit] [--faults]
 //! ```
 //!
 //! `--parallel N` allows the independent `⋈̄` / rebuild arms of the bulk
@@ -22,6 +22,14 @@
 //! between a serial and a parallel vertical run. Exits non-zero and prints
 //! the per-structure diff on divergence.
 //!
+//! `--faults` runs the fault-injection demo instead of the experiments:
+//! a transient disk fault is planted under one fan-out arm of a parallel
+//! vertical delete (the statement must ride it out via buffer-pool retries
+//! plus the executor's serial degradation, bit-identical to the fault-free
+//! run), followed by a crash-at-every-I/O campaign smoke over the WAL
+//! driver — serial and parallel — where every crash point must recover to
+//! the reference state. Exits non-zero on any divergence.
+//!
 //! Default scale is 100,000 rows (1/10 of the paper with all ratios
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
 //! are simulated minutes from the disk cost model.
@@ -35,11 +43,13 @@ fn main() {
     let mut workers: usize = 1;
     let mut show_phases = false;
     let mut run_audit = false;
+    let mut run_faults = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--phases" => show_phases = true,
             "--audit" => run_audit = true,
+            "--faults" => run_faults = true,
             "--rows" => {
                 i += 1;
                 rows = args
@@ -78,6 +88,10 @@ fn main() {
 
     if run_audit {
         audit(rows, workers);
+        return;
+    }
+    if run_faults {
+        faults(rows, workers);
         return;
     }
 
@@ -201,10 +215,120 @@ fn audit(rows: usize, workers: usize) {
     );
 }
 
+/// Fault-injection demo: a transient fault ridden out by retry + serial
+/// degradation, then a crash-at-every-I/O campaign smoke for both drivers.
+fn faults(rows: usize, workers: usize) {
+    use bd_core::prelude::*;
+    use bd_core::{audit_equivalence, IndexDef};
+    use bd_storage::{FaultPlan, FaultSpec};
+    use bd_wal::crash_at_every_io;
+    use bd_workload::TableSpec;
+
+    let rows = rows.min(5_000); // the campaign rebuilds the db per crash point
+    let par_workers = if workers > 1 { workers } else { 3 };
+    let build = |mem: usize| {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(mem));
+        let w = TableSpec::tiny(rows).build(&mut db).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(0).unique())
+            .unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+        (db, w)
+    };
+
+    // Part 1: a transient fault under one fan-out arm. The buffer pool's
+    // bounded retry is outlasted (6 consecutive failures vs. 4 attempts
+    // per pin), so the arm dies, siblings are cancelled, and the executor
+    // re-runs the group serially — the statement must still commit with a
+    // state bit-identical to the fault-free run.
+    println!(
+        "fault demo: transient fault under a fan-out arm, {rows} rows, \
+         33% delete, {par_workers} workers"
+    );
+    let (mut db_ref, w) = build(4 << 20);
+    let (mut db_faulty, _) = build(4 << 20);
+    let d = w.delete_set(0.33, 7);
+    let clean = strategy::vertical_sort_merge_parallel(&mut db_ref, w.tid, 0, &d, par_workers)
+        .expect("fault-free run");
+    let bad = db_faulty
+        .table(w.tid)
+        .unwrap()
+        .index_on(1)
+        .unwrap()
+        .tree
+        .first_leaf()
+        .unwrap();
+    db_faulty.pool().with_disk(|disk| {
+        disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad).transient(6)))
+    });
+    match strategy::vertical_sort_merge_parallel(&mut db_faulty, w.tid, 0, &d, par_workers) {
+        Ok(out) => {
+            println!("{}", out.report.summary());
+            print!("{}", out.report.phase_breakdown());
+            let eq = audit_equivalence(&db_ref, &db_faulty, w.tid).unwrap();
+            if !eq.is_clean() || out.deleted != clean.deleted {
+                eprintln!("[faults] degraded run diverged from fault-free run: {eq}");
+                std::process::exit(1);
+            }
+            println!(
+                "[faults] degraded run bit-identical to fault-free run \
+                 ({} retries, {} degradation event(s))\n",
+                out.report.io.retries,
+                out.report.events.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("[faults] transient fault aborted the statement: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Part 2: crash-at-every-I/O campaign smoke over the WAL drivers. The
+    // tiny pool (24 frames) keeps the working set uncached so the sweep
+    // covers real read and write accesses, not just the final flush.
+    let campaign_rows = rows.min(1_500);
+    let d: Vec<u64> = {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
+        let w = TableSpec::tiny(campaign_rows).build(&mut db).unwrap();
+        w.a_values.iter().copied().step_by(3).collect()
+    };
+    for (label, workers) in [("serial", 1usize), ("parallel", par_workers)] {
+        let started = std::time::Instant::now();
+        match crash_at_every_io(
+            || {
+                let mut db = Database::new(DatabaseConfig::with_total_memory(96 << 10));
+                let w = TableSpec::tiny(campaign_rows).build(&mut db).unwrap();
+                w.attach_index(&mut db, IndexDef::secondary(0).unique())
+                    .unwrap();
+                w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+                w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+                (db, w.tid)
+            },
+            0,
+            &d,
+            workers,
+            Some(25),
+        ) {
+            Ok(report) => println!(
+                "[faults] {label} campaign smoke: {} crash points recovered \
+                 ({} fault-free accesses, {} rows deleted) in {:.1}s wall",
+                report.crash_points,
+                report.fault_free_accesses,
+                report.deleted,
+                started.elapsed().as_secs_f32()
+            ),
+            Err(e) => {
+                eprintln!("[faults] {label} campaign failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] \
-         [--parallel N] [--phases] [--audit]"
+         [--parallel N] [--phases] [--audit] [--faults]"
     );
     std::process::exit(2);
 }

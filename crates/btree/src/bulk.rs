@@ -27,6 +27,31 @@ use crate::tree::BTree;
 /// Pages prefetched per chained read when the leaf extent is contiguous.
 const SCAN_CHUNK: usize = 8;
 
+/// Close out a bulk-delete pass. On the success path, patch the parents of
+/// the freed leaves and run the policy's reorganization pass. On the error
+/// path (a fault, or cancellation from a failing sibling arm), still patch
+/// the parents — with cancellation checks suspended, since this small,
+/// bounded cleanup is what leaves the tree structurally consistent (freed
+/// leaves fully detached, `len` already maintained per leaf) so the
+/// executor's serial re-run can resume from the partial state. The cleanup
+/// I/O remains charged to the simulated clock.
+fn finish_pass(
+    tree: &mut BTree,
+    walked: StorageResult<()>,
+    freed: &HashSet<PageId>,
+    policy: ReorgPolicy,
+) -> StorageResult<()> {
+    let finished = walked.and_then(|()| {
+        patch_parents(tree, freed)?;
+        post_pass(tree, policy)
+    });
+    if let Err(e) = finished {
+        let _ = bd_storage::io_scope::bypass_cancel(|| patch_parents(tree, freed));
+        return Err(e);
+    }
+    Ok(())
+}
+
 fn prefetch_extent(tree: &BTree, pid: PageId) {
     if let Some((first, n)) = tree.leaf_extent() {
         if pid < first {
@@ -62,50 +87,55 @@ pub fn bulk_delete_sorted(
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
 
-    while let Some(pid) = cur {
-        if vi >= victims.len() {
-            break;
-        }
-        prefetch_extent(tree, pid);
-        let mut w = tree.pool().pin_write(pid)?;
-        let mut node = NodeMut::new(&mut w[..]);
-        let entries = node.as_ref().leaf_entries();
-        let mut keep = Vec::with_capacity(entries.len());
-        let mut changed = false;
-        for e in entries.iter().copied() {
-            while vi < victims.len() && victims[vi] < e {
-                vi += 1; // victim not present in the tree
+    let walked = (|| -> StorageResult<()> {
+        while let Some(pid) = cur {
+            if vi >= victims.len() {
+                break;
             }
-            if vi < victims.len() && victims[vi] == e {
-                deleted.push(e);
-                vi += 1;
-                changed = true;
-            } else {
-                keep.push(e);
+            prefetch_extent(tree, pid);
+            let mut w = tree.pool().pin_write(pid)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            let entries = node.as_ref().leaf_entries();
+            let mut keep = Vec::with_capacity(entries.len());
+            let before = deleted.len();
+            for e in entries.iter().copied() {
+                while vi < victims.len() && victims[vi] < e {
+                    vi += 1; // victim not present in the tree
+                }
+                if vi < victims.len() && victims[vi] == e {
+                    deleted.push(e);
+                    vi += 1;
+                } else {
+                    keep.push(e);
+                }
             }
-        }
-        if changed {
-            node.leaf_set_entries(&keep);
-        }
-        let next = node.as_ref().right_sibling();
-        let emptied = changed && keep.is_empty();
-        drop(w);
-        if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
-            freed.insert(pid);
-            tree.stats_mut().leaves_freed += 1;
-            if let Some(pv) = prev {
-                let mut pw = tree.pool().pin_write(pv)?;
-                NodeMut::new(&mut pw[..]).set_right_sibling(next);
+            let changed = deleted.len() > before;
+            if changed {
+                node.leaf_set_entries(&keep);
             }
-        } else if !entries.is_empty() || pid == tree.root_page() {
-            prev = Some(pid);
+            let next = node.as_ref().right_sibling();
+            let emptied = changed && keep.is_empty();
+            drop(w);
+            // Maintain `len` leaf by leaf (no disk access since the leaf
+            // was rewritten), so an aborted pass never leaves the entry
+            // count overstated.
+            tree.sub_len(deleted.len() - before);
+            if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
+                freed.insert(pid);
+                tree.stats_mut().leaves_freed += 1;
+                if let Some(pv) = prev {
+                    let mut pw = tree.pool().pin_write(pv)?;
+                    NodeMut::new(&mut pw[..]).set_right_sibling(next);
+                }
+            } else if !entries.is_empty() || pid == tree.root_page() {
+                prev = Some(pid);
+            }
+            cur = next;
         }
-        cur = next;
-    }
+        Ok(())
+    })();
 
-    tree.sub_len(deleted.len());
-    patch_parents(tree, &freed)?;
-    post_pass(tree, policy)?;
+    finish_pass(tree, walked, &freed, policy)?;
     Ok(deleted)
 }
 
@@ -130,50 +160,52 @@ pub fn bulk_delete_by_keys(
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
 
-    while let Some(pid) = cur {
-        if ki >= keys.len() {
-            break;
-        }
-        prefetch_extent(tree, pid);
-        let mut w = tree.pool().pin_write(pid)?;
-        let mut node = NodeMut::new(&mut w[..]);
-        let entries = node.as_ref().leaf_entries();
-        let mut keep = Vec::with_capacity(entries.len());
-        let mut changed = false;
-        for e in entries.iter().copied() {
-            while ki < keys.len() && keys[ki] < e.0 {
-                ki += 1; // key not present in the tree
+    let walked = (|| -> StorageResult<()> {
+        while let Some(pid) = cur {
+            if ki >= keys.len() {
+                break;
             }
-            if ki < keys.len() && keys[ki] == e.0 {
-                // Do not advance ki: the key may have more duplicates.
-                deleted.push(e);
-                changed = true;
-            } else {
-                keep.push(e);
+            prefetch_extent(tree, pid);
+            let mut w = tree.pool().pin_write(pid)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            let entries = node.as_ref().leaf_entries();
+            let mut keep = Vec::with_capacity(entries.len());
+            let before = deleted.len();
+            for e in entries.iter().copied() {
+                while ki < keys.len() && keys[ki] < e.0 {
+                    ki += 1; // key not present in the tree
+                }
+                if ki < keys.len() && keys[ki] == e.0 {
+                    // Do not advance ki: the key may have more duplicates.
+                    deleted.push(e);
+                } else {
+                    keep.push(e);
+                }
             }
-        }
-        if changed {
-            node.leaf_set_entries(&keep);
-        }
-        let next = node.as_ref().right_sibling();
-        let emptied = changed && keep.is_empty();
-        drop(w);
-        if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
-            freed.insert(pid);
-            tree.stats_mut().leaves_freed += 1;
-            if let Some(pv) = prev {
-                let mut pw = tree.pool().pin_write(pv)?;
-                NodeMut::new(&mut pw[..]).set_right_sibling(next);
+            let changed = deleted.len() > before;
+            if changed {
+                node.leaf_set_entries(&keep);
             }
-        } else if !entries.is_empty() || pid == tree.root_page() {
-            prev = Some(pid);
+            let next = node.as_ref().right_sibling();
+            let emptied = changed && keep.is_empty();
+            drop(w);
+            tree.sub_len(deleted.len() - before);
+            if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
+                freed.insert(pid);
+                tree.stats_mut().leaves_freed += 1;
+                if let Some(pv) = prev {
+                    let mut pw = tree.pool().pin_write(pv)?;
+                    NodeMut::new(&mut pw[..]).set_right_sibling(next);
+                }
+            } else if !entries.is_empty() || pid == tree.root_page() {
+                prev = Some(pid);
+            }
+            cur = next;
         }
-        cur = next;
-    }
+        Ok(())
+    })();
 
-    tree.sub_len(deleted.len());
-    patch_parents(tree, &freed)?;
-    post_pass(tree, policy)?;
+    finish_pass(tree, walked, &freed, policy)?;
     Ok(deleted)
 }
 
@@ -198,54 +230,56 @@ pub fn bulk_delete_probe(
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
 
-    'walk: while let Some(pid) = cur {
-        prefetch_extent(tree, pid);
-        let mut w = tree.pool().pin_write(pid)?;
-        let mut node = NodeMut::new(&mut w[..]);
-        let entries = node.as_ref().leaf_entries();
-        let mut keep = Vec::with_capacity(entries.len());
-        let mut changed = false;
-        let mut past_range = false;
-        for e in entries.iter().copied() {
-            if let Some((_, hi)) = key_range {
-                if e.0 > hi {
-                    past_range = true;
+    let walked = (|| -> StorageResult<()> {
+        'walk: while let Some(pid) = cur {
+            prefetch_extent(tree, pid);
+            let mut w = tree.pool().pin_write(pid)?;
+            let mut node = NodeMut::new(&mut w[..]);
+            let entries = node.as_ref().leaf_entries();
+            let mut keep = Vec::with_capacity(entries.len());
+            let before = deleted.len();
+            let mut past_range = false;
+            for e in entries.iter().copied() {
+                if let Some((_, hi)) = key_range {
+                    if e.0 > hi {
+                        past_range = true;
+                        keep.push(e);
+                        continue;
+                    }
+                }
+                if victims.contains(&e.1) {
+                    deleted.push(e);
+                } else {
                     keep.push(e);
-                    continue;
                 }
             }
-            if victims.contains(&e.1) {
-                deleted.push(e);
-                changed = true;
-            } else {
-                keep.push(e);
+            let changed = deleted.len() > before;
+            if changed {
+                node.leaf_set_entries(&keep);
+            }
+            let next = node.as_ref().right_sibling();
+            let emptied = changed && keep.is_empty();
+            drop(w);
+            tree.sub_len(deleted.len() - before);
+            if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
+                freed.insert(pid);
+                tree.stats_mut().leaves_freed += 1;
+                if let Some(pv) = prev {
+                    let mut pw = tree.pool().pin_write(pv)?;
+                    NodeMut::new(&mut pw[..]).set_right_sibling(next);
+                }
+            } else if !entries.is_empty() || pid == tree.root_page() {
+                prev = Some(pid);
+            }
+            cur = next;
+            if past_range || deleted.len() == victims.len() {
+                break 'walk;
             }
         }
-        if changed {
-            node.leaf_set_entries(&keep);
-        }
-        let next = node.as_ref().right_sibling();
-        let emptied = changed && keep.is_empty();
-        drop(w);
-        if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
-            freed.insert(pid);
-            tree.stats_mut().leaves_freed += 1;
-            if let Some(pv) = prev {
-                let mut pw = tree.pool().pin_write(pv)?;
-                NodeMut::new(&mut pw[..]).set_right_sibling(next);
-            }
-        } else if !entries.is_empty() || pid == tree.root_page() {
-            prev = Some(pid);
-        }
-        cur = next;
-        if past_range || deleted.len() == victims.len() {
-            break 'walk;
-        }
-    }
+        Ok(())
+    })();
 
-    tree.sub_len(deleted.len());
-    patch_parents(tree, &freed)?;
-    post_pass(tree, policy)?;
+    finish_pass(tree, walked, &freed, policy)?;
     Ok(deleted)
 }
 

@@ -24,7 +24,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use bd_btree::{verify, Key};
+use bd_btree::{verify, verify::TreeAudit, Key};
 use bd_storage::Rid;
 
 use crate::db::{Database, TableId};
@@ -242,6 +242,73 @@ pub fn audit_table(db: &Database, tid: TableId) -> DbResult<AuditReport> {
     Ok(report)
 }
 
+/// What [`audit_equivalence_with`] compares beyond logical content.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Also compare each matched B-tree's *physical shape* — height,
+    /// per-leaf fill profile, and detached-empty-leaf count from
+    /// [`TreeAudit`] (never page ids, which are allocator-dependent).
+    ///
+    /// Two different strategies legitimately produce different layouts for
+    /// the same logical state (incremental maintenance vs. a packed bulk
+    /// load), so this is off by default; turn it on for *same-strategy
+    /// determinism* checks, where the runs must be physically identical.
+    pub physical_shape: bool,
+}
+
+impl AuditOptions {
+    /// Logical content only (the default).
+    pub fn logical() -> Self {
+        AuditOptions::default()
+    }
+
+    /// Logical content plus physical B-tree shape.
+    pub fn with_physical_shape() -> Self {
+        AuditOptions {
+            physical_shape: true,
+        }
+    }
+}
+
+/// Describe how two tree shapes diverge (height, leaf-fill profile,
+/// detached empty leaves). `None` when the shapes agree. Page ids are
+/// deliberately ignored: two identical delete histories may still place
+/// leaves on different physical pages.
+fn shape_diff(a: &TreeAudit, b: &TreeAudit, a_name: &str, b_name: &str) -> Option<String> {
+    if a.height != b.height {
+        return Some(format!(
+            "{a_name} has height {}, {b_name} has {}",
+            a.height, b.height
+        ));
+    }
+    if a.detached_empty_leaves != b.detached_empty_leaves {
+        return Some(format!(
+            "{a_name} has {} detached empty leaves, {b_name} has {}",
+            a.detached_empty_leaves, b.detached_empty_leaves
+        ));
+    }
+    if a.leaf_fill != b.leaf_fill {
+        if a.leaf_fill.len() != b.leaf_fill.len() {
+            return Some(format!(
+                "{a_name} has {} reachable leaves, {b_name} has {}",
+                a.leaf_fill.len(),
+                b.leaf_fill.len()
+            ));
+        }
+        let (i, (fa, fb)) = a
+            .leaf_fill
+            .iter()
+            .zip(&b.leaf_fill)
+            .enumerate()
+            .find(|(_, (x, y))| x != y)
+            .expect("profiles differ");
+        return Some(format!(
+            "leaf fill profiles diverge at leaf {i}: {a_name} holds {fa} entries, {b_name} {fb}"
+        ));
+    }
+    None
+}
+
 /// Differential physical-state equivalence between two databases holding
 /// the same table — typically the same build + workload executed under two
 /// different delete strategies. Checks, per structure:
@@ -254,6 +321,17 @@ pub fn audit_table(db: &Database, tid: TableId) -> DbResult<AuditReport> {
 /// * FSM-vs-occupancy consistency on both sides;
 /// * the catalogs describe the same set of indices.
 pub fn audit_equivalence(db_a: &Database, db_b: &Database, tid: TableId) -> DbResult<AuditReport> {
+    audit_equivalence_with(db_a, db_b, tid, AuditOptions::logical())
+}
+
+/// [`audit_equivalence`] with explicit [`AuditOptions`]; the physical-shape
+/// mode additionally diffs each matched B-tree's [`TreeAudit`] layout.
+pub fn audit_equivalence_with(
+    db_a: &Database,
+    db_b: &Database,
+    tid: TableId,
+    opts: AuditOptions,
+) -> DbResult<AuditReport> {
     let mut report = AuditReport::default();
     let ta = db_a.table(tid)?;
     let tb = db_b.table(tid)?;
@@ -308,13 +386,18 @@ pub fn audit_equivalence(db_a: &Database, db_b: &Database, tid: TableId) -> DbRe
             continue; // already reported as a catalog divergence
         };
         let name = format!("btree {}", ia.def.name);
-        let (ea, eb) = match (verify::audit(&ia.tree), verify::audit(&ib.tree)) {
-            (Ok(a), Ok(b)) => (a.entries, b.entries),
+        let (aa, ab) = match (verify::audit(&ia.tree), verify::audit(&ib.tree)) {
+            (Ok(a), Ok(b)) => (a, b),
             // Invariant violations were already reported per side.
             _ => continue,
         };
-        if let Some(diff) = diff_sorted(&ea, &eb, "A", "B") {
+        if let Some(diff) = diff_sorted(&aa.entries, &ab.entries, "A", "B") {
             report.push(&name, diff);
+        }
+        if opts.physical_shape {
+            if let Some(diff) = shape_diff(&aa, &ab, "A", "B") {
+                report.push(format!("{name} (shape)"), diff);
+            }
         }
     }
 
@@ -453,6 +536,29 @@ impl ShadowDb {
             .collect()
     }
 
+    /// Mirror of [`crate::bulk_update`]: apply `transform` to every row
+    /// whose `probe_attr` value is in `keys`, in place (RIDs are stable —
+    /// the engine rewrites fixed-size records without moving them).
+    /// Returns the number of rows the model updated.
+    pub fn bulk_update(
+        &mut self,
+        tid: TableId,
+        probe_attr: usize,
+        keys: &[Key],
+        transform: impl Fn(&mut Tuple),
+    ) -> usize {
+        let keyset: std::collections::HashSet<Key> = keys.iter().copied().collect();
+        let st = self.table_mut(tid);
+        let mut updated = 0;
+        for tuple in st.rows.values_mut() {
+            if keyset.contains(&tuple.attr(probe_attr)) {
+                transform(tuple);
+                updated += 1;
+            }
+        }
+        updated
+    }
+
     /// Rows the model holds for `tid`, in RID order.
     pub fn rows(&self, tid: TableId) -> Vec<(Rid, Tuple)> {
         self.tables
@@ -567,5 +673,44 @@ impl ShadowDb {
         }
 
         Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_btree::{BTree, BTreeConfig};
+    use bd_storage::{BufferPool, CostModel, SimDisk};
+
+    fn tree_with(keys: impl Iterator<Item = Key>) -> BTree {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 128);
+        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        for k in keys {
+            tree.insert(k, Rid::new(0, (k % 1000) as u16)).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn shape_diff_ignores_page_ids_but_sees_layout() {
+        // Same (key, rid) set, same insertion order: identical shape.
+        let a = verify::audit(&tree_with(0..400)).unwrap();
+        let b = verify::audit(&tree_with(0..400)).unwrap();
+        assert_eq!(shape_diff(&a, &b, "A", "B"), None);
+
+        // Same (key, rid) set, reversed insertion order: identical logical
+        // entries, but the split history packs the leaves differently.
+        let c = verify::audit(&tree_with((0..400).rev())).unwrap();
+        assert_eq!(a.entries, c.entries, "logical content agrees");
+        let diff = shape_diff(&a, &c, "A", "B").expect("layouts must differ");
+        assert!(diff.contains("leaf"), "diff names the layout: {diff}");
+    }
+
+    #[test]
+    fn shape_diff_reports_height_first() {
+        let small = verify::audit(&tree_with(0..8)).unwrap();
+        let tall = verify::audit(&tree_with(0..400)).unwrap();
+        let diff = shape_diff(&small, &tall, "A", "B").unwrap();
+        assert!(diff.contains("height"), "{diff}");
     }
 }

@@ -21,20 +21,31 @@
 //! Error handling joins cleanly: the first failing arm trips the group's
 //! [`CancelToken`]; sibling arms abort at their next disk access with
 //! `StorageError::Cancelled`; queued arms never start. All workers are
-//! joined before the original (non-`Cancelled`, lowest task index) error
-//! surfaces, so no page pin outlives the run and the pool is never
-//! poisoned. Phase rows are recorded at fixed slots, so the breakdown
-//! order is independent of arm completion order.
+//! joined before anything else happens, so no page pin outlives the run
+//! and the pool is never poisoned. Phase rows are recorded at fixed slots,
+//! so the breakdown order is independent of arm completion order.
+//!
+//! After the join the executor **degrades gracefully** (unless built with
+//! [`PhaseExecutor::without_degradation`]): every arm that did not complete
+//! cleanly — the failed arm itself, cancelled siblings, and queued arms
+//! that never started — is re-run *serially* in plan order, off the
+//! cancellation path. Task bodies are `FnMut` and must be idempotent under
+//! re-execution (the `⋈̄` passes are: keys already deleted simply aren't
+//! found again). A transient fault thus costs a [`DegradeEvent`] in the
+//! report instead of the whole statement; a persistent fault fails the
+//! serial re-run too and surfaces as before.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bd_storage::{CancelToken, IoScope, StorageError, StorageResult};
+use bd_storage::{CancelToken, DiskStats, IoScope, StorageError, StorageResult};
 
-use crate::report::{PhaseRow, PhaseTimer};
+use crate::report::{DegradeEvent, PhaseRow, PhaseTimer};
 
-/// Boxed body of one task, movable to a worker thread.
-type TaskBody<'env> = Box<dyn FnOnce() -> StorageResult<()> + Send + 'env>;
+/// Boxed body of one task, movable to a worker thread. `FnMut` (not
+/// `FnOnce`) so the degradation path can re-run an unfinished arm.
+type TaskBody<'env> = Box<dyn FnMut() -> StorageResult<()> + Send + 'env>;
 
 /// One schedulable unit of the delete DAG: a named body that may be
 /// dispatched to a worker thread. Bodies own (or exclusively borrow) the
@@ -46,10 +57,13 @@ pub struct PhaseTask<'env> {
 }
 
 impl<'env> PhaseTask<'env> {
-    /// A task running `body` under the label `name`.
+    /// A task running `body` under the label `name`. The body may be
+    /// invoked more than once (degradation re-runs unfinished arms), so it
+    /// must be restartable: re-deleting an already-deleted key is a no-op
+    /// for every `⋈̄` pass.
     pub fn new(
         name: impl Into<String>,
-        body: impl FnOnce() -> StorageResult<()> + Send + 'env,
+        body: impl FnMut() -> StorageResult<()> + Send + 'env,
     ) -> Self {
         PhaseTask {
             name: name.into(),
@@ -69,23 +83,41 @@ pub struct PhaseExecutor {
     timer: PhaseTimer,
     workers: usize,
     next_group: u32,
+    degrade: bool,
+    events: Vec<DegradeEvent>,
 }
 
 impl PhaseExecutor {
     /// An executor allowed `workers` concurrent arms (1 = fully serial;
     /// fan-out groups then run their arms sequentially in task order,
-    /// which produces the identical physical state).
+    /// which produces the identical physical state). Graceful degradation
+    /// is on by default.
     pub fn new(workers: usize) -> Self {
         PhaseExecutor {
             timer: PhaseTimer::new(),
             workers: workers.max(1),
             next_group: 0,
+            degrade: true,
+            events: Vec::new(),
         }
+    }
+
+    /// Disable the serial re-run of unfinished arms: the first failure
+    /// fails the group, as before. The WAL driver uses this — its recovery
+    /// protocol, not the executor, owns fault handling there.
+    pub fn without_degradation(mut self) -> Self {
+        self.degrade = false;
+        self
     }
 
     /// Worker budget of this executor.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Degradation events recorded so far.
+    pub fn events(&self) -> &[DegradeEvent] {
+        &self.events
     }
 
     /// Run one serial phase on the calling thread.
@@ -117,7 +149,7 @@ impl PhaseExecutor {
             // result, rows still tagged with the group id (the group is a
             // unit of *potential* concurrency).
             let mut first_err: Option<StorageError> = None;
-            for task in tasks {
+            for mut task in tasks {
                 if first_err.is_some() {
                     // A failed arm aborts the rest of the group, exactly as
                     // cancellation does in the concurrent case.
@@ -150,6 +182,8 @@ impl PhaseExecutor {
 
         let n = tasks.len();
         let mut names = Vec::with_capacity(n);
+        // Bodies stay in their cells after running (claimed via `as_mut`,
+        // not `take`) so the degradation path can re-invoke them.
         let cells: Vec<Mutex<Option<TaskBody<'_>>>> = tasks
             .into_iter()
             .map(|t| {
@@ -157,8 +191,7 @@ impl PhaseExecutor {
                 Mutex::new(Some(t.body))
             })
             .collect();
-        let stats: Vec<Mutex<Option<bd_storage::DiskStats>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let stats: Vec<Mutex<Option<DiskStats>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let failures: Mutex<Vec<(usize, StorageError)>> = Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
 
@@ -172,16 +205,17 @@ impl PhaseExecutor {
                     if cancel.is_cancelled() {
                         continue; // skip queued arms after a failure
                     }
-                    let body = cells[i]
-                        .lock()
-                        .expect("task cell lock")
-                        .take()
-                        .expect("task claimed once");
+                    // Each index is claimed by exactly one worker (the
+                    // atomic counter), so holding the cell lock for the
+                    // body's whole run is uncontended.
+                    let mut cell = cells[i].lock().expect("task cell lock");
+                    let body = cell.as_mut().expect("task body present");
                     let scope = IoScope::with_cancel(cancel.clone());
                     let result = {
                         let _guard = scope.enter();
                         body()
                     };
+                    drop(cell);
                     *stats[i].lock().expect("stats slot lock") = Some(scope.stats());
                     if let Err(e) = result {
                         cancel.cancel();
@@ -190,6 +224,22 @@ impl PhaseExecutor {
                 });
             }
         });
+
+        let mut failures = failures.into_inner().expect("failure lock");
+        // Deterministic error selection: the originating failure, not the
+        // Cancelled echoes of aborted siblings; ties by task order.
+        failures.sort_by_key(|(i, e)| (*e == StorageError::Cancelled, *i));
+
+        let mut outcome = Ok(());
+        if let Some((failed_idx, orig_err)) = failures.first().cloned() {
+            if self.degrade {
+                outcome = self.degrade_group(
+                    group, failed_idx, orig_err, &names, &failures, &cells, &stats,
+                );
+            } else {
+                outcome = Err(orig_err);
+            }
+        }
 
         for (i, name) in names.into_iter().enumerate() {
             let io = stats[i]
@@ -203,27 +253,79 @@ impl PhaseExecutor {
                 group: Some(group),
             });
         }
+        outcome
+    }
 
-        let mut failures = failures.into_inner().expect("failure lock");
-        if failures.is_empty() {
-            return Ok(());
+    /// Serial re-run of every arm that did not finish cleanly: the failed
+    /// arm, cancelled siblings, and queued arms that never started. Runs in
+    /// plan order off the cancellation path; re-run I/O is merged into each
+    /// arm's stats slot so the phase rows stay truthful. Records a
+    /// [`DegradeEvent`] either way; returns the re-run's first error (a
+    /// persistent fault strikes twice) or `Ok` when the group recovered.
+    #[allow(clippy::too_many_arguments)] // internal splitting of fan_out
+    fn degrade_group(
+        &mut self,
+        group: u32,
+        failed_idx: usize,
+        orig_err: StorageError,
+        names: &[String],
+        failures: &[(usize, StorageError)],
+        cells: &[Mutex<Option<TaskBody<'_>>>],
+        stats: &[Mutex<Option<DiskStats>>],
+    ) -> StorageResult<()> {
+        let failed_set: HashSet<usize> = failures.iter().map(|&(i, _)| i).collect();
+        let mut reran = Vec::new();
+        let mut rerun_err: Option<StorageError> = None;
+        for (i, name) in names.iter().enumerate() {
+            let finished_ok =
+                !failed_set.contains(&i) && stats[i].lock().expect("stats slot lock").is_some();
+            if finished_ok || rerun_err.is_some() {
+                continue;
+            }
+            reran.push(name.clone());
+            let scope = IoScope::new();
+            let result = {
+                let _guard = scope.enter();
+                let mut cell = cells[i].lock().expect("task cell lock");
+                (cell.as_mut().expect("task body present"))()
+            };
+            let mut slot = stats[i].lock().expect("stats slot lock");
+            let mut io = slot.take().unwrap_or_default();
+            io.merge(&scope.stats());
+            *slot = Some(io);
+            if let Err(e) = result {
+                rerun_err = Some(e);
+            }
         }
-        // Deterministic error selection: the originating failure, not the
-        // Cancelled echoes of aborted siblings; ties by task order.
-        failures.sort_by_key(|(i, e)| (*e == StorageError::Cancelled, *i));
-        Err(failures.remove(0).1)
+        let recovered = rerun_err.is_none();
+        self.events.push(DegradeEvent {
+            group,
+            failed_arm: names[failed_idx].clone(),
+            error: orig_err.to_string(),
+            reran,
+            recovered,
+        });
+        match rerun_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Consume the executor, yielding the phase rows in plan order.
     pub fn into_rows(self) -> Vec<PhaseRow> {
         self.timer.into_rows()
     }
+
+    /// Consume the executor, yielding phase rows and degradation events.
+    pub fn into_parts(self) -> (Vec<PhaseRow>, Vec<DegradeEvent>) {
+        (self.timer.into_rows(), self.events)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bd_storage::{BufferPool, CostModel, SimDisk};
+    use bd_storage::{BufferPool, CostModel, FaultPlan, FaultSpec, SimDisk};
     use std::sync::Arc;
 
     fn pool_with_pages(n: usize) -> (Arc<BufferPool>, u32) {
@@ -260,8 +362,11 @@ mod tests {
     #[test]
     fn failing_arm_cancels_siblings_and_surfaces_original_error() {
         let (pool, first) = pool_with_pages(64);
-        pool.with_disk(|d| d.fail_reads_at(Some(first + 32)));
-        let mut exec = PhaseExecutor::new(2);
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first + 32)))
+        });
+        pool.set_retry_policy(bd_storage::RetryPolicy::none());
+        let mut exec = PhaseExecutor::new(2).without_degradation();
         let spinner = {
             let pool = pool.clone();
             PhaseTask::new("spinner", move || {
@@ -289,14 +394,17 @@ mod tests {
         let rows = exec.into_rows();
         assert_eq!(rows.len(), 2, "both arms reported");
         // The pool still works after the abort.
-        pool.with_disk(|d| d.fail_reads_at(None));
+        pool.with_disk(|d| d.clear_fault_plan());
         let _ = pool.pin_read(first).unwrap();
     }
 
     #[test]
     fn serial_fallback_matches_task_order_and_stops_after_error() {
         let (pool, first) = pool_with_pages(8);
-        pool.with_disk(|d| d.fail_reads_at(Some(first + 1)));
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first + 1)))
+        });
+        pool.set_retry_policy(bd_storage::RetryPolicy::none());
         let mut exec = PhaseExecutor::new(1);
         let mk = |pid: u32| {
             let pool = pool.clone();
@@ -312,5 +420,65 @@ mod tests {
         let rows = exec.into_rows();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[2].io.pages_read, 0, "arm after the failure skipped");
+    }
+
+    #[test]
+    fn degradation_rides_out_a_fault_that_outlasts_pool_retries() {
+        let (pool, first) = pool_with_pages(8);
+        // 5 consecutive failures: the concurrent attempt burns its initial
+        // try plus the pool's 3 retries (4 total) and still fails; the
+        // serial re-run consumes the 5th and succeeds on its first retry.
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first + 4).transient(5)))
+        });
+        let mut exec = PhaseExecutor::new(2);
+        let steady = {
+            let pool = pool.clone();
+            PhaseTask::new("steady", move || {
+                let _ = pool.pin_read(first)?;
+                Ok(())
+            })
+        };
+        let flaky = {
+            let pool = pool.clone();
+            PhaseTask::new("flaky", move || {
+                let _ = pool.pin_read(first + 4)?;
+                Ok(())
+            })
+        };
+        exec.fan_out(vec![steady, flaky])
+            .expect("degradation must absorb the transient fault");
+        let (rows, events) = exec.into_parts();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert_eq!(event.failed_arm, "flaky");
+        assert!(event.recovered, "serial re-run succeeded");
+        assert!(event.reran.iter().any(|n| n == "flaky"));
+        let flaky_row = rows.iter().find(|r| r.name == "flaky").unwrap();
+        assert!(flaky_row.io.retries > 0, "backoff retries attributed");
+        assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn persistent_fault_defeats_degradation_and_surfaces_the_error() {
+        let (pool, first) = pool_with_pages(8);
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first + 2)))
+        });
+        pool.set_retry_policy(bd_storage::RetryPolicy::none());
+        let mut exec = PhaseExecutor::new(2);
+        let mk = |pid: u32| {
+            let pool = pool.clone();
+            PhaseTask::new(format!("arm {pid}"), move || {
+                let _ = pool.pin_read(pid)?;
+                Ok(())
+            })
+        };
+        let err = exec.fan_out(vec![mk(first), mk(first + 2)]).unwrap_err();
+        assert_eq!(err, StorageError::InjectedFault(first + 2));
+        let (_, events) = exec.into_parts();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].recovered, "re-run hit the fault again");
     }
 }

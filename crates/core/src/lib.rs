@@ -51,7 +51,10 @@ pub mod strategy;
 pub mod tuple;
 pub mod update;
 
-pub use audit::{audit_equivalence, audit_table, AuditFinding, AuditReport, ShadowDb};
+pub use audit::{
+    audit_equivalence, audit_equivalence_with, audit_table, AuditFinding, AuditOptions,
+    AuditReport, ShadowDb,
+};
 pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
 pub use constraint::{ForeignKey, RefAction};
 pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
@@ -60,14 +63,16 @@ pub use error::{DbError, DbResult};
 pub use executor::{PhaseExecutor, PhaseTask};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
 pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
-pub use report::{measure, PhaseRow, PhaseTimer, RunReport};
+pub use report::{measure, DegradeEvent, PhaseRow, PhaseTimer, RunReport};
 pub use strategy::{DeleteOutcome, RebuildMode};
 pub use tuple::{attr_name, Schema, Tuple};
 pub use update::{bulk_update, UpdateOutcome};
 
 /// Common imports for examples and downstream crates.
 pub mod prelude {
-    pub use crate::audit::{audit_equivalence, audit_table, AuditReport, ShadowDb};
+    pub use crate::audit::{
+        audit_equivalence, audit_equivalence_with, audit_table, AuditOptions, AuditReport, ShadowDb,
+    };
     pub use crate::catalog::IndexDef;
     pub use crate::db::{Database, DatabaseConfig, TableId};
     pub use crate::error::{DbError, DbResult};

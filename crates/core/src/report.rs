@@ -17,6 +17,44 @@ use bd_storage::{BufferPool, DiskStats, IoScope, StorageResult};
 
 pub use crate::audit::{AuditFinding, AuditReport};
 
+/// A graceful-degradation event: one fan-out arm died, the executor
+/// cancelled its siblings and re-ran every unfinished arm serially instead
+/// of failing the whole statement.
+#[derive(Debug, Clone)]
+pub struct DegradeEvent {
+    /// Fan-out group the failure occurred in.
+    pub group: u32,
+    /// Label of the arm whose failure triggered degradation.
+    pub failed_arm: String,
+    /// Display form of the originating error.
+    pub error: String,
+    /// Labels of the arms re-run serially (in plan order; includes the
+    /// failed arm itself, which gets one more chance off the fault path).
+    pub reran: Vec<String>,
+    /// Whether every serial re-run completed — `true` means the statement
+    /// survived the fault; `false` means the re-run hit it again (a
+    /// persistent fault) and the statement failed after all.
+    pub recovered: bool,
+}
+
+impl std::fmt::Display for DegradeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "group {}: arm `{}` failed ({}); re-ran {} arm(s) serially — {}",
+            self.group,
+            self.failed_arm,
+            self.error,
+            self.reran.len(),
+            if self.recovered {
+                "recovered"
+            } else {
+                "not recovered"
+            },
+        )
+    }
+}
+
 /// One phase (task) of a strategy execution: a named unit of work with the
 /// I/O its [`IoScope`] attributed to it.
 #[derive(Debug, Clone)]
@@ -97,6 +135,9 @@ pub struct RunReport {
     pub phases: Vec<PhaseRow>,
     /// Worker threads the phase-task executor was allowed (1 = serial).
     pub workers: usize,
+    /// Graceful-degradation events: fan-out arms that died and were re-run
+    /// serially. Empty on a fault-free run.
+    pub events: Vec<DegradeEvent>,
 }
 
 impl RunReport {
@@ -155,6 +196,12 @@ impl RunReport {
                 row.io.total_ios(),
                 row.io.total_random(),
             ));
+            if row.io.retries > 0 {
+                out.push_str(&format!("      ({} I/O retries)\n", row.io.retries));
+            }
+        }
+        for event in &self.events {
+            out.push_str(&format!("  !! degraded: {event}\n"));
         }
         out
     }
@@ -177,6 +224,12 @@ impl RunReport {
                 self.critical_path_minutes(),
                 self.workers,
             ));
+        }
+        if self.io.retries > 0 {
+            line.push_str(&format!("  retries {}", self.io.retries));
+        }
+        if !self.events.is_empty() {
+            line.push_str(&format!("  DEGRADED x{}", self.events.len()));
         }
         line
     }
@@ -209,6 +262,7 @@ pub fn measure<T>(
             io,
             phases: Vec::new(),
             workers: 1,
+            events: Vec::new(),
         },
     ))
 }
@@ -306,6 +360,7 @@ mod tests {
                 },
             ],
             workers: 2,
+            events: Vec::new(),
         };
         // saved = (35 + 25) - 35 = 25; crit = 100 - 25 = 75.
         assert!((report.critical_path_ms() - 75.0).abs() < 1e-9);

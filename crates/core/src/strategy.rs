@@ -38,7 +38,7 @@ use crate::error::{DbError, DbResult};
 use crate::executor::{PhaseExecutor, PhaseTask};
 use crate::plan::{DeletePlan, IndexMethod, TableMethod};
 use crate::planner::plan_sort_merge;
-use crate::report::{measure, PhaseRow, RunReport};
+use crate::report::{measure, DegradeEvent, PhaseRow, RunReport};
 use crate::tuple::{Schema, Tuple};
 
 /// What a strategy deleted, plus its cost report.
@@ -52,8 +52,9 @@ pub struct DeleteOutcome {
 }
 
 /// What the table-and-index passes of a strategy hand back to `measure`:
-/// the deleted rows plus the per-phase I/O rows the executor recorded.
-type RowsAndPhases = (Vec<(Rid, Tuple)>, Vec<PhaseRow>);
+/// the deleted rows, the per-phase I/O rows the executor recorded, and any
+/// graceful-degradation events.
+type RowsAndPhases = (Vec<(Rid, Tuple)>, Vec<PhaseRow>, Vec<DegradeEvent>);
 
 /// The planner's per-index steps, as `(position in catalog, ⋈̄ method)`.
 type IndexSteps = Vec<(usize, IndexMethod)>;
@@ -164,7 +165,7 @@ pub fn drop_create_parallel(
     let indices = parts.indices;
     let hash_indices = parts.hash_indices;
 
-    let ((deleted, phases), mut report) = measure(&pool, "drop&create", || {
+    let ((deleted, phases, events), mut report) = measure(&pool, "drop&create", || {
         execute_drop_create(
             &pool,
             &ws,
@@ -181,6 +182,7 @@ pub fn drop_create_parallel(
     report.deleted = deleted.len();
     report.phases = phases;
     report.workers = workers.max(1);
+    report.events = events;
     Ok(DeleteOutcome { report, deleted })
 }
 
@@ -281,7 +283,12 @@ fn execute_drop_create(
                         tree
                     }
                 };
-                *slot.lock().expect("rebuild slot lock") = Some(Index { def, tree });
+                // Clone: the body is `FnMut` so a degradation re-run can
+                // rebuild from scratch; `def` must survive the first call.
+                *slot.lock().expect("rebuild slot lock") = Some(Index {
+                    def: def.clone(),
+                    tree,
+                });
                 Ok(())
             }));
         }
@@ -294,7 +301,8 @@ fn execute_drop_create(
             indices.push(index);
         }
     }
-    Ok((deleted, exec.into_rows()))
+    let (rows, events) = exec.into_parts();
+    Ok((deleted, rows, events))
 }
 
 /// The vertical (set-oriented) bulk delete, following `plan` (serial).
@@ -344,7 +352,7 @@ pub fn vertical_parallel(
     let hash_indices = parts.hash_indices;
     let table_method = plan.table;
 
-    let ((deleted, phases), mut report) = measure(&pool, "bulk delete", || {
+    let ((deleted, phases, events), mut report) = measure(&pool, "bulk delete", || {
         execute_vertical(
             &pool,
             &ws,
@@ -363,6 +371,7 @@ pub fn vertical_parallel(
     report.deleted = deleted.len();
     report.phases = phases;
     report.workers = workers.max(1);
+    report.events = events;
     Ok(DeleteOutcome { report, deleted })
 }
 
@@ -575,12 +584,14 @@ fn execute_vertical(
         exec.fan_out(tasks)?;
     }
 
+    let (rows, events) = exec.into_parts();
     Ok((
         deleted_rows
             .into_iter()
             .map(|(rid, bytes)| (rid, schema.decode(&bytes)))
             .collect(),
-        exec.into_rows(),
+        rows,
+        events,
     ))
 }
 

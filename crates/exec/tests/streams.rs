@@ -83,7 +83,9 @@ fn merge_read_error_fuses_and_is_recorded() {
     // still has to read (the first chunk of each run is already buffered).
     let bad = p.with_disk(|d| {
         let last = d.num_pages() as u32 - 1;
-        d.fail_reads_at(Some(last));
+        d.set_fault_plan(
+            bd_storage::FaultPlan::new().inject(bd_storage::FaultSpec::read_page(last)),
+        );
         last
     });
     let truncated: Vec<u64> = (&mut stream).collect();
@@ -105,7 +107,9 @@ fn into_vec_propagates_merge_read_error() {
     let (stream, _) = s.finish().unwrap();
     let bad = p.with_disk(|d| {
         let last = d.num_pages() as u32 - 1;
-        d.fail_reads_at(Some(last));
+        d.set_fault_plan(
+            bd_storage::FaultPlan::new().inject(bd_storage::FaultSpec::read_page(last)),
+        );
         last
     });
     assert_eq!(

@@ -46,11 +46,69 @@ pub struct PoolStats {
     pub writebacks: u64,
 }
 
+/// Bounded retry-with-backoff for transient disk faults.
+///
+/// Only [`StorageError::InjectedFault`] is retried: cancellation, crash
+/// points and checksum mismatches are final. Each retry charges its
+/// backoff to the simulated clock (via [`SimDisk::charge_retry`]), so
+/// retried runs are honestly slower and the retries show up in
+/// `DiskStats::retries` and every active `IoScope`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Simulated backoff before the first retry, in milliseconds
+    /// (doubles on each subsequent retry).
+    pub backoff_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_ms: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast on the first fault (pre-retry behaviour, for tests that
+    /// count accesses exactly).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_ms: 0.0,
+        }
+    }
+}
+
+/// Run a disk operation under a retry policy. The caller already holds the
+/// disk lock; backoff is simulated time only, never host sleep.
+fn retry_disk<R>(
+    policy: RetryPolicy,
+    disk: &mut SimDisk,
+    mut op: impl FnMut(&mut SimDisk) -> StorageResult<R>,
+) -> StorageResult<R> {
+    let mut attempt = 0u32;
+    let mut backoff = policy.backoff_ms;
+    loop {
+        match op(disk) {
+            Err(StorageError::InjectedFault(_)) if attempt < policy.max_retries => {
+                attempt += 1;
+                disk.charge_retry(backoff);
+                backoff *= 2.0;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Bounded LRU page cache over a [`SimDisk`].
 pub struct BufferPool {
     disk: Mutex<SimDisk>,
     capacity: usize,
     inner: Mutex<Inner>,
+    retry: Mutex<RetryPolicy>,
     hits: AtomicU64,
     misses: AtomicU64,
     writebacks: AtomicU64,
@@ -67,6 +125,7 @@ impl BufferPool {
                 frames: HashMap::new(),
                 tick: 0,
             }),
+            retry: Mutex::new(RetryPolicy::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
@@ -98,6 +157,16 @@ impl BufferPool {
     /// deliberately bypass the cache).
     pub fn with_disk<R>(&self, f: impl FnOnce(&mut SimDisk) -> R) -> R {
         f(&mut self.disk.lock())
+    }
+
+    /// Replace the pool's transient-fault retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// The pool's current transient-fault retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.lock()
     }
 
     /// Snapshot of the underlying disk's counters.
@@ -147,10 +216,12 @@ impl BufferPool {
                 len += 1;
             }
             let run = &dirty[i..i + len];
-            disk.write_chain(start, len, |pid, page| {
-                let frame = &run[(pid - start) as usize];
-                page.copy_from_slice(&frame.data.read()[..]);
-                frame.dirty.store(false, Ordering::Release);
+            retry_disk(*self.retry.lock(), &mut disk, |d| {
+                d.write_chain(start, len, |pid, page| {
+                    let frame = &run[(pid - start) as usize];
+                    page.copy_from_slice(&frame.data.read()[..]);
+                    frame.dirty.store(false, Ordering::Release);
+                })
             })?;
             self.writebacks.fetch_add(len as u64, Ordering::Relaxed);
             i += len;
@@ -190,7 +261,9 @@ impl BufferPool {
             self.evict_one(&mut inner)?;
         }
         let mut buf: PageBuf = Box::new([0u8; PAGE_SIZE]);
-        self.disk.lock().read(pid, &mut buf)?;
+        retry_disk(*self.retry.lock(), &mut self.disk.lock(), |d| {
+            d.read(pid, &mut buf)
+        })?;
         let frame = Arc::new(Frame {
             pid,
             data: Arc::new(RwLock::new(buf)),
@@ -265,8 +338,11 @@ impl BufferPool {
                 len += 1;
             }
             let mut loaded: Vec<(PageId, PageBuf)> = Vec::with_capacity(len);
-            disk.read_chain(start, len, |pid, bytes| {
-                loaded.push((pid, Box::new(*bytes)));
+            retry_disk(*self.retry.lock(), &mut disk, |d| {
+                loaded.clear();
+                d.read_chain(start, len, |pid, bytes| {
+                    loaded.push((pid, Box::new(*bytes)));
+                })
             })?;
             for (pid, buf) in loaded {
                 let frame = Arc::new(Frame {
@@ -300,13 +376,16 @@ impl BufferPool {
             .count()
     }
 
-    /// Write all dirty frames back to disk (frames stay resident and clean).
+    /// Write all dirty unpinned frames back to disk (frames stay resident
+    /// and clean). Pinned frames are skipped: a concurrent arm may hold a
+    /// write pin, and flushing under it would both block on its page lock
+    /// and persist a half-mutated image.
     pub fn flush_all(&self) -> StorageResult<()> {
         let inner = self.inner.lock();
         let mut dirty: Vec<Arc<Frame>> = inner
             .frames
             .values()
-            .filter(|f| f.dirty.load(Ordering::Acquire))
+            .filter(|f| f.dirty.load(Ordering::Acquire) && f.pin.load(Ordering::Acquire) == 0)
             .cloned()
             .collect();
         // Flush in page order so write-back is as sequential as possible.
@@ -314,7 +393,7 @@ impl BufferPool {
         let mut disk = self.disk.lock();
         for frame in dirty {
             let data = frame.data.read();
-            disk.write(frame.pid, &data)?;
+            retry_disk(*self.retry.lock(), &mut disk, |d| d.write(frame.pid, &data))?;
             frame.dirty.store(false, Ordering::Release);
             self.writebacks.fetch_add(1, Ordering::Relaxed);
         }
@@ -533,6 +612,69 @@ mod tests {
         assert!(!pool.contains(first));
         assert!(pool.contains(first + 1));
         drop(held);
+    }
+
+    #[test]
+    fn transient_fault_is_ridden_out_by_bounded_retry() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let (pool, first) = small_pool(4, 4);
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            w[0] = 77;
+        }
+        pool.clear_cache().unwrap();
+        pool.reset_stats();
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first).transient(2)))
+        });
+        let r = pool.pin_read(first).unwrap();
+        assert_eq!(r[0], 77, "the retried read sees the real content");
+        drop(r);
+        let s = pool.disk_stats();
+        assert_eq!(s.retries, 2, "two backoffs before the fault healed");
+        // Backoff 1 ms + 2 ms on top of the one successful positioned read.
+        let io = CostModel::default().positioning_ms() + CostModel::default().transfer_ms;
+        assert!((s.sim_ms - (io + 3.0)).abs() < 1e-9, "sim_ms {}", s.sim_ms);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_fault() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let (pool, first) = small_pool(4, 4);
+        pool.with_disk(|d| {
+            // One more failure than the default policy's 3 retries allows.
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first).transient(4)))
+        });
+        assert_eq!(
+            pool.pin_read(first).err(),
+            Some(StorageError::InjectedFault(first))
+        );
+        assert_eq!(pool.disk_stats().retries, 3, "policy bound respected");
+        // The fault healed during the failed attempt's countdown; a fresh
+        // pin now succeeds.
+        let _ = pool.pin_read(first).unwrap();
+    }
+
+    #[test]
+    fn flush_all_skips_pinned_frames() {
+        let (pool, first) = small_pool(4, 2);
+        {
+            let mut w = pool.pin_write(first + 1).unwrap();
+            w[0] = 9;
+        }
+        let held = pool.pin_write(first).unwrap();
+        pool.flush_all().unwrap();
+        let flushed = pool.with_disk(|d| {
+            let mut buf = [0u8; PAGE_SIZE];
+            d.read(first + 1, &mut buf).unwrap();
+            buf[0]
+        });
+        assert_eq!(flushed, 9, "unpinned dirty page flushed");
+        drop(held);
+        // The pinned page stayed dirty and flushes once unpinned.
+        pool.reset_stats();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk_stats().pages_written, 1);
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //! page (~10 MB/s sustained).
 
 use crate::error::{StorageError, StorageResult};
+use crate::fault::{FaultOp, FaultOutcome, FaultPlan};
 
 /// Size of one disk page in bytes.
 pub const PAGE_SIZE: usize = 4096;
+
+use crate::page::checksum as page_checksum;
+
+/// Checksum of an all-zero (freshly allocated) page.
+const ZERO_PAGE_CK: u32 = page_checksum(&[0u8; PAGE_SIZE]);
 
 /// Identifier of a page on the simulated disk.
 pub type PageId = u32;
@@ -79,6 +85,8 @@ pub struct DiskStats {
     pub pages_read: u64,
     /// Total pages transferred by writes.
     pub pages_written: u64,
+    /// Accesses re-issued by the buffer pool after a transient fault.
+    pub retries: u64,
     /// Accumulated simulated time in milliseconds.
     pub sim_ms: f64,
 }
@@ -92,6 +100,7 @@ impl DiskStats {
         self.sequential_writes += other.sequential_writes;
         self.pages_read += other.pages_read;
         self.pages_written += other.pages_written;
+        self.retries += other.retries;
         self.sim_ms += other.sim_ms;
     }
 
@@ -104,6 +113,7 @@ impl DiskStats {
             sequential_writes: self.sequential_writes - earlier.sequential_writes,
             pages_read: self.pages_read - earlier.pages_read,
             pages_written: self.pages_written - earlier.pages_written,
+            retries: self.retries - earlier.retries,
             sim_ms: self.sim_ms - earlier.sim_ms,
         }
     }
@@ -126,12 +136,19 @@ impl DiskStats {
 /// job.
 pub struct SimDisk {
     pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Checksum of each page's last acknowledged content (the disk's
+    /// end-to-end integrity metadata; torn writes leave it pointing at the
+    /// *intended* image so the corruption surfaces on the next read).
+    checksums: Vec<u32>,
     /// Page the head would read next without repositioning.
     head: Option<PageId>,
     cost: CostModel,
     stats: DiskStats,
-    /// Page whose reads fail (fault-injection hook for tests/diagnostics).
-    fail_read: Option<PageId>,
+    /// Programmed faults and crash point.
+    plan: FaultPlan,
+    /// Accesses issued so far (each read/write/chain call is one access,
+    /// counted whether or not it succeeds).
+    accesses: u64,
 }
 
 impl SimDisk {
@@ -139,18 +156,43 @@ impl SimDisk {
     pub fn new(cost: CostModel) -> Self {
         SimDisk {
             pages: Vec::new(),
+            checksums: Vec::new(),
             head: None,
             cost,
             stats: DiskStats::default(),
-            fail_read: None,
+            plan: FaultPlan::default(),
+            accesses: 0,
         }
     }
 
-    /// Fault injection for tests and diagnostics: any subsequent read that
-    /// touches `pid` fails with [`StorageError::InjectedFault`] until the
-    /// hook is cleared with `None`. Writes are unaffected.
-    pub fn fail_reads_at(&mut self, pid: Option<PageId>) {
-        self.fail_read = pid;
+    /// Install a programmed [`FaultPlan`], replacing any previous one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Remove every programmed fault and crash point.
+    pub fn clear_fault_plan(&mut self) {
+        self.plan = FaultPlan::default();
+    }
+
+    /// Disk accesses issued so far (1-based access numbers; failed and
+    /// crashed accesses count too). The crash-at-every-I/O campaign sweeps
+    /// its crash point over this counter.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Evaluate the fault plan for one access, translating outcomes into
+    /// errors. Returns `Ok(true)` when the access should proceed but
+    /// persist the page image only partially (torn write).
+    fn faulted(&mut self, op: FaultOp, first: PageId, n: u32) -> StorageResult<Option<PageId>> {
+        self.accesses += 1;
+        match self.plan.evaluate(op, first, n, self.accesses) {
+            None => Ok(None),
+            Some(FaultOutcome::Torn(pid)) => Ok(Some(pid)),
+            Some(FaultOutcome::Fail(pid)) => Err(StorageError::InjectedFault(pid)),
+            Some(FaultOutcome::Crash) => Err(StorageError::SimulatedCrash),
+        }
     }
 
     /// Number of allocated pages.
@@ -163,6 +205,7 @@ impl SimDisk {
     pub fn allocate(&mut self) -> PageId {
         let pid = self.pages.len() as PageId;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.checksums.push(ZERO_PAGE_CK);
         pid
     }
 
@@ -171,6 +214,7 @@ impl SimDisk {
         let first = self.pages.len() as PageId;
         for _ in 0..n {
             self.pages.push(Box::new([0u8; PAGE_SIZE]));
+            self.checksums.push(ZERO_PAGE_CK);
         }
         first
     }
@@ -206,14 +250,22 @@ impl SimDisk {
         }
     }
 
+    /// Verify the stored checksum of `pid` against its current content
+    /// (detects torn writes at read time, like an end-to-end CRC).
+    fn verify_checksum(&self, pid: PageId) -> StorageResult<()> {
+        if page_checksum(&self.pages[pid as usize][..]) != self.checksums[pid as usize] {
+            return Err(StorageError::ChecksumMismatch(pid));
+        }
+        Ok(())
+    }
+
     /// Read one page into `dst`.
     pub fn read(&mut self, pid: PageId, dst: &mut [u8; PAGE_SIZE]) -> StorageResult<()> {
         crate::io_scope::check_cancelled()?;
         self.check(pid)?;
-        if self.fail_read == Some(pid) {
-            return Err(StorageError::InjectedFault(pid));
-        }
+        self.faulted(FaultOp::Read, pid, 1)?;
         self.charge(pid, 1, true);
+        self.verify_checksum(pid)?;
         dst.copy_from_slice(&self.pages[pid as usize][..]);
         Ok(())
     }
@@ -231,12 +283,11 @@ impl SimDisk {
         }
         crate::io_scope::check_cancelled()?;
         self.check(first + n as PageId - 1)?;
-        if let Some(bad) = self.fail_read {
-            if (first..first + n as PageId).contains(&bad) {
-                return Err(StorageError::InjectedFault(bad));
-            }
-        }
+        self.faulted(FaultOp::Read, first, n as u32)?;
         self.charge(first, n as u64, true);
+        for i in 0..n {
+            self.verify_checksum(first + i as PageId)?;
+        }
         for i in 0..n {
             let pid = first + i as PageId;
             visit(pid, &self.pages[pid as usize]);
@@ -248,8 +299,17 @@ impl SimDisk {
     pub fn write(&mut self, pid: PageId, src: &[u8; PAGE_SIZE]) -> StorageResult<()> {
         crate::io_scope::check_cancelled()?;
         self.check(pid)?;
+        let torn = self.faulted(FaultOp::Write, pid, 1)?;
         self.charge(pid, 1, false);
-        self.pages[pid as usize].copy_from_slice(src);
+        // The device acknowledges the full write (checksum of the intended
+        // image), but a torn write persists only the first half.
+        self.checksums[pid as usize] = page_checksum(src);
+        let persisted = if torn.is_some() {
+            PAGE_SIZE / 2
+        } else {
+            PAGE_SIZE
+        };
+        self.pages[pid as usize][..persisted].copy_from_slice(&src[..persisted]);
         Ok(())
     }
 
@@ -266,12 +326,35 @@ impl SimDisk {
         }
         crate::io_scope::check_cancelled()?;
         self.check(first + n as PageId - 1)?;
+        let torn = self.faulted(FaultOp::Write, first, n as u32)?;
         self.charge(first, n as u64, false);
         for i in 0..n {
             let pid = first + i as PageId;
+            let old_tail: Option<Vec<u8>> =
+                (torn == Some(pid)).then(|| self.pages[pid as usize][PAGE_SIZE / 2..].to_vec());
             produce(pid, &mut self.pages[pid as usize]);
+            self.checksums[pid as usize] = page_checksum(&self.pages[pid as usize][..]);
+            if let Some(tail) = old_tail {
+                // Tear the acknowledged image: the checksum covers the
+                // intended content, but the tail never hits the platter.
+                self.pages[pid as usize][PAGE_SIZE / 2..].copy_from_slice(&tail);
+            }
         }
         Ok(())
+    }
+
+    /// Charge the simulated backoff of one buffer-pool retry: pure elapsed
+    /// time (no transfer, no head movement), recorded in the stats and in
+    /// every active [`IoScope`](crate::IoScope) so reports show retries
+    /// honestly.
+    pub fn charge_retry(&mut self, backoff_ms: f64) {
+        let delta = DiskStats {
+            retries: 1,
+            sim_ms: backoff_ms,
+            ..DiskStats::default()
+        };
+        self.stats.merge(&delta);
+        crate::io_scope::record(&delta);
     }
 
     /// Snapshot of accumulated counters.
@@ -393,6 +476,92 @@ mod tests {
             d.read(first + i, &mut buf).unwrap();
         }
         assert!((d.stats().sim_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_counter_counts_failed_accesses_too() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(pid, &mut buf).unwrap();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::read_page(pid)));
+        assert_eq!(d.read(pid, &mut buf), Err(StorageError::InjectedFault(pid)));
+        assert_eq!(d.accesses(), 2, "the failed read still counts");
+    }
+
+    #[test]
+    fn transient_fault_heals_and_charges_nothing_until_then() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::read_page(pid).transient(2)));
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(d.read(pid, &mut buf).is_err());
+        assert!(d.read(pid, &mut buf).is_err());
+        assert_eq!(d.stats().pages_read, 0, "failed accesses are not charged");
+        d.read(pid, &mut buf).unwrap();
+        assert_eq!(d.stats().pages_read, 1);
+    }
+
+    #[test]
+    fn crash_point_kills_every_later_access() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(4);
+        let mut buf = [0u8; PAGE_SIZE];
+        d.set_fault_plan(FaultPlan::new().crash_at_access(2));
+        d.read(first, &mut buf).unwrap();
+        assert_eq!(
+            d.write(first + 1, &page_of(1)),
+            Err(StorageError::SimulatedCrash)
+        );
+        assert_eq!(d.read(first, &mut buf), Err(StorageError::SimulatedCrash));
+        d.clear_fault_plan();
+        d.read(first, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_caught_by_checksum_on_read() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        d.write(pid, &page_of(3)).unwrap();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        d.write(pid, &page_of(9)).unwrap(); // acknowledged, silently torn
+        let mut buf = [0u8; PAGE_SIZE];
+        assert_eq!(
+            d.read(pid, &mut buf),
+            Err(StorageError::ChecksumMismatch(pid)),
+            "latent corruption surfaces at read time"
+        );
+        // Rewriting the page (intact this time: TornWrite fires once)
+        // heals the checksum.
+        d.write(pid, &page_of(5)).unwrap();
+        d.read(pid, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn torn_chain_write_tears_only_the_programmed_page() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(3);
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(first + 1).torn()));
+        d.write_chain(first, 3, |_, page| page.fill(7)).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(first, &mut buf).unwrap();
+        assert_eq!(
+            d.read_chain(first, 3, |_, _| {}),
+            Err(StorageError::ChecksumMismatch(first + 1))
+        );
+        d.read(first + 2, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn charge_retry_accumulates_time_and_retry_count() {
+        let mut d = SimDisk::new(CostModel::default());
+        d.charge_retry(1.0);
+        d.charge_retry(2.0);
+        let s = d.stats();
+        assert_eq!(s.retries, 2);
+        assert!((s.sim_ms - 3.0).abs() < 1e-9);
+        assert_eq!(s.total_ios(), 0, "backoff moves no pages");
     }
 
     #[test]

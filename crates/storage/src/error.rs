@@ -34,9 +34,17 @@ pub enum StorageError {
     },
     /// Reading past the end of a temporary segment.
     SegmentExhausted,
-    /// A read failed because a fault was injected at this page
-    /// ([`crate::SimDisk::fail_reads_at`], tests/diagnostics only).
+    /// An access failed because a programmed fault fired at this page
+    /// (see [`crate::FaultPlan`]; transient faults are retried by the
+    /// buffer pool, persistent ones surface to the caller).
     InjectedFault(PageId),
+    /// A page image failed its end-to-end checksum on read — a torn write
+    /// was persisted only partially (see [`crate::FaultKind::TornWrite`]).
+    ChecksumMismatch(PageId),
+    /// The disk reached the fault plan's crash point: the process is
+    /// considered dead from this access on (never retried; the WAL's
+    /// roll-forward recovery takes over after restart).
+    SimulatedCrash,
     /// The access ran under an [`crate::IoScope`] whose [`crate::CancelToken`]
     /// was tripped — a sibling task failed and this task is being aborted.
     Cancelled,
@@ -64,7 +72,13 @@ impl fmt::Display for StorageError {
             ),
             StorageError::SegmentExhausted => write!(f, "read past end of temporary segment"),
             StorageError::InjectedFault(pid) => {
-                write!(f, "injected read fault at page {pid}")
+                write!(f, "injected fault at page {pid}")
+            }
+            StorageError::ChecksumMismatch(pid) => {
+                write!(f, "checksum mismatch at page {pid}: torn write detected")
+            }
+            StorageError::SimulatedCrash => {
+                write!(f, "simulated crash: disk unavailable past the crash point")
             }
             StorageError::Cancelled => {
                 write!(f, "task cancelled: a concurrent sibling task failed")

@@ -1,0 +1,290 @@
+//! Programmable fault injection for the simulated disk.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultSpec`]s plus an optional
+//! crash point. Every disk access (a `read`, `write`, `read_chain` or
+//! `write_chain` call counts as one access) is evaluated against the plan
+//! before it is charged:
+//!
+//! * a **crash point** makes the access — and every access after it — fail
+//!   with [`StorageError::SimulatedCrash`], modelling process death at a
+//!   precise point of the I/O stream (the crash-at-every-I/O campaign
+//!   sweeps this point across a whole run);
+//! * a matching **persistent** fault fails the access with
+//!   [`StorageError::InjectedFault`] forever (a dead sector);
+//! * a matching **transient** fault fails the next `failures` matching
+//!   accesses, then heals (a timeout the buffer pool's bounded retry can
+//!   ride out);
+//! * a **torn write** lets the access succeed and be charged, but persists
+//!   only a prefix of the page image while recording the checksum of the
+//!   *intended* content — the corruption is latent until a later read
+//!   fails with [`StorageError::ChecksumMismatch`].
+//!
+//! [`StorageError::SimulatedCrash`]: crate::StorageError::SimulatedCrash
+//! [`StorageError::InjectedFault`]: crate::StorageError::InjectedFault
+//! [`StorageError::ChecksumMismatch`]: crate::StorageError::ChecksumMismatch
+
+use crate::disk::PageId;
+
+/// Direction of the disk access a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// `read` / `read_chain`.
+    Read,
+    /// `write` / `write_chain`.
+    Write,
+}
+
+/// What arms a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Any matching access touching this page (chains match if the page
+    /// lies inside the chained range).
+    Page(PageId),
+    /// The n-th disk access overall, 1-based, counted across both ops.
+    NthAccess(u64),
+}
+
+/// Failure mode of an armed fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fails every matching access until the plan is cleared.
+    Persistent,
+    /// Fails the next `failures` matching accesses, then succeeds.
+    Transient {
+        /// How many matching accesses fail before the fault heals.
+        failures: u32,
+    },
+    /// The next matching write is charged and acknowledged but persists
+    /// only half the page; detected by checksum on a later read.
+    TornWrite,
+}
+
+/// One programmed fault: trigger × op × kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What arms the fault.
+    pub trigger: FaultTrigger,
+    /// Which access direction it applies to.
+    pub op: FaultOp,
+    /// How it fails.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Persistent read fault on `pid` (the old `fail_reads_at` behaviour).
+    pub fn read_page(pid: PageId) -> Self {
+        FaultSpec {
+            trigger: FaultTrigger::Page(pid),
+            op: FaultOp::Read,
+            kind: FaultKind::Persistent,
+        }
+    }
+
+    /// Persistent write fault on `pid`.
+    pub fn write_page(pid: PageId) -> Self {
+        FaultSpec {
+            trigger: FaultTrigger::Page(pid),
+            op: FaultOp::Write,
+            kind: FaultKind::Persistent,
+        }
+    }
+
+    /// Fault armed on the n-th read access (1-based, global counter).
+    pub fn read_at_access(n: u64) -> Self {
+        FaultSpec {
+            trigger: FaultTrigger::NthAccess(n),
+            op: FaultOp::Read,
+            kind: FaultKind::Persistent,
+        }
+    }
+
+    /// Fault armed on the n-th write access (1-based, global counter).
+    pub fn write_at_access(n: u64) -> Self {
+        FaultSpec {
+            trigger: FaultTrigger::NthAccess(n),
+            op: FaultOp::Write,
+            kind: FaultKind::Persistent,
+        }
+    }
+
+    /// Make the fault transient: fail `failures` times, then heal.
+    pub fn transient(mut self, failures: u32) -> Self {
+        self.kind = FaultKind::Transient { failures };
+        self
+    }
+
+    /// Make the fault a torn write (forces the op to `Write`).
+    pub fn torn(mut self) -> Self {
+        self.op = FaultOp::Write;
+        self.kind = FaultKind::TornWrite;
+        self
+    }
+}
+
+/// Mutable state of one programmed fault inside the disk.
+#[derive(Debug, Clone)]
+struct FaultSlot {
+    spec: FaultSpec,
+    /// Matching accesses left to fail (transient / torn countdown;
+    /// `u32::MAX` ≈ forever for persistent faults).
+    remaining: u32,
+}
+
+/// What the plan decided for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultOutcome {
+    /// Fail with `InjectedFault(pid)`.
+    Fail(PageId),
+    /// Proceed, but persist this page's image only partially.
+    Torn(PageId),
+    /// Fail with `SimulatedCrash` (and keep failing forever).
+    Crash,
+}
+
+/// A programmable set of faults plus an optional crash point.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    slots: Vec<FaultSlot>,
+    crash_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, no crash point).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a programmed fault (builder style).
+    pub fn inject(mut self, spec: FaultSpec) -> Self {
+        let remaining = match spec.kind {
+            FaultKind::Persistent => u32::MAX,
+            FaultKind::Transient { failures } => failures,
+            FaultKind::TornWrite => 1,
+        };
+        self.slots.push(FaultSlot { spec, remaining });
+        self
+    }
+
+    /// Crash the disk at access number `n` (1-based): that access and every
+    /// one after it fail with [`StorageError::SimulatedCrash`].
+    ///
+    /// [`StorageError::SimulatedCrash`]: crate::StorageError::SimulatedCrash
+    pub fn crash_at_access(mut self, n: u64) -> Self {
+        self.crash_at = Some(n);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty() && self.crash_at.is_none()
+    }
+
+    /// Decide the fate of one access covering pages `[first, first + n)`.
+    /// `access` is the 1-based global access number.
+    pub(crate) fn evaluate(
+        &mut self,
+        op: FaultOp,
+        first: PageId,
+        n: u32,
+        access: u64,
+    ) -> Option<FaultOutcome> {
+        if let Some(c) = self.crash_at {
+            if access >= c {
+                return Some(FaultOutcome::Crash);
+            }
+        }
+        let range = first..first + n;
+        for slot in &mut self.slots {
+            if slot.remaining == 0 || slot.spec.op != op {
+                continue;
+            }
+            let hit = match slot.spec.trigger {
+                FaultTrigger::Page(p) => range.contains(&p),
+                FaultTrigger::NthAccess(k) => access == k,
+            };
+            if !hit {
+                continue;
+            }
+            slot.remaining = slot.remaining.saturating_sub(1);
+            let pid = match slot.spec.trigger {
+                FaultTrigger::Page(p) => p,
+                FaultTrigger::NthAccess(_) => first,
+            };
+            return Some(match slot.spec.kind {
+                FaultKind::TornWrite => FaultOutcome::Torn(pid),
+                _ => FaultOutcome::Fail(pid),
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_fault_heals_after_k_failures() {
+        let mut plan = FaultPlan::new().inject(FaultSpec::read_page(7).transient(2));
+        assert_eq!(
+            plan.evaluate(FaultOp::Read, 7, 1, 1),
+            Some(FaultOutcome::Fail(7))
+        );
+        assert_eq!(
+            plan.evaluate(FaultOp::Read, 7, 1, 2),
+            Some(FaultOutcome::Fail(7))
+        );
+        assert_eq!(plan.evaluate(FaultOp::Read, 7, 1, 3), None, "healed");
+    }
+
+    #[test]
+    fn persistent_fault_never_heals_and_ignores_other_ops() {
+        let mut plan = FaultPlan::new().inject(FaultSpec::read_page(3));
+        for access in 1..50 {
+            assert_eq!(plan.evaluate(FaultOp::Write, 3, 1, access), None);
+            assert_eq!(
+                plan.evaluate(FaultOp::Read, 3, 1, access),
+                Some(FaultOutcome::Fail(3))
+            );
+        }
+    }
+
+    #[test]
+    fn chain_access_matches_page_inside_range() {
+        let mut plan = FaultPlan::new().inject(FaultSpec::read_page(10));
+        assert_eq!(
+            plan.evaluate(FaultOp::Read, 8, 2, 1),
+            None,
+            "chain ends at 9"
+        );
+        assert_eq!(
+            plan.evaluate(FaultOp::Read, 8, 4, 2),
+            Some(FaultOutcome::Fail(10))
+        );
+    }
+
+    #[test]
+    fn crash_point_is_persistent_from_that_access_on() {
+        let mut plan = FaultPlan::new().crash_at_access(5);
+        assert_eq!(plan.evaluate(FaultOp::Read, 0, 1, 4), None);
+        assert_eq!(
+            plan.evaluate(FaultOp::Write, 0, 1, 5),
+            Some(FaultOutcome::Crash)
+        );
+        assert_eq!(
+            plan.evaluate(FaultOp::Read, 0, 1, 6),
+            Some(FaultOutcome::Crash)
+        );
+    }
+
+    #[test]
+    fn nth_access_trigger_fires_exactly_once() {
+        let mut plan = FaultPlan::new().inject(FaultSpec::write_at_access(3));
+        assert_eq!(plan.evaluate(FaultOp::Write, 1, 1, 2), None);
+        assert_eq!(
+            plan.evaluate(FaultOp::Write, 1, 1, 3),
+            Some(FaultOutcome::Fail(1))
+        );
+        assert_eq!(plan.evaluate(FaultOp::Write, 1, 1, 4), None);
+    }
+}

@@ -462,6 +462,7 @@ impl Iterator for HeapScan {
 mod tests {
     use super::*;
     use crate::disk::{CostModel, SimDisk};
+    use crate::fault::{FaultPlan, FaultSpec};
 
     fn heap(frames: usize) -> HeapFile {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), frames);
@@ -525,7 +526,9 @@ mod tests {
         assert!(h.num_pages() >= 3);
         let bad = h.page_ids()[1];
         h.pool().clear_cache().unwrap();
-        h.pool().with_disk(|d| d.fail_reads_at(Some(bad)));
+        h.pool()
+            .with_disk(|d| d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad))));
+        h.pool().set_retry_policy(crate::RetryPolicy::none());
         let mut scan = h.scan();
         let got: Vec<(Rid, Vec<u8>)> = (&mut scan).collect();
         // Everything up to the bad page was yielded; nothing after it.
@@ -540,7 +543,7 @@ mod tests {
         // dump() is the loss-free path: it propagates the same error.
         assert_eq!(h.dump().unwrap_err(), StorageError::InjectedFault(bad));
         // Clearing the fault restores a complete scan.
-        h.pool().with_disk(|d| d.fail_reads_at(None));
+        h.pool().with_disk(|d| d.clear_fault_plan());
         assert_eq!(h.dump().unwrap().len(), 30);
     }
 

@@ -140,8 +140,32 @@ pub(crate) fn record(delta: &DiskStats) {
     });
 }
 
+thread_local! {
+    static BYPASS_CANCEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with cancellation checks suspended on this thread. I/O is still
+/// charged and attributed to active scopes — only the abort check is
+/// skipped. Used by error-path cleanup (e.g. a cancelled bulk-delete arm
+/// detaching its already-freed leaves) that must finish a small, bounded
+/// amount of I/O to leave the structure consistent for a later re-run.
+pub fn bypass_cancel<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            BYPASS_CANCEL.with(|b| b.set(prev));
+        }
+    }
+    let _restore = Restore(BYPASS_CANCEL.with(|b| b.replace(true)));
+    f()
+}
+
 /// Fail if any scope active on this thread carries a tripped cancel token.
 pub(crate) fn check_cancelled() -> StorageResult<()> {
+    if BYPASS_CANCEL.with(|b| b.get()) {
+        return Ok(());
+    }
     ACTIVE.with(|stack| {
         for entry in stack.borrow().iter() {
             if let Some(token) = &entry.cancel {

@@ -23,11 +23,15 @@
 //! * [`IoScope`] / [`CancelToken`] — per-task I/O attribution (sharded
 //!   counters merged on join) and cooperative cancellation for concurrent
 //!   bulk-delete arms; the disk's own counters keep the serial total.
+//! * [`FaultPlan`] — programmable fault injection (transient/persistent
+//!   faults, torn writes caught by per-page checksums, crash points), with
+//!   bounded retry-with-backoff in the buffer pool ([`RetryPolicy`]).
 
 pub mod budget;
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod fsm;
 pub mod heap;
 pub mod io_scope;
@@ -37,9 +41,10 @@ pub mod segment;
 pub mod slotted;
 
 pub use budget::MemoryBudget;
-pub use buffer::{BufferPool, PageRead, PageWrite};
+pub use buffer::{BufferPool, PageRead, PageWrite, RetryPolicy};
 pub use disk::{CostModel, DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultSpec, FaultTrigger};
 pub use fsm::FreeSpaceMap;
 pub use heap::{FsmMismatch, HeapFile, HeapScan};
 pub use io_scope::{CancelToken, IoScope, ScopeGuard};

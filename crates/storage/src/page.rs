@@ -13,6 +13,20 @@ pub fn zeroed() -> PageBuf {
     Box::new([0u8; PAGE_SIZE])
 }
 
+/// FNV-1a checksum of a page image — the end-to-end integrity check the
+/// simulated disk keeps per page to catch torn writes. `const` so the
+/// zero-page checksum is a compile-time constant.
+pub const fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut i = 0;
+    while i < data.len() {
+        h ^= data[i] as u32;
+        h = h.wrapping_mul(0x0100_0193);
+        i += 1;
+    }
+    h
+}
+
 /// Read a `u16` at `off`.
 #[inline]
 pub fn get_u16(buf: &[u8], off: usize) -> u16 {

@@ -164,6 +164,85 @@ fn updater_deletes_during_bulk_propagation() {
 }
 
 #[test]
+fn concurrent_workload_matches_shadow_model() {
+    // Model-check a full concurrent workload: the bulk delete (side-file
+    // propagation) races updater inserts and point deletes; afterwards the
+    // ShadowDb model — fed the same logical operations — must derive the
+    // exact state of every engine structure. The mirrors are applied after
+    // the join: updater keys are fresh and point-delete targets are
+    // survivors, so the final state is interleaving-independent.
+    let (tdb, tid, a_values) = setup(2500);
+    let mut shadow = tdb.with(|db| bd_core::ShadowDb::mirror_of(db, tid).unwrap());
+    let victims: Vec<u64> = a_values.iter().copied().step_by(3).collect();
+    let victim_set: HashSet<u64> = victims.iter().copied().collect();
+    let point_targets: Vec<u64> = a_values
+        .iter()
+        .copied()
+        .filter(|k| !victim_set.contains(k))
+        .step_by(9)
+        .take(40)
+        .collect();
+
+    let (inserted, point_deleted) = std::thread::scope(|s| {
+        let bulk = {
+            let tdb = tdb.clone();
+            let victims = victims.clone();
+            s.spawn(move || {
+                tdb.bulk_delete(tid, 0, &victims, PropagationMode::SideFile)
+                    .unwrap()
+            })
+        };
+        let writers: Vec<_> = (0..2u64)
+            .map(|u| {
+                let tdb = tdb.clone();
+                s.spawn(move || {
+                    let mut rows = Vec::new();
+                    for i in 0..40 {
+                        let txn = tdb.begin();
+                        let t = fresh_tuple(u * 10_000 + i);
+                        let rid = tdb.insert(txn, tid, &t).unwrap();
+                        rows.push((rid, t));
+                        tdb.commit(txn);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        let deleter = {
+            let tdb = tdb.clone();
+            let targets = point_targets.clone();
+            s.spawn(move || {
+                let mut rids = Vec::new();
+                for k in targets {
+                    let txn = tdb.begin();
+                    rids.extend(tdb.delete_row(txn, tid, 0, k).unwrap());
+                    tdb.commit(txn);
+                }
+                rids
+            })
+        };
+        assert_eq!(bulk.join().unwrap(), victims.len());
+        let inserted: Vec<_> = writers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        (inserted, deleter.join().unwrap())
+    });
+
+    shadow.delete_in(tid, 0, &victims);
+    for (rid, t) in inserted {
+        shadow.insert(tid, rid, t);
+    }
+    assert_eq!(point_deleted.len(), point_targets.len());
+    for rid in point_deleted {
+        shadow.delete(tid, rid).expect("model held the deleted row");
+    }
+
+    let report = tdb.with(|db| shadow.diff(db, tid).unwrap());
+    assert!(report.is_clean(), "model vs engine diverged: {report}");
+}
+
+#[test]
 fn unique_constraint_still_enforced_after_bulk() {
     let (tdb, tid, a_values) = setup(500);
     let keep = a_values[0];

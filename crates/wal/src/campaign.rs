@@ -1,0 +1,124 @@
+//! The crash-at-every-I/O campaign: the executable proof of §3.2's
+//! roll-forward recovery.
+//!
+//! For a seeded workload the campaign first runs the bulk delete fault-free
+//! to obtain a reference state, then sweeps a crash point over every
+//! successive disk access of the run: rebuild the database, install
+//! [`FaultPlan::crash_at_access`] at the `n`-th access, run, observe the
+//! crash, discard volatile memory (`pool.crash()`), run [`recover`], and
+//! assert via `audit_equivalence` that the recovered state matches the
+//! reference. The sweep ends at the first crash point the run never
+//! reaches. Works for the serial driver and the parallel fan-out driver
+//! alike (`workers` selects).
+
+use bd_btree::Key;
+use bd_core::{audit_equivalence, Database, TableId};
+use bd_storage::FaultPlan;
+
+use crate::driver::{recover, run_bulk_delete_parallel, CrashInjector, WalError};
+use crate::log::LogManager;
+
+/// What a completed campaign covered.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Crash points swept (one per disk access the run issued; every one
+    /// recovered to the reference state).
+    pub crash_points: usize,
+    /// Disk accesses of the fault-free run (the sweep's upper bound).
+    pub fault_free_accesses: u64,
+    /// Victim rows each run deleted.
+    pub deleted: usize,
+}
+
+/// Sweep a crash over every disk access of a recoverable bulk delete.
+///
+/// `build` must deterministically reconstruct the same database and return
+/// the same [`TableId`] on every call; `workers <= 1` exercises the serial
+/// driver, `workers > 1` the parallel fan-out driver. `limit` optionally
+/// caps the number of crash points (for smoke runs); `None` sweeps until
+/// the run outruns the crash point.
+///
+/// Returns [`WalError::Divergence`] for the first crash point whose
+/// recovered state does not match the fault-free reference.
+pub fn crash_at_every_io<F>(
+    mut build: F,
+    probe_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+    limit: Option<usize>,
+) -> Result<CampaignReport, WalError>
+where
+    F: FnMut() -> (Database, TableId),
+{
+    // Reference: the same workload, no faults.
+    let (mut reference, tid) = build();
+    let ref_c0 = reference.pool().with_disk(|d| d.accesses());
+    let deleted = {
+        let log = LogManager::new();
+        run_bulk_delete_parallel(
+            &mut reference,
+            tid,
+            probe_attr,
+            d_keys,
+            &log,
+            CrashInjector::none(),
+            workers,
+        )?
+    };
+    let fault_free_accesses = reference.pool().with_disk(|d| d.accesses()) - ref_c0;
+
+    let mut crash_points = 0usize;
+    let mut n: u64 = 0;
+    loop {
+        n += 1;
+        if let Some(lim) = limit {
+            if crash_points >= lim {
+                break;
+            }
+        }
+        let (mut db, tid_n) = build();
+        assert_eq!(tid, tid_n, "build() must be deterministic");
+        // The pre-statement state must be on stable storage before the
+        // sweep: a crash on the statement's first access discards only the
+        // statement's work, not the table build sitting dirty in the pool.
+        db.pool().flush_all()?;
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|d| d.accesses());
+        db.pool()
+            .with_disk(|d| d.set_fault_plan(FaultPlan::new().crash_at_access(c0 + n)));
+
+        match run_bulk_delete_parallel(
+            &mut db,
+            tid,
+            probe_attr,
+            d_keys,
+            &log,
+            CrashInjector::none(),
+            workers,
+        ) {
+            Ok(_) => break, // the run finished under the crash point: done
+            Err(WalError::Crashed(_)) => {
+                // Volatile memory is gone; stable storage (disk pages +
+                // log) survives. Clear the plan so recovery runs fault-free.
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                recover(&mut db, tid, &log, &[])?;
+                let eq = audit_equivalence(&reference, &db, tid)?;
+                if !eq.is_clean() {
+                    return Err(WalError::Divergence {
+                        crash_point: n,
+                        details: eq.to_string(),
+                    });
+                }
+                crash_points += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(CampaignReport {
+        crash_points,
+        fault_free_accesses,
+        deleted,
+    })
+}

@@ -18,9 +18,12 @@
 //!    §3.2 prescribes. Pending side-files are applied only after the bulk
 //!    delete completes.
 
+use std::sync::Arc;
+use std::sync::Mutex;
+
 use bd_btree::{bulk_delete_sorted, BTree, Key, ReorgPolicy};
-use bd_core::{Database, DbError, TableId};
-use bd_storage::Rid;
+use bd_core::{Database, DbError, PhaseExecutor, PhaseTask, TableId};
+use bd_storage::{BufferPool, Rid, StorageError};
 use bd_txn::sidefile::{apply_ops, SideOp};
 
 use crate::log::LogManager;
@@ -39,6 +42,12 @@ pub enum CrashSite {
     /// After the `n`-th mid-structure progress record of pass `i` was
     /// logged (exercises resume-from-progress).
     AtProgress(usize, usize),
+    /// Inside a disk access: the [`bd_storage::FaultPlan`]'s crash point
+    /// fired ([`StorageError::SimulatedCrash`]). Unlike the sites above,
+    /// this one can land anywhere — mid-chunk, mid-flush, inside a
+    /// concurrent fan-out arm — which is exactly what the
+    /// crash-at-every-I/O campaign sweeps over.
+    InIo,
 }
 
 /// One-shot crash injector.
@@ -69,8 +78,17 @@ impl CrashInjector {
 pub enum WalError {
     /// Engine error.
     Db(DbError),
-    /// The crash injector fired; the database must be recovered.
+    /// A crash fired (injector site or the disk's crash point); the
+    /// database must be recovered.
     Crashed(CrashSite),
+    /// The crash-at-every-I/O campaign found a crash point whose recovered
+    /// state diverged from the fault-free reference run.
+    Divergence {
+        /// 1-based disk access the crash was injected at.
+        crash_point: u64,
+        /// The equivalence audit's findings.
+        details: String,
+    },
 }
 
 impl std::fmt::Display for WalError {
@@ -78,6 +96,13 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Db(e) => write!(f, "{e}"),
             WalError::Crashed(site) => write!(f, "simulated crash at {site:?}"),
+            WalError::Divergence {
+                crash_point,
+                details,
+            } => write!(
+                f,
+                "recovery diverged after a crash at disk access {crash_point}: {details}"
+            ),
         }
     }
 }
@@ -86,13 +111,18 @@ impl std::error::Error for WalError {}
 
 impl From<DbError> for WalError {
     fn from(e: DbError) -> Self {
-        WalError::Db(e)
+        // A disk-level crash point is a crash, not an engine error: the
+        // caller must run recovery, exactly as for an injector site.
+        match e {
+            DbError::Storage(StorageError::SimulatedCrash) => WalError::Crashed(CrashSite::InIo),
+            e => WalError::Db(e),
+        }
     }
 }
 
-impl From<bd_storage::StorageError> for WalError {
-    fn from(e: bd_storage::StorageError) -> Self {
-        WalError::Db(DbError::Storage(e))
+impl From<StorageError> for WalError {
+    fn from(e: StorageError) -> Self {
+        WalError::from(DbError::Storage(e))
     }
 }
 
@@ -296,14 +326,210 @@ pub fn run_bulk_delete(
     }
 
     for (i, phase) in phases(db, tid, probe_attr)?.into_iter().enumerate() {
-        run_phase(db, tid, probe_attr, phase, &rows, 0, log, i, crash)?;
-        if crash.hit(CrashSite::MidStructure(i)) {
-            return Err(WalError::Crashed(CrashSite::MidStructure(i)));
+        run_serial_phase(db, tid, probe_attr, phase, &rows, log, i, crash)?;
+    }
+
+    log.append(&LogRecord::BulkCommit);
+    Ok(rows.len())
+}
+
+/// One serial structure pass end-to-end: the chunked pass, a flush that
+/// makes the final chunk durable *before* completion is logged (a
+/// disk-level crash between pass and flush must re-run the pass on
+/// recovery, never skip it), the `StructureDone` record, and a checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn run_serial_phase(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    phase: StructureId,
+    rows: &[MaterializedRow],
+    log: &LogManager,
+    i: usize,
+    crash: CrashInjector,
+) -> Result<(), WalError> {
+    run_phase(db, tid, probe_attr, phase, rows, 0, log, i, crash)?;
+    if crash.hit(CrashSite::MidStructure(i)) {
+        return Err(WalError::Crashed(CrashSite::MidStructure(i)));
+    }
+    db.pool().flush_all().map_err(DbError::Storage)?;
+    log.append(&LogRecord::StructureDone { structure: phase });
+    checkpoint(db, tid, log)?;
+    if crash.hit(CrashSite::AfterStructure(i)) {
+        return Err(WalError::Crashed(CrashSite::AfterStructure(i)));
+    }
+    Ok(())
+}
+
+/// One concurrent fan-out arm of [`run_bulk_delete_parallel`]: the chunked
+/// `⋈̄` on a single non-unique index, with per-chunk flushes and durable
+/// progress records, ending in the arm's own `StructureDone`. The flush
+/// before `StructureDone` is what makes the arm's work durable — the group
+/// checkpoint runs only after every arm has joined.
+#[allow(clippy::too_many_arguments)]
+fn run_index_phase_arm(
+    pool: &Arc<BufferPool>,
+    tree: &mut BTree,
+    pairs: &[(Key, Rid)],
+    phase: StructureId,
+    phase_idx: usize,
+    log: &LogManager,
+    crash: CrashInjector,
+    site: &Mutex<Option<CrashSite>>,
+) -> Result<(), StorageError> {
+    let trip = |here: CrashSite| -> Result<(), StorageError> {
+        if crash.hit(here) {
+            *site.lock().expect("crash site slot") = Some(here);
+            return Err(StorageError::SimulatedCrash);
         }
-        log.append(&LogRecord::StructureDone { structure: phase });
+        Ok(())
+    };
+    let total = pairs.len();
+    let mut done = 0usize;
+    let mut progress_records = 0usize;
+    loop {
+        let end = (done + PROGRESS_CHUNK).min(total);
+        bulk_delete_sorted(tree, &pairs[done..end], ReorgPolicy::FreeAtEmpty)?;
+        done = end;
+        if done >= total {
+            break;
+        }
+        // `flush_all` skips frames pinned by sibling arms; this arm holds
+        // no pins here, so its chunk is fully durable before the progress
+        // record claims it.
+        pool.flush_all()?;
+        log.append(&LogRecord::Progress {
+            structure: phase,
+            done: done as u32,
+        });
+        progress_records += 1;
+        trip(CrashSite::AtProgress(phase_idx, progress_records))?;
+    }
+    trip(CrashSite::MidStructure(phase_idx))?;
+    pool.flush_all()?;
+    log.append(&LogRecord::StructureDone { structure: phase });
+    Ok(())
+}
+
+/// [`run_bulk_delete`] with the non-unique index passes dispatched to up to
+/// `workers` threads — the recoverable analogue of the strategy layer's
+/// `vertical_parallel`. The serial prefix (materialize, probe, table,
+/// unique indices — §3.1's ordering) is identical to the serial driver;
+/// the fan-out arms log their own progress and completion records into the
+/// shared log, and one group checkpoint follows the join. The executor
+/// runs [`PhaseExecutor::without_degradation`]: this driver's fault story
+/// is roll-forward recovery from the log, so a crashed arm must fail the
+/// statement and leave recovery to [`recover`], not retry behind the
+/// log's back.
+pub fn run_bulk_delete_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    log: &LogManager,
+    crash: CrashInjector,
+    workers: usize,
+) -> Result<usize, WalError> {
+    if workers <= 1 {
+        return run_bulk_delete(db, tid, probe_attr, d_keys, log, crash);
+    }
+    let mut keys = d_keys.to_vec();
+    keys.sort_unstable();
+    keys.dedup();
+    log.append(&LogRecord::BulkBegin {
+        probe_attr: probe_attr as u16,
+        keys: keys.clone(),
+    });
+
+    let rows = materialize(db, tid, probe_attr, &keys)?;
+    log.append(&LogRecord::RowsMaterialized { rows: rows.clone() });
+    checkpoint(db, tid, log)?;
+    if crash.hit(CrashSite::AfterMaterialize) {
+        return Err(WalError::Crashed(CrashSite::AfterMaterialize));
+    }
+
+    // Serial prefix: probe, table, then unique indices — `phases` orders
+    // unique indices directly after the table, so the prefix is contiguous.
+    let all = phases(db, tid, probe_attr)?;
+    let n_serial = {
+        let table = db.table(tid)?;
+        all.iter()
+            .take_while(|p| match p {
+                StructureId::Probe | StructureId::Table => true,
+                StructureId::Index(attr) => table
+                    .index_on(*attr as usize)
+                    .map(|i| i.def.unique)
+                    .unwrap_or(false),
+            })
+            .count()
+    };
+    for (i, phase) in all[..n_serial].iter().enumerate() {
+        run_serial_phase(db, tid, probe_attr, *phase, &rows, log, i, crash)?;
+    }
+
+    // Fan-out: one arm per remaining (non-unique) index.
+    let fan: Vec<(usize, u16)> = all[n_serial..]
+        .iter()
+        .enumerate()
+        .map(|(j, p)| match p {
+            StructureId::Index(attr) => (n_serial + j, *attr),
+            _ => unreachable!("serial prefix covers probe and table"),
+        })
+        .collect();
+    if !fan.is_empty() {
+        let pair_lists: Vec<Vec<(Key, Rid)>> = fan
+            .iter()
+            .map(|&(_, attr)| {
+                let mut pairs: Vec<(Key, Rid)> = rows
+                    .iter()
+                    .map(|r| (r.attrs[attr as usize], r.rid))
+                    .collect();
+                pairs.sort_unstable();
+                pairs
+            })
+            .collect();
+        let site_slot: Mutex<Option<CrashSite>> = Mutex::new(None);
+        let pool = db.pool().clone();
+        let fan_result = {
+            let table = db.table_mut(tid)?;
+            let rank_of = |attr: u16| fan.iter().position(|&(_, a)| a == attr);
+            let mut trees: Vec<(usize, &mut BTree)> = table
+                .indices
+                .iter_mut()
+                .filter_map(|ix| rank_of(ix.def.attr as u16).map(|r| (r, &mut ix.tree)))
+                .collect();
+            trees.sort_by_key(|&(r, _)| r);
+
+            let mut exec = PhaseExecutor::new(workers).without_degradation();
+            let mut tasks: Vec<PhaseTask> = Vec::new();
+            for ((rank, tree), pairs) in trees.into_iter().zip(pair_lists.iter()) {
+                let (phase_idx, attr) = fan[rank];
+                let phase = StructureId::Index(attr);
+                let pool = pool.clone();
+                let site_slot = &site_slot;
+                tasks.push(PhaseTask::new(format!("wal bd index {attr}"), move || {
+                    run_index_phase_arm(&pool, tree, pairs, phase, phase_idx, log, crash, site_slot)
+                }));
+            }
+            exec.fan_out(tasks)
+        };
+        if let Err(e) = fan_result {
+            // An injector site inside an arm travels back as
+            // `SimulatedCrash` plus the site slot; a disk crash point has
+            // no slot and maps to `CrashSite::InIo` via `From`.
+            if e == StorageError::SimulatedCrash {
+                if let Some(site) = *site_slot.lock().expect("crash site slot") {
+                    return Err(WalError::Crashed(site));
+                }
+            }
+            return Err(e.into());
+        }
+        // One group checkpoint covers every arm's completed pass.
         checkpoint(db, tid, log)?;
-        if crash.hit(CrashSite::AfterStructure(i)) {
-            return Err(WalError::Crashed(CrashSite::AfterStructure(i)));
+        for &(phase_idx, _) in &fan {
+            if crash.hit(CrashSite::AfterStructure(phase_idx)) {
+                return Err(WalError::Crashed(CrashSite::AfterStructure(phase_idx)));
+            }
         }
     }
 
@@ -418,6 +644,7 @@ pub fn recover(
             i,
             CrashInjector::none(),
         )?;
+        db.pool().flush_all().map_err(DbError::Storage)?;
         log.append(&LogRecord::StructureDone { structure: phase });
         checkpoint(db, tid, log)?;
     }

@@ -16,10 +16,14 @@
 //!   interesting point, and [`driver::recover`], which *rolls the bulk
 //!   delete forward* and applies pending side-files afterwards.
 
+pub mod campaign;
 pub mod driver;
 pub mod log;
 pub mod record;
 
-pub use driver::{recover, run_bulk_delete, CrashInjector, CrashSite, WalError};
+pub use campaign::{crash_at_every_io, CampaignReport};
+pub use driver::{
+    recover, run_bulk_delete, run_bulk_delete_parallel, CrashInjector, CrashSite, WalError,
+};
 pub use log::LogManager;
 pub use record::{LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};

@@ -13,3 +13,8 @@ cargo test -q
 # Differential strategy-equivalence audit: horizontal vs vertical vs
 # vertical with parallel `⋈̄` arms must leave bit-equivalent structures.
 cargo run --release -p bd-bench --bin repro -- --audit --parallel 3
+
+# Fault-injection smoke: a transient fault must be ridden out (retry +
+# serial degradation, bit-identical state), and a bounded crash-at-every-
+# I/O campaign must recover every crash point for both WAL drivers.
+cargo run --release -p bd-bench --bin repro -- --faults --parallel 3

@@ -122,6 +122,36 @@ fn audit_equivalence_detects_single_entry_divergence() {
 }
 
 #[test]
+fn physical_shape_mode_separates_layout_from_logic() {
+    use bd_core::{audit_equivalence_with, AuditOptions, RebuildMode};
+
+    // Same workload under the same strategy twice: deterministic layout,
+    // clean even in shape mode.
+    let (mut db_a, w) = build(1200, 71);
+    let (mut db_b, _) = build(1200, 71);
+    let d = w.delete_set(0.25, 72);
+    strategy::vertical_sort_merge(&mut db_a, w.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w.tid, 0, &d).unwrap();
+    let eq =
+        audit_equivalence_with(&db_a, &db_b, w.tid, AuditOptions::with_physical_shape()).unwrap();
+    assert!(eq.is_clean(), "same strategy must be deterministic: {eq}");
+
+    // Vertical (in-place leaf edits) vs drop&create (packed bulk-load
+    // rebuild): logically equivalent, physically different layouts.
+    let (mut db_c, _) = build(1200, 71);
+    strategy::drop_create(&mut db_c, w.tid, 0, &d, RebuildMode::BulkLoad).unwrap();
+    let logical = audit_equivalence(&db_a, &db_c, w.tid).unwrap();
+    assert!(logical.is_clean(), "strategies agree logically: {logical}");
+    let shaped =
+        audit_equivalence_with(&db_a, &db_c, w.tid, AuditOptions::with_physical_shape()).unwrap();
+    assert!(!shaped.is_clean(), "rebuild must repack the leaves");
+    assert!(
+        structures(&shaped).iter().all(|s| s.ends_with("(shape)")),
+        "only shape findings expected: {shaped}"
+    );
+}
+
+#[test]
 fn shadow_detects_unmirrored_mutations() {
     let (mut db, w) = build(250, 61);
     let shadow = ShadowDb::mirror_of(&db, w.tid).unwrap();

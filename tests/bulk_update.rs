@@ -167,6 +167,36 @@ fn noop_update_moves_nothing() {
 }
 
 #[test]
+fn shadow_mirrors_bulk_update() {
+    let (mut db, w) = build(800);
+    let mut shadow = ShadowDb::mirror_of(&db, w.tid).unwrap();
+    assert!(shadow.diff(&db, w.tid).unwrap().is_clean());
+
+    // A non-probe update (only I_B maintenance) and a probe-key rewrite,
+    // both mirrored into the model with the same transforms.
+    let keys: Vec<u64> = w.a_values.iter().copied().step_by(5).collect();
+    let out = bulk_update(&mut db, w.tid, 0, &keys, |t| t.attrs[1] += 2_000_000).unwrap();
+    let n = shadow.bulk_update(w.tid, 0, &keys, |t| t.attrs[1] += 2_000_000);
+    assert_eq!(out.updated, n, "engine and model update the same rows");
+    let report = shadow.diff(&db, w.tid).unwrap();
+    assert!(report.is_clean(), "{report}");
+
+    let probe_keys: Vec<u64> = w.a_values.iter().copied().skip(1).step_by(7).collect();
+    bulk_update(&mut db, w.tid, 0, &probe_keys, |t| {
+        t.attrs[0] += 300_000_000
+    })
+    .unwrap();
+    shadow.bulk_update(w.tid, 0, &probe_keys, |t| t.attrs[0] += 300_000_000);
+    let report = shadow.diff(&db, w.tid).unwrap();
+    assert!(report.is_clean(), "{report}");
+
+    // An unmirrored update is caught: the model's index derivation and heap
+    // rows both disagree with the engine.
+    bulk_update(&mut db, w.tid, 0, &[w.a_values[2]], |t| t.attrs[2] = 1).unwrap();
+    assert!(!shadow.diff(&db, w.tid).unwrap().is_clean());
+}
+
+#[test]
 fn update_of_missing_keys_is_noop() {
     let (mut db, w) = build(200);
     let ghosts = w.missing_keys(20, 5);

@@ -5,7 +5,7 @@
 
 use bulk_delete::prelude::*;
 
-use bd_storage::StorageError;
+use bd_storage::{FaultPlan, FaultSpec, StorageError};
 
 fn build(n_rows: usize, seed: u64) -> (Database, Workload) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
@@ -119,6 +119,50 @@ fn unique_arms_run_serially_before_the_fan_out() {
 }
 
 #[test]
+fn transient_fault_degrades_but_completes_bit_identical() {
+    let (mut db_ref, w) = build(3_000, 41);
+    let (mut db_faulty, _) = build(3_000, 41);
+    let d = w.delete_set(0.3, 42);
+
+    let clean = strategy::vertical_sort_merge_parallel(&mut db_ref, w.tid, 0, &d, 3).unwrap();
+
+    // A transient fault at a leaf of I_B, sized to outlast the buffer
+    // pool's bounded retry (4 attempts per pin): the arm dies concurrently,
+    // its siblings are cancelled, and the executor's serial re-run absorbs
+    // the remaining failures — the statement must still complete.
+    let bad = db_faulty
+        .table(w.tid)
+        .unwrap()
+        .index_on(1)
+        .unwrap()
+        .tree
+        .first_leaf()
+        .unwrap();
+    db_faulty.pool().with_disk(|disk| {
+        disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad).transient(6)))
+    });
+
+    let faulty = strategy::vertical_sort_merge_parallel(&mut db_faulty, w.tid, 0, &d, 3)
+        .expect("transient fault must not abort the statement");
+
+    assert_eq!(clean.deleted, faulty.deleted, "same rows deleted");
+    assert!(faulty.report.io.retries > 0, "backoff retries recorded");
+    assert_eq!(faulty.report.events.len(), 1, "degradation surfaced");
+    assert!(faulty.report.events[0].recovered, "serial re-run recovered");
+    assert!(
+        faulty.report.summary().contains("DEGRADED"),
+        "summary flags the degraded run: {}",
+        faulty.report.summary()
+    );
+    db_faulty.check_consistency(w.tid).unwrap();
+    let eq = audit_equivalence(&db_ref, &db_faulty, w.tid).unwrap();
+    assert!(
+        eq.is_clean(),
+        "faulty run diverged from fault-free run: {eq}"
+    );
+}
+
+#[test]
 fn failing_arm_aborts_run_without_poisoning_the_pool() {
     let (mut db, w) = build(3_000, 31);
     let d = w.delete_set(0.3, 32);
@@ -132,7 +176,9 @@ fn failing_arm_aborts_run_without_poisoning_the_pool() {
         .tree
         .first_leaf()
         .unwrap();
-    db.pool().with_disk(|disk| disk.fail_reads_at(Some(bad)));
+    db.pool()
+        .with_disk(|disk| disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad))));
+    db.pool().set_retry_policy(bd_storage::RetryPolicy::none());
 
     let err = strategy::vertical_sort_merge_parallel(&mut db, w.tid, 0, &d, 3).unwrap_err();
     assert_eq!(
@@ -146,7 +192,7 @@ fn failing_arm_aborts_run_without_poisoning_the_pool() {
     // inspect the survivor state (heap and probe index are past their
     // passes; the failed arm's index still holds the dead entries, which
     // the audit reports as findings rather than crashing).
-    db.pool().with_disk(|disk| disk.fail_reads_at(None));
+    db.pool().with_disk(|disk| disk.clear_fault_plan());
     let report = audit_table(&db, w.tid).unwrap();
     assert!(
         !report.is_clean(),
