@@ -28,7 +28,10 @@
 //! plus the executor's serial degradation, bit-identical to the fault-free
 //! run), followed by a crash-at-every-I/O campaign smoke over the WAL
 //! driver — serial and parallel — where every crash point must recover to
-//! the reference state. Exits non-zero on any divergence.
+//! the reference state, and a torn-write campaign smoke where each swept
+//! write persists only half a page and media recovery must rebuild the
+//! damaged structure back to the reference state. Exits non-zero on any
+//! divergence.
 //!
 //! Default scale is 100,000 rows (1/10 of the paper with all ratios
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
@@ -221,7 +224,7 @@ fn faults(rows: usize, workers: usize) {
     use bd_core::prelude::*;
     use bd_core::{audit_equivalence, IndexDef};
     use bd_storage::{FaultPlan, FaultSpec};
-    use bd_wal::crash_at_every_io;
+    use bd_wal::{crash_at_every_io, torn_write_at_every_io};
     use bd_workload::TableSpec;
 
     let rows = rows.min(5_000); // the campaign rebuilds the db per crash point
@@ -292,23 +295,21 @@ fn faults(rows: usize, workers: usize) {
         let w = TableSpec::tiny(campaign_rows).build(&mut db).unwrap();
         w.a_values.iter().copied().step_by(3).collect()
     };
+    // The campaign table carries a B-tree per attribute *and* a hash index
+    // on attr 3, so the sweep also covers the hash phase (it runs last).
+    let campaign_build = || {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(96 << 10));
+        let w = TableSpec::tiny(campaign_rows).build(&mut db).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(0).unique())
+            .unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+        db.create_hash_index(w.tid, 3).unwrap();
+        (db, w.tid)
+    };
     for (label, workers) in [("serial", 1usize), ("parallel", par_workers)] {
         let started = std::time::Instant::now();
-        match crash_at_every_io(
-            || {
-                let mut db = Database::new(DatabaseConfig::with_total_memory(96 << 10));
-                let w = TableSpec::tiny(campaign_rows).build(&mut db).unwrap();
-                w.attach_index(&mut db, IndexDef::secondary(0).unique())
-                    .unwrap();
-                w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
-                w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
-                (db, w.tid)
-            },
-            0,
-            &d,
-            workers,
-            Some(25),
-        ) {
+        match crash_at_every_io(campaign_build, 0, &d, workers, Some(25)) {
             Ok(report) => println!(
                 "[faults] {label} campaign smoke: {} crash points recovered \
                  ({} fault-free accesses, {} rows deleted) in {:.1}s wall",
@@ -319,6 +320,30 @@ fn faults(rows: usize, workers: usize) {
             ),
             Err(e) => {
                 eprintln!("[faults] {label} campaign failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Part 3: torn-write campaign smoke — the write-side mirror of the
+    // crash sweep. Each position tears one write (half the page persists
+    // under a checksum recording the intended image); media recovery heals
+    // the page, rebuilds the owning structure from the heap, and must
+    // converge to the fault-free state. Bounded for smoke: the sweep stops
+    // after 10 surfaced tears.
+    for (label, workers) in [("serial", 1usize), ("parallel", par_workers)] {
+        let started = std::time::Instant::now();
+        match torn_write_at_every_io(campaign_build, 0, &d, workers, 0, Some(10)) {
+            Ok(report) => println!(
+                "[faults] {label} torn-write smoke: {} tears media-recovered, \
+                 {} silent, {} rows deleted in {:.1}s wall",
+                report.torn_points,
+                report.silent_points,
+                report.deleted,
+                started.elapsed().as_secs_f32()
+            ),
+            Err(e) => {
+                eprintln!("[faults] {label} torn-write campaign failed: {e}");
                 std::process::exit(1);
             }
         }

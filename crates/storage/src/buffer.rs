@@ -46,13 +46,16 @@ pub struct PoolStats {
     pub writebacks: u64,
 }
 
-/// Bounded retry-with-backoff for transient disk faults.
+/// Bounded retry-with-backoff for transient disk faults and torn pages.
 ///
-/// Only [`StorageError::InjectedFault`] is retried: cancellation, crash
-/// points and checksum mismatches are final. Each retry charges its
-/// backoff to the simulated clock (via [`SimDisk::charge_retry`]), so
-/// retried runs are honestly slower and the retries show up in
-/// `DiskStats::retries` and every active `IoScope`.
+/// [`StorageError::InjectedFault`] is retried as-is (a timeout that may
+/// heal). [`StorageError::ChecksumMismatch`] is retried only when the disk
+/// has per-page replicas enabled: the retry first repairs the torn primary
+/// from its replica (one charged read), then re-issues the access.
+/// Cancellation and crash points are final. Each retry charges its backoff
+/// to the simulated clock (via [`SimDisk::charge_retry`]), so retried runs
+/// are honestly slower and the retries show up in `DiskStats::retries` and
+/// every active `IoScope`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Retries after the first failure (0 = fail fast).
@@ -97,6 +100,17 @@ fn retry_disk<R>(
                 attempt += 1;
                 disk.charge_retry(backoff);
                 backoff *= 2.0;
+            }
+            Err(StorageError::ChecksumMismatch(pid))
+                if attempt < policy.max_retries && disk.replicas_enabled() =>
+            {
+                attempt += 1;
+                disk.charge_retry(backoff);
+                backoff *= 2.0;
+                // Repair the torn primary from its mirror copy before the
+                // re-issue; if the replica is damaged too, that mismatch is
+                // final.
+                disk.recover_from_replica(pid)?;
             }
             other => return other,
         }
@@ -653,6 +667,63 @@ mod tests {
         // The fault healed during the failed attempt's countdown; a fresh
         // pin now succeeds.
         let _ = pool.pin_read(first).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_ridden_out_via_the_replica() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let (pool, first) = small_pool(4, 4);
+        pool.with_disk(|d| d.enable_replicas());
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            // Touch the tail half so the tear is observable: a tear that
+            // only loses unchanged bytes is indistinguishable from a clean
+            // write.
+            w[0] = 42;
+            w[PAGE_SIZE - 1] = 7;
+        }
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_page(first).torn()))
+        });
+        pool.flush_all().unwrap(); // acknowledged, primary copy torn
+        pool.clear_cache().unwrap();
+        pool.reset_stats();
+        let r = pool.pin_read(first).unwrap();
+        assert_eq!(r[0], 42, "the replica repaired the torn page");
+        assert_eq!(r[PAGE_SIZE - 1], 7, "tail half restored from replica");
+        drop(r);
+        let s = pool.disk_stats();
+        assert_eq!(s.retries, 1, "one checksum-mismatch retry");
+        assert_eq!(
+            s.pages_read, 3,
+            "failed read + replica read + re-issued read"
+        );
+        assert!(
+            pool.with_disk(|d| d.corrupt_pages()).is_empty(),
+            "the repair also fixed the on-disk primary"
+        );
+    }
+
+    #[test]
+    fn torn_write_without_replicas_stays_final() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let (pool, first) = small_pool(4, 4);
+        {
+            let mut w = pool.pin_write(first).unwrap();
+            w[0] = 42;
+            w[PAGE_SIZE - 1] = 7; // tail-half change: lost in the tear
+        }
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_page(first).torn()))
+        });
+        pool.flush_all().unwrap();
+        pool.clear_cache().unwrap();
+        pool.reset_stats();
+        assert_eq!(
+            pool.pin_read(first).err(),
+            Some(StorageError::ChecksumMismatch(first))
+        );
+        assert_eq!(pool.disk_stats().retries, 0, "no replica: fail fast");
     }
 
     #[test]

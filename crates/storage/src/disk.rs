@@ -140,6 +140,11 @@ pub struct SimDisk {
     /// end-to-end integrity metadata; torn writes leave it pointing at the
     /// *intended* image so the corruption surfaces on the next read).
     checksums: Vec<u32>,
+    /// Optional second physical copy of every page (a software mirror).
+    /// Each write lands intact on the replica even when the primary copy
+    /// tears — the model assumes independent media failures, so a single
+    /// torn write never hits both copies.
+    replicas: Option<Vec<Box<[u8; PAGE_SIZE]>>>,
     /// Page the head would read next without repositioning.
     head: Option<PageId>,
     cost: CostModel,
@@ -157,6 +162,7 @@ impl SimDisk {
         SimDisk {
             pages: Vec::new(),
             checksums: Vec::new(),
+            replicas: None,
             head: None,
             cost,
             stats: DiskStats::default(),
@@ -206,6 +212,9 @@ impl SimDisk {
         let pid = self.pages.len() as PageId;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
         self.checksums.push(ZERO_PAGE_CK);
+        if let Some(reps) = &mut self.replicas {
+            reps.push(Box::new([0u8; PAGE_SIZE]));
+        }
         pid
     }
 
@@ -215,8 +224,53 @@ impl SimDisk {
         for _ in 0..n {
             self.pages.push(Box::new([0u8; PAGE_SIZE]));
             self.checksums.push(ZERO_PAGE_CK);
+            if let Some(reps) = &mut self.replicas {
+                reps.push(Box::new([0u8; PAGE_SIZE]));
+            }
         }
         first
+    }
+
+    /// Turn on per-page replicas: every page gains a second physical copy,
+    /// seeded from the current primary image. From now on each acknowledged
+    /// write also lands (intact) on the replica, so a torn primary can be
+    /// repaired by [`SimDisk::recover_from_replica`]. The mirror write rides
+    /// on the same acknowledged access and is not charged separately — the
+    /// model's interest is fault tolerance, not mirrored-write cost.
+    pub fn enable_replicas(&mut self) {
+        if self.replicas.is_none() {
+            self.replicas = Some(self.pages.clone());
+        }
+    }
+
+    /// True when per-page replicas are enabled.
+    pub fn replicas_enabled(&self) -> bool {
+        self.replicas.is_some()
+    }
+
+    /// Repair a torn primary page from its replica: one charged random read
+    /// of the mirror copy, verified against the acknowledged checksum, then
+    /// copied over the primary image. Fails with
+    /// [`StorageError::ChecksumMismatch`] when no replica exists or the
+    /// replica is damaged too.
+    pub fn recover_from_replica(&mut self, pid: PageId) -> StorageResult<()> {
+        crate::io_scope::check_cancelled()?;
+        self.check(pid)?;
+        self.faulted(FaultOp::Read, pid, 1)?;
+        // The replica lives at a different physical location: always pay
+        // the positioning cost.
+        self.head = None;
+        self.charge(pid, 1, true);
+        let Some(reps) = &self.replicas else {
+            return Err(StorageError::ChecksumMismatch(pid));
+        };
+        let replica = &reps[pid as usize];
+        if page_checksum(&replica[..]) != self.checksums[pid as usize] {
+            return Err(StorageError::ChecksumMismatch(pid));
+        }
+        let img = *reps[pid as usize];
+        self.pages[pid as usize].copy_from_slice(&img);
+        Ok(())
     }
 
     fn charge(&mut self, first: PageId, n: u64, is_read: bool) {
@@ -310,6 +364,11 @@ impl SimDisk {
             PAGE_SIZE
         };
         self.pages[pid as usize][..persisted].copy_from_slice(&src[..persisted]);
+        if let Some(reps) = &mut self.replicas {
+            // Independent media: the tear hits at most one copy, so the
+            // replica always receives the intended image.
+            reps[pid as usize].copy_from_slice(src);
+        }
         Ok(())
     }
 
@@ -334,6 +393,11 @@ impl SimDisk {
                 (torn == Some(pid)).then(|| self.pages[pid as usize][PAGE_SIZE / 2..].to_vec());
             produce(pid, &mut self.pages[pid as usize]);
             self.checksums[pid as usize] = page_checksum(&self.pages[pid as usize][..]);
+            if let Some(reps) = &mut self.replicas {
+                // Mirror the intended image before the tear is applied to
+                // the primary copy below.
+                reps[pid as usize].copy_from_slice(&self.pages[pid as usize][..]);
+            }
             if let Some(tail) = old_tail {
                 // Tear the acknowledged image: the checksum covers the
                 // intended content, but the tail never hits the platter.
@@ -341,6 +405,35 @@ impl SimDisk {
             }
         }
         Ok(())
+    }
+
+    /// Scrub pass: every page whose current image disagrees with its
+    /// acknowledged checksum (a latent torn write). An out-of-band
+    /// maintenance scan, not charged to the cost model.
+    pub fn corrupt_pages(&self) -> Vec<PageId> {
+        (0..self.pages.len() as PageId)
+            .filter(|&pid| self.verify_checksum(pid).is_err())
+            .collect()
+    }
+
+    /// Accept the current (possibly torn) image of `pid` as the page's
+    /// content by rewriting its stored checksum — media recovery's first
+    /// step, making the page readable again so the structure that owns it
+    /// can be classified and rebuilt. Not charged (checksum metadata only).
+    pub fn accept_torn_page(&mut self, pid: PageId) -> StorageResult<()> {
+        self.check(pid)?;
+        self.checksums[pid as usize] = page_checksum(&self.pages[pid as usize][..]);
+        if let Some(reps) = &mut self.replicas {
+            let img = *self.pages[pid as usize];
+            reps[pid as usize].copy_from_slice(&img);
+        }
+        Ok(())
+    }
+
+    /// How many accesses the installed fault plan's programmed slots have
+    /// hit so far (crash points excluded). See [`FaultPlan::fired`].
+    pub fn fault_plan_fired(&self) -> u64 {
+        self.plan.fired()
     }
 
     /// Charge the simulated backoff of one buffer-pool retry: pure elapsed
@@ -562,6 +655,75 @@ mod tests {
         assert_eq!(s.retries, 2);
         assert!((s.sim_ms - 3.0).abs() < 1e-9);
         assert_eq!(s.total_ios(), 0, "backoff moves no pages");
+    }
+
+    #[test]
+    fn replica_repairs_a_torn_primary() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        d.enable_replicas();
+        d.write(pid, &page_of(3)).unwrap();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        d.write(pid, &page_of(9)).unwrap(); // torn on the primary only
+        let mut buf = [0u8; PAGE_SIZE];
+        assert_eq!(
+            d.read(pid, &mut buf),
+            Err(StorageError::ChecksumMismatch(pid))
+        );
+        let before = d.stats();
+        d.recover_from_replica(pid).unwrap();
+        let delta = d.stats().since(&before);
+        assert_eq!(delta.pages_read, 1, "the replica read is charged");
+        assert_eq!(delta.random_reads, 1, "replica lives elsewhere: random");
+        d.read(pid, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 9), "intended image restored");
+    }
+
+    #[test]
+    fn recover_from_replica_without_replicas_is_mismatch() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        d.write(pid, &page_of(1)).unwrap();
+        assert_eq!(
+            d.recover_from_replica(pid),
+            Err(StorageError::ChecksumMismatch(pid))
+        );
+    }
+
+    #[test]
+    fn replicas_cover_pages_allocated_after_enabling() {
+        let mut d = SimDisk::new(CostModel::default());
+        let p0 = d.allocate();
+        d.write(p0, &page_of(2)).unwrap();
+        d.enable_replicas();
+        let p1 = d.allocate_contiguous(2);
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(p1 + 1).torn()));
+        d.write_chain(p1, 2, |_, page| page.fill(8)).unwrap();
+        assert_eq!(d.corrupt_pages(), vec![p1 + 1]);
+        d.recover_from_replica(p1 + 1).unwrap();
+        assert!(d.corrupt_pages().is_empty());
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(p1 + 1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 8));
+    }
+
+    #[test]
+    fn accept_torn_page_makes_the_torn_image_readable() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate();
+        d.write(pid, &page_of(3)).unwrap();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        d.write(pid, &page_of(9)).unwrap();
+        assert_eq!(d.corrupt_pages(), vec![pid]);
+        assert_eq!(d.fault_plan_fired(), 1, "the torn slot fired");
+        d.accept_torn_page(pid).unwrap();
+        assert!(d.corrupt_pages().is_empty());
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(pid, &mut buf).unwrap();
+        // First half is the new image, the tail kept the old content.
+        assert!(buf[..PAGE_SIZE / 2].iter().all(|&b| b == 9));
+        assert!(buf[PAGE_SIZE / 2..].iter().all(|&b| b == 3));
     }
 
     #[test]

@@ -146,6 +146,11 @@ pub(crate) enum FaultOutcome {
 pub struct FaultPlan {
     slots: Vec<FaultSlot>,
     crash_at: Option<u64>,
+    /// Slot firings so far (crash points excluded): how many accesses a
+    /// programmed fault actually hit. The torn-write campaign uses this to
+    /// tell a swept *write* access (the torn slot fired) from a read access
+    /// the slot slid past.
+    fired: u64,
 }
 
 impl FaultPlan {
@@ -179,6 +184,12 @@ impl FaultPlan {
         self.slots.is_empty() && self.crash_at.is_none()
     }
 
+    /// How many accesses a programmed fault slot has hit so far (torn
+    /// writes, transient and persistent failures; crash points excluded).
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
     /// Decide the fate of one access covering pages `[first, first + n)`.
     /// `access` is the 1-based global access number.
     pub(crate) fn evaluate(
@@ -206,6 +217,7 @@ impl FaultPlan {
                 continue;
             }
             slot.remaining = slot.remaining.saturating_sub(1);
+            self.fired += 1;
             let pid = match slot.spec.trigger {
                 FaultTrigger::Page(p) => p,
                 FaultTrigger::NthAccess(_) => first,

@@ -12,10 +12,10 @@
 //! alike (`workers` selects).
 
 use bd_btree::Key;
-use bd_core::{audit_equivalence, Database, TableId};
-use bd_storage::FaultPlan;
+use bd_core::{audit_equivalence, Database, DbError, TableId};
+use bd_storage::{FaultPlan, FaultSpec, StorageError};
 
-use crate::driver::{recover, run_bulk_delete_parallel, CrashInjector, WalError};
+use crate::driver::{recover, recover_media, run_bulk_delete_parallel, CrashInjector, WalError};
 use crate::log::LogManager;
 
 /// What a completed campaign covered.
@@ -41,10 +41,29 @@ pub struct CampaignReport {
 /// Returns [`WalError::Divergence`] for the first crash point whose
 /// recovered state does not match the fault-free reference.
 pub fn crash_at_every_io<F>(
+    build: F,
+    probe_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+    limit: Option<usize>,
+) -> Result<CampaignReport, WalError>
+where
+    F: FnMut() -> (Database, TableId),
+{
+    crash_at_every_io_from(build, probe_attr, d_keys, workers, 0, limit)
+}
+
+/// [`crash_at_every_io`] starting the sweep at access `start + 1` instead
+/// of access 1. A late `start` targets the tail of the access stream —
+/// the hash phases run last, so this is how a test covers crash points
+/// inside them (and resume-from-progress deep into a pass) without paying
+/// for the thousands of earlier crash points of a large table.
+pub fn crash_at_every_io_from<F>(
     mut build: F,
     probe_attr: usize,
     d_keys: &[Key],
     workers: usize,
+    start: u64,
     limit: Option<usize>,
 ) -> Result<CampaignReport, WalError>
 where
@@ -68,7 +87,7 @@ where
     let fault_free_accesses = reference.pool().with_disk(|d| d.accesses()) - ref_c0;
 
     let mut crash_points = 0usize;
-    let mut n: u64 = 0;
+    let mut n: u64 = start;
     loop {
         n += 1;
         if let Some(lim) = limit {
@@ -119,6 +138,154 @@ where
     Ok(CampaignReport {
         crash_points,
         fault_free_accesses,
+        deleted,
+    })
+}
+
+/// What a completed torn-write sweep covered.
+#[derive(Debug, Clone)]
+pub struct TornWriteReport {
+    /// Tears that corrupted a page detectably (its post-run disk checksum
+    /// mismatched, or the run itself died on the mismatch read); every one
+    /// was media-recovered to the reference state.
+    pub torn_points: usize,
+    /// Tears that left no detectable damage. Bulk-delete writes often
+    /// change only a page's front half (a heap delete clears slot
+    /// directory entries), and a tear preserves exactly the front half —
+    /// the persisted image equals the intended one. A later full rewrite
+    /// of the page also heals a tear before anything reads it.
+    pub silent_points: usize,
+    /// Write accesses the sweep managed to tear (torn + silent). Sweep
+    /// positions that landed on reads are not counted — a torn-write
+    /// fault only arms on writes.
+    pub accesses_swept: u64,
+    /// Victim rows each run deleted.
+    pub deleted: usize,
+}
+
+/// Sweep a torn write over every *write* access of a recoverable bulk
+/// delete (the write-side mirror of [`crash_at_every_io`]).
+///
+/// For each position `n` past `start` the run executes with a
+/// [`FaultSpec::write_at_access`]`.torn()` fault at access `n`: that write
+/// is acknowledged but persists only half the page, with the checksum
+/// recording the *intended* image. If the run later reads the torn page it
+/// dies on [`StorageError::ChecksumMismatch`]; if not, a post-run scrub
+/// ([`corrupt_pages`]) finds the latent damage. Either way the campaign
+/// discards volatile memory, runs [`recover_media`] over the damaged
+/// pages — which heals them and **rebuilds** the owning structures from
+/// the surviving heap and the WAL's materialized rows — and asserts
+/// equivalence with the fault-free reference.
+///
+/// Sweep positions that land on read accesses tear nothing (the fault
+/// arms only on writes) and are skipped. The sweep ends at the first
+/// position the run never reaches; `limit` optionally caps the number of
+/// *torn* positions for smoke runs, and `start` skips the read-heavy
+/// early region (materialization) when time is short.
+///
+/// [`corrupt_pages`]: bd_storage::SimDisk::corrupt_pages
+pub fn torn_write_at_every_io<F>(
+    mut build: F,
+    probe_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+    start: u64,
+    limit: Option<usize>,
+) -> Result<TornWriteReport, WalError>
+where
+    F: FnMut() -> (Database, TableId),
+{
+    // Reference: the same workload, no faults.
+    let (mut reference, tid) = build();
+    let deleted = {
+        let log = LogManager::new();
+        run_bulk_delete_parallel(
+            &mut reference,
+            tid,
+            probe_attr,
+            d_keys,
+            &log,
+            CrashInjector::none(),
+            workers,
+        )?
+    };
+
+    let mut torn_points = 0usize;
+    let mut silent_points = 0usize;
+    let mut n: u64 = start;
+    loop {
+        n += 1;
+        if let Some(lim) = limit {
+            if torn_points >= lim {
+                break;
+            }
+        }
+        let (mut db, tid_n) = build();
+        assert_eq!(tid, tid_n, "build() must be deterministic");
+        // The pre-statement state must be on stable storage before the
+        // sweep (same contract as the crash campaign).
+        db.pool().flush_all()?;
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|d| d.accesses());
+        db.pool().with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c0 + n).torn()))
+        });
+
+        let run = run_bulk_delete_parallel(
+            &mut db,
+            tid,
+            probe_attr,
+            d_keys,
+            &log,
+            CrashInjector::none(),
+            workers,
+        );
+        let used = db.pool().with_disk(|d| d.accesses()) - c0;
+        let fired = db.pool().with_disk(|d| d.fault_plan_fired());
+        match run {
+            Ok(_) if fired == 0 => {
+                if n >= used {
+                    break; // the run finished under the sweep point: done
+                }
+                continue; // position n was a read: nothing torn
+            }
+            Ok(_) => {
+                // The tear landed but the run finished: the damage (if
+                // any survived later rewrites) is latent. Surface it the
+                // way a restart would — drop the cache, scrub the disk.
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+                if corrupt.is_empty() {
+                    silent_points += 1;
+                    continue;
+                }
+                recover_media(&mut db, tid, &log, &[], &corrupt)?;
+                torn_points += 1;
+            }
+            Err(WalError::Db(DbError::Storage(StorageError::ChecksumMismatch(_)))) => {
+                // The run read the torn page back and died on it.
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+                recover_media(&mut db, tid, &log, &[], &corrupt)?;
+                torn_points += 1;
+            }
+            Err(e) => return Err(e),
+        }
+        let eq = audit_equivalence(&reference, &db, tid)?;
+        if !eq.is_clean() {
+            return Err(WalError::Divergence {
+                crash_point: n,
+                details: eq.to_string(),
+            });
+        }
+    }
+
+    Ok(TornWriteReport {
+        torn_points,
+        silent_points,
+        accesses_swept: (torn_points + silent_points) as u64,
         deleted,
     })
 }

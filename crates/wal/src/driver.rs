@@ -22,8 +22,9 @@ use std::sync::Arc;
 use std::sync::Mutex;
 
 use bd_btree::{bulk_delete_sorted, BTree, Key, ReorgPolicy};
-use bd_core::{Database, DbError, PhaseExecutor, PhaseTask, TableId};
-use bd_storage::{BufferPool, Rid, StorageError};
+use bd_core::{Database, DbError, PhaseExecutor, PhaseTask, Table, TableId};
+use bd_hashidx::HashIndex;
+use bd_storage::{BufferPool, PageId, Rid, StorageError};
 use bd_txn::sidefile::{apply_ops, SideOp};
 
 use crate::log::LogManager;
@@ -89,6 +90,9 @@ pub enum WalError {
         /// The equivalence audit's findings.
         details: String,
     },
+    /// A log record failed to decode (unknown tag or truncated bytes):
+    /// the log is corrupt and recovery cannot trust it.
+    CorruptLog(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -103,6 +107,7 @@ impl std::fmt::Display for WalError {
                 f,
                 "recovery diverged after a crash at disk access {crash_point}: {details}"
             ),
+            WalError::CorruptLog(detail) => write!(f, "corrupt log record: {detail}"),
         }
     }
 }
@@ -126,8 +131,11 @@ impl From<StorageError> for WalError {
     }
 }
 
-/// The structure order: probe index, table, then remaining indices with
-/// unique ones first (§3.1.3). Deterministic so recovery re-derives it.
+/// The structure order: probe index, table, remaining B-tree indices with
+/// unique ones first (§3.1.3), then hash indices by attribute. Hash phases
+/// come last so the parallel driver's fan-out (non-unique B-tree arms plus
+/// hash arms) stays a contiguous suffix. Deterministic so recovery
+/// re-derives it.
 fn phases(db: &Database, tid: TableId, probe_attr: usize) -> Result<Vec<StructureId>, WalError> {
     let table = db.table(tid)?;
     if table.index_on(probe_attr).is_none() {
@@ -141,6 +149,13 @@ fn phases(db: &Database, tid: TableId, probe_attr: usize) -> Result<Vec<Structur
     rest.sort_by_key(|i| (!i.def.unique, i.def.attr));
     let mut out = vec![StructureId::Probe, StructureId::Table];
     out.extend(rest.iter().map(|i| StructureId::Index(i.def.attr as u16)));
+    let mut hashes: Vec<u16> = table
+        .hash_indices
+        .iter()
+        .map(|h| h.def.attr as u16)
+        .collect();
+    hashes.sort_unstable();
+    out.extend(hashes.into_iter().map(StructureId::Hash));
     Ok(out)
 }
 
@@ -251,19 +266,6 @@ fn run_phase(
                         .heap
                         .bulk_delete_sorted_lenient(&rids)
                         .map_err(DbError::Storage)?;
-                    // Hash indices ride along with the table phase, updated
-                    // the traditional way; deleting an already-absent entry
-                    // is a no-op, so re-running a chunk is safe.
-                    for hi in 0..table.hash_indices.len() {
-                        let attr = table.hash_indices[hi].def.attr;
-                        for row in &rows[done..end] {
-                            let key = row.attrs[attr];
-                            table.hash_indices[hi]
-                                .index
-                                .delete(key, row.rid)
-                                .map_err(DbError::Storage)?;
-                        }
-                    }
                 }
                 StructureId::Index(attr) => {
                     let pairs = sorted_pairs(attr as usize);
@@ -273,6 +275,23 @@ fn run_phase(
                         .tree;
                     bulk_delete_sorted(tree, &pairs[done..end], ReorgPolicy::FreeAtEmpty)
                         .map_err(DbError::Storage)?;
+                }
+                StructureId::Hash(attr) => {
+                    // Hash indices are updated the traditional way, one
+                    // chain walk per victim, in materialized-row order (the
+                    // same chunking the parallel arm and recovery use).
+                    // Deleting an already-absent entry is a no-op, so
+                    // re-running a chunk is safe.
+                    let hi = table
+                        .hash_indices
+                        .iter_mut()
+                        .find(|h| h.def.attr == attr as usize)
+                        .expect("hash index present");
+                    for row in &rows[done..end] {
+                        hi.index
+                            .delete(row.attrs[attr as usize], row.rid)
+                            .map_err(DbError::Storage)?;
+                    }
                 }
             }
         }
@@ -362,20 +381,22 @@ fn run_serial_phase(
 }
 
 /// One concurrent fan-out arm of [`run_bulk_delete_parallel`]: the chunked
-/// `⋈̄` on a single non-unique index, with per-chunk flushes and durable
-/// progress records, ending in the arm's own `StructureDone`. The flush
-/// before `StructureDone` is what makes the arm's work durable — the group
-/// checkpoint runs only after every arm has joined.
+/// pass over a single structure (a non-unique B-tree index or a hash
+/// index), with per-chunk flushes and durable progress records, ending in
+/// the arm's own `StructureDone`. `chunk(lo, hi)` deletes victims
+/// `lo..hi` of the arm's victim list. The flush before `StructureDone` is
+/// what makes the arm's work durable — the group checkpoint runs only
+/// after every arm has joined.
 #[allow(clippy::too_many_arguments)]
-fn run_index_phase_arm(
+fn run_fanout_arm(
     pool: &Arc<BufferPool>,
-    tree: &mut BTree,
-    pairs: &[(Key, Rid)],
+    total: usize,
     phase: StructureId,
     phase_idx: usize,
     log: &LogManager,
     crash: CrashInjector,
     site: &Mutex<Option<CrashSite>>,
+    mut chunk: impl FnMut(usize, usize) -> Result<(), StorageError>,
 ) -> Result<(), StorageError> {
     let trip = |here: CrashSite| -> Result<(), StorageError> {
         if crash.hit(here) {
@@ -384,19 +405,19 @@ fn run_index_phase_arm(
         }
         Ok(())
     };
-    let total = pairs.len();
     let mut done = 0usize;
     let mut progress_records = 0usize;
     loop {
         let end = (done + PROGRESS_CHUNK).min(total);
-        bulk_delete_sorted(tree, &pairs[done..end], ReorgPolicy::FreeAtEmpty)?;
+        chunk(done, end)?;
         done = end;
         if done >= total {
             break;
         }
         // `flush_all` skips frames pinned by sibling arms; this arm holds
         // no pins here, so its chunk is fully durable before the progress
-        // record claims it.
+        // record claims it — unless a sibling pinned one of its pages, which
+        // is why recovery backs off a chunk when it resumes from progress.
         pool.flush_all()?;
         log.append(&LogRecord::Progress {
             structure: phase,
@@ -409,6 +430,12 @@ fn run_index_phase_arm(
     pool.flush_all()?;
     log.append(&LogRecord::StructureDone { structure: phase });
     Ok(())
+}
+
+/// A fan-out arm's mutable handle: a B-tree or a hash index.
+enum Arm<'a> {
+    Tree(&'a mut BTree),
+    Hash(&'a mut HashIndex),
 }
 
 /// [`run_bulk_delete`] with the non-unique index passes dispatched to up to
@@ -460,6 +487,7 @@ pub fn run_bulk_delete_parallel(
                     .index_on(*attr as usize)
                     .map(|i| i.def.unique)
                     .unwrap_or(false),
+                StructureId::Hash(_) => false,
             })
             .count()
     };
@@ -467,56 +495,108 @@ pub fn run_bulk_delete_parallel(
         run_serial_phase(db, tid, probe_attr, *phase, &rows, log, i, crash)?;
     }
 
-    // Fan-out: one arm per remaining (non-unique) index.
-    let fan: Vec<(usize, u16)> = all[n_serial..]
+    // Fan-out: one arm per remaining structure — the non-unique B-tree
+    // indices and every hash index.
+    let fan: Vec<(usize, StructureId)> = all[n_serial..]
         .iter()
         .enumerate()
         .map(|(j, p)| match p {
-            StructureId::Index(attr) => (n_serial + j, *attr),
+            StructureId::Index(_) | StructureId::Hash(_) => (n_serial + j, *p),
             _ => unreachable!("serial prefix covers probe and table"),
         })
         .collect();
     if !fan.is_empty() {
         let pair_lists: Vec<Vec<(Key, Rid)>> = fan
             .iter()
-            .map(|&(_, attr)| {
-                let mut pairs: Vec<(Key, Rid)> = rows
+            .map(|&(_, phase)| match phase {
+                // B-tree arms delete in key order; hash arms keep the
+                // materialized-row order so their chunk boundaries match
+                // the serial driver's and recovery's.
+                StructureId::Index(attr) => {
+                    let mut pairs: Vec<(Key, Rid)> = rows
+                        .iter()
+                        .map(|r| (r.attrs[attr as usize], r.rid))
+                        .collect();
+                    pairs.sort_unstable();
+                    pairs
+                }
+                StructureId::Hash(attr) => rows
                     .iter()
                     .map(|r| (r.attrs[attr as usize], r.rid))
-                    .collect();
-                pairs.sort_unstable();
-                pairs
+                    .collect(),
+                _ => unreachable!("fan holds only index and hash phases"),
             })
             .collect();
         let site_slot: Mutex<Option<CrashSite>> = Mutex::new(None);
         let pool = db.pool().clone();
         let fan_result = {
-            let table = db.table_mut(tid)?;
-            let rank_of = |attr: u16| fan.iter().position(|&(_, a)| a == attr);
-            let mut trees: Vec<(usize, &mut BTree)> = table
-                .indices
+            let Table {
+                indices,
+                hash_indices,
+                ..
+            } = db.table_mut(tid)?;
+            let rank_of = |p: StructureId| fan.iter().position(|&(_, q)| q == p);
+            let mut arms: Vec<(usize, Arm<'_>)> = indices
                 .iter_mut()
-                .filter_map(|ix| rank_of(ix.def.attr as u16).map(|r| (r, &mut ix.tree)))
+                .filter_map(|ix| {
+                    rank_of(StructureId::Index(ix.def.attr as u16))
+                        .map(|r| (r, Arm::Tree(&mut ix.tree)))
+                })
+                .chain(hash_indices.iter_mut().filter_map(|h| {
+                    rank_of(StructureId::Hash(h.def.attr as u16))
+                        .map(|r| (r, Arm::Hash(&mut h.index)))
+                }))
                 .collect();
-            trees.sort_by_key(|&(r, _)| r);
+            arms.sort_by_key(|&(r, _)| r);
 
             let mut exec = PhaseExecutor::new(workers).without_degradation();
             let mut tasks: Vec<PhaseTask> = Vec::new();
-            for ((rank, tree), pairs) in trees.into_iter().zip(pair_lists.iter()) {
-                let (phase_idx, attr) = fan[rank];
-                let phase = StructureId::Index(attr);
+            for ((rank, mut arm), pairs) in arms.into_iter().zip(pair_lists.iter()) {
+                let (phase_idx, phase) = fan[rank];
                 let pool = pool.clone();
                 let site_slot = &site_slot;
-                tasks.push(PhaseTask::new(format!("wal bd index {attr}"), move || {
-                    run_index_phase_arm(&pool, tree, pairs, phase, phase_idx, log, crash, site_slot)
+                let label = match phase {
+                    StructureId::Hash(attr) => format!("wal bd hash {attr}"),
+                    StructureId::Index(attr) => format!("wal bd index {attr}"),
+                    _ => unreachable!("fan holds only index and hash phases"),
+                };
+                tasks.push(PhaseTask::new(label, move || {
+                    let run = |chunk: &mut dyn FnMut(usize, usize) -> Result<(), StorageError>| {
+                        run_fanout_arm(
+                            &pool,
+                            pairs.len(),
+                            phase,
+                            phase_idx,
+                            log,
+                            crash,
+                            site_slot,
+                            chunk,
+                        )
+                    };
+                    match &mut arm {
+                        Arm::Tree(tree) => run(&mut |lo, hi| {
+                            bulk_delete_sorted(tree, &pairs[lo..hi], ReorgPolicy::FreeAtEmpty)
+                                .map(|_| ())
+                        }),
+                        Arm::Hash(h) => run(&mut |lo, hi| {
+                            for &(k, rid) in &pairs[lo..hi] {
+                                h.delete(k, rid)?;
+                            }
+                            Ok(())
+                        }),
+                    }
                 }));
             }
             exec.fan_out(tasks)
         };
         if let Err(e) = fan_result {
             // An injector site inside an arm travels back as
-            // `SimulatedCrash` plus the site slot; a disk crash point has
-            // no slot and maps to `CrashSite::InIo` via `From`.
+            // `SimulatedCrash` plus the site slot. A disk-level crash point
+            // (`FaultPlan::crash_at_access`) firing inside an arm's I/O also
+            // surfaces as `SimulatedCrash` but never touches the slot — by
+            // contract the empty slot maps to `CrashSite::InIo` via `From`
+            // (pinned by `arm_crash_with_empty_site_slot_maps_to_in_io` in
+            // tests/campaign.rs).
             if e == StorageError::SimulatedCrash {
                 if let Some(site) = *site_slot.lock().expect("crash site slot") {
                     return Err(WalError::Crashed(site));
@@ -548,7 +628,110 @@ pub fn recover(
     log: &LogManager,
     pending_side_ops: &[(usize, Vec<SideOp>)],
 ) -> Result<usize, WalError> {
-    let records = log.records();
+    recover_media(db, tid, log, pending_side_ops, &[])
+}
+
+/// Which structures of the table lost pages to media damage.
+#[derive(Debug, Default)]
+struct MediaDamage {
+    /// A heap page tore.
+    heap: bool,
+    /// A page outside the heap and every hash chain tore: attributed to
+    /// the B-trees (their audits expose only leaf pages, so rather than
+    /// walk a possibly-incoherent tree to find the owner, every tree is
+    /// rebuilt).
+    btrees: bool,
+    /// Hash indices (by attribute) whose chains lost a page.
+    hash_attrs: Vec<usize>,
+}
+
+impl MediaDamage {
+    fn is_empty(&self) -> bool {
+        !self.heap && !self.btrees && self.hash_attrs.is_empty()
+    }
+
+    /// True when `s`'s on-disk pages were damaged: its logged progress
+    /// cannot be trusted and its pass must re-run from scratch.
+    fn covers(&self, s: StructureId) -> bool {
+        match s {
+            StructureId::Table => self.heap,
+            StructureId::Probe | StructureId::Index(_) => self.btrees,
+            StructureId::Hash(a) => self.hash_attrs.contains(&(a as usize)),
+        }
+    }
+}
+
+/// Heal and classify torn pages. Each corrupt page's current (half-written)
+/// image is accepted so the page is readable again, then attributed to the
+/// structure that owns it: the heap by its page list, a hash index by its
+/// chain walk, anything else to the B-trees.
+fn assess_media_damage(
+    db: &mut Database,
+    tid: TableId,
+    corrupt: &[PageId],
+) -> Result<MediaDamage, WalError> {
+    let mut damage = MediaDamage::default();
+    if corrupt.is_empty() {
+        return Ok(damage);
+    }
+    db.pool()
+        .with_disk(|d| {
+            for &pid in corrupt {
+                d.accept_torn_page(pid)?;
+            }
+            Ok(())
+        })
+        .map_err(DbError::Storage)?;
+    let table = db.table(tid)?;
+    for &pid in corrupt {
+        if table.heap.page_ids().contains(&pid) {
+            damage.heap = true;
+            continue;
+        }
+        let mut owned = false;
+        for h in &table.hash_indices {
+            if h.index.pages().map_err(DbError::Storage)?.contains(&pid) {
+                damage.hash_attrs.push(h.def.attr);
+                owned = true;
+                break;
+            }
+        }
+        if !owned {
+            damage.btrees = true;
+        }
+    }
+    damage.hash_attrs.sort_unstable();
+    damage.hash_attrs.dedup();
+    Ok(damage)
+}
+
+/// [`recover`] extended with media recovery for torn pages. `corrupt` names
+/// pages whose reads failed with [`StorageError::ChecksumMismatch`] (or
+/// that a scrub found damaged). Beyond the crash protocol, this pass:
+///
+/// 1. heals each torn page (accepts the half-written image so it reads),
+/// 2. classifies the page's owner and **rebuilds** damaged structures from
+///    the surviving heap — the torn image is never trusted; B-trees are
+///    bulk-loaded and hash indices re-inserted from the heap rows,
+/// 3. discards the damaged structures' logged progress so their passes
+///    re-run from the WAL's materialized rows, even when the log already
+///    shows `BulkCommit` (commit promises logical durability; a torn page
+///    is media damage discovered later).
+///
+/// A torn *heap* page needs no rebuild: deletes only clear slot directory
+/// entries in the page's first half, so the healed image is a valid slotted
+/// page and the re-run table pass re-clears whatever the tear resurrected.
+/// Expects to run after `db.pool().crash()` — cache loss is what surfaces
+/// tears in the first place.
+pub fn recover_media(
+    db: &mut Database,
+    tid: TableId,
+    log: &LogManager,
+    pending_side_ops: &[(usize, Vec<SideOp>)],
+    corrupt: &[PageId],
+) -> Result<usize, WalError> {
+    let damage = assess_media_damage(db, tid, corrupt)?;
+    let records = log.records()?;
     // Analysis: locate the last BulkBegin and what followed it.
     let begin_idx = records
         .iter()
@@ -562,7 +745,7 @@ pub fn recover(
         _ => unreachable!(),
     };
     let tail = &records[begin_idx + 1..];
-    if tail.iter().any(|r| matches!(r, LogRecord::BulkCommit)) {
+    if tail.iter().any(|r| matches!(r, LogRecord::BulkCommit)) && damage.is_empty() {
         apply_side(db, tid, pending_side_ops)?;
         return Ok(0);
     }
@@ -584,13 +767,21 @@ pub fn recover(
             _ => {}
         }
     }
+    // A media-damaged structure is rebuilt below; its logged completion and
+    // progress describe pages that no longer exist.
+    done.retain(|s| !damage.covers(*s));
+    progress.retain(|s, _| !damage.covers(*s));
 
     // Restore durable handles: tree metadata from the last checkpoint,
-    // counters recounted from the disk state.
+    // counters recounted from the disk state. Damaged structures skip both
+    // (their checkpointed metadata points into torn pages) and are rebuilt
+    // from the heap instead.
     {
         let pool = db.pool().clone();
         let table = db.table_mut(tid)?;
-        if let Some(metas) = &last_ckpt {
+        if damage.btrees {
+            // Rebuilt below from the recounted heap.
+        } else if let Some(metas) = &last_ckpt {
             for meta in metas {
                 if let Some(index) = table.index_on_mut(meta.attr as usize) {
                     index.tree = BTree::restore(
@@ -609,7 +800,42 @@ pub fn recover(
         }
         table.heap.recount().map_err(DbError::Storage)?;
         for h in &mut table.hash_indices {
+            if damage.hash_attrs.contains(&h.def.attr) {
+                continue;
+            }
             h.index.recount().map_err(DbError::Storage)?;
+        }
+        if damage.btrees || !damage.hash_attrs.is_empty() {
+            let dump = table.heap.dump().map_err(DbError::Storage)?;
+            let schema = table.schema;
+            if damage.btrees {
+                for index in &mut table.indices {
+                    let attr = index.def.attr;
+                    let mut pairs: Vec<(Key, Rid)> = dump
+                        .iter()
+                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                        .collect();
+                    pairs.sort_unstable();
+                    index.tree =
+                        bd_btree::bulk_load(pool.clone(), index.def.config, &pairs, index.def.fill)
+                            .map_err(DbError::Storage)?;
+                }
+            }
+            for &attr in &damage.hash_attrs {
+                let h = table
+                    .hash_indices
+                    .iter_mut()
+                    .find(|h| h.def.attr == attr)
+                    .expect("hash index present");
+                let mut fresh = HashIndex::with_capacity(pool.clone(), dump.len().max(64))
+                    .map_err(DbError::Storage)?;
+                for (rid, bytes) in &dump {
+                    fresh
+                        .insert(schema.attr_of(bytes, attr), *rid)
+                        .map_err(DbError::Storage)?;
+                }
+                h.index = fresh;
+            }
         }
     }
 
@@ -629,10 +855,16 @@ pub fn recover(
         if done.contains(&phase) {
             continue;
         }
-        // Resume from the last durable progress record for this structure;
-        // back off one chunk so the possibly half-flushed chunk re-runs
-        // (the passes are lenient, so this is safe).
-        let start = progress.get(&phase).copied().unwrap_or(0).saturating_sub(0);
+        // Resume from the last durable progress record for this structure,
+        // backing off one chunk so the possibly half-flushed chunk re-runs:
+        // under the parallel driver a sibling arm can hold a pin during
+        // this structure's pre-progress flush, leaving part of the claimed
+        // chunk unflushed (the passes are lenient, so re-running is safe).
+        let start = progress
+            .get(&phase)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(PROGRESS_CHUNK);
         run_phase(
             db,
             tid,

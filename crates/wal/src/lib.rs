@@ -21,9 +21,13 @@ pub mod driver;
 pub mod log;
 pub mod record;
 
-pub use campaign::{crash_at_every_io, CampaignReport};
+pub use campaign::{
+    crash_at_every_io, crash_at_every_io_from, torn_write_at_every_io, CampaignReport,
+    TornWriteReport,
+};
 pub use driver::{
-    recover, run_bulk_delete, run_bulk_delete_parallel, CrashInjector, CrashSite, WalError,
+    recover, recover_media, run_bulk_delete, run_bulk_delete_parallel, CrashInjector, CrashSite,
+    WalError,
 };
 pub use log::LogManager;
 pub use record::{LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};

@@ -6,6 +6,7 @@
 
 use parking_lot::Mutex;
 
+use crate::driver::WalError;
 use crate::record::{LogRecord, Lsn};
 
 #[derive(Default)]
@@ -39,6 +40,20 @@ impl LogManager {
         (inner.offsets.len() - 1) as Lsn
     }
 
+    /// Append pre-encoded record bytes without validating them. Fault-
+    /// injection tests corrupt the log through this; [`LogManager::append`]
+    /// is the honest path.
+    pub fn append_raw(&self, bytes: &[u8]) -> Lsn {
+        let mut inner = self.inner.lock();
+        let start = inner.buf.len();
+        inner
+            .buf
+            .extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        inner.buf.extend_from_slice(bytes);
+        inner.offsets.push((start + 4, bytes.len()));
+        (inner.offsets.len() - 1) as Lsn
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.inner.lock().offsets.len()
@@ -49,8 +64,9 @@ impl LogManager {
         self.len() == 0
     }
 
-    /// Decode every record in order (recovery's analysis pass).
-    pub fn records(&self) -> Vec<LogRecord> {
+    /// Decode every record in order (recovery's analysis pass). A record
+    /// that fails to decode surfaces as [`WalError::CorruptLog`].
+    pub fn records(&self) -> Result<Vec<LogRecord>, WalError> {
         let inner = self.inner.lock();
         inner
             .offsets
@@ -82,7 +98,7 @@ mod tests {
         });
         let l2 = log.append(&LogRecord::BulkCommit);
         assert_eq!((l0, l1, l2), (0, 1, 2));
-        let records = log.records();
+        let records = log.records().unwrap();
         assert_eq!(records.len(), 3);
         assert_eq!(records[2], LogRecord::BulkCommit);
         assert!(matches!(records[0], LogRecord::BulkBegin { ref keys, .. } if keys.len() == 3));
@@ -93,5 +109,13 @@ mod tests {
         let log = LogManager::new();
         log.append(&LogRecord::BulkCommit);
         assert!(log.byte_len() >= 5);
+    }
+
+    #[test]
+    fn corrupt_record_surfaces_from_records() {
+        let log = LogManager::new();
+        log.append(&LogRecord::BulkCommit);
+        log.append_raw(&[99, 1, 2, 3]); // unknown tag
+        assert!(matches!(log.records(), Err(WalError::CorruptLog(_))));
     }
 }

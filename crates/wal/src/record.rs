@@ -5,6 +5,7 @@
 //! record structure metadata and progress "especially ... when the
 //! processing of one structure (R, I_A, I_B, or I_C) is finished".
 
+use crate::driver::WalError;
 use bd_btree::Key;
 use bd_storage::Rid;
 
@@ -18,8 +19,11 @@ pub enum StructureId {
     Probe,
     /// The base table (`R`).
     Table,
-    /// A downstream index, by attribute number.
+    /// A downstream B-tree index, by attribute number.
     Index(u16),
+    /// A downstream hash index, by attribute number (wire tag 3; decoders
+    /// predating it reject the tag instead of misreading the record).
+    Hash(u16),
 }
 
 /// One materialized victim row: its RID and all attribute values (enough
@@ -99,20 +103,44 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn u16(&mut self) -> u16 {
-        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
-        self.pos += 2;
-        v
+    /// Bounds-checked slice of the next `n` bytes; a truncated buffer is a
+    /// decode error, never a panic.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < n {
+            return Err(WalError::CorruptLog(format!(
+                "record truncated at byte {}: need {n} more, {avail} available",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
     }
-    fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
-        self.pos += 4;
-        v
+    /// Check that at least `n` more bytes exist without consuming them
+    /// (guards length-prefixed loops against absurd counts from corrupt
+    /// prefixes before anything is allocated).
+    fn need(&self, n: usize) -> Result<(), WalError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < n {
+            return Err(WalError::CorruptLog(format!(
+                "record truncated at byte {}: need {n} more, {avail} available",
+                self.pos
+            )));
+        }
+        Ok(())
     }
-    fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
-        self.pos += 8;
-        v
+    fn u8(&mut self) -> Result<u8, WalError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WalError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -168,50 +196,64 @@ impl LogRecord {
     }
 
     /// Deserialize from bytes produced by [`LogRecord::encode`].
-    pub fn decode(buf: &[u8]) -> LogRecord {
-        let mut r = Reader { buf, pos: 1 };
-        match buf[0] {
+    ///
+    /// Corrupt input — an unknown tag, or a buffer truncated anywhere —
+    /// is reported as [`WalError::CorruptLog`], never a panic: recovery
+    /// reads the log after a crash and must fail cleanly on damage.
+    pub fn decode(buf: &[u8]) -> Result<LogRecord, WalError> {
+        let mut r = Reader { buf, pos: 0 };
+        Ok(match r.u8()? {
             1 => {
-                let probe_attr = r.u16();
-                let n = r.u32() as usize;
-                let keys = (0..n).map(|_| r.u64()).collect();
+                let probe_attr = r.u16()?;
+                let n = r.u32()? as usize;
+                r.need(n * 8)?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.u64()?);
+                }
                 LogRecord::BulkBegin { probe_attr, keys }
             }
             2 => {
-                let n = r.u32() as usize;
-                let n_attrs = r.u16() as usize;
-                let rows = (0..n)
-                    .map(|_| MaterializedRow {
-                        rid: Rid::from_u64(r.u64()),
-                        attrs: (0..n_attrs).map(|_| r.u64()).collect(),
-                    })
-                    .collect();
+                let n = r.u32()? as usize;
+                let n_attrs = r.u16()? as usize;
+                r.need(n * (1 + n_attrs) * 8)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let rid = Rid::from_u64(r.u64()?);
+                    let mut attrs = Vec::with_capacity(n_attrs);
+                    for _ in 0..n_attrs {
+                        attrs.push(r.u64()?);
+                    }
+                    rows.push(MaterializedRow { rid, attrs });
+                }
                 LogRecord::RowsMaterialized { rows }
             }
             3 => {
-                let n = r.u32() as usize;
-                let trees = (0..n)
-                    .map(|_| TreeMeta {
-                        attr: r.u16(),
-                        root: r.u32(),
-                        height: r.u16(),
-                    })
-                    .collect();
+                let n = r.u32()? as usize;
+                r.need(n * 8)?;
+                let mut trees = Vec::with_capacity(n);
+                for _ in 0..n {
+                    trees.push(TreeMeta {
+                        attr: r.u16()?,
+                        root: r.u32()?,
+                        height: r.u16()?,
+                    });
+                }
                 LogRecord::Checkpoint { trees }
             }
             4 => LogRecord::StructureDone {
-                structure: decode_structure(&mut r),
+                structure: decode_structure(&mut r)?,
             },
             5 => LogRecord::BulkCommit,
             6 => {
-                let done = r.u32();
+                let done = r.u32()?;
                 LogRecord::Progress {
-                    structure: decode_structure(&mut r),
+                    structure: decode_structure(&mut r)?,
                     done,
                 }
             }
-            t => panic!("bad record tag {t}"),
-        }
+            t => return Err(WalError::CorruptLog(format!("unknown record tag {t}"))),
+        })
     }
 }
 
@@ -223,18 +265,21 @@ fn encode_structure(out: &mut Vec<u8>, s: StructureId) {
             out.push(2);
             put_u16(out, a);
         }
+        StructureId::Hash(a) => {
+            out.push(3);
+            put_u16(out, a);
+        }
     }
 }
 
-fn decode_structure(r: &mut Reader<'_>) -> StructureId {
-    let tag = r.buf[r.pos];
-    r.pos += 1;
-    match tag {
+fn decode_structure(r: &mut Reader<'_>) -> Result<StructureId, WalError> {
+    Ok(match r.u8()? {
         0 => StructureId::Probe,
         1 => StructureId::Table,
-        2 => StructureId::Index(r.u16()),
-        t => panic!("bad structure tag {t}"),
-    }
+        2 => StructureId::Index(r.u16()?),
+        3 => StructureId::Hash(r.u16()?),
+        t => return Err(WalError::CorruptLog(format!("unknown structure tag {t}"))),
+    })
 }
 
 #[cfg(test)]
@@ -242,7 +287,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(r: LogRecord) {
-        assert_eq!(LogRecord::decode(&r.encode()), r);
+        assert_eq!(LogRecord::decode(&r.encode()).unwrap(), r);
     }
 
     #[test]
@@ -287,6 +332,13 @@ mod tests {
         roundtrip(LogRecord::StructureDone {
             structure: StructureId::Index(5),
         });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Hash(3),
+        });
+        roundtrip(LogRecord::Progress {
+            structure: StructureId::Hash(1),
+            done: 2048,
+        });
         roundtrip(LogRecord::BulkCommit);
         roundtrip(LogRecord::Progress {
             structure: StructureId::Index(3),
@@ -304,5 +356,97 @@ mod tests {
             probe_attr: 3,
             keys: vec![],
         });
+    }
+
+    fn is_corrupt(buf: &[u8]) -> bool {
+        matches!(LogRecord::decode(buf), Err(WalError::CorruptLog(_)))
+    }
+
+    #[test]
+    fn unknown_record_tag_is_a_decode_error() {
+        assert!(is_corrupt(&[9, 0, 0, 0]));
+        assert!(is_corrupt(&[0]), "tag 0 was never assigned");
+        assert!(is_corrupt(&[]), "an empty buffer has no tag");
+    }
+
+    #[test]
+    fn unknown_structure_tag_is_a_decode_error() {
+        assert!(is_corrupt(&[4, 7]), "StructureDone with structure tag 7");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_decode_error_not_a_panic() {
+        let victims = [
+            LogRecord::BulkBegin {
+                probe_attr: 1,
+                keys: vec![10, 20, 30],
+            },
+            LogRecord::RowsMaterialized {
+                rows: vec![MaterializedRow {
+                    rid: Rid::new(3, 4),
+                    attrs: vec![10, 20, 30],
+                }],
+            },
+            LogRecord::Checkpoint {
+                trees: vec![TreeMeta {
+                    attr: 0,
+                    root: 17,
+                    height: 3,
+                }],
+            },
+            LogRecord::Progress {
+                structure: StructureId::Hash(2),
+                done: 7,
+            },
+            LogRecord::StructureDone {
+                structure: StructureId::Index(5),
+            },
+        ];
+        for rec in victims {
+            let bytes = rec.encode();
+            for len in 0..bytes.len() {
+                assert!(
+                    is_corrupt(&bytes[..len]),
+                    "{rec:?} truncated to {len}/{} bytes must fail cleanly",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wire_format_is_stable_across_versions() {
+        // Byte-level pins of the pre-Hash encodings: tags 0..=2 keep their
+        // meaning, Hash extends the structure tag space at 3. A log written
+        // before this version decodes identically today.
+        assert_eq!(
+            LogRecord::decode(&[4, 1]).unwrap(),
+            LogRecord::StructureDone {
+                structure: StructureId::Table
+            }
+        );
+        assert_eq!(
+            LogRecord::decode(&[4, 2, 5, 0]).unwrap(),
+            LogRecord::StructureDone {
+                structure: StructureId::Index(5)
+            }
+        );
+        assert_eq!(
+            LogRecord::decode(&[6, 7, 0, 0, 0, 0]).unwrap(),
+            LogRecord::Progress {
+                structure: StructureId::Probe,
+                done: 7
+            }
+        );
+        assert_eq!(LogRecord::decode(&[5]).unwrap(), LogRecord::BulkCommit);
+        // And the new variant's wire form, pinned so future versions stay
+        // compatible with logs written today.
+        assert_eq!(
+            LogRecord::StructureDone {
+                structure: StructureId::Hash(3)
+            }
+            .encode(),
+            vec![4, 3, 3, 0]
+        );
     }
 }

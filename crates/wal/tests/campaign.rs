@@ -5,12 +5,16 @@
 //! for the serial driver and the parallel fan-out driver alike.
 
 use bd_core::{audit_equivalence, Database, DatabaseConfig, IndexDef};
+use bd_storage::FaultPlan;
 use bd_wal::{
-    crash_at_every_io, recover, run_bulk_delete, run_bulk_delete_parallel, CrashInjector,
-    CrashSite, LogManager, WalError,
+    crash_at_every_io, crash_at_every_io_from, recover, run_bulk_delete, run_bulk_delete_parallel,
+    torn_write_at_every_io, CrashInjector, CrashSite, LogManager, LogRecord, StructureId, WalError,
 };
 use bd_workload::TableSpec;
 
+// Phases for this layout: 0 = probe index, 1 = table (the serial prefix,
+// attr 0's index being unique), 2–3 = secondary B-trees on attrs 1 and 2,
+// 4 = hash index on attr 3. Phases 2–4 fan out under the parallel driver.
 fn build(n_rows: usize) -> (Database, usize, Vec<u64>) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let w = TableSpec::tiny(n_rows).build(&mut db).unwrap();
@@ -18,6 +22,7 @@ fn build(n_rows: usize) -> (Database, usize, Vec<u64>) {
         .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+    db.create_hash_index(w.tid, 3).unwrap();
     (db, w.tid, w.a_values)
 }
 
@@ -50,16 +55,20 @@ fn parallel_driver_matches_serial_state() {
     let eq = audit_equivalence(&db_serial, &db_parallel, tid).unwrap();
     assert!(eq.is_clean(), "parallel driver diverged: {eq}");
     // Both arms logged their completion; the log replays cleanly.
-    assert!(log_p.records().len() >= log_s.records().len() - 2);
+    assert!(log_p.records().unwrap().len() >= log_s.records().unwrap().len() - 2);
 }
 
 #[test]
 fn parallel_arm_crash_sites_recover() {
     // Sites inside the fan-out arms: mid-structure of each non-unique
-    // index phase (phases 2 and 3 — probe and table are the serial
-    // prefix). The site travels out of the worker thread as
-    // `SimulatedCrash` plus the shared site slot.
-    for site in [CrashSite::MidStructure(2), CrashSite::MidStructure(3)] {
+    // index phase (phases 2–4 — probe and table are the serial prefix;
+    // phase 4 is the hash arm). The site travels out of the worker thread
+    // as `SimulatedCrash` plus the shared site slot.
+    for site in [
+        CrashSite::MidStructure(2),
+        CrashSite::MidStructure(3),
+        CrashSite::MidStructure(4),
+    ] {
         let (mut reference, tid, a_values) = build(1200);
         let d = victims(&a_values);
         let log_ref = LogManager::new();
@@ -124,6 +133,7 @@ fn fresh(n_rows: usize) -> (Database, usize) {
         .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+    db.create_hash_index(w.tid, 3).unwrap();
     (db, w.tid)
 }
 
@@ -148,5 +158,222 @@ fn parallel_campaign_recovers_at_every_disk_access() {
         report.crash_points > 50,
         "campaign too small to mean anything: {report:?}"
     );
+    assert_eq!(report.deleted, d.len());
+}
+
+#[test]
+fn serial_torn_write_campaign_recovers_every_surfaced_tear() {
+    let a_values = build(900).2;
+    let d = victims(&a_values);
+    let report = torn_write_at_every_io(|| fresh(900), 0, &d, 1, 0, None).unwrap();
+    assert!(
+        report.torn_points >= 5,
+        "sweep surfaced too few tears to mean anything: {report:?}"
+    );
+    assert!(
+        report.accesses_swept >= 20,
+        "sweep tore too few writes: {report:?}"
+    );
+    assert_eq!(report.deleted, d.len());
+}
+
+#[test]
+fn parallel_torn_write_campaign_recovers_every_surfaced_tear() {
+    let a_values = build(900).2;
+    let d = victims(&a_values);
+    let report = torn_write_at_every_io(|| fresh(900), 0, &d, 3, 0, None).unwrap();
+    assert!(
+        report.torn_points >= 5,
+        "sweep surfaced too few tears to mean anything: {report:?}"
+    );
+    assert_eq!(report.deleted, d.len());
+}
+
+#[test]
+fn replicas_ride_out_torn_writes() {
+    use bd_storage::FaultSpec;
+
+    // Reference: fault-free final state.
+    let (mut reference, tid, a_values) = build(900);
+    let d = victims(&a_values);
+    let log_ref = LogManager::new();
+    run_bulk_delete(&mut reference, tid, 0, &d, &log_ref, CrashInjector::none()).unwrap();
+
+    // Find a sweep position whose tear survives to the end of the run (the
+    // clean frame stays resident, so the damage is latent until a restart
+    // drops the cache and something reads the torn disk image).
+    let mut n = 0u64;
+    let latent = loop {
+        n += 1;
+        let (mut db, _) = fresh(900);
+        db.pool().flush_all().unwrap();
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|disk| disk.accesses());
+        db.pool().with_disk(|disk| {
+            disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c0 + n).torn()))
+        });
+        let run = run_bulk_delete(&mut db, tid, 0, &d, &log, CrashInjector::none());
+        let used = db.pool().with_disk(|disk| disk.accesses()) - c0;
+        match run {
+            Ok(_) => {
+                assert!(n < used, "no latent tear position in the whole run");
+                if db.pool().with_disk(|disk| disk.fault_plan_fired()) == 1
+                    && !db.pool().with_disk(|disk| disk.corrupt_pages()).is_empty()
+                {
+                    break n;
+                }
+            }
+            Err(e) => panic!("unexpected error at position {n}: {e}"),
+        }
+    };
+
+    // The same position with per-page replicas: after the restart every
+    // reader that hits the torn primary is repaired from the second copy
+    // by the retry policy, so full consistency checks pass and the scrub
+    // comes back clean — no media recovery needed.
+    let (mut db, _) = fresh(900);
+    db.pool().flush_all().unwrap();
+    db.pool().with_disk(|disk| disk.enable_replicas());
+    let log = LogManager::new();
+    let c0 = db.pool().with_disk(|disk| disk.accesses());
+    db.pool().with_disk(|disk| {
+        disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c0 + latent).torn()))
+    });
+    let deleted = run_bulk_delete(&mut db, tid, 0, &d, &log, CrashInjector::none()).unwrap();
+    assert_eq!(deleted, d.len());
+    assert_eq!(db.pool().with_disk(|disk| disk.fault_plan_fired()), 1);
+    db.pool().crash();
+    db.pool().with_disk(|disk| disk.clear_fault_plan());
+    let retries_before = db.pool().with_disk(|disk| disk.stats().retries);
+    db.check_consistency(tid).unwrap();
+    let eq = audit_equivalence(&reference, &db, tid).unwrap();
+    assert!(eq.is_clean(), "replica ride-out diverged: {eq}");
+    assert!(
+        db.pool().with_disk(|disk| disk.stats().retries) > retries_before,
+        "the replica fallback must be charged as a retry"
+    );
+    assert_eq!(
+        db.pool().with_disk(|disk| disk.corrupt_pages()),
+        Vec::<bd_storage::PageId>::new(),
+        "the repaired primary must pass the scrub"
+    );
+}
+
+#[test]
+fn arm_crash_with_empty_site_slot_maps_to_in_io() {
+    // A disk-level crash point (`FaultPlan::crash_at_access`) firing
+    // inside a fan-out arm's I/O surfaces as `SimulatedCrash` with the
+    // shared site slot never set; by contract the driver maps that to
+    // `CrashSite::InIo`. Detection: the serial prefix logged its table
+    // completion but at least one fan arm never logged its own, so the
+    // crash fired between fan-out start and fan-out completion — i.e.
+    // on a worker thread.
+    let (mut reference, tid, a_values) = build(900);
+    let d = victims(&a_values);
+    let log_ref = LogManager::new();
+    run_bulk_delete_parallel(
+        &mut reference,
+        tid,
+        0,
+        &d,
+        &log_ref,
+        CrashInjector::none(),
+        3,
+    )
+    .unwrap();
+
+    let mut n = 0u64;
+    loop {
+        n += 1;
+        let (mut db, _, _) = build(900);
+        db.pool().flush_all().unwrap();
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|disk| disk.accesses());
+        db.pool()
+            .with_disk(|disk| disk.set_fault_plan(FaultPlan::new().crash_at_access(c0 + n)));
+        match run_bulk_delete_parallel(&mut db, tid, 0, &d, &log, CrashInjector::none(), 3) {
+            Ok(_) => panic!("run completed before any crash landed inside a fan-out arm"),
+            Err(WalError::Crashed(site)) => {
+                let recs = log.records().unwrap();
+                let serial_done = recs.iter().any(|r| {
+                    matches!(
+                        r,
+                        LogRecord::StructureDone {
+                            structure: StructureId::Table
+                        }
+                    )
+                });
+                let fan_done = recs
+                    .iter()
+                    .filter(|r| {
+                        matches!(
+                            r,
+                            LogRecord::StructureDone {
+                                structure: StructureId::Index(_) | StructureId::Hash(_)
+                            }
+                        )
+                    })
+                    .count();
+                if !(serial_done && fan_done < 3) {
+                    continue; // crash landed outside the fan-out region
+                }
+                assert_eq!(site, CrashSite::InIo, "access {n}");
+                db.pool().crash();
+                db.pool().with_disk(|disk| disk.clear_fault_plan());
+                recover(&mut db, tid, &log, &[]).unwrap();
+                db.check_consistency(tid).unwrap();
+                let eq = audit_equivalence(&reference, &db, tid).unwrap();
+                assert!(eq.is_clean(), "recovery after InIo diverged: {eq}");
+                return;
+            }
+            Err(e) => panic!("unexpected error at access {n}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn late_region_campaign_resumes_deep_passes_serial() {
+    // > PROGRESS_CHUNK victims per structure: every pass logs several
+    // Progress records, and the hash pass runs last — so sweeping only
+    // the tail of the access stream exercises resume-from-progress deep
+    // inside the late passes without paying for thousands of early crash
+    // points.
+    let a_values = build(5000).2;
+    let d: Vec<u64> = a_values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % 10 != 0)
+        .map(|(_, v)| v)
+        .collect();
+    assert!(d.len() > 2 * 2048, "need several progress chunks");
+    // A zero-limit sweep measures the fault-free access count.
+    let probe = crash_at_every_io_from(|| fresh(5000), 0, &d, 1, 0, Some(0)).unwrap();
+    let start = probe.fault_free_accesses.saturating_sub(40);
+    let report = crash_at_every_io_from(|| fresh(5000), 0, &d, 1, start, None).unwrap();
+    assert!(
+        report.crash_points >= 10,
+        "tail sweep too small: {report:?}"
+    );
+    assert_eq!(report.deleted, d.len());
+}
+
+#[test]
+fn late_region_campaign_resumes_deep_passes_parallel() {
+    let a_values = build(5000).2;
+    let d: Vec<u64> = a_values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % 10 != 0)
+        .map(|(_, v)| v)
+        .collect();
+    let probe = crash_at_every_io_from(|| fresh(5000), 0, &d, 3, 0, Some(0)).unwrap();
+    // Parallel access counts vary a little run to run (interleaving
+    // changes eviction order), so leave more headroom than the serial
+    // test and accept fewer points.
+    let start = probe.fault_free_accesses.saturating_sub(60);
+    let report = crash_at_every_io_from(|| fresh(5000), 0, &d, 3, start, None).unwrap();
+    assert!(report.crash_points >= 5, "tail sweep too small: {report:?}");
     assert_eq!(report.deleted, d.len());
 }

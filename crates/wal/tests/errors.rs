@@ -49,6 +49,10 @@ fn wal_error_display_strings() {
     // Db errors pass their inner Display through untouched.
     let inner = DbError::Storage(StorageError::SimulatedCrash);
     assert_eq!(WalError::Db(inner.clone()).to_string(), inner.to_string());
+    assert_eq!(
+        WalError::CorruptLog("unknown record tag 9".into()).to_string(),
+        "corrupt log record: unknown record tag 9"
+    );
 }
 
 #[test]

@@ -10,6 +10,7 @@ fn structure_strategy() -> impl Strategy<Value = StructureId> {
         Just(StructureId::Probe),
         Just(StructureId::Table),
         any::<u16>().prop_map(StructureId::Index),
+        any::<u16>().prop_map(StructureId::Hash),
     ]
 }
 
@@ -55,7 +56,7 @@ proptest! {
     #[test]
     fn encode_decode_roundtrip(record in record_strategy()) {
         let bytes = record.encode();
-        prop_assert_eq!(LogRecord::decode(&bytes), record);
+        prop_assert_eq!(LogRecord::decode(&bytes).unwrap(), record);
     }
 
     #[test]
@@ -66,6 +67,20 @@ proptest! {
         for r in &records {
             log.append(r);
         }
-        prop_assert_eq!(log.records(), records);
+        prop_assert_eq!(log.records().unwrap(), records);
+    }
+
+    // Decoding never panics: arbitrary garbage and arbitrary truncations
+    // of valid encodings both yield Ok or Err, never an abort.
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = LogRecord::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_never_panics_on_truncation(record in record_strategy(), cut in 0usize..100) {
+        let bytes = record.encode();
+        let cut = cut.min(bytes.len());
+        let _ = LogRecord::decode(&bytes[..bytes.len() - cut]);
     }
 }

@@ -6,6 +6,8 @@ use bd_txn::SideOp;
 use bd_wal::{recover, run_bulk_delete, CrashInjector, CrashSite, LogManager};
 use bd_workload::TableSpec;
 
+// Phases for this layout: 0 = probe index, 1 = table, 2–3 = secondary
+// B-trees on attrs 1 and 2, 4 = hash index on attr 3 (hash runs last).
 fn setup(n_rows: usize) -> (Database, usize, Vec<u64>) {
     let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
     let w = TableSpec::tiny(n_rows).build(&mut db).unwrap();
@@ -13,6 +15,7 @@ fn setup(n_rows: usize) -> (Database, usize, Vec<u64>) {
         .unwrap();
     w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
     w.attach_index(&mut db, IndexDef::secondary(2)).unwrap();
+    db.create_hash_index(w.tid, 3).unwrap();
     (db, w.tid, w.a_values)
 }
 
@@ -113,7 +116,17 @@ fn crash_mid_last_secondary_index() {
 }
 
 #[test]
+fn crash_mid_hash_pass() {
+    crash_and_recover_at(CrashSite::MidStructure(4));
+}
+
+#[test]
 fn crash_just_before_commit() {
+    crash_and_recover_at(CrashSite::AfterStructure(4));
+}
+
+#[test]
+fn crash_after_last_btree_pass() {
     crash_and_recover_at(CrashSite::AfterStructure(3));
 }
 
@@ -204,7 +217,8 @@ fn crash_at_progress_resumes_from_last_chunk() {
         snapshot(&db2, tid2)
     };
 
-    // Crash after the first progress record of the table pass (phase 1).
+    // Crash after the *second* progress record of the table pass (phase 1),
+    // so the log claims two durable chunks when recovery starts.
     let log = LogManager::new();
     let err = run_bulk_delete(
         &mut db,
@@ -212,12 +226,12 @@ fn crash_at_progress_resumes_from_last_chunk() {
         0,
         &victims,
         &log,
-        CrashInjector::at(CrashSite::AtProgress(1, 1)),
+        CrashInjector::at(CrashSite::AtProgress(1, 2)),
     )
     .unwrap_err();
     assert!(matches!(
         err,
-        bd_wal::WalError::Crashed(CrashSite::AtProgress(1, 1))
+        bd_wal::WalError::Crashed(CrashSite::AtProgress(1, 2))
     ));
     let pre_crash_records = log.len();
 
@@ -227,20 +241,11 @@ fn crash_at_progress_resumes_from_last_chunk() {
     db.check_consistency(tid).unwrap();
     assert_eq!(snapshot(&db, tid), expect);
 
-    // Resume actually skipped durable work: the first post-recovery
-    // progress record for the table continues past the pre-crash one.
-    let records = log.records();
-    let table_progress: Vec<u32> = records
-        .iter()
-        .filter_map(|r| match r {
-            bd_wal::LogRecord::Progress {
-                structure: bd_wal::StructureId::Table,
-                done,
-            } => Some(*done),
-            _ => None,
-        })
-        .collect();
-    assert!(table_progress.len() >= 2);
+    // Resume skipped durable work, minus the one-chunk back-off: the
+    // first post-recovery progress record re-covers the *last* claimed
+    // chunk (it may be half-flushed under the parallel driver) but skips
+    // everything before it.
+    let records = log.records().unwrap();
     let (pre, post): (Vec<_>, Vec<_>) = records
         .iter()
         .enumerate()
@@ -252,15 +257,140 @@ fn crash_at_progress_resumes_from_last_chunk() {
             _ => None,
         })
         .partition(|(i, _)| *i < pre_crash_records);
-    assert_eq!(pre.len(), 1, "one table progress record before the crash");
-    if let Some((_, first_post)) = post.first() {
-        assert!(
-            *first_post > pre[0].1,
-            "recovery must continue past durable progress ({} <= {})",
-            first_post,
-            pre[0].1
-        );
+    assert_eq!(pre.len(), 2, "two table progress records before the crash");
+    let first_post = post.first().expect("recovery re-logs table progress").1;
+    assert_eq!(
+        first_post, pre[1].1,
+        "recovery re-runs the last claimed chunk"
+    );
+    assert!(
+        first_post > pre[0].1,
+        "recovery must skip chunks before the last claimed one ({} <= {})",
+        first_post,
+        pre[0].1
+    );
+}
+
+#[test]
+fn crash_at_progress_of_hash_pass() {
+    // The hash phase runs last (phase 4 in this layout); crashing at its
+    // second progress record exercises resume-from-progress for a hash
+    // index, whose deletes run in materialized-row order so the chunk
+    // boundaries match recovery's.
+    let (mut db, tid, a_values) = setup(8000);
+    let victims: Vec<u64> = a_values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(i, _)| i % 5 != 0)
+        .map(|(_, v)| v)
+        .collect();
+    assert!(victims.len() > 2 * 2048, "need several progress chunks");
+    let expect = {
+        let (mut db2, tid2, _) = setup(8000);
+        let log2 = LogManager::new();
+        run_bulk_delete(&mut db2, tid2, 0, &victims, &log2, CrashInjector::none()).unwrap();
+        snapshot(&db2, tid2)
+    };
+    let log = LogManager::new();
+    let err = run_bulk_delete(
+        &mut db,
+        tid,
+        0,
+        &victims,
+        &log,
+        CrashInjector::at(CrashSite::AtProgress(4, 2)),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        bd_wal::WalError::Crashed(CrashSite::AtProgress(4, 2))
+    ));
+    db.pool().crash();
+    let n = recover(&mut db, tid, &log, &[]).unwrap();
+    assert_eq!(n, victims.len());
+    db.check_consistency(tid).unwrap();
+    assert_eq!(snapshot(&db, tid), expect);
+}
+
+#[test]
+fn resume_backs_off_one_chunk_for_the_half_flushed_chunk() {
+    // Regression: recovery used to resume a pass exactly at its last
+    // Progress record. Under the parallel driver the pre-progress flush
+    // can skip frames pinned by sibling arms, so the claimed chunk may be
+    // only partly durable. This log is hand-crafted to that state: the
+    // table pass claims Progress(2048) but only the first 1000 heap
+    // deletes reached the disk. Resuming *at* 2048 strands rows
+    // 1000..2048 forever; recovery must back off one chunk and re-run it.
+    let n_rows = 4000;
+    let (mut db, tid, a_values) = setup(n_rows);
+    let victims: Vec<u64> = a_values.iter().copied().take(3000).collect();
+    let expect = reference_state(n_rows, &victims);
+
+    // Materialized rows exactly as the driver would log them: heap scan
+    // order, every attribute.
+    let victim_set: std::collections::HashSet<u64> = victims.iter().copied().collect();
+    let rows: Vec<bd_wal::MaterializedRow> = {
+        let table = db.table(tid).unwrap();
+        table
+            .heap
+            .scan()
+            .map(|(rid, bytes)| (rid, table.schema.decode(&bytes)))
+            .filter(|(_, t)| victim_set.contains(&t.attr(0)))
+            .map(|(rid, t)| bd_wal::MaterializedRow {
+                rid,
+                attrs: t.attrs.clone(),
+            })
+            .collect()
+    };
+    assert!(rows.len() > 2048, "the claimed chunk must be a full chunk");
+
+    let log = LogManager::new();
+    log.append(&bd_wal::LogRecord::BulkBegin {
+        probe_attr: 0,
+        keys: victims.clone(),
+    });
+    log.append(&bd_wal::LogRecord::RowsMaterialized { rows: rows.clone() });
+    {
+        let table = db.table_mut(tid).unwrap();
+        for row in &rows[..1000] {
+            table.heap.delete(row.rid).unwrap();
+        }
     }
+    db.pool().flush_all().unwrap();
+    log.append(&bd_wal::LogRecord::Progress {
+        structure: bd_wal::StructureId::Table,
+        done: 2048,
+    });
+
+    db.pool().crash();
+    let n = recover(&mut db, tid, &log, &[]).unwrap();
+    assert_eq!(n, rows.len());
+    db.check_consistency(tid).unwrap();
+    assert_eq!(snapshot(&db, tid), expect);
+}
+
+#[test]
+fn corrupt_log_record_fails_recovery_loudly() {
+    // A log that does not decode must fail recovery with `CorruptLog`,
+    // not panic and not silently skip records.
+    let (mut db, tid, a_values) = setup(600);
+    let victims: Vec<u64> = a_values.iter().copied().step_by(3).collect();
+    let log = LogManager::new();
+    let err = run_bulk_delete(
+        &mut db,
+        tid,
+        0,
+        &victims,
+        &log,
+        CrashInjector::at(CrashSite::MidStructure(1)),
+    )
+    .unwrap_err();
+    assert!(matches!(err, bd_wal::WalError::Crashed(_)));
+    log.append_raw(&[99, 1, 2, 3]); // unknown record tag
+    db.pool().crash();
+    let err = recover(&mut db, tid, &log, &[]).unwrap_err();
+    assert!(matches!(err, bd_wal::WalError::CorruptLog(_)), "got {err}");
 }
 
 #[test]

@@ -15,6 +15,8 @@ cargo test -q
 cargo run --release -p bd-bench --bin repro -- --audit --parallel 3
 
 # Fault-injection smoke: a transient fault must be ridden out (retry +
-# serial degradation, bit-identical state), and a bounded crash-at-every-
-# I/O campaign must recover every crash point for both WAL drivers.
+# serial degradation, bit-identical state), a bounded crash-at-every-I/O
+# campaign must recover every crash point for both WAL drivers, and a
+# bounded torn-write campaign must media-recover every surfaced tear
+# (half-written page images rebuilt from the heap + WAL).
 cargo run --release -p bd-bench --bin repro -- --faults --parallel 3
