@@ -123,6 +123,7 @@ pub fn bulk_delete_sorted(
             if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
                 freed.insert(pid);
                 tree.stats_mut().leaves_freed += 1;
+                tree.pool().free_page(pid);
                 if let Some(pv) = prev {
                     let mut pw = tree.pool().pin_write(pv)?;
                     NodeMut::new(&mut pw[..]).set_right_sibling(next);
@@ -193,6 +194,7 @@ pub fn bulk_delete_by_keys(
             if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
                 freed.insert(pid);
                 tree.stats_mut().leaves_freed += 1;
+                tree.pool().free_page(pid);
                 if let Some(pv) = prev {
                     let mut pw = tree.pool().pin_write(pv)?;
                     NodeMut::new(&mut pw[..]).set_right_sibling(next);
@@ -264,6 +266,7 @@ pub fn bulk_delete_probe(
             if emptied && pid != tree.root_page() && policy != ReorgPolicy::None {
                 freed.insert(pid);
                 tree.stats_mut().leaves_freed += 1;
+                tree.pool().free_page(pid);
                 if let Some(pv) = prev {
                     let mut pw = tree.pool().pin_write(pv)?;
                     NodeMut::new(&mut pw[..]).set_right_sibling(next);
@@ -289,7 +292,7 @@ mod tests {
     use crate::bulk_load::bulk_load;
     use crate::scan::LeafScan;
     use crate::tree::BTreeConfig;
-    use bd_storage::{BufferPool, CostModel, SimDisk};
+    use bd_storage::{BufferPool, CostModel, SimDisk, StructureId};
     use std::sync::Arc;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
@@ -302,7 +305,14 @@ mod tests {
 
     fn loaded(n: u64, fanout: usize) -> BTree {
         let entries: Vec<(Key, Rid)> = (0..n).map(|k| (k, rid(k))).collect();
-        bulk_load(pool(512), BTreeConfig::with_fanout(fanout), &entries, 1.0).unwrap()
+        bulk_load(
+            pool(512),
+            BTreeConfig::with_fanout(fanout),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -475,7 +485,14 @@ mod tests {
                 entries.push((k, Rid::new(k as u32, d)));
             }
         }
-        let mut t = bulk_load(pool(256), BTreeConfig::with_fanout(8), &entries, 1.0).unwrap();
+        let mut t = bulk_load(
+            pool(256),
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let keys: Vec<Key> = (0..300u64).filter(|k| k % 4 == 0).collect();
         let deleted = bulk_delete_by_keys(&mut t, &keys, ReorgPolicy::FreeAtEmpty).unwrap();
         assert_eq!(deleted.len(), keys.len() * 3);
@@ -580,7 +597,14 @@ mod tests {
                 entries.push((k, Rid::new(k as u32, d)));
             }
         }
-        let mut t = bulk_load(pool(256), BTreeConfig::with_fanout(8), &entries, 1.0).unwrap();
+        let mut t = bulk_load(
+            pool(256),
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         // Delete duplicate #1 and #3 of every key.
         let victims: Vec<(Key, Rid)> = (0..200u64)
             .flat_map(|k| [(k, Rid::new(k as u32, 1)), (k, Rid::new(k as u32, 3))])

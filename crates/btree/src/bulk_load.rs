@@ -9,30 +9,32 @@
 
 use std::sync::Arc;
 
-use bd_storage::{BufferPool, PageId, Rid, StorageResult};
+use bd_storage::{BufferPool, PageId, Rid, StorageResult, StructureId};
 
 use crate::node::{Key, NodeKind, NodeMut, Sep};
 use crate::tree::{BTree, BTreeConfig};
 
 /// Build a tree from `entries`, which must be sorted by `(key, rid)`.
 /// `fill` in `(0, 1]` sets how full each node is packed (1.0 = dense).
+/// Every page of the new tree is catalogued under `owner`.
 pub fn bulk_load(
     pool: Arc<BufferPool>,
     cfg: BTreeConfig,
     entries: &[(Key, Rid)],
     fill: f64,
+    owner: StructureId,
 ) -> StorageResult<BTree> {
     debug_assert!(entries.windows(2).all(|w| w[0] <= w[1]), "entries unsorted");
     assert!(fill > 0.0 && fill <= 1.0, "fill factor out of range");
 
-    let mut tree = BTree::create(pool.clone(), cfg)?;
+    let mut tree = BTree::create(pool.clone(), cfg, owner)?;
     if entries.is_empty() {
         return Ok(tree);
     }
 
     let per_leaf = ((cfg.leaf_cap as f64 * fill) as usize).clamp(1, cfg.leaf_cap);
     let n_leaves = entries.len().div_ceil(per_leaf);
-    let first_leaf = pool.allocate_contiguous(n_leaves);
+    let first_leaf = pool.allocate_contiguous(n_leaves, owner);
 
     // Write the leaf level with chained writes; remember each leaf's first
     // entry as the separator for the level above.
@@ -60,7 +62,7 @@ pub fn bulk_load(
         // Avoid a lopsided final node with a single child: rebalance by
         // capping children per node at ceil(len / n_nodes).
         let per_node = level_seps.len().div_ceil(n_nodes);
-        let first = pool.allocate_contiguous(n_nodes);
+        let first = pool.allocate_contiguous(n_nodes, owner);
         let mut next_seps: Vec<(Sep, PageId)> = Vec::with_capacity(n_nodes);
         pool.with_disk(|disk| {
             disk.write_chain(first, n_nodes, |pid, page| {
@@ -79,6 +81,9 @@ pub fn bulk_load(
     }
 
     let root = level_seps[0].1;
+    // The empty-tree scaffold `create` made is superseded by the loaded
+    // levels; return its page to the free set.
+    pool.free_page(tree.root_page());
     tree.install_root(root, height);
     tree.set_len(entries.len());
     tree.set_leaf_extent(Some((first_leaf, n_leaves)));
@@ -102,7 +107,14 @@ mod tests {
     #[test]
     fn loads_and_searches() {
         let entries: Vec<(Key, Rid)> = (0..10_000u64).map(|k| (k * 2, rid(k))).collect();
-        let t = bulk_load(pool(256), BTreeConfig::default(), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool(256),
+            BTreeConfig::default(),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert_eq!(t.len(), 10_000);
         assert_eq!(t.search(1000).unwrap(), vec![rid(500)]);
         assert_eq!(t.search(1001).unwrap(), Vec::<Rid>::new());
@@ -111,7 +123,14 @@ mod tests {
 
     #[test]
     fn empty_load_gives_empty_tree() {
-        let t = bulk_load(pool(16), BTreeConfig::default(), &[], 1.0).unwrap();
+        let t = bulk_load(
+            pool(16),
+            BTreeConfig::default(),
+            &[],
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
         assert_eq!(t.search(1).unwrap(), Vec::<Rid>::new());
@@ -119,7 +138,14 @@ mod tests {
 
     #[test]
     fn single_entry_load() {
-        let t = bulk_load(pool(16), BTreeConfig::default(), &[(9, rid(9))], 1.0).unwrap();
+        let t = bulk_load(
+            pool(16),
+            BTreeConfig::default(),
+            &[(9, rid(9))],
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert_eq!(t.height(), 1);
         assert_eq!(t.search(9).unwrap(), vec![rid(9)]);
         crate::verify::check(&t).unwrap();
@@ -128,8 +154,22 @@ mod tests {
     #[test]
     fn fill_factor_affects_leaf_count_and_height() {
         let entries: Vec<(Key, Rid)> = (0..4000u64).map(|k| (k, rid(k))).collect();
-        let dense = bulk_load(pool(64), BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
-        let sparse = bulk_load(pool(64), BTreeConfig::with_fanout(16), &entries, 0.5).unwrap();
+        let dense = bulk_load(
+            pool(64),
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let sparse = bulk_load(
+            pool(64),
+            BTreeConfig::with_fanout(16),
+            &entries,
+            0.5,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let (_, dn) = dense.leaf_extent().unwrap();
         let (_, sn) = sparse.leaf_extent().unwrap();
         assert_eq!(dn, 250);
@@ -141,8 +181,22 @@ mod tests {
     #[test]
     fn small_fanout_creates_taller_tree() {
         let entries: Vec<(Key, Rid)> = (0..100_000u64).map(|k| (k, rid(k))).collect();
-        let wide = bulk_load(pool(64), BTreeConfig::default(), &entries, 1.0).unwrap();
-        let tall = bulk_load(pool(64), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
+        let wide = bulk_load(
+            pool(64),
+            BTreeConfig::default(),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let tall = bulk_load(
+            pool(64),
+            BTreeConfig::with_fanout(32),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert_eq!(wide.height(), 3); // 255/leaf, 203 fanout: 393 leaves, 2 inners, root
         assert_eq!(tall.height(), 4); // Experiment 3's "larger height" setup
         crate::verify::check(&tall).unwrap();
@@ -151,7 +205,14 @@ mod tests {
     #[test]
     fn load_then_scan_roundtrips() {
         let entries: Vec<(Key, Rid)> = (0..2357u64).map(|k| (k * 3 + 1, rid(k))).collect();
-        let t = bulk_load(pool(128), BTreeConfig::with_fanout(32), &entries, 0.9).unwrap();
+        let t = bulk_load(
+            pool(128),
+            BTreeConfig::with_fanout(32),
+            &entries,
+            0.9,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let scanned: Vec<(Key, Rid)> = LeafScan::new(&t).unwrap().collect();
         assert_eq!(scanned, entries);
     }
@@ -164,7 +225,14 @@ mod tests {
                 entries.push((k, Rid::new(k as u32, d)));
             }
         }
-        let t = bulk_load(pool(64), BTreeConfig::with_fanout(7), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool(64),
+            BTreeConfig::with_fanout(7),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         for k in 0..100u64 {
             assert_eq!(t.search(k).unwrap().len(), 5, "key {k}");
         }
@@ -174,7 +242,14 @@ mod tests {
     #[test]
     fn incremental_inserts_after_load_work() {
         let entries: Vec<(Key, Rid)> = (0..1000u64).map(|k| (k * 2, rid(k))).collect();
-        let mut t = bulk_load(pool(256), BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+        let mut t = bulk_load(
+            pool(256),
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         for k in 0..500u64 {
             t.insert(k * 2 + 1, rid(10_000 + k)).unwrap();
         }

@@ -65,7 +65,7 @@ pub(crate) fn patch_parents_from(
         // Freed nodes at or above the root level can only mean an emptied
         // tree; the bulk path handles that before calling here.
         if freed.contains(&tree.root_page()) {
-            let (new_root, mut w) = tree.pool().new_page()?;
+            let (new_root, mut w) = tree.pool().new_page(tree.owner())?;
             NodeMut::init(&mut w[..], crate::node::NodeKind::Leaf);
             drop(w);
             tree.install_root(new_root, 1);
@@ -112,6 +112,7 @@ pub(crate) fn patch_parents_from(
                     NodeMut::new(&mut pw[..]).set_right_sibling(next);
                 }
                 tree.stats_mut().inners_freed += 1;
+                tree.pool().free_page(pid);
             } else {
                 prev = Some(pid);
             }
@@ -122,7 +123,7 @@ pub(crate) fn patch_parents_from(
 
     // The root itself lost every child: the tree is empty.
     if freed.contains(&tree.root_page()) {
-        let (new_root, mut w) = tree.pool().new_page()?;
+        let (new_root, mut w) = tree.pool().new_page(tree.owner())?;
         NodeMut::init(&mut w[..], crate::node::NodeKind::Leaf);
         drop(w);
         tree.install_root(new_root, 1);
@@ -208,6 +209,10 @@ pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
             // The whole subtree is empty: free every leaf and the base.
             freed_base.insert(base);
             tree.stats_mut().leaves_freed += children.len() as u64;
+            for &leaf in &children {
+                tree.pool().free_page(leaf);
+            }
+            tree.pool().free_page(base);
         } else {
             // Fix the chain: previous kept leaf -> first kept leaf here;
             // last kept leaf -> (patched when the next subtree resolves).
@@ -222,6 +227,9 @@ pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
             }
             prev_kept_leaf = Some(last_kept);
             tree.stats_mut().leaves_freed += (children.len() - kept) as u64;
+            for &leaf in &children[kept..] {
+                tree.pool().free_page(leaf);
+            }
             // Rebuild the base node over the kept leaves only.
             let inner_seps: Vec<(crate::node::Sep, u32)> =
                 seps[1..].iter().map(|&(s, c)| (s, c)).collect();
@@ -251,7 +259,13 @@ pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
 /// left-packed leaf extent and rebuild the inner levels bottom-up.
 pub(crate) fn compact_leaves(tree: &mut BTree, fill: f64) -> StorageResult<()> {
     let entries: Vec<_> = LeafScan::new(tree)?.collect();
-    let rebuilt = bulk_load(tree.pool().clone(), tree.config(), &entries, fill)?;
+    let rebuilt = bulk_load(
+        tree.pool().clone(),
+        tree.config(),
+        &entries,
+        fill,
+        tree.owner(),
+    )?;
     let root = rebuilt.root_page();
     let height = rebuilt.height();
     let extent = rebuilt.leaf_extent();

@@ -155,7 +155,7 @@ mod tests {
     use super::*;
     use crate::bulk_load::bulk_load;
     use crate::tree::BTreeConfig;
-    use bd_storage::{CostModel, SimDisk};
+    use bd_storage::{CostModel, SimDisk, StructureId};
 
     fn rid(i: u64) -> Rid {
         Rid::new(i as u32, 0)
@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn scan_after_incremental_inserts() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
-        let mut t = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        let mut t =
+            BTree::create(pool, BTreeConfig::with_fanout(8), StructureId::Index(0)).unwrap();
         for k in (0..200u64).rev() {
             t.insert(k, rid(k)).unwrap();
         }
@@ -179,7 +180,14 @@ mod tests {
     fn scan_of_bulk_loaded_tree_is_chained() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 128);
         let entries: Vec<(Key, Rid)> = (0..5000u64).map(|k| (k, rid(k))).collect();
-        let t = bulk_load(pool.clone(), BTreeConfig::default(), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool.clone(),
+            BTreeConfig::default(),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         pool.clear_cache().unwrap();
         pool.reset_stats();
         let n = LeafScan::new(&t).unwrap().count();
@@ -195,7 +203,14 @@ mod tests {
     fn lookup_keys_sorted_finds_exactly_matches() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
         let entries: Vec<(Key, Rid)> = (0..2000u64).map(|k| (k * 2, rid(k))).collect();
-        let t = bulk_load(pool, BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let keys = vec![0, 2, 3, 100, 101, 3998, 9999];
         let hits = lookup_keys_sorted(&t, &keys).unwrap();
         let got: Vec<Key> = hits.iter().map(|e| e.0).collect();
@@ -211,7 +226,14 @@ mod tests {
                 entries.push((k, Rid::new(k as u32, d)));
             }
         }
-        let t = bulk_load(pool, BTreeConfig::with_fanout(8), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let hits = lookup_keys_sorted(&t, &[7, 50]).unwrap();
         assert_eq!(hits.len(), 6);
         assert!(hits.iter().all(|e| e.0 == 7 || e.0 == 50));
@@ -220,9 +242,23 @@ mod tests {
     #[test]
     fn lookup_keys_sorted_empty_cases() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
-        let t = bulk_load(pool.clone(), BTreeConfig::default(), &[], 1.0).unwrap();
+        let t = bulk_load(
+            pool.clone(),
+            BTreeConfig::default(),
+            &[],
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert!(lookup_keys_sorted(&t, &[1, 2]).unwrap().is_empty());
-        let t2 = bulk_load(pool, BTreeConfig::default(), &[(5, rid(5))], 1.0).unwrap();
+        let t2 = bulk_load(
+            pool,
+            BTreeConfig::default(),
+            &[(5, rid(5))],
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         assert!(lookup_keys_sorted(&t2, &[]).unwrap().is_empty());
     }
 
@@ -230,7 +266,14 @@ mod tests {
     fn leaf_pages_visits_every_leaf_once() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
         let entries: Vec<(Key, Rid)> = (0..1000u64).map(|k| (k, rid(k))).collect();
-        let t = bulk_load(pool, BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+        let t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
         let pages: Vec<PageId> = LeafPages::new(&t).unwrap().map(|p| p.unwrap()).collect();
         let unique: std::collections::HashSet<_> = pages.iter().collect();
         assert_eq!(pages.len(), unique.len());

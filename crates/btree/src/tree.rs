@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use bd_storage::{BufferPool, PageId, Rid, StorageResult};
+use bd_storage::{BufferPool, PageId, Rid, StorageResult, StructureId};
 
 use crate::node::{key_floor, Key, NodeKind, NodeMut, NodeRef, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
 
@@ -64,6 +64,9 @@ pub struct TreeStats {
 pub struct BTree {
     pool: Arc<BufferPool>,
     cfg: BTreeConfig,
+    /// Structure that owns this tree's pages; every allocation the tree
+    /// makes is tagged with it in the page catalog.
+    owner: StructureId,
     root: PageId,
     /// Levels in the tree; 1 means the root is a leaf.
     height: usize,
@@ -76,20 +79,31 @@ pub struct BTree {
 }
 
 impl BTree {
-    /// Create an empty tree (a single empty leaf as root).
-    pub fn create(pool: Arc<BufferPool>, cfg: BTreeConfig) -> StorageResult<Self> {
-        let (root, mut w) = pool.new_page()?;
+    /// Create an empty tree (a single empty leaf as root) whose pages are
+    /// catalogued under `owner`.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        cfg: BTreeConfig,
+        owner: StructureId,
+    ) -> StorageResult<Self> {
+        let (root, mut w) = pool.new_page(owner)?;
         NodeMut::init(&mut w[..], NodeKind::Leaf);
         drop(w);
         Ok(BTree {
             pool,
             cfg,
+            owner,
             root,
             height: 1,
             n_entries: 0,
             leaf_extent: Some((root, 1)),
             stats: TreeStats::default(),
         })
+    }
+
+    /// Structure that owns this tree's pages in the page catalog.
+    pub fn owner(&self) -> StructureId {
+        self.owner
     }
 
     /// The buffer pool this tree lives in.
@@ -212,10 +226,12 @@ impl BTree {
         cfg: BTreeConfig,
         root: PageId,
         height: usize,
+        owner: StructureId,
     ) -> StorageResult<Self> {
         let mut tree = BTree {
             pool,
             cfg,
+            owner,
             root,
             height,
             n_entries: 0,
@@ -241,6 +257,27 @@ impl BTree {
         Ok(n)
     }
 
+    /// Every page reachable from the root by *child pointers*, in DFS
+    /// order. This is the tree's authoritative page set for the catalog
+    /// audit: leaves detached by free-at-empty stay in the sibling chain
+    /// (a B-link chain has no back pointer to patch) but are unreachable
+    /// through parents, so they are correctly absent here.
+    pub fn pages(&self) -> StorageResult<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            out.push(pid);
+            let r = self.pool.pin_read(pid)?;
+            let node = NodeRef::new(&r[..]);
+            if node.kind() == NodeKind::Inner {
+                for i in (0..=node.nkeys()).rev() {
+                    stack.push(node.inner_child(i));
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Insert `(key, rid)`.
     pub fn insert(&mut self, key: Key, rid: Rid) -> StorageResult<()> {
         let (leaf, path) = self.descend((key, rid))?;
@@ -253,7 +290,7 @@ impl BTree {
             return Ok(());
         }
         // Leaf split.
-        let (new_pid, mut new_w) = self.pool.new_page()?;
+        let (new_pid, mut new_w) = self.pool.new_page(self.owner)?;
         let mut right = NodeMut::init(&mut new_w[..], NodeKind::Leaf);
         let boundary = node.leaf_split_into(&mut right);
         right.set_right_sibling(node.as_ref().right_sibling());
@@ -287,7 +324,7 @@ impl BTree {
                 return Ok(());
             }
             // Split the inner node.
-            let (new_pid, mut new_w) = self.pool.new_page()?;
+            let (new_pid, mut new_w) = self.pool.new_page(self.owner)?;
             let mut right = NodeMut::init(&mut new_w[..], NodeKind::Inner);
             let promoted = node.inner_split_into(&mut right);
             right.set_right_sibling(node.as_ref().right_sibling());
@@ -304,7 +341,7 @@ impl BTree {
             right_child = new_pid;
         }
         // Root split.
-        let (new_root, mut w) = self.pool.new_page()?;
+        let (new_root, mut w) = self.pool.new_page(self.owner)?;
         let mut node = NodeMut::init(&mut w[..], NodeKind::Inner);
         node.inner_init_child0(self.root);
         node.inner_insert(sep, right_child);
@@ -406,6 +443,7 @@ impl BTree {
         path: &[(PageId, usize)],
     ) -> StorageResult<()> {
         self.stats.leaves_freed += 1;
+        self.pool.free_page(pid);
         let mut child = pid;
         for (level, &(parent, ci)) in path.iter().enumerate().rev() {
             let mut w = self.pool.pin_write(parent)?;
@@ -418,14 +456,16 @@ impl BTree {
                     drop(w);
                     if level > 0 {
                         self.stats.inners_freed += 1;
+                        self.pool.free_page(parent);
                         child = parent;
                         continue;
                     }
                     // Parent is the root with no children left; the tree is
                     // empty: make a fresh leaf the root.
-                    let (new_root, mut nw) = self.pool.new_page()?;
+                    let (new_root, mut nw) = self.pool.new_page(self.owner)?;
                     NodeMut::init(&mut nw[..], NodeKind::Leaf);
                     drop(nw);
+                    self.pool.free_page(parent);
                     self.root = new_root;
                     self.height = 1;
                     self.leaf_extent = Some((new_root, 1));
@@ -445,6 +485,7 @@ impl BTree {
                 let r = self.pool.pin_read(parent)?;
                 let only = NodeRef::new(&r[..]).inner_child(0);
                 drop(r);
+                self.pool.free_page(parent);
                 self.root = only;
                 self.height -= 1;
             }
@@ -457,11 +498,11 @@ impl BTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bd_storage::{CostModel, SimDisk};
+    use bd_storage::{CostModel, SimDisk, StructureId};
 
     fn tree(frames: usize, cfg: BTreeConfig) -> BTree {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), frames);
-        BTree::create(pool, cfg).unwrap()
+        BTree::create(pool, cfg, StructureId::Index(0)).unwrap()
     }
 
     fn rid(i: u64) -> Rid {

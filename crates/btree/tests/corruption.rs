@@ -4,7 +4,7 @@
 
 use bd_btree::node::{NodeKind, NodeMut, NodeRef};
 use bd_btree::{bulk_load, verify, BTree, BTreeConfig, Key};
-use bd_storage::{BufferPool, CostModel, PageId, Rid, SimDisk};
+use bd_storage::{BufferPool, CostModel, PageId, Rid, SimDisk, StructureId};
 use std::sync::Arc;
 
 fn loaded(n: u64, fanout: usize) -> (BTree, Arc<BufferPool>) {
@@ -15,6 +15,7 @@ fn loaded(n: u64, fanout: usize) -> (BTree, Arc<BufferPool>) {
         BTreeConfig::with_fanout(fanout),
         &entries,
         1.0,
+        StructureId::Index(0),
     )
     .unwrap();
     (t, pool)
@@ -133,7 +134,7 @@ fn restore_rebuilds_handle_from_metadata() {
     let height = t.height();
     let cfg = t.config();
     drop(t);
-    let restored = BTree::restore(pool, cfg, root, height).unwrap();
+    let restored = BTree::restore(pool, cfg, root, height, StructureId::Index(0)).unwrap();
     assert_eq!(restored.len(), 2000);
     assert_eq!(restored.height(), height);
     assert_eq!(restored.search(777).unwrap(), vec![Rid::new(777, 0)]);

@@ -8,7 +8,7 @@ use bd_btree::{
     bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted, bulk_load, verify, BTree,
     BTreeConfig, Key, LeafScan, ReorgPolicy,
 };
-use bd_storage::{BufferPool, CostModel, Rid, SimDisk};
+use bd_storage::{BufferPool, CostModel, Rid, SimDisk, StructureId};
 
 fn pool(frames: usize) -> Arc<BufferPool> {
     BufferPool::new(SimDisk::new(CostModel::default()), frames)
@@ -28,7 +28,12 @@ fn lcg(seed: u64) -> impl FnMut() -> u64 {
 fn random_lifecycle_across_fanouts() {
     for fanout in [3, 4, 7, 16, 64] {
         let mut rng = lcg(fanout as u64);
-        let mut tree = BTree::create(pool(1024), BTreeConfig::with_fanout(fanout)).unwrap();
+        let mut tree = BTree::create(
+            pool(1024),
+            BTreeConfig::with_fanout(fanout),
+            StructureId::Index(0),
+        )
+        .unwrap();
         let mut model: BTreeMap<Key, Rid> = BTreeMap::new();
         // Phase 1: random inserts.
         for _ in 0..2000 {
@@ -91,9 +96,30 @@ fn three_bulk_primitives_agree() {
         .collect();
     let rids: std::collections::HashSet<Rid> = pairs.iter().map(|e| e.1).collect();
 
-    let mut t1 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
-    let mut t2 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
-    let mut t3 = bulk_load(pool(512), BTreeConfig::with_fanout(32), &entries, 1.0).unwrap();
+    let mut t1 = bulk_load(
+        pool(512),
+        BTreeConfig::with_fanout(32),
+        &entries,
+        1.0,
+        StructureId::Index(0),
+    )
+    .unwrap();
+    let mut t2 = bulk_load(
+        pool(512),
+        BTreeConfig::with_fanout(32),
+        &entries,
+        1.0,
+        StructureId::Index(0),
+    )
+    .unwrap();
+    let mut t3 = bulk_load(
+        pool(512),
+        BTreeConfig::with_fanout(32),
+        &entries,
+        1.0,
+        StructureId::Index(0),
+    )
+    .unwrap();
 
     let d1 = bulk_delete_by_keys(&mut t1, &keys, ReorgPolicy::FreeAtEmpty).unwrap();
     let d2 = bulk_delete_sorted(&mut t2, &pairs, ReorgPolicy::FreeAtEmpty).unwrap();
@@ -114,7 +140,12 @@ fn three_bulk_primitives_agree() {
 #[test]
 fn alternating_bulk_loads_and_deletes() {
     // Repeatedly: bulk delete a stripe, insert a new stripe, verify.
-    let mut tree = BTree::create(pool(1024), BTreeConfig::with_fanout(16)).unwrap();
+    let mut tree = BTree::create(
+        pool(1024),
+        BTreeConfig::with_fanout(16),
+        StructureId::Index(0),
+    )
+    .unwrap();
     let mut model: BTreeMap<Key, Rid> = BTreeMap::new();
     for k in 0..4000u64 {
         let rid = Rid::new(k as u32, 0);
@@ -153,7 +184,14 @@ fn alternating_bulk_loads_and_deletes() {
 #[test]
 fn base_node_pack_after_each_round_stays_consistent() {
     let entries: Vec<(Key, Rid)> = (0..6000u64).map(|k| (k, Rid::new(k as u32, 0))).collect();
-    let mut tree = bulk_load(pool(1024), BTreeConfig::with_fanout(16), &entries, 1.0).unwrap();
+    let mut tree = bulk_load(
+        pool(1024),
+        BTreeConfig::with_fanout(16),
+        &entries,
+        1.0,
+        StructureId::Index(0),
+    )
+    .unwrap();
     let mut expect: BTreeMap<Key, Rid> = entries.iter().copied().collect();
     let mut rng = lcg(77);
     for round in 0..4 {
@@ -177,7 +215,14 @@ fn base_node_pack_after_each_round_stays_consistent() {
 fn deep_tree_operations() {
     // Fanout 3 at 3000 entries: a genuinely deep tree (~7 levels).
     let entries: Vec<(Key, Rid)> = (0..3000u64).map(|k| (k, Rid::new(k as u32, 0))).collect();
-    let mut tree = bulk_load(pool(4096), BTreeConfig::with_fanout(3), &entries, 1.0).unwrap();
+    let mut tree = bulk_load(
+        pool(4096),
+        BTreeConfig::with_fanout(3),
+        &entries,
+        1.0,
+        StructureId::Index(0),
+    )
+    .unwrap();
     assert!(tree.height() >= 6, "height {}", tree.height());
     for k in (0..3000u64).step_by(100) {
         assert_eq!(tree.search(k).unwrap(), vec![Rid::new(k as u32, 0)]);

@@ -242,6 +242,91 @@ pub fn audit_table(db: &Database, tid: TableId) -> DbResult<AuditReport> {
     Ok(report)
 }
 
+/// Audit the page catalog against reality for one table.
+///
+/// Walks every structure's real page set — the heap's page list, each
+/// B-tree's child-pointer reachability, each hash index's bucket chains —
+/// and checks the invariants media recovery depends on:
+///
+/// * every reachable page is catalogued to exactly the structure that
+///   reaches it (so a torn page condemns the right structure);
+/// * no page is reachable from two structures;
+/// * every catalog-*free* page is unreachable (so healing a free page
+///   without a rebuild is always safe);
+/// * the heap's FSM tracks exactly the walked heap pages (the catalog, the
+///   FSM, and the page walk agree on what the table owns).
+///
+/// Owned-but-unreachable pages are legal and not reported: leaf compaction
+/// and base-node packing abandon pages without freeing them, and a
+/// collapsed root stays catalogued so checkpoint restores stay valid.
+pub fn audit_catalog(db: &Database, tid: TableId) -> DbResult<AuditReport> {
+    use bd_storage::{PageId, StructureId};
+    let mut report = AuditReport::default();
+    let table = db.table(tid)?;
+    let catalog = db.pool().catalog();
+
+    let mut reachable: BTreeMap<PageId, StructureId> = BTreeMap::new();
+    let mut claim = |report: &mut AuditReport, pid: PageId, owner: StructureId| {
+        if let Some(prev) = reachable.insert(pid, owner) {
+            if prev != owner {
+                report.push(
+                    "catalog",
+                    format!("page {pid} is reachable from both {prev} and {owner}"),
+                );
+            }
+        }
+    };
+    for &pid in table.heap.page_ids() {
+        claim(&mut report, pid, StructureId::Table);
+    }
+    for index in &table.indices {
+        let owner = StructureId::Index(index.def.attr as u16);
+        for pid in index.tree.pages()? {
+            claim(&mut report, pid, owner);
+        }
+    }
+    for h in &table.hash_indices {
+        let owner = StructureId::Hash(h.def.attr as u16);
+        for pid in h.index.pages()? {
+            claim(&mut report, pid, owner);
+        }
+    }
+
+    // Reachable ⇒ owned by exactly that structure.
+    for (&pid, &owner) in &reachable {
+        match catalog.owner(pid) {
+            Some(o) if o == owner => {}
+            Some(o) => report.push(
+                "catalog",
+                format!("page {pid} is reachable from {owner} but catalogued as {o}"),
+            ),
+            None => report.push(
+                "catalog",
+                format!("page {pid} is reachable from {owner} but catalogued as free"),
+            ),
+        }
+    }
+    // Free ⇒ unreachable (the dual; covers free pages nothing walks).
+    for pid in catalog.free_pages() {
+        if let Some(owner) = reachable.get(&pid) {
+            report.push(
+                "catalog",
+                format!("page {pid} is catalogued as free but reachable from {owner}"),
+            );
+        }
+    }
+    // FSM ↔ page walk: every heap page has a free-space entry.
+    for &pid in table.heap.page_ids() {
+        if table.heap.fsm_free(pid).is_none() {
+            report.push(
+                "catalog",
+                format!("heap page {pid} is missing from the free-space map"),
+            );
+        }
+    }
+    Ok(report)
+}
+
 /// What [`audit_equivalence_with`] compares beyond logical content.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AuditOptions {
@@ -680,11 +765,12 @@ impl ShadowDb {
 mod tests {
     use super::*;
     use bd_btree::{BTree, BTreeConfig};
-    use bd_storage::{BufferPool, CostModel, SimDisk};
+    use bd_storage::{BufferPool, CostModel, SimDisk, StructureId};
 
     fn tree_with(keys: impl Iterator<Item = Key>) -> BTree {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 128);
-        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        let mut tree =
+            BTree::create(pool, BTreeConfig::with_fanout(8), StructureId::Index(0)).unwrap();
         for k in keys {
             tree.insert(k, Rid::new(0, (k % 1000) as u16)).unwrap();
         }
@@ -712,5 +798,67 @@ mod tests {
         let tall = verify::audit(&tree_with(0..400)).unwrap();
         let diff = shape_diff(&small, &tall, "A", "B").unwrap();
         assert!(diff.contains("height"), "{diff}");
+    }
+
+    fn catalog_db() -> (Database, TableId) {
+        let mut db = Database::new(crate::db::DatabaseConfig::default());
+        let schema = Schema::new(3, 64);
+        let tid = db.create_table("t", schema);
+        for i in 0..500u64 {
+            db.insert(tid, &Tuple::new(vec![i * 10, i * 7, i * 3]))
+                .unwrap();
+        }
+        db.create_index(tid, crate::catalog::IndexDef::secondary(0))
+            .unwrap();
+        db.create_index(tid, crate::catalog::IndexDef::secondary(1))
+            .unwrap();
+        db.create_hash_index(tid, 2).unwrap();
+        (db, tid)
+    }
+
+    #[test]
+    fn catalog_audit_is_clean_after_build_and_bulk_delete() {
+        let (mut db, tid) = catalog_db();
+        audit_catalog(&db, tid).unwrap().into_result().unwrap();
+        let keys: Vec<Key> = (0..500u64).step_by(2).map(|i| i * 10).collect();
+        db.delete_in(tid, 0, &keys).unwrap();
+        audit_catalog(&db, tid).unwrap().into_result().unwrap();
+    }
+
+    #[test]
+    fn catalog_audit_flags_a_reachable_page_marked_free() {
+        let (db, tid) = catalog_db();
+        let pid = db.table(tid).unwrap().indices[0].tree.root_page();
+        db.pool().free_page(pid);
+        let report = audit_catalog(&db, tid).unwrap();
+        assert!(
+            report.findings.iter().any(|f| f.detail.contains("free")),
+            "freeing a live root must be caught: {report}"
+        );
+    }
+
+    #[test]
+    fn catalog_audit_flags_a_page_owned_by_the_wrong_structure() {
+        let (db, tid) = catalog_db();
+        let pid = db.table(tid).unwrap().indices[0].tree.root_page();
+        db.pool()
+            .with_disk(|d| d.set_page_owner(pid, StructureId::Hash(9)));
+        let report = audit_catalog(&db, tid).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.detail.contains("catalogued as hash(9)")),
+            "wrong owner must be caught: {report}"
+        );
+    }
+
+    #[test]
+    fn catalog_audit_allows_owned_but_unreachable_pages() {
+        let (mut db, tid) = catalog_db();
+        // Delete everything: trees collapse, abandoning owned pages.
+        let keys: Vec<Key> = (0..500u64).map(|i| i * 10).collect();
+        db.delete_in(tid, 0, &keys).unwrap();
+        audit_catalog(&db, tid).unwrap().into_result().unwrap();
     }
 }

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use bd_btree::{bulk_load, BTree, Key, LeafScan};
 use bd_exec::sort_all;
-use bd_storage::{BufferPool, CostModel, MemoryBudget, Rid, SimDisk};
+use bd_storage::{BufferPool, CostModel, MemoryBudget, Rid, SimDisk, StructureId};
 
 use crate::catalog::{Index, IndexDef, Table};
 use crate::constraint::ForeignKey;
@@ -163,7 +163,13 @@ impl Database {
         if let Some(e) = scan.take_error() {
             return Err(DbError::Storage(e));
         }
-        let tree = bulk_load(pool, def.config, &sorted, def.fill)?;
+        let tree = bulk_load(
+            pool,
+            def.config,
+            &sorted,
+            def.fill,
+            StructureId::Index(def.attr as u16),
+        )?;
         table.indices.push(Index { def, tree });
         Ok(())
     }
@@ -178,7 +184,11 @@ impl Database {
             return Err(DbError::IndexExists { attr });
         }
         let schema = table.schema;
-        let mut index = bd_hashidx::HashIndex::with_capacity(pool, table.heap.len().max(64))?;
+        let mut index = bd_hashidx::HashIndex::with_capacity(
+            pool,
+            table.heap.len().max(64),
+            StructureId::Hash(attr as u16),
+        )?;
         for (rid, bytes) in table.heap.dump()? {
             index.insert(schema.attr_of(&bytes, attr), rid)?;
         }
@@ -192,12 +202,14 @@ impl Database {
         Ok(())
     }
 
-    /// Drop the index on `attr` (its pages are abandoned, as in the
-    /// prototype). Returns the dropped definition for later re-creation.
+    /// Drop the index on `attr`, returning all of its catalogued pages to
+    /// the free set. Returns the dropped definition for later re-creation.
     pub fn drop_index(&mut self, id: TableId, attr: usize) -> DbResult<IndexDef> {
         let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
         let pos = table.index_pos(attr).ok_or(DbError::NoSuchIndex { attr })?;
-        Ok(table.indices.remove(pos).def)
+        let def = table.indices.remove(pos).def;
+        self.pool.free_owned(StructureId::Index(attr as u16));
+        Ok(def)
     }
 
     /// Register a referential constraint (checked by

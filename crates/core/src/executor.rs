@@ -325,12 +325,12 @@ impl PhaseExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bd_storage::{BufferPool, CostModel, FaultPlan, FaultSpec, SimDisk};
+    use bd_storage::{BufferPool, CostModel, FaultPlan, FaultSpec, SimDisk, StructureId};
     use std::sync::Arc;
 
     fn pool_with_pages(n: usize) -> (Arc<BufferPool>, u32) {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(n);
+        let first = disk.allocate_contiguous(n, StructureId::Table);
         (BufferPool::new(disk, n.max(2)), first)
     }
 

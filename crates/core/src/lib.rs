@@ -52,8 +52,8 @@ pub mod tuple;
 pub mod update;
 
 pub use audit::{
-    audit_equivalence, audit_equivalence_with, audit_table, AuditFinding, AuditOptions,
-    AuditReport, ShadowDb,
+    audit_catalog, audit_equivalence, audit_equivalence_with, audit_table, AuditFinding,
+    AuditOptions, AuditReport, ShadowDb,
 };
 pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
 pub use constraint::{ForeignKey, RefAction};
@@ -71,7 +71,8 @@ pub use update::{bulk_update, UpdateOutcome};
 /// Common imports for examples and downstream crates.
 pub mod prelude {
     pub use crate::audit::{
-        audit_equivalence, audit_equivalence_with, audit_table, AuditOptions, AuditReport, ShadowDb,
+        audit_catalog, audit_equivalence, audit_equivalence_with, audit_table, AuditOptions,
+        AuditReport, ShadowDb,
     };
     pub use crate::catalog::IndexDef;
     pub use crate::db::{Database, DatabaseConfig, TableId};

@@ -270,12 +270,12 @@ pub fn measure<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bd_storage::{CostModel, SimDisk};
+    use bd_storage::{CostModel, SimDisk, StructureId};
 
     #[test]
     fn measure_accounts_io_and_flush() {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(4);
+        let first = disk.allocate_contiguous(4, StructureId::Table);
         let pool = BufferPool::new(disk, 8);
         let (_, report) = measure(&pool, "probe", || {
             let mut w = pool.pin_write(first)?;
@@ -292,7 +292,7 @@ mod tests {
     #[test]
     fn measure_starts_cold() {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(2);
+        let first = disk.allocate_contiguous(2, StructureId::Table);
         let pool = BufferPool::new(disk, 8);
         let _ = pool.pin_read(first).unwrap();
         let (_, report) = measure(&pool, "x", || {
@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn phase_timer_attributes_io_per_phase() {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(4);
+        let first = disk.allocate_contiguous(4, StructureId::Table);
         let pool = BufferPool::new(disk, 8);
         let mut timer = PhaseTimer::new();
         timer

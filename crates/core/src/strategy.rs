@@ -30,7 +30,7 @@ use std::sync::Mutex;
 
 use bd_btree::{bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted, Key, ReorgPolicy};
 use bd_exec::{range_partitions, sort_all, ByRid, RidSet, BYTES_PER_RID};
-use bd_storage::{BufferPool, MemoryBudget, Rid, StorageResult};
+use bd_storage::{BufferPool, MemoryBudget, Rid, StorageResult, StructureId};
 
 use crate::catalog::{HashIdx, Index, IndexDef};
 use crate::db::{Database, TableId};
@@ -273,10 +273,20 @@ fn execute_drop_create(
                         if let Some(e) = scan.take_error() {
                             return Err(e);
                         }
-                        bd_btree::bulk_load(pool.clone(), def.config, &sorted, def.fill)?
+                        bd_btree::bulk_load(
+                            pool.clone(),
+                            def.config,
+                            &sorted,
+                            def.fill,
+                            StructureId::Index(def.attr as u16),
+                        )?
                     }
                     RebuildMode::InsertEach => {
-                        let mut tree = bd_btree::BTree::create(pool.clone(), def.config)?;
+                        let mut tree = bd_btree::BTree::create(
+                            pool.clone(),
+                            def.config,
+                            StructureId::Index(def.attr as u16),
+                        )?;
                         for (rid, bytes) in heap.dump()? {
                             tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
                         }

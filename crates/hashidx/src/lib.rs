@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use bd_storage::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
-use bd_storage::{BufferPool, PageId, Rid, StorageResult, PAGE_SIZE};
+use bd_storage::{BufferPool, PageId, Rid, StorageResult, StructureId, PAGE_SIZE};
 
 /// Key type (matches the B-tree's).
 pub type Key = u64;
@@ -80,14 +80,19 @@ pub struct HashIndex {
     pool: Arc<BufferPool>,
     buckets: Vec<PageId>,
     n_entries: usize,
+    owner: StructureId,
 }
 
 impl HashIndex {
     /// Create an index with `n_buckets` bucket pages (allocated
-    /// contiguously).
-    pub fn create(pool: Arc<BufferPool>, n_buckets: usize) -> StorageResult<Self> {
+    /// contiguously), owned by `owner` in the page catalog.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        n_buckets: usize,
+        owner: StructureId,
+    ) -> StorageResult<Self> {
         assert!(n_buckets > 0);
-        let first = pool.allocate_contiguous(n_buckets);
+        let first = pool.allocate_contiguous(n_buckets, owner);
         pool.with_disk(|disk| {
             disk.write_chain(first, n_buckets, |_, page| {
                 page_set_n(&mut page[..], 0);
@@ -98,15 +103,20 @@ impl HashIndex {
             pool,
             buckets: (0..n_buckets as PageId).map(|i| first + i).collect(),
             n_entries: 0,
+            owner,
         })
     }
 
     /// Size the bucket count for an expected entry count at ~70% fill.
-    pub fn with_capacity(pool: Arc<BufferPool>, expected: usize) -> StorageResult<Self> {
+    pub fn with_capacity(
+        pool: Arc<BufferPool>,
+        expected: usize,
+        owner: StructureId,
+    ) -> StorageResult<Self> {
         let buckets = (expected as f64 / (BUCKET_CAP as f64 * 0.7))
             .ceil()
             .max(1.0) as usize;
-        HashIndex::create(pool, buckets)
+        HashIndex::create(pool, buckets, owner)
     }
 
     /// Number of live entries.
@@ -122,6 +132,11 @@ impl HashIndex {
     /// Number of bucket pages (excluding overflow pages).
     pub fn n_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// The structure this index's pages are catalogued under.
+    pub fn owner(&self) -> StructureId {
+        self.owner
     }
 
     /// Every page the index owns: bucket pages plus their overflow chains,
@@ -159,7 +174,7 @@ impl HashIndex {
                 }
                 None => {
                     // Chain a fresh overflow page.
-                    let (new_pid, mut nw) = self.pool.new_page()?;
+                    let (new_pid, mut nw) = self.pool.new_page(self.owner)?;
                     page_set_n(&mut nw[..], 1);
                     page_set_overflow(&mut nw[..], None);
                     page_set_entry(&mut nw[..], 0, (key, rid));
@@ -349,6 +364,14 @@ impl HashAudit {
     }
 }
 
+// Hash-index arms are dispatched to worker threads by the phase-task
+// executor; the handle must stay `Send` (see the matching assertion on
+// `bd_btree::BTree`).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<HashIndex>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,7 +387,7 @@ mod tests {
 
     #[test]
     fn insert_search_delete() {
-        let mut h = HashIndex::create(pool(), 4).unwrap();
+        let mut h = HashIndex::create(pool(), 4, StructureId::Hash(0)).unwrap();
         for k in 0..100u64 {
             h.insert(k, rid(k)).unwrap();
         }
@@ -379,7 +402,7 @@ mod tests {
 
     #[test]
     fn duplicates_supported() {
-        let mut h = HashIndex::create(pool(), 2).unwrap();
+        let mut h = HashIndex::create(pool(), 2, StructureId::Hash(0)).unwrap();
         for i in 0..5u16 {
             h.insert(7, Rid::new(1, i)).unwrap();
         }
@@ -392,7 +415,7 @@ mod tests {
 
     #[test]
     fn pages_lists_buckets_and_overflow_chains() {
-        let mut h = HashIndex::create(pool(), 2).unwrap();
+        let mut h = HashIndex::create(pool(), 2, StructureId::Hash(0)).unwrap();
         assert_eq!(h.pages().unwrap().len(), 2, "bucket pages only");
         // One bucket overflows: pages() must pick up the chained page.
         let n = (BUCKET_CAP * 2 + BUCKET_CAP / 2) as u64;
@@ -413,7 +436,7 @@ mod tests {
     #[test]
     fn overflow_chains_grow_and_shrink_logically() {
         // One bucket forces overflow beyond BUCKET_CAP entries.
-        let mut h = HashIndex::create(pool(), 1).unwrap();
+        let mut h = HashIndex::create(pool(), 1, StructureId::Hash(0)).unwrap();
         let n = (BUCKET_CAP * 3) as u64;
         for k in 0..n {
             h.insert(k, rid(k)).unwrap();
@@ -431,7 +454,7 @@ mod tests {
 
     #[test]
     fn scan_returns_every_entry_once() {
-        let mut h = HashIndex::with_capacity(pool(), 1000).unwrap();
+        let mut h = HashIndex::with_capacity(pool(), 1000, StructureId::Hash(0)).unwrap();
         for k in 0..1000u64 {
             h.insert(k * 3, rid(k)).unwrap();
         }
@@ -444,7 +467,7 @@ mod tests {
 
     #[test]
     fn with_capacity_keeps_chains_short() {
-        let mut h = HashIndex::with_capacity(pool(), 10_000).unwrap();
+        let mut h = HashIndex::with_capacity(pool(), 10_000, StructureId::Hash(0)).unwrap();
         for k in 0..10_000u64 {
             h.insert(k, rid(k)).unwrap();
         }
@@ -457,7 +480,7 @@ mod tests {
 
     #[test]
     fn audit_dumps_chains_and_flags_misplaced_entries() {
-        let mut h = HashIndex::create(pool(), 4).unwrap();
+        let mut h = HashIndex::create(pool(), 4, StructureId::Hash(0)).unwrap();
         for k in 0..200u64 {
             h.insert(k, rid(k)).unwrap();
         }
@@ -494,7 +517,7 @@ mod tests {
 
     #[test]
     fn audit_flags_counter_drift() {
-        let mut h = HashIndex::create(pool(), 2).unwrap();
+        let mut h = HashIndex::create(pool(), 2, StructureId::Hash(0)).unwrap();
         for k in 0..20u64 {
             h.insert(k, rid(k)).unwrap();
         }
@@ -510,7 +533,7 @@ mod tests {
     #[test]
     fn model_equivalence_under_mixed_ops() {
         use std::collections::HashSet;
-        let mut h = HashIndex::create(pool(), 8).unwrap();
+        let mut h = HashIndex::create(pool(), 8, StructureId::Hash(0)).unwrap();
         let mut model: HashSet<(Key, Rid)> = HashSet::new();
         let mut x = 99u64;
         for _ in 0..3000 {
@@ -533,11 +556,3 @@ mod tests {
         assert_eq!(scanned, expect);
     }
 }
-
-// Hash-index arms are dispatched to worker threads by the phase-task
-// executor; the handle must stay `Send` (see the matching assertion on
-// `bd_btree::BTree`).
-const _: fn() = || {
-    fn assert_send<T: Send>() {}
-    assert_send::<HashIndex>();
-};

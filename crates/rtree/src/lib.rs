@@ -32,7 +32,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use bd_storage::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
-use bd_storage::{BufferPool, PageId, Rid, StorageResult, PAGE_SIZE};
+use bd_storage::{BufferPool, PageId, Rid, StorageResult, StructureId, PAGE_SIZE};
 
 /// Coordinate type.
 pub type Coord = u64;
@@ -218,6 +218,7 @@ pub struct RTree {
     root: PageId,
     height: usize,
     n_entries: usize,
+    owner: StructureId,
 }
 
 enum InsertResult {
@@ -228,9 +229,13 @@ enum InsertResult {
 }
 
 impl RTree {
-    /// Create an empty tree.
-    pub fn create(pool: Arc<BufferPool>, cfg: RTreeConfig) -> StorageResult<Self> {
-        let (root, mut w) = pool.new_page()?;
+    /// Create an empty tree whose pages are catalogued under `owner`.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        cfg: RTreeConfig,
+        owner: StructureId,
+    ) -> StorageResult<Self> {
+        let (root, mut w) = pool.new_page(owner)?;
         set_kind(&mut w[..], true);
         set_n(&mut w[..], 0);
         drop(w);
@@ -240,6 +245,7 @@ impl RTree {
             root,
             height: 1,
             n_entries: 0,
+            owner,
         })
     }
 
@@ -264,7 +270,7 @@ impl RTree {
             InsertResult::Fit(_) => {}
             InsertResult::Split(left_rect, right_rect, right_pid) => {
                 // Grow a new root.
-                let (new_root, mut w) = self.pool.new_page()?;
+                let (new_root, mut w) = self.pool.new_page(self.owner)?;
                 set_kind(&mut w[..], false);
                 set_n(&mut w[..], 2);
                 set_inner_entry(&mut w[..], 0, left_rect, self.root);
@@ -309,7 +315,7 @@ impl RTree {
             }
             let left_mbr = Self::leaf_mbr(&w[..]);
             drop(w);
-            let (new_pid, mut nw) = self.pool.new_page()?;
+            let (new_pid, mut nw) = self.pool.new_page(self.owner)?;
             set_kind(&mut nw[..], true);
             set_n(&mut nw[..], right.len());
             for (i, &re) in right.iter().enumerate() {
@@ -362,7 +368,7 @@ impl RTree {
                 }
                 let left_mbr = Self::inner_mbr(&w[..]);
                 drop(w);
-                let (new_pid, mut nw) = self.pool.new_page()?;
+                let (new_pid, mut nw) = self.pool.new_page(self.owner)?;
                 set_kind(&mut nw[..], false);
                 set_n(&mut nw[..], right.len());
                 for (i, &(r, c)) in right.iter().enumerate() {
@@ -513,7 +519,7 @@ impl RTree {
             } else if !is_leaf(&r[..]) && n_of(&r[..]) == 0 {
                 // Tree emptied: fresh leaf root.
                 drop(r);
-                let (new_root, mut w) = self.pool.new_page()?;
+                let (new_root, mut w) = self.pool.new_page(self.owner)?;
                 set_kind(&mut w[..], true);
                 set_n(&mut w[..], 0);
                 drop(w);
@@ -652,7 +658,8 @@ mod tests {
 
     #[test]
     fn insert_and_window_search() {
-        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
+        let mut t =
+            RTree::create(pool(), RTreeConfig::with_fanout(8), StructureId::Spatial(0)).unwrap();
         for e in grid_points(20) {
             t.insert(e).unwrap();
         }
@@ -669,7 +676,8 @@ mod tests {
 
     #[test]
     fn traditional_delete_shrinks_mbrs() {
-        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(6)).unwrap();
+        let mut t =
+            RTree::create(pool(), RTreeConfig::with_fanout(6), StructureId::Spatial(0)).unwrap();
         let pts = grid_points(12);
         for &e in &pts {
             t.insert(e).unwrap();
@@ -692,8 +700,10 @@ mod tests {
         let pts = grid_points(16);
         let victims: Vec<PointEntry> = pts.iter().copied().step_by(2).collect();
 
-        let mut trad = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
-        let mut bulk = RTree::create(pool(), RTreeConfig::with_fanout(8)).unwrap();
+        let mut trad =
+            RTree::create(pool(), RTreeConfig::with_fanout(8), StructureId::Spatial(0)).unwrap();
+        let mut bulk =
+            RTree::create(pool(), RTreeConfig::with_fanout(8), StructureId::Spatial(0)).unwrap();
         for &e in &pts {
             trad.insert(e).unwrap();
             bulk.insert(e).unwrap();
@@ -712,7 +722,8 @@ mod tests {
 
     #[test]
     fn bulk_delete_everything() {
-        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(5)).unwrap();
+        let mut t =
+            RTree::create(pool(), RTreeConfig::with_fanout(5), StructureId::Spatial(0)).unwrap();
         let pts = grid_points(10);
         for &e in &pts {
             t.insert(e).unwrap();
@@ -730,7 +741,7 @@ mod tests {
 
     #[test]
     fn bulk_delete_visits_each_page_once() {
-        let mut t = RTree::create(pool(), RTreeConfig::default()).unwrap();
+        let mut t = RTree::create(pool(), RTreeConfig::default(), StructureId::Spatial(0)).unwrap();
         let pts = grid_points(50); // 2500 points
         for &e in &pts {
             t.insert(e).unwrap();
@@ -738,7 +749,8 @@ mod tests {
         let victims: HashSet<Rid> = pts.iter().step_by(4).map(|e| e.rid).collect();
 
         // Traditional: one traversal per victim.
-        let mut trad = RTree::create(pool(), RTreeConfig::default()).unwrap();
+        let mut trad =
+            RTree::create(pool(), RTreeConfig::default(), StructureId::Spatial(0)).unwrap();
         for &e in &pts {
             trad.insert(e).unwrap();
         }
@@ -763,7 +775,8 @@ mod tests {
 
     #[test]
     fn random_points_model_check() {
-        let mut t = RTree::create(pool(), RTreeConfig::with_fanout(7)).unwrap();
+        let mut t =
+            RTree::create(pool(), RTreeConfig::with_fanout(7), StructureId::Spatial(0)).unwrap();
         let mut x = 1234u64;
         let mut model = Vec::new();
         for i in 0..1500u32 {

@@ -17,6 +17,7 @@ use parking_lot::{Mutex, RawRwLock, RwLock};
 
 use crate::disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
 use crate::error::{StorageError, StorageResult};
+use crate::owner::{PageCatalog, StructureId};
 use crate::page::PageBuf;
 
 type ReadGuard = ArcRwLockReadGuard<RawRwLock, PageBuf>;
@@ -157,14 +158,31 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Allocate one fresh page on disk (not yet resident).
-    pub fn allocate(&self) -> PageId {
-        self.disk.lock().allocate()
+    /// Allocate one fresh page on disk to `owner` (not yet resident).
+    pub fn allocate(&self, owner: StructureId) -> PageId {
+        self.disk.lock().allocate(owner)
     }
 
-    /// Allocate `n` contiguous pages on disk, returning the first id.
-    pub fn allocate_contiguous(&self, n: usize) -> PageId {
-        self.disk.lock().allocate_contiguous(n)
+    /// Allocate `n` contiguous pages on disk to `owner`, returning the
+    /// first id.
+    pub fn allocate_contiguous(&self, n: usize, owner: StructureId) -> PageId {
+        self.disk.lock().allocate_contiguous(n, owner)
+    }
+
+    /// Move a page to the catalog's free set (see [`SimDisk::free_page`]).
+    pub fn free_page(&self, pid: PageId) {
+        self.disk.lock().free_page(pid);
+    }
+
+    /// Free every page owned by `owner`, returning the freed ids (see
+    /// [`SimDisk::free_owned`]).
+    pub fn free_owned(&self, owner: StructureId) -> Vec<PageId> {
+        self.disk.lock().free_owned(owner)
+    }
+
+    /// Snapshot of the disk's page → owner catalog.
+    pub fn catalog(&self) -> PageCatalog {
+        self.disk.lock().catalog().clone()
     }
 
     /// Run a closure against the raw disk (used by temp segments, which
@@ -305,9 +323,10 @@ impl BufferPool {
         Ok(PageWrite { frame, guard })
     }
 
-    /// Allocate a fresh page and pin it for writing without a disk read.
-    pub fn new_page(&self) -> StorageResult<(PageId, PageWrite)> {
-        let pid = self.allocate();
+    /// Allocate a fresh page to `owner` and pin it for writing without a
+    /// disk read.
+    pub fn new_page(&self, owner: StructureId) -> StorageResult<(PageId, PageWrite)> {
+        let pid = self.allocate(owner);
         let mut inner = self.inner.lock();
         while inner.frames.len() >= self.capacity {
             self.evict_one(&mut inner)?;
@@ -501,7 +520,7 @@ mod tests {
 
     fn small_pool(frames: usize, pages: usize) -> (Arc<BufferPool>, PageId) {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(pages);
+        let first = disk.allocate_contiguous(pages, StructureId::Table);
         let pool = BufferPool::new(disk, frames);
         (pool, first)
     }
@@ -591,7 +610,7 @@ mod tests {
     fn new_page_needs_no_disk_read() {
         let (pool, _) = small_pool(4, 1);
         pool.reset_stats();
-        let (pid, mut w) = pool.new_page().unwrap();
+        let (pid, mut w) = pool.new_page(StructureId::Table).unwrap();
         w[0] = 1;
         drop(w);
         assert_eq!(pool.disk_stats().pages_read, 0);

@@ -15,6 +15,7 @@
 
 use crate::error::{StorageError, StorageResult};
 use crate::fault::{FaultOp, FaultOutcome, FaultPlan};
+use crate::owner::{PageCatalog, StructureId};
 
 /// Size of one disk page in bytes.
 pub const PAGE_SIZE: usize = 4096;
@@ -87,6 +88,11 @@ pub struct DiskStats {
     pub pages_written: u64,
     /// Accesses re-issued by the buffer pool after a transient fault.
     pub retries: u64,
+    /// Mirror writes to the replica copy (one per acknowledged write access
+    /// while replicas are enabled). Charged separately from the primary
+    /// counters: the replica lives on independent media, so its positioning
+    /// and transfer time are real.
+    pub replica_writes: u64,
     /// Accumulated simulated time in milliseconds.
     pub sim_ms: f64,
 }
@@ -101,6 +107,7 @@ impl DiskStats {
         self.pages_read += other.pages_read;
         self.pages_written += other.pages_written;
         self.retries += other.retries;
+        self.replica_writes += other.replica_writes;
         self.sim_ms += other.sim_ms;
     }
 
@@ -114,6 +121,7 @@ impl DiskStats {
             pages_read: self.pages_read - earlier.pages_read,
             pages_written: self.pages_written - earlier.pages_written,
             retries: self.retries - earlier.retries,
+            replica_writes: self.replica_writes - earlier.replica_writes,
             sim_ms: self.sim_ms - earlier.sim_ms,
         }
     }
@@ -147,6 +155,10 @@ pub struct SimDisk {
     replicas: Option<Vec<Box<[u8; PAGE_SIZE]>>>,
     /// Page the head would read next without repositioning.
     head: Option<PageId>,
+    /// Page → owner map, maintained on every allocate/free. Disk metadata:
+    /// survives buffer-pool crashes (frame caches are volatile, the catalog
+    /// is not) and is what media recovery consults to classify torn pages.
+    catalog: PageCatalog,
     cost: CostModel,
     stats: DiskStats,
     /// Programmed faults and crash point.
@@ -164,6 +176,7 @@ impl SimDisk {
             checksums: Vec::new(),
             replicas: None,
             head: None,
+            catalog: PageCatalog::new(),
             cost,
             stats: DiskStats::default(),
             plan: FaultPlan::default(),
@@ -206,20 +219,23 @@ impl SimDisk {
         self.pages.len()
     }
 
-    /// Allocate one zeroed page and return its id. Allocation itself is
-    /// free; the contents are charged when they are first written.
-    pub fn allocate(&mut self) -> PageId {
+    /// Allocate one zeroed page to `owner` and return its id. Allocation
+    /// itself is free; the contents are charged when they are first written.
+    /// The owner is recorded in the page catalog.
+    pub fn allocate(&mut self, owner: StructureId) -> PageId {
         let pid = self.pages.len() as PageId;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
         self.checksums.push(ZERO_PAGE_CK);
         if let Some(reps) = &mut self.replicas {
             reps.push(Box::new([0u8; PAGE_SIZE]));
         }
+        self.catalog.note_alloc(pid, 1, owner);
         pid
     }
 
-    /// Allocate `n` contiguous zeroed pages, returning the first id.
-    pub fn allocate_contiguous(&mut self, n: usize) -> PageId {
+    /// Allocate `n` contiguous zeroed pages to `owner`, returning the first
+    /// id.
+    pub fn allocate_contiguous(&mut self, n: usize, owner: StructureId) -> PageId {
         let first = self.pages.len() as PageId;
         for _ in 0..n {
             self.pages.push(Box::new([0u8; PAGE_SIZE]));
@@ -228,15 +244,46 @@ impl SimDisk {
                 reps.push(Box::new([0u8; PAGE_SIZE]));
             }
         }
+        self.catalog.note_alloc(first, n, owner);
         first
+    }
+
+    /// Move a page to the catalog's free set. The page's bytes stay
+    /// readable (freed pages are never recycled in this prototype), but
+    /// media recovery heals a torn free page without rebuilding anything.
+    pub fn free_page(&mut self, pid: PageId) {
+        self.catalog.free(pid);
+    }
+
+    /// Free every page currently owned by `owner` (dropping an index,
+    /// discarding a damaged structure before its rebuild). Returns the
+    /// freed page ids.
+    pub fn free_owned(&mut self, owner: StructureId) -> Vec<PageId> {
+        let pages = self.catalog.pages_of(owner);
+        for &pid in &pages {
+            self.catalog.free(pid);
+        }
+        pages
+    }
+
+    /// The page → owner catalog.
+    pub fn catalog(&self) -> &PageCatalog {
+        &self.catalog
+    }
+
+    /// Force the catalog owner of `pid` (recovery reconciliation; see
+    /// [`PageCatalog::set_owner`]).
+    pub fn set_page_owner(&mut self, pid: PageId, owner: StructureId) {
+        self.catalog.set_owner(pid, owner);
     }
 
     /// Turn on per-page replicas: every page gains a second physical copy,
     /// seeded from the current primary image. From now on each acknowledged
     /// write also lands (intact) on the replica, so a torn primary can be
-    /// repaired by [`SimDisk::recover_from_replica`]. The mirror write rides
-    /// on the same acknowledged access and is not charged separately — the
-    /// model's interest is fault tolerance, not mirrored-write cost.
+    /// repaired by [`SimDisk::recover_from_replica`]. Each mirror write is
+    /// charged honestly as [`DiskStats::replica_writes`] — the replica is an
+    /// independent device, so its positioning and transfer time are paid on
+    /// top of the primary write.
     pub fn enable_replicas(&mut self) {
         if self.replicas.is_none() {
             self.replicas = Some(self.pages.clone());
@@ -294,6 +341,24 @@ impl SimDisk {
         self.stats.merge(&delta);
         crate::io_scope::record(&delta);
         self.head = Some(first + n as PageId);
+    }
+
+    /// Charge the mirror copy of an acknowledged write when replicas are
+    /// enabled: one positioning (the replica is a separate device; its head
+    /// is not modeled) plus the transfer, recorded as `replica_writes` so
+    /// reports can separate mirror cost from primary I/O. The primary head
+    /// position is untouched.
+    fn charge_replica(&mut self, n: u64) {
+        if self.replicas.is_none() {
+            return;
+        }
+        let delta = DiskStats {
+            replica_writes: n,
+            sim_ms: self.cost.positioning_ms() + self.cost.transfer_ms * n as f64,
+            ..DiskStats::default()
+        };
+        self.stats.merge(&delta);
+        crate::io_scope::record(&delta);
     }
 
     fn check(&self, pid: PageId) -> StorageResult<()> {
@@ -355,6 +420,7 @@ impl SimDisk {
         self.check(pid)?;
         let torn = self.faulted(FaultOp::Write, pid, 1)?;
         self.charge(pid, 1, false);
+        self.charge_replica(1);
         // The device acknowledges the full write (checksum of the intended
         // image), but a torn write persists only the first half.
         self.checksums[pid as usize] = page_checksum(src);
@@ -387,6 +453,7 @@ impl SimDisk {
         self.check(first + n as PageId - 1)?;
         let torn = self.faulted(FaultOp::Write, first, n as u32)?;
         self.charge(first, n as u64, false);
+        self.charge_replica(n as u64);
         for i in 0..n {
             let pid = first + i as PageId;
             let old_tail: Option<Vec<u8>> =
@@ -477,7 +544,7 @@ mod tests {
     #[test]
     fn roundtrip_single_page() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.write(pid, &page_of(7)).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
         d.read(pid, &mut buf).unwrap();
@@ -498,7 +565,7 @@ mod tests {
     fn sequential_access_is_cheaper_than_random() {
         let cost = CostModel::default();
         let mut d = SimDisk::new(cost);
-        let first = d.allocate_contiguous(10);
+        let first = d.allocate_contiguous(10, StructureId::Table);
         let mut buf = [0u8; PAGE_SIZE];
         // Sequential pass.
         for i in 0..10 {
@@ -525,7 +592,7 @@ mod tests {
     #[test]
     fn chained_read_pays_one_positioning() {
         let mut d = SimDisk::new(CostModel::default());
-        let first = d.allocate_contiguous(8);
+        let first = d.allocate_contiguous(8, StructureId::Table);
         let mut seen = Vec::new();
         d.read_chain(first, 8, |pid, _| seen.push(pid)).unwrap();
         assert_eq!(seen, (0..8).collect::<Vec<_>>());
@@ -539,7 +606,7 @@ mod tests {
     #[test]
     fn head_tracks_across_read_write() {
         let mut d = SimDisk::new(CostModel::default());
-        let first = d.allocate_contiguous(4);
+        let first = d.allocate_contiguous(4, StructureId::Table);
         let mut buf = [0u8; PAGE_SIZE];
         d.read(first, &mut buf).unwrap();
         // Writing the next page continues sequentially.
@@ -552,7 +619,7 @@ mod tests {
     #[test]
     fn stats_since_subtracts() {
         let mut d = SimDisk::new(CostModel::default());
-        let p = d.allocate();
+        let p = d.allocate(StructureId::Table);
         d.write(p, &page_of(0)).unwrap();
         let before = d.stats();
         d.write(p, &page_of(1)).unwrap();
@@ -563,7 +630,7 @@ mod tests {
     #[test]
     fn flat_cost_model_has_no_positioning() {
         let mut d = SimDisk::new(CostModel::flat(1.0));
-        let first = d.allocate_contiguous(5);
+        let first = d.allocate_contiguous(5, StructureId::Table);
         let mut buf = [0u8; PAGE_SIZE];
         for i in [4u32, 0, 3, 1, 2] {
             d.read(first + i, &mut buf).unwrap();
@@ -574,7 +641,7 @@ mod tests {
     #[test]
     fn access_counter_counts_failed_accesses_too() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         let mut buf = [0u8; PAGE_SIZE];
         d.read(pid, &mut buf).unwrap();
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::read_page(pid)));
@@ -585,7 +652,7 @@ mod tests {
     #[test]
     fn transient_fault_heals_and_charges_nothing_until_then() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::read_page(pid).transient(2)));
         let mut buf = [0u8; PAGE_SIZE];
         assert!(d.read(pid, &mut buf).is_err());
@@ -598,7 +665,7 @@ mod tests {
     #[test]
     fn crash_point_kills_every_later_access() {
         let mut d = SimDisk::new(CostModel::default());
-        let first = d.allocate_contiguous(4);
+        let first = d.allocate_contiguous(4, StructureId::Table);
         let mut buf = [0u8; PAGE_SIZE];
         d.set_fault_plan(FaultPlan::new().crash_at_access(2));
         d.read(first, &mut buf).unwrap();
@@ -614,7 +681,7 @@ mod tests {
     #[test]
     fn torn_write_is_caught_by_checksum_on_read() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.write(pid, &page_of(3)).unwrap();
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
         d.write(pid, &page_of(9)).unwrap(); // acknowledged, silently torn
@@ -634,7 +701,7 @@ mod tests {
     #[test]
     fn torn_chain_write_tears_only_the_programmed_page() {
         let mut d = SimDisk::new(CostModel::default());
-        let first = d.allocate_contiguous(3);
+        let first = d.allocate_contiguous(3, StructureId::Table);
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(first + 1).torn()));
         d.write_chain(first, 3, |_, page| page.fill(7)).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
@@ -660,7 +727,7 @@ mod tests {
     #[test]
     fn replica_repairs_a_torn_primary() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.enable_replicas();
         d.write(pid, &page_of(3)).unwrap();
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
@@ -682,7 +749,7 @@ mod tests {
     #[test]
     fn recover_from_replica_without_replicas_is_mismatch() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
         d.write(pid, &page_of(1)).unwrap();
         assert_eq!(
@@ -694,10 +761,10 @@ mod tests {
     #[test]
     fn replicas_cover_pages_allocated_after_enabling() {
         let mut d = SimDisk::new(CostModel::default());
-        let p0 = d.allocate();
+        let p0 = d.allocate(StructureId::Table);
         d.write(p0, &page_of(2)).unwrap();
         d.enable_replicas();
-        let p1 = d.allocate_contiguous(2);
+        let p1 = d.allocate_contiguous(2, StructureId::Table);
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(p1 + 1).torn()));
         d.write_chain(p1, 2, |_, page| page.fill(8)).unwrap();
         assert_eq!(d.corrupt_pages(), vec![p1 + 1]);
@@ -711,7 +778,7 @@ mod tests {
     #[test]
     fn accept_torn_page_makes_the_torn_image_readable() {
         let mut d = SimDisk::new(CostModel::default());
-        let pid = d.allocate();
+        let pid = d.allocate(StructureId::Table);
         d.write(pid, &page_of(3)).unwrap();
         d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
         d.write(pid, &page_of(9)).unwrap();
@@ -729,7 +796,7 @@ mod tests {
     #[test]
     fn write_chain_fills_pages() {
         let mut d = SimDisk::new(CostModel::default());
-        let first = d.allocate_contiguous(3);
+        let first = d.allocate_contiguous(3, StructureId::Table);
         d.write_chain(first, 3, |pid, page| page[0] = pid as u8 + 1)
             .unwrap();
         let mut buf = [0u8; PAGE_SIZE];
@@ -739,5 +806,49 @@ mod tests {
         }
         assert_eq!(d.stats().random_writes, 1);
         assert_eq!(d.stats().pages_written, 3);
+    }
+
+    #[test]
+    fn catalog_tracks_allocation_owners_and_frees() {
+        let mut d = SimDisk::new(CostModel::default());
+        let heap = d.allocate(StructureId::Table);
+        let idx = d.allocate_contiguous(3, StructureId::Index(2));
+        assert_eq!(d.catalog().owner(heap), Some(StructureId::Table));
+        assert_eq!(d.catalog().owner(idx + 2), Some(StructureId::Index(2)));
+        d.free_page(idx + 1);
+        assert_eq!(d.catalog().owner(idx + 1), None);
+        assert_eq!(d.catalog().free_pages(), vec![idx + 1]);
+        let freed = d.free_owned(StructureId::Index(2));
+        assert_eq!(freed, vec![idx, idx + 2]);
+        assert_eq!(
+            d.catalog().pages_of(StructureId::Index(2)),
+            Vec::<PageId>::new()
+        );
+        assert_eq!(d.catalog().owner(heap), Some(StructureId::Table));
+    }
+
+    #[test]
+    fn replica_mirror_writes_are_charged() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(4, StructureId::Table);
+        d.write(first, &page_of(1)).unwrap();
+        assert_eq!(d.stats().replica_writes, 0, "no replicas, no charge");
+        let without = d.stats().sim_ms;
+        d.enable_replicas();
+        d.write(first + 1, &page_of(2)).unwrap();
+        assert_eq!(d.stats().replica_writes, 1);
+        d.write_chain(first + 2, 2, |_, page| page.fill(3)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.replica_writes, 3, "chain mirrors every page");
+        assert_eq!(s.pages_written, 4, "primary counters unchanged");
+        // Mirror cost is real simulated time: positioning + transfer per
+        // acknowledged write access.
+        let mirror_ms = 2.0 * CostModel::default().positioning_ms() + 3.0 * 0.4;
+        assert!(
+            s.sim_ms > without + mirror_ms,
+            "{} vs {}",
+            s.sim_ms,
+            without + mirror_ms
+        );
     }
 }

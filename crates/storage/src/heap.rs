@@ -18,6 +18,7 @@ use crate::buffer::BufferPool;
 use crate::disk::PageId;
 use crate::error::{StorageError, StorageResult};
 use crate::fsm::FreeSpaceMap;
+use crate::owner::StructureId;
 use crate::rid::Rid;
 use crate::slotted::SlottedPage;
 
@@ -70,7 +71,7 @@ impl HeapFile {
     }
 
     fn new_heap_page(&mut self) -> StorageResult<PageId> {
-        let (pid, mut w) = self.pool.new_page()?;
+        let (pid, mut w) = self.pool.new_page(StructureId::Table)?;
         SlottedPage::init(&mut w[..]);
         let free = SlottedPage::new(&mut w[..]).usable_free();
         drop(w);

@@ -186,7 +186,7 @@ mod tests {
 
     fn pool_with_pages(n: usize) -> (std::sync::Arc<BufferPool>, u32) {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(n);
+        let first = disk.allocate_contiguous(n, crate::StructureId::Table);
         (BufferPool::new(disk, n.max(2)), first)
     }
 

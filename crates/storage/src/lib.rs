@@ -26,6 +26,10 @@
 //! * [`FaultPlan`] — programmable fault injection (transient/persistent
 //!   faults, torn writes caught by per-page checksums, crash points), with
 //!   bounded retry-with-backoff in the buffer pool ([`RetryPolicy`]).
+//! * [`PageCatalog`] / [`StructureId`] — the owner-tagged page catalog:
+//!   every allocation names the structure that owns the page, so media
+//!   recovery can classify a torn page by lookup and rebuild only the
+//!   damaged structure.
 
 pub mod budget;
 pub mod buffer;
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod fsm;
 pub mod heap;
 pub mod io_scope;
+pub mod owner;
 pub mod page;
 pub mod rid;
 pub mod segment;
@@ -48,6 +53,7 @@ pub use fault::{FaultKind, FaultOp, FaultPlan, FaultSpec, FaultTrigger};
 pub use fsm::FreeSpaceMap;
 pub use heap::{FsmMismatch, HeapFile, HeapScan};
 pub use io_scope::{CancelToken, IoScope, ScopeGuard};
+pub use owner::{PageCatalog, StructureId};
 pub use page::PageBuf;
 pub use rid::Rid;
 pub use segment::{SegmentReader, SegmentWriter, TempSegment};

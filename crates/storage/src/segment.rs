@@ -11,6 +11,7 @@ use std::sync::Arc;
 use crate::buffer::BufferPool;
 use crate::disk::{PageId, PAGE_SIZE};
 use crate::error::{StorageError, StorageResult};
+use crate::owner::StructureId;
 
 /// How many pages a segment writer/reader moves per chained I/O.
 const CHUNK_PAGES: usize = 8;
@@ -89,7 +90,7 @@ impl SegmentWriter {
     fn flush_pages(&mut self, n_pages: usize) -> StorageResult<()> {
         let bytes = n_pages * PAGE_SIZE;
         debug_assert!(self.chunk.len() >= bytes || n_pages == self.chunk.len().div_ceil(PAGE_SIZE));
-        let first = self.pool.allocate_contiguous(n_pages);
+        let first = self.pool.allocate_contiguous(n_pages, StructureId::Temp);
         let chunk = &mut self.chunk;
         self.pool.with_disk(|disk| {
             disk.write_chain(first, n_pages, |pid, page| {

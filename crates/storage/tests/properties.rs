@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
+use bd_storage::StructureId;
 use bd_storage::{
     BufferPool, CostModel, FreeSpaceMap, HeapFile, MemoryBudget, Rid, SimDisk, PAGE_SIZE,
 };
@@ -145,7 +146,7 @@ proptest! {
         frames in 2usize..8,
     ) {
         let mut disk = SimDisk::new(CostModel::default());
-        let first = disk.allocate_contiguous(40);
+        let first = disk.allocate_contiguous(40, StructureId::Table);
         let pool = BufferPool::new(disk, frames);
         let mut model = [0u8; 40];
         for (pid, byte) in writes {

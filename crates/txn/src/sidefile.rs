@@ -117,7 +117,7 @@ pub fn apply_ops(tree: &mut BTree, ops: &[SideOp]) -> StorageResult<()> {
 mod tests {
     use super::*;
     use bd_btree::BTreeConfig;
-    use bd_storage::{BufferPool, CostModel, SimDisk};
+    use bd_storage::{BufferPool, CostModel, SimDisk, StructureId};
 
     #[test]
     fn append_drain_order() {
@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn apply_ops_replays_inserts_and_deletes() {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
-        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(8)).unwrap();
+        let mut tree =
+            BTree::create(pool, BTreeConfig::with_fanout(8), StructureId::Index(0)).unwrap();
         for k in 0..20u64 {
             tree.insert(k, Rid::new(1, k as u16)).unwrap();
         }

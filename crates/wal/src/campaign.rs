@@ -12,10 +12,12 @@
 //! alike (`workers` selects).
 
 use bd_btree::Key;
-use bd_core::{audit_equivalence, Database, DbError, TableId};
+use bd_core::{audit_catalog, audit_equivalence, Database, DbError, TableId};
 use bd_storage::{FaultPlan, FaultSpec, StorageError};
 
-use crate::driver::{recover, recover_media, run_bulk_delete_parallel, CrashInjector, WalError};
+use crate::driver::{
+    recover, recover_media_report, run_bulk_delete_parallel, CrashInjector, MediaRecovery, WalError,
+};
 use crate::log::LogManager;
 
 /// What a completed campaign covered.
@@ -129,6 +131,13 @@ where
                         details: eq.to_string(),
                     });
                 }
+                let cat = audit_catalog(&db, tid)?;
+                if !cat.is_clean() {
+                    return Err(WalError::Divergence {
+                        crash_point: n,
+                        details: format!("catalog audit after recovery: {cat}"),
+                    });
+                }
                 crash_points += 1;
             }
             Err(e) => return Err(e),
@@ -161,6 +170,17 @@ pub struct TornWriteReport {
     pub accesses_swept: u64,
     /// Victim rows each run deleted.
     pub deleted: usize,
+    /// Structures rebuilt across every torn point (B-trees bulk-loaded plus
+    /// hash chains re-inserted). With catalog-precise classification this
+    /// is at most one per torn point.
+    pub structures_rebuilt: usize,
+    /// The worst single torn point's rebuild count. The old heuristic
+    /// classifier rebuilt *every* B-tree for any unattributed tear; the
+    /// catalog pins this at ≤ 1 (one page has one owner).
+    pub max_rebuilt_per_point: usize,
+    /// Torn pages that were free in the catalog and were healed with no
+    /// rebuild at all.
+    pub healed_free: usize,
 }
 
 /// Sweep a torn write over every *write* access of a recoverable bulk
@@ -212,6 +232,9 @@ where
 
     let mut torn_points = 0usize;
     let mut silent_points = 0usize;
+    let mut structures_rebuilt = 0usize;
+    let mut max_rebuilt_per_point = 0usize;
+    let mut healed_free = 0usize;
     let mut n: u64 = start;
     loop {
         n += 1;
@@ -260,7 +283,9 @@ where
                     silent_points += 1;
                     continue;
                 }
-                recover_media(&mut db, tid, &log, &[], &corrupt)?;
+                let (_, media) = recover_media_report(&mut db, tid, &log, &[], &corrupt)?;
+                tally(&media, &mut structures_rebuilt, &mut max_rebuilt_per_point);
+                healed_free += media.healed_free;
                 torn_points += 1;
             }
             Err(WalError::Db(DbError::Storage(StorageError::ChecksumMismatch(_)))) => {
@@ -268,7 +293,9 @@ where
                 db.pool().crash();
                 db.pool().with_disk(|d| d.clear_fault_plan());
                 let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
-                recover_media(&mut db, tid, &log, &[], &corrupt)?;
+                let (_, media) = recover_media_report(&mut db, tid, &log, &[], &corrupt)?;
+                tally(&media, &mut structures_rebuilt, &mut max_rebuilt_per_point);
+                healed_free += media.healed_free;
                 torn_points += 1;
             }
             Err(e) => return Err(e),
@@ -280,6 +307,13 @@ where
                 details: eq.to_string(),
             });
         }
+        let cat = audit_catalog(&db, tid)?;
+        if !cat.is_clean() {
+            return Err(WalError::Divergence {
+                crash_point: n,
+                details: format!("catalog audit after media recovery: {cat}"),
+            });
+        }
     }
 
     Ok(TornWriteReport {
@@ -287,5 +321,15 @@ where
         silent_points,
         accesses_swept: (torn_points + silent_points) as u64,
         deleted,
+        structures_rebuilt,
+        max_rebuilt_per_point,
+        healed_free,
     })
+}
+
+/// Fold one media-recovery report into the sweep's rebuild counters.
+fn tally(media: &MediaRecovery, total: &mut usize, max_per_point: &mut usize) {
+    let here = media.structures_rebuilt();
+    *total += here;
+    *max_per_point = (*max_per_point).max(here);
 }

@@ -212,6 +212,9 @@ fn checkpoint(db: &mut Database, tid: TableId, log: &LogManager) -> Result<(), W
         })
         .collect();
     log.append(&LogRecord::Checkpoint { trees });
+    log.append(&LogRecord::CatalogSnapshot {
+        catalog: db.pool().catalog(),
+    });
     Ok(())
 }
 
@@ -292,6 +295,9 @@ fn run_phase(
                             .delete(row.attrs[attr as usize], row.rid)
                             .map_err(DbError::Storage)?;
                     }
+                }
+                StructureId::Temp | StructureId::Spatial(_) => {
+                    unreachable!("scratch and spatial structures are never bulk-delete phases")
                 }
             }
         }
@@ -487,7 +493,7 @@ pub fn run_bulk_delete_parallel(
                     .index_on(*attr as usize)
                     .map(|i| i.def.unique)
                     .unwrap_or(false),
-                StructureId::Hash(_) => false,
+                StructureId::Hash(_) | StructureId::Temp | StructureId::Spatial(_) => false,
             })
             .count()
     };
@@ -631,78 +637,144 @@ pub fn recover(
     recover_media(db, tid, log, pending_side_ops, &[])
 }
 
-/// Which structures of the table lost pages to media damage.
+/// Which structures of the table lost pages to media damage, as classified
+/// by the page catalog: one entry per damaged structure, never "all the
+/// B-trees".
 #[derive(Debug, Default)]
 struct MediaDamage {
     /// A heap page tore.
     heap: bool,
-    /// A page outside the heap and every hash chain tore: attributed to
-    /// the B-trees (their audits expose only leaf pages, so rather than
-    /// walk a possibly-incoherent tree to find the owner, every tree is
-    /// rebuilt).
-    btrees: bool,
+    /// B-tree indices (by attribute) that lost a page.
+    tree_attrs: Vec<usize>,
     /// Hash indices (by attribute) whose chains lost a page.
     hash_attrs: Vec<usize>,
 }
 
 impl MediaDamage {
     fn is_empty(&self) -> bool {
-        !self.heap && !self.btrees && self.hash_attrs.is_empty()
+        !self.heap && self.tree_attrs.is_empty() && self.hash_attrs.is_empty()
     }
 
     /// True when `s`'s on-disk pages were damaged: its logged progress
-    /// cannot be trusted and its pass must re-run from scratch.
-    fn covers(&self, s: StructureId) -> bool {
+    /// cannot be trusted and its pass must re-run from scratch. The probe
+    /// phase runs over the probe *index*, so damage to `Index(probe_attr)`
+    /// covers it.
+    fn covers(&self, s: StructureId, probe_attr: usize) -> bool {
         match s {
             StructureId::Table => self.heap,
-            StructureId::Probe | StructureId::Index(_) => self.btrees,
+            StructureId::Probe => self.tree_attrs.contains(&probe_attr),
+            StructureId::Index(a) => self.tree_attrs.contains(&(a as usize)),
             StructureId::Hash(a) => self.hash_attrs.contains(&(a as usize)),
+            StructureId::Temp | StructureId::Spatial(_) => false,
         }
     }
 }
 
-/// Heal and classify torn pages. Each corrupt page's current (half-written)
-/// image is accepted so the page is readable again, then attributed to the
-/// structure that owns it: the heap by its page list, a hash index by its
-/// chain walk, anything else to the B-trees.
-fn assess_media_damage(
+/// What media recovery did, for reporting and for the fault campaigns'
+/// structure-precision assertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MediaRecovery {
+    /// Attributes of B-tree indices rebuilt by bulk load.
+    pub rebuilt_trees: Vec<usize>,
+    /// Attributes of hash indices rebuilt by re-insertion.
+    pub rebuilt_hashes: Vec<usize>,
+    /// A torn heap page was healed in place (the table pass re-runs; the
+    /// heap itself is never rebuilt).
+    pub heap_damaged: bool,
+    /// Torn pages that were *free* in the catalog: healed, nothing rebuilt.
+    pub healed_free: usize,
+    /// Torn scratch/spatial pages: healed and skipped, their contents are
+    /// outside the bulk delete's structures.
+    pub healed_scratch: usize,
+}
+
+impl MediaRecovery {
+    /// Total structures rebuilt (B-trees plus hash chains).
+    pub fn structures_rebuilt(&self) -> usize {
+        self.rebuilt_trees.len() + self.rebuilt_hashes.len()
+    }
+}
+
+/// Heal and classify torn pages **by catalog lookup**. Each corrupt page's
+/// current (half-written) image is accepted so the page is readable again,
+/// then its catalogued owner decides what recovery must do: a free page
+/// needs nothing, a heap page re-runs the table pass, an index or hash page
+/// condemns exactly that one structure. This replaces the old heuristics
+/// (heap page-list membership, hash chain walks, "anything else is the
+/// B-trees") that rebuilt every tree for any unattributed tear.
+fn classify_media_damage(
     db: &mut Database,
-    tid: TableId,
     corrupt: &[PageId],
+    report: &mut MediaRecovery,
 ) -> Result<MediaDamage, WalError> {
     let mut damage = MediaDamage::default();
     if corrupt.is_empty() {
         return Ok(damage);
     }
     db.pool()
-        .with_disk(|d| {
+        .with_disk(|d| -> Result<(), StorageError> {
             for &pid in corrupt {
                 d.accept_torn_page(pid)?;
             }
             Ok(())
         })
         .map_err(DbError::Storage)?;
-    let table = db.table(tid)?;
+    let catalog = db.pool().catalog();
     for &pid in corrupt {
-        if table.heap.page_ids().contains(&pid) {
-            damage.heap = true;
-            continue;
-        }
-        let mut owned = false;
-        for h in &table.hash_indices {
-            if h.index.pages().map_err(DbError::Storage)?.contains(&pid) {
-                damage.hash_attrs.push(h.def.attr);
-                owned = true;
-                break;
+        match catalog.owner(pid) {
+            None => report.healed_free += 1,
+            Some(StructureId::Table) => damage.heap = true,
+            Some(StructureId::Index(a)) => damage.tree_attrs.push(a as usize),
+            Some(StructureId::Hash(a)) => damage.hash_attrs.push(a as usize),
+            Some(StructureId::Temp) | Some(StructureId::Spatial(_)) => report.healed_scratch += 1,
+            Some(StructureId::Probe) => {
+                unreachable!("probe is a phase role; its pages are catalogued as Index")
             }
         }
-        if !owned {
-            damage.btrees = true;
-        }
     }
+    damage.tree_attrs.sort_unstable();
+    damage.tree_attrs.dedup();
     damage.hash_attrs.sort_unstable();
     damage.hash_attrs.dedup();
+    report.heap_damaged = damage.heap;
     Ok(damage)
+}
+
+/// Re-own any catalog-free page that is still reachable from a structure.
+///
+/// A catalog free is durable disk metadata the instant it happens, but the
+/// page writes that *detach* the freed page (parent patch, sibling unlink)
+/// go through cached frames and can be lost at a crash. The redo passes are
+/// lenient and may find nothing left to delete in such a page, leaving it
+/// referenced yet free. Walking the real structures and re-owning what they
+/// reach restores the catalog invariant "free ⇒ unreachable" that the
+/// audit (and the next media recovery) depends on.
+fn reconcile_catalog(db: &mut Database, tid: TableId) -> Result<(), WalError> {
+    let table = db.table(tid)?;
+    let mut reachable: Vec<(PageId, StructureId)> = Vec::new();
+    for &pid in table.heap.page_ids() {
+        reachable.push((pid, StructureId::Table));
+    }
+    for ix in &table.indices {
+        let owner = StructureId::Index(ix.def.attr as u16);
+        for pid in ix.tree.pages().map_err(DbError::Storage)? {
+            reachable.push((pid, owner));
+        }
+    }
+    for h in &table.hash_indices {
+        let owner = StructureId::Hash(h.def.attr as u16);
+        for pid in h.index.pages().map_err(DbError::Storage)? {
+            reachable.push((pid, owner));
+        }
+    }
+    db.pool().with_disk(|d| {
+        for (pid, owner) in reachable {
+            if d.catalog().owner(pid).is_none() {
+                d.set_page_owner(pid, owner);
+            }
+        }
+    });
+    Ok(())
 }
 
 /// [`recover`] extended with media recovery for torn pages. `corrupt` names
@@ -710,13 +782,17 @@ fn assess_media_damage(
 /// that a scrub found damaged). Beyond the crash protocol, this pass:
 ///
 /// 1. heals each torn page (accepts the half-written image so it reads),
-/// 2. classifies the page's owner and **rebuilds** damaged structures from
-///    the surviving heap — the torn image is never trusted; B-trees are
-///    bulk-loaded and hash indices re-inserted from the heap rows,
+/// 2. looks the page up in the page catalog and **rebuilds only the
+///    structure that owns it** — the torn image is never trusted; a damaged
+///    B-tree is bulk-loaded and a damaged hash index re-inserted from the
+///    surviving heap, while a torn *free* page is healed with no rebuild at
+///    all,
 /// 3. discards the damaged structures' logged progress so their passes
 ///    re-run from the WAL's materialized rows, even when the log already
 ///    shows `BulkCommit` (commit promises logical durability; a torn page
-///    is media damage discovered later).
+///    is media damage discovered later),
+/// 4. finishes by reconciling the catalog against the real structures (see
+///    [`reconcile_catalog`]).
 ///
 /// A torn *heap* page needs no rebuild: deletes only clear slot directory
 /// entries in the page's first half, so the healed image is a valid slotted
@@ -730,15 +806,34 @@ pub fn recover_media(
     pending_side_ops: &[(usize, Vec<SideOp>)],
     corrupt: &[PageId],
 ) -> Result<usize, WalError> {
-    let damage = assess_media_damage(db, tid, corrupt)?;
+    recover_media_report(db, tid, log, pending_side_ops, corrupt).map(|(n, _)| n)
+}
+
+/// [`recover_media`], also returning the [`MediaRecovery`] report (what was
+/// rebuilt, what was healed for free). The fault campaigns use the report
+/// to prove recovery never rebuilds an undamaged structure.
+pub fn recover_media_report(
+    db: &mut Database,
+    tid: TableId,
+    log: &LogManager,
+    pending_side_ops: &[(usize, Vec<SideOp>)],
+    corrupt: &[PageId],
+) -> Result<(usize, MediaRecovery), WalError> {
+    let mut report = MediaRecovery::default();
+    let damage = classify_media_damage(db, corrupt, &mut report)?;
     let records = log.records()?;
     // Analysis: locate the last BulkBegin and what followed it.
     let begin_idx = records
         .iter()
         .rposition(|r| matches!(r, LogRecord::BulkBegin { .. }));
     let Some(begin_idx) = begin_idx else {
+        rebuild_damaged(db, tid, &damage, &mut report)?;
         apply_side(db, tid, pending_side_ops)?;
-        return Ok(0);
+        if !damage.is_empty() {
+            reconcile_catalog(db, tid)?;
+            db.pool().flush_all().map_err(DbError::Storage)?;
+        }
+        return Ok((0, report));
     };
     let (probe_attr, keys) = match &records[begin_idx] {
         LogRecord::BulkBegin { probe_attr, keys } => (*probe_attr as usize, keys.clone()),
@@ -747,7 +842,7 @@ pub fn recover_media(
     let tail = &records[begin_idx + 1..];
     if tail.iter().any(|r| matches!(r, LogRecord::BulkCommit)) && damage.is_empty() {
         apply_side(db, tid, pending_side_ops)?;
-        return Ok(0);
+        return Ok((0, report));
     }
 
     let mut rows: Option<Vec<MaterializedRow>> = None;
@@ -769,32 +864,36 @@ pub fn recover_media(
     }
     // A media-damaged structure is rebuilt below; its logged completion and
     // progress describe pages that no longer exist.
-    done.retain(|s| !damage.covers(*s));
-    progress.retain(|s, _| !damage.covers(*s));
+    done.retain(|s| !damage.covers(*s, probe_attr));
+    progress.retain(|s, _| !damage.covers(*s, probe_attr));
 
     // Restore durable handles: tree metadata from the last checkpoint,
     // counters recounted from the disk state. Damaged structures skip both
     // (their checkpointed metadata points into torn pages) and are rebuilt
     // from the heap instead.
     {
-        let pool = db.pool().clone();
         let table = db.table_mut(tid)?;
-        if damage.btrees {
-            // Rebuilt below from the recounted heap.
-        } else if let Some(metas) = &last_ckpt {
+        if let Some(metas) = &last_ckpt {
             for meta in metas {
+                if damage.tree_attrs.contains(&(meta.attr as usize)) {
+                    continue;
+                }
                 if let Some(index) = table.index_on_mut(meta.attr as usize) {
                     index.tree = BTree::restore(
-                        pool.clone(),
+                        index.tree.pool().clone(),
                         index.def.config,
                         meta.root,
                         meta.height as usize,
+                        StructureId::Index(meta.attr),
                     )
                     .map_err(DbError::Storage)?;
                 }
             }
         } else {
             for index in &mut table.indices {
+                if damage.tree_attrs.contains(&index.def.attr) {
+                    continue;
+                }
                 index.tree.recount().map_err(DbError::Storage)?;
             }
         }
@@ -805,39 +904,8 @@ pub fn recover_media(
             }
             h.index.recount().map_err(DbError::Storage)?;
         }
-        if damage.btrees || !damage.hash_attrs.is_empty() {
-            let dump = table.heap.dump().map_err(DbError::Storage)?;
-            let schema = table.schema;
-            if damage.btrees {
-                for index in &mut table.indices {
-                    let attr = index.def.attr;
-                    let mut pairs: Vec<(Key, Rid)> = dump
-                        .iter()
-                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
-                        .collect();
-                    pairs.sort_unstable();
-                    index.tree =
-                        bd_btree::bulk_load(pool.clone(), index.def.config, &pairs, index.def.fill)
-                            .map_err(DbError::Storage)?;
-                }
-            }
-            for &attr in &damage.hash_attrs {
-                let h = table
-                    .hash_indices
-                    .iter_mut()
-                    .find(|h| h.def.attr == attr)
-                    .expect("hash index present");
-                let mut fresh = HashIndex::with_capacity(pool.clone(), dump.len().max(64))
-                    .map_err(DbError::Storage)?;
-                for (rid, bytes) in &dump {
-                    fresh
-                        .insert(schema.attr_of(bytes, attr), *rid)
-                        .map_err(DbError::Storage)?;
-                }
-                h.index = fresh;
-            }
-        }
     }
+    rebuild_damaged(db, tid, &damage, &mut report)?;
 
     // Redo: finish the bulk delete from the materialized rows.
     let rows = match rows {
@@ -883,8 +951,67 @@ pub fn recover_media(
     log.append(&LogRecord::BulkCommit);
 
     apply_side(db, tid, pending_side_ops)?;
+    reconcile_catalog(db, tid)?;
     db.pool().flush_all().map_err(DbError::Storage)?;
-    Ok(rows.len())
+    Ok((rows.len(), report))
+}
+
+/// Rebuild each damaged structure from the surviving heap: the structure's
+/// old pages are returned to the free set first (the rebuild allocates
+/// fresh ones), then a B-tree is bulk-loaded and a hash index re-inserted.
+fn rebuild_damaged(
+    db: &mut Database,
+    tid: TableId,
+    damage: &MediaDamage,
+    report: &mut MediaRecovery,
+) -> Result<(), WalError> {
+    if damage.tree_attrs.is_empty() && damage.hash_attrs.is_empty() {
+        return Ok(());
+    }
+    let pool = db.pool().clone();
+    let table = db.table_mut(tid)?;
+    let dump = table.heap.dump().map_err(DbError::Storage)?;
+    let schema = table.schema;
+    for &attr in &damage.tree_attrs {
+        let Some(index) = table.index_on_mut(attr) else {
+            continue;
+        };
+        pool.free_owned(StructureId::Index(attr as u16));
+        let mut pairs: Vec<(Key, Rid)> = dump
+            .iter()
+            .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+            .collect();
+        pairs.sort_unstable();
+        index.tree = bd_btree::bulk_load(
+            pool.clone(),
+            index.def.config,
+            &pairs,
+            index.def.fill,
+            StructureId::Index(attr as u16),
+        )
+        .map_err(DbError::Storage)?;
+        report.rebuilt_trees.push(attr);
+    }
+    for &attr in &damage.hash_attrs {
+        let Some(h) = table.hash_indices.iter_mut().find(|h| h.def.attr == attr) else {
+            continue;
+        };
+        pool.free_owned(StructureId::Hash(attr as u16));
+        let mut fresh = HashIndex::with_capacity(
+            pool.clone(),
+            dump.len().max(64),
+            StructureId::Hash(attr as u16),
+        )
+        .map_err(DbError::Storage)?;
+        for (rid, bytes) in &dump {
+            fresh
+                .insert(schema.attr_of(bytes, attr), *rid)
+                .map_err(DbError::Storage)?;
+        }
+        h.index = fresh;
+        report.rebuilt_hashes.push(attr);
+    }
+    Ok(())
 }
 
 fn apply_side(

@@ -26,8 +26,8 @@ pub use campaign::{
     TornWriteReport,
 };
 pub use driver::{
-    recover, recover_media, run_bulk_delete, run_bulk_delete_parallel, CrashInjector, CrashSite,
-    WalError,
+    recover, recover_media, recover_media_report, run_bulk_delete, run_bulk_delete_parallel,
+    CrashInjector, CrashSite, MediaRecovery, WalError,
 };
 pub use log::LogManager;
 pub use record::{LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};

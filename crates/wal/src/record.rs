@@ -7,24 +7,15 @@
 
 use crate::driver::WalError;
 use bd_btree::Key;
-use bd_storage::Rid;
+use bd_storage::{PageCatalog, Rid};
+
+// `StructureId` used to be defined here; it now lives at the bottom of the
+// dependency graph (allocation tags pages with it) and is re-exported so
+// existing `bd_wal::record::StructureId` paths keep working.
+pub use bd_storage::StructureId;
 
 /// Log sequence number (record index in this prototype).
 pub type Lsn = u64;
-
-/// A structure processed by the bulk delete, in execution order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StructureId {
-    /// The probe index (`I_A`).
-    Probe,
-    /// The base table (`R`).
-    Table,
-    /// A downstream B-tree index, by attribute number.
-    Index(u16),
-    /// A downstream hash index, by attribute number (wire tag 3; decoders
-    /// predating it reject the tag instead of misreading the record).
-    Hash(u16),
-}
 
 /// One materialized victim row: its RID and all attribute values (enough
 /// to re-derive every downstream index's delete pairs).
@@ -85,6 +76,13 @@ pub enum LogRecord {
     },
     /// The bulk delete committed.
     BulkCommit,
+    /// Snapshot of the page → owner catalog, appended alongside each
+    /// checkpoint. Media recovery classifies torn pages against it when the
+    /// disk's live catalog is unavailable.
+    CatalogSnapshot {
+        /// The full page → owner map.
+        catalog: PageCatalog,
+    },
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -191,6 +189,10 @@ impl LogRecord {
                 put_u32(&mut out, *done);
                 encode_structure(&mut out, *structure);
             }
+            LogRecord::CatalogSnapshot { catalog } => {
+                out.push(7);
+                catalog.encode(&mut out);
+            }
         }
         out
     }
@@ -252,6 +254,15 @@ impl LogRecord {
                     done,
                 }
             }
+            7 => {
+                let mut pos = r.pos;
+                let catalog = PageCatalog::decode(r.buf, &mut pos).ok_or_else(|| {
+                    WalError::CorruptLog(
+                        "catalog snapshot truncated or has unknown owner tag".into(),
+                    )
+                })?;
+                LogRecord::CatalogSnapshot { catalog }
+            }
             t => return Err(WalError::CorruptLog(format!("unknown record tag {t}"))),
         })
     }
@@ -269,6 +280,11 @@ fn encode_structure(out: &mut Vec<u8>, s: StructureId) {
             out.push(3);
             put_u16(out, a);
         }
+        StructureId::Temp => out.push(4),
+        StructureId::Spatial(a) => {
+            out.push(5);
+            put_u16(out, a);
+        }
     }
 }
 
@@ -278,6 +294,8 @@ fn decode_structure(r: &mut Reader<'_>) -> Result<StructureId, WalError> {
         1 => StructureId::Table,
         2 => StructureId::Index(r.u16()?),
         3 => StructureId::Hash(r.u16()?),
+        4 => StructureId::Temp,
+        5 => StructureId::Spatial(r.u16()?),
         t => return Err(WalError::CorruptLog(format!("unknown structure tag {t}"))),
     })
 }
@@ -340,6 +358,20 @@ mod tests {
             done: 2048,
         });
         roundtrip(LogRecord::BulkCommit);
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Temp,
+        });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Spatial(2),
+        });
+        let mut catalog = PageCatalog::new();
+        catalog.note_alloc(0, 4, StructureId::Table);
+        catalog.note_alloc(4, 2, StructureId::Index(1));
+        catalog.free(2);
+        roundtrip(LogRecord::CatalogSnapshot { catalog });
+        roundtrip(LogRecord::CatalogSnapshot {
+            catalog: PageCatalog::new(),
+        });
         roundtrip(LogRecord::Progress {
             structure: StructureId::Index(3),
             done: 123_456,
@@ -400,6 +432,11 @@ mod tests {
             },
             LogRecord::StructureDone {
                 structure: StructureId::Index(5),
+            },
+            {
+                let mut catalog = PageCatalog::new();
+                catalog.note_alloc(0, 3, StructureId::Hash(1));
+                LogRecord::CatalogSnapshot { catalog }
             },
         ];
         for rec in victims {

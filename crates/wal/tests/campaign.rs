@@ -54,8 +54,11 @@ fn parallel_driver_matches_serial_state() {
     db_parallel.check_consistency(tid).unwrap();
     let eq = audit_equivalence(&db_serial, &db_parallel, tid).unwrap();
     assert!(eq.is_clean(), "parallel driver diverged: {eq}");
-    // Both arms logged their completion; the log replays cleanly.
-    assert!(log_p.records().unwrap().len() >= log_s.records().unwrap().len() - 2);
+    // Both arms logged their completion; the log replays cleanly. The
+    // serial driver writes two more checkpoints than the parallel one (one
+    // per fan phase vs one group checkpoint), and each checkpoint is two
+    // records (tree metadata + catalog snapshot), hence the margin of 4.
+    assert!(log_p.records().unwrap().len() >= log_s.records().unwrap().len() - 4);
 }
 
 #[test]
@@ -175,6 +178,18 @@ fn serial_torn_write_campaign_recovers_every_surfaced_tear() {
         "sweep tore too few writes: {report:?}"
     );
     assert_eq!(report.deleted, d.len());
+    // Structure-precision: one torn page condemns at most the one structure
+    // that owns it. The pre-catalog classifier attributed every
+    // non-heap/non-hash tear to "the B-trees" and rebuilt all four trees;
+    // any torn index page would push this to 4.
+    assert!(
+        report.max_rebuilt_per_point <= 1,
+        "a torn point rebuilt more than its one damaged structure: {report:?}"
+    );
+    assert!(
+        report.structures_rebuilt <= report.torn_points,
+        "rebuilds must be bounded by one per torn point: {report:?}"
+    );
 }
 
 #[test]
@@ -187,6 +202,107 @@ fn parallel_torn_write_campaign_recovers_every_surfaced_tear() {
         "sweep surfaced too few tears to mean anything: {report:?}"
     );
     assert_eq!(report.deleted, d.len());
+    assert!(
+        report.max_rebuilt_per_point <= 1,
+        "a torn point rebuilt more than its one damaged structure: {report:?}"
+    );
+}
+
+#[test]
+fn torn_free_page_is_healed_without_any_rebuild() {
+    use bd_storage::FaultSpec;
+    use bd_wal::recover_media_report;
+
+    // Delete *every* row so whole leaves empty out and are returned to the
+    // catalog's free set.
+    let (mut db, tid, a_values) = build(900);
+    let log = LogManager::new();
+    run_bulk_delete(&mut db, tid, 0, &a_values, &log, CrashInjector::none()).unwrap();
+    db.pool().flush_all().unwrap();
+
+    let free = db.pool().with_disk(|d| d.catalog().free_pages());
+    assert!(
+        !free.is_empty(),
+        "a full bulk delete must free emptied leaf pages"
+    );
+    let pid = free[free.len() / 2];
+
+    // Tear the free page: arm a torn fault on the very next write, then
+    // rewrite the page with a changed back half. The persisted image keeps
+    // the old back half while the checksum records the intended one.
+    db.pool().with_disk(|d| {
+        let mut buf = [0u8; bd_storage::PAGE_SIZE];
+        d.read(pid, &mut buf).unwrap();
+        for b in &mut buf[bd_storage::PAGE_SIZE / 2..] {
+            *b ^= 0xA5;
+        }
+        let c = d.accesses();
+        d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c + 1).torn()));
+        d.write(pid, &buf).unwrap();
+        d.clear_fault_plan();
+    });
+    let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+    assert_eq!(corrupt, vec![pid], "the tear must be detectable");
+
+    db.pool().crash();
+    let (_, media) = recover_media_report(&mut db, tid, &log, &[], &corrupt).unwrap();
+    // Regression: the pre-catalog classifier could not attribute a free
+    // page to any structure and rebuilt every B-tree for it. The catalog
+    // knows the page is free — heal it and rebuild nothing.
+    assert_eq!(
+        media.structures_rebuilt(),
+        0,
+        "a torn free page must not trigger any rebuild: {media:?}"
+    );
+    assert_eq!(media.healed_free, 1, "{media:?}");
+    assert!(
+        db.pool().with_disk(|d| d.corrupt_pages()).is_empty(),
+        "the torn page must be healed"
+    );
+    db.check_consistency(tid).unwrap();
+}
+
+#[test]
+fn torn_index_page_rebuilds_only_that_tree() {
+    use bd_storage::FaultSpec;
+    use bd_wal::recover_media_report;
+
+    let (mut db, tid, a_values) = build(900);
+    let d = victims(&a_values);
+    let log = LogManager::new();
+    run_bulk_delete(&mut db, tid, 0, &d, &log, CrashInjector::none()).unwrap();
+    db.pool().flush_all().unwrap();
+
+    // Tear a page of the B-tree on attribute 1 (a live root/leaf).
+    let pid = db
+        .pool()
+        .with_disk(|d| d.catalog().pages_of(StructureId::Index(1))[0]);
+    db.pool().with_disk(|d| {
+        let mut buf = [0u8; bd_storage::PAGE_SIZE];
+        d.read(pid, &mut buf).unwrap();
+        for b in &mut buf[bd_storage::PAGE_SIZE / 2..] {
+            *b ^= 0xA5;
+        }
+        let c = d.accesses();
+        d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c + 1).torn()));
+        d.write(pid, &buf).unwrap();
+        d.clear_fault_plan();
+    });
+    let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+    assert_eq!(corrupt, vec![pid]);
+
+    db.pool().crash();
+    let (_, media) = recover_media_report(&mut db, tid, &log, &[], &corrupt).unwrap();
+    // Single-tree precision: only the owning index rebuilds. The old
+    // classifier would have rebuilt all four B-trees here.
+    assert_eq!(media.rebuilt_trees, vec![1], "{media:?}");
+    assert!(media.rebuilt_hashes.is_empty(), "{media:?}");
+    assert_eq!(media.structures_rebuilt(), 1, "{media:?}");
+    db.check_consistency(tid).unwrap();
+    bd_core::audit_catalog(&db, tid)
+        .unwrap()
+        .into_result()
+        .unwrap();
 }
 
 #[test]

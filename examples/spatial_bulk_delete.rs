@@ -18,13 +18,17 @@
 use std::collections::HashSet;
 
 use bd_rtree::{PointEntry, RTree, RTreeConfig, Rect};
-use bd_storage::{BufferPool, CostModel, Rid, SimDisk};
+use bd_storage::{BufferPool, CostModel, Rid, SimDisk, StructureId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small cache (256 KiB) relative to the ~2 MB tree, as in the paper's
     // memory-starved experiments.
     let pool = BufferPool::new(SimDisk::new(CostModel::default()), 64);
-    let mut tree = RTree::create(pool.clone(), RTreeConfig::default())?;
+    let mut tree = RTree::create(
+        pool.clone(),
+        RTreeConfig::default(),
+        StructureId::Spatial(0),
+    )?;
 
     // 60,000 trip endpoints across a 100km x 100km city (meters).
     let mut x = 42u64;
@@ -60,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Traditional: one root-to-leaf traversal per trip, in arrival order
     // (the delete list comes from the application unsorted — the
     // `not sorted/trad` situation of the paper).
-    let mut trad = RTree::create(pool.clone(), RTreeConfig::default())?;
+    let mut trad = RTree::create(
+        pool.clone(),
+        RTreeConfig::default(),
+        StructureId::Spatial(0),
+    )?;
     // (Rebuild a copy so both strategies start identically.)
     for e in tree.search_window(Rect::new(0, 0, u64::MAX, u64::MAX))? {
         trad.insert(e)?;

@@ -6,7 +6,7 @@ set -eux
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo clippy -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 

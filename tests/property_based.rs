@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use bulk_delete::prelude::*;
 
 use bd_btree::{bulk_delete_sorted, verify, BTree, BTreeConfig};
-use bd_storage::{BufferPool, SimDisk};
+use bd_storage::{BufferPool, SimDisk, StructureId};
 
 fn tiny_db() -> Database {
     Database::new(DatabaseConfig::with_total_memory(1 << 20))
@@ -157,7 +157,7 @@ proptest! {
         fanout in 4usize..32,
     ) {
         let pool = BufferPool::new(SimDisk::new(CostModel::default()), 512);
-        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(fanout)).unwrap();
+        let mut tree = BTree::create(pool, BTreeConfig::with_fanout(fanout), StructureId::Index(0)).unwrap();
         let mut model: BTreeMap<u64, Rid> = BTreeMap::new();
         let mut pending_bulk: Vec<u64> = Vec::new();
         for (op, k) in ops {
