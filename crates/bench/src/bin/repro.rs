@@ -1,8 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] [--parallel N]
-//!       [--phases] [--audit] [--faults]
+//! repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] [--parallel N]
+//!       [--phases] [--audit] [--faults] [--bench-json PATH]
+//!       [--check-bench PATH]
 //! ```
 //!
 //! `--parallel N` allows the independent `⋈̄` / rebuild arms of the bulk
@@ -36,17 +37,26 @@
 //! Default scale is 100,000 rows (1/10 of the paper with all ratios
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
 //! are simulated minutes from the disk cost model.
+//!
+//! `--bench-json PATH` additionally dumps every measured cell of the
+//! selected experiments as a machine-readable snapshot (the `BENCH_<n>.json`
+//! trajectory files); `--check-bench PATH` parses and validates such a
+//! snapshot — schema, required fields, point count — and exits non-zero on
+//! any problem (the CI gate for the emitted files).
 
 use bd_bench::experiments;
+use bd_bench::snapshot::BenchSnapshot;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which = "all".to_string();
+    let mut which: Vec<String> = Vec::new();
     let mut rows: usize = 100_000;
     let mut workers: usize = 1;
     let mut show_phases = false;
     let mut run_audit = false;
     let mut run_faults = false;
+    let mut bench_json: Option<String> = None;
+    let mut check_bench: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,10 +78,23 @@ fn main() {
                     .filter(|&w| w >= 1)
                     .unwrap_or_else(|| usage());
             }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--check-bench" => {
+                i += 1;
+                check_bench = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
-            name => which = name.to_string(),
+            name => which.push(name.to_string()),
         }
         i += 1;
+    }
+
+    if let Some(path) = check_bench {
+        validate_snapshot(&path);
+        return;
     }
 
     let run = |id: &str| -> bd_core::DbResult<bd_bench::ExperimentReport> {
@@ -109,15 +132,16 @@ fn main() {
              simulated time with concurrent `⋈̄` arms overlapped\n"
         );
     }
-    let ids: Vec<&str> = if which == "all" {
+    let ids: Vec<&str> = if which.is_empty() || which.iter().any(|w| w == "all") {
         vec!["fig1", "fig7", "fig8", "table1", "fig9", "fig10"]
     } else {
-        vec![which.as_str()]
+        which.iter().map(|s| s.as_str()).collect()
     };
     if show_phases {
         print_phases(rows, workers);
     }
-    for id in ids {
+    let mut snap = BenchSnapshot::new(&format!("repro {}", ids.join(" ")), rows, workers);
+    for id in &ids {
         let started = std::time::Instant::now();
         match run(id) {
             Ok(report) => {
@@ -127,11 +151,50 @@ fn main() {
                     id,
                     started.elapsed().as_secs_f32()
                 );
+                snap.points.extend(report.points);
             }
             Err(e) => {
                 eprintln!("{id} failed: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if let Some(path) = bench_json {
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("failed to write bench snapshot `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[bench snapshot: {} points -> {path}]", snap.points.len());
+    }
+}
+
+/// `--check-bench`: parse + validate a `BENCH_<n>.json` file, print a
+/// one-line summary, exit non-zero on any schema problem.
+fn validate_snapshot(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    match BenchSnapshot::validate(&text) {
+        Ok(snap) => {
+            if snap.points.is_empty() {
+                eprintln!("`{path}` is valid but has no points");
+                std::process::exit(2);
+            }
+            println!(
+                "`{path}` ok: label `{}`, {} rows, {} workers, {} points",
+                snap.label,
+                snap.rows,
+                snap.workers,
+                snap.points.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("`{path}` is not a valid bench snapshot: {e}");
+            std::process::exit(2);
         }
     }
 }
@@ -396,8 +459,9 @@ fn faults(rows: usize, workers: usize) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all] [--rows N] \
-         [--parallel N] [--phases] [--audit] [--faults]"
+        "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] \
+         [--parallel N] [--phases] [--audit] [--faults] \
+         [--bench-json PATH] [--check-bench PATH]"
     );
     std::process::exit(2);
 }

@@ -1,6 +1,7 @@
 //! One runner per table/figure of the paper's evaluation (§4) plus the
 //! motivation figure (§1).
 
+use crate::snapshot::BenchPoint;
 use crate::{run_point, ExperimentReport, PointConfig, StrategyKind};
 use bd_core::DbResult;
 
@@ -20,6 +21,7 @@ fn sweep(
     // a second column: its critical-path clock (concurrent arms overlap).
     let workers = points.first().map_or(1, |p| p.1.workers.max(1));
     let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (x, cfg, fraction) in points {
         let mut vals = Vec::new();
         for s in strategies {
@@ -28,6 +30,7 @@ fn sweep(
             if workers > 1 && s.parallelizable() {
                 vals.push(report.critical_path_minutes());
             }
+            cells.push(BenchPoint::from_report(id, x, &report));
         }
         rows.push((x.clone(), vals));
     }
@@ -45,6 +48,7 @@ fn sweep(
         series,
         rows,
         notes,
+        points: cells,
     })
 }
 
@@ -224,6 +228,7 @@ pub fn fig10(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
     };
     let fractions = [0.06, 0.10, 0.15, 0.20];
     let mut rows_out = Vec::new();
+    let mut cells = Vec::new();
     for &f in &fractions {
         let sorted_clust = run_point(&clustered, StrategyKind::SortedTrad, f)?;
         let sorted_unclust = run_point(&unclustered, StrategyKind::SortedTrad, f)?;
@@ -237,6 +242,16 @@ pub fn fig10(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
         ];
         if workers > 1 {
             vals.push(bulk.critical_path_minutes());
+        }
+        for (label, r) in [
+            ("sorted/trad/clust", &sorted_clust),
+            ("sorted/trad/unclust", &sorted_unclust),
+            ("not sorted/trad/clust", &notsorted_clust),
+            ("bulk delete", &bulk),
+        ] {
+            let mut p = BenchPoint::from_report("fig10", &pct(f), r);
+            p.strategy = label.to_string();
+            cells.push(p);
         }
         rows_out.push((pct(f), vals));
     }
@@ -259,6 +274,7 @@ pub fn fig10(rows: usize, workers: usize) -> DbResult<ExperimentReport> {
                 for the traditional approach and slightly beats bulk; bulk \
                 stays within a small factor; not-sorted/trad remains poor"
             .into(),
+        points: cells,
     })
 }
 

@@ -11,6 +11,7 @@
 //! plus raw I/O counts.
 
 pub mod experiments;
+pub mod snapshot;
 
 use bd_btree::BTreeConfig;
 use bd_core::{Database, DatabaseConfig, DbResult, IndexDef, RunReport, TableId};
@@ -230,6 +231,8 @@ pub struct ExperimentReport {
     pub rows: Vec<(String, Vec<f64>)>,
     /// Expected qualitative shape, checked by tests.
     pub notes: String,
+    /// Full per-cell counters behind `rows`, for `BENCH_<n>.json` dumps.
+    pub points: Vec<snapshot::BenchPoint>,
 }
 
 impl ExperimentReport {

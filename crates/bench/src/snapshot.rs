@@ -1,0 +1,557 @@
+//! Machine-readable bench snapshots (`BENCH_<n>.json`).
+//!
+//! Each `repro` sweep can dump every measured `(experiment, x, strategy)`
+//! cell as a flat JSON document, so the perf trajectory across PRs is
+//! diffable by scripts instead of living only in prose. No serde is
+//! vendored, so both the writer and the validating reader are hand-rolled
+//! against the one fixed schema below.
+//!
+//! Schema (all fields required):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "label": "...",
+//!   "rows": 100000,
+//!   "workers": 1,
+//!   "points": [ { ...BenchPoint fields... } ]
+//! }
+//! ```
+
+use bd_core::RunReport;
+
+/// Fields every snapshot point must carry, used by the writer and checked
+/// by [`BenchSnapshot::validate`].
+pub const POINT_FIELDS: &[&str] = &[
+    "experiment",
+    "x",
+    "strategy",
+    "deleted",
+    "sim_minutes",
+    "crit_path_minutes",
+    "random_reads",
+    "sequential_reads",
+    "random_writes",
+    "sequential_writes",
+    "pages_read",
+    "pages_written",
+    "retries",
+    "pool_hits",
+    "pool_misses",
+    "pool_prefetched",
+    "pool_writebacks",
+    "buffer_hit_rate",
+];
+
+/// One measured `(experiment, x, strategy)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Experiment id, e.g. `fig7`.
+    pub experiment: String,
+    /// X-axis value, e.g. `15%` or `2` (indices).
+    pub x: String,
+    /// Strategy label, e.g. `bulk delete`.
+    pub strategy: String,
+    /// Records deleted.
+    pub deleted: u64,
+    /// Serial simulated clock, minutes.
+    pub sim_minutes: f64,
+    /// Critical-path simulated clock, minutes (= serial when serial).
+    pub crit_path_minutes: f64,
+    /// Positioned (head-moving) read accesses.
+    pub random_reads: u64,
+    /// Sequential-successor read accesses.
+    pub sequential_reads: u64,
+    /// Positioned write accesses.
+    pub random_writes: u64,
+    /// Sequential-successor write accesses.
+    pub sequential_writes: u64,
+    /// Pages transferred by reads.
+    pub pages_read: u64,
+    /// Pages transferred by writes.
+    pub pages_written: u64,
+    /// Transient-fault retries.
+    pub retries: u64,
+    /// Buffer-pool pins served warm.
+    pub pool_hits: u64,
+    /// Buffer-pool pins that read from disk.
+    pub pool_misses: u64,
+    /// First pins of prefetched pages.
+    pub pool_prefetched: u64,
+    /// Dirty pages written back.
+    pub pool_writebacks: u64,
+    /// Warm-hit fraction of all pins (prefetched pins are not warm).
+    pub buffer_hit_rate: f64,
+}
+
+impl BenchPoint {
+    /// Flatten one [`RunReport`] into a snapshot point.
+    pub fn from_report(experiment: &str, x: &str, report: &RunReport) -> Self {
+        BenchPoint {
+            experiment: experiment.to_string(),
+            x: x.to_string(),
+            strategy: report.strategy.clone(),
+            deleted: report.deleted as u64,
+            sim_minutes: report.sim_minutes(),
+            crit_path_minutes: report.critical_path_minutes(),
+            random_reads: report.io.random_reads,
+            sequential_reads: report.io.sequential_reads,
+            random_writes: report.io.random_writes,
+            sequential_writes: report.io.sequential_writes,
+            pages_read: report.io.pages_read,
+            pages_written: report.io.pages_written,
+            retries: report.io.retries,
+            pool_hits: report.pool.hits,
+            pool_misses: report.pool.misses,
+            pool_prefetched: report.pool.prefetched,
+            pool_writebacks: report.pool.writebacks,
+            buffer_hit_rate: report.pool.hit_rate(),
+        }
+    }
+}
+
+/// A full snapshot: run metadata plus every measured point.
+#[derive(Debug, Clone, Default)]
+pub struct BenchSnapshot {
+    /// Free-form label, e.g. `PR 6 after` or a git describe string.
+    pub label: String,
+    /// Table rows the sweep ran at.
+    pub rows: u64,
+    /// Worker threads the sweep ran with.
+    pub workers: u64,
+    /// Every measured cell, in sweep order.
+    pub points: Vec<BenchPoint>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    // JSON has no NaN/Infinity; a snapshot must stay parseable regardless.
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+impl BenchSnapshot {
+    /// A snapshot with metadata and no points yet.
+    pub fn new(label: &str, rows: usize, workers: usize) -> Self {
+        BenchSnapshot {
+            label: label.to_string(),
+            rows: rows as u64,
+            workers: workers as u64,
+            points: Vec::new(),
+        }
+    }
+
+    /// Serialise to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", esc(&self.label)));
+        out.push_str(&format!("  \"rows\": {},\n", self.rows));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {");
+            let fields = [
+                format!("\"experiment\": \"{}\"", esc(&p.experiment)),
+                format!("\"x\": \"{}\"", esc(&p.x)),
+                format!("\"strategy\": \"{}\"", esc(&p.strategy)),
+                format!("\"deleted\": {}", p.deleted),
+                format!("\"sim_minutes\": {}", num(p.sim_minutes)),
+                format!("\"crit_path_minutes\": {}", num(p.crit_path_minutes)),
+                format!("\"random_reads\": {}", p.random_reads),
+                format!("\"sequential_reads\": {}", p.sequential_reads),
+                format!("\"random_writes\": {}", p.random_writes),
+                format!("\"sequential_writes\": {}", p.sequential_writes),
+                format!("\"pages_read\": {}", p.pages_read),
+                format!("\"pages_written\": {}", p.pages_written),
+                format!("\"retries\": {}", p.retries),
+                format!("\"pool_hits\": {}", p.pool_hits),
+                format!("\"pool_misses\": {}", p.pool_misses),
+                format!("\"pool_prefetched\": {}", p.pool_prefetched),
+                format!("\"pool_writebacks\": {}", p.pool_writebacks),
+                format!("\"buffer_hit_rate\": {}", num(p.buffer_hit_rate)),
+            ];
+            out.push_str(&fields.join(", "));
+            out.push_str(if i + 1 < self.points.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse and validate a snapshot document: well-formed JSON, required
+    /// top-level fields, and every [`POINT_FIELDS`] entry present in every
+    /// point. Returns a human-readable error otherwise.
+    pub fn validate(text: &str) -> Result<BenchSnapshot, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let get = |k: &str| {
+            obj.get(k)
+                .ok_or_else(|| format!("missing top-level field `{k}`"))
+        };
+        let schema = get("schema")?.as_u64().ok_or("`schema` is not a number")?;
+        if schema != 1 {
+            return Err(format!("unsupported schema version {schema}"));
+        }
+        let mut snap = BenchSnapshot {
+            label: get("label")?
+                .as_str()
+                .ok_or("`label` is not a string")?
+                .to_string(),
+            rows: get("rows")?.as_u64().ok_or("`rows` is not a number")?,
+            workers: get("workers")?
+                .as_u64()
+                .ok_or("`workers` is not a number")?,
+            points: Vec::new(),
+        };
+        let points = get("points")?
+            .as_array()
+            .ok_or("`points` is not an array")?;
+        for (i, p) in points.iter().enumerate() {
+            let p = p
+                .as_object()
+                .ok_or_else(|| format!("point {i} is not an object"))?;
+            for field in POINT_FIELDS {
+                if !p.contains_key(*field) {
+                    return Err(format!("point {i} is missing field `{field}`"));
+                }
+            }
+            let s = |k: &str| -> Result<String, String> {
+                p[k].as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("point {i} field `{k}` is not a string"))
+            };
+            let u = |k: &str| -> Result<u64, String> {
+                p[k].as_u64()
+                    .ok_or_else(|| format!("point {i} field `{k}` is not an integer"))
+            };
+            let f = |k: &str| -> Result<f64, String> {
+                p[k].as_f64()
+                    .ok_or_else(|| format!("point {i} field `{k}` is not a number"))
+            };
+            snap.points.push(BenchPoint {
+                experiment: s("experiment")?,
+                x: s("x")?,
+                strategy: s("strategy")?,
+                deleted: u("deleted")?,
+                sim_minutes: f("sim_minutes")?,
+                crit_path_minutes: f("crit_path_minutes")?,
+                random_reads: u("random_reads")?,
+                sequential_reads: u("sequential_reads")?,
+                random_writes: u("random_writes")?,
+                sequential_writes: u("sequential_writes")?,
+                pages_read: u("pages_read")?,
+                pages_written: u("pages_written")?,
+                retries: u("retries")?,
+                pool_hits: u("pool_hits")?,
+                pool_misses: u("pool_misses")?,
+                pool_prefetched: u("pool_prefetched")?,
+                pool_writebacks: u("pool_writebacks")?,
+                buffer_hit_rate: f("buffer_hit_rate")?,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+/// A minimal recursive-descent JSON reader — just enough to validate the
+/// snapshots this module writes (no serde in the vendor set).
+mod json {
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let ch_len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let s = std::str::from_utf8(&b[*pos..*pos + ch_len])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    out.push_str(s);
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut map = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            expect(b, pos, b':')?;
+            map.insert(key, parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_point() -> BenchPoint {
+        BenchPoint {
+            experiment: "fig7".into(),
+            x: "15%".into(),
+            strategy: "bulk delete".into(),
+            deleted: 15_000,
+            sim_minutes: 1.25,
+            crit_path_minutes: 1.25,
+            random_reads: 100,
+            sequential_reads: 9_000,
+            random_writes: 50,
+            sequential_writes: 4_000,
+            pages_read: 9_100,
+            pages_written: 4_050,
+            retries: 0,
+            pool_hits: 20,
+            pool_misses: 900,
+            pool_prefetched: 8_200,
+            pool_writebacks: 4_050,
+            buffer_hit_rate: 0.002192,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut snap = BenchSnapshot::new("unit \"quoted\" label", 100_000, 3);
+        snap.points.push(sample_point());
+        snap.points.push(BenchPoint {
+            x: "20%".into(),
+            ..sample_point()
+        });
+        let parsed = BenchSnapshot::validate(&snap.to_json()).expect("round trip");
+        assert_eq!(parsed.label, snap.label);
+        assert_eq!(parsed.rows, 100_000);
+        assert_eq!(parsed.workers, 3);
+        assert_eq!(parsed.points.len(), 2);
+        assert_eq!(parsed.points[0].strategy, "bulk delete");
+        assert_eq!(parsed.points[1].x, "20%");
+        assert!((parsed.points[0].sim_minutes - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_point_field_is_rejected() {
+        let mut snap = BenchSnapshot::new("x", 1, 1);
+        snap.points.push(sample_point());
+        let json = snap.to_json().replace("\"retries\": 0, ", "");
+        let err = BenchSnapshot::validate(&json).unwrap_err();
+        assert!(err.contains("retries"), "err: {err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(BenchSnapshot::validate("{\"schema\": 1,").is_err());
+        assert!(BenchSnapshot::validate("").is_err());
+        assert!(BenchSnapshot::validate("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let snap = BenchSnapshot::new("x", 1, 1);
+        let json = snap.to_json().replace("\"schema\": 1", "\"schema\": 2");
+        assert!(BenchSnapshot::validate(&json)
+            .unwrap_err()
+            .contains("schema"));
+    }
+}

@@ -18,14 +18,11 @@
 
 use std::collections::HashSet;
 
-use bd_storage::{PageId, Rid, StorageResult};
+use bd_storage::{PageId, ReadAhead, Rid, StorageResult};
 
 use crate::node::{key_floor, Key, NodeMut};
 use crate::reorg::{patch_parents, post_pass, ReorgPolicy};
 use crate::tree::BTree;
-
-/// Pages prefetched per chained read when the leaf extent is contiguous.
-const SCAN_CHUNK: usize = 8;
 
 /// Close out a bulk-delete pass. On the success path, patch the parents of
 /// the freed leaves and run the policy's reorganization pass. On the error
@@ -52,20 +49,13 @@ fn finish_pass(
     Ok(())
 }
 
-fn prefetch_extent(tree: &BTree, pid: PageId) {
-    if let Some((first, n)) = tree.leaf_extent() {
-        if pid < first {
-            return;
-        }
-        let idx = (pid - first) as usize;
-        if idx < n && idx.is_multiple_of(SCAN_CHUNK) {
-            let run = SCAN_CHUNK
-                .min(n - idx)
-                .min(tree.pool().capacity() / 2)
-                .max(1);
-            let _ = tree.pool().prefetch_run(pid, run);
-        }
-    }
+/// Windowed read-ahead for a leaf walk entering at `start`: the extent of a
+/// contiguously bulk-loaded leaf level streams in via chained reads (pages a
+/// pass frees *behind* the cursor stay readable in the cost model, so
+/// prefetching ahead of an in-place delete is safe). A fragmented tree has
+/// no extent — the plan is empty and every pin passes through untouched.
+fn leaf_read_ahead(tree: &BTree, start: PageId) -> ReadAhead {
+    ReadAhead::over_extent(tree.pool().clone(), tree.leaf_extent(), start)
 }
 
 /// Delete every `(key, rid)` in `victims` (sorted ascending) by merging the
@@ -86,13 +76,14 @@ pub fn bulk_delete_sorted(
     let mut freed: HashSet<PageId> = HashSet::new();
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
+    let mut ra = leaf_read_ahead(tree, start_leaf);
 
     let walked = (|| -> StorageResult<()> {
         while let Some(pid) = cur {
             if vi >= victims.len() {
                 break;
             }
-            prefetch_extent(tree, pid);
+            ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);
             let entries = node.as_ref().leaf_entries();
@@ -160,13 +151,14 @@ pub fn bulk_delete_by_keys(
     let mut freed: HashSet<PageId> = HashSet::new();
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
+    let mut ra = leaf_read_ahead(tree, start_leaf);
 
     let walked = (|| -> StorageResult<()> {
         while let Some(pid) = cur {
             if ki >= keys.len() {
                 break;
             }
-            prefetch_extent(tree, pid);
+            ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);
             let entries = node.as_ref().leaf_entries();
@@ -231,10 +223,11 @@ pub fn bulk_delete_probe(
     let mut freed: HashSet<PageId> = HashSet::new();
     let mut prev: Option<PageId> = None;
     let mut cur = Some(start_leaf);
+    let mut ra = leaf_read_ahead(tree, start_leaf);
 
     let walked = (|| -> StorageResult<()> {
         'walk: while let Some(pid) = cur {
-            prefetch_extent(tree, pid);
+            ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);
             let entries = node.as_ref().leaf_entries();

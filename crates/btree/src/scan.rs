@@ -3,34 +3,35 @@
 //! The bulk delete operator "directly operates on the leaf pages of an
 //! index" — leaf scans walk the B-link sibling chain from left to right.
 //! When the tree still occupies a contiguous extent (fresh bulk load), the
-//! scan issues chained prefetch reads, mirroring the prototype's chained
-//! I/O.
+//! scan streams the extent through a windowed [`ReadAhead`], mirroring the
+//! prototype's chained I/O. The window fires from the very first pin — a
+//! walk entering mid-extent (a key probe that descended into the middle of
+//! the leaf level) prefetches from its entry page, not from the next chunk
+//! boundary.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use bd_storage::{BufferPool, PageId, Rid, StorageResult};
+use bd_storage::{BufferPool, PageId, ReadAhead, Rid, StorageResult};
 
 use crate::node::{Key, NodeRef};
 use crate::tree::BTree;
-
-/// Pages prefetched per chained read when the leaf extent is contiguous.
-const SCAN_CHUNK: usize = 8;
 
 /// Iterator over the leaf *pages* of a tree, left to right.
 pub struct LeafPages {
     pool: Arc<BufferPool>,
     next: Option<PageId>,
-    extent: Option<(PageId, usize)>,
+    ra: ReadAhead,
 }
 
 impl LeafPages {
     /// Walk all leaves of `tree` from the leftmost.
     pub fn new(tree: &BTree) -> StorageResult<Self> {
+        let first = tree.first_leaf()?;
         Ok(LeafPages {
             pool: tree.pool().clone(),
-            next: Some(tree.first_leaf()?),
-            extent: tree.leaf_extent(),
+            next: Some(first),
+            ra: ReadAhead::over_extent(tree.pool().clone(), tree.leaf_extent(), first),
         })
     }
 
@@ -39,20 +40,7 @@ impl LeafPages {
         LeafPages {
             pool: tree.pool().clone(),
             next: Some(start),
-            extent: tree.leaf_extent(),
-        }
-    }
-
-    fn prefetch(&self, pid: PageId) {
-        if let Some((first, n)) = self.extent {
-            if pid < first {
-                return;
-            }
-            let idx = (pid - first) as usize;
-            if idx < n && idx.is_multiple_of(SCAN_CHUNK) {
-                let run = SCAN_CHUNK.min(n - idx).min(self.pool.capacity() / 2).max(1);
-                let _ = self.pool.prefetch_run(pid, run);
-            }
+            ra: ReadAhead::over_extent(tree.pool().clone(), tree.leaf_extent(), start),
         }
     }
 }
@@ -62,7 +50,7 @@ impl Iterator for LeafPages {
 
     fn next(&mut self) -> Option<Self::Item> {
         let pid = self.next?;
-        self.prefetch(pid);
+        self.ra.before_pin(pid);
         match self.pool.pin_read(pid) {
             Ok(r) => {
                 let node = NodeRef::new(&r[..]);
@@ -260,6 +248,40 @@ mod tests {
         )
         .unwrap();
         assert!(lookup_keys_sorted(&t2, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mid_extent_walk_prefetches_from_its_first_leaf() {
+        // Regression: the old chunk-aligned prefetch only fired when the
+        // entry leaf's extent index was a multiple of the chunk size, so a
+        // probe descending into the middle of the leaf level paid one
+        // positioned read per leaf until the walk happened to cross a chunk
+        // boundary. The window must fire on the first pin.
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..4000u64).map(|k| (k, rid(k))).collect();
+        let t = bulk_load(
+            pool.clone(),
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        // Keys living ~mid-extent, chosen so the entry leaf is unaligned.
+        let keys: Vec<Key> = (2002..2300u64).collect();
+        pool.clear_cache().unwrap();
+        pool.reset_stats();
+        let hits = lookup_keys_sorted(&t, &keys).unwrap();
+        assert_eq!(hits.len(), keys.len());
+        let d = pool.disk_stats();
+        let p = pool.pool_stats();
+        // ~19 leaves walked: the descent costs a few positioned reads, the
+        // walk itself must be chained, not one positioning per leaf.
+        assert!(d.random_reads <= 6, "walk not chained: {d:?}");
+        assert!(
+            p.prefetched > p.misses,
+            "leaves should be staged ahead of their pins: {p:?}"
+        );
     }
 
     #[test]

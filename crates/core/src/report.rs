@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use bd_storage::{BufferPool, DiskStats, IoScope, StorageResult};
+use bd_storage::{BufferPool, DiskStats, IoScope, PoolStats, StorageResult};
 
 pub use crate::audit::{AuditFinding, AuditReport};
 
@@ -135,6 +135,9 @@ pub struct RunReport {
     pub phases: Vec<PhaseRow>,
     /// Worker threads the phase-task executor was allowed (1 = serial).
     pub workers: usize,
+    /// Buffer-pool counters for the run (hits, misses, prefetched pins,
+    /// writebacks) — the cache-warmth side of the same I/O story `io` tells.
+    pub pool: PoolStats,
     /// Graceful-degradation events: fan-out arms that died and were re-run
     /// serially. Empty on a fault-free run.
     pub events: Vec<DegradeEvent>,
@@ -262,6 +265,7 @@ pub fn measure<T>(
             io,
             phases: Vec::new(),
             workers: 1,
+            pool: pool.pool_stats(),
             events: Vec::new(),
         },
     ))
@@ -360,6 +364,7 @@ mod tests {
                 },
             ],
             workers: 2,
+            pool: PoolStats::default(),
             events: Vec::new(),
         };
         // saved = (35 + 25) - 35 = 25; crit = 100 - 25 = 75.

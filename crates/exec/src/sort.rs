@@ -143,9 +143,10 @@ impl<T: Rec> ExternalSorter<T> {
         Ok(())
     }
 
-    /// Merge fan-in the budget can buffer (each open run buffers ~32 KiB).
+    /// Merge fan-in the budget can buffer (each open run double-buffers
+    /// ~64 KiB of chained reads).
     fn fan_in(&self) -> usize {
-        (self.budget_bytes / (32 * 1024)).max(2)
+        (self.budget_bytes / (64 * 1024)).max(2)
     }
 
     /// Finish and return the sorted stream plus stats.
@@ -156,7 +157,7 @@ impl<T: Rec> ExternalSorter<T> {
             let stats = self.stats;
             return Ok((
                 SortedStream {
-                    inner: StreamInner::Mem(self.buf.into_iter()),
+                    inner: StreamInner::Mem(std::mem::take(&mut self.buf).into_iter()),
                     error: None,
                     fused: false,
                 },
@@ -188,6 +189,16 @@ impl<T: Rec> ExternalSorter<T> {
             },
             stats,
         ))
+    }
+}
+
+impl<T: Rec> Drop for ExternalSorter<T> {
+    /// Runs not handed off to a merge (an abandoned sorter, or a `finish`
+    /// that failed partway) must not leak their temp pages.
+    fn drop(&mut self) {
+        for run in &self.runs {
+            run.free(&self.pool);
+        }
     }
 }
 
@@ -270,7 +281,10 @@ impl<T: Rec> Iterator for SortedStream<T> {
 }
 
 struct RunCursor<T: Rec> {
+    pool: Arc<BufferPool>,
     reader: SegmentReader,
+    /// The run being consumed; taken (and its pages freed) on exhaustion.
+    seg: Option<TempSegment>,
     buf: Vec<u8>,
     _marker: std::marker::PhantomData<T>,
 }
@@ -278,10 +292,26 @@ struct RunCursor<T: Rec> {
 impl<T: Rec> RunCursor<T> {
     fn next(&mut self) -> StorageResult<Option<T>> {
         if self.reader.remaining() == 0 {
+            self.release();
             return Ok(None);
         }
         self.reader.read_exact(&mut self.buf)?;
         Ok(Some(T::decode(&self.buf)))
+    }
+
+    /// Return the run's temp pages to the catalog (idempotent).
+    fn release(&mut self) {
+        if let Some(seg) = self.seg.take() {
+            seg.free(&self.pool);
+        }
+    }
+}
+
+impl<T: Rec> Drop for RunCursor<T> {
+    /// A merge dropped mid-stream (an abandoned [`SortedStream`], a failed
+    /// merge pass) still frees every run it was consuming.
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
@@ -296,7 +326,9 @@ impl<T: Rec> KWayMerge<T> {
         let mut cursors: Vec<RunCursor<T>> = runs
             .into_iter()
             .map(|seg| RunCursor {
+                pool: pool.clone(),
                 reader: seg.reader(pool.clone()),
+                seg: Some(seg),
                 buf: vec![0u8; T::SIZE],
                 _marker: std::marker::PhantomData,
             })
@@ -427,6 +459,66 @@ mod tests {
         let (sorted, stats) = sort_all::<u64>(pool(), [], 1024).unwrap();
         assert!(sorted.is_empty());
         assert_eq!(stats.items, 0);
+    }
+
+    #[test]
+    fn spilling_sort_frees_every_temp_page() {
+        use bd_storage::StructureId;
+        let p = pool();
+        let items = pseudo_random(50_000, 42);
+        let (sorted, stats) = sort_all(p.clone(), items, 64 * 1024).unwrap();
+        assert!(stats.runs >= 6, "must actually spill: {stats:?}");
+        assert_eq!(sorted.len(), 50_000);
+        assert!(
+            p.catalog().pages_of(StructureId::Temp).is_empty(),
+            "spilled sort runs must not leak Temp pages"
+        );
+    }
+
+    #[test]
+    fn multi_pass_merge_frees_intermediate_runs() {
+        use bd_storage::StructureId;
+        let p = pool();
+        let items = pseudo_random(200_000, 3);
+        let (_, stats) = sort_all(p.clone(), items, 64 * 1024).unwrap();
+        assert!(stats.merge_passes > 0, "{stats:?}");
+        assert!(
+            p.catalog().pages_of(StructureId::Temp).is_empty(),
+            "intermediate merge runs must be freed as they are drained"
+        );
+    }
+
+    #[test]
+    fn dropped_stream_frees_unconsumed_runs() {
+        use bd_storage::StructureId;
+        let p = pool();
+        let mut sorter = ExternalSorter::new(p.clone(), 64 * 1024);
+        sorter.extend(pseudo_random(50_000, 11)).unwrap();
+        let (mut stream, stats) = sorter.finish().unwrap();
+        assert!(stats.runs >= 2);
+        // Consume a few items, then abandon the stream mid-merge.
+        for _ in 0..10 {
+            let _ = stream.next();
+        }
+        drop(stream);
+        assert!(
+            p.catalog().pages_of(StructureId::Temp).is_empty(),
+            "an abandoned merge must free its runs"
+        );
+    }
+
+    #[test]
+    fn abandoned_sorter_frees_spilled_runs() {
+        use bd_storage::StructureId;
+        let p = pool();
+        let mut sorter = ExternalSorter::new(p.clone(), 64 * 1024);
+        sorter.extend(pseudo_random(30_000, 13)).unwrap();
+        assert!(!p.catalog().pages_of(StructureId::Temp).is_empty());
+        drop(sorter);
+        assert!(
+            p.catalog().pages_of(StructureId::Temp).is_empty(),
+            "a sorter dropped before finish() must free its spills"
+        );
     }
 
     #[test]

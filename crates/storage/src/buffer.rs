@@ -29,6 +29,11 @@ struct Frame {
     pin: AtomicUsize,
     dirty: AtomicBool,
     last_used: AtomicU64,
+    /// Set when the frame was staged by [`BufferPool::prefetch_run`] and not
+    /// yet pinned; the first pin consumes it into `PoolStats::prefetched`
+    /// instead of `hits` (a prefetched page was paid for by the read-ahead
+    /// chain, not found warm in the cache).
+    prefetched: AtomicBool,
 }
 
 struct Inner {
@@ -39,12 +44,30 @@ struct Inner {
 /// Cache hit/miss counters for the pool itself.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Pins served from a resident frame.
+    /// Pins served from a frame that was already warm in the cache.
     pub hits: u64,
     /// Pins that had to read the page from disk.
     pub misses: u64,
+    /// First pins of pages staged by [`BufferPool::prefetch_run`]. These
+    /// were paid for by a chained read-ahead, so counting them as `hits`
+    /// would inflate the cache's apparent warmth.
+    pub prefetched: u64,
     /// Dirty pages written back during eviction or flush.
     pub writebacks: u64,
+}
+
+impl PoolStats {
+    /// Fraction of pins served without a new disk read at pin time.
+    /// Prefetched pins are in the denominator but not the numerator: their
+    /// I/O was merely moved earlier, not avoided.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.prefetched;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Bounded retry-with-backoff for transient disk faults and torn pages.
@@ -126,6 +149,7 @@ pub struct BufferPool {
     retry: Mutex<RetryPolicy>,
     hits: AtomicU64,
     misses: AtomicU64,
+    prefetched: AtomicU64,
     writebacks: AtomicU64,
 }
 
@@ -143,6 +167,7 @@ impl BufferPool {
             retry: Mutex::new(RetryPolicy::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
         })
     }
@@ -211,6 +236,7 @@ impl BufferPool {
         self.disk.lock().reset_stats();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
     }
 
@@ -219,6 +245,7 @@ impl BufferPool {
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
         }
     }
@@ -285,7 +312,11 @@ impl BufferPool {
         if let Some(frame) = inner.frames.get(&pid).cloned() {
             frame.pin.fetch_add(1, Ordering::AcqRel);
             Self::touch(&mut inner, &frame);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            if frame.prefetched.swap(false, Ordering::AcqRel) {
+                self.prefetched.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(frame);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -302,6 +333,7 @@ impl BufferPool {
             pin: AtomicUsize::new(1),
             dirty: AtomicBool::new(false),
             last_used: AtomicU64::new(0),
+            prefetched: AtomicBool::new(false),
         });
         Self::touch(&mut inner, &frame);
         inner.frames.insert(pid, frame.clone());
@@ -337,6 +369,7 @@ impl BufferPool {
             pin: AtomicUsize::new(1),
             dirty: AtomicBool::new(true),
             last_used: AtomicU64::new(0),
+            prefetched: AtomicBool::new(false),
         });
         Self::touch(&mut inner, &frame);
         inner.frames.insert(pid, frame.clone());
@@ -345,11 +378,21 @@ impl BufferPool {
         Ok((pid, PageWrite { frame, guard }))
     }
 
+    /// Largest run [`BufferPool::prefetch_run`] will stage at once: half the
+    /// frames, so read-ahead never evicts the working set it feeds.
+    pub fn max_prefetch(&self) -> usize {
+        (self.capacity / 2).max(1)
+    }
+
     /// Prefetch the contiguous run `first .. first + n` with chained reads.
-    /// Missing stretches are read with one positioning cost each. `n` must
-    /// not exceed the pool capacity.
-    pub fn prefetch_run(&self, first: PageId, n: usize) -> StorageResult<()> {
-        assert!(n <= self.capacity, "prefetch run exceeds pool capacity");
+    /// Missing stretches are read with one positioning cost each. Runs
+    /// longer than [`BufferPool::max_prefetch`] are clamped rather than
+    /// rejected. Returns how many pages of the (clamped) run are actually
+    /// resident afterwards — pages whose read kept faulting past the retry
+    /// budget are skipped, not fatal, and left to pin-time retry.
+    pub fn prefetch_run(&self, first: PageId, n: usize) -> StorageResult<usize> {
+        let n = n.min(self.max_prefetch());
+        let mut staged = n;
         let mut inner = self.inner.lock();
         // Collect the missing stretch boundaries.
         let mut missing: Vec<PageId> = (0..n as PageId)
@@ -357,7 +400,7 @@ impl BufferPool {
             .filter(|pid| !inner.frames.contains_key(pid))
             .collect();
         if missing.is_empty() {
-            return Ok(());
+            return Ok(n);
         }
         while inner.frames.len() + missing.len() > self.capacity {
             self.evict_one(&mut inner)?;
@@ -371,12 +414,28 @@ impl BufferPool {
                 len += 1;
             }
             let mut loaded: Vec<(PageId, PageBuf)> = Vec::with_capacity(len);
-            retry_disk(*self.retry.lock(), &mut disk, |d| {
+            let chain = retry_disk(*self.retry.lock(), &mut disk, |d| {
                 loaded.clear();
                 d.read_chain(start, len, |pid, bytes| {
                     loaded.push((pid, Box::new(*bytes)));
                 })
-            })?;
+            });
+            if chain.is_err() {
+                // A fault survived the chain-level retries. Prefetch is best
+                // effort and must not abort the operation it serves: salvage
+                // the stretch page by page, fail-fast, and leave any page
+                // that still faults unstaged — its eventual pin re-reads it
+                // under the full retry/replica policy.
+                loaded.clear();
+                for i in 0..len {
+                    let pid = start + i as PageId;
+                    let mut buf: PageBuf = Box::new([0u8; PAGE_SIZE]);
+                    match disk.read(pid, &mut buf) {
+                        Ok(()) => loaded.push((pid, buf)),
+                        Err(_) => staged -= 1,
+                    }
+                }
+            }
             for (pid, buf) in loaded {
                 let frame = Arc::new(Frame {
                     pid,
@@ -384,13 +443,14 @@ impl BufferPool {
                     pin: AtomicUsize::new(0),
                     dirty: AtomicBool::new(false),
                     last_used: AtomicU64::new(0),
+                    prefetched: AtomicBool::new(true),
                 });
                 Self::touch(&mut inner, &frame);
                 inner.frames.insert(pid, frame);
             }
             missing.drain(..len);
         }
-        Ok(())
+        Ok(staged)
     }
 
     /// Whether `pid` is currently resident.
@@ -580,23 +640,34 @@ mod tests {
 
     #[test]
     fn prefetch_run_is_one_chained_read() {
-        let (pool, first) = small_pool(8, 8);
+        let (pool, first) = small_pool(16, 8);
         pool.reset_stats();
-        pool.prefetch_run(first, 8).unwrap();
+        assert_eq!(pool.prefetch_run(first, 8).unwrap(), 8);
         let d = pool.disk_stats();
         assert_eq!(d.random_reads, 1);
         assert_eq!(d.pages_read, 8);
-        // Subsequent pins are all hits.
+        // First pins consume the staged frames: charged to `prefetched`,
+        // not mistaken for warm cache hits.
         for i in 0..8 {
             let _ = pool.pin_read(first + i).unwrap();
         }
-        assert_eq!(pool.pool_stats().hits, 8);
-        assert_eq!(pool.pool_stats().misses, 0);
+        let s = pool.pool_stats();
+        assert_eq!(s.prefetched, 8);
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 0);
+        // A second round of pins finds the frames genuinely warm.
+        for i in 0..8 {
+            let _ = pool.pin_read(first + i).unwrap();
+        }
+        let s = pool.pool_stats();
+        assert_eq!(s.prefetched, 8);
+        assert_eq!(s.hits, 8);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn prefetch_skips_resident_pages() {
-        let (pool, first) = small_pool(8, 8);
+        let (pool, first) = small_pool(16, 8);
         let _ = pool.pin_read(first + 3).unwrap();
         pool.reset_stats();
         pool.prefetch_run(first, 8).unwrap();
@@ -604,6 +675,21 @@ mod tests {
         // Two stretches: [0..3) and [4..8) => two positioned reads, 7 pages.
         assert_eq!(d.random_reads, 2);
         assert_eq!(d.pages_read, 7);
+    }
+
+    #[test]
+    fn oversized_prefetch_is_clamped_not_a_panic() {
+        let (pool, first) = small_pool(8, 8);
+        pool.reset_stats();
+        // Asking for more than the pool can hold stages only max_prefetch
+        // pages (here 4) instead of asserting.
+        let staged = pool.prefetch_run(first, 64).unwrap();
+        assert_eq!(staged, pool.max_prefetch());
+        assert_eq!(pool.disk_stats().pages_read, staged as u64);
+        for i in 0..staged {
+            assert!(pool.contains(first + i as PageId));
+        }
+        assert!(!pool.contains(first + staged as PageId));
     }
 
     #[test]

@@ -19,11 +19,9 @@ use crate::disk::PageId;
 use crate::error::{StorageError, StorageResult};
 use crate::fsm::FreeSpaceMap;
 use crate::owner::StructureId;
+use crate::readahead::ReadAhead;
 use crate::rid::Rid;
 use crate::slotted::SlottedPage;
-
-/// Pages fetched per chained read during scans.
-const SCAN_CHUNK: usize = 8;
 
 /// A heap file of records.
 pub struct HeapFile {
@@ -157,11 +155,14 @@ impl HeapFile {
     /// [`HeapScan::take_error`] after exhaustion, or use
     /// [`HeapFile::dump`] which does so for them.
     pub fn scan(&self) -> HeapScan {
+        let mut ra = ReadAhead::new(self.pool.clone());
+        ra.plan(self.pages.iter().copied());
         HeapScan {
             pool: self.pool.clone(),
             pages: self.pages.clone(),
             next_page: 0,
             current: VecDeque::new(),
+            ra,
             error: None,
             fused: false,
         }
@@ -178,43 +179,29 @@ impl HeapFile {
         }
     }
 
-    fn prefetch_from(&self, page_pos: usize) {
-        let rest = &self.pages[page_pos..];
-        let n = rest.len().min(SCAN_CHUNK).min(self.pool.capacity() / 2);
-        let mut i = 0;
-        while i < n {
-            let start = rest[i];
-            let mut len = 1;
-            while i + len < n && rest[i + len] == start + len as PageId {
-                len += 1;
-            }
-            // Best effort: prefetch failures surface later at pin time.
-            let _ = self.pool.prefetch_run(start, len);
-            i += len;
-        }
-    }
-
     /// Delete every RID in `rids` (which must be sorted ascending) in one
     /// sequential pass over the affected pages. Returns `(rid, bytes)` for
     /// each deleted record, in RID order.
     ///
     /// This is the table-side `⋈̄` of the paper's Fig. 3 plan: the sorted RID
     /// list is merged against the heap's physical order, so each affected
-    /// page is pinned exactly once and pages are visited monotonically.
+    /// page is pinned exactly once and pages are visited monotonically — the
+    /// exact shape [`ReadAhead`] wants, so the whole victim-page sequence is
+    /// planned up front and streamed in via chained reads.
     pub fn bulk_delete_sorted(&mut self, rids: &[Rid]) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
         debug_assert!(rids.windows(2).all(|w| w[0] <= w[1]), "rid list not sorted");
+        let mut ra = ReadAhead::new(self.pool.clone());
+        let mut prev = None;
+        ra.plan(rids.iter().map(|r| r.page).filter(|&p| {
+            let fresh = prev != Some(p);
+            prev = Some(p);
+            fresh
+        }));
         let mut out = Vec::with_capacity(rids.len());
         let mut i = 0;
-        let mut page_pos = 0;
         while i < rids.len() {
             let pid = rids[i].page;
-            // Advance the scan cursor for prefetching.
-            while page_pos < self.pages.len() && self.pages[page_pos] < pid {
-                page_pos += 1;
-            }
-            if page_pos < self.pages.len() && self.pages[page_pos] == pid {
-                self.prefetch_from(page_pos);
-            }
+            ra.before_pin(pid);
             let mut w = self.pool.pin_write(pid)?;
             let mut page = SlottedPage::new(&mut w[..]);
             while i < rids.len() && rids[i].page == pid {
@@ -242,10 +229,10 @@ impl HeapFile {
     ) -> StorageResult<Vec<(Rid, Vec<u8>)>> {
         let mut out = Vec::with_capacity(victims.len());
         let pages = self.pages.clone();
-        for (pos, &pid) in pages.iter().enumerate() {
-            if pos % SCAN_CHUNK == 0 {
-                self.prefetch_from(pos);
-            }
+        let mut ra = ReadAhead::new(self.pool.clone());
+        ra.plan(pages.iter().copied());
+        for &pid in &pages {
+            ra.before_pin(pid);
             let mut w = self.pool.pin_write(pid)?;
             let mut page = SlottedPage::new(&mut w[..]);
             let mut free = None;
@@ -315,11 +302,11 @@ impl HeapFile {
     /// Returns the live record count.
     pub fn recount(&mut self) -> StorageResult<usize> {
         let mut n = 0;
+        let mut ra = ReadAhead::new(self.pool.clone());
+        ra.plan(self.pages.iter().copied());
         for pos in 0..self.pages.len() {
-            if pos % SCAN_CHUNK == 0 {
-                self.prefetch_from(pos);
-            }
             let pid = self.pages[pos];
+            ra.before_pin(pid);
             let r = self.pool.pin_read(pid)?;
             n += crate::slotted::read::live_records(&r[..]);
             let mut buf: crate::page::PageBuf = Box::new(*r);
@@ -391,6 +378,7 @@ pub struct HeapScan {
     pages: Vec<PageId>,
     next_page: usize,
     current: VecDeque<(Rid, Vec<u8>)>,
+    ra: ReadAhead,
     error: Option<StorageError>,
     /// Set when an error ended the scan; stays set after `take_error` so
     /// the scan never resumes past a known-lost page.
@@ -421,23 +409,9 @@ impl Iterator for HeapScan {
             if self.fused || self.next_page >= self.pages.len() {
                 return None;
             }
-            if self.next_page.is_multiple_of(SCAN_CHUNK) {
-                let rest = &self.pages[self.next_page..];
-                let n = rest.len().min(SCAN_CHUNK).min(self.pool.capacity() / 2);
-                let mut i = 0;
-                while i < n {
-                    let start = rest[i];
-                    let mut len = 1;
-                    while i + len < n && rest[i + len] == start + len as PageId {
-                        len += 1;
-                    }
-                    // Best effort: prefetch failures surface at pin time.
-                    let _ = self.pool.prefetch_run(start, len);
-                    i += len;
-                }
-            }
             let pid = self.pages[self.next_page];
             self.next_page += 1;
+            self.ra.before_pin(pid);
             match self.pool.pin_read(pid) {
                 Ok(r) => {
                     for slot in 0..crate::slotted::read::slot_count(&r[..]) as u16 {

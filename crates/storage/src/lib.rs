@@ -19,6 +19,10 @@
 //!   map, and a sequential scan that issues chained reads.
 //! * [`TempSegment`] — scratch space for external-sort runs that bypasses the
 //!   buffer pool (sort runs must not evict the working set).
+//! * [`ReadAhead`] — windowed read-ahead over a sorted page stream: upcoming
+//!   pages are coalesced into chained [`BufferPool::prefetch_run`] calls so
+//!   probe/scan/merge hot paths pay one positioning cost per window instead
+//!   of one per page.
 //! * [`MemoryBudget`] — byte accounting shared by sort and hash workspaces.
 //! * [`IoScope`] / [`CancelToken`] — per-task I/O attribution (sharded
 //!   counters merged on join) and cooperative cancellation for concurrent
@@ -41,12 +45,13 @@ pub mod heap;
 pub mod io_scope;
 pub mod owner;
 pub mod page;
+pub mod readahead;
 pub mod rid;
 pub mod segment;
 pub mod slotted;
 
 pub use budget::MemoryBudget;
-pub use buffer::{BufferPool, PageRead, PageWrite, RetryPolicy};
+pub use buffer::{BufferPool, PageRead, PageWrite, PoolStats, RetryPolicy};
 pub use disk::{CostModel, DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultKind, FaultOp, FaultPlan, FaultSpec, FaultTrigger};
@@ -55,6 +60,7 @@ pub use heap::{FsmMismatch, HeapFile, HeapScan};
 pub use io_scope::{CancelToken, IoScope, ScopeGuard};
 pub use owner::{PageCatalog, StructureId};
 pub use page::PageBuf;
+pub use readahead::{ReadAhead, READ_AHEAD_WINDOW};
 pub use rid::Rid;
 pub use segment::{SegmentReader, SegmentWriter, TempSegment};
 pub use slotted::SlottedPage;

@@ -170,7 +170,12 @@ fn concurrent_workload_matches_shadow_model() {
     // ShadowDb model — fed the same logical operations — must derive the
     // exact state of every engine structure. The mirrors are applied after
     // the join: updater keys are fresh and point-delete targets are
-    // survivors, so the final state is interleaving-independent.
+    // survivors, so the final state is interleaving-independent — but only
+    // under the order victims → point deletes → inserts. The heap recycles
+    // freed slots, so a writer insert can land on the exact RID a point
+    // delete just vacated; deletes must therefore be modelled before the
+    // inserts that may reuse their slots (the reverse never happens: the
+    // deleter targets original survivors, never writer rows).
     let (tdb, tid, a_values) = setup(2500);
     let mut shadow = tdb.with(|db| bd_core::ShadowDb::mirror_of(db, tid).unwrap());
     let victims: Vec<u64> = a_values.iter().copied().step_by(3).collect();
@@ -230,12 +235,12 @@ fn concurrent_workload_matches_shadow_model() {
     });
 
     shadow.delete_in(tid, 0, &victims);
-    for (rid, t) in inserted {
-        shadow.insert(tid, rid, t);
-    }
     assert_eq!(point_deleted.len(), point_targets.len());
     for rid in point_deleted {
         shadow.delete(tid, rid).expect("model held the deleted row");
+    }
+    for (rid, t) in inserted {
+        shadow.insert(tid, rid, t);
     }
 
     let report = tdb.with(|db| shadow.diff(db, tid).unwrap());

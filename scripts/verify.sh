@@ -20,3 +20,9 @@ cargo run --release -p bd-bench --bin repro -- --audit --parallel 3
 # bounded torn-write campaign must media-recover every surfaced tear
 # (half-written page images rebuilt from the heap + WAL).
 cargo run --release -p bd-bench --bin repro -- --faults --parallel 3
+
+# Bench-snapshot gate: a bounded fig7 sweep must produce a valid
+# machine-readable BENCH_<n>.json snapshot (schema, required fields,
+# point count), keeping the perf trajectory emitters honest.
+cargo run --release -p bd-bench --bin repro -- fig7 --rows 20000 --bench-json target/bench_ci.json
+cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_ci.json
