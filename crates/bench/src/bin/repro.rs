@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] [--parallel N]
-//!       [--phases] [--audit] [--faults] [--bench-json PATH]
+//!       [--phases] [--audit] [--faults] [--live] [--bench-json PATH]
 //!       [--check-bench PATH]
 //! ```
 //!
@@ -38,6 +38,15 @@
 //! preserved); `--rows 1000000` runs the paper's full scale. Output times
 //! are simulated minutes from the disk cost model.
 //!
+//! `--live` runs the online experiment instead of the offline figures: the
+//! same foreground mix (point reads, range scans, inserts on 4 threads)
+//! runs against the blocking offline delete statement and against the
+//! chunked live driver (`TxnDb::bulk_delete_live`), at two delete
+//! fractions. Every run is model-checked against a shadow before its
+//! numbers are accepted; the output is the per-class foreground
+//! p50/p95/p99 under each driver, and `--bench-json` dumps them in the
+//! per-point `foreground` arrays.
+//!
 //! `--bench-json PATH` additionally dumps every measured cell of the
 //! selected experiments as a machine-readable snapshot (the `BENCH_<n>.json`
 //! trajectory files); `--check-bench PATH` parses and validates such a
@@ -55,6 +64,7 @@ fn main() {
     let mut show_phases = false;
     let mut run_audit = false;
     let mut run_faults = false;
+    let mut run_live = false;
     let mut bench_json: Option<String> = None;
     let mut check_bench: Option<String> = None;
     let mut i = 0;
@@ -63,6 +73,7 @@ fn main() {
             "--phases" => show_phases = true,
             "--audit" => run_audit = true,
             "--faults" => run_faults = true,
+            "--live" => run_live = true,
             "--rows" => {
                 i += 1;
                 rows = args
@@ -118,6 +129,10 @@ fn main() {
     }
     if run_faults {
         faults(rows, workers);
+        return;
+    }
+    if run_live {
+        live(rows, bench_json.as_deref());
         return;
     }
 
@@ -196,6 +211,52 @@ fn validate_snapshot(path: &str) {
             eprintln!("`{path}` is not a valid bench snapshot: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `--live`: the online experiment — foreground latency percentiles under
+/// the offline vs the chunked live bulk delete, model-checked per run.
+fn live(rows: usize, bench_json: Option<&str>) {
+    use bd_bench::live::{live_experiment, LiveConfig, LIVE_CHUNK};
+
+    let cfg = LiveConfig::new(rows);
+    println!(
+        "online experiment: offline vs live bulk delete under foreground \
+         traffic ({} threads, point reads / range scans / inserts), \
+         {rows} rows, live chunk {LIVE_CHUNK} keys\n",
+        cfg.threads
+    );
+    let started = std::time::Instant::now();
+    let report = match live_experiment(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("live experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+    println!("foreground latency per op class:");
+    for p in &report.points {
+        println!("  {} @ {} (deleted {}):", p.strategy, p.x, p.deleted);
+        for c in &p.foreground {
+            println!(
+                "    {:<12} n {:>7}  p50 {:>7} µs  p95 {:>7} µs  p99 {:>7} µs  max {:>8} µs",
+                c.class, c.ops, c.p50_us, c.p95_us, c.p99_us, c.max_us
+            );
+        }
+    }
+    eprintln!(
+        "[live finished in {:.1}s wall]",
+        started.elapsed().as_secs_f32()
+    );
+    if let Some(path) = bench_json {
+        let mut snap = BenchSnapshot::new("repro live", rows, cfg.threads);
+        snap.points.extend(report.points);
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("failed to write bench snapshot `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[bench snapshot: {} points -> {path}]", snap.points.len());
     }
 }
 
@@ -460,7 +521,7 @@ fn faults(rows: usize, workers: usize) {
 fn usage() -> ! {
     eprintln!(
         "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] \
-         [--parallel N] [--phases] [--audit] [--faults] \
+         [--parallel N] [--phases] [--audit] [--faults] [--live] \
          [--bench-json PATH] [--check-bench PATH]"
     );
     std::process::exit(2);

@@ -11,6 +11,7 @@
 //! plus raw I/O counts.
 
 pub mod experiments;
+pub mod live;
 pub mod snapshot;
 
 use bd_btree::BTreeConfig;

@@ -1,0 +1,196 @@
+//! The online experiment: foreground latency under an offline versus a
+//! live (chunked, paced) bulk delete.
+//!
+//! The paper's §3.1 concurrency-control section argues bulk deletion must
+//! coexist with updaters; this experiment quantifies the difference. For
+//! each delete fraction it runs the same foreground mix (point reads,
+//! range scans, inserts) twice — once against the blocking offline
+//! statement, once against [`TxnDb::bulk_delete_live`] — and reports the
+//! foreground p50/p95/p99 per op class next to the delete's own I/O cost.
+//! Every run is model-checked against a [`ShadowDb`] (victims deleted,
+//! foreground inserts applied) before its numbers are accepted.
+
+use bd_core::{RunReport, ShadowDb};
+use bd_storage::Pacer;
+use bd_txn::{PropagationMode, TxnDb};
+use bd_workload::{run_with_foreground, DeleteDriver, FgConfig};
+
+use crate::snapshot::BenchPoint;
+use crate::{ExperimentReport, PointConfig};
+
+/// Delete fractions the live sweep measures (the acceptance floor is two).
+pub const LIVE_FRACTIONS: &[f64] = &[0.05, 0.15];
+
+/// Keys per exclusive span of the live driver.
+pub const LIVE_CHUNK: usize = 512;
+
+/// Configuration of the live sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Table rows.
+    pub rows: usize,
+    /// Foreground threads.
+    pub threads: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// Default scale: matches `PointConfig::base` with 4 foreground threads.
+    pub fn new(rows: usize) -> Self {
+        LiveConfig {
+            rows,
+            threads: 4,
+            seed: 42,
+        }
+    }
+}
+
+fn driver_label(driver: DeleteDriver) -> &'static str {
+    match driver {
+        DeleteDriver::Offline(_) => "offline",
+        DeleteDriver::Live { .. } => "live",
+    }
+}
+
+/// Run one `(fraction, driver)` cell: build the full vertical structure
+/// (unique probe index, two secondary B-trees, one hash index), start the
+/// foreground pool, run the delete, and model-check the end state.
+fn run_cell(cfg: &LiveConfig, fraction: f64, driver: DeleteDriver) -> Result<RunReport, String> {
+    let mut point = PointConfig::base(cfg.rows);
+    point.n_secondary = 2;
+    point.seed = cfg.seed;
+    let (mut db, w) = point.build().map_err(|e| e.to_string())?;
+    db.create_hash_index(w.tid, 3).map_err(|e| e.to_string())?;
+    let mut shadow = ShadowDb::mirror_of(&db, w.tid).map_err(|e| e.to_string())?;
+    let victims = w.delete_set(fraction, cfg.seed.wrapping_add(1));
+
+    let tdb = TxnDb::new(db);
+    let pool = tdb.with(|db| db.pool().clone());
+    pool.clear_cache().map_err(|e| e.to_string())?;
+    pool.reset_stats();
+    let before = pool.disk_stats();
+    let run = run_with_foreground(
+        &tdb,
+        &w,
+        &victims,
+        driver,
+        FgConfig {
+            threads: cfg.threads,
+            seed: cfg.seed ^ 0xF0,
+            ..FgConfig::default()
+        },
+        &Pacer::new(),
+    )
+    .map_err(|e| e.to_string())?;
+    pool.flush_all().map_err(|e| e.to_string())?;
+    let io = pool.disk_stats().since(&before);
+
+    shadow.delete_in(w.tid, 0, &victims);
+    for (rid, tuple) in run.inserted {
+        shadow.insert(w.tid, rid, tuple);
+    }
+    let diff = tdb
+        .with(|db| shadow.diff(db, w.tid))
+        .map_err(|e| e.to_string())?;
+    if !diff.is_clean() {
+        return Err(format!(
+            "{} {:.0}%: end state diverged from the model: {diff}",
+            driver_label(driver),
+            fraction * 100.0
+        ));
+    }
+    tdb.with(|db| db.check_consistency(w.tid))
+        .map_err(|e| e.to_string())?;
+
+    Ok(RunReport {
+        strategy: driver_label(driver).to_string(),
+        deleted: run.deleted,
+        io,
+        phases: Vec::new(),
+        workers: 1,
+        pool: pool.pool_stats(),
+        events: Vec::new(),
+        foreground: Some(run.foreground),
+    })
+}
+
+/// The full sweep: every [`LIVE_FRACTIONS`] fraction, offline then live,
+/// both drivers propagating the non-probe non-unique indices through the
+/// side file.
+pub fn live_experiment(cfg: &LiveConfig) -> Result<ExperimentReport, String> {
+    let drivers = [
+        DeleteDriver::Offline(PropagationMode::SideFile),
+        DeleteDriver::Live {
+            mode: PropagationMode::SideFile,
+            chunk: LIVE_CHUNK,
+        },
+    ];
+    let mut report = ExperimentReport {
+        id: "live",
+        title: "foreground latency under an offline vs a live bulk delete".to_string(),
+        x_label: "% deleted",
+        series: vec!["offline", "live"],
+        rows: Vec::new(),
+        notes: format!(
+            "live = {LIVE_CHUNK}-key exclusive spans with pacer checkpoints; \
+             both drivers side-file the non-probe secondary indices; \
+             foreground percentiles are in the per-point `foreground` arrays"
+        ),
+        points: Vec::new(),
+    };
+    for &fraction in LIVE_FRACTIONS {
+        let x = format!("{:.0}%", fraction * 100.0);
+        let mut row = Vec::new();
+        for driver in drivers {
+            let cell = run_cell(cfg, fraction, driver)?;
+            row.push(cell.sim_minutes());
+            report
+                .points
+                .push(BenchPoint::from_report("live", &x, &cell));
+        }
+        report.rows.push((x, row));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded end-to-end sweep: both drivers at both fractions finish,
+    /// model-check clean, and every point carries non-empty foreground
+    /// percentiles for all three op classes.
+    #[test]
+    fn live_sweep_reports_foreground_percentiles() {
+        let cfg = LiveConfig {
+            rows: 4_000,
+            threads: 2,
+            seed: 42,
+        };
+        let report = live_experiment(&cfg).expect("sweep");
+        assert_eq!(report.rows.len(), LIVE_FRACTIONS.len());
+        assert_eq!(report.points.len(), 2 * LIVE_FRACTIONS.len());
+        for p in &report.points {
+            assert!(
+                !p.foreground.is_empty(),
+                "{} {} has no fg data",
+                p.strategy,
+                p.x
+            );
+            let classes: Vec<&str> = p.foreground.iter().map(|c| c.class.as_str()).collect();
+            for want in ["point_read", "range_scan", "insert"] {
+                assert!(
+                    classes.contains(&want),
+                    "{} {} missing {want}",
+                    p.strategy,
+                    p.x
+                );
+            }
+            for c in &p.foreground {
+                assert!(c.ops > 0);
+                assert!(c.p50_us <= c.p95_us && c.p95_us <= c.p99_us && c.p99_us <= c.max_us);
+            }
+        }
+    }
+}

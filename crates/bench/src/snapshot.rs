@@ -18,7 +18,7 @@
 //! }
 //! ```
 
-use bd_core::RunReport;
+use bd_core::{ForegroundReport, RunReport};
 
 /// Fields every snapshot point must carry, used by the writer and checked
 /// by [`BenchSnapshot::validate`].
@@ -42,6 +42,44 @@ pub const POINT_FIELDS: &[&str] = &[
     "pool_writebacks",
     "buffer_hit_rate",
 ];
+
+/// Fields every per-class foreground entry must carry when a point has a
+/// `foreground` array (points without live traffic simply omit the array).
+pub const FG_FIELDS: &[&str] = &["class", "ops", "p50_us", "p95_us", "p99_us", "max_us"];
+
+/// Foreground latency percentiles for one op class of a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FgClass {
+    /// Op class, e.g. `point_read`.
+    pub class: String,
+    /// Operations sampled.
+    pub ops: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+impl FgClass {
+    /// Flatten a [`ForegroundReport`] into per-class snapshot entries.
+    pub fn from_report(fg: &ForegroundReport) -> Vec<FgClass> {
+        fg.classes
+            .iter()
+            .map(|(name, h)| FgClass {
+                class: name.clone(),
+                ops: h.count(),
+                p50_us: h.percentile(50.0),
+                p95_us: h.percentile(95.0),
+                p99_us: h.percentile(99.0),
+                max_us: h.max_us(),
+            })
+            .collect()
+    }
+}
 
 /// One measured `(experiment, x, strategy)` cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +120,10 @@ pub struct BenchPoint {
     pub pool_writebacks: u64,
     /// Warm-hit fraction of all pins (prefetched pins are not warm).
     pub buffer_hit_rate: f64,
+    /// Foreground latency percentiles per op class, for points measured
+    /// under live traffic. Empty for offline points (and omitted from
+    /// their JSON).
+    pub foreground: Vec<FgClass>,
 }
 
 impl BenchPoint {
@@ -106,6 +148,11 @@ impl BenchPoint {
             pool_prefetched: report.pool.prefetched,
             pool_writebacks: report.pool.writebacks,
             buffer_hit_rate: report.pool.hit_rate(),
+            foreground: report
+                .foreground
+                .as_ref()
+                .map(FgClass::from_report)
+                .unwrap_or_default(),
         }
     }
 }
@@ -191,6 +238,25 @@ impl BenchSnapshot {
                 format!("\"buffer_hit_rate\": {}", num(p.buffer_hit_rate)),
             ];
             out.push_str(&fields.join(", "));
+            if !p.foreground.is_empty() {
+                let classes: Vec<String> = p
+                    .foreground
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{{\"class\": \"{}\", \"ops\": {}, \"p50_us\": {}, \
+                             \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                            esc(&c.class),
+                            c.ops,
+                            c.p50_us,
+                            c.p95_us,
+                            c.p99_us,
+                            c.max_us
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(", \"foreground\": [{}]", classes.join(", ")));
+            }
             out.push_str(if i + 1 < self.points.len() {
                 "},\n"
             } else {
@@ -251,6 +317,42 @@ impl BenchSnapshot {
                 p[k].as_f64()
                     .ok_or_else(|| format!("point {i} field `{k}` is not a number"))
             };
+            let mut foreground = Vec::new();
+            if let Some(fg) = p.get("foreground") {
+                let classes = fg
+                    .as_array()
+                    .ok_or_else(|| format!("point {i} `foreground` is not an array"))?;
+                for (j, c) in classes.iter().enumerate() {
+                    let c = c
+                        .as_object()
+                        .ok_or_else(|| format!("point {i} foreground[{j}] is not an object"))?;
+                    for field in FG_FIELDS {
+                        if !c.contains_key(*field) {
+                            return Err(format!(
+                                "point {i} foreground[{j}] is missing field `{field}`"
+                            ));
+                        }
+                    }
+                    let cu = |k: &str| -> Result<u64, String> {
+                        c[k].as_u64().ok_or_else(|| {
+                            format!("point {i} foreground[{j}] field `{k}` is not an integer")
+                        })
+                    };
+                    foreground.push(FgClass {
+                        class: c["class"]
+                            .as_str()
+                            .ok_or_else(|| {
+                                format!("point {i} foreground[{j}] field `class` is not a string")
+                            })?
+                            .to_string(),
+                        ops: cu("ops")?,
+                        p50_us: cu("p50_us")?,
+                        p95_us: cu("p95_us")?,
+                        p99_us: cu("p99_us")?,
+                        max_us: cu("max_us")?,
+                    });
+                }
+            }
             snap.points.push(BenchPoint {
                 experiment: s("experiment")?,
                 x: s("x")?,
@@ -270,6 +372,7 @@ impl BenchSnapshot {
                 pool_prefetched: u("pool_prefetched")?,
                 pool_writebacks: u("pool_writebacks")?,
                 buffer_hit_rate: f("buffer_hit_rate")?,
+                foreground,
             });
         }
         Ok(snap)
@@ -509,7 +612,29 @@ mod tests {
             pool_prefetched: 8_200,
             pool_writebacks: 4_050,
             buffer_hit_rate: 0.002192,
+            foreground: vec![],
         }
+    }
+
+    fn sample_fg() -> Vec<FgClass> {
+        vec![
+            FgClass {
+                class: "point_read".into(),
+                ops: 4_200,
+                p50_us: 18,
+                p95_us: 95,
+                p99_us: 240,
+                max_us: 1_900,
+            },
+            FgClass {
+                class: "range_scan".into(),
+                ops: 800,
+                p50_us: 120,
+                p95_us: 600,
+                p99_us: 1_500,
+                max_us: 4_000,
+            },
+        ]
     }
 
     #[test]
@@ -528,6 +653,35 @@ mod tests {
         assert_eq!(parsed.points[0].strategy, "bulk delete");
         assert_eq!(parsed.points[1].x, "20%");
         assert!((parsed.points[0].sim_minutes - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreground_classes_round_trip_through_json() {
+        let mut snap = BenchSnapshot::new("live", 100_000, 4);
+        snap.points.push(BenchPoint {
+            foreground: sample_fg(),
+            ..sample_point()
+        });
+        snap.points.push(sample_point());
+        let parsed = BenchSnapshot::validate(&snap.to_json()).expect("round trip");
+        assert_eq!(parsed.points[0].foreground, sample_fg());
+        assert!(parsed.points[1].foreground.is_empty());
+        // An offline point's JSON must not mention foreground at all, so
+        // pre-live snapshots stay byte-identical.
+        let offline_only = BenchSnapshot::new("offline", 1, 1).to_json();
+        assert!(!offline_only.contains("foreground"));
+    }
+
+    #[test]
+    fn missing_foreground_subfield_is_rejected() {
+        let mut snap = BenchSnapshot::new("live", 1, 1);
+        snap.points.push(BenchPoint {
+            foreground: sample_fg(),
+            ..sample_point()
+        });
+        let json = snap.to_json().replace("\"p99_us\": 240, ", "");
+        let err = BenchSnapshot::validate(&json).unwrap_err();
+        assert!(err.contains("p99_us"), "err: {err}");
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub fn bulk_delete_sorted(
             if vi >= victims.len() {
                 break;
             }
+            // Pause point: between leaves, no pin held, freed set and the
+            // per-leaf `len` counter consistent.
+            bd_storage::pacer::checkpoint()?;
             ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);
@@ -158,6 +161,8 @@ pub fn bulk_delete_by_keys(
             if ki >= keys.len() {
                 break;
             }
+            // Pause point: between leaves, no pin held.
+            bd_storage::pacer::checkpoint()?;
             ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);
@@ -227,6 +232,8 @@ pub fn bulk_delete_probe(
 
     let walked = (|| -> StorageResult<()> {
         'walk: while let Some(pid) = cur {
+            // Pause point: between leaves, no pin held.
+            bd_storage::pacer::checkpoint()?;
             ra.before_pin(pid);
             let mut w = tree.pool().pin_write(pid)?;
             let mut node = NodeMut::new(&mut w[..]);

@@ -30,7 +30,7 @@ pub use bulk::{bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted};
 pub use bulk_load::bulk_load;
 pub use node::{Key, NodeKind, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
 pub use reorg::ReorgPolicy;
-pub use scan::{lookup_keys_sorted, LeafPages, LeafScan};
+pub use scan::{lookup_keys_sorted, LeafPages, LeafScan, RangeCursor};
 pub use tree::{BTree, BTreeConfig, TreeStats};
 
 // Bulk-delete arms are dispatched to worker threads by the phase-task

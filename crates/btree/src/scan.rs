@@ -50,6 +50,11 @@ impl Iterator for LeafPages {
 
     fn next(&mut self) -> Option<Self::Item> {
         let pid = self.next?;
+        // Pause point: between leaves, before the next pin.
+        if let Err(e) = bd_storage::pacer::checkpoint() {
+            self.next = None;
+            return Some(Err(e));
+        }
         self.ra.before_pin(pid);
         match self.pool.pin_read(pid) {
             Ok(r) => {
@@ -136,6 +141,105 @@ pub fn lookup_keys_sorted(tree: &BTree, keys: &[Key]) -> StorageResult<Vec<(Key,
         }
     }
     Ok(out)
+}
+
+/// A resumable range scan over the leaf level, following B-link right
+/// pointers — the in-flight-reader half of the online bulk-delete story.
+///
+/// The cursor holds **no page pin between batches**: it remembers the leaf
+/// it stopped in and the last `(key, rid)` entry it returned, and each
+/// [`RangeCursor::next_batch`] re-pins that leaf and continues. That makes
+/// it safe to interleave with a bulk delete reorganising the same tree
+/// under [`ReorgPolicy::FreeAtEmpty`](crate::ReorgPolicy::FreeAtEmpty):
+///
+/// * an emptied leaf is detached from its *predecessor* but keeps its own
+///   right pointer, and freed pages are never recycled in this prototype —
+///   so a cursor parked on a since-freed leaf wakes up, finds it empty,
+///   and chases the right pointer back into the live chain;
+/// * surviving entries never move to a *different* leaf during a bulk
+///   delete (leaves are rewritten in place), and an updater's leaf split
+///   only moves entries *right* — already past entries are never revisited
+///   and pending entries are always reachable by following right pointers;
+/// * the `last` watermark is a full composite `(key, rid)`, so duplicate
+///   keys straddling a batch boundary are neither skipped nor repeated.
+pub struct RangeCursor {
+    lo: Key,
+    hi: Key,
+    leaf: Option<PageId>,
+    last: Option<(Key, Rid)>,
+    done: bool,
+}
+
+impl RangeCursor {
+    /// A cursor over `lo..=hi` (composite key order) on `tree`. Performs
+    /// one descent; the walk itself happens in [`RangeCursor::next_batch`].
+    pub fn new(tree: &BTree, lo: Key, hi: Key) -> StorageResult<Self> {
+        if lo > hi || tree.is_empty() {
+            return Ok(RangeCursor {
+                lo,
+                hi,
+                leaf: None,
+                last: None,
+                done: true,
+            });
+        }
+        let (start, _) = tree.descend(crate::node::key_floor(lo))?;
+        Ok(RangeCursor {
+            lo,
+            hi,
+            leaf: Some(start),
+            last: None,
+            done: false,
+        })
+    }
+
+    /// Whether the scan has passed `hi` or run out of leaves.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Return up to `max` further entries. The call pins one leaf at a
+    /// time and drops every pin before returning; between calls the tree
+    /// may be reorganised by a bulk delete or grown by updaters.
+    pub fn next_batch(&mut self, tree: &BTree, max: usize) -> StorageResult<Vec<(Key, Rid)>> {
+        let mut out = Vec::new();
+        while !self.done && out.len() < max {
+            // Pause point: between leaves, no pin held.
+            bd_storage::pacer::checkpoint()?;
+            let Some(pid) = self.leaf else {
+                self.done = true;
+                break;
+            };
+            let r = tree.pool().pin_read(pid)?;
+            let node = NodeRef::new(&r[..]);
+            let mut leaf_exhausted = true;
+            for i in 0..node.nkeys() {
+                let e = node.leaf_entry(i);
+                if e.0 > self.hi {
+                    self.done = true;
+                    leaf_exhausted = false;
+                    break;
+                }
+                if e.0 < self.lo || self.last.is_some_and(|l| e <= l) {
+                    continue;
+                }
+                out.push(e);
+                self.last = Some(e);
+                if out.len() >= max {
+                    // Stay on this leaf; the watermark resumes past `e`.
+                    leaf_exhausted = false;
+                    break;
+                }
+            }
+            if leaf_exhausted {
+                self.leaf = node.right_sibling();
+                if self.leaf.is_none() {
+                    self.done = true;
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +386,125 @@ mod tests {
             p.prefetched > p.misses,
             "leaves should be staged ahead of their pins: {p:?}"
         );
+    }
+
+    #[test]
+    fn range_cursor_batches_cover_the_range_exactly() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..3000u64).map(|k| (k * 2, rid(k))).collect();
+        let t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(16),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let mut cur = RangeCursor::new(&t, 101, 999).unwrap();
+        let mut got = Vec::new();
+        while !cur.done() {
+            got.extend(cur.next_batch(&t, 7).unwrap());
+        }
+        let expect: Vec<(Key, Rid)> = entries
+            .iter()
+            .copied()
+            .filter(|e| (101..=999).contains(&e.0))
+            .collect();
+        assert_eq!(got, expect);
+        // Exhausted cursor keeps returning empty batches.
+        assert!(cur.next_batch(&t, 7).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_cursor_duplicates_across_batch_boundaries() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let mut entries: Vec<(Key, Rid)> = Vec::new();
+        for k in 0..200u64 {
+            for d in 0..5u16 {
+                entries.push((k, Rid::new(k as u32, d)));
+            }
+        }
+        let t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let mut cur = RangeCursor::new(&t, 0, 199).unwrap();
+        let mut got = Vec::new();
+        // Batch size 3 never divides the 5-way duplicate groups evenly.
+        while !cur.done() {
+            got.extend(cur.next_batch(&t, 3).unwrap());
+        }
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn range_cursor_survives_bulk_delete_reorg_between_batches() {
+        use crate::bulk::bulk_delete_sorted;
+        use crate::reorg::ReorgPolicy;
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..4000u64).map(|k| (k, rid(k))).collect();
+        let mut t = bulk_load(
+            pool.clone(),
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let mut cur = RangeCursor::new(&t, 0, 3999).unwrap();
+        let first = cur.next_batch(&t, 10).unwrap();
+        assert_eq!(first.len(), 10);
+        // Bulk-delete a band that empties whole leaves *around the cursor's
+        // parked position*, including the leaf it sits in.
+        let victims: Vec<(Key, Rid)> = (5..200u64).map(|k| (k, rid(k))).collect();
+        bulk_delete_sorted(&mut t, &victims, ReorgPolicy::FreeAtEmpty).unwrap();
+        let mut got = first;
+        while !cur.done() {
+            got.extend(cur.next_batch(&t, 64).unwrap());
+        }
+        // The cursor saw every survivor past its watermark exactly once;
+        // entries deleted before it reached them may legitimately be gone.
+        let keys: Vec<Key> = got.iter().map(|e| e.0).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "no repeats, in order");
+        let survivors: Vec<Key> = (0..4000u64).filter(|k| !(5..200).contains(k)).collect();
+        let past_watermark: Vec<Key> = keys.iter().copied().filter(|&k| k >= 10).collect();
+        let expect_past: Vec<Key> = survivors.into_iter().filter(|&k| k >= 10).collect();
+        assert_eq!(past_watermark, expect_past, "every survivor visited");
+        assert_eq!(pool.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn range_cursor_sees_right_moved_entries_after_a_split() {
+        let pool = BufferPool::new(SimDisk::new(CostModel::default()), 256);
+        let entries: Vec<(Key, Rid)> = (0..640u64).map(|k| (k * 10, rid(k))).collect();
+        let mut t = bulk_load(
+            pool,
+            BTreeConfig::with_fanout(8),
+            &entries,
+            1.0,
+            StructureId::Index(0),
+        )
+        .unwrap();
+        let mut cur = RangeCursor::new(&t, 0, 6400).unwrap();
+        let first = cur.next_batch(&t, 5).unwrap();
+        assert_eq!(first.len(), 5);
+        // Insert ahead of the cursor until leaves split (fill factor 1.0
+        // means the very first insert into a full leaf splits it).
+        for k in 300..360u64 {
+            t.insert(k * 10 + 5, rid(100_000 + k)).unwrap();
+        }
+        let mut got = first;
+        while !cur.done() {
+            got.extend(cur.next_batch(&t, 16).unwrap());
+        }
+        let keys: Vec<Key> = got.iter().map(|e| e.0).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // All 640 originals plus the 60 inserted-ahead keys are present.
+        assert_eq!(got.len(), 700);
     }
 
     #[test]

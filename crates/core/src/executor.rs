@@ -25,6 +25,16 @@
 //! and the pool is never poisoned. Phase rows are recorded at fixed slots,
 //! so the breakdown order is independent of arm completion order.
 //!
+//! **Cooperative pacing**: the executor snapshots the
+//! [`Pacer`](bd_storage::Pacer)s installed on the calling thread
+//! ([`bd_storage::pacer::installed`]) and re-installs them on every worker
+//! it spawns, so a statement driver that wraps the whole strategy call in
+//! [`Pacer::enter`](bd_storage::Pacer::enter) can pause or cancel the
+//! serial phases *and* the dispatched arms from one handle. Degradation
+//! re-runs inherit the pacer too: a pause mid-recovery just parks, and a
+//! cancel fails the re-run with `Cancelled` — correct, since the whole
+//! statement is being abandoned.
+//!
 //! After the join the executor **degrades gracefully** (unless built with
 //! [`PhaseExecutor::without_degradation`]): every arm that did not complete
 //! cleanly — the failed arm itself, cancelled siblings, and queued arms
@@ -195,31 +205,39 @@ impl PhaseExecutor {
         let failures: Mutex<Vec<(usize, StorageError)>> = Mutex::new(Vec::new());
         let next = AtomicUsize::new(0);
 
+        // Hand the calling thread's pacers to every worker: arms must stay
+        // pausable/cancellable from the statement's handle even though they
+        // run on fresh threads with empty thread-local stacks.
+        let pacers = bd_storage::pacer::installed();
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
-                    }
-                    if cancel.is_cancelled() {
-                        continue; // skip queued arms after a failure
-                    }
-                    // Each index is claimed by exactly one worker (the
-                    // atomic counter), so holding the cell lock for the
-                    // body's whole run is uncontended.
-                    let mut cell = cells[i].lock().expect("task cell lock");
-                    let body = cell.as_mut().expect("task body present");
-                    let scope = IoScope::with_cancel(cancel.clone());
-                    let result = {
-                        let _guard = scope.enter();
-                        body()
-                    };
-                    drop(cell);
-                    *stats[i].lock().expect("stats slot lock") = Some(scope.stats());
-                    if let Err(e) = result {
-                        cancel.cancel();
-                        failures.lock().expect("failure lock").push((i, e));
+                let pacers = &pacers;
+                s.spawn(|| {
+                    let _pace: Vec<_> = pacers.iter().map(|p| p.enter()).collect();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        if cancel.is_cancelled() {
+                            continue; // skip queued arms after a failure
+                        }
+                        // Each index is claimed by exactly one worker (the
+                        // atomic counter), so holding the cell lock for the
+                        // body's whole run is uncontended.
+                        let mut cell = cells[i].lock().expect("task cell lock");
+                        let body = cell.as_mut().expect("task body present");
+                        let scope = IoScope::with_cancel(cancel.clone());
+                        let result = {
+                            let _guard = scope.enter();
+                            body()
+                        };
+                        drop(cell);
+                        *stats[i].lock().expect("stats slot lock") = Some(scope.stats());
+                        if let Err(e) = result {
+                            cancel.cancel();
+                            failures.lock().expect("failure lock").push((i, e));
+                        }
                     }
                 });
             }
@@ -367,15 +385,15 @@ mod tests {
         });
         pool.set_retry_policy(bd_storage::RetryPolicy::none());
         let mut exec = PhaseExecutor::new(2).without_degradation();
-        let spinner = {
+        let waiter = {
             let pool = pool.clone();
-            PhaseTask::new("spinner", move || {
-                // Keeps issuing disk reads until the sibling's failure
-                // cancels it (bounded to avoid hanging on regression).
-                for round in 0..10_000 {
-                    pool.clear_cache()?;
-                    let _ = pool.pin_read(first + (round % 8) as u32)?;
-                    std::thread::yield_now();
+            PhaseTask::new("waiter", move || {
+                let _ = pool.pin_read(first)?;
+                // Park (condvar wait, not a spin) until the sibling's
+                // failure trips the group token; the bound only guards
+                // against a regression that never cancels.
+                if bd_storage::io_scope::wait_cancelled_for(std::time::Duration::from_secs(30)) {
+                    return Err(StorageError::Cancelled);
                 }
                 Ok(())
             })
@@ -388,7 +406,7 @@ mod tests {
                 Ok(())
             })
         };
-        let err = exec.fan_out(vec![spinner, failer]).unwrap_err();
+        let err = exec.fan_out(vec![waiter, failer]).unwrap_err();
         assert_eq!(err, StorageError::InjectedFault(first + 32));
         assert_eq!(pool.pinned_frames(), 0, "no pins survive the abort");
         let rows = exec.into_rows();
@@ -396,6 +414,97 @@ mod tests {
         // The pool still works after the abort.
         pool.with_disk(|d| d.clear_fault_plan());
         let _ = pool.pin_read(first).unwrap();
+    }
+
+    #[test]
+    fn cancelled_sibling_wakes_from_its_parked_wait_promptly() {
+        // Regression for the old busy spin: a task waiting on sibling
+        // cancellation must wake via the token's condvar (milliseconds),
+        // not sit out its full timeout or burn a core polling.
+        let (pool, first) = pool_with_pages(8);
+        pool.with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(first + 4)))
+        });
+        pool.set_retry_policy(bd_storage::RetryPolicy::none());
+        let mut exec = PhaseExecutor::new(2).without_degradation();
+        let waiter = PhaseTask::new("waiter", move || {
+            if bd_storage::io_scope::wait_cancelled_for(std::time::Duration::from_secs(60)) {
+                return Err(StorageError::Cancelled);
+            }
+            Ok(())
+        });
+        let failer = {
+            let pool = pool.clone();
+            PhaseTask::new("failer", move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                let _ = pool.pin_read(first + 4)?;
+                Ok(())
+            })
+        };
+        let start = std::time::Instant::now();
+        let err = exec.fan_out(vec![waiter, failer]).unwrap_err();
+        assert_eq!(err, StorageError::InjectedFault(first + 4));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "waiter must wake on cancel, not ride out its 60 s timeout"
+        );
+    }
+
+    #[test]
+    fn pacer_pauses_fan_out_arms_at_a_pin_free_point() {
+        use bd_storage::Pacer;
+        let (pool, first) = pool_with_pages(32);
+        let pacer = Pacer::new();
+        pacer.pause();
+        let controller = pacer.clone();
+        let worker_pool = pool.clone();
+        let run = std::thread::spawn(move || {
+            // The driver installs the pacer once; fan_out re-installs it on
+            // every worker thread it spawns.
+            let _g = pacer.enter();
+            let mut exec = PhaseExecutor::new(2);
+            let tasks: Vec<PhaseTask> = (0..2u32)
+                .map(|t| {
+                    let pool = worker_pool.clone();
+                    PhaseTask::new(format!("arm {t}"), move || {
+                        for i in 0..8 {
+                            bd_storage::pacer::checkpoint()?;
+                            let _ = pool.pin_read(first + t * 8 + i)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            exec.fan_out(tasks)
+        });
+        assert!(
+            controller.wait_parked(2, std::time::Duration::from_secs(10)),
+            "both arms must park at their first checkpoint"
+        );
+        assert_eq!(pool.pinned_frames(), 0, "paused arms hold no pins");
+        controller.resume();
+        run.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn pacer_cancel_aborts_fan_out_arms() {
+        use bd_storage::Pacer;
+        let (pool, first) = pool_with_pages(8);
+        let pacer = Pacer::new();
+        pacer.cancel();
+        let _g = pacer.enter();
+        let mut exec = PhaseExecutor::new(2).without_degradation();
+        let mk = |pid: u32| {
+            let pool = pool.clone();
+            PhaseTask::new(format!("arm {pid}"), move || {
+                bd_storage::pacer::checkpoint()?;
+                let _ = pool.pin_read(pid)?;
+                Ok(())
+            })
+        };
+        let err = exec.fan_out(vec![mk(first), mk(first + 1)]).unwrap_err();
+        assert_eq!(err, StorageError::Cancelled);
+        assert_eq!(pool.pinned_frames(), 0);
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub use error::{DbError, DbResult};
 pub use executor::{PhaseExecutor, PhaseTask};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
 pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
-pub use report::{measure, DegradeEvent, PhaseRow, PhaseTimer, RunReport};
+pub use report::{
+    measure, DegradeEvent, ForegroundReport, LatencyHistogram, PhaseRow, PhaseTimer, RunReport,
+};
 pub use strategy::{DeleteOutcome, RebuildMode};
 pub use tuple::{attr_name, Schema, Tuple};
 pub use update::{bulk_update, UpdateOutcome};

@@ -130,6 +130,9 @@ impl<T: Rec> ExternalSorter<T> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        // Pause point: before writing a run (temp segments bypass the
+        // buffer pool, so no pin is ever held here).
+        bd_storage::pacer::checkpoint()?;
         self.buf.sort_unstable();
         let mut w = SegmentWriter::new(self.pool.clone());
         let mut enc = vec![0u8; T::SIZE];
@@ -343,6 +346,9 @@ impl<T: Rec> KWayMerge<T> {
     }
 
     fn next_item(&mut self) -> StorageResult<Option<T>> {
+        // Pause point: between merge outputs; run cursors read through
+        // temp segments, never through pinned frames.
+        bd_storage::pacer::checkpoint()?;
         match self.heap.pop() {
             None => Ok(None),
             Some(Reverse((item, i))) => {

@@ -209,6 +209,9 @@ impl HashIndex {
     pub fn delete(&mut self, key: Key, rid: Rid) -> StorageResult<bool> {
         let mut pid = Some(self.buckets[bucket_of(key, self.buckets.len())]);
         while let Some(p) = pid {
+            // Pause point: between chain pages, no pin held (the previous
+            // iteration's write guard dropped at the end of its block).
+            bd_storage::pacer::checkpoint()?;
             let mut w = self.pool.pin_write(p)?;
             let n = page_n(&w[..]);
             for i in 0..n {
@@ -248,6 +251,8 @@ impl HashIndex {
         for &bucket in &self.buckets {
             let mut pid = Some(bucket);
             while let Some(p) = pid {
+                // Pause point: between chain pages, no pin held.
+                bd_storage::pacer::checkpoint()?;
                 let r = self.pool.pin_read(p)?;
                 for i in 0..page_n(&r[..]) {
                     out.push(page_entry(&r[..], i));
@@ -450,6 +455,51 @@ mod tests {
         }
         assert!(h.is_empty());
         assert_eq!(h.scan().unwrap(), Vec::<(Key, Rid)>::new());
+    }
+
+    #[test]
+    fn paused_mid_chain_delete_holds_no_pins_and_matches_uninterrupted() {
+        // One bucket forces a long overflow chain, so every delete walks
+        // several pages and crosses a checkpoint per page: a pause trip
+        // lands mid-hash-chain. Parked ⇒ zero pinned frames; resumed ⇒ the
+        // exact state an uninterrupted run produces.
+        let n = (BUCKET_CAP * 4) as u64;
+        let mut reference = HashIndex::create(pool(), 1, StructureId::Hash(0)).unwrap();
+        let p = pool();
+        let mut h = HashIndex::create(p.clone(), 1, StructureId::Hash(0)).unwrap();
+        for k in 0..n {
+            reference.insert(k, rid(k)).unwrap();
+            h.insert(k, rid(k)).unwrap();
+        }
+        let victims: Vec<Key> = (0..n).step_by(2).collect();
+        for &k in &victims {
+            assert!(reference.delete(k, rid(k)).unwrap());
+        }
+
+        let pacer = bd_storage::Pacer::new();
+        pacer.pause_after(7);
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                let _g = pacer.enter();
+                for &k in &victims {
+                    assert!(h.delete(k, rid(k)).unwrap());
+                }
+            });
+            assert!(
+                pacer.wait_parked(1, std::time::Duration::from_secs(10)),
+                "delete never parked mid-chain"
+            );
+            assert_eq!(p.pinned_frames(), 0, "parked mid-chain with a pin held");
+            pacer.resume();
+            worker.join().unwrap();
+        });
+
+        assert_eq!(h.len(), reference.len());
+        let mut got = h.scan().unwrap();
+        let mut expect = reference.scan().unwrap();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "resumed delete diverged");
     }
 
     #[test]

@@ -200,6 +200,8 @@ impl HeapFile {
         let mut out = Vec::with_capacity(rids.len());
         let mut i = 0;
         while i < rids.len() {
+            // Pause point: between pages, with no pin held.
+            crate::pacer::checkpoint()?;
             let pid = rids[i].page;
             ra.before_pin(pid);
             let mut w = self.pool.pin_write(pid)?;
@@ -232,6 +234,8 @@ impl HeapFile {
         let mut ra = ReadAhead::new(self.pool.clone());
         ra.plan(pages.iter().copied());
         for &pid in &pages {
+            // Pause point: between pages, with no pin held.
+            crate::pacer::checkpoint()?;
             ra.before_pin(pid);
             let mut w = self.pool.pin_write(pid)?;
             let mut page = SlottedPage::new(&mut w[..]);
@@ -265,6 +269,7 @@ impl HeapFile {
         let mut out = Vec::with_capacity(rids.len());
         let mut i = 0;
         while i < rids.len() {
+            crate::pacer::checkpoint()?;
             let pid = rids[i].page;
             let mut w = self.pool.pin_write(pid)?;
             let mut page = SlottedPage::new(&mut w[..]);
@@ -305,6 +310,7 @@ impl HeapFile {
         let mut ra = ReadAhead::new(self.pool.clone());
         ra.plan(self.pages.iter().copied());
         for pos in 0..self.pages.len() {
+            crate::pacer::checkpoint()?;
             let pid = self.pages[pos];
             ra.before_pin(pid);
             let r = self.pool.pin_read(pid)?;
@@ -407,6 +413,13 @@ impl Iterator for HeapScan {
                 return Some(item);
             }
             if self.fused || self.next_page >= self.pages.len() {
+                return None;
+            }
+            // Pause point between pages; a pacer cancellation fuses the
+            // scan exactly like a pin failure would.
+            if let Err(e) = crate::pacer::checkpoint() {
+                self.error = Some(e);
+                self.fused = true;
                 return None;
             }
             let pid = self.pages[self.next_page];

@@ -23,16 +23,32 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::disk::DiskStats;
 use crate::error::{StorageError, StorageResult};
 
+#[derive(Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl std::fmt::Debug for CancelInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelInner")
+            .field("flag", &self.flag)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Shared abort flag checked by the simulated disk before every access.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<CancelInner>,
 }
 
 impl CancelToken {
@@ -41,14 +57,35 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Trip the token: every scope carrying it fails its next disk access.
+    /// Trip the token: every scope carrying it fails its next disk access,
+    /// and every thread parked in [`CancelToken::wait_cancelled_for`] wakes.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        let _g = self.inner.lock.lock();
+        self.inner.flag.store(true, Ordering::Release);
+        self.inner.cond.notify_all();
     }
 
     /// Whether the token has been tripped.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// Park (condvar wait, not a spin) until the token is tripped or
+    /// `timeout` passes; returns `true` if the token was tripped. Lets a
+    /// task that can only make progress after a sibling's cancellation wait
+    /// without burning a core.
+    pub fn wait_cancelled_for(&self, timeout: Duration) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.inner.lock.lock();
+        while !self.is_cancelled() {
+            if self.inner.cond.wait_until(&mut guard, deadline).timed_out() {
+                break;
+            }
+        }
+        self.is_cancelled()
     }
 }
 
@@ -159,6 +196,47 @@ pub fn bypass_cancel<R>(f: impl FnOnce() -> R) -> R {
     }
     let _restore = Restore(BYPASS_CANCEL.with(|b| b.replace(true)));
     f()
+}
+
+/// Whether this thread is inside [`bypass_cancel`] (cleanup that must not
+/// be aborted or parked — also consulted by [`crate::pacer::checkpoint`]).
+pub(crate) fn bypassing() -> bool {
+    BYPASS_CANCEL.with(|b| b.get())
+}
+
+/// Park (condvar wait, not a spin) until a cancel token carried by a scope
+/// active on this thread is tripped, or `timeout` passes. Returns `true`
+/// if a token was tripped; a thread with no cancel-carrying scope returns
+/// `false` immediately. This is how a task that can only finish after a
+/// sibling's cancellation waits without burning a core.
+pub fn wait_cancelled_for(timeout: Duration) -> bool {
+    let tokens: Vec<CancelToken> = ACTIVE.with(|stack| {
+        stack
+            .borrow()
+            .iter()
+            .filter_map(|e| e.cancel.clone())
+            .collect()
+    });
+    match tokens.as_slice() {
+        [] => false,
+        [only] => only.wait_cancelled_for(timeout),
+        many => {
+            // Nested cancel-carrying scopes are rare; slice the wait so a
+            // trip of *any* token is noticed promptly.
+            let deadline = std::time::Instant::now() + timeout;
+            loop {
+                if many.iter().any(|t| t.is_cancelled()) {
+                    return true;
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return false;
+                }
+                let slice = (deadline - now).min(Duration::from_millis(1));
+                many[0].wait_cancelled_for(slice);
+            }
+        }
+    }
 }
 
 /// Fail if any scope active on this thread carries a tripped cancel token.

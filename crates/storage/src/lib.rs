@@ -27,6 +27,11 @@
 //! * [`IoScope`] / [`CancelToken`] — per-task I/O attribution (sharded
 //!   counters merged on join) and cooperative cancellation for concurrent
 //!   bulk-delete arms; the disk's own counters keep the serial total.
+//! * [`Pacer`] — the cooperative-scheduling layer for long page-visit
+//!   loops: every bulk walk calls [`pacer::checkpoint`] between page
+//!   visits (never with a pin held), so a running bulk delete can be
+//!   paused at page granularity (parked wait, zero pinned frames) or
+//!   cancelled through the normal `Result` path.
 //! * [`FaultPlan`] — programmable fault injection (transient/persistent
 //!   faults, torn writes caught by per-page checksums, crash points), with
 //!   bounded retry-with-backoff in the buffer pool ([`RetryPolicy`]).
@@ -44,6 +49,7 @@ pub mod fsm;
 pub mod heap;
 pub mod io_scope;
 pub mod owner;
+pub mod pacer;
 pub mod page;
 pub mod readahead;
 pub mod rid;
@@ -59,6 +65,7 @@ pub use fsm::FreeSpaceMap;
 pub use heap::{FsmMismatch, HeapFile, HeapScan};
 pub use io_scope::{CancelToken, IoScope, ScopeGuard};
 pub use owner::{PageCatalog, StructureId};
+pub use pacer::{PaceGuard, Pacer};
 pub use page::PageBuf;
 pub use readahead::{ReadAhead, READ_AHEAD_WINDOW};
 pub use rid::Rid;

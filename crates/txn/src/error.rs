@@ -24,6 +24,15 @@ impl fmt::Display for TxnError {
     }
 }
 
+impl TxnError {
+    /// Whether this is a lock-wait timeout — the retryable contention
+    /// outcome (the deadlock-suspicion policy), as opposed to an engine
+    /// error.
+    pub fn is_lock_timeout(&self) -> bool {
+        matches!(self, TxnError::Lock(LockError::Timeout { .. }))
+    }
+}
+
 impl std::error::Error for TxnError {}
 
 impl From<DbError> for TxnError {

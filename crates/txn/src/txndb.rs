@@ -23,10 +23,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use bd_btree::{bulk_delete_by_keys, bulk_delete_sorted, Key, ReorgPolicy};
+use bd_btree::{bulk_delete_by_keys, bulk_delete_sorted, Key, RangeCursor, ReorgPolicy};
 use bd_core::{Database, DbError, DbResult, TableId, Tuple};
 use bd_exec::{sort_all, ByRid};
-use bd_storage::Rid;
+use bd_storage::{io_scope::bypass_cancel, Pacer, Rid};
 
 use crate::error::TxnResult;
 use crate::gate::{IndexGate, IndexState};
@@ -45,6 +45,18 @@ pub enum PropagationMode {
 /// Batch size for side-file catch-up; below this the side-file is
 /// quiesced and drained ("when nearly the whole side-file is processed").
 const CATCHUP_BATCH: usize = 64;
+
+/// `(key, rid)` entries a [`TxnDb::range_read`] harvests per db-mutex span.
+const RANGE_BATCH: usize = 64;
+
+/// What a [`TxnDb::bulk_delete_live`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveDeleteStats {
+    /// Records deleted from the base table.
+    pub deleted: usize,
+    /// Exclusive chunk spans the delete was split into.
+    pub chunks: usize,
+}
 
 type IndexKey = (TableId, usize);
 
@@ -241,6 +253,252 @@ impl TxnDb {
                     .decode(&table.heap.get(rid).map_err(DbError::from)?))
             })
             .collect()
+    }
+
+    /// Range read `lo..=hi` through the index on `attr`, batch-wise: a
+    /// B-link [`RangeCursor`] harvests up to [`RANGE_BATCH`] entries per
+    /// db-mutex span and fetches their rows under the *same* span (so a
+    /// harvested RID can never dangle), then drops the mutex before the
+    /// next batch. Between batches the cursor holds no page pin, so a
+    /// [`TxnDb::bulk_delete_live`] chunk — or any updater — may
+    /// reorganise the tree under it; the cursor resumes by re-pinning its
+    /// remembered leaf and chasing right pointers.
+    pub fn range_read(
+        &self,
+        txn: TxnId,
+        tid: TableId,
+        attr: usize,
+        lo: Key,
+        hi: Key,
+    ) -> TxnResult<Vec<Tuple>> {
+        self.locks.acquire(txn, tid, LockMode::Shared)?;
+        self.gate((tid, attr)).wait_online();
+        let mut cursor = {
+            let db = self.db.lock();
+            let table = db.table(tid)?;
+            let index = table.index_on(attr).ok_or(DbError::NoSuchIndex { attr })?;
+            RangeCursor::new(&index.tree, lo, hi).map_err(DbError::from)?
+        };
+        let mut out = Vec::new();
+        while !cursor.done() {
+            let db = self.db.lock();
+            let table = db.table(tid)?;
+            let index = table.index_on(attr).ok_or(DbError::NoSuchIndex { attr })?;
+            let batch = cursor
+                .next_batch(&index.tree, RANGE_BATCH)
+                .map_err(DbError::from)?;
+            for (_, rid) in batch {
+                out.push(
+                    table
+                        .schema
+                        .decode(&table.heap.get(rid).map_err(DbError::from)?),
+                );
+            }
+        }
+        Ok(out)
+    }
+
+    /// Online (chunked) bulk delete: the §3.1 protocol re-cut for live
+    /// foreground traffic.
+    ///
+    /// `D` is sorted once, then processed in chunks of `chunk` keys. Each
+    /// chunk runs a *complete* vertical delete over the heap, the probe
+    /// index, every unique index, and every hash index inside one short
+    /// exclusive span (table lock + db mutex), then releases both so
+    /// foreground transactions interleave. Deletes commute — `D` equals
+    /// the disjoint union of its chunks — so after every chunk those
+    /// structures are exactly the state a smaller bulk delete would have
+    /// left, and the probe and unique indices never leave service.
+    ///
+    /// Non-unique secondary indices go offline for the whole run (their
+    /// `⋈̄` only pays off set-oriented) and are caught up in a phase-2
+    /// propagation: the accumulated deleted-row stream is applied chunked
+    /// and the side-file (in [`PropagationMode::SideFile`]) replayed, as
+    /// in [`TxnDb::bulk_delete`].
+    ///
+    /// The `pacer` governs the run cooperatively: between chunks it is
+    /// checked with no locks held (the natural pause point — a parked
+    /// deleter stalls no foreground work), and it is installed around each
+    /// chunk body so every page-visit loop inside checkpoints too (a pause
+    /// landing there parks with zero pinned frames, though it holds the
+    /// chunk's locks until resumed). Cancelling stops before the next
+    /// chunk; already-deleted chunks are *committed*, so phase-2
+    /// propagation for them always completes (it runs under
+    /// [`bypass_cancel`]) and the indices come back online consistent —
+    /// the statement then fails with `Cancelled` having deleted a prefix
+    /// of `D`.
+    pub fn bulk_delete_live(
+        &self,
+        tid: TableId,
+        probe_attr: usize,
+        d_keys: &[Key],
+        mode: PropagationMode,
+        chunk: usize,
+        pacer: &Pacer,
+    ) -> TxnResult<LiveDeleteStats> {
+        let _serial = self.bulk_serial.lock();
+        let chunk = chunk.max(1);
+        let defs = self.index_defs(tid)?;
+        if !defs.iter().any(|&(attr, _)| attr == probe_attr) {
+            return Err(DbError::NoProbeIndex { attr: probe_attr }.into());
+        }
+        let (pool, ws_bytes, schema) = {
+            let db = self.db.lock();
+            (
+                db.pool().clone(),
+                db.workspace().capacity().max(4096),
+                db.table(tid)?.schema,
+            )
+        };
+        let (mut keys, _) = sort_all(pool.clone(), d_keys.iter().copied(), ws_bytes)?;
+        keys.dedup();
+
+        let offline_state = match mode {
+            PropagationMode::SideFile => IndexState::OfflineSideFile,
+            PropagationMode::Direct => IndexState::OfflineDirect,
+        };
+        let offline_attrs: Vec<usize> = defs
+            .iter()
+            .filter(|&&(attr, unique)| !unique && attr != probe_attr)
+            .map(|&(attr, _)| attr)
+            .collect();
+        for &attr in &offline_attrs {
+            self.sidefile((tid, attr)).reset();
+            self.gate((tid, attr)).set(offline_state);
+        }
+
+        // Phase 1: one complete vertical delete per chunk, each under its
+        // own short exclusive span. Rows accumulate for phase 2 even if a
+        // later chunk fails or is cancelled — they are committed.
+        let mut deleted_rows: Vec<(Rid, Vec<u8>)> = Vec::new();
+        let mut chunks = 0usize;
+        let run: TxnResult<()> = (|| {
+            for part in keys.chunks(chunk) {
+                // Pause point between chunks: no table lock, no db mutex —
+                // a parked deleter blocks no foreground transaction.
+                pacer.check().map_err(DbError::from)?;
+                let txn = self.begin();
+                self.locks.acquire(txn, tid, LockMode::Exclusive)?;
+                let chunk_res: TxnResult<()> = (|| {
+                    let mut db = self.db.lock();
+                    // Deep page-visit loops below checkpoint against this
+                    // pacer (leaf walks, heap passes, hash chains, sorts),
+                    // so a pause parks mid-chunk at a pin-free point. The
+                    // install defers cancellation: probe index, heap, hash
+                    // and unique indices must move together, so a cancel
+                    // lets the chunk finish and is observed at the next
+                    // between-chunk `check` instead.
+                    let _pace = pacer.enter_defer_cancel();
+                    let table = db.table_mut(tid)?;
+                    let probe_idx = table
+                        .indices
+                        .iter_mut()
+                        .find(|i| i.def.attr == probe_attr)
+                        .expect("probe index checked above");
+                    let deleted_a =
+                        bulk_delete_by_keys(&mut probe_idx.tree, part, ReorgPolicy::FreeAtEmpty)?;
+                    let (sorted, _) = sort_all(
+                        pool.clone(),
+                        deleted_a.iter().map(|&(k, r)| ByRid(r, k)),
+                        ws_bytes,
+                    )?;
+                    let rids: Vec<Rid> = sorted.into_iter().map(|b| b.0).collect();
+                    let rows = table.heap.bulk_delete_sorted(&rids)?;
+                    for h in &mut table.hash_indices {
+                        let attr = h.def.attr;
+                        for (rid, bytes) in &rows {
+                            h.index.delete(schema.attr_of(bytes, attr), *rid)?;
+                        }
+                    }
+                    for index in table
+                        .indices
+                        .iter_mut()
+                        .filter(|i| i.def.unique && i.def.attr != probe_attr)
+                    {
+                        let attr = index.def.attr;
+                        let proj = rows
+                            .iter()
+                            .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid));
+                        let (pairs, _) = sort_all(pool.clone(), proj, ws_bytes)?;
+                        bulk_delete_sorted(&mut index.tree, &pairs, ReorgPolicy::FreeAtEmpty)?;
+                    }
+                    deleted_rows.extend(rows);
+                    Ok(())
+                })();
+                self.locks.release_all(txn);
+                chunk_res?;
+                chunks += 1;
+            }
+            Ok(())
+        })();
+
+        // Phase 2: propagate the committed deletes to the offline indices,
+        // chunked so no db-mutex span outlasts a chunk's worth of work.
+        // This tail is obligated — the heap rows are gone — so it runs
+        // under `bypass_cancel`: a cancelled or failed run still brings
+        // every index back online consistent with the prefix it deleted.
+        let cleanup: TxnResult<()> = bypass_cancel(|| {
+            for &attr in &offline_attrs {
+                let proj: Vec<(Key, Rid)> = {
+                    let undeletable = self.undeletable.lock();
+                    deleted_rows
+                        .iter()
+                        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+                        .filter(|&(k, r)| !undeletable.contains(&(attr, k, r)))
+                        .collect()
+                };
+                let (pairs, _) = sort_all(pool.clone(), proj, ws_bytes)?;
+                for part in pairs.chunks(chunk.max(CATCHUP_BATCH)) {
+                    let mut db = self.db.lock();
+                    let table = db.table_mut(tid)?;
+                    let index = table.index_on_mut(attr).expect("index present");
+                    bulk_delete_sorted(&mut index.tree, part, ReorgPolicy::FreeAtEmpty)?;
+                }
+                match mode {
+                    PropagationMode::SideFile => {
+                        let sf = self.sidefile((tid, attr));
+                        loop {
+                            let batch = sf.drain_batch(CATCHUP_BATCH);
+                            let done = batch.len() < CATCHUP_BATCH;
+                            if !batch.is_empty() {
+                                let mut db = self.db.lock();
+                                let table = db.table_mut(tid)?;
+                                let index = table.index_on_mut(attr).expect("index present");
+                                apply_ops(&mut index.tree, &batch)?;
+                            }
+                            if done {
+                                break;
+                            }
+                        }
+                        let tail = sf.quiesce_and_drain();
+                        {
+                            let mut db = self.db.lock();
+                            let table = db.table_mut(tid)?;
+                            let index = table.index_on_mut(attr).expect("index present");
+                            apply_ops(&mut index.tree, &tail)?;
+                        }
+                        self.gate((tid, attr)).set(IndexState::Online);
+                        sf.reset();
+                    }
+                    PropagationMode::Direct => {
+                        self.undeletable.lock().retain(|&(a, _, _)| a != attr);
+                        self.gate((tid, attr)).set(IndexState::Online);
+                    }
+                }
+            }
+            Ok(())
+        });
+        // Safety sweep: no gate may stay offline past this point, or
+        // foreground waiters hang forever.
+        for &attr in &offline_attrs {
+            self.gate((tid, attr)).set(IndexState::Online);
+        }
+        run?;
+        cleanup?;
+        Ok(LiveDeleteStats {
+            deleted: deleted_rows.len(),
+            chunks,
+        })
     }
 
     /// Concurrent bulk delete following the §3.1 protocol. Blocks until

@@ -125,6 +125,60 @@ fn recover_is_idempotent_after_parallel_crash() {
     assert!(eq.is_clean(), "second recovery changed the state: {eq}");
 }
 
+#[test]
+fn crash_while_paused_recovers_to_the_reference_state() {
+    // A paused delete sits at a checkpoint with zero pinned frames — the
+    // pause contract — so the pool can crash underneath it (`crash()`
+    // panics on any pin, making the contract an assertion, not a hope).
+    // Recovery from the log then completes the statement exactly as the
+    // crash-at-every-IO sweep does from any other point.
+    let (mut reference, tid, a_values) = build(1200);
+    let d = victims(&a_values);
+    let log_ref = LogManager::new();
+    let counter = bd_storage::Pacer::new();
+    {
+        let _g = counter.enter();
+        run_bulk_delete(&mut reference, tid, 0, &d, &log_ref, CrashInjector::none()).unwrap();
+    }
+    let total = counter.checks();
+    assert!(total > 30, "run crossed only {total} checkpoints");
+
+    for trip in [total / 8, total / 2, total - total / 8] {
+        let (mut db, _, _) = build(1200);
+        let pool = db.pool().clone();
+        let log = LogManager::new();
+        let pacer = bd_storage::Pacer::new();
+        pacer.pause_after(trip);
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| {
+                let _g = pacer.enter();
+                run_bulk_delete(&mut db, tid, 0, &d, &log, CrashInjector::none())
+            });
+            assert!(
+                pacer.wait_parked(1, std::time::Duration::from_secs(10)),
+                "delete never parked at trip {trip}"
+            );
+            // Zero pins while parked, or this panics.
+            pool.crash();
+            pacer.cancel();
+            assert!(
+                worker.join().unwrap().is_err(),
+                "cancelled-after-crash run must not report success"
+            );
+        });
+        // Discard anything the unwinding error path touched post-crash,
+        // then restart: redo from the log.
+        pool.crash();
+        recover(&mut db, tid, &log, &[]).unwrap();
+        db.check_consistency(tid).unwrap();
+        let eq = audit_equivalence(&reference, &db, tid).unwrap();
+        assert!(
+            eq.is_clean(),
+            "recovery after paused crash (trip {trip}) diverged: {eq}"
+        );
+    }
+}
+
 // The campaigns deliberately use a pool far smaller than the working set
 // (24 frames for a ~1500-row table with three secondary indices): with a
 // big pool every read is a cache hit and the run issues only a handful of

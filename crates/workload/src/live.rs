@@ -1,0 +1,362 @@
+//! Foreground traffic for the *online* bulk-delete experiments.
+//!
+//! The paper's §3.1 motivates concurrency control so updater transactions
+//! can run "while bulk deletion is still in progress"; this module supplies
+//! the updaters. [`run_with_foreground`] executes one bulk delete — either
+//! the blocking offline statement or the chunked live path — while a pool
+//! of foreground threads hammers the table with point reads, range scans,
+//! and inserts, timing every operation into a per-class
+//! [`LatencyHistogram`](bd_core::LatencyHistogram). The resulting
+//! [`ForegroundReport`] is the experiment's deliverable: the foreground
+//! p50/p95/p99 under an offline delete (one giant exclusive span) versus
+//! the live delete (many short ones).
+//!
+//! Every foreground operation also asserts the online invariants as it
+//! runs: a survivor key reads back exactly once, a victim at most once, a
+//! range scan returns each in-range survivor exactly once and nothing
+//! outside the range, and inserts use fresh keys outside the generated
+//! domain (generated values live in `[0, 10·n_rows)`).
+//!
+//! A lock-wait timeout is not a failure here: against the offline driver a
+//! foreground operation can stall behind the delete's exclusive span
+//! longer than the deadlock-suspicion timeout. The operation retries until
+//! the lock grants, and its recorded latency covers the *entire* wait —
+//! that stall is precisely what the experiment measures.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use bd_btree::Key;
+use bd_core::{ForegroundReport, Tuple};
+use bd_storage::{Pacer, Rid};
+use bd_txn::{PropagationMode, TxnDb, TxnResult};
+
+use crate::Workload;
+
+/// How [`run_with_foreground`] drives the bulk delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeleteDriver {
+    /// The §3.1 statement as-is: one exclusive phase over table + probe +
+    /// unique indices, then background propagation. Foreground operations
+    /// stall behind the exclusive phase — the "before" row of the
+    /// experiment.
+    Offline(PropagationMode),
+    /// The chunked live path ([`TxnDb::bulk_delete_live`]): short
+    /// exclusive spans, pacer checkpoints between and inside them.
+    Live {
+        /// Propagation mode for the offline non-unique indices.
+        mode: PropagationMode,
+        /// Keys per chunk (per exclusive span).
+        chunk: usize,
+    },
+}
+
+/// Relative weights of the foreground operation classes.
+#[derive(Debug, Clone, Copy)]
+pub struct FgMix {
+    /// Point reads through the probe index.
+    pub point_reads: u32,
+    /// Batch-wise range scans through the probe index.
+    pub range_scans: u32,
+    /// Single-row inserts with fresh keys.
+    pub inserts: u32,
+}
+
+impl Default for FgMix {
+    fn default() -> Self {
+        FgMix {
+            point_reads: 6,
+            range_scans: 2,
+            inserts: 2,
+        }
+    }
+}
+
+impl FgMix {
+    fn total(&self) -> u32 {
+        (self.point_reads + self.range_scans + self.inserts).max(1)
+    }
+}
+
+/// Foreground-pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FgConfig {
+    /// Number of foreground threads.
+    pub threads: usize,
+    /// Operation mix.
+    pub mix: FgMix,
+    /// Key-space width of each range scan (keys are multiples of 10, so a
+    /// width of `w` covers about `w / 10` rows).
+    pub range_width: Key,
+    /// Minimum operations per thread: the pool keeps running until the
+    /// delete finishes *and* every thread reached this floor, so the
+    /// histograms are never empty even against a fast delete.
+    pub min_ops: usize,
+    /// RNG seed for the per-thread operation streams.
+    pub seed: u64,
+}
+
+impl Default for FgConfig {
+    fn default() -> Self {
+        FgConfig {
+            threads: 4,
+            mix: FgMix::default(),
+            range_width: 1_000,
+            min_ops: 50,
+            seed: 0xF0,
+        }
+    }
+}
+
+/// Result of one [`run_with_foreground`] experiment.
+#[derive(Debug)]
+pub struct LiveRun {
+    /// Per-class foreground latency histograms.
+    pub foreground: ForegroundReport,
+    /// Rows the bulk delete removed.
+    pub deleted: usize,
+    /// Exclusive spans the delete used (1 for [`DeleteDriver::Offline`]).
+    pub chunks: usize,
+    /// Wall time of the delete statement, milliseconds.
+    pub delete_ms: f64,
+    /// Rows the foreground inserted, for feeding a
+    /// [`ShadowDb`](bd_core::ShadowDb) model after the run.
+    pub inserted: Vec<(Rid, Tuple)>,
+}
+
+/// Fresh-key base: generated attribute values are `10 * i` for
+/// `i < n_rows`, so anything at or above `10 * n_rows` plus a per-thread
+/// stripe is collision-free against the table and the other threads.
+fn fresh_tuple(n_attrs: usize, n_rows: usize, thread: usize, i: usize) -> Tuple {
+    let base = 10 * n_rows as Key + 1 + thread as Key * 10_000_000;
+    Tuple::new(
+        (0..n_attrs)
+            .map(|a| base + 2 * i as Key + a as Key * 100_000_000)
+            .collect(),
+    )
+}
+
+/// Run `op` to completion, retrying lock-wait timeouts (each attempt is a
+/// fresh transaction). Any other error is a correctness bug and panics.
+fn retry<T>(mut op: impl FnMut() -> TxnResult<T>) -> T {
+    loop {
+        match op() {
+            Ok(v) => return v,
+            Err(e) if e.is_lock_timeout() => continue,
+            Err(e) => panic!("foreground operation failed: {e}"),
+        }
+    }
+}
+
+/// Run one bulk delete with live foreground traffic and time every
+/// foreground operation.
+///
+/// The foreground pool starts first, the delete runs on its own thread
+/// (paced by `pacer` when `driver` is [`DeleteDriver::Live`]), and the
+/// pool drains once the delete finishes and every thread has met
+/// [`FgConfig::min_ops`]. Foreground invariant violations panic — they are
+/// correctness bugs, not measurements.
+pub fn run_with_foreground(
+    tdb: &TxnDb,
+    w: &Workload,
+    victims: &[Key],
+    driver: DeleteDriver,
+    cfg: FgConfig,
+    pacer: &Pacer,
+) -> TxnResult<LiveRun> {
+    let tid = w.tid;
+    let n_rows = w.spec.n_rows;
+    let n_attrs = w.spec.n_attrs;
+    let victim_set: HashSet<Key> = victims.iter().copied().collect();
+    let done = AtomicBool::new(false);
+
+    let (delete_res, delete_ms, fg) = std::thread::scope(|s| {
+        let bulk = {
+            let done = &done;
+            s.spawn(move || {
+                let t0 = Instant::now();
+                let res: TxnResult<(usize, usize)> = match driver {
+                    DeleteDriver::Offline(mode) => tdb
+                        .bulk_delete(tid, 0, victims, mode)
+                        .map(|deleted| (deleted, 1)),
+                    DeleteDriver::Live { mode, chunk } => tdb
+                        .bulk_delete_live(tid, 0, victims, mode, chunk, pacer)
+                        .map(|stats| (stats.deleted, stats.chunks)),
+                };
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                done.store(true, Ordering::Release);
+                (res, ms)
+            })
+        };
+        let workers: Vec<_> = (0..cfg.threads.max(1))
+            .map(|t| {
+                let done = &done;
+                let victim_set = &victim_set;
+                let a_values = &w.a_values;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64) << 17);
+                    let mut report = ForegroundReport::new();
+                    let mut inserted = Vec::new();
+                    let mut ops = 0usize;
+                    let mut next_insert = 0usize;
+                    while ops < cfg.min_ops || !done.load(Ordering::Acquire) {
+                        let dice = rng.gen_range(0..cfg.mix.total());
+                        if dice < cfg.mix.point_reads {
+                            let key = a_values[rng.gen_range(0..a_values.len())];
+                            let t0 = Instant::now();
+                            let rows = retry(|| {
+                                let txn = tdb.begin();
+                                let r = tdb.read(txn, tid, 0, key);
+                                tdb.commit(txn);
+                                r
+                            });
+                            report
+                                .class_mut("point_read")
+                                .record(t0.elapsed().as_micros() as u64);
+                            if victim_set.contains(&key) {
+                                assert!(rows.len() <= 1, "victim {key} duplicated");
+                            } else {
+                                assert_eq!(rows.len(), 1, "survivor {key} unreadable");
+                            }
+                        } else if dice < cfg.mix.point_reads + cfg.mix.range_scans {
+                            let span = 10 * n_rows as Key;
+                            let lo = rng.gen_range(0..span.saturating_sub(cfg.range_width).max(1));
+                            let hi = lo + cfg.range_width;
+                            let t0 = Instant::now();
+                            let rows = retry(|| {
+                                let txn = tdb.begin();
+                                let r = tdb.range_read(txn, tid, 0, lo, hi);
+                                tdb.commit(txn);
+                                r
+                            });
+                            report
+                                .class_mut("range_scan")
+                                .record(t0.elapsed().as_micros() as u64);
+                            let mut seen = HashSet::new();
+                            for row in &rows {
+                                let k = row.attr(0);
+                                assert!((lo..=hi).contains(&k), "scan leaked key {k}");
+                                assert!(seen.insert(k), "scan duplicated key {k}");
+                            }
+                        } else {
+                            let tuple = fresh_tuple(n_attrs, n_rows, t, next_insert);
+                            next_insert += 1;
+                            let t0 = Instant::now();
+                            let rid = retry(|| {
+                                let txn = tdb.begin();
+                                let r = tdb.insert(txn, tid, &tuple);
+                                tdb.commit(txn);
+                                r
+                            });
+                            report
+                                .class_mut("insert")
+                                .record(t0.elapsed().as_micros() as u64);
+                            inserted.push((rid, tuple));
+                        }
+                        ops += 1;
+                    }
+                    (report, inserted)
+                })
+            })
+            .collect();
+        let (res, ms) = bulk.join().expect("delete thread panicked");
+        let mut fg = ForegroundReport::new();
+        let mut inserted = Vec::new();
+        for h in workers {
+            let (rep, ins) = h.join().expect("foreground thread panicked");
+            fg.merge(&rep);
+            inserted.extend(ins);
+        }
+        (res, ms, (fg, inserted))
+    });
+
+    let (deleted, chunks) = delete_res?;
+    let (foreground, inserted) = fg;
+    Ok(LiveRun {
+        foreground,
+        deleted,
+        chunks,
+        delete_ms,
+        inserted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TableSpec;
+    use bd_core::{Database, DatabaseConfig, IndexDef, ShadowDb};
+
+    fn setup(n_rows: usize) -> (std::sync::Arc<TxnDb>, Workload) {
+        let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
+        let w = TableSpec::tiny(n_rows).build(&mut db).unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(0).unique())
+            .unwrap();
+        w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
+        (TxnDb::new(db), w)
+    }
+
+    fn check_run(driver: DeleteDriver) {
+        let (tdb, w) = setup(2000);
+        let mut shadow = tdb.with(|db| ShadowDb::mirror_of(db, w.tid).unwrap());
+        let victims = w.delete_set(0.25, 11);
+        let cfg = FgConfig {
+            threads: 3,
+            min_ops: 40,
+            ..FgConfig::default()
+        };
+        let run = run_with_foreground(&tdb, &w, &victims, driver, cfg, &Pacer::new()).unwrap();
+        assert_eq!(run.deleted, victims.len());
+        assert!(run.foreground.total_ops() >= 3 * 40);
+        assert!(run.foreground.class("point_read").is_some());
+        shadow.delete_in(w.tid, 0, &victims);
+        for (rid, t) in run.inserted {
+            shadow.insert(w.tid, rid, t);
+        }
+        let report = tdb.with(|db| shadow.diff(db, w.tid).unwrap());
+        assert!(report.is_clean(), "{driver:?}: {report}");
+    }
+
+    #[test]
+    fn offline_driver_matches_model() {
+        check_run(DeleteDriver::Offline(PropagationMode::SideFile));
+    }
+
+    #[test]
+    fn live_driver_matches_model() {
+        let driver = DeleteDriver::Live {
+            mode: PropagationMode::SideFile,
+            chunk: 64,
+        };
+        check_run(driver);
+    }
+
+    #[test]
+    fn live_run_reports_chunk_count() {
+        let (tdb, w) = setup(1000);
+        let victims = w.delete_set(0.2, 5);
+        let run = run_with_foreground(
+            &tdb,
+            &w,
+            &victims,
+            DeleteDriver::Live {
+                mode: PropagationMode::Direct,
+                chunk: 50,
+            },
+            FgConfig {
+                threads: 2,
+                min_ops: 10,
+                ..FgConfig::default()
+            },
+            &Pacer::new(),
+        )
+        .unwrap();
+        assert_eq!(run.chunks, victims.len().div_ceil(50));
+        assert!(run.delete_ms >= 0.0);
+        tdb.with(|db| db.check_consistency(w.tid).unwrap());
+    }
+}

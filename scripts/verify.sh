@@ -26,3 +26,15 @@ cargo run --release -p bd-bench --bin repro -- --faults --parallel 3
 # point count), keeping the perf trajectory emitters honest.
 cargo run --release -p bd-bench --bin repro -- fig7 --rows 20000 --bench-json target/bench_ci.json
 cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_ci.json
+
+# Online smoke: offline vs live bulk delete under foreground traffic at a
+# bounded scale. Every run is shadow-model-checked, and the emitted
+# snapshot must validate including its per-point foreground percentile
+# arrays.
+cargo run --release -p bd-bench --bin repro -- --live --rows 20000 --bench-json target/bench_live_ci.json
+cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_live_ci.json
+
+# The committed live snapshot must stay schema-valid.
+if [ -f BENCH_7.json ]; then
+    cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_7.json
+fi
