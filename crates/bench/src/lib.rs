@@ -10,6 +10,7 @@
 //! are *simulated minutes* from the disk cost model — the paper's y-axis —
 //! plus raw I/O counts.
 
+pub mod erase;
 pub mod experiments;
 pub mod live;
 pub mod snapshot;

@@ -23,6 +23,7 @@ pub mod bulk_load;
 pub mod node;
 pub mod reorg;
 pub mod scan;
+pub mod scrub;
 pub mod tree;
 pub mod verify;
 
@@ -31,6 +32,7 @@ pub use bulk_load::bulk_load;
 pub use node::{Key, NodeKind, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
 pub use reorg::ReorgPolicy;
 pub use scan::{lookup_keys_sorted, LeafPages, LeafScan, RangeCursor};
+pub use scrub::{scrub as scrub_tree, TreeScrub};
 pub use tree::{BTree, BTreeConfig, TreeStats};
 
 // Bulk-delete arms are dispatched to worker threads by the phase-task

@@ -330,6 +330,37 @@ impl<'a> NodeMut<'a> {
         promoted
     }
 
+    /// Overwrite separator entry `i` in place, keeping its child pointer.
+    /// Used by the erasure scrub to *tighten* a stale separator up to the
+    /// actual minimum of its right subtree; the caller must preserve the
+    /// ordering invariant (old sep `<=` new sep `<=` right subtree min).
+    pub fn inner_set_sep(&mut self, i: usize, sep: Sep) {
+        let view = self.as_ref();
+        debug_assert_eq!(view.kind(), NodeKind::Inner);
+        debug_assert!(i < view.nkeys());
+        let off = INNER_ENTRIES + i * INNER_ENTRY;
+        put_u64(self.buf, off, sep.0);
+        put_u64(self.buf, off + 8, sep.1.to_u64());
+    }
+
+    /// Zero every payload byte beyond the live entry region. Removals shift
+    /// entries with `copy_within` and decrement `nkeys`, leaving the former
+    /// last entry's `(key, rid)` image in the slack — this destroys it.
+    /// Returns how many non-zero bytes were destroyed.
+    pub fn scrub_slack(&mut self) -> usize {
+        let view = self.as_ref();
+        let start = match view.kind() {
+            NodeKind::Leaf => PAYLOAD + view.nkeys() * LEAF_ENTRY,
+            NodeKind::Inner => INNER_ENTRIES + view.nkeys() * INNER_ENTRY,
+        };
+        let slack = &mut self.buf[start..];
+        let dirty = slack.iter().filter(|&&b| b != 0).count();
+        if dirty > 0 {
+            slack.fill(0);
+        }
+        dirty
+    }
+
     /// Replace all separator entries (sorted) plus `child0`.
     pub fn inner_set_entries(&mut self, child0: u32, entries: &[(Sep, u32)]) {
         assert!(entries.len() <= MAX_INNER_CAP, "inner page overflow");

@@ -280,13 +280,13 @@ pub fn audit_catalog(db: &Database, tid: TableId) -> DbResult<AuditReport> {
         claim(&mut report, pid, StructureId::Table);
     }
     for index in &table.indices {
-        let owner = StructureId::Index(index.def.attr as u16);
+        let owner = StructureId::index_of(tid, index.def.attr);
         for pid in index.tree.pages()? {
             claim(&mut report, pid, owner);
         }
     }
     for h in &table.hash_indices {
-        let owner = StructureId::Hash(h.def.attr as u16);
+        let owner = StructureId::hash_of(tid, h.def.attr);
         for pid in h.index.pages()? {
             claim(&mut report, pid, owner);
         }

@@ -98,6 +98,11 @@ impl Database {
         self.tables.len() - 1
     }
 
+    /// Number of tables in the catalog.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
     /// Access a table.
     pub fn table(&self, id: TableId) -> DbResult<&Table> {
         self.tables.get(id).ok_or(DbError::NoSuchTable(id))
@@ -168,7 +173,7 @@ impl Database {
             def.config,
             &sorted,
             def.fill,
-            StructureId::Index(def.attr as u16),
+            StructureId::index_of(id, def.attr),
         )?;
         table.indices.push(Index { def, tree });
         Ok(())
@@ -187,7 +192,7 @@ impl Database {
         let mut index = bd_hashidx::HashIndex::with_capacity(
             pool,
             table.heap.len().max(64),
-            StructureId::Hash(attr as u16),
+            StructureId::hash_of(id, attr),
         )?;
         for (rid, bytes) in table.heap.dump()? {
             index.insert(schema.attr_of(&bytes, attr), rid)?;
@@ -208,7 +213,7 @@ impl Database {
         let table = self.tables.get_mut(id).ok_or(DbError::NoSuchTable(id))?;
         let pos = table.index_pos(attr).ok_or(DbError::NoSuchIndex { attr })?;
         let def = table.indices.remove(pos).def;
-        self.pool.free_owned(StructureId::Index(attr as u16));
+        self.pool.free_owned(StructureId::index_of(id, attr));
         Ok(def)
     }
 

@@ -42,6 +42,7 @@ pub mod catalog;
 pub mod constraint;
 pub mod cost;
 pub mod db;
+pub mod erasure;
 pub mod error;
 pub mod executor;
 pub mod plan;
@@ -59,6 +60,10 @@ pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
 pub use constraint::{ForeignKey, RefAction};
 pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
 pub use db::{Database, DatabaseConfig, TableId};
+pub use erasure::{
+    collect_sensitive, plan_cascade, run_cascade, run_cascade_step, scrub_database, verify_erasure,
+    CascadePlan, CascadeStep, ErasureReport, Residue, ScrubReport,
+};
 pub use error::{DbError, DbResult};
 pub use executor::{PhaseExecutor, PhaseTask};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};

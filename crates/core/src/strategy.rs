@@ -169,6 +169,7 @@ pub fn drop_create_parallel(
         execute_drop_create(
             &pool,
             &ws,
+            tid,
             schema,
             heap,
             indices,
@@ -190,6 +191,7 @@ pub fn drop_create_parallel(
 fn execute_drop_create(
     pool: &Arc<BufferPool>,
     ws: &Arc<MemoryBudget>,
+    tid: TableId,
     schema: Schema,
     heap: &mut bd_storage::HeapFile,
     indices: &mut Vec<Index>,
@@ -278,14 +280,14 @@ fn execute_drop_create(
                             def.config,
                             &sorted,
                             def.fill,
-                            StructureId::Index(def.attr as u16),
+                            StructureId::index_of(tid, def.attr),
                         )?
                     }
                     RebuildMode::InsertEach => {
                         let mut tree = bd_btree::BTree::create(
                             pool.clone(),
                             def.config,
-                            StructureId::Index(def.attr as u16),
+                            StructureId::index_of(tid, def.attr),
                         )?;
                         for (rid, bytes) in heap.dump()? {
                             tree.insert(schema.attr_of(&bytes, def.attr), rid)?;
@@ -635,9 +637,16 @@ pub fn vertical_auto_parallel(
 /// registered constraint on `(tid, probe_attr)` is processed *vertically
 /// and early* — one read-only sorted merge per child index — before any
 /// destructive pass, "so that no work needs to be undone if an integrity
-/// constraint fails" (§2.2). CASCADE constraints trigger recursive bulk
-/// deletes on the child tables (children first, so a RESTRICT further down
-/// still aborts before the parent is touched).
+/// constraint fails" (§2.2).
+///
+/// CASCADE closure is computed by [`crate::erasure::plan_cascade`]'s
+/// worklist fixpoint, so constraint *cycles* (self-referencing tables,
+/// mutually referencing tables) terminate with the complete delete set —
+/// the previous depth-first walk guarded revisits with a visited set and
+/// silently dropped keys discovered on a second visit, leaving dangling
+/// references. Execution order is children first, root last, and a
+/// RESTRICT anywhere in the graph aborts during planning with nothing
+/// modified. Returns the root table's outcome.
 pub fn vertical_with_constraints(
     db: &mut Database,
     tid: TableId,
@@ -645,89 +654,12 @@ pub fn vertical_with_constraints(
     d_keys: &[Key],
     policy: ReorgPolicy,
 ) -> DbResult<DeleteOutcome> {
-    let mut keys = d_keys.to_vec();
-    keys.sort_unstable();
-    keys.dedup();
-    // Guard against constraint cycles: each (table, probe attr) cascades at
-    // most once per statement.
-    let mut visited = vec![(tid, probe_attr)];
-    enforce_constraints(db, tid, probe_attr, &keys, policy, &mut visited)?;
-    let plan = crate::planner::plan_delete(
-        db.table(tid)?,
-        probe_attr,
-        keys.len(),
-        db.workspace().capacity(),
-    )?;
-    vertical(db, tid, &keys, &plan, policy)
-}
-
-/// Read-only victim resolution: the rows a bulk delete of `sorted_keys` on
-/// `(tid, probe_attr)` would remove, in RID order.
-fn collect_victim_rows(
-    db: &Database,
-    tid: TableId,
-    probe_attr: usize,
-    sorted_keys: &[Key],
-) -> DbResult<Vec<Tuple>> {
-    let table = db.table(tid)?;
-    let index = table
-        .index_on(probe_attr)
-        .ok_or(DbError::NoProbeIndex { attr: probe_attr })?;
-    let mut rids: Vec<Rid> = bd_btree::lookup_keys_sorted(&index.tree, sorted_keys)
-        .map_err(DbError::Storage)?
-        .into_iter()
-        .map(|(_, rid)| rid)
-        .collect();
-    rids.sort_unstable();
-    rids.into_iter()
-        .map(|rid| {
-            let bytes = table.heap.get(rid).map_err(DbError::Storage)?;
-            Ok(table.schema.decode(&bytes))
-        })
-        .collect()
-}
-
-/// Enforce every FK whose parent is `tid`, using the attribute values of
-/// the rows that are about to disappear. RESTRICT errors propagate before
-/// any destructive work; CASCADE deletes child tables depth-first.
-fn enforce_constraints(
-    db: &mut Database,
-    tid: TableId,
-    probe_attr: usize,
-    sorted_keys: &[Key],
-    policy: ReorgPolicy,
-    visited: &mut Vec<(TableId, usize)>,
-) -> DbResult<()> {
-    let fks: Vec<crate::constraint::ForeignKey> =
-        db.foreign_keys_on_table(tid).into_iter().collect();
-    if fks.is_empty() {
-        return Ok(());
-    }
-    let rows = collect_victim_rows(db, tid, probe_attr, sorted_keys)?;
-    for fk in fks {
-        // The parent values disappearing under this constraint.
-        let mut vals: Vec<Key> = rows.iter().map(|t| t.attr(fk.parent_attr)).collect();
-        vals.sort_unstable();
-        vals.dedup();
-        if let Some(child_keys) = crate::constraint::enforce(db, &fk, &vals)? {
-            if visited.contains(&(fk.child, fk.child_attr)) {
-                continue; // cycle: this edge already cascaded this statement
-            }
-            visited.push((fk.child, fk.child_attr));
-            // Depth-first: the child's own constraints run before the
-            // child is deleted, so a RESTRICT anywhere below aborts the
-            // whole statement with nothing modified.
-            enforce_constraints(db, fk.child, fk.child_attr, &child_keys, policy, visited)?;
-            let plan = crate::planner::plan_delete(
-                db.table(fk.child)?,
-                fk.child_attr,
-                child_keys.len(),
-                db.workspace().capacity(),
-            )?;
-            vertical(db, fk.child, &child_keys, &plan, policy)?;
-        }
-    }
-    Ok(())
+    let plan = crate::erasure::plan_cascade(db, tid, probe_attr, d_keys)?;
+    let root = plan
+        .root_pos(tid, probe_attr)
+        .expect("root step always present");
+    let mut outcomes = crate::erasure::run_cascade(db, &plan, policy)?;
+    Ok(outcomes.swap_remove(root))
 }
 
 /// The paper's benchmark configuration: vertical with sort/merge `⋈̄`s

@@ -324,6 +324,31 @@ impl HashIndex {
         Ok(HashAudit { chains, violations })
     }
 
+    /// Scrub every chain page: zero all bytes beyond the live entry region.
+    /// [`HashIndex::delete`] swap-removes, so the former last entry's
+    /// `(key, rid)` image survives beyond `n_entries` until this pass
+    /// destroys it. Returns the number of pages that held stale bytes.
+    pub fn scrub(&mut self) -> StorageResult<usize> {
+        let mut dirtied = 0;
+        for &bucket in &self.buckets {
+            let mut pid = Some(bucket);
+            while let Some(p) = pid {
+                // Pause point: between chain pages, no pin held.
+                bd_storage::pacer::checkpoint()?;
+                let mut w = self.pool.pin_write(p)?;
+                let buf = &mut w[..];
+                let n = page_n(buf);
+                let tail = entry_off(n.min(BUCKET_CAP));
+                if buf[tail..].iter().any(|&b| b != 0) {
+                    buf[tail..].fill(0);
+                    dirtied += 1;
+                }
+                pid = page_overflow(buf);
+            }
+        }
+        Ok(dirtied)
+    }
+
     /// Longest overflow chain (diagnostics).
     pub fn max_chain_len(&self) -> StorageResult<usize> {
         let mut max = 0;
@@ -500,6 +525,43 @@ mod tests {
         got.sort_unstable();
         expect.sort_unstable();
         assert_eq!(got, expect, "resumed delete diverged");
+    }
+
+    #[test]
+    fn scrub_destroys_swap_removed_entry_images() {
+        let tag = |i: u64| 0xFEED_FACE_0000_0000u64 | (i * 0x0101);
+        let mut h = HashIndex::create(pool(), 2, StructureId::Hash(0)).unwrap();
+        let n = (BUCKET_CAP + BUCKET_CAP / 2) as u64;
+        for i in 0..n {
+            h.insert(tag(i), rid(i)).unwrap();
+        }
+        let victims: Vec<u64> = (0..n).step_by(2).collect();
+        for &i in &victims {
+            assert!(h.delete(tag(i), rid(i)).unwrap());
+        }
+        // Swap-remove leaves stale images beyond n_entries on some page.
+        let dirtied = h.scrub().unwrap();
+        assert!(dirtied > 0, "delete left no residue to scrub?");
+        h.pool.flush_all().unwrap();
+        // Logical state intact, physical images gone.
+        for i in 0..n {
+            let expect = if i % 2 == 0 { vec![] } else { vec![rid(i)] };
+            assert_eq!(h.search(tag(i)).unwrap(), expect, "key {i}");
+        }
+        let pages = h.pages().unwrap();
+        h.pool.with_disk(|d| {
+            for &p in &pages {
+                let img = d.peek(p).unwrap();
+                for &i in &victims {
+                    let t = tag(i).to_le_bytes();
+                    assert!(
+                        !img.windows(8).any(|w| w == t),
+                        "victim key {i} survives on page {p}"
+                    );
+                }
+            }
+        });
+        assert_eq!(h.scrub().unwrap(), 0, "second scrub finds nothing");
     }
 
     #[test]

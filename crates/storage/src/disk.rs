@@ -248,22 +248,49 @@ impl SimDisk {
         first
     }
 
-    /// Move a page to the catalog's free set. The page's bytes stay
-    /// readable (freed pages are never recycled in this prototype), but
-    /// media recovery heals a torn free page without rebuilding anything.
+    /// Move a page to the catalog's free set. The page's primary bytes stay
+    /// readable (freed pages are never recycled in this prototype, and a
+    /// detached B-link leaf may still sit in a live sibling chain), but the
+    /// replica mirror is cleared immediately: a freed page needs no repair
+    /// copy, and keeping one would let the mirror resurrect key images the
+    /// owner just discarded (`drop_index`, free-at-empty, rebuilds). Media
+    /// recovery heals a torn free page without rebuilding anything.
     pub fn free_page(&mut self, pid: PageId) {
         self.catalog.free(pid);
+        self.clear_replica_of(pid);
     }
 
     /// Free every page currently owned by `owner` (dropping an index,
     /// discarding a damaged structure before its rebuild). Returns the
-    /// freed page ids.
+    /// freed page ids. Replica mirrors of the freed pages are cleared, as
+    /// in [`SimDisk::free_page`].
     pub fn free_owned(&mut self, owner: StructureId) -> Vec<PageId> {
         let pages = self.catalog.pages_of(owner);
         for &pid in &pages {
             self.catalog.free(pid);
+            self.clear_replica_of(pid);
         }
         pages
+    }
+
+    /// Zero the replica mirror of `pid` if replicas are enabled and the
+    /// mirror holds anything. Charged as one mirror write — clearing is a
+    /// real write to the replica device.
+    fn clear_replica_of(&mut self, pid: PageId) {
+        let dirty = match &mut self.replicas {
+            Some(reps) if (pid as usize) < reps.len() => {
+                let rep = &mut reps[pid as usize];
+                let had_bytes = rep.iter().any(|&b| b != 0);
+                if had_bytes {
+                    rep.fill(0);
+                }
+                had_bytes
+            }
+            _ => false,
+        };
+        if dirty {
+            self.charge_replica(1);
+        }
     }
 
     /// The page → owner catalog.
@@ -501,6 +528,31 @@ impl SimDisk {
     /// hit so far (crash points excluded). See [`FaultPlan::fired`].
     pub fn fault_plan_fired(&self) -> u64 {
         self.plan.fired()
+    }
+
+    /// Forensic view of a page's current primary image: uncharged, no
+    /// checksum verification, no head movement. This is the
+    /// proof-of-deletion sweep's eye — it must see exactly what the platter
+    /// holds, including torn or stale bytes a normal read would reject.
+    pub fn peek(&self, pid: PageId) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(pid as usize).map(|p| &**p)
+    }
+
+    /// Forensic view of a page's replica mirror (None when replicas are
+    /// disabled). Uncharged, like [`SimDisk::peek`].
+    pub fn peek_replica(&self, pid: PageId) -> Option<&[u8; PAGE_SIZE]> {
+        self.replicas
+            .as_ref()
+            .and_then(|reps| reps.get(pid as usize))
+            .map(|p| &**p)
+    }
+
+    /// Overwrite `pid` with zeros on both copies: a charged write (plus the
+    /// mirror charge) that destroys whatever the page held. The erasure
+    /// campaign's free-page sweep uses this on pages nothing references any
+    /// more; callers must drop any cached frame of the page afterwards.
+    pub fn scrub_page(&mut self, pid: PageId) -> StorageResult<()> {
+        self.write(pid, &[0u8; PAGE_SIZE])
     }
 
     /// Charge the simulated backoff of one buffer-pool retry: pure elapsed
@@ -825,6 +877,74 @@ mod tests {
             Vec::<PageId>::new()
         );
         assert_eq!(d.catalog().owner(heap), Some(StructureId::Table));
+    }
+
+    #[test]
+    fn freeing_a_page_clears_its_replica_mirror() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate(StructureId::Index(0));
+        d.enable_replicas();
+        d.write(pid, &page_of(0xAB)).unwrap();
+        assert!(d.peek_replica(pid).unwrap().iter().all(|&b| b == 0xAB));
+        let before = d.stats();
+        d.free_page(pid);
+        assert!(
+            d.peek_replica(pid).unwrap().iter().all(|&b| b == 0),
+            "freed page's mirror must not retain stale key images"
+        );
+        assert_eq!(
+            d.stats().since(&before).replica_writes,
+            1,
+            "clearing the mirror is a charged replica write"
+        );
+        // Freeing again (or freeing an already-zero mirror) charges nothing.
+        let before = d.stats();
+        d.free_page(pid);
+        assert_eq!(d.stats().since(&before).replica_writes, 0);
+    }
+
+    #[test]
+    fn free_owned_clears_every_mirror() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(3, StructureId::Index(4));
+        d.enable_replicas();
+        d.write_chain(first, 3, |_, page| page.fill(0x5C)).unwrap();
+        d.free_owned(StructureId::Index(4));
+        for i in 0..3 {
+            assert!(
+                d.peek_replica(first + i).unwrap().iter().all(|&b| b == 0),
+                "page {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_is_uncharged_and_sees_torn_bytes() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate(StructureId::Table);
+        d.write(pid, &page_of(3)).unwrap();
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        d.write(pid, &page_of(9)).unwrap();
+        let before = d.stats();
+        let img = d.peek(pid).unwrap();
+        assert!(img[..PAGE_SIZE / 2].iter().all(|&b| b == 9));
+        assert!(img[PAGE_SIZE / 2..].iter().all(|&b| b == 3));
+        assert_eq!(d.stats(), before, "peek charges nothing");
+        assert!(d.peek(99).is_none());
+    }
+
+    #[test]
+    fn scrub_page_zeroes_both_copies() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate(StructureId::Temp);
+        d.enable_replicas();
+        d.write(pid, &page_of(0x77)).unwrap();
+        d.scrub_page(pid).unwrap();
+        assert!(d.peek(pid).unwrap().iter().all(|&b| b == 0));
+        assert!(d.peek_replica(pid).unwrap().iter().all(|&b| b == 0));
+        // The zeroed image is readable (checksum acknowledged).
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(pid, &mut buf).unwrap();
     }
 
     #[test]

@@ -324,6 +324,27 @@ impl HeapFile {
         Ok(n)
     }
 
+    /// Scrub every heap page: compact and zero all bytes no live record
+    /// covers (see [`SlottedPage::scrub`]). Deleted record images — the
+    /// paper's delete only clears slot entries — are physically destroyed.
+    /// One sequential write pass; returns `(pages visited, bytes zeroed)`.
+    /// RIDs of live records are unchanged (slot numbers survive scrubbing).
+    pub fn scrub(&mut self) -> StorageResult<(usize, usize)> {
+        let mut zeroed = 0;
+        for pos in 0..self.pages.len() {
+            // Pause point: between pages, no pin held.
+            crate::pacer::checkpoint()?;
+            let pid = self.pages[pos];
+            let mut w = self.pool.pin_write(pid)?;
+            let mut page = SlottedPage::new(&mut w[..]);
+            zeroed += page.scrub();
+            let free = page.usable_free();
+            drop(w);
+            self.fsm.update(pid, free);
+        }
+        Ok((self.pages.len(), zeroed))
+    }
+
     /// Free bytes the FSM records for `pid` (test/diagnostic hook).
     pub fn fsm_free(&self, pid: PageId) -> Option<usize> {
         self.fsm.free_bytes(pid)
@@ -663,6 +684,46 @@ mod tests {
                 assert_eq!(restored.get(*r).unwrap(), record(i as u64));
             }
         }
+    }
+
+    #[test]
+    fn scrub_destroys_deleted_records_and_keeps_live_ones() {
+        // High-entropy tags: a physical byte-scan for them cannot collide
+        // with slot-directory metadata or other small integers.
+        let tag = |i: u64| 0xDEAD_BEEF_0000_0000u64 | (i * 0x0101);
+        let mut h = heap(16);
+        let rids: Vec<Rid> = (0..40)
+            .map(|i| h.insert(&record(tag(i))).unwrap())
+            .collect();
+        let victims: Vec<Rid> = rids.iter().copied().step_by(2).collect();
+        h.bulk_delete_sorted(&victims).unwrap();
+        let (pages, zeroed) = h.scrub().unwrap();
+        assert_eq!(pages, h.num_pages());
+        assert!(zeroed >= victims.len() * 4, "zeroed {zeroed}");
+        h.pool().flush_all().unwrap();
+        // Survivors read back intact; victims stay gone; FSM consistent.
+        for (i, &rid) in rids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(h.get(rid).is_err());
+            } else {
+                assert_eq!(h.get(rid).unwrap(), record(tag(i as u64)));
+            }
+        }
+        h.verify_fsm().unwrap();
+        // No victim tag survives anywhere on the heap's disk pages.
+        let page_ids = h.page_ids().to_vec();
+        h.pool().with_disk(|d| {
+            for &pid in &page_ids {
+                let img = d.peek(pid).unwrap();
+                for i in (0..40u64).step_by(2) {
+                    let t = tag(i).to_le_bytes();
+                    assert!(
+                        !img.windows(8).any(|w| w == t),
+                        "victim tag {i} survives on page {pid}"
+                    );
+                }
+            }
+        });
     }
 
     #[test]

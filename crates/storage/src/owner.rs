@@ -54,7 +54,9 @@ impl std::fmt::Display for StructureId {
         match self {
             StructureId::Probe => write!(f, "probe"),
             StructureId::Table => write!(f, "table"),
+            StructureId::Index(a) if *a >= 256 => write!(f, "index({}.{})", a >> 8, a & 0xFF),
             StructureId::Index(a) => write!(f, "index({a})"),
+            StructureId::Hash(a) if *a >= 256 => write!(f, "hash({}.{})", a >> 8, a & 0xFF),
             StructureId::Hash(a) => write!(f, "hash({a})"),
             StructureId::Temp => write!(f, "temp"),
             StructureId::Spatial(a) => write!(f, "spatial({a})"),
@@ -96,6 +98,46 @@ impl StructureId {
             5 => StructureId::Spatial(attr),
             _ => return None,
         })
+    }
+
+    /// Page-owner tag for table `table`'s B-tree index on `attr`.
+    ///
+    /// Owner tags are **table-scoped**: the `u16` payload packs the table
+    /// id into the high byte and the attribute into the low byte, so two
+    /// tables' indices on the same attribute never share a tag. Without
+    /// the scope, media recovery's `free_owned(Index(attr))` would free
+    /// *every* table's index pages on that attribute — a rebuild of one
+    /// table's damaged index would silently condemn the others. Table 0's
+    /// tags equal the plain attribute (the scope is zero), so single-table
+    /// databases are unchanged. Panics in debug builds past 256 tables or
+    /// 256 attributes.
+    pub fn index_of(table: usize, attr: usize) -> StructureId {
+        StructureId::Index(Self::scope(table, attr))
+    }
+
+    /// Page-owner tag for table `table`'s hash index on `attr` (same
+    /// scoping as [`StructureId::index_of`]).
+    pub fn hash_of(table: usize, attr: usize) -> StructureId {
+        StructureId::Hash(Self::scope(table, attr))
+    }
+
+    fn scope(table: usize, attr: usize) -> u16 {
+        debug_assert!(
+            table < 256 && attr < 256,
+            "table-scoped owner tag overflow: table {table}, attr {attr}"
+        );
+        ((table as u16) << 8) | attr as u16
+    }
+
+    /// `(table, attr)` of a table-scoped [`StructureId::Index`] or
+    /// [`StructureId::Hash`] owner tag; `None` for every other variant.
+    pub fn scoped_parts(self) -> Option<(usize, usize)> {
+        match self {
+            StructureId::Index(v) | StructureId::Hash(v) => {
+                Some(((v >> 8) as usize, (v & 0xFF) as usize))
+            }
+            _ => None,
+        }
     }
 }
 

@@ -197,6 +197,44 @@ impl<'a> SlottedPage<'a> {
         }
         self.set_free_end(end as u16);
     }
+
+    /// Destroy every byte the page holds that no live record covers: zero
+    /// each gap between the slot directory and the page end that no live
+    /// record extent claims. Deleting a record only clears its slot entry,
+    /// and [`SlottedPage::compact`] leaves stale images behind in vacated
+    /// areas — after this pass the only record bytes on the page belong to
+    /// live records. Returns how many (non-zero) bytes were zeroed.
+    ///
+    /// Deliberately **non-moving**: live records stay at their offsets, so
+    /// the scrubbed image differs from the pre-scrub image only in dead
+    /// bytes. A torn write of a scrub (half old, half new) therefore still
+    /// yields a logically identical page — crash recovery just re-runs the
+    /// scrub — whereas a torn compaction could leave a live record
+    /// half-moved and unrecoverable.
+    pub fn scrub(&mut self) -> usize {
+        let n = self.n_slots();
+        let mut live: Vec<(usize, usize)> = (0..n)
+            .filter_map(|i| {
+                let (off, len) = self.slot(i);
+                (len != 0).then_some((off, len))
+            })
+            .collect();
+        live.sort_unstable();
+        let mut dirty = 0;
+        let mut pos = HDR + n * SLOT;
+        let mut zero_gap = |buf: &mut [u8], a: usize, b: usize| {
+            if a < b {
+                dirty += buf[a..b].iter().filter(|&&x| x != 0).count();
+                buf[a..b].fill(0);
+            }
+        };
+        for (off, len) in live {
+            zero_gap(self.buf, pos, off.max(pos));
+            pos = pos.max(off + len);
+        }
+        zero_gap(self.buf, pos, PAGE_SIZE);
+        dirty
+    }
 }
 
 /// Read-only access to a slotted page image (no `&mut` required).
@@ -320,6 +358,68 @@ mod tests {
         // Remaining odd-slot records survived compaction intact.
         for &s in slots.iter().skip(1).step_by(2) {
             assert_eq!(p.get(s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn scrub_destroys_deleted_record_bytes() {
+        let mut buf = zeroed();
+        let mut p = SlottedPage::init(&mut buf[..]);
+        let secret = [0xEEu8; 64];
+        let keeper = [0x11u8; 64];
+        let s = p.insert(&secret).unwrap();
+        let k = p.insert(&keeper).unwrap();
+        p.delete(s).unwrap();
+        // The deleted record's bytes are still physically on the page.
+        assert!(buf.windows(64).any(|w| w == secret));
+        let mut p = SlottedPage::new(&mut buf[..]);
+        let zeroed_bytes = p.scrub();
+        assert!(zeroed_bytes >= 64, "zeroed {zeroed_bytes}");
+        assert!(
+            !buf.windows(8).any(|w| w == &secret[..8]),
+            "secret bytes survive scrub"
+        );
+        let p = SlottedPage::new(&mut buf[..]);
+        assert_eq!(p.get(k).unwrap(), &keeper[..], "live record intact");
+        assert_eq!(p.live_records(), 1);
+        // Second scrub finds nothing left to zero.
+        let mut p = SlottedPage::new(&mut buf[..]);
+        assert_eq!(p.scrub(), 0);
+    }
+
+    #[test]
+    fn scrub_zeroes_holes_without_moving_live_records() {
+        let mut buf = zeroed();
+        let mut p = SlottedPage::init(&mut buf[..]);
+        let secret = [0xD7u8; 512];
+        let mut slots = Vec::new();
+        for _ in 0..7 {
+            slots.push(p.insert(&secret).unwrap());
+        }
+        for &s in &slots[..6] {
+            p.delete(s).unwrap();
+        }
+        let live = *slots.last().unwrap();
+        let live_off = {
+            let p = SlottedPage::new(&mut buf[..]);
+            let rec = p.get(live).unwrap();
+            rec.as_ptr() as usize
+        };
+        let mut p = SlottedPage::new(&mut buf[..]);
+        p.scrub();
+        let occurrences = buf.windows(16).filter(|w| *w == &secret[..16]).count();
+        // Only the single live record's interior windows remain.
+        assert!(occurrences <= 512 - 15, "stale copies remain");
+        // Non-moving: the survivor is still at its original offset, and
+        // every byte outside the directory and that extent is zero.
+        let off = live_off - buf.as_ptr() as usize;
+        assert_eq!(off, PAGE_SIZE - 7 * 512);
+        let p = SlottedPage::new(&mut buf[..]);
+        assert_eq!(p.get(live).unwrap(), &secret[..]);
+        for (i, &b) in buf.iter().enumerate() {
+            let in_dir = i < HDR + slots.len() * SLOT;
+            let in_live = (off..off + 512).contains(&i);
+            assert!(in_dir || in_live || b == 0, "byte {i} not scrubbed");
         }
     }
 

@@ -1,0 +1,245 @@
+//! RESTRICT/CASCADE constraints under the parallel executor and under
+//! the live (chunked, paced) delete path.
+//!
+//! The ordering contract under test: constraint enforcement happens at
+//! *plan* time, before any fan-out arm runs, any index goes offline, or
+//! any page is pinned for writing — a RESTRICT abort must leave zero
+//! pinned frames, every structure untouched, and a clean catalog audit.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bd_btree::ReorgPolicy;
+use bd_core::{
+    audit_catalog, audit_equivalence, plan_cascade, run_cascade, run_cascade_step, Database,
+    DatabaseConfig, DbError, ForeignKey, IndexDef, Schema, TableId, Tuple,
+};
+use bd_storage::Pacer;
+use bd_txn::{PropagationMode, TxnDb, TxnError};
+
+// High-entropy values: equivalence audits and the proof-of-deletion scan
+// raw page bytes, so low-entropy values would collide with metadata.
+fn tag(ns: u64, i: u64) -> u64 {
+    0xFE57_0000_0000_0000 | (ns << 40) | (i * 0x0101 + 1)
+}
+
+const N_ROOT: u64 = 12;
+
+/// Victims: half the roots; each takes 2 B children and 4 C grandchildren.
+const DELETED: usize = (N_ROOT as usize / 2) * (1 + 2 + 4);
+
+/// A ← B ← C, both edges CASCADE. Same shape as the WAL campaign
+/// fixture: every table keeps survivor rows, B carries a hash index.
+fn build() -> (Database, TableId) {
+    let mut db = Database::new(DatabaseConfig::with_total_memory(4 << 20));
+    let mut tids = Vec::new();
+    for name in ["A", "B", "C"] {
+        let tid = db.create_table(name, Schema::new(3, 64));
+        db.create_index(tid, IndexDef::secondary(0).unique())
+            .unwrap();
+        db.create_index(tid, IndexDef::secondary(1)).unwrap();
+        tids.push(tid);
+    }
+    let (a, b, c) = (tids[0], tids[1], tids[2]);
+    db.create_hash_index(b, 2).unwrap();
+    db.add_foreign_key(ForeignKey::cascade("fk_ab", a, 0, b, 1));
+    db.add_foreign_key(ForeignKey::cascade("fk_bc", b, 0, c, 1));
+    for i in 0..N_ROOT {
+        db.insert(a, &Tuple::new(vec![tag(1, i), tag(6, i), tag(7, i)]))
+            .unwrap();
+        for j in 0..2 {
+            let bk = tag(2, i * 4 + j);
+            db.insert(b, &Tuple::new(vec![bk, tag(1, i), tag(8, i * 4 + j)]))
+                .unwrap();
+            for k in 0..2 {
+                let ck = (i * 4 + j) * 4 + k;
+                db.insert(c, &Tuple::new(vec![tag(3, ck), bk, tag(9, ck)]))
+                    .unwrap();
+            }
+        }
+    }
+    (db, a)
+}
+
+/// The cascade fixture plus a fourth table R referencing A with RESTRICT:
+/// the campaign's closure is blocked no matter how much of it is CASCADE.
+fn build_with_restrict() -> (Database, TableId, TableId) {
+    let (mut db, a) = build();
+    let r = db.create_table("R", Schema::new(2, 64));
+    db.create_index(r, IndexDef::secondary(0)).unwrap();
+    db.add_foreign_key(ForeignKey::restrict("fk_ar", a, 0, r, 0));
+    // Every root is referenced, so any victim set trips the constraint.
+    for i in 0..N_ROOT {
+        db.insert(r, &Tuple::new(vec![tag(1, i), tag(4, i)]))
+            .unwrap();
+    }
+    (db, a, r)
+}
+
+fn victims() -> Vec<u64> {
+    (0..N_ROOT).step_by(2).map(|i| tag(1, i)).collect()
+}
+
+fn rows(db: &Database, tid: TableId) -> usize {
+    db.table(tid).unwrap().heap.dump().unwrap().len()
+}
+
+#[test]
+fn cascade_under_the_parallel_executor_matches_serial() {
+    let (mut serial, root) = build();
+    let (mut parallel, _) = build();
+    let d = victims();
+    let plan = plan_cascade(&serial, root, 0, &d).unwrap();
+    assert_eq!(plan.steps.len(), 3);
+
+    run_cascade(&mut serial, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+    let mut deleted = 0;
+    for step in &plan.steps {
+        deleted += run_cascade_step(&mut parallel, step, ReorgPolicy::FreeAtEmpty, 3)
+            .unwrap()
+            .deleted
+            .len();
+    }
+    assert_eq!(deleted, DELETED);
+    for t in 0..3 {
+        let eq = audit_equivalence(&serial, &parallel, t).unwrap();
+        assert!(eq.is_clean(), "table {t} diverged under fan-out: {eq}");
+        parallel.check_consistency(t).unwrap();
+        audit_catalog(&parallel, t).unwrap().into_result().unwrap();
+    }
+    assert_eq!(parallel.pool().pinned_frames(), 0);
+}
+
+#[test]
+fn restrict_abort_under_the_parallel_executor_leaves_zero_pins_and_clean_audit() {
+    let (db, root, _) = build_with_restrict();
+    let (reference, _, _) = build_with_restrict();
+
+    // Enforcement happens at plan time — before any fan-out arm exists to
+    // race it, "no work needs to be undone".
+    let err = plan_cascade(&db, root, 0, &victims()).unwrap_err();
+    assert!(
+        matches!(err, DbError::ForeignKeyViolation { ref name, .. } if name == "fk_ar"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(db.pool().pinned_frames(), 0, "abort must release every pin");
+    for t in 0..4 {
+        let eq = audit_equivalence(&reference, &db, t).unwrap();
+        assert!(eq.is_clean(), "aborted plan touched table {t}: {eq}");
+        audit_catalog(&db, t).unwrap().into_result().unwrap();
+    }
+}
+
+#[test]
+fn restrict_abort_under_bulk_delete_live_leaves_zero_pins_and_clean_audit() {
+    let (db, root, r) = build_with_restrict();
+    let tdb = TxnDb::new(db);
+    let err = tdb
+        .erase_cascade_live(
+            root,
+            0,
+            &victims(),
+            PropagationMode::SideFile,
+            4,
+            &Pacer::new(),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TxnError::Db(DbError::ForeignKeyViolation { ref name, .. }) if name == "fk_ar"
+        ),
+        "unexpected error: {err}"
+    );
+
+    tdb.with(|db| {
+        assert_eq!(db.pool().pinned_frames(), 0, "abort must release every pin");
+        assert_eq!(rows(db, root), N_ROOT as usize);
+        assert_eq!(rows(db, r), N_ROOT as usize);
+        for t in 0..4 {
+            db.check_consistency(t).unwrap();
+            audit_catalog(db, t).unwrap().into_result().unwrap();
+        }
+    });
+    // No index ever went offline: a foreground read proceeds immediately.
+    let txn = tdb.begin();
+    let hit = tdb.read(txn, root, 0, tag(1, 0)).unwrap();
+    assert_eq!(hit.len(), 1);
+    tdb.commit(txn);
+}
+
+#[test]
+fn cascade_under_bulk_delete_live_erases_and_proves() {
+    for mode in [PropagationMode::SideFile, PropagationMode::Direct] {
+        let (mut reference, root) = build();
+        let plan = plan_cascade(&reference, root, 0, &victims()).unwrap();
+        run_cascade(&mut reference, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+
+        let (db, _) = build();
+        let tdb = TxnDb::new(db);
+        let stats = tdb
+            .erase_cascade_live(root, 0, &victims(), mode, 4, &Pacer::new())
+            .unwrap();
+        assert_eq!(stats.deleted, DELETED, "{mode:?}");
+        assert_eq!(stats.steps.len(), 3);
+        assert!(
+            stats.report.is_clean(),
+            "{mode:?}: {}",
+            stats.report.render()
+        );
+        tdb.with(|db| {
+            assert_eq!(db.pool().pinned_frames(), 0);
+            for t in 0..3 {
+                let eq = audit_equivalence(&reference, db, t).unwrap();
+                assert!(eq.is_clean(), "{mode:?} table {t}: {eq}");
+                db.check_consistency(t).unwrap();
+                audit_catalog(db, t).unwrap().into_result().unwrap();
+            }
+        });
+    }
+}
+
+#[test]
+fn live_campaign_cancel_stops_with_a_consistent_prefix() {
+    let (db, root) = build();
+    let tdb: Arc<TxnDb> = TxnDb::new(db);
+    let pacer = Pacer::new();
+    // Park at the second pacer check (inside the first step's chunk
+    // stream), then cancel: the campaign must stop between chunks with
+    // every completed chunk committed and every index back online.
+    pacer.pause_after(2);
+    let worker = {
+        let tdb = Arc::clone(&tdb);
+        let pacer = pacer.clone();
+        std::thread::spawn(move || {
+            tdb.erase_cascade_live(root, 0, &victims(), PropagationMode::SideFile, 4, &pacer)
+        })
+    };
+    assert!(
+        pacer.wait_parked(1, Duration::from_secs(10)),
+        "campaign never parked"
+    );
+    pacer.cancel();
+    assert!(worker.join().unwrap().is_err(), "cancelled run must error");
+
+    tdb.with(|db| {
+        assert_eq!(db.pool().pinned_frames(), 0);
+        for t in 0..3 {
+            db.check_consistency(t).unwrap();
+            audit_catalog(db, t).unwrap().into_result().unwrap();
+            let n = rows(db, t);
+            let full = [N_ROOT as usize, 2 * N_ROOT as usize, 4 * N_ROOT as usize][t];
+            assert!(n <= full, "table {t} grew: {n} > {full}");
+            assert!(
+                n >= full / 2,
+                "table {t} lost survivors: {n} < {}",
+                full / 2
+            );
+        }
+    });
+    // Every gate is back online: foreground traffic is unblocked.
+    let txn = tdb.begin();
+    let hit = tdb.read(txn, root, 1, tag(6, 1)).unwrap();
+    assert_eq!(hit.len(), 1, "surviving root must stay readable");
+    tdb.commit(txn);
+}

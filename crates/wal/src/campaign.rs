@@ -333,3 +333,327 @@ fn tally(media: &MediaRecovery, total: &mut usize, max_per_point: &mut usize) {
     *total += here;
     *max_per_point = (*max_per_point).max(here);
 }
+
+/// What an erasure-campaign fault sweep covered.
+#[derive(Debug, Clone)]
+pub struct ErasureSweepReport {
+    /// Fault points that damaged the run and were recovered: crash points
+    /// for [`erasure_crash_at_every_io`], surfaced tears for
+    /// [`erasure_torn_write_at_every_io`]. At every one the recovered
+    /// database matched the reference, the catalog audit was clean, and
+    /// the proof-of-deletion found zero residue.
+    pub recovered_points: usize,
+    /// Torn positions that left no detectable damage (torn sweep only).
+    pub silent_points: usize,
+    /// Disk accesses of the fault-free campaign (the sweep's bound).
+    pub fault_free_accesses: u64,
+    /// Victim rows the reference campaign deleted across the cascade.
+    pub deleted: usize,
+    /// Manifest steps of the cascade (≥ tables touched).
+    pub steps: usize,
+}
+
+/// Per-sweep-point bookkeeping shared by the two erasure sweeps: audits
+/// the recovered database against the reference for every campaign table
+/// and re-proves the deletion with the externally-held sensitive list —
+/// the post-redaction log no longer remembers it, exactly as designed.
+fn check_erasure_point(
+    reference: &Database,
+    db: &Database,
+    log: &LogManager,
+    tables: &[TableId],
+    sensitive: &[u64],
+    n: u64,
+) -> Result<(), WalError> {
+    let raw = log.raw_bytes();
+    let proof = bd_core::verify_erasure(db, sensitive, &[("wal", &raw)])?;
+    if !proof.is_clean() {
+        return Err(WalError::Divergence {
+            crash_point: n,
+            details: format!("erasure proof after recovery: {}", proof.render()),
+        });
+    }
+    for &t in tables {
+        let eq = audit_equivalence(reference, db, t)?;
+        if !eq.is_clean() {
+            return Err(WalError::Divergence {
+                crash_point: n,
+                details: format!("table {t}: {eq}"),
+            });
+        }
+        let cat = audit_catalog(db, t)?;
+        if !cat.is_clean() {
+            return Err(WalError::Divergence {
+                crash_point: n,
+                details: format!("table {t} catalog: {cat}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Plan the cascade and capture its sensitive values on a freshly built
+/// database (both sweeps need the pair before arming any fault).
+fn plan_and_sensitive(
+    db: &Database,
+    root: TableId,
+    root_attr: usize,
+    d_keys: &[Key],
+) -> Result<(bd_core::CascadePlan, Vec<u64>), WalError> {
+    let plan = bd_core::plan_cascade(db, root, root_attr, d_keys)?;
+    let sensitive = bd_core::collect_sensitive(db, &plan)?;
+    Ok((plan, sensitive))
+}
+
+/// True when the log carries the campaign's commit marker. The begin
+/// record is redacted at commit, so [`crate::erasure::recover_campaign`]
+/// returning `None` *plus* a commit marker means the fault surfaced after
+/// the campaign closed — in the proof's own post-commit scan, the one
+/// reader that touches pages nothing else re-reads.
+fn campaign_committed(log: &LogManager) -> Result<bool, WalError> {
+    Ok(log
+        .records()?
+        .iter()
+        .any(|r| matches!(r, crate::record::LogRecord::CampaignCommit { .. })))
+}
+
+/// The restart path for damage surfacing after commit: accept the torn
+/// images, re-run the idempotent whole-database scrub (it re-derives
+/// every byte it writes), and flush. The campaign itself is closed and
+/// durable, so there is nothing to resume — only physical healing.
+fn heal_after_commit(db: &mut Database, corrupt: &[bd_storage::PageId]) -> Result<(), WalError> {
+    db.pool()
+        .with_disk(|d| -> Result<(), StorageError> {
+            for &pid in corrupt {
+                d.accept_torn_page(pid)?;
+            }
+            Ok(())
+        })
+        .map_err(DbError::from)?;
+    bd_core::scrub_database(db)?;
+    db.pool().flush_all()?;
+    Ok(())
+}
+
+/// Sweep a crash over every disk access of a whole erasure campaign —
+/// the cascade's bulk deletes, the physical scrub, and the commit tail.
+///
+/// `build` must deterministically reconstruct the same multi-table
+/// database (with its foreign keys) and return the cascade root's table
+/// id. At every crash point the campaign is recovered with
+/// [`crate::erasure::recover_campaign`] and must run to completion: the
+/// recovered state must match the fault-free reference on every campaign
+/// table, the catalog audits must be clean, and the proof-of-deletion —
+/// checked against a sensitive list held *outside* the database, since
+/// redaction destroys the log's copy — must find zero residue.
+pub fn erasure_crash_at_every_io<F>(
+    mut build: F,
+    root_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+    start: u64,
+    limit: Option<usize>,
+) -> Result<ErasureSweepReport, WalError>
+where
+    F: FnMut() -> (Database, TableId),
+{
+    use crate::erasure::{recover_campaign, run_erasure_campaign};
+    let pacer = bd_storage::Pacer::new();
+
+    // Reference: the same campaign, no faults.
+    let (mut reference, root) = build();
+    reference.pool().flush_all()?;
+    let (plan, sensitive) = plan_and_sensitive(&reference, root, root_attr, d_keys)?;
+    let mut tables: Vec<TableId> = plan.steps.iter().map(|s| s.table).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let ref_c0 = reference.pool().with_disk(|d| d.accesses());
+    let ref_log = LogManager::new();
+    let ref_out = run_erasure_campaign(&mut reference, &plan, &ref_log, workers, &pacer)?;
+    if !ref_out.report.is_clean() {
+        return Err(WalError::Divergence {
+            crash_point: 0,
+            details: format!("fault-free proof: {}", ref_out.report.render()),
+        });
+    }
+    let fault_free_accesses = reference.pool().with_disk(|d| d.accesses()) - ref_c0;
+
+    let mut recovered_points = 0usize;
+    let mut n: u64 = start;
+    loop {
+        n += 1;
+        if let Some(lim) = limit {
+            if recovered_points >= lim {
+                break;
+            }
+        }
+        let (mut db, root_n) = build();
+        assert_eq!(root, root_n, "build() must be deterministic");
+        db.pool().flush_all()?;
+        let (plan_n, _) = plan_and_sensitive(&db, root, root_attr, d_keys)?;
+        assert_eq!(plan, plan_n, "cascade plan must be deterministic");
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|d| d.accesses());
+        db.pool()
+            .with_disk(|d| d.set_fault_plan(FaultPlan::new().crash_at_access(c0 + n)));
+
+        match run_erasure_campaign(&mut db, &plan_n, &log, workers, &pacer) {
+            Ok(_) => break, // the campaign outran the crash point: done
+            Err(WalError::Crashed(_))
+            | Err(WalError::Db(DbError::Storage(StorageError::SimulatedCrash))) => {
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                let resumed = recover_campaign(&mut db, &log, workers, &[])?;
+                if resumed.is_none() {
+                    // Legitimate only when the crash landed inside the
+                    // post-commit proof scan: every step and the scrub
+                    // were flushed before the commit marker, so the disk
+                    // is already the final state and the restart has
+                    // nothing to do but re-prove it.
+                    if !campaign_committed(&log)? {
+                        return Err(WalError::Divergence {
+                            crash_point: n,
+                            details: "crashed campaign not found open in the log".into(),
+                        });
+                    }
+                }
+                check_erasure_point(&reference, &db, &log, &tables, &sensitive, n)?;
+                recovered_points += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(ErasureSweepReport {
+        recovered_points,
+        silent_points: 0,
+        fault_free_accesses,
+        deleted: ref_out.deleted,
+        steps: plan.steps.len(),
+    })
+}
+
+/// Sweep a torn write over every write access of a whole erasure
+/// campaign (the write-side mirror of [`erasure_crash_at_every_io`]).
+///
+/// Tears surfaced while the campaign is open (a read dies on the torn
+/// page's checksum) recover through
+/// [`crate::erasure::recover_campaign`], which heals the pages, rebuilds
+/// what the in-flight step damaged, and re-runs the scrub. Tears that
+/// stay latent past commit (the campaign finished; the damage sits in a
+/// page nothing re-read, scrub-phase writes included) are surfaced the
+/// way a restart would — drop the cache, scrub the disk for checksum
+/// mismatches — then healed and re-scrubbed: scrub writes never change
+/// live bytes, so accepting the torn image and re-running the scrub
+/// restores both structure and proof.
+pub fn erasure_torn_write_at_every_io<F>(
+    mut build: F,
+    root_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+    start: u64,
+    limit: Option<usize>,
+) -> Result<ErasureSweepReport, WalError>
+where
+    F: FnMut() -> (Database, TableId),
+{
+    use crate::erasure::{recover_campaign, run_erasure_campaign};
+    let pacer = bd_storage::Pacer::new();
+
+    let (mut reference, root) = build();
+    reference.pool().flush_all()?;
+    let (plan, sensitive) = plan_and_sensitive(&reference, root, root_attr, d_keys)?;
+    let mut tables: Vec<TableId> = plan.steps.iter().map(|s| s.table).collect();
+    tables.sort_unstable();
+    tables.dedup();
+    let ref_c0 = reference.pool().with_disk(|d| d.accesses());
+    let ref_log = LogManager::new();
+    let ref_out = run_erasure_campaign(&mut reference, &plan, &ref_log, workers, &pacer)?;
+    if !ref_out.report.is_clean() {
+        return Err(WalError::Divergence {
+            crash_point: 0,
+            details: format!("fault-free proof: {}", ref_out.report.render()),
+        });
+    }
+    let fault_free_accesses = reference.pool().with_disk(|d| d.accesses()) - ref_c0;
+
+    let mut recovered_points = 0usize;
+    let mut silent_points = 0usize;
+    let mut n: u64 = start;
+    loop {
+        n += 1;
+        if let Some(lim) = limit {
+            if recovered_points >= lim {
+                break;
+            }
+        }
+        let (mut db, root_n) = build();
+        assert_eq!(root, root_n, "build() must be deterministic");
+        db.pool().flush_all()?;
+        let (plan_n, _) = plan_and_sensitive(&db, root, root_attr, d_keys)?;
+        let log = LogManager::new();
+        let c0 = db.pool().with_disk(|d| d.accesses());
+        db.pool().with_disk(|d| {
+            d.set_fault_plan(FaultPlan::new().inject(FaultSpec::write_at_access(c0 + n).torn()))
+        });
+
+        let run = run_erasure_campaign(&mut db, &plan_n, &log, workers, &pacer);
+        let used = db.pool().with_disk(|d| d.accesses()) - c0;
+        let fired = db.pool().with_disk(|d| d.fault_plan_fired());
+        match run {
+            Ok(_) if fired == 0 => {
+                if n >= used {
+                    break; // the campaign outran the sweep point: done
+                }
+                continue; // position n was a read: nothing torn
+            }
+            Ok(_) => {
+                // The tear landed but the campaign committed. Surface any
+                // latent damage like a restart would.
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+                if corrupt.is_empty() {
+                    silent_points += 1;
+                    continue;
+                }
+                // The campaign is committed (and its begin record
+                // redacted), so there is nothing to resume — heal the
+                // torn images and re-run the scrub.
+                heal_after_commit(&mut db, &corrupt)?;
+                check_erasure_point(&reference, &db, &log, &tables, &sensitive, n)?;
+                recovered_points += 1;
+            }
+            Err(WalError::Db(DbError::Storage(StorageError::ChecksumMismatch(_)))) => {
+                // The campaign read the torn page back and died on it.
+                db.pool().crash();
+                db.pool().with_disk(|d| d.clear_fault_plan());
+                let corrupt = db.pool().with_disk(|d| d.corrupt_pages());
+                let resumed = recover_campaign(&mut db, &log, workers, &corrupt)?;
+                if resumed.is_none() {
+                    // Legitimate only when the torn page stayed latent
+                    // through commit and the mismatch fired in the proof
+                    // scan itself — same restart path as the Ok case.
+                    if !campaign_committed(&log)? {
+                        return Err(WalError::Divergence {
+                            crash_point: n,
+                            details: "torn campaign not found open in the log".into(),
+                        });
+                    }
+                    heal_after_commit(&mut db, &corrupt)?;
+                }
+                check_erasure_point(&reference, &db, &log, &tables, &sensitive, n)?;
+                recovered_points += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(ErasureSweepReport {
+        recovered_points,
+        silent_points,
+        fault_free_accesses,
+        deleted: ref_out.deleted,
+        steps: plan.steps.len(),
+    })
+}

@@ -644,15 +644,24 @@ pub fn recover(
 struct MediaDamage {
     /// A heap page tore.
     heap: bool,
-    /// B-tree indices (by attribute) that lost a page.
+    /// The home table's B-tree indices (by attribute) that lost a page.
     tree_attrs: Vec<usize>,
-    /// Hash indices (by attribute) whose chains lost a page.
+    /// The home table's hash indices (by attribute) whose chains lost a
+    /// page.
     hash_attrs: Vec<usize>,
+    /// Table-scoped owner tags of *other* tables' damaged structures. A
+    /// multi-statement erasure campaign can surface another table's latent
+    /// tear long after that table's step committed; the owner tag names
+    /// both the table and the attribute, so each is rebuilt precisely.
+    foreign: Vec<StructureId>,
 }
 
 impl MediaDamage {
     fn is_empty(&self) -> bool {
-        !self.heap && self.tree_attrs.is_empty() && self.hash_attrs.is_empty()
+        !self.heap
+            && self.tree_attrs.is_empty()
+            && self.hash_attrs.is_empty()
+            && self.foreign.is_empty()
     }
 
     /// True when `s`'s on-disk pages were damaged: its logged progress
@@ -704,6 +713,7 @@ impl MediaRecovery {
 /// B-trees") that rebuilt every tree for any unattributed tear.
 fn classify_media_damage(
     db: &mut Database,
+    home: TableId,
     corrupt: &[PageId],
     report: &mut MediaRecovery,
 ) -> Result<MediaDamage, WalError> {
@@ -724,8 +734,19 @@ fn classify_media_damage(
         match catalog.owner(pid) {
             None => report.healed_free += 1,
             Some(StructureId::Table) => damage.heap = true,
-            Some(StructureId::Index(a)) => damage.tree_attrs.push(a as usize),
-            Some(StructureId::Hash(a)) => damage.hash_attrs.push(a as usize),
+            Some(s @ (StructureId::Index(_) | StructureId::Hash(_))) => {
+                let (t, a) = s
+                    .scoped_parts()
+                    .expect("index/hash owners carry a table scope");
+                if t == home {
+                    match s {
+                        StructureId::Index(_) => damage.tree_attrs.push(a),
+                        _ => damage.hash_attrs.push(a),
+                    }
+                } else {
+                    damage.foreign.push(s);
+                }
+            }
             Some(StructureId::Temp) | Some(StructureId::Spatial(_)) => report.healed_scratch += 1,
             Some(StructureId::Probe) => {
                 unreachable!("probe is a phase role; its pages are catalogued as Index")
@@ -736,6 +757,8 @@ fn classify_media_damage(
     damage.tree_attrs.dedup();
     damage.hash_attrs.sort_unstable();
     damage.hash_attrs.dedup();
+    damage.foreign.sort_unstable_by_key(|s| s.scoped_parts());
+    damage.foreign.dedup();
     report.heap_damaged = damage.heap;
     Ok(damage)
 }
@@ -756,13 +779,13 @@ fn reconcile_catalog(db: &mut Database, tid: TableId) -> Result<(), WalError> {
         reachable.push((pid, StructureId::Table));
     }
     for ix in &table.indices {
-        let owner = StructureId::Index(ix.def.attr as u16);
+        let owner = StructureId::index_of(tid, ix.def.attr);
         for pid in ix.tree.pages().map_err(DbError::Storage)? {
             reachable.push((pid, owner));
         }
     }
     for h in &table.hash_indices {
-        let owner = StructureId::Hash(h.def.attr as u16);
+        let owner = StructureId::hash_of(tid, h.def.attr);
         for pid in h.index.pages().map_err(DbError::Storage)? {
             reachable.push((pid, owner));
         }
@@ -820,7 +843,7 @@ pub fn recover_media_report(
     corrupt: &[PageId],
 ) -> Result<(usize, MediaRecovery), WalError> {
     let mut report = MediaRecovery::default();
-    let damage = classify_media_damage(db, corrupt, &mut report)?;
+    let damage = classify_media_damage(db, tid, corrupt, &mut report)?;
     let records = log.records()?;
     // Analysis: locate the last BulkBegin and what followed it.
     let begin_idx = records
@@ -884,7 +907,7 @@ pub fn recover_media_report(
                         index.def.config,
                         meta.root,
                         meta.height as usize,
-                        StructureId::Index(meta.attr),
+                        StructureId::index_of(tid, meta.attr as usize),
                     )
                     .map_err(DbError::Storage)?;
                 }
@@ -959,59 +982,108 @@ pub fn recover_media_report(
 /// Rebuild each damaged structure from the surviving heap: the structure's
 /// old pages are returned to the free set first (the rebuild allocates
 /// fresh ones), then a B-tree is bulk-loaded and a hash index re-inserted.
+/// Foreign damage (another table's structure, identified by its
+/// table-scoped owner tag) is rebuilt the same way from *its* table's heap.
 fn rebuild_damaged(
     db: &mut Database,
     tid: TableId,
     damage: &MediaDamage,
     report: &mut MediaRecovery,
 ) -> Result<(), WalError> {
-    if damage.tree_attrs.is_empty() && damage.hash_attrs.is_empty() {
-        return Ok(());
+    for &attr in &damage.tree_attrs {
+        rebuild_tree(db, tid, attr, report)?;
     }
+    for &attr in &damage.hash_attrs {
+        rebuild_hash(db, tid, attr, report)?;
+    }
+    for &owner in &damage.foreign {
+        let (t, a) = owner.scoped_parts().expect("foreign damage is index/hash");
+        match owner {
+            StructureId::Index(_) => rebuild_tree(db, t, a, report)?,
+            StructureId::Hash(_) => rebuild_hash(db, t, a, report)?,
+            _ => unreachable!("foreign damage is index/hash"),
+        }
+    }
+    Ok(())
+}
+
+fn rebuild_tree(
+    db: &mut Database,
+    tid: TableId,
+    attr: usize,
+    report: &mut MediaRecovery,
+) -> Result<(), WalError> {
     let pool = db.pool().clone();
     let table = db.table_mut(tid)?;
     let dump = table.heap.dump().map_err(DbError::Storage)?;
     let schema = table.schema;
-    for &attr in &damage.tree_attrs {
-        let Some(index) = table.index_on_mut(attr) else {
-            continue;
-        };
-        pool.free_owned(StructureId::Index(attr as u16));
-        let mut pairs: Vec<(Key, Rid)> = dump
-            .iter()
-            .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
-            .collect();
-        pairs.sort_unstable();
-        index.tree = bd_btree::bulk_load(
-            pool.clone(),
-            index.def.config,
-            &pairs,
-            index.def.fill,
-            StructureId::Index(attr as u16),
-        )
-        .map_err(DbError::Storage)?;
-        report.rebuilt_trees.push(attr);
-    }
-    for &attr in &damage.hash_attrs {
-        let Some(h) = table.hash_indices.iter_mut().find(|h| h.def.attr == attr) else {
-            continue;
-        };
-        pool.free_owned(StructureId::Hash(attr as u16));
-        let mut fresh = HashIndex::with_capacity(
-            pool.clone(),
-            dump.len().max(64),
-            StructureId::Hash(attr as u16),
-        )
-        .map_err(DbError::Storage)?;
-        for (rid, bytes) in &dump {
-            fresh
-                .insert(schema.attr_of(bytes, attr), *rid)
-                .map_err(DbError::Storage)?;
-        }
-        h.index = fresh;
-        report.rebuilt_hashes.push(attr);
-    }
+    let Some(index) = table.index_on_mut(attr) else {
+        return Ok(());
+    };
+    pool.free_owned(StructureId::index_of(tid, attr));
+    let mut pairs: Vec<(Key, Rid)> = dump
+        .iter()
+        .map(|(rid, bytes)| (schema.attr_of(bytes, attr), *rid))
+        .collect();
+    pairs.sort_unstable();
+    index.tree = bd_btree::bulk_load(
+        pool.clone(),
+        index.def.config,
+        &pairs,
+        index.def.fill,
+        StructureId::index_of(tid, attr),
+    )
+    .map_err(DbError::Storage)?;
+    report.rebuilt_trees.push(attr);
     Ok(())
+}
+
+fn rebuild_hash(
+    db: &mut Database,
+    tid: TableId,
+    attr: usize,
+    report: &mut MediaRecovery,
+) -> Result<(), WalError> {
+    let pool = db.pool().clone();
+    let table = db.table_mut(tid)?;
+    let dump = table.heap.dump().map_err(DbError::Storage)?;
+    let schema = table.schema;
+    let Some(h) = table.hash_indices.iter_mut().find(|h| h.def.attr == attr) else {
+        return Ok(());
+    };
+    pool.free_owned(StructureId::hash_of(tid, attr));
+    let mut fresh = HashIndex::with_capacity(
+        pool.clone(),
+        dump.len().max(64),
+        StructureId::hash_of(tid, attr),
+    )
+    .map_err(DbError::Storage)?;
+    for (rid, bytes) in &dump {
+        fresh
+            .insert(schema.attr_of(bytes, attr), *rid)
+            .map_err(DbError::Storage)?;
+    }
+    h.index = fresh;
+    report.rebuilt_hashes.push(attr);
+    Ok(())
+}
+
+/// Heal every torn page and rebuild whatever structure owns it, whichever
+/// table that is — the erasure campaign's recovery path for damage that
+/// surfaces *outside* any single statement's roll-forward (a latent tear
+/// read back during the whole-database scrub phase). Heap and scratch
+/// pages are healed in place: heap deletes only clear slot-directory
+/// entries and scrub writes never change live bytes, so the accepted torn
+/// image plus a re-scrub is already correct.
+pub(crate) fn heal_and_rebuild(
+    db: &mut Database,
+    home: TableId,
+    corrupt: &[PageId],
+) -> Result<MediaRecovery, WalError> {
+    let mut report = MediaRecovery::default();
+    let damage = classify_media_damage(db, home, corrupt, &mut report)?;
+    rebuild_damaged(db, home, &damage, &mut report)?;
+    Ok(report)
 }
 
 fn apply_side(

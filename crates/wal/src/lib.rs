@@ -14,20 +14,26 @@
 //!   in the simulation);
 //! * [`driver`] — [`driver::run_bulk_delete`] with crash injection at every
 //!   interesting point, and [`driver::recover`], which *rolls the bulk
-//!   delete forward* and applies pending side-files afterwards.
+//!   delete forward* and applies pending side-files afterwards;
+//! * [`erasure`] — durable erasure campaigns: the full cascade persisted
+//!   as a manifest, each step recoverable, a physical scrub plus log
+//!   redaction at commit, and a byte-level proof of deletion.
 
 pub mod campaign;
 pub mod driver;
+pub mod erasure;
 pub mod log;
 pub mod record;
 
 pub use campaign::{
-    crash_at_every_io, crash_at_every_io_from, torn_write_at_every_io, CampaignReport,
+    crash_at_every_io, crash_at_every_io_from, erasure_crash_at_every_io,
+    erasure_torn_write_at_every_io, torn_write_at_every_io, CampaignReport, ErasureSweepReport,
     TornWriteReport,
 };
 pub use driver::{
     recover, recover_media, recover_media_report, run_bulk_delete, run_bulk_delete_parallel,
     CrashInjector, CrashSite, MediaRecovery, WalError,
 };
+pub use erasure::{recover_campaign, run_erasure_campaign, ErasureOutcome, KEY_BEARING_TAGS};
 pub use log::LogManager;
-pub use record::{LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};
+pub use record::{CampaignStep, LogRecord, Lsn, MaterializedRow, StructureId, TreeMeta};

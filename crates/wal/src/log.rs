@@ -79,6 +79,46 @@ impl LogManager {
     pub fn byte_len(&self) -> usize {
         self.inner.lock().buf.len()
     }
+
+    /// A copy of the raw log bytes. The erasure verifier scans this as one
+    /// of its proof surfaces: after redaction no erased key may remain
+    /// anywhere in the log image.
+    pub fn raw_bytes(&self) -> Vec<u8> {
+        self.inner.lock().buf.clone()
+    }
+
+    /// Scrub every record with LSN `< before` whose tag is in `tags`,
+    /// overwriting its payload **in place** with a [`LogRecord::Redacted`]
+    /// marker plus zero padding. Record offsets and lengths are preserved,
+    /// so LSNs and the byte layout of untouched records never move — the
+    /// log stays decodable end to end. Returns how many records were
+    /// redacted.
+    ///
+    /// This is the erasure campaign's commit-time step: the delete lists
+    /// and materialized victim rows the WAL needed for crash recovery are
+    /// themselves key-bearing surfaces, and once the campaign commits they
+    /// must stop retaining the erased values.
+    pub fn redact_before(&self, before: Lsn, tags: &[u8]) -> usize {
+        let mut inner = self.inner.lock();
+        let mut redacted = 0;
+        for lsn in 0..(before as usize).min(inner.offsets.len()) {
+            let (start, len) = inner.offsets[lsn];
+            // A one-byte slot cannot hold the [11, original_tag] marker;
+            // no key-bearing record is that small.
+            if len < 2 {
+                continue;
+            }
+            let tag = inner.buf[start];
+            if !tags.contains(&tag) || tag == 11 {
+                continue;
+            }
+            inner.buf[start] = 11; // Redacted
+            inner.buf[start + 1] = tag;
+            inner.buf[start + 2..start + len].fill(0);
+            redacted += 1;
+        }
+        redacted
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +157,55 @@ mod tests {
         log.append(&LogRecord::BulkCommit);
         log.append_raw(&[99, 1, 2, 3]); // unknown tag
         assert!(matches!(log.records(), Err(WalError::CorruptLog(_))));
+    }
+
+    #[test]
+    fn redact_scrubs_key_bearing_records_in_place() {
+        let log = LogManager::new();
+        log.append(&LogRecord::BulkBegin {
+            probe_attr: 0,
+            keys: vec![0xDEAD_BEEF_CAFE_F00D, 7],
+        });
+        log.append(&LogRecord::StructureDone {
+            structure: StructureId::Table,
+        });
+        log.append(&LogRecord::BulkCommit);
+        let bytes_before = log.byte_len();
+
+        let n = log.redact_before(log.len() as Lsn, &[1, 2, 8]);
+        assert_eq!(n, 1, "only the BulkBegin bears keys");
+        // Layout untouched: same byte length, every record still decodes.
+        assert_eq!(log.byte_len(), bytes_before);
+        let records = log.records().unwrap();
+        assert_eq!(records[0], LogRecord::Redacted { original_tag: 1 });
+        assert_eq!(records[2], LogRecord::BulkCommit);
+        // The key value is gone from the raw image.
+        let raw = log.raw_bytes();
+        let needle = 0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes();
+        assert!(
+            !raw.windows(8).any(|w| w == needle),
+            "redaction must remove the key bytes from the log image"
+        );
+        // Idempotent: a second pass finds nothing left to scrub.
+        assert_eq!(log.redact_before(log.len() as Lsn, &[1, 2, 8]), 0);
+    }
+
+    #[test]
+    fn redact_respects_the_lsn_bound() {
+        let log = LogManager::new();
+        log.append(&LogRecord::BulkBegin {
+            probe_attr: 0,
+            keys: vec![1],
+        });
+        let bound = log.append(&LogRecord::BulkCommit);
+        log.append(&LogRecord::BulkBegin {
+            probe_attr: 0,
+            keys: vec![2],
+        });
+        // Redact strictly before the commit: the later BulkBegin survives.
+        assert_eq!(log.redact_before(bound, &[1]), 1);
+        let records = log.records().unwrap();
+        assert_eq!(records[0], LogRecord::Redacted { original_tag: 1 });
+        assert!(matches!(records[2], LogRecord::BulkBegin { ref keys, .. } if keys == &[2]));
     }
 }

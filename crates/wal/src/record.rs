@@ -27,6 +27,18 @@ pub struct MaterializedRow {
     pub attrs: Vec<Key>,
 }
 
+/// One table's share of an erasure campaign, as persisted in the
+/// campaign manifest: delete `keys` from `table` probing on `attr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignStep {
+    /// Target table (the `TableId` as a plain index).
+    pub table: u32,
+    /// Probe attribute within that table.
+    pub attr: u16,
+    /// Sorted delete keys for this step.
+    pub keys: Vec<Key>,
+}
+
 /// Durable metadata of one tree at a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeMeta {
@@ -82,6 +94,43 @@ pub enum LogRecord {
     CatalogSnapshot {
         /// The full page → owner map.
         catalog: PageCatalog,
+    },
+    /// An erasure campaign started: the full cascade manifest, planned
+    /// up front so recovery can resume the campaign without re-planning
+    /// against a half-deleted referential graph.
+    CampaignBegin {
+        /// Campaign identifier (unique within this log).
+        id: u64,
+        /// Every table's delete step, in execution order.
+        steps: Vec<CampaignStep>,
+    },
+    /// Step `step` of campaign `id` finished (its bulk delete committed).
+    CampaignStepDone {
+        /// Campaign identifier.
+        id: u64,
+        /// Zero-based index into the manifest's step list.
+        step: u32,
+    },
+    /// Campaign `id` committed: every step ran, the database was scrubbed,
+    /// and key-bearing log records were redacted.
+    CampaignCommit {
+        /// Campaign identifier.
+        id: u64,
+    },
+    /// A record whose payload was scrubbed at campaign commit. Only the
+    /// original tag survives; the rest of the slot is zero padding so the
+    /// log's byte layout (offsets, lengths) is untouched by redaction.
+    Redacted {
+        /// Tag of the record this slot used to hold.
+        original_tag: u8,
+    },
+    /// Campaign `id` was cancelled after `completed` steps. The completed
+    /// prefix is committed and consistent; the remaining steps never ran.
+    CampaignCancelled {
+        /// Campaign identifier.
+        id: u64,
+        /// Number of manifest steps that finished before the cancel.
+        completed: u32,
     },
 }
 
@@ -193,6 +242,37 @@ impl LogRecord {
                 out.push(7);
                 catalog.encode(&mut out);
             }
+            LogRecord::CampaignBegin { id, steps } => {
+                out.push(8);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, steps.len() as u32);
+                for s in steps {
+                    put_u32(&mut out, s.table);
+                    put_u16(&mut out, s.attr);
+                    put_u32(&mut out, s.keys.len() as u32);
+                    for k in &s.keys {
+                        put_u64(&mut out, *k);
+                    }
+                }
+            }
+            LogRecord::CampaignStepDone { id, step } => {
+                out.push(9);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *step);
+            }
+            LogRecord::CampaignCommit { id } => {
+                out.push(10);
+                put_u64(&mut out, *id);
+            }
+            LogRecord::Redacted { original_tag } => {
+                out.push(11);
+                out.push(*original_tag);
+            }
+            LogRecord::CampaignCancelled { id, completed } => {
+                out.push(12);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *completed);
+            }
         }
         out
     }
@@ -263,6 +343,42 @@ impl LogRecord {
                 })?;
                 LogRecord::CatalogSnapshot { catalog }
             }
+            8 => {
+                let id = r.u64()?;
+                let n = r.u32()? as usize;
+                // Each step costs at least 10 bytes (table + attr + count).
+                r.need(n * 10)?;
+                let mut steps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let table = r.u32()?;
+                    let attr = r.u16()?;
+                    let nk = r.u32()? as usize;
+                    r.need(nk * 8)?;
+                    let mut keys = Vec::with_capacity(nk);
+                    for _ in 0..nk {
+                        keys.push(r.u64()?);
+                    }
+                    steps.push(CampaignStep { table, attr, keys });
+                }
+                LogRecord::CampaignBegin { id, steps }
+            }
+            9 => LogRecord::CampaignStepDone {
+                id: r.u64()?,
+                step: r.u32()?,
+            },
+            10 => LogRecord::CampaignCommit { id: r.u64()? },
+            11 => {
+                // Redaction overwrites a record slot in place, so trailing
+                // zero padding out to the original length is expected and
+                // deliberately NOT an error.
+                LogRecord::Redacted {
+                    original_tag: r.u8()?,
+                }
+            }
+            12 => LogRecord::CampaignCancelled {
+                id: r.u64()?,
+                completed: r.u32()?,
+            },
             t => return Err(WalError::CorruptLog(format!("unknown record tag {t}"))),
         })
     }
@@ -380,6 +496,44 @@ mod tests {
             structure: StructureId::Table,
             done: 0,
         });
+        roundtrip(LogRecord::CampaignBegin {
+            id: 7,
+            steps: vec![
+                CampaignStep {
+                    table: 0,
+                    attr: 0,
+                    keys: vec![1, 2, u64::MAX],
+                },
+                CampaignStep {
+                    table: 3,
+                    attr: 2,
+                    keys: vec![],
+                },
+            ],
+        });
+        roundtrip(LogRecord::CampaignBegin {
+            id: 0,
+            steps: vec![],
+        });
+        roundtrip(LogRecord::CampaignStepDone { id: 7, step: 1 });
+        roundtrip(LogRecord::CampaignCommit { id: 7 });
+        roundtrip(LogRecord::Redacted { original_tag: 1 });
+        roundtrip(LogRecord::CampaignCancelled {
+            id: 7,
+            completed: 2,
+        });
+    }
+
+    #[test]
+    fn redacted_ignores_trailing_padding() {
+        // Redaction keeps the slot length: [11, orig, 0, 0, ...] must
+        // decode as Redacted regardless of how much padding follows.
+        let mut bytes = LogRecord::Redacted { original_tag: 2 }.encode();
+        bytes.extend_from_slice(&[0u8; 37]);
+        assert_eq!(
+            LogRecord::decode(&bytes).unwrap(),
+            LogRecord::Redacted { original_tag: 2 }
+        );
     }
 
     #[test]
@@ -438,6 +592,21 @@ mod tests {
                 catalog.note_alloc(0, 3, StructureId::Hash(1));
                 LogRecord::CatalogSnapshot { catalog }
             },
+            LogRecord::CampaignBegin {
+                id: 9,
+                steps: vec![CampaignStep {
+                    table: 1,
+                    attr: 0,
+                    keys: vec![5, 6],
+                }],
+            },
+            LogRecord::CampaignStepDone { id: 9, step: 0 },
+            LogRecord::CampaignCommit { id: 9 },
+            LogRecord::Redacted { original_tag: 8 },
+            LogRecord::CampaignCancelled {
+                id: 9,
+                completed: 1,
+            },
         ];
         for rec in victims {
             let bytes = rec.encode();
@@ -484,6 +653,48 @@ mod tests {
             }
             .encode(),
             vec![4, 3, 3, 0]
+        );
+        // Campaign manifest records, pinned byte-for-byte: a campaign log
+        // written today must recover under every future version.
+        assert_eq!(
+            LogRecord::CampaignBegin {
+                id: 1,
+                steps: vec![CampaignStep {
+                    table: 2,
+                    attr: 3,
+                    keys: vec![4],
+                }],
+            }
+            .encode(),
+            vec![
+                8, // tag
+                1, 0, 0, 0, 0, 0, 0, 0, // id
+                1, 0, 0, 0, // n_steps
+                2, 0, 0, 0, // table
+                3, 0, // attr
+                1, 0, 0, 0, // n_keys
+                4, 0, 0, 0, 0, 0, 0, 0, // key
+            ]
+        );
+        assert_eq!(
+            LogRecord::CampaignStepDone { id: 1, step: 2 }.encode(),
+            vec![9, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0]
+        );
+        assert_eq!(
+            LogRecord::CampaignCommit { id: 1 }.encode(),
+            vec![10, 1, 0, 0, 0, 0, 0, 0, 0]
+        );
+        assert_eq!(
+            LogRecord::Redacted { original_tag: 2 }.encode(),
+            vec![11, 2]
+        );
+        assert_eq!(
+            LogRecord::CampaignCancelled {
+                id: 1,
+                completed: 2
+            }
+            .encode(),
+            vec![12, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0]
         );
     }
 }

@@ -38,3 +38,16 @@ cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_live_c
 if [ -f BENCH_7.json ]; then
     cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_7.json
 fi
+
+# Erasure smoke: the retention-window sweep (plain cascade vs durable
+# erasure campaign over the sliding-window warehouse) at a bounded scale.
+# Every campaign's proof-of-deletion must come back clean, and a bounded
+# crash/torn-write sample of the campaign fault sweep must recover and
+# re-prove at every sampled point.
+cargo run --release -p bd-bench --bin repro -- --erase --rows 6000 --bench-json target/bench_erase_ci.json
+cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_erase_ci.json
+
+# The committed erasure snapshot must stay schema-valid.
+if [ -f BENCH_8.json ]; then
+    cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_8.json
+fi
