@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] [--parallel N]
-//!       [--phases] [--audit] [--faults] [--live] [--erase] [--bench-json PATH]
-//!       [--check-bench PATH]
+//!       [--phases] [--audit] [--faults] [--live] [--erase] [--maintain]
+//!       [--bench-json PATH] [--check-bench PATH]
 //! ```
 //!
 //! `--parallel N` allows the independent `⋈̄` / rebuild arms of the bulk
@@ -56,6 +56,14 @@
 //! sweep as a recovery smoke. Exits non-zero on any proof residue or
 //! unrecovered fault point.
 //!
+//! `--maintain` runs the steady-state space sweep instead of the offline
+//! figures: a sliding-window workload (delete the oldest quarter of the
+//! keys, refill with fresh rows, repeat) runs with and without the
+//! incremental maintenance daemon. The daemon's end state must keep its
+//! in-use page count within 10% of a fresh bulk load of the same live
+//! rows, and the unmaintained arm's file must be strictly larger — the
+//! space leak the daemon exists to stop. Exits non-zero otherwise.
+//!
 //! `--bench-json PATH` additionally dumps every measured cell of the
 //! selected experiments as a machine-readable snapshot (the `BENCH_<n>.json`
 //! trajectory files); `--check-bench PATH` parses and validates such a
@@ -75,6 +83,7 @@ fn main() {
     let mut run_faults = false;
     let mut run_live = false;
     let mut run_erase = false;
+    let mut run_maintain = false;
     let mut bench_json: Option<String> = None;
     let mut check_bench: Option<String> = None;
     let mut i = 0;
@@ -85,6 +94,7 @@ fn main() {
             "--faults" => run_faults = true,
             "--live" => run_live = true,
             "--erase" => run_erase = true,
+            "--maintain" => run_maintain = true,
             "--rows" => {
                 i += 1;
                 rows = args
@@ -148,6 +158,10 @@ fn main() {
     }
     if run_erase {
         erase(rows, workers, bench_json.as_deref());
+        return;
+    }
+    if run_maintain {
+        maintain(rows, bench_json.as_deref());
         return;
     }
 
@@ -584,11 +598,69 @@ fn erase(rows: usize, workers: usize, bench_json: Option<&str>) {
     }
 }
 
+/// `--maintain`: the steady-state space sweep — a sliding-window workload
+/// with and without the maintenance daemon, judged against a fresh bulk
+/// load of the same live rows. Exits non-zero if the daemon fails to hold
+/// the footprint (or no leak shows up without it).
+fn maintain(rows: usize, bench_json: Option<&str>) {
+    use bd_bench::maintain::{maintain_experiment, ROUNDS};
+
+    println!(
+        "steady-state space: sliding window over {rows} rows ({ROUNDS} rounds \
+         of delete-oldest-quarter + refill), daemon on vs off vs fresh load\n"
+    );
+    let started = std::time::Instant::now();
+    let summary = match maintain_experiment(rows) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("maintain sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", summary.report.render());
+    match summary.check() {
+        Ok(()) => println!("{}\n[steady state held]", summary.verdict()),
+        Err(e) => {
+            eprintln!("{}", summary.verdict());
+            eprintln!("maintain sweep verdict failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "[maintain finished in {:.1}s wall]",
+        started.elapsed().as_secs_f32()
+    );
+
+    if let Some(path) = bench_json {
+        let mut snap = BenchSnapshot::new(
+            &format!(
+                "repro maintain (pages in use/file: on {}/{}, off {}/{}, \
+                 fresh {}/{}, {} reclaimed)",
+                summary.on.in_use,
+                summary.on.file,
+                summary.off.in_use,
+                summary.off.file,
+                summary.fresh.in_use,
+                summary.fresh.file,
+                summary.reclaimed
+            ),
+            rows,
+            1,
+        );
+        snap.points.extend(summary.report.points);
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("failed to write bench snapshot `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[bench snapshot: {} points -> {path}]", snap.points.len());
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] \
          [--parallel N] [--phases] [--audit] [--faults] [--live] [--erase] \
-         [--bench-json PATH] [--check-bench PATH]"
+         [--maintain] [--bench-json PATH] [--check-bench PATH]"
     );
     std::process::exit(2);
 }

@@ -13,6 +13,7 @@
 pub mod erase;
 pub mod experiments;
 pub mod live;
+pub mod maintain;
 pub mod snapshot;
 
 use bd_btree::BTreeConfig;

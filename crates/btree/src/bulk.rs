@@ -590,6 +590,162 @@ mod tests {
     }
 
     #[test]
+    fn base_node_pack_unlinks_trailing_freed_base() {
+        // Regression: when the *trailing* base subtree(s) empty, the freed
+        // base was never unlinked from the previous kept base — the level-1
+        // chain ended in a dangling pointer to a freed (and, with
+        // recycling, eventually zeroed) page.
+        let mut t = loaded(1000, 8);
+        assert!(t.height() >= 3);
+        // Empty every subtree holding the top of the key range.
+        let victims: Vec<(Key, Rid)> = (600..1000u64).map(|k| (k, rid(k))).collect();
+        bulk_delete_sorted(&mut t, &victims, ReorgPolicy::BaseNodePack).unwrap();
+        assert_eq!(t.len(), 600);
+        // Walk level 1: every chained node must still be catalog-owned.
+        let catalog = t.pool().catalog();
+        let mut pid = Some(t.leftmost_of_level(1).unwrap());
+        let mut seen = 0;
+        while let Some(p) = pid {
+            assert!(
+                catalog.owner(p).is_some(),
+                "level-1 chain reaches freed page {p}"
+            );
+            let r = t.pool().pin_read(p).unwrap();
+            pid = crate::node::NodeRef::new(&r[..]).right_sibling();
+            seen += 1;
+            assert!(seen <= 1000, "level-1 chain does not terminate");
+        }
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
+    fn incremental_packer_matches_one_shot_pack() {
+        use crate::reorg::IncrementalPacker;
+        let mut sparse = loaded(4000, 16);
+        let victims: Vec<(Key, Rid)> = (0..4000u64)
+            .filter(|k| k % 4 != 0)
+            .map(|k| (k, rid(k)))
+            .collect();
+        bulk_delete_sorted(&mut sparse, &victims, ReorgPolicy::None).unwrap();
+        let before: Vec<_> = LeafScan::new(&sparse).unwrap().collect();
+        let leaves_before = crate::scan::LeafPages::new(&sparse).unwrap().count();
+        // Drive the packer in small budgeted steps; the tree must be fully
+        // consistent and content-complete after every step.
+        let mut packer = IncrementalPacker::new();
+        let mut steps = 0;
+        loop {
+            let p = packer.step(&mut sparse, 3).unwrap();
+            crate::verify::check(&sparse).unwrap();
+            let now: Vec<_> = LeafScan::new(&sparse).unwrap().collect();
+            assert_eq!(now, before, "entries changed at step {steps}");
+            if p.done {
+                break;
+            }
+            steps += 1;
+            assert!(steps <= 1000, "packer does not terminate");
+        }
+        assert!(packer.is_done());
+        let leaves_after = crate::scan::LeafPages::new(&sparse).unwrap().count();
+        assert!(
+            leaves_after * 3 <= leaves_before,
+            "{leaves_before} -> {leaves_after}"
+        );
+        // A fresh pass over the packed tree finds nothing left to free.
+        let mut again = IncrementalPacker::new();
+        let mut freed = 0;
+        loop {
+            let p = again.step(&mut sparse, 100).unwrap();
+            freed += p.pages_freed;
+            if p.done {
+                break;
+            }
+        }
+        assert_eq!(freed, 0, "second pass must be a no-op");
+        sparse.recount().unwrap();
+        assert_eq!(sparse.len(), 1000);
+    }
+
+    #[test]
+    fn incremental_packer_handles_empty_subtrees_mid_pass() {
+        use crate::reorg::IncrementalPacker;
+        let mut t = loaded(2000, 8);
+        // Empty an interior key band and the trailing band entirely,
+        // leaving sparse survivors elsewhere.
+        let victims: Vec<(Key, Rid)> = (0..2000u64)
+            .filter(|k| (500..900).contains(k) || *k >= 1600 || k % 2 == 1)
+            .map(|k| (k, rid(k)))
+            .collect();
+        let survivors = 2000 - victims.len();
+        bulk_delete_sorted(&mut t, &victims, ReorgPolicy::None).unwrap();
+        let mut packer = IncrementalPacker::new();
+        loop {
+            let p = packer.step(&mut t, 2).unwrap();
+            crate::verify::check(&t).unwrap();
+            if p.done {
+                break;
+            }
+        }
+        t.recount().unwrap();
+        assert_eq!(t.len(), survivors);
+        for k in (0..500u64).step_by(2) {
+            assert_eq!(t.search(k).unwrap(), vec![rid(k)], "key {k}");
+        }
+        for k in 500..900u64 {
+            assert_eq!(t.search(k).unwrap(), Vec::<Rid>::new(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn incremental_packer_empties_whole_tree() {
+        use crate::reorg::IncrementalPacker;
+        let mut t = loaded(500, 8);
+        let victims: Vec<(Key, Rid)> = (0..500u64).map(|k| (k, rid(k))).collect();
+        bulk_delete_sorted(&mut t, &victims, ReorgPolicy::None).unwrap();
+        let mut packer = IncrementalPacker::new();
+        loop {
+            let p = packer.step(&mut t, 4).unwrap();
+            crate::verify::check(&t).unwrap();
+            if p.done {
+                break;
+            }
+        }
+        assert!(t.height() <= 2, "empty tree must collapse");
+        t.insert(9, rid(9)).unwrap();
+        assert_eq!(t.search(9).unwrap(), vec![rid(9)]);
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
+    fn sweep_detached_inners_cleans_every_level_chain() {
+        use crate::reorg::sweep_detached_inners;
+        let mut t = loaded(2000, 8);
+        // Record-at-a-time deletes cascade free-at-empty through inner
+        // nodes, which stay lazily chained at their levels.
+        for k in 400..1400u64 {
+            assert!(t.delete_one(k, rid(k)).unwrap());
+        }
+        assert!(t.stats().inners_freed > 0, "need freed inners to sweep");
+        let unlinked = sweep_detached_inners(&t).unwrap();
+        assert!(unlinked > 0, "sweep found nothing to unlink");
+        // Every inner-level chain now contains only owned pages.
+        let catalog = t.pool().catalog();
+        for level in 1..t.height() {
+            let mut pid = Some(t.leftmost_of_level(level).unwrap());
+            while let Some(p) = pid {
+                assert!(
+                    catalog.owner(p).is_some(),
+                    "level-{level} chain reaches freed page {p}"
+                );
+                let r = t.pool().pin_read(p).unwrap();
+                pid = crate::node::NodeRef::new(&r[..]).right_sibling();
+            }
+        }
+        // Idempotent: a second sweep finds nothing.
+        assert_eq!(sweep_detached_inners(&t).unwrap(), 0);
+        crate::verify::check(&t).unwrap();
+    }
+
+    #[test]
     fn duplicates_bulk_delete_specific_rids() {
         let mut entries: Vec<(Key, Rid)> = Vec::new();
         for k in 0..200u64 {

@@ -30,7 +30,7 @@ pub mod verify;
 pub use bulk::{bulk_delete_by_keys, bulk_delete_probe, bulk_delete_sorted};
 pub use bulk_load::bulk_load;
 pub use node::{Key, NodeKind, Sep, MAX_INNER_CAP, MAX_LEAF_CAP};
-pub use reorg::ReorgPolicy;
+pub use reorg::{sweep_detached_inners, IncrementalPacker, PackProgress, ReorgPolicy};
 pub use scan::{lookup_keys_sorted, LeafPages, LeafScan, RangeCursor};
 pub use scrub::{scrub as scrub_tree, TreeScrub};
 pub use tree::{BTree, BTreeConfig, TreeStats};

@@ -247,12 +247,251 @@ pub(crate) fn base_node_pack(tree: &mut BTree) -> StorageResult<()> {
         }
         cur = next_base;
     }
+    // Trailing empty subtree(s): the loop above only unlinks a freed base
+    // when a *later* non-empty subtree resolves, so the last kept base may
+    // still point at a freed base. Leaving the dangle would let a level-1
+    // walker step into a page the maintenance daemon is free to zero and
+    // recycle.
+    if let Some(pb) = prev_base {
+        let next = {
+            let r = tree.pool().pin_read(pb)?;
+            NodeRef::new(&r[..]).right_sibling()
+        };
+        if next.is_some_and(|n| freed_base.contains(&n)) {
+            let mut w = tree.pool().pin_write(pb)?;
+            NodeMut::new(&mut w[..]).set_right_sibling(None);
+        }
+    }
     // Packing rearranged entries across leaf boundaries; the fixed extent
     // now contains holes, so confident chained prefetch is disabled.
     tree.set_leaf_extent(None);
     patch_parents_from(tree, &freed_base, 2)?;
     tree.recount()?;
     Ok(())
+}
+
+/// Progress of one [`IncrementalPacker::step`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackProgress {
+    /// Base subtrees packed by this step.
+    pub subtrees: usize,
+    /// Leaf and base pages freed by this step.
+    pub pages_freed: usize,
+    /// True once the pass has walked off the right edge of the base level.
+    pub done: bool,
+}
+
+/// Incremental, resumable version of [`base_node_pack`]: the paced walker
+/// the maintenance daemon drives *between* foreground phases instead of
+/// stopping the world.
+///
+/// Each [`IncrementalPacker::step`] packs up to `max_subtrees` base
+/// subtrees, calling [`bd_storage::pacer::checkpoint`] between subtrees
+/// with no pin held. The tree is left fully consistent after **every**
+/// subtree: kept leaves are rewritten in place (the subtree's first child
+/// keeps its id, so the incoming sibling pointer stays valid), the last
+/// kept leaf is linked to the next subtree's first child, and an emptied
+/// subtree is removed from its parents immediately. A pause or cancel
+/// therefore leaves a consistent prefix packed, and the pass resumes behind
+/// a key cursor — foreground inserts into the already-packed prefix are
+/// simply left for the next pass.
+#[derive(Debug, Default)]
+pub struct IncrementalPacker {
+    /// Largest entry packed so far; the next step resumes at the base
+    /// subtree to its right. `None` = pass not started.
+    cursor: Option<crate::node::Sep>,
+    done: bool,
+}
+
+impl IncrementalPacker {
+    /// A packer positioned at the start of a fresh pass.
+    pub fn new() -> Self {
+        IncrementalPacker::default()
+    }
+
+    /// True once [`IncrementalPacker::step`] has completed the pass.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Rewind to the start of a fresh pass.
+    pub fn reset(&mut self) {
+        self.cursor = None;
+        self.done = false;
+    }
+
+    /// Locate the next base node to pack. `None` when the pass is over.
+    fn resume_base(&self, tree: &BTree) -> StorageResult<Option<PageId>> {
+        match self.cursor {
+            None => Ok(Some(tree.leftmost_of_level(1)?)),
+            Some(cur) => {
+                // The subtree containing the cursor was already packed;
+                // resume at its right sibling.
+                let (_, path) = tree.descend(cur)?;
+                let base = path.last().expect("height >= 2").0;
+                let next = {
+                    let r = tree.pool().pin_read(base)?;
+                    NodeRef::new(&r[..]).right_sibling()
+                };
+                skip_freed_bases(tree, next)
+            }
+        }
+    }
+
+    /// Pack up to `max_subtrees` base subtrees, resuming where the previous
+    /// step stopped. Returns what was done and whether the pass finished.
+    pub fn step(&mut self, tree: &mut BTree, max_subtrees: usize) -> StorageResult<PackProgress> {
+        let mut progress = PackProgress::default();
+        if self.done {
+            progress.done = true;
+            return Ok(progress);
+        }
+        if tree.height() < 2 {
+            // Nothing to pack: a root leaf has no base level.
+            self.done = true;
+            progress.done = true;
+            return Ok(progress);
+        }
+        let leaf_cap = tree.config().leaf_cap;
+        let mut cur = self.resume_base(tree)?;
+        while let Some(base) = cur {
+            if progress.subtrees >= max_subtrees {
+                return Ok(progress);
+            }
+            // Pause point between subtrees, tree consistent, no pin held.
+            bd_storage::pacer::checkpoint()?;
+            let (children, next_base) = {
+                let r = tree.pool().pin_read(base)?;
+                let node = NodeRef::new(&r[..]);
+                let children: Vec<PageId> =
+                    (0..=node.nkeys()).map(|i| node.inner_child(i)).collect();
+                (children, node.right_sibling())
+            };
+            // First child of the next subtree: the leaf the packed chain
+            // must continue into.
+            let succ_leaf = match next_base {
+                Some(nb) => {
+                    let r = tree.pool().pin_read(nb)?;
+                    Some(NodeRef::new(&r[..]).inner_child(0))
+                }
+                None => None,
+            };
+            let mut entries = Vec::new();
+            for &leaf in &children {
+                let r = tree.pool().pin_read(leaf)?;
+                let node = NodeRef::new(&r[..]);
+                for i in 0..node.nkeys() {
+                    entries.push(node.leaf_entry(i));
+                }
+            }
+            if entries.is_empty() {
+                // Whole subtree empty: free it and detach it from its
+                // parents right away (lazy chain semantics, as with
+                // free-at-empty: the freed pages stay readable until a
+                // later pass has rewritten the chains around them and the
+                // daemon reclaims them).
+                tree.stats_mut().leaves_freed += children.len() as u64;
+                for &leaf in &children {
+                    tree.pool().free_page(leaf);
+                }
+                tree.pool().free_page(base);
+                progress.pages_freed += children.len() + 1;
+                let mut freed = HashSet::new();
+                freed.insert(base);
+                patch_parents_from(tree, &freed, 2)?;
+                if tree.height() < 2 {
+                    // The tree collapsed to a root leaf; the pass is over.
+                    break;
+                }
+            } else {
+                let kept = entries.len().div_ceil(leaf_cap).min(children.len());
+                let mut seps: Vec<(crate::node::Sep, PageId)> = Vec::with_capacity(kept);
+                for (i, chunk) in entries.chunks(leaf_cap.max(1)).enumerate() {
+                    let pid = children[i];
+                    let mut w = tree.pool().pin_write(pid)?;
+                    let mut node = NodeMut::new(&mut w[..]);
+                    node.leaf_set_entries(chunk);
+                    let next = if i + 1 < kept {
+                        Some(children[i + 1])
+                    } else {
+                        succ_leaf
+                    };
+                    node.set_right_sibling(next);
+                    seps.push((chunk[0], pid));
+                }
+                tree.stats_mut().leaves_freed += (children.len() - kept) as u64;
+                for &leaf in &children[kept..] {
+                    tree.pool().free_page(leaf);
+                }
+                progress.pages_freed += children.len() - kept;
+                let inner_seps: Vec<(crate::node::Sep, u32)> =
+                    seps[1..].iter().map(|&(s, c)| (s, c)).collect();
+                let mut w = tree.pool().pin_write(base)?;
+                NodeMut::new(&mut w[..]).inner_set_entries(seps[0].1, &inner_seps);
+                drop(w);
+                // Entries moved across leaf boundaries: no more confident
+                // chained prefetch over a fixed extent.
+                tree.set_leaf_extent(None);
+                self.cursor = Some(*entries.last().expect("non-empty"));
+            }
+            progress.subtrees += 1;
+            cur = skip_freed_bases(tree, next_base)?;
+        }
+        self.done = true;
+        progress.done = true;
+        Ok(progress)
+    }
+}
+
+/// First catalog-owned base at or to the right of `cur`. Emptied subtrees
+/// are detached from their parents but stay lazily chained at level 1, so
+/// both resume-by-cursor and the in-step walk can land on a freed base;
+/// following it would re-free its pages (and, once the cursor sits left of
+/// a run of empty subtrees, never advance past them).
+fn skip_freed_bases(tree: &BTree, mut cur: Option<PageId>) -> StorageResult<Option<PageId>> {
+    let catalog = tree.pool().catalog();
+    while let Some(pid) = cur {
+        if catalog.owner(pid).is_some() {
+            return Ok(Some(pid));
+        }
+        let r = tree.pool().pin_read(pid)?;
+        cur = NodeRef::new(&r[..]).right_sibling();
+    }
+    Ok(None)
+}
+
+/// Unlink catalog-free nodes from every inner-level sibling chain
+/// (levels 1 and up). Free-at-empty and the incremental packer detach
+/// nodes from their *parents* but leave them in the singly linked level
+/// chains; before the maintenance daemon may zero and recycle a freed
+/// page, every such lazy reference must be gone — an all-zero page decodes
+/// as an empty leaf whose right sibling is page 0. Returns the number of
+/// unlinked nodes. Paced: checkpoints between nodes.
+pub fn sweep_detached_inners(tree: &BTree) -> StorageResult<usize> {
+    let catalog = tree.pool().catalog();
+    let mut unlinked = 0;
+    for level in 1..tree.height() {
+        let mut prev: Option<PageId> = None;
+        let mut cur = Some(tree.leftmost_of_level(level)?);
+        while let Some(pid) = cur {
+            bd_storage::pacer::checkpoint()?;
+            let next = {
+                let r = tree.pool().pin_read(pid)?;
+                NodeRef::new(&r[..]).right_sibling()
+            };
+            if catalog.owner(pid).is_none() {
+                if let Some(pv) = prev {
+                    let mut w = tree.pool().pin_write(pv)?;
+                    NodeMut::new(&mut w[..]).set_right_sibling(next);
+                }
+                unlinked += 1;
+            } else {
+                prev = Some(pid);
+            }
+            cur = next;
+        }
+    }
+    Ok(unlinked)
 }
 
 /// §2.3 compaction: rewrite every live entry into a dense, contiguous,

@@ -324,6 +324,21 @@ pub fn audit_catalog(db: &Database, tid: TableId) -> DbResult<AuditReport> {
             );
         }
     }
+    // The dual: every FSM entry names a current heap page. A stale entry
+    // for a released (possibly recycled) page would let `find_page` steer
+    // an insert into a page the table no longer owns.
+    {
+        let heap_pages: std::collections::BTreeSet<PageId> =
+            table.heap.page_ids().iter().copied().collect();
+        for pid in table.heap.fsm_pages() {
+            if !heap_pages.contains(&pid) {
+                report.push(
+                    "catalog",
+                    format!("free-space map tracks page {pid}, which is not a heap page"),
+                );
+            }
+        }
+    }
     Ok(report)
 }
 

@@ -45,6 +45,7 @@ pub mod db;
 pub mod erasure;
 pub mod error;
 pub mod executor;
+pub mod maintain;
 pub mod plan;
 pub mod planner;
 pub mod report;
@@ -66,6 +67,7 @@ pub use erasure::{
 };
 pub use error::{DbError, DbResult};
 pub use executor::{PhaseExecutor, PhaseTask};
+pub use maintain::{Maintainer, MaintenanceConfig, MaintenanceReport};
 pub use plan::{DeletePlan, IndexMethod, IndexStep, TableMethod};
 pub use planner::{plan_delete, plan_delete_costed, plan_sort_merge};
 pub use report::{

@@ -183,20 +183,60 @@ impl BufferPool {
         self.capacity
     }
 
-    /// Allocate one fresh page on disk to `owner` (not yet resident).
+    /// Allocate one fresh page on disk to `owner` (not yet resident). The
+    /// disk may recycle a reclaimed page, so any stale cached frame of the
+    /// returned id is dropped — its bytes belong to the page's previous
+    /// life.
     pub fn allocate(&self, owner: StructureId) -> PageId {
-        self.disk.lock().allocate(owner)
+        let pid = self.disk.lock().allocate(owner);
+        self.inner.lock().frames.remove(&pid);
+        pid
     }
 
     /// Allocate `n` contiguous pages on disk to `owner`, returning the
-    /// first id.
+    /// first id. Stale frames of recycled ids are dropped, as in
+    /// [`BufferPool::allocate`].
     pub fn allocate_contiguous(&self, n: usize, owner: StructureId) -> PageId {
-        self.disk.lock().allocate_contiguous(n, owner)
+        let first = self.disk.lock().allocate_contiguous(n, owner);
+        let mut inner = self.inner.lock();
+        for pid in first..first + n as PageId {
+            inner.frames.remove(&pid);
+        }
+        first
     }
 
     /// Move a page to the catalog's free set (see [`SimDisk::free_page`]).
     pub fn free_page(&self, pid: PageId) {
         self.disk.lock().free_page(pid);
+    }
+
+    /// Zero a quarantined free page and hand it to the allocator's reusable
+    /// set (see [`SimDisk::reclaim_page`]), dropping any stale cached frame
+    /// first. A still-pinned frame means some reader is walking the old
+    /// image through a stale chain pointer — the page is left quarantined
+    /// for a later maintenance pass.
+    pub fn reclaim_page(&self, pid: PageId) -> StorageResult<bool> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(f) = inner.frames.get(&pid) {
+                if f.pin.load(Ordering::Acquire) > 0 {
+                    return Ok(false);
+                }
+            }
+            inner.frames.remove(&pid);
+        }
+        self.disk.lock().reclaim_page(pid)
+    }
+
+    /// Catalog-free pages not yet reclaimed (see
+    /// [`SimDisk::reclaimable_pages`]).
+    pub fn reclaimable_pages(&self) -> Vec<PageId> {
+        self.disk.lock().reclaimable_pages()
+    }
+
+    /// Number of zeroed pages the allocator can recycle.
+    pub fn n_reusable(&self) -> usize {
+        self.disk.lock().n_reusable()
     }
 
     /// Free every page owned by `owner`, returning the freed ids (see
@@ -851,6 +891,39 @@ mod tests {
         pool.reset_stats();
         pool.flush_all().unwrap();
         assert_eq!(pool.disk_stats().pages_written, 1);
+    }
+
+    #[test]
+    fn recycled_page_never_serves_a_stale_frame() {
+        let (pool, first) = small_pool(8, 4);
+        {
+            let mut w = pool.pin_write(first + 1).unwrap();
+            w[0] = 0xEE;
+        }
+        pool.flush_all().unwrap();
+        assert!(pool.contains(first + 1), "frame still cached");
+        pool.free_page(first + 1);
+        assert!(pool.reclaim_page(first + 1).unwrap());
+        let pid = pool.allocate(StructureId::Index(5));
+        assert_eq!(pid, first + 1, "reclaimed page is recycled");
+        let r = pool.pin_read(pid).unwrap();
+        assert_eq!(r[0], 0, "the new owner sees the zeroed page, not 0xEE");
+    }
+
+    #[test]
+    fn reclaim_skips_pinned_frames() {
+        let (pool, first) = small_pool(8, 4);
+        let held = pool.pin_read(first).unwrap();
+        pool.free_page(first);
+        assert!(
+            !pool.reclaim_page(first).unwrap(),
+            "pinned: left quarantined"
+        );
+        assert_eq!(pool.reclaimable_pages(), vec![first]);
+        drop(held);
+        assert!(pool.reclaim_page(first).unwrap());
+        assert_eq!(pool.n_reusable(), 1);
+        assert!(pool.reclaimable_pages().is_empty());
     }
 
     #[test]

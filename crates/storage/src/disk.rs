@@ -13,6 +13,8 @@
 //! latency (half a revolution at 7200 rpm), and 0.4 ms to transfer one 4 KiB
 //! page (~10 MB/s sustained).
 
+use std::collections::BTreeSet;
+
 use crate::error::{StorageError, StorageResult};
 use crate::fault::{FaultOp, FaultOutcome, FaultPlan};
 use crate::owner::{PageCatalog, StructureId};
@@ -159,6 +161,14 @@ pub struct SimDisk {
     /// survives buffer-pool crashes (frame caches are volatile, the catalog
     /// is not) and is what media recovery consults to classify torn pages.
     catalog: PageCatalog,
+    /// Free pages that have been durably zeroed by [`SimDisk::reclaim_page`]
+    /// and may be handed out again by the allocator. A catalog-free page
+    /// *not* in this set is quarantined: its stale bytes may still sit in a
+    /// live sibling chain (free-at-empty detaches lazily), so the
+    /// maintenance daemon must reclaim it explicitly before reuse. Disk
+    /// metadata like the catalog: survives buffer-pool crashes (the zeroing
+    /// write is durable the instant it is acknowledged).
+    reusable: BTreeSet<PageId>,
     cost: CostModel,
     stats: DiskStats,
     /// Programmed faults and crash point.
@@ -177,6 +187,7 @@ impl SimDisk {
             replicas: None,
             head: None,
             catalog: PageCatalog::new(),
+            reusable: BTreeSet::new(),
             cost,
             stats: DiskStats::default(),
             plan: FaultPlan::default(),
@@ -219,10 +230,17 @@ impl SimDisk {
         self.pages.len()
     }
 
-    /// Allocate one zeroed page to `owner` and return its id. Allocation
-    /// itself is free; the contents are charged when they are first written.
-    /// The owner is recorded in the page catalog.
+    /// Allocate one zeroed page to `owner` and return its id. The allocator
+    /// prefers a recycled page (zeroed by [`SimDisk::reclaim_page`], lowest
+    /// id first) and only extends the file when the reusable set is empty.
+    /// Allocation itself is free; the contents are charged when they are
+    /// first written. The owner is recorded in the page catalog.
     pub fn allocate(&mut self, owner: StructureId) -> PageId {
+        if let Some(&pid) = self.reusable.iter().next() {
+            self.reusable.remove(&pid);
+            self.catalog.set_owner(pid, owner);
+            return pid;
+        }
         let pid = self.pages.len() as PageId;
         self.pages.push(Box::new([0u8; PAGE_SIZE]));
         self.checksums.push(ZERO_PAGE_CK);
@@ -234,8 +252,19 @@ impl SimDisk {
     }
 
     /// Allocate `n` contiguous zeroed pages to `owner`, returning the first
-    /// id.
+    /// id. A run of `n` consecutive recycled pages is reused when one
+    /// exists (extents stay physically contiguous either way, which is what
+    /// the chained-I/O cost model rewards); otherwise the file is extended.
     pub fn allocate_contiguous(&mut self, n: usize, owner: StructureId) -> PageId {
+        if n > 0 {
+            if let Some(first) = self.find_reusable_run(n) {
+                for pid in first..first + n as PageId {
+                    self.reusable.remove(&pid);
+                    self.catalog.set_owner(pid, owner);
+                }
+                return first;
+            }
+        }
         let first = self.pages.len() as PageId;
         for _ in 0..n {
             self.pages.push(Box::new([0u8; PAGE_SIZE]));
@@ -248,16 +277,89 @@ impl SimDisk {
         first
     }
 
+    /// First page of the lowest run of `n` consecutive reusable pages, if
+    /// any.
+    fn find_reusable_run(&self, n: usize) -> Option<PageId> {
+        let mut start = None;
+        let mut len = 0usize;
+        let mut prev: Option<PageId> = None;
+        for &pid in &self.reusable {
+            if prev.map(|p| p + 1) == Some(pid) {
+                len += 1;
+            } else {
+                start = Some(pid);
+                len = 1;
+            }
+            prev = Some(pid);
+            if len == n {
+                return start;
+            }
+        }
+        None
+    }
+
     /// Move a page to the catalog's free set. The page's primary bytes stay
-    /// readable (freed pages are never recycled in this prototype, and a
-    /// detached B-link leaf may still sit in a live sibling chain), but the
-    /// replica mirror is cleared immediately: a freed page needs no repair
-    /// copy, and keeping one would let the mirror resurrect key images the
-    /// owner just discarded (`drop_index`, free-at-empty, rebuilds). Media
-    /// recovery heals a torn free page without rebuilding anything.
+    /// readable — a detached B-link leaf may still sit in a live sibling
+    /// chain — so the page is *quarantined*, not yet reusable: the
+    /// allocator only recycles it after [`SimDisk::reclaim_page`] has
+    /// durably zeroed it. The replica mirror is cleared immediately: a
+    /// freed page needs no repair copy, and keeping one would let the
+    /// mirror resurrect key images the owner just discarded (`drop_index`,
+    /// free-at-empty, rebuilds). Media recovery heals a torn free page
+    /// without rebuilding anything.
     pub fn free_page(&mut self, pid: PageId) {
         self.catalog.free(pid);
         self.clear_replica_of(pid);
+    }
+
+    /// Zero a quarantined free page and make it reusable by the allocator.
+    ///
+    /// Returns `Ok(true)` when the page was reclaimed by this call,
+    /// `Ok(false)` when there was nothing to do (the page is owned again —
+    /// e.g. re-owned by recovery reconciliation — or already reusable).
+    /// The zeroing is a real charged write that goes through the fault
+    /// plan, so crash and torn-write campaigns sweep over reclaims too; on
+    /// a torn zeroing the page stays quarantined (not reusable) and is
+    /// simply re-reclaimed by the next maintenance pass. Zero-on-reclaim is
+    /// what keeps erasure proofs valid across recycling: a reusable page
+    /// never carries prior contents, so a recycled page can never leak
+    /// erased values.
+    ///
+    /// Callers must only reclaim pages no structure can still reach through
+    /// a stale chain pointer (an all-zero page decodes as a leaf whose
+    /// right sibling is page 0). The maintenance daemon guarantees this by
+    /// reclaiming a snapshot of the free set only after a full packing pass
+    /// has rewritten the sibling chains.
+    pub fn reclaim_page(&mut self, pid: PageId) -> StorageResult<bool> {
+        self.check(pid)?;
+        if self.catalog.owner(pid).is_some() || self.reusable.contains(&pid) {
+            return Ok(false);
+        }
+        self.write(pid, &[0u8; PAGE_SIZE])?;
+        // A torn zeroing is acknowledged but persists only half the image:
+        // the platter still holds prior bytes, so the page must stay
+        // quarantined (media recovery heals the tear, the next pass
+        // re-reclaims).
+        if self.pages[pid as usize].iter().any(|&b| b != 0) {
+            return Ok(false);
+        }
+        self.reusable.insert(pid);
+        Ok(true)
+    }
+
+    /// Catalog-free pages that are still quarantined (freed but not yet
+    /// zeroed by [`SimDisk::reclaim_page`]), ascending.
+    pub fn reclaimable_pages(&self) -> Vec<PageId> {
+        self.catalog
+            .free_pages()
+            .into_iter()
+            .filter(|pid| !self.reusable.contains(pid))
+            .collect()
+    }
+
+    /// Number of zeroed pages the allocator can recycle.
+    pub fn n_reusable(&self) -> usize {
+        self.reusable.len()
     }
 
     /// Free every page currently owned by `owner` (dropping an index,
@@ -302,6 +404,7 @@ impl SimDisk {
     /// [`PageCatalog::set_owner`]).
     pub fn set_page_owner(&mut self, pid: PageId, owner: StructureId) {
         self.catalog.set_owner(pid, owner);
+        self.reusable.remove(&pid);
     }
 
     /// Turn on per-page replicas: every page gains a second physical copy,
@@ -970,5 +1073,86 @@ mod tests {
             s.sim_ms,
             without + mirror_ms
         );
+    }
+
+    #[test]
+    fn freed_pages_are_quarantined_until_reclaimed() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(4, StructureId::Table);
+        d.write(first + 1, &page_of(9)).unwrap();
+        d.free_page(first + 1);
+        // Freed but not reclaimed: the allocator must not hand it out.
+        assert_eq!(d.n_reusable(), 0);
+        assert_eq!(d.reclaimable_pages(), vec![first + 1]);
+        let fresh = d.allocate(StructureId::Table);
+        assert_eq!(fresh, first + 4, "quarantined page must not be recycled");
+        // After reclaim the page is zeroed and reused, lowest id first.
+        assert!(d.reclaim_page(first + 1).unwrap());
+        assert!(d.reclaimable_pages().is_empty());
+        assert_eq!(d.n_reusable(), 1);
+        let reused = d.allocate(StructureId::Index(3));
+        assert_eq!(reused, first + 1);
+        assert_eq!(d.catalog().owner(reused), Some(StructureId::Index(3)));
+        assert_eq!(d.n_reusable(), 0);
+        assert!(
+            d.peek(reused).unwrap().iter().all(|&b| b == 0),
+            "recycled page must be zeroed"
+        );
+    }
+
+    #[test]
+    fn reclaim_is_a_noop_on_owned_or_already_reusable_pages() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate(StructureId::Table);
+        assert!(!d.reclaim_page(pid).unwrap(), "owned page stays put");
+        d.free_page(pid);
+        assert!(d.reclaim_page(pid).unwrap());
+        assert!(!d.reclaim_page(pid).unwrap(), "double reclaim is a no-op");
+        assert_eq!(d.n_reusable(), 1);
+    }
+
+    #[test]
+    fn contiguous_allocation_reuses_a_consecutive_run() {
+        let mut d = SimDisk::new(CostModel::default());
+        let first = d.allocate_contiguous(8, StructureId::Table);
+        // Free pages 1, 3, 4, 5, 7: the only run of three is 3..=5.
+        for off in [1, 3, 4, 5, 7] {
+            d.free_page(first + off);
+            assert!(d.reclaim_page(first + off).unwrap());
+        }
+        let run = d.allocate_contiguous(3, StructureId::Index(2));
+        assert_eq!(run, first + 3);
+        for pid in run..run + 3 {
+            assert_eq!(d.catalog().owner(pid), Some(StructureId::Index(2)));
+        }
+        assert_eq!(d.n_reusable(), 2);
+        // No run of three remains: the file is extended instead.
+        let ext = d.allocate_contiguous(3, StructureId::Index(2));
+        assert_eq!(ext, first + 8);
+        // Single-page allocation still drains the leftovers.
+        assert_eq!(d.allocate(StructureId::Table), first + 1);
+        assert_eq!(d.allocate(StructureId::Table), first + 7);
+        assert_eq!(d.n_reusable(), 0);
+    }
+
+    #[test]
+    fn torn_zeroing_leaves_the_page_quarantined() {
+        let mut d = SimDisk::new(CostModel::default());
+        let pid = d.allocate(StructureId::Table);
+        d.write(pid, &page_of(0xAB)).unwrap();
+        d.free_page(pid);
+        d.set_fault_plan(FaultPlan::new().inject(crate::FaultSpec::write_page(pid).torn()));
+        assert!(
+            !d.reclaim_page(pid).unwrap(),
+            "torn zeroing must not mark the page reusable"
+        );
+        assert_eq!(d.n_reusable(), 0, "page must stay quarantined");
+        assert_eq!(d.reclaimable_pages(), vec![pid]);
+        // The next maintenance pass re-reclaims it cleanly (the torn slot
+        // fires once; recovery would heal the checksum, reclaim rewrites
+        // the full image anyway).
+        assert!(d.reclaim_page(pid).unwrap());
+        assert_eq!(d.allocate(StructureId::Table), pid);
+        assert!(d.peek(pid).unwrap().iter().all(|&b| b == 0));
     }
 }

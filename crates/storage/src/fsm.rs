@@ -90,6 +90,13 @@ impl FreeSpaceMap {
         self.free.is_empty()
     }
 
+    /// Every tracked page, ascending.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut out: Vec<PageId> = self.free.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Pages whose recorded free space equals an entirely-empty slotted page
     /// (candidates for reclamation).
     pub fn pages_with_at_least(&self, bytes: usize) -> Vec<PageId> {

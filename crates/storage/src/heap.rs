@@ -2,7 +2,8 @@
 //!
 //! Records live in slotted pages; a record's [`Rid`] is its physical
 //! address and stays valid until that record is deleted. Pages are kept in
-//! allocation order, so iterating `pages` equals ascending-RID order — the
+//! ascending page-id order (a recycled page is spliced back in at its id,
+//! not appended), so iterating `pages` equals ascending-RID order — the
 //! property the vertical sort/merge plan exploits ("relation R is clustered
 //! (i.e., sorted) on RID values").
 //!
@@ -26,7 +27,7 @@ use crate::slotted::SlottedPage;
 /// A heap file of records.
 pub struct HeapFile {
     pool: Arc<BufferPool>,
-    /// Pages in allocation (= RID, = scan) order.
+    /// Pages in ascending-id (= RID, = scan) order.
     pages: Vec<PageId>,
     fsm: FreeSpaceMap,
     n_records: usize,
@@ -73,7 +74,11 @@ impl HeapFile {
         SlottedPage::init(&mut w[..]);
         let free = SlottedPage::new(&mut w[..]).usable_free();
         drop(w);
-        self.pages.push(pid);
+        // The allocator may recycle a reclaimed page with a lower id than
+        // the current tail; splice it in at its sorted position so the page
+        // list stays in ascending-RID order.
+        let idx = self.pages.partition_point(|&p| p < pid);
+        self.pages.insert(idx, pid);
         self.fsm.update(pid, free);
         Ok(pid)
     }
@@ -348,6 +353,44 @@ impl HeapFile {
     /// Free bytes the FSM records for `pid` (test/diagnostic hook).
     pub fn fsm_free(&self, pid: PageId) -> Option<usize> {
         self.fsm.free_bytes(pid)
+    }
+
+    /// Pages the FSM currently tracks, ascending. Audit hook: every entry
+    /// must be a page of this heap — a freed page left in the FSM would let
+    /// `find_page` hand it out as an insert target after recycling.
+    pub fn fsm_pages(&self) -> Vec<PageId> {
+        self.fsm.pages()
+    }
+
+    /// Give every record-free page back to the disk allocator: the page
+    /// leaves the scan order and the FSM (so [`FreeSpaceMap::find_page`]
+    /// can never offer a freed page as an insert target) and is
+    /// catalog-freed for the maintenance daemon to zero and recycle.
+    /// Returns the released ids, ascending. Paced: checkpoints between
+    /// candidate pages with no pin held.
+    pub fn release_empty_pages(&mut self) -> StorageResult<Vec<PageId>> {
+        // A page whose records were all deleted has most of its bytes free
+        // (only header and dead slot entries remain), so half a page is a
+        // safe candidate filter; occupancy is then confirmed exactly.
+        let mut candidates = self.fsm.pages_with_at_least(crate::disk::PAGE_SIZE / 2);
+        candidates.sort_unstable();
+        let mut released = Vec::new();
+        for pid in candidates {
+            crate::pacer::checkpoint()?;
+            let r = self.pool.pin_read(pid)?;
+            let live = crate::slotted::read::live_records(&r[..]);
+            drop(r);
+            if live != 0 {
+                continue;
+            }
+            let idx = self.pages.partition_point(|&p| p < pid);
+            debug_assert_eq!(self.pages.get(idx), Some(&pid), "fsm page not in heap");
+            self.pages.remove(idx);
+            self.fsm.remove(pid);
+            self.pool.free_page(pid);
+            released.push(pid);
+        }
+        Ok(released)
     }
 
     /// Compare every page's FSM entry against its actual slotted-page
@@ -724,6 +767,53 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn release_empty_pages_shrinks_heap_and_fsm() {
+        let mut h = heap(16);
+        let rids: Vec<Rid> = (0..35).map(|i| h.insert(&record(i)).unwrap()).collect();
+        let n_pages = h.num_pages();
+        assert!(n_pages >= 5);
+        // Empty out the records of the second and fourth pages.
+        let victims: Vec<PageId> = vec![h.page_ids()[1], h.page_ids()[3]];
+        for &rid in &rids {
+            if victims.contains(&rid.page) {
+                h.delete(rid).unwrap();
+            }
+        }
+        let released = h.release_empty_pages().unwrap();
+        assert_eq!(released, victims);
+        assert_eq!(h.num_pages(), n_pages - 2);
+        for &pid in &victims {
+            assert_eq!(h.fsm_free(pid), None, "released page left the FSM");
+            assert!(!h.fsm_pages().contains(&pid));
+        }
+        // The survivors are all still there, scan order intact.
+        let live: Vec<Rid> = h.scan().map(|(rid, _)| rid).collect();
+        assert_eq!(live.len(), h.len());
+        assert!(live.windows(2).all(|w| w[0] < w[1]));
+        h.verify_fsm().unwrap();
+        // After reclaim the released pages are recycled and spliced back
+        // into the page list at their sorted positions.
+        for &pid in &victims {
+            assert!(h.pool().reclaim_page(pid).unwrap());
+        }
+        for i in 100..114u64 {
+            h.insert(&record(i)).unwrap();
+        }
+        let ids = h.page_ids().to_vec();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "page list sorted: {ids:?}"
+        );
+        assert!(
+            ids.contains(&victims[0]),
+            "recycled page back in scan order"
+        );
+        let live: Vec<Rid> = h.scan().map(|(rid, _)| rid).collect();
+        assert!(live.windows(2).all(|w| w[0] < w[1]), "RID order preserved");
+        h.verify_fsm().unwrap();
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //!   checkpoints a snapshot of the whole map so recovery can classify torn
 //!   pages by lookup instead of by walking heap page lists and hash chains.
 //!
-//! Allocation in the simulated disk is append-only (freed pages are never
-//! recycled), so the catalog is a dense vector indexed by page id.
+//! Allocation in the simulated disk grows a dense page vector (so the
+//! catalog is a dense vector indexed by page id), but freed pages *are*
+//! recycled: once the maintenance daemon has zeroed a free page
+//! ([`SimDisk::reclaim_page`](crate::SimDisk::reclaim_page)), the allocator
+//! hands it out again via [`PageCatalog::set_owner`] before extending the
+//! file.
 
 use crate::disk::PageId;
 

@@ -83,8 +83,15 @@ pub struct TxnDb {
     /// Serializes whole bulk-delete operations: a second bulk delete must
     /// not take indices offline while the first is still propagating.
     bulk_serial: Mutex<()>,
+    /// Optional background-maintenance slice run between live-delete
+    /// chunks, while no table lock is held (see [`TxnDb::set_maintenance`]).
+    maintenance: Mutex<Option<MaintenanceHook>>,
     next_txn: AtomicU64,
 }
+
+/// A resumable maintenance step (typically
+/// [`bd_core::Maintainer::run_round`] behind a closure).
+pub type MaintenanceHook = Box<dyn FnMut(&mut Database) -> DbResult<()> + Send>;
 
 impl TxnDb {
     /// Wrap a database for concurrent use.
@@ -96,8 +103,18 @@ impl TxnDb {
             sidefiles: Mutex::new(HashMap::new()),
             undeletable: Mutex::new(HashSet::new()),
             bulk_serial: Mutex::new(()),
+            maintenance: Mutex::new(None),
             next_txn: AtomicU64::new(1),
         })
+    }
+
+    /// Install (or clear) the incremental-maintenance hook. When set, every
+    /// between-chunk pause point of [`TxnDb::bulk_delete_live`] runs one
+    /// slice of it under the db mutex but outside any table lock, so page
+    /// recycling and leaf packing interleave with the delete instead of
+    /// waiting for an offline window.
+    pub fn set_maintenance(&self, hook: Option<MaintenanceHook>) {
+        *self.maintenance.lock() = hook;
     }
 
     /// Run setup/inspection code against the underlying database.
@@ -390,6 +407,12 @@ impl TxnDb {
                 // Pause point between chunks: no table lock, no db mutex —
                 // a parked deleter blocks no foreground transaction.
                 pacer.check().map_err(DbError::from)?;
+                // One maintenance slice per pause point, paced like the
+                // delete itself so a parked campaign parks its upkeep too.
+                if let Some(hook) = self.maintenance.lock().as_mut() {
+                    let mut db = self.db.lock();
+                    hook(&mut db)?;
+                }
                 let txn = self.begin();
                 self.locks.acquire(txn, tid, LockMode::Exclusive)?;
                 let chunk_res: TxnResult<()> = (|| {

@@ -248,3 +248,50 @@ fn cancelled_live_delete_leaves_a_consistent_prefix() {
     let remaining = tdb.with(|db| db.table(tid).unwrap().heap.len());
     assert_eq!(remaining, 2000 - gone);
 }
+
+#[test]
+fn maintenance_hook_runs_between_live_delete_chunks() {
+    use bd_core::{audit_catalog, Maintainer, MaintenanceConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let (tdb, tid, a_values) = setup(2000);
+    let maintainer = Arc::new(Mutex::new(Maintainer::new(MaintenanceConfig::default())));
+    let calls = Arc::new(AtomicUsize::new(0));
+    {
+        let maintainer = maintainer.clone();
+        let calls = calls.clone();
+        tdb.set_maintenance(Some(Box::new(move |db| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            maintainer.lock().unwrap().run_round(db)?;
+            Ok(())
+        })));
+    }
+
+    // Delete everything: each chunk empties heap pages and index subtrees,
+    // and the hook recycles them while the statement is still running.
+    let pacer = Pacer::new();
+    let stats = tdb
+        .bulk_delete_live(tid, 0, &a_values, PropagationMode::SideFile, 97, &pacer)
+        .unwrap();
+    assert_eq!(stats.deleted, a_values.len());
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        stats.chunks,
+        "one maintenance slice per pause point"
+    );
+
+    // Settle: finish the in-flight pass, then one more cycle so pages freed
+    // during the last pass become reusable too.
+    tdb.with(|db| {
+        let mut m = maintainer.lock().unwrap();
+        m.run_cycle(db).unwrap();
+        m.run_cycle(db).unwrap();
+        let rep = *m.report();
+        assert!(rep.pages_reclaimed > 0, "{rep:?}");
+        assert!(db.pool().n_reusable() > 0);
+        db.check_consistency(tid).unwrap();
+        let audit = audit_catalog(db, tid).unwrap();
+        assert!(audit.is_clean(), "{:?}", audit.findings);
+    });
+}

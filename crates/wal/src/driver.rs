@@ -763,6 +763,101 @@ fn classify_media_damage(
     Ok(damage)
 }
 
+/// Run `body` inside a durable maintenance bracket on `structure` (a
+/// table-scoped owner tag, e.g. [`StructureId::index_of`]'s result).
+/// [`LogRecord::MaintainBegin`] is appended first; after a successful run
+/// the dirty pages are flushed and the bracket is closed with
+/// [`LogRecord::MaintainEnd`]. Maintenance rewrites pages without logging
+/// their images, so on an error or crash the bracket stays open and the
+/// next [`recover`] rebuilds the structure from the heap instead of
+/// trusting a half-applied rewrite.
+pub fn with_maintenance_bracket<T>(
+    db: &mut Database,
+    log: &LogManager,
+    structure: StructureId,
+    body: impl FnOnce(&mut Database) -> Result<T, WalError>,
+) -> Result<T, WalError> {
+    log.append(&LogRecord::MaintainBegin { structure });
+    let out = body(db)?;
+    db.pool().flush_all().map_err(DbError::Storage)?;
+    log.append(&LogRecord::MaintainEnd { structure });
+    Ok(out)
+}
+
+/// One durable maintenance cycle over table `tid`: release empty heap
+/// pages, run each index's pack pass to completion and sweep its inner
+/// chains inside that index's maintenance bracket, then recycle free pages
+/// and prewarm. Only the bracketed phases rewrite live pages without
+/// logging them; heap release is detach-only and recycling writes only
+/// free pages, so a crash there needs no rebuild at all.
+pub fn run_maintenance_cycle(
+    db: &mut Database,
+    tid: TableId,
+    log: &LogManager,
+    m: &mut bd_core::Maintainer,
+) -> Result<(), WalError> {
+    m.release_heap(db, tid)?;
+    let attrs: Vec<usize> = db.table(tid)?.indices.iter().map(|i| i.def.attr).collect();
+    for &attr in &attrs {
+        with_maintenance_bracket(db, log, StructureId::index_of(tid, attr), |db| {
+            while !m.pack_index(db, tid, attr)? {}
+            m.sweep_index(db, tid, attr)?;
+            Ok(())
+        })?;
+    }
+    m.recycle(db)?;
+    m.prewarm(db)?;
+    m.end_cycle();
+    Ok(())
+}
+
+/// Structures with an open maintenance bracket: a `MaintainBegin` not
+/// followed by a matching `MaintainEnd`. Their pages may hold a
+/// half-applied maintenance rewrite and cannot be trusted.
+fn unclosed_maintenance(records: &[LogRecord]) -> Vec<StructureId> {
+    let mut open: Vec<StructureId> = Vec::new();
+    for r in records {
+        match r {
+            LogRecord::MaintainBegin { structure } if !open.contains(structure) => {
+                open.push(*structure);
+            }
+            LogRecord::MaintainEnd { structure } => open.retain(|s| s != structure),
+            _ => {}
+        }
+    }
+    open
+}
+
+/// Fold the structures named by open maintenance brackets into the media
+/// damage set, so the normal rebuild path covers them.
+fn absorb_maintenance_damage(damage: &mut MediaDamage, open: &[StructureId], home: TableId) {
+    for &s in open {
+        match s {
+            StructureId::Table => damage.heap = true,
+            StructureId::Index(_) | StructureId::Hash(_) => {
+                let (t, a) = s
+                    .scoped_parts()
+                    .expect("maintenance brackets carry table-scoped owner tags");
+                if t == home {
+                    match s {
+                        StructureId::Index(_) => damage.tree_attrs.push(a),
+                        _ => damage.hash_attrs.push(a),
+                    }
+                } else {
+                    damage.foreign.push(s);
+                }
+            }
+            StructureId::Probe | StructureId::Temp | StructureId::Spatial(_) => {}
+        }
+    }
+    damage.tree_attrs.sort_unstable();
+    damage.tree_attrs.dedup();
+    damage.hash_attrs.sort_unstable();
+    damage.hash_attrs.dedup();
+    damage.foreign.sort_unstable_by_key(|s| s.scoped_parts());
+    damage.foreign.dedup();
+}
+
 /// Re-own any catalog-free page that is still reachable from a structure.
 ///
 /// A catalog free is durable disk metadata the instant it happens, but the
@@ -843,8 +938,18 @@ pub fn recover_media_report(
     corrupt: &[PageId],
 ) -> Result<(usize, MediaRecovery), WalError> {
     let mut report = MediaRecovery::default();
-    let damage = classify_media_damage(db, tid, corrupt, &mut report)?;
+    let mut damage = classify_media_damage(db, tid, corrupt, &mut report)?;
     let records = log.records()?;
+    // An open maintenance bracket means the daemon's unlogged page rewrite
+    // may be half-applied: the bracketed structure is damage, rebuilt from
+    // the heap exactly like a torn page's owner.
+    let open_maintenance = unclosed_maintenance(&records);
+    absorb_maintenance_damage(&mut damage, &open_maintenance, tid);
+    let close_brackets = |log: &LogManager| {
+        for &s in &open_maintenance {
+            log.append(&LogRecord::MaintainEnd { structure: s });
+        }
+    };
     // Analysis: locate the last BulkBegin and what followed it.
     let begin_idx = records
         .iter()
@@ -856,6 +961,7 @@ pub fn recover_media_report(
             reconcile_catalog(db, tid)?;
             db.pool().flush_all().map_err(DbError::Storage)?;
         }
+        close_brackets(log);
         return Ok((0, report));
     };
     let (probe_attr, keys) = match &records[begin_idx] {
@@ -865,6 +971,7 @@ pub fn recover_media_report(
     let tail = &records[begin_idx + 1..];
     if tail.iter().any(|r| matches!(r, LogRecord::BulkCommit)) && damage.is_empty() {
         apply_side(db, tid, pending_side_ops)?;
+        close_brackets(log);
         return Ok((0, report));
     }
 
@@ -976,6 +1083,7 @@ pub fn recover_media_report(
     apply_side(db, tid, pending_side_ops)?;
     reconcile_catalog(db, tid)?;
     db.pool().flush_all().map_err(DbError::Storage)?;
+    close_brackets(log);
     Ok((rows.len(), report))
 }
 

@@ -32,7 +32,8 @@ pub use campaign::{
 };
 pub use driver::{
     recover, recover_media, recover_media_report, run_bulk_delete, run_bulk_delete_parallel,
-    CrashInjector, CrashSite, MediaRecovery, WalError,
+    run_maintenance_cycle, with_maintenance_bracket, CrashInjector, CrashSite, MediaRecovery,
+    WalError,
 };
 pub use erasure::{recover_campaign, run_erasure_campaign, ErasureOutcome, KEY_BEARING_TAGS};
 pub use log::LogManager;

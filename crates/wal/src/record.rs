@@ -132,6 +132,22 @@ pub enum LogRecord {
         /// Number of manifest steps that finished before the cancel.
         completed: u32,
     },
+    /// The maintenance daemon started restructuring `structure` (incremental
+    /// leaf packing / page recycling). Maintenance rewrites pages without
+    /// logging their images, so an unclosed bracket at recovery means the
+    /// structure may hold a half-applied rewrite and must be rebuilt from
+    /// the heap.
+    MaintainBegin {
+        /// Structure under maintenance.
+        structure: StructureId,
+    },
+    /// The maintenance pass over `structure` finished and its pages were
+    /// flushed; the bracket opened by the matching
+    /// [`LogRecord::MaintainBegin`] is closed.
+    MaintainEnd {
+        /// Structure under maintenance.
+        structure: StructureId,
+    },
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -273,6 +289,14 @@ impl LogRecord {
                 put_u64(&mut out, *id);
                 put_u32(&mut out, *completed);
             }
+            LogRecord::MaintainBegin { structure } => {
+                out.push(13);
+                encode_structure(&mut out, *structure);
+            }
+            LogRecord::MaintainEnd { structure } => {
+                out.push(14);
+                encode_structure(&mut out, *structure);
+            }
         }
         out
     }
@@ -378,6 +402,12 @@ impl LogRecord {
             12 => LogRecord::CampaignCancelled {
                 id: r.u64()?,
                 completed: r.u32()?,
+            },
+            13 => LogRecord::MaintainBegin {
+                structure: decode_structure(&mut r)?,
+            },
+            14 => LogRecord::MaintainEnd {
+                structure: decode_structure(&mut r)?,
             },
             t => return Err(WalError::CorruptLog(format!("unknown record tag {t}"))),
         })
@@ -522,6 +552,18 @@ mod tests {
             id: 7,
             completed: 2,
         });
+        roundtrip(LogRecord::MaintainBegin {
+            structure: StructureId::Index(4),
+        });
+        roundtrip(LogRecord::MaintainBegin {
+            structure: StructureId::Table,
+        });
+        roundtrip(LogRecord::MaintainEnd {
+            structure: StructureId::Index(4),
+        });
+        roundtrip(LogRecord::MaintainEnd {
+            structure: StructureId::Hash(1),
+        });
     }
 
     #[test]
@@ -606,6 +648,12 @@ mod tests {
             LogRecord::CampaignCancelled {
                 id: 9,
                 completed: 1,
+            },
+            LogRecord::MaintainBegin {
+                structure: StructureId::Index(2),
+            },
+            LogRecord::MaintainEnd {
+                structure: StructureId::Index(2),
             },
         ];
         for rec in victims {
@@ -695,6 +743,22 @@ mod tests {
             }
             .encode(),
             vec![12, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0]
+        );
+        // Maintenance brackets, pinned: tag byte, then the structure
+        // encoding shared with StructureDone/Progress.
+        assert_eq!(
+            LogRecord::MaintainBegin {
+                structure: StructureId::Index(5)
+            }
+            .encode(),
+            vec![13, 2, 5, 0]
+        );
+        assert_eq!(
+            LogRecord::MaintainEnd {
+                structure: StructureId::Index(5)
+            }
+            .encode(),
+            vec![14, 2, 5, 0]
         );
     }
 }

@@ -51,3 +51,15 @@ cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_erase_
 if [ -f BENCH_8.json ]; then
     cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_8.json
 fi
+
+# Steady-state maintenance smoke: the sliding-window sweep must show the
+# daemon holding the disk footprint (in-use pages within 10% of a fresh
+# bulk load of the same live rows) while the unmaintained arm leaks, and
+# the emitted snapshot must validate.
+cargo run --release -p bd-bench --bin repro -- --maintain --rows 20000 --bench-json target/bench_maintain_ci.json
+cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_maintain_ci.json
+
+# The committed maintenance snapshot must stay schema-valid.
+if [ -f BENCH_9.json ]; then
+    cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_9.json
+fi
