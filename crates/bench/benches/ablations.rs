@@ -42,7 +42,7 @@ fn bench_reorg(c: &mut Criterion) {
                 || prepare(&cfg, 0.5),
                 |(mut db, tid, d)| {
                     let p = bd_core::plan_sort_merge(db.table(tid).unwrap(), 0).unwrap();
-                    strategy::vertical(&mut db, tid, &d, &p, policy).unwrap();
+                    strategy::vertical(&mut db, tid, &d, &p, policy, 1).unwrap();
                 },
                 BatchSize::PerIteration,
             )
@@ -75,7 +75,7 @@ fn bench_index_method(c: &mut Criterion) {
                 || prepare(&cfg, 0.15),
                 |(mut db, tid, d)| {
                     let p = plan(method, TableMethod::Merge { presort: true });
-                    strategy::vertical(&mut db, tid, &d, &p, ReorgPolicy::FreeAtEmpty).unwrap();
+                    strategy::vertical(&mut db, tid, &d, &p, ReorgPolicy::FreeAtEmpty, 1).unwrap();
                 },
                 BatchSize::PerIteration,
             )
@@ -106,7 +106,7 @@ fn bench_table_method(c: &mut Criterion) {
                         table,
                         index_steps: vec![],
                     };
-                    strategy::vertical(&mut db, tid, &d, &p, ReorgPolicy::FreeAtEmpty).unwrap();
+                    strategy::vertical(&mut db, tid, &d, &p, ReorgPolicy::FreeAtEmpty, 1).unwrap();
                 },
                 BatchSize::PerIteration,
             )

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] [--parallel N]
 //!       [--phases] [--audit] [--faults] [--live] [--erase] [--maintain]
-//!       [--bench-json PATH] [--check-bench PATH]
+//!       [--lsm] [--bench-json PATH] [--check-bench PATH]
 //! ```
 //!
 //! `--parallel N` allows the independent `⋈̄` / rebuild arms of the bulk
@@ -64,6 +64,16 @@
 //! rows, and the unmaintained arm's file must be strictly larger — the
 //! space leak the daemon exists to stop. Exits non-zero otherwise.
 //!
+//! `--lsm` runs the engine comparison instead of the offline figures: the
+//! fig7 delete-fraction sweep replayed through the engine seam, four arms
+//! per fraction — B-tree vertical bulk delete, B-tree drop&create, the
+//! delete-aware LSM's tombstone write (deferred cost), and the same LSM
+//! delete plus a forced purge of every tombstone (total cost). Every LSM
+//! cell is differentially audited against a B-tree twin fed the identical
+//! workload (`audit_engine_equivalence`) and its page catalog is audited
+//! for leaks before its numbers are accepted; exits non-zero on any
+//! divergence.
+//!
 //! `--bench-json PATH` additionally dumps every measured cell of the
 //! selected experiments as a machine-readable snapshot (the `BENCH_<n>.json`
 //! trajectory files); `--check-bench PATH` parses and validates such a
@@ -84,6 +94,7 @@ fn main() {
     let mut run_live = false;
     let mut run_erase = false;
     let mut run_maintain = false;
+    let mut run_lsm = false;
     let mut bench_json: Option<String> = None;
     let mut check_bench: Option<String> = None;
     let mut i = 0;
@@ -95,6 +106,7 @@ fn main() {
             "--live" => run_live = true,
             "--erase" => run_erase = true,
             "--maintain" => run_maintain = true,
+            "--lsm" => run_lsm = true,
             "--rows" => {
                 i += 1;
                 rows = args
@@ -162,6 +174,10 @@ fn main() {
     }
     if run_maintain {
         maintain(rows, bench_json.as_deref());
+        return;
+    }
+    if run_lsm {
+        lsm(rows, workers, bench_json.as_deref());
         return;
     }
 
@@ -359,8 +375,8 @@ fn audit(rows: usize, workers: usize) {
     let (mut db_c, _) = build(1);
     let d = w_a.delete_set(0.15, 2);
     strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
-    strategy::vertical_sort_merge(&mut db_b, w_a.tid, 0, &d).unwrap();
-    strategy::vertical_sort_merge_parallel(&mut db_c, w_a.tid, 0, &d, par_workers).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w_a.tid, 0, &d, 1).unwrap();
+    strategy::vertical_sort_merge(&mut db_c, w_a.tid, 0, &d, par_workers).unwrap();
     check(
         "horizontal vs vertical",
         audit_equivalence(&db_a, &db_b, w_a.tid),
@@ -404,7 +420,7 @@ fn faults(rows: usize, workers: usize) {
     let (mut db_ref, w) = build(4 << 20);
     let (mut db_faulty, _) = build(4 << 20);
     let d = w.delete_set(0.33, 7);
-    let clean = strategy::vertical_sort_merge_parallel(&mut db_ref, w.tid, 0, &d, par_workers)
+    let clean = strategy::vertical_sort_merge(&mut db_ref, w.tid, 0, &d, par_workers)
         .expect("fault-free run");
     let bad = db_faulty
         .table(w.tid)
@@ -417,7 +433,7 @@ fn faults(rows: usize, workers: usize) {
     db_faulty.pool().with_disk(|disk| {
         disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad).transient(6)))
     });
-    match strategy::vertical_sort_merge_parallel(&mut db_faulty, w.tid, 0, &d, par_workers) {
+    match strategy::vertical_sort_merge(&mut db_faulty, w.tid, 0, &d, par_workers) {
         Ok(out) => {
             println!("{}", out.report.summary());
             print!("{}", out.report.phase_breakdown());
@@ -656,11 +672,48 @@ fn maintain(rows: usize, bench_json: Option<&str>) {
     }
 }
 
+/// `--lsm`: the engine comparison — B-tree bulk delete and drop&create vs
+/// the delete-aware LSM engine's deferred (tombstone) and total (purged)
+/// cost, every LSM cell differentially audited against its B-tree twin.
+fn lsm(rows: usize, workers: usize, bench_json: Option<&str>) {
+    use bd_bench::lsm::lsm_experiment;
+
+    println!(
+        "engine comparison: B-tree vertical bulk delete vs drop&create vs \
+         delete-aware LSM (tombstone write and forced purge), {rows} rows; \
+         every LSM cell audit-equivalent to its B-tree twin\n"
+    );
+    let started = std::time::Instant::now();
+    let report = match lsm_experiment(rows, workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lsm experiment failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", report.render());
+    println!("[every LSM cell audit-equivalent to its B-tree twin; page catalog clean]");
+    eprintln!(
+        "[lsm finished in {:.1}s wall]",
+        started.elapsed().as_secs_f32()
+    );
+
+    if let Some(path) = bench_json {
+        let mut snap = BenchSnapshot::new("repro lsm", rows, workers);
+        snap.points.extend(report.points);
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("failed to write bench snapshot `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[bench snapshot: {} points -> {path}]", snap.points.len());
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [fig1|fig7|fig8|table1|fig9|fig10|all]... [--rows N] \
          [--parallel N] [--phases] [--audit] [--faults] [--live] [--erase] \
-         [--maintain] [--bench-json PATH] [--check-bench PATH]"
+         [--maintain] [--lsm] [--bench-json PATH] [--check-bench PATH]"
     );
     std::process::exit(2);
 }

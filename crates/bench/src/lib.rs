@@ -13,6 +13,7 @@
 pub mod erase;
 pub mod experiments;
 pub mod live;
+pub mod lsm;
 pub mod maintain;
 pub mod snapshot;
 
@@ -153,15 +154,10 @@ impl StrategyKind {
         let outcome = match self {
             StrategyKind::SortedTrad => s::horizontal(db, tid, 0, d_keys, true)?,
             StrategyKind::NotSortedTrad => s::horizontal(db, tid, 0, d_keys, false)?,
-            StrategyKind::DropCreate => s::drop_create_parallel(
-                db,
-                tid,
-                0,
-                d_keys,
-                bd_core::RebuildMode::BulkLoad,
-                workers,
-            )?,
-            StrategyKind::DropCreateInsertRebuild => s::drop_create_parallel(
+            StrategyKind::DropCreate => {
+                s::drop_create(db, tid, 0, d_keys, bd_core::RebuildMode::BulkLoad, workers)?
+            }
+            StrategyKind::DropCreateInsertRebuild => s::drop_create(
                 db,
                 tid,
                 0,
@@ -169,11 +165,11 @@ impl StrategyKind {
                 bd_core::RebuildMode::InsertEach,
                 workers,
             )?,
-            StrategyKind::Bulk => s::vertical_sort_merge_parallel(db, tid, 0, d_keys, workers)?,
+            StrategyKind::Bulk => s::vertical_sort_merge(db, tid, 0, d_keys, workers)?,
             StrategyKind::BulkPresorted => {
                 let mut sorted = d_keys.to_vec();
                 sorted.sort_unstable();
-                s::vertical_sort_merge_parallel(db, tid, 0, &sorted, workers)?
+                s::vertical_sort_merge(db, tid, 0, &sorted, workers)?
             }
         };
         Ok(outcome.report)

@@ -222,11 +222,11 @@ fn maintain_sweep(rows: usize) -> DbResult<MaintainSummary> {
         let d = &victims[round * window..(round + 1) * window];
         let x = format!("round {}", round + 1);
 
-        let mut off = strategy::vertical_auto(&mut db_off, tid, 0, d, ReorgPolicy::FreeAtEmpty)?
+        let mut off = strategy::vertical_auto(&mut db_off, tid, 0, d, ReorgPolicy::FreeAtEmpty, 1)?
             .1
             .report;
         off.strategy = "daemon off".to_string();
-        let mut on = strategy::vertical_auto(&mut db_on, tid, 0, d, ReorgPolicy::FreeAtEmpty)?
+        let mut on = strategy::vertical_auto(&mut db_on, tid, 0, d, ReorgPolicy::FreeAtEmpty, 1)?
             .1
             .report;
         on.strategy = "daemon on".to_string();

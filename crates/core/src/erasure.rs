@@ -261,7 +261,7 @@ pub fn run_cascade_step(
         step.keys.len(),
         db.workspace().capacity(),
     )?;
-    crate::strategy::vertical_parallel(db, step.table, &step.keys, &p, policy, workers)
+    crate::strategy::vertical(db, step.table, &step.keys, &p, policy, workers)
 }
 
 /// What [`scrub_database`] visited and destroyed.

@@ -50,6 +50,9 @@ pub enum DbError {
         /// Number of child rows still referencing deleted keys.
         referencing_rows: usize,
     },
+    /// A structural or differential audit found the engine in a state it
+    /// must never be in (carries the rendered audit report).
+    Audit(String),
 }
 
 impl fmt::Display for DbError {
@@ -91,6 +94,7 @@ impl fmt::Display for DbError {
                 f,
                 "foreign key {name} violated: {referencing_rows} referencing rows remain"
             ),
+            DbError::Audit(report) => write!(f, "audit failed: {report}"),
         }
     }
 }

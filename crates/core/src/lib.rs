@@ -31,7 +31,7 @@
 //! // DELETE FROM R WHERE R.A IN (0, 2, 4, ...)
 //! let d: Vec<u64> = (0..1000).step_by(2).collect();
 //! let (plan, outcome) = strategy::vertical_auto(
-//!     &mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+//!     &mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
 //! println!("{}", plan.render(db.table(tid).unwrap()));
 //! assert_eq!(outcome.deleted.len(), 500);
 //! db.check_consistency(tid).unwrap();
@@ -42,6 +42,7 @@ pub mod catalog;
 pub mod constraint;
 pub mod cost;
 pub mod db;
+pub mod engine;
 pub mod erasure;
 pub mod error;
 pub mod executor;
@@ -61,6 +62,7 @@ pub use catalog::{HashIdx, HashIndexDef, Index, IndexDef, Table};
 pub use constraint::{ForeignKey, RefAction};
 pub use cost::{horizontal_cost, plan_cost, CostEnv, CostEstimate};
 pub use db::{Database, DatabaseConfig, TableId};
+pub use engine::{audit_engine_equivalence, BtreeEngine, EngineStats, TableEngine};
 pub use erasure::{
     collect_sensitive, plan_cascade, run_cascade, run_cascade_step, scrub_database, verify_erasure,
     CascadePlan, CascadeStep, ErasureReport, Residue, ScrubReport,
@@ -85,6 +87,7 @@ pub mod prelude {
     };
     pub use crate::catalog::IndexDef;
     pub use crate::db::{Database, DatabaseConfig, TableId};
+    pub use crate::engine::{audit_engine_equivalence, BtreeEngine, TableEngine};
     pub use crate::error::{DbError, DbResult};
     pub use crate::plan::DeletePlan;
     pub use crate::strategy::{self, DeleteOutcome};

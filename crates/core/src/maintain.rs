@@ -330,7 +330,7 @@ mod tests {
 
         for r in 0..4u64 {
             let d: Vec<u64> = (r * W..(r + 1) * W).collect();
-            strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+            strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
             m.run_cycle(&mut db).unwrap();
             db.check_consistency(tid).unwrap();
             let audit = crate::audit::audit_catalog(&db, tid).unwrap();
@@ -381,7 +381,7 @@ mod tests {
         let (mut db, tid) = db_with_keys((0..2000).map(skey));
         // Delete rows carrying a sensitive middle band of attribute-0 keys.
         let sensitive: Vec<u64> = (500..1500).map(skey).collect();
-        strategy::vertical_auto(&mut db, tid, 0, &sensitive, ReorgPolicy::FreeAtEmpty).unwrap();
+        strategy::vertical_auto(&mut db, tid, 0, &sensitive, ReorgPolicy::FreeAtEmpty, 1).unwrap();
         let mut m = Maintainer::new(MaintenanceConfig::default());
         m.run_cycle(&mut db).unwrap();
         assert!(m.report().pages_reclaimed > 0);
@@ -398,7 +398,7 @@ mod tests {
     fn paused_maintenance_leaves_a_consistent_database() {
         let (mut db, tid) = db_with_keys(0..3000);
         let d: Vec<u64> = (0..3000u64).filter(|k| k % 3 != 0).collect();
-        strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+        strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
 
         let mut m = Maintainer::new(MaintenanceConfig {
             pack_subtrees: 1,

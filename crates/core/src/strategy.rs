@@ -15,11 +15,12 @@
 //! [`PhaseExecutor`](crate::executor::PhaseExecutor): the serial prefix
 //! (sort `D`, the key-predicate `⋈̄`, the table pass, and §3.1's
 //! unique-index arms) in plan order, then one independent arm per remaining
-//! secondary index and hash index. With [`vertical_parallel`] (or the other
-//! `*_parallel` entry points) those arms are dispatched to worker threads;
-//! because each arm touches only its own structure's pages, the physical
-//! result is identical to the serial run — only the critical-path clock
-//! shrinks.
+//! secondary index and hash index. Every entry point takes a
+//! `workers: usize` — `1` runs the arms on the caller's thread, `> 1`
+//! dispatches them to worker threads; because each arm touches only its own
+//! structure's pages, the physical result is identical to the serial run —
+//! only the critical-path clock shrinks. (The historical `*_parallel`
+//! twins survive as deprecated shims.)
 //!
 //! Every strategy returns the same [`DeleteOutcome`] and leaves the table
 //! and indices in exactly equivalent states (property-tested, and audited
@@ -137,20 +138,12 @@ pub enum RebuildMode {
 
 /// The *drop & create* baseline: drop secondary indices, delete with the
 /// probe index only (sorted traditional), rebuild the dropped indices.
-pub fn drop_create(
-    db: &mut Database,
-    tid: TableId,
-    probe_attr: usize,
-    d_keys: &[Key],
-    rebuild: RebuildMode,
-) -> DbResult<DeleteOutcome> {
-    drop_create_parallel(db, tid, probe_attr, d_keys, rebuild, 1)
-}
-
-/// [`drop_create`] with the rebuild arms dispatched to up to `workers`
+///
+/// With `workers > 1` the rebuild arms are dispatched to up to `workers`
 /// threads — each dropped index is rebuilt independently (scan + sort +
-/// load touch only that index's pages and scratch segments).
-pub fn drop_create_parallel(
+/// load touch only that index's pages and scratch segments); `workers = 1`
+/// runs everything on the caller's thread.
+pub fn drop_create(
     db: &mut Database,
     tid: TableId,
     probe_attr: usize,
@@ -317,25 +310,17 @@ fn execute_drop_create(
     Ok((deleted, rows, events))
 }
 
-/// The vertical (set-oriented) bulk delete, following `plan` (serial).
-pub fn vertical(
-    db: &mut Database,
-    tid: TableId,
-    d_keys: &[Key],
-    plan: &DeletePlan,
-    policy: ReorgPolicy,
-) -> DbResult<DeleteOutcome> {
-    vertical_parallel(db, tid, d_keys, plan, policy, 1)
-}
-
-/// [`vertical`] with the independent `⋈̄` arms (non-unique secondary
-/// indices and hash indices) dispatched to up to `workers` threads.
+/// The vertical (set-oriented) bulk delete, following `plan`.
 ///
-/// §3.1's ordering is preserved: unique-index arms run first, serially, so
-/// they come back online before the fan-out. The physical end state is
-/// identical to the serial run; the report additionally carries the
-/// critical-path clock ([`RunReport::critical_path_ms`]).
-pub fn vertical_parallel(
+/// With `workers > 1` the independent `⋈̄` arms (non-unique secondary
+/// indices and hash indices) are dispatched to up to `workers` threads;
+/// `workers = 1` runs them on the caller's thread.
+///
+/// §3.1's ordering is preserved either way: unique-index arms run first,
+/// serially, so they come back online before the fan-out. The physical end
+/// state is identical to the serial run; the report additionally carries
+/// the critical-path clock ([`RunReport::critical_path_ms`]).
+pub fn vertical(
     db: &mut Database,
     tid: TableId,
     d_keys: &[Key],
@@ -607,19 +592,9 @@ fn execute_vertical(
     ))
 }
 
-/// Plan with the optimizer, then run [`vertical`]. Returns the plan used.
+/// Plan with the optimizer, then run [`vertical`] with `workers` arms.
+/// Returns the plan used.
 pub fn vertical_auto(
-    db: &mut Database,
-    tid: TableId,
-    probe_attr: usize,
-    d_keys: &[Key],
-    policy: ReorgPolicy,
-) -> DbResult<(DeletePlan, DeleteOutcome)> {
-    vertical_auto_parallel(db, tid, probe_attr, d_keys, policy, 1)
-}
-
-/// [`vertical_auto`] with parallel `⋈̄` arms (see [`vertical_parallel`]).
-pub fn vertical_auto_parallel(
     db: &mut Database,
     tid: TableId,
     probe_attr: usize,
@@ -629,7 +604,7 @@ pub fn vertical_auto_parallel(
 ) -> DbResult<(DeletePlan, DeleteOutcome)> {
     let ws_bytes = db.workspace().capacity();
     let plan = crate::planner::plan_delete(db.table(tid)?, probe_attr, d_keys.len(), ws_bytes)?;
-    let outcome = vertical_parallel(db, tid, d_keys, &plan, policy, workers)?;
+    let outcome = vertical(db, tid, d_keys, &plan, policy, workers)?;
     Ok((plan, outcome))
 }
 
@@ -664,19 +639,8 @@ pub fn vertical_with_constraints(
 
 /// The paper's benchmark configuration: vertical with sort/merge `⋈̄`s
 /// everywhere ("We will only present results that were obtained using
-/// sorting and merging").
+/// sorting and merging"), with `workers` `⋈̄` arms (see [`vertical`]).
 pub fn vertical_sort_merge(
-    db: &mut Database,
-    tid: TableId,
-    probe_attr: usize,
-    d_keys: &[Key],
-) -> DbResult<DeleteOutcome> {
-    vertical_sort_merge_parallel(db, tid, probe_attr, d_keys, 1)
-}
-
-/// [`vertical_sort_merge`] with parallel `⋈̄` arms (see
-/// [`vertical_parallel`]).
-pub fn vertical_sort_merge_parallel(
     db: &mut Database,
     tid: TableId,
     probe_attr: usize,
@@ -684,5 +648,62 @@ pub fn vertical_sort_merge_parallel(
     workers: usize,
 ) -> DbResult<DeleteOutcome> {
     let plan = plan_sort_merge(db.table(tid)?, probe_attr)?;
-    vertical_parallel(db, tid, d_keys, &plan, ReorgPolicy::FreeAtEmpty, workers)
+    vertical(db, tid, d_keys, &plan, ReorgPolicy::FreeAtEmpty, workers)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims: the serial/parallel entry-point pairs collapsed into the
+// base names above (which now take `workers`). Kept so downstream code and
+// old examples keep compiling; new code should call the base names.
+
+/// Deprecated alias for [`drop_create`] with an explicit worker count.
+#[deprecated(since = "0.10.0", note = "call `drop_create` with `workers`")]
+pub fn drop_create_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    rebuild: RebuildMode,
+    workers: usize,
+) -> DbResult<DeleteOutcome> {
+    drop_create(db, tid, probe_attr, d_keys, rebuild, workers)
+}
+
+/// Deprecated alias for [`vertical`] with an explicit worker count.
+#[deprecated(since = "0.10.0", note = "call `vertical` with `workers`")]
+pub fn vertical_parallel(
+    db: &mut Database,
+    tid: TableId,
+    d_keys: &[Key],
+    plan: &DeletePlan,
+    policy: ReorgPolicy,
+    workers: usize,
+) -> DbResult<DeleteOutcome> {
+    vertical(db, tid, d_keys, plan, policy, workers)
+}
+
+/// Deprecated alias for [`vertical_auto`] with an explicit worker count.
+#[deprecated(since = "0.10.0", note = "call `vertical_auto` with `workers`")]
+pub fn vertical_auto_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    policy: ReorgPolicy,
+    workers: usize,
+) -> DbResult<(DeletePlan, DeleteOutcome)> {
+    vertical_auto(db, tid, probe_attr, d_keys, policy, workers)
+}
+
+/// Deprecated alias for [`vertical_sort_merge`] with an explicit worker
+/// count.
+#[deprecated(since = "0.10.0", note = "call `vertical_sort_merge` with `workers`")]
+pub fn vertical_sort_merge_parallel(
+    db: &mut Database,
+    tid: TableId,
+    probe_attr: usize,
+    d_keys: &[Key],
+    workers: usize,
+) -> DbResult<DeleteOutcome> {
+    vertical_sort_merge(db, tid, probe_attr, d_keys, workers)
 }

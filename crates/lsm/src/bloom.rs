@@ -1,0 +1,76 @@
+//! Bloom-style membership filter over a run's keys.
+//!
+//! Two independent splitmix64-derived probes per key into a bit array
+//! sized at build time. No false negatives (checked by the run
+//! self-audit); false positives only cost a wasted page read.
+
+use bd_btree::Key;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fixed-size bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    bits: Vec<u64>,
+    n_bits: usize,
+}
+
+impl Bloom {
+    /// A filter sized for `n_keys` keys at `bits_per_key` bits each.
+    pub fn with_capacity(n_keys: usize, bits_per_key: usize) -> Bloom {
+        let n_bits = (n_keys * bits_per_key).max(64);
+        Bloom {
+            bits: vec![0u64; n_bits.div_ceil(64)],
+            n_bits,
+        }
+    }
+
+    fn probes(&self, key: Key) -> [usize; 2] {
+        [
+            (splitmix64(key) % self.n_bits as u64) as usize,
+            (splitmix64(key ^ 0xA5A5_A5A5_5A5A_5A5A) % self.n_bits as u64) as usize,
+        ]
+    }
+
+    /// Record `key`.
+    pub fn insert(&mut self, key: Key) {
+        for p in self.probes(key) {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// True if `key` *may* be present; false means definitely absent.
+    pub fn may_contain(&self, key: Key) -> bool {
+        self.probes(key)
+            .iter()
+            .all(|&p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_and_few_false_positives() {
+        let keys: Vec<Key> = (0..1000).map(|i| i * 3 + 1).collect();
+        let mut b = Bloom::with_capacity(keys.len(), 8);
+        for &k in &keys {
+            b.insert(k);
+        }
+        assert!(keys.iter().all(|&k| b.may_contain(k)));
+        let false_pos = (0..10_000u64)
+            .map(|i| 1_000_000 + i)
+            .filter(|&k| b.may_contain(k))
+            .count();
+        assert!(
+            false_pos < 1_500,
+            "false-positive rate too high: {false_pos}/10000"
+        );
+    }
+}

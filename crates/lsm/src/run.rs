@@ -1,0 +1,484 @@
+//! Immutable sorted runs on contiguous disk pages.
+//!
+//! A run is the unit the LSM engine flushes and compacts: a key-sorted
+//! sequence of *items* — puts (key + record bytes), point tombstones
+//! (key), and range tombstones (`[lo, hi]`, stored at their `lo`
+//! position) — packed into a contiguous page extent written with one
+//! chained sequential write (the same bulk-build idiom as the B-tree's
+//! bottom-up load). Alongside the pages the run keeps in-memory metadata:
+//! per-page **fence keys** (first key of each page, so a point lookup
+//! touches exactly one page), a [`Bloom`] filter over its point keys, and
+//! the delete-awareness counters compaction's victim selection reads
+//! (tombstone count, sequence number, oldest tombstone age).
+//!
+//! Page format: `u16` item count, then items back to back — tag byte
+//! (0 = put, 1 = point tombstone, 2 = range tombstone), `u64` key, then
+//! the fixed-length record for puts or the `u64` high key for range
+//! tombstones.
+
+use std::sync::Arc;
+
+use bd_btree::Key;
+use bd_storage::{pacer, BufferPool, PageId, StorageResult, StructureId, PAGE_SIZE};
+
+use crate::bloom::Bloom;
+
+/// One logical item in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A live record (encoded with the table's schema).
+    Put(Vec<u8>),
+    /// A point tombstone: the key is deleted as of this run's sequence.
+    Del,
+    /// A range tombstone covering `lo ..= hi` (the item's key is `lo`).
+    RangeDel(Key),
+}
+
+impl Item {
+    fn encoded_len(&self, record_len: usize) -> usize {
+        1 + 8
+            + match self {
+                Item::Put(_) => record_len,
+                Item::Del => 0,
+                Item::RangeDel(_) => 8,
+            }
+    }
+}
+
+const PAGE_HEADER: usize = 2;
+
+/// An immutable sorted run: `n_pages` contiguous pages starting at
+/// `first_page`, plus the in-memory metadata reads and compaction use.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// First page of the contiguous extent.
+    pub first_page: PageId,
+    /// Extent length in pages.
+    pub n_pages: usize,
+    /// First key stored on each page (`fences[i]` belongs to page
+    /// `first_page + i`); ascending.
+    pub fences: Vec<Key>,
+    /// Smallest key in the run (including range-tombstone `lo`s).
+    pub min_key: Key,
+    /// Largest key in the run (including range-tombstone `hi`s).
+    pub max_key: Key,
+    /// Number of puts.
+    pub puts: usize,
+    /// Number of point tombstones.
+    pub point_tombs: usize,
+    /// The run's range tombstones `[lo, hi]`, ascending by `lo`.
+    pub range_tombs: Vec<(Key, Key)>,
+    /// Membership filter over the run's point keys (puts + tombstones).
+    pub bloom: Bloom,
+    /// Creation sequence: larger = newer. Shadowing is resolved by level
+    /// order first and this sequence within level 0.
+    pub seq: u64,
+    /// Sequence of the oldest tombstone this run carries (inherited
+    /// through merges), or `None` when tombstone-free. Drives the FADE
+    /// purge deadline.
+    pub oldest_tomb_seq: Option<u64>,
+    /// Fixed record length of puts (from the table schema).
+    pub record_len: usize,
+}
+
+impl Run {
+    /// Total items (puts + point tombstones + range tombstones).
+    pub fn items(&self) -> usize {
+        self.puts + self.point_tombs + self.range_tombs.len()
+    }
+
+    /// Total tombstones (point + range).
+    pub fn tombstones(&self) -> usize {
+        self.point_tombs + self.range_tombs.len()
+    }
+
+    /// Write a run from `items` (sorted by key, at most one put/point
+    /// tombstone per key). Pages are allocated contiguously under `owner`
+    /// and written with one chained sequential write.
+    pub fn write(
+        pool: &Arc<BufferPool>,
+        owner: StructureId,
+        record_len: usize,
+        items: &[(Key, Item)],
+        seq: u64,
+        oldest_tomb_seq: Option<u64>,
+        bloom_bits_per_key: usize,
+    ) -> StorageResult<Run> {
+        debug_assert!(items.windows(2).all(|w| w[0].0 <= w[1].0), "run unsorted");
+        assert!(!items.is_empty(), "empty runs are never written");
+
+        // Greedy packing: page boundaries become fence keys.
+        let mut pages: Vec<&[(Key, Item)]> = Vec::new();
+        let mut start = 0;
+        let mut used = PAGE_HEADER;
+        for (i, (_, item)) in items.iter().enumerate() {
+            let len = item.encoded_len(record_len);
+            assert!(PAGE_HEADER + len <= PAGE_SIZE, "item exceeds a page");
+            if used + len > PAGE_SIZE {
+                pages.push(&items[start..i]);
+                start = i;
+                used = PAGE_HEADER;
+            }
+            used += len;
+        }
+        pages.push(&items[start..]);
+
+        let n_pages = pages.len();
+        let first_page = pool.allocate_contiguous(n_pages, owner);
+        pool.with_disk(|disk| {
+            disk.write_chain(first_page, n_pages, |pid, page| {
+                let chunk = pages[(pid - first_page) as usize];
+                let mut pos = PAGE_HEADER;
+                page[..2].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                for (key, item) in chunk {
+                    page[pos] = match item {
+                        Item::Put(_) => 0,
+                        Item::Del => 1,
+                        Item::RangeDel(_) => 2,
+                    };
+                    page[pos + 1..pos + 9].copy_from_slice(&key.to_le_bytes());
+                    pos += 9;
+                    match item {
+                        Item::Put(rec) => {
+                            debug_assert_eq!(rec.len(), record_len);
+                            page[pos..pos + record_len].copy_from_slice(rec);
+                            pos += record_len;
+                        }
+                        Item::Del => {}
+                        Item::RangeDel(hi) => {
+                            page[pos..pos + 8].copy_from_slice(&hi.to_le_bytes());
+                            pos += 8;
+                        }
+                    }
+                }
+                page[pos..].fill(0);
+            })
+        })?;
+
+        let mut bloom = Bloom::with_capacity(items.len(), bloom_bits_per_key);
+        let mut puts = 0;
+        let mut point_tombs = 0;
+        let mut range_tombs = Vec::new();
+        let mut max_key = items[items.len() - 1].0;
+        for (key, item) in items {
+            match item {
+                Item::Put(_) => {
+                    puts += 1;
+                    bloom.insert(*key);
+                }
+                Item::Del => {
+                    point_tombs += 1;
+                    bloom.insert(*key);
+                }
+                Item::RangeDel(hi) => {
+                    range_tombs.push((*key, *hi));
+                    max_key = max_key.max(*hi);
+                }
+            }
+        }
+        Ok(Run {
+            first_page,
+            n_pages,
+            fences: pages.iter().map(|c| c[0].0).collect(),
+            min_key: items[0].0,
+            max_key,
+            puts,
+            point_tombs,
+            range_tombs,
+            bloom,
+            seq,
+            oldest_tomb_seq,
+            record_len,
+        }
+        .into_checked())
+    }
+
+    fn into_checked(self) -> Run {
+        debug_assert!(self.fences.windows(2).all(|w| w[0] <= w[1]));
+        self
+    }
+
+    /// True when `key` could be stored in this run (fence range + filter).
+    pub fn may_contain(&self, key: Key) -> bool {
+        key >= self.min_key && key <= self.max_key && self.bloom.may_contain(key)
+    }
+
+    /// True when `[lo, hi]` overlaps the run's key range.
+    pub fn overlaps(&self, lo: Key, hi: Key) -> bool {
+        lo <= self.max_key && hi >= self.min_key
+    }
+
+    /// Point lookup inside the run: the put/tombstone stored under `key`,
+    /// if any. Range tombstones are *not* consulted here — the table
+    /// layer applies them by sequence. One page read at most (fences),
+    /// and none at all when the bloom filter rejects.
+    pub fn search(&self, pool: &Arc<BufferPool>, key: Key) -> StorageResult<Option<Item>> {
+        if !self.may_contain(key) {
+            return Ok(None);
+        }
+        // Last page whose fence is <= key.
+        let page_idx = match self.fences.partition_point(|&f| f <= key) {
+            0 => return Ok(None),
+            p => p - 1,
+        };
+        let pid = self.first_page + page_idx as PageId;
+        let guard = pool.pin_read(pid)?;
+        for (k, item) in parse_page(&guard[..], self.record_len) {
+            if k == key && !matches!(item, Item::RangeDel(_)) {
+                return Ok(Some(item));
+            }
+            if k > key {
+                break;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Point items (puts and point tombstones) with `lo <= key <= hi`, in
+    /// key order. Range tombstones are skipped — callers read them from
+    /// [`Run::range_tombs`] metadata, which also covers tombstones whose
+    /// `lo` anchor falls *before* the scanned window. Fence keys bound the
+    /// page walk to the overlapping prefix/suffix; a pacer checkpoint runs
+    /// between pages with no pin held.
+    pub fn scan_range(
+        &self,
+        pool: &Arc<BufferPool>,
+        lo: Key,
+        hi: Key,
+    ) -> StorageResult<Vec<(Key, Item)>> {
+        if !self.overlaps(lo, hi) {
+            return Ok(Vec::new());
+        }
+        // First page that can hold `lo` .. last page whose fence is <= hi.
+        let first = self.fences.partition_point(|&f| f <= lo).saturating_sub(1);
+        let last = match self.fences.partition_point(|&f| f <= hi) {
+            0 => return Ok(Vec::new()),
+            p => p - 1,
+        };
+        let mut out = Vec::new();
+        for (i, page_idx) in (first..=last).enumerate() {
+            if i > 0 {
+                pacer::checkpoint()?;
+            }
+            let pid = self.first_page + page_idx as PageId;
+            let items = {
+                let guard = pool.pin_read(pid)?;
+                parse_page(&guard[..], self.record_len)
+            };
+            for (k, item) in items {
+                if k > hi {
+                    return Ok(out);
+                }
+                if k >= lo && !matches!(item, Item::RangeDel(_)) {
+                    out.push((k, item));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read the whole run back, page by page, with a pacer checkpoint
+    /// between pages and no pin held across them.
+    pub fn read_all(&self, pool: &Arc<BufferPool>) -> StorageResult<Vec<(Key, Item)>> {
+        let mut cursor = RunCursor::open(pool.clone(), self)?;
+        let mut out = Vec::with_capacity(self.items());
+        while let Some(entry) = cursor.next_item()? {
+            out.push(entry);
+        }
+        Ok(out)
+    }
+}
+
+/// Split sorted items into chunks that each pack into at most `max_pages`
+/// pages under the same greedy layout [`Run::write`] uses — the partition
+/// step that keeps runs at SST-file granularity, so a compaction never
+/// rewrites more than the victim plus the partitions it overlaps.
+pub fn partition_items(
+    items: Vec<(Key, Item)>,
+    record_len: usize,
+    max_pages: usize,
+) -> Vec<Vec<(Key, Item)>> {
+    let max_pages = max_pages.max(1);
+    let mut chunks = Vec::new();
+    let mut chunk: Vec<(Key, Item)> = Vec::new();
+    let mut pages = 1usize;
+    let mut used = PAGE_HEADER;
+    for (key, item) in items {
+        let len = item.encoded_len(record_len);
+        if used + len > PAGE_SIZE {
+            if pages == max_pages {
+                chunks.push(std::mem::take(&mut chunk));
+                pages = 1;
+            } else {
+                pages += 1;
+            }
+            used = PAGE_HEADER;
+        }
+        used += len;
+        chunk.push((key, item));
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    // A range tombstone reaching past its partition would make sibling
+    // partitions overlap (its `hi` extends `max_key`). Split it at each
+    // boundary — the two halves cover exactly the same keys.
+    for i in 0..chunks.len().saturating_sub(1) {
+        let next_first = chunks[i + 1][0].0;
+        let mut kept = Vec::with_capacity(chunks[i].len());
+        let mut carried = Vec::new();
+        for (lo, item) in std::mem::take(&mut chunks[i]) {
+            match item {
+                Item::RangeDel(hi) if hi >= next_first => {
+                    carried.push((next_first, Item::RangeDel(hi)));
+                    if lo < next_first {
+                        kept.push((lo, Item::RangeDel(next_first - 1)));
+                    }
+                }
+                other => kept.push((lo, other)),
+            }
+        }
+        chunks[i] = kept;
+        chunks[i + 1].splice(0..0, carried);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_page(page: &[u8], record_len: usize) -> Vec<(Key, Item)> {
+    let count = u16::from_le_bytes([page[0], page[1]]) as usize;
+    let mut pos = PAGE_HEADER;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = page[pos];
+        let key = Key::from_le_bytes(page[pos + 1..pos + 9].try_into().unwrap());
+        pos += 9;
+        let item = match tag {
+            0 => {
+                let rec = page[pos..pos + record_len].to_vec();
+                pos += record_len;
+                Item::Put(rec)
+            }
+            1 => Item::Del,
+            2 => {
+                let hi = Key::from_le_bytes(page[pos..pos + 8].try_into().unwrap());
+                pos += 8;
+                Item::RangeDel(hi)
+            }
+            t => unreachable!("corrupt run page: item tag {t}"),
+        };
+        items.push((key, item));
+    }
+    items
+}
+
+/// Streaming reader over one run: pins one page at a time, parses it,
+/// drops the pin, and calls [`pacer::checkpoint`] between pages — the
+/// pattern every long scan in the workspace follows, so compaction merges
+/// and full scans are pausable with zero pins held while parked.
+pub struct RunCursor {
+    pool: Arc<BufferPool>,
+    first_page: PageId,
+    n_pages: usize,
+    record_len: usize,
+    next_page: usize,
+    buffered: std::vec::IntoIter<(Key, Item)>,
+}
+
+impl RunCursor {
+    /// Open a cursor at the start of `run`, posting the whole extent to
+    /// the read-ahead window.
+    pub fn open(pool: Arc<BufferPool>, run: &Run) -> StorageResult<RunCursor> {
+        pool.prefetch_run(run.first_page, run.n_pages)?;
+        Ok(RunCursor {
+            pool,
+            first_page: run.first_page,
+            n_pages: run.n_pages,
+            record_len: run.record_len,
+            next_page: 0,
+            buffered: Vec::new().into_iter(),
+        })
+    }
+
+    /// Next item in key order, or `None` at the end of the run.
+    pub fn next_item(&mut self) -> StorageResult<Option<(Key, Item)>> {
+        loop {
+            if let Some(entry) = self.buffered.next() {
+                return Ok(Some(entry));
+            }
+            if self.next_page >= self.n_pages {
+                return Ok(None);
+            }
+            if self.next_page > 0 {
+                pacer::checkpoint()?;
+            }
+            let pid = self.first_page + self.next_page as PageId;
+            self.next_page += 1;
+            let items = {
+                let guard = self.pool.pin_read(pid)?;
+                parse_page(&guard[..], self.record_len)
+            };
+            self.buffered = items.into_iter();
+        }
+    }
+
+    /// The key the next item would have, without consuming it.
+    pub fn peek_key(&mut self) -> StorageResult<Option<Key>> {
+        if let Some((k, _)) = self.buffered.as_slice().first() {
+            return Ok(Some(*k));
+        }
+        // Force the next page into the buffer, then peek.
+        match self.next_item()? {
+            None => Ok(None),
+            Some(entry) => {
+                let key = entry.0;
+                // Push back: rebuild the iterator with the entry first.
+                let mut rest: Vec<(Key, Item)> = vec![entry];
+                rest.extend(self.buffered.by_ref());
+                self.buffered = rest.into_iter();
+                Ok(Some(key))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_splits_range_tombstones_at_boundaries() {
+        // ~56 put items per page at record_len 64; force several pages.
+        let record_len = 64;
+        let mut items: Vec<(Key, Item)> = (0..300u64)
+            .map(|k| (k * 2, Item::Put(vec![0u8; record_len])))
+            .collect();
+        items.push((1, Item::RangeDel(597)));
+        items.sort_by_key(|(k, _)| *k);
+        let chunks = partition_items(items, record_len, 2);
+        assert!(chunks.len() > 1, "must partition");
+        for w in chunks.windows(2) {
+            let next_first = w[1][0].0;
+            for (lo, item) in &w[0] {
+                if let Item::RangeDel(hi) = item {
+                    assert!(*hi < next_first, "tombstone [{lo}, {hi}] crosses boundary");
+                }
+            }
+        }
+        // Coverage is preserved: the tombstone pieces still span [1, 597].
+        let pieces: Vec<(Key, Key)> = chunks
+            .iter()
+            .flatten()
+            .filter_map(|(lo, item)| match item {
+                Item::RangeDel(hi) => Some((*lo, *hi)),
+                _ => None,
+            })
+            .collect();
+        assert!(pieces.len() > 1, "tombstone must have been split");
+        assert_eq!(pieces.first().unwrap().0, 1);
+        assert_eq!(pieces.last().unwrap().1, 597);
+        for w in pieces.windows(2) {
+            assert_eq!(w[1].0, w[0].1 + 1, "pieces must tile without gaps");
+        }
+    }
+}

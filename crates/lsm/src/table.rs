@@ -1,0 +1,907 @@
+//! The leveled, delete-aware LSM table.
+//!
+//! Shape: a [`Memtable`] on top, then level 0 (overlapping runs, one per
+//! flush, newest last) and deeper levels of non-overlapping runs sorted
+//! by key. Writes go to the memtable; a full memtable flushes to a new
+//! level-0 run; an over-full level compacts one **victim** run down by
+//! merging it with the overlapping runs one level deeper.
+//!
+//! Delete-awareness lives in the victim selection, after Lethe's FADE:
+//! instead of round-robining or picking the fullest run, each run is
+//! scored `tombstones * (1 + age)` where age is measured in flush /
+//! compaction ticks since the run's oldest tombstone entered the tree.
+//! Runs dragging old deletes down win, so tombstones sink — and the
+//! puts they shadow get purged — ahead of delete-free data. On top of
+//! the score, any tombstone older than [`LsmConfig::purge_deadline`]
+//! *forces* its run to compact even when its level is under capacity,
+//! which bounds how long a deleted row can remain physically readable
+//! (the paper's "bulk deletes should reclaim space promptly" argument,
+//! restated for log-structured storage).
+//!
+//! Tombstones (point and range) are dropped when a merge writes into the
+//! deepest populated level — below that there is nothing left to shadow.
+
+use std::sync::Arc;
+
+use bd_btree::Key;
+use bd_core::audit::AuditReport;
+use bd_core::error::{DbError, DbResult};
+use bd_core::report::{measure, RunReport};
+use bd_core::tuple::{Schema, Tuple};
+use bd_core::{EngineStats, TableEngine};
+use bd_storage::{
+    pacer, BufferPool, CostModel, PageId, SimDisk, StorageResult, StructureId, PAGE_SIZE,
+};
+
+use crate::memtable::{MemEntry, Memtable};
+use crate::run::{partition_items, Item, Run, RunCursor};
+use crate::LsmConfig;
+
+/// Size and shape of the LSM tree, for reports and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Items buffered in the memtable.
+    pub memtable: usize,
+    /// Number of levels with at least one run.
+    pub levels: usize,
+    /// Total runs across all levels.
+    pub runs: usize,
+    /// Total pages owned by runs.
+    pub pages: usize,
+    /// Total puts stored in runs (including shadowed versions).
+    pub puts: usize,
+    /// Total tombstones (point + range) still buffered in runs.
+    pub tombstones: usize,
+    /// Flushes performed over the table's lifetime.
+    pub flushes: usize,
+    /// Compactions performed over the table's lifetime.
+    pub compactions: usize,
+}
+
+/// A delete-aware LSM table over the shared simulated-disk stack.
+pub struct LsmTable {
+    pool: Arc<BufferPool>,
+    schema: Schema,
+    owner: StructureId,
+    cfg: LsmConfig,
+    mem: Memtable,
+    /// `levels[0]` holds overlapping flush runs, newest last; deeper
+    /// levels hold non-overlapping runs sorted by `min_key`.
+    levels: Vec<Vec<Run>>,
+    /// Monotonic tick: bumped once per flush and once per compaction.
+    /// Run sequence numbers and tombstone ages are measured in it.
+    seq: u64,
+    flushes: usize,
+    compactions: usize,
+}
+
+impl LsmTable {
+    /// A fresh table with its own simulated disk. `total_memory` is split
+    /// like [`DatabaseConfig::with_total_memory`](bd_core::DatabaseConfig):
+    /// 3/4 buffer pool, with the memtable playing the workspace role —
+    /// so LSM and B-tree engines bench against equal cache budgets.
+    pub fn new(schema: Schema, total_memory: usize, cfg: LsmConfig) -> LsmTable {
+        let pool =
+            BufferPool::with_byte_budget(SimDisk::new(CostModel::default()), total_memory / 4 * 3);
+        LsmTable::with_pool(pool, schema, 0, cfg)
+    }
+
+    /// A table over an existing pool, owning pages as table `table_no`'s
+    /// LSM structure in the page catalog.
+    pub fn with_pool(
+        pool: Arc<BufferPool>,
+        schema: Schema,
+        table_no: usize,
+        cfg: LsmConfig,
+    ) -> LsmTable {
+        LsmTable {
+            pool,
+            schema,
+            owner: StructureId::lsm_of(table_no),
+            cfg,
+            mem: Memtable::new(),
+            levels: Vec::new(),
+            seq: 0,
+            flushes: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The shared buffer pool (for `measure` and audits).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Tuning knobs in effect.
+    pub fn config(&self) -> LsmConfig {
+        self.cfg
+    }
+
+    /// Current shape.
+    pub fn lsm_stats(&self) -> LsmStats {
+        let all = self.levels.iter().flatten();
+        LsmStats {
+            memtable: self.mem.len(),
+            levels: self.levels.iter().filter(|l| !l.is_empty()).count(),
+            runs: self.levels.iter().map(Vec::len).sum(),
+            pages: all.clone().map(|r| r.n_pages).sum(),
+            puts: all.clone().map(|r| r.puts).sum(),
+            tombstones: all.map(Run::tombstones).sum(),
+            flushes: self.flushes,
+            compactions: self.compactions,
+        }
+    }
+
+    // ---- writes ------------------------------------------------------
+
+    fn put_raw(&mut self, key: Key, record: Vec<u8>) -> StorageResult<()> {
+        self.mem.put(key, record);
+        self.maybe_flush()
+    }
+
+    fn delete_raw(&mut self, key: Key) -> StorageResult<()> {
+        self.mem.delete(key);
+        self.maybe_flush()
+    }
+
+    fn delete_range_raw(&mut self, lo: Key, hi: Key) -> StorageResult<()> {
+        self.mem.delete_range(lo, hi);
+        self.maybe_flush()
+    }
+
+    fn maybe_flush(&mut self) -> StorageResult<()> {
+        if self.mem.len() >= self.cfg.memtable_capacity {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the memtable to a new level-0 run, then compact until every
+    /// level is within shape and no tombstone is past its purge deadline.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        let items = self.mem.drain_sorted();
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.seq += 1;
+        let has_tombs = items.iter().any(|(_, it)| !matches!(it, Item::Put(_)));
+        let run = Run::write(
+            &self.pool,
+            self.owner,
+            self.schema.record_len,
+            &items,
+            self.seq,
+            has_tombs.then_some(self.seq),
+            self.cfg.bloom_bits_per_key,
+        )?;
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(run);
+        self.flushes += 1;
+        self.compact_to_shape()
+    }
+
+    // ---- compaction --------------------------------------------------
+
+    /// Tombstone age of `run` in ticks, 0 when tombstone-free.
+    fn tomb_age(&self, run: &Run) -> u64 {
+        run.oldest_tomb_seq
+            .map(|o| self.seq.saturating_sub(o))
+            .unwrap_or(0)
+    }
+
+    /// FADE score: tombstone count weighted by tombstone age. Higher =
+    /// more urgent to push down.
+    fn fade_score(&self, run: &Run) -> u64 {
+        run.tombstones() as u64 * (1 + self.tomb_age(run))
+    }
+
+    /// True when `run` carries a tombstone past the purge deadline.
+    fn past_deadline(&self, run: &Run) -> bool {
+        self.tomb_age(run) >= self.cfg.purge_deadline
+    }
+
+    /// Run-count capacity of a level: `fanout^(level+1)`, the geometric
+    /// growth leveled LSMs use (runs are size-bounded partitions, so run
+    /// count stands in for level bytes).
+    fn max_runs(&self, level: usize) -> usize {
+        self.cfg.fanout.saturating_pow(level as u32 + 1).max(1)
+    }
+
+    /// Compact until no level exceeds the fanout and no tombstone is past
+    /// the purge deadline. Tombstones sink one level per merge and are
+    /// dropped at the bottom, so this terminates.
+    pub fn compact_to_shape(&mut self) -> StorageResult<()> {
+        loop {
+            let Some((level, idx)) = self.pick_victim() else {
+                return Ok(());
+            };
+            self.compact_run(level, idx)?;
+        }
+    }
+
+    /// The next run to push down, or `None` when the tree is in shape:
+    /// first any run past the purge deadline (deepest level last, so
+    /// upper-level deadlines are not starved by re-triggering lower
+    /// ones), else the best FADE score in any over-full level.
+    fn pick_victim(&self) -> Option<(usize, usize)> {
+        for (l, runs) in self.levels.iter().enumerate() {
+            if let Some(i) = (0..runs.len()).find(|&i| self.past_deadline(&runs[i])) {
+                return Some((l, i));
+            }
+        }
+        for (l, runs) in self.levels.iter().enumerate() {
+            if runs.len() > self.max_runs(l) {
+                let best = (0..runs.len()).max_by_key(|&i| {
+                    // Prefer high FADE scores; among delete-free runs
+                    // prefer the oldest, so compaction still rotates.
+                    (self.fade_score(&runs[i]), u64::MAX - runs[i].seq)
+                })?;
+                return Some((l, best));
+            }
+        }
+        None
+    }
+
+    /// Merge the victim with the overlapping runs one level deeper and
+    /// write the result there. Level 0 runs overlap *each other*, so
+    /// recency within level 0 is run order — compacting one of them past
+    /// its siblings would invert newest-wins. Level 0 therefore always
+    /// compacts as a whole (`idx` only names the trigger run); deeper
+    /// levels move exactly `levels[level][idx]`. Tombstones are dropped
+    /// when the output level is the deepest populated one.
+    fn compact_run(&mut self, level: usize, idx: usize) -> StorageResult<()> {
+        let victims: Vec<Run> = if level == 0 {
+            let mut l0 = std::mem::take(&mut self.levels[0]);
+            // Stored oldest-first; merge ranks are newest-first.
+            l0.reverse();
+            l0
+        } else {
+            vec![self.levels[level].remove(idx)]
+        };
+        let lo = victims.iter().map(|r| r.min_key).min().expect("victims");
+        let hi = victims.iter().map(|r| r.max_key).max().expect("victims");
+        if self.levels.len() <= level + 1 {
+            self.levels.push(Vec::new());
+        }
+        // Everything under the victims' key hull merges too, so the
+        // output run cannot overlap what stays behind at level+1.
+        let below = &mut self.levels[level + 1];
+        let overlapping: Vec<Run> = {
+            let mut picked = Vec::new();
+            let mut i = 0;
+            while i < below.len() {
+                if below[i].overlaps(lo, hi) {
+                    picked.push(below.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            picked
+        };
+        // Victims shadow everything they merge with: rank 0 is newest.
+        let mut inputs: Vec<Run> = victims;
+        inputs.extend(overlapping);
+
+        let drop_tombs = self.levels.iter().skip(level + 2).all(Vec::is_empty);
+        let merged = self.merge_runs(&inputs, drop_tombs)?;
+
+        self.seq += 1;
+        self.compactions += 1;
+        let survivors_tomb_seq = if drop_tombs {
+            None
+        } else {
+            inputs.iter().filter_map(|r| r.oldest_tomb_seq).min()
+        };
+        // Write the merge output as size-bounded partitions so the next
+        // compaction down is bounded too.
+        for chunk in partition_items(merged, self.schema.record_len, self.cfg.max_run_pages) {
+            let has_tombs = chunk.iter().any(|(_, it)| !matches!(it, Item::Put(_)));
+            let run = Run::write(
+                &self.pool,
+                self.owner,
+                self.schema.record_len,
+                &chunk,
+                self.seq,
+                if has_tombs { survivors_tomb_seq } else { None },
+                self.cfg.bloom_bits_per_key,
+            )?;
+            let below = &mut self.levels[level + 1];
+            let at = below.partition_point(|r| r.min_key < run.min_key);
+            below.insert(at, run);
+        }
+        // Retire the inputs, pacer-pausable between runs.
+        for (i, run) in inputs.iter().enumerate() {
+            if i > 0 {
+                pacer::checkpoint()?;
+            }
+            for p in 0..run.n_pages {
+                self.pool.free_page(run.first_page + p as PageId);
+            }
+        }
+        Ok(())
+    }
+
+    /// K-way newest-wins merge. `inputs[0]` is newest; deeper inputs are
+    /// mutually non-overlapping level-(l+1) runs. Range tombstones from a
+    /// newer rank kill puts and point tombstones from older ranks; puts
+    /// are never killed by their own run's range tombstones (the memtable
+    /// applied those eagerly, so a surviving put is newer).
+    fn merge_runs(&self, inputs: &[Run], drop_tombs: bool) -> StorageResult<Vec<(Key, Item)>> {
+        let mut cursors: Vec<RunCursor> = inputs
+            .iter()
+            .map(|r| RunCursor::open(self.pool.clone(), r))
+            .collect::<StorageResult<_>>()?;
+        // (rank, lo, hi) of every range tombstone seen so far. Key order
+        // guarantees a tombstone is seen before any key it can kill.
+        let mut active_tombs: Vec<(usize, Key, Key)> = Vec::new();
+        let mut out: Vec<(Key, Item)> = Vec::new();
+
+        loop {
+            // Smallest next key, preferring the newest rank on ties.
+            let mut next: Option<(Key, usize)> = None;
+            for (rank, cur) in cursors.iter_mut().enumerate() {
+                if let Some(k) = cur.peek_key()? {
+                    if next.map(|(nk, _)| k < nk).unwrap_or(true) {
+                        next = Some((k, rank));
+                    }
+                }
+            }
+            let Some((key, rank)) = next else {
+                return Ok(out);
+            };
+            let (_, item) = cursors[rank].next_item()?.expect("peeked");
+            match item {
+                Item::RangeDel(hi) => {
+                    active_tombs.push((rank, key, hi));
+                    if !drop_tombs {
+                        out.push((key, Item::RangeDel(hi)));
+                    }
+                }
+                point => {
+                    // Discard shadowed versions of the same key in older
+                    // ranks before they can win a later round. A run can
+                    // hold several items at one key (a range tombstone
+                    // anchored there plus a put), so drain each cursor.
+                    for (other_rank, other) in cursors.iter_mut().enumerate().skip(rank + 1) {
+                        while other.peek_key()? == Some(key) {
+                            if let Some((_, Item::RangeDel(hi))) = other.next_item()? {
+                                // A same-key range tombstone is not a
+                                // version of the key: keep it live, at
+                                // its own run's recency.
+                                active_tombs.push((other_rank, key, hi));
+                                if !drop_tombs {
+                                    out.push((key, Item::RangeDel(hi)));
+                                }
+                            }
+                        }
+                    }
+                    let killed = active_tombs
+                        .iter()
+                        .any(|&(tr, lo, hi)| tr < rank && lo <= key && key <= hi);
+                    if killed {
+                        continue;
+                    }
+                    match point {
+                        Item::Put(rec) => out.push((key, Item::Put(rec))),
+                        Item::Del => {
+                            if !drop_tombs {
+                                out.push((key, Item::Del));
+                            }
+                        }
+                        Item::RangeDel(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Force every buffered and stored tombstone through compaction until
+    /// all deletes are physically purged (the "pay the whole bill now"
+    /// arm the bench compares against the B-tree's eager merge). Returns
+    /// the number of compactions it took.
+    pub fn purge_all(&mut self) -> StorageResult<usize> {
+        self.flush()?;
+        let before = self.compactions;
+        while let Some((l, i)) = self.find_tombstoned_run() {
+            self.compact_run(l, i)?;
+            self.compact_to_shape()?;
+        }
+        Ok(self.compactions - before)
+    }
+
+    fn find_tombstoned_run(&self) -> Option<(usize, usize)> {
+        for (l, runs) in self.levels.iter().enumerate() {
+            if let Some(i) = (0..runs.len()).find(|&i| runs[i].tombstones() > 0) {
+                return Some((l, i));
+            }
+        }
+        None
+    }
+
+    // ---- reads -------------------------------------------------------
+
+    /// Runs in newest-to-oldest order: level 0 newest-first, then each
+    /// deeper level (rank among non-overlapping runs is irrelevant).
+    fn runs_newest_first(&self) -> impl Iterator<Item = &Run> {
+        let l0 = self.levels.first().map(|l| l.as_slice()).unwrap_or(&[]);
+        l0.iter().rev().chain(self.levels.iter().skip(1).flatten())
+    }
+
+    /// Newest verdict for `key`: the record if live, `None` if deleted or
+    /// never inserted.
+    fn lookup_raw(&mut self, key: Key) -> StorageResult<Option<Vec<u8>>> {
+        match self.mem.get(key) {
+            Some(MemEntry::Put(rec)) => return Ok(Some(rec)),
+            Some(MemEntry::Del) => return Ok(None),
+            None => {}
+        }
+        let pool = self.pool.clone();
+        for run in self.runs_newest_first() {
+            match run.search(&pool, key)? {
+                Some(Item::Put(rec)) => return Ok(Some(rec)),
+                Some(Item::Del) => return Ok(None),
+                Some(Item::RangeDel(_)) => unreachable!("search skips range tombstones"),
+                None => {
+                    // No point version here; a covering range tombstone
+                    // in this run still buries every older level.
+                    if run
+                        .range_tombs
+                        .iter()
+                        .any(|&(lo, hi)| lo <= key && key <= hi)
+                    {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Live records with `lo <= key <= hi`, key-ascending.
+    fn range_raw(&mut self, lo: Key, hi: Key) -> StorageResult<Vec<(Key, Vec<u8>)>> {
+        // Winner per key = the version from the newest rank; then range
+        // tombstones from strictly newer ranks kill older winners.
+        let mut winners: std::collections::BTreeMap<Key, (usize, Item)> =
+            std::collections::BTreeMap::new();
+        let mut tombs: Vec<(usize, Key, Key)> = Vec::new();
+        let mut rank = 0usize;
+
+        for (k, e) in self.mem.range(lo, hi) {
+            let item = match e {
+                MemEntry::Put(rec) => Item::Put(rec),
+                MemEntry::Del => Item::Del,
+            };
+            winners.insert(k, (rank, item));
+        }
+        for &(tlo, thi) in self.mem.range_tombs() {
+            if tlo <= hi && thi >= lo {
+                tombs.push((rank, tlo, thi));
+            }
+        }
+
+        let pool = self.pool.clone();
+        for run in self.runs_newest_first() {
+            rank += 1;
+            for (k, item) in run.scan_range(&pool, lo, hi)? {
+                winners.entry(k).or_insert((rank, item));
+            }
+            for &(tlo, thi) in &run.range_tombs {
+                if tlo <= hi && thi >= lo {
+                    tombs.push((rank, tlo, thi));
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for (k, (r, item)) in winners {
+            let killed = tombs
+                .iter()
+                .any(|&(tr, tlo, thi)| tr < r && tlo <= k && k <= thi);
+            if killed {
+                continue;
+            }
+            if let Item::Put(rec) = item {
+                out.push((k, rec));
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- audits ------------------------------------------------------
+
+    /// Structural self-audit: run metadata vs pages, level invariants,
+    /// and page-catalog agreement. Clean report = internally consistent.
+    pub fn audit_structure(&mut self) -> StorageResult<AuditReport> {
+        let mut report = AuditReport::default();
+        let pool = self.pool.clone();
+        for (l, runs) in self.levels.iter().enumerate() {
+            for (i, run) in runs.iter().enumerate() {
+                let name = format!("lsm run L{l}#{i}");
+                if run.fences.len() != run.n_pages {
+                    report.push(&name, "fence count != page count");
+                }
+                if run.fences.windows(2).any(|w| w[0] > w[1]) {
+                    report.push(&name, "fence keys out of order");
+                }
+                let items = run.read_all(&pool)?;
+                if items.windows(2).any(|w| w[0].0 > w[1].0) {
+                    report.push(&name, "items out of key order on disk");
+                }
+                if items.len() != run.items() {
+                    report.push(
+                        &name,
+                        format!(
+                            "metadata counts {} items, pages hold {}",
+                            run.items(),
+                            items.len()
+                        ),
+                    );
+                }
+                for (k, item) in &items {
+                    if !matches!(item, Item::RangeDel(_)) && !run.bloom.may_contain(*k) {
+                        report.push(&name, format!("bloom false negative for key {k}"));
+                    }
+                }
+                if let Some((first, _)) = items.first() {
+                    if *first != run.min_key {
+                        report.push(&name, "min_key disagrees with first item");
+                    }
+                }
+                if run.tombstones() > 0 && run.oldest_tomb_seq.is_none() {
+                    report.push(&name, "tombstones present but oldest_tomb_seq unset");
+                }
+                if run.tombstones() == 0 && run.oldest_tomb_seq.is_some() {
+                    report.push(&name, "tombstone-free but oldest_tomb_seq set");
+                }
+            }
+            if l >= 1 {
+                for w in runs.windows(2) {
+                    if w[1].min_key <= w[0].max_key {
+                        report.push(
+                            format!("lsm level {l}"),
+                            format!(
+                                "runs overlap: [{}, {}] then [{}, {}]",
+                                w[0].min_key, w[0].max_key, w[1].min_key, w[1].max_key
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        report.findings.extend(self.audit_pages().findings);
+        Ok(report)
+    }
+
+    /// Page-catalog agreement: the catalog's idea of this structure's
+    /// pages must be exactly the union of live run extents.
+    pub fn audit_pages(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        let mut expected: Vec<PageId> = self
+            .levels
+            .iter()
+            .flatten()
+            .flat_map(|r| (0..r.n_pages).map(move |p| r.first_page + p as PageId))
+            .collect();
+        expected.sort_unstable();
+        if expected.windows(2).any(|w| w[0] == w[1]) {
+            report.push("lsm catalog", "two runs claim the same page");
+        }
+        let mut actual = self.pool.catalog().pages_of(self.owner);
+        actual.sort_unstable();
+        if expected != actual {
+            let missing = expected.iter().filter(|p| !actual.contains(p)).count();
+            let stray = actual.iter().filter(|p| !expected.contains(p)).count();
+            report.push(
+                "lsm catalog",
+                format!(
+                    "catalog owns {} pages, runs cover {} ({} missing from catalog, {} stray)",
+                    actual.len(),
+                    expected.len(),
+                    missing,
+                    stray
+                ),
+            );
+        }
+        report
+    }
+}
+
+impl TableEngine for LsmTable {
+    fn name(&self) -> &'static str {
+        "lsm"
+    }
+
+    fn schema(&self) -> Schema {
+        self.schema
+    }
+
+    fn insert(&mut self, tuple: &Tuple) -> DbResult<()> {
+        let key = tuple.attr(0);
+        if self.lookup_raw(key).map_err(DbError::Storage)?.is_some() {
+            return Err(DbError::DuplicateKey { attr: 0, key });
+        }
+        let rec = self.schema.encode(tuple)?;
+        self.put_raw(key, rec).map_err(DbError::Storage)
+    }
+
+    fn bulk_load(&mut self, rows: &[Tuple]) -> DbResult<()> {
+        if self.mem.is_empty() && self.levels.iter().all(Vec::is_empty) && !rows.is_empty() {
+            // Fast path mirroring the B-tree's bottom-up build: one
+            // sorted run written straight into level 1.
+            let mut items = Vec::with_capacity(rows.len());
+            for t in rows {
+                items.push((t.attr(0), Item::Put(self.schema.encode(t)?)));
+            }
+            items.sort_by_key(|(k, _)| *k);
+            if let Some(w) = items.windows(2).find(|w| w[0].0 == w[1].0) {
+                return Err(DbError::DuplicateKey {
+                    attr: 0,
+                    key: w[0].0,
+                });
+            }
+            self.seq += 1;
+            let chunks = partition_items(items, self.schema.record_len, self.cfg.max_run_pages);
+            let mut runs = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
+                runs.push(
+                    Run::write(
+                        &self.pool,
+                        self.owner,
+                        self.schema.record_len,
+                        &chunk,
+                        self.seq,
+                        None,
+                        self.cfg.bloom_bits_per_key,
+                    )
+                    .map_err(DbError::Storage)?,
+                );
+            }
+            // Place the partitions at the shallowest level that can hold
+            // them all, leaving level 0 free for flushes.
+            let mut level = 1;
+            while self.max_runs(level) < runs.len() {
+                level += 1;
+            }
+            self.levels = vec![Vec::new(); level + 1];
+            self.levels[level] = runs;
+            self.flushes += 1;
+            return Ok(());
+        }
+        for t in rows {
+            self.insert(t)?;
+        }
+        Ok(())
+    }
+
+    fn lookup(&mut self, key: Key) -> DbResult<Option<Tuple>> {
+        Ok(self
+            .lookup_raw(key)
+            .map_err(DbError::Storage)?
+            .map(|rec| self.schema.decode(&rec)))
+    }
+
+    fn range_lookup(&mut self, lo: Key, hi: Key) -> DbResult<Vec<Tuple>> {
+        Ok(self
+            .range_raw(lo, hi)
+            .map_err(DbError::Storage)?
+            .into_iter()
+            .map(|(_, rec)| self.schema.decode(&rec))
+            .collect())
+    }
+
+    fn bulk_delete(&mut self, keys: &[Key]) -> DbResult<RunReport> {
+        let pool = self.pool.clone();
+        let (deleted, mut report) = measure(&pool, "lsm tombstone", || {
+            let mut deleted = 0;
+            for (i, &key) in keys.iter().enumerate() {
+                if i > 0 {
+                    pacer::checkpoint()?;
+                }
+                // Look before writing: absent keys get no ghost
+                // tombstone and the deleted count stays exact.
+                if self.lookup_raw(key)?.is_some() {
+                    self.delete_raw(key)?;
+                    deleted += 1;
+                }
+            }
+            self.flush()?;
+            Ok(deleted)
+        })
+        .map_err(DbError::Storage)?;
+        report.deleted = deleted;
+        Ok(report)
+    }
+
+    fn delete_range(&mut self, lo: Key, hi: Key) -> DbResult<RunReport> {
+        let pool = self.pool.clone();
+        let (deleted, mut report) = measure(&pool, "lsm range tombstone", || {
+            let deleted = self.range_raw(lo, hi)?.len();
+            self.delete_range_raw(lo, hi)?;
+            self.flush()?;
+            Ok(deleted)
+        })
+        .map_err(DbError::Storage)?;
+        report.deleted = deleted;
+        Ok(report)
+    }
+
+    fn stats(&mut self) -> DbResult<EngineStats> {
+        let rows = self
+            .range_raw(Key::MIN, Key::MAX)
+            .map_err(DbError::Storage)?
+            .len();
+        let s = self.lsm_stats();
+        Ok(EngineStats {
+            rows,
+            pages: s.pages,
+            detail: format!(
+                "{} levels, {} runs, {} tombstones, {} compactions",
+                s.levels, s.runs, s.tombstones, s.compactions
+            ),
+        })
+    }
+
+    fn audit_dump(&mut self) -> DbResult<Vec<Tuple>> {
+        let mut rows: Vec<Tuple> = self.range_lookup(Key::MIN, Key::MAX)?;
+        rows.sort_by(|x, y| x.attrs.cmp(&y.attrs));
+        Ok(rows)
+    }
+
+    fn audit_self(&mut self) -> DbResult<AuditReport> {
+        self.audit_structure().map_err(DbError::Storage)
+    }
+}
+
+// Keep the page-size assumption visible at compile time: a record plus
+// item header must fit a page, and schemas in this workspace are small.
+const _: () = assert!(PAGE_SIZE > 512);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: u64) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::new(vec![i * 2, i % 7, i])).collect()
+    }
+
+    fn table(n: u64) -> LsmTable {
+        let mut t = LsmTable::new(Schema::new(3, 64), 1 << 20, LsmConfig::tiny());
+        t.bulk_load(&rows(n)).unwrap();
+        t
+    }
+
+    #[test]
+    fn keyed_contract_and_duplicates() {
+        let mut t = table(500);
+        assert_eq!(t.lookup(10).unwrap(), Some(Tuple::new(vec![10, 5, 5])));
+        assert_eq!(t.lookup(11).unwrap(), None);
+        let err = t.insert(&Tuple::new(vec![10, 0, 0])).unwrap_err();
+        assert_eq!(err, DbError::DuplicateKey { attr: 0, key: 10 });
+        let mid = t.range_lookup(100, 110).unwrap();
+        assert_eq!(
+            mid.iter().map(|r| r.attr(0)).collect::<Vec<_>>(),
+            vec![100, 102, 104, 106, 108, 110]
+        );
+        assert_eq!(t.scan().unwrap().len(), 500);
+        assert!(t.audit_self().unwrap().is_clean());
+    }
+
+    #[test]
+    fn inserts_flush_and_compact_with_clean_audits() {
+        let mut t = LsmTable::new(Schema::new(3, 64), 1 << 20, LsmConfig::tiny());
+        for r in rows(600) {
+            t.insert(&r).unwrap();
+        }
+        let s = t.lsm_stats();
+        assert!(s.flushes >= 4, "tiny memtable must have flushed: {s:?}");
+        assert!(s.compactions >= 1, "fanout 3 must have compacted: {s:?}");
+        assert_eq!(t.scan().unwrap().len(), 600);
+        let report = t.audit_self().unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn deletes_are_shadowed_then_purged() {
+        let mut t = table(400);
+        let doomed: Vec<Key> = (0..100).map(|i| i * 8).collect();
+        let report = t.bulk_delete(&doomed).unwrap();
+        assert_eq!(report.deleted, 100);
+        assert_eq!(report.strategy, "lsm tombstone");
+        for &k in &doomed {
+            assert_eq!(t.lookup(k).unwrap(), None, "key {k} must read deleted");
+        }
+        assert_eq!(t.scan().unwrap().len(), 300);
+
+        // The purge deadline forces tombstones to the bottom where they
+        // are dropped, physically reclaiming the deleted rows.
+        for _ in 0..10 {
+            t.insert(&Tuple::new(vec![10_001 + t.seq, 0, 0])).unwrap();
+            t.flush().unwrap();
+        }
+        let s = t.lsm_stats();
+        assert_eq!(s.tombstones, 0, "deadline must purge tombstones: {s:?}");
+        assert_eq!(t.scan().unwrap().len(), 310);
+        let report = t.audit_self().unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn ghost_deletes_write_no_tombstones() {
+        let mut t = table(50);
+        let report = t.bulk_delete(&[1, 3, 5, 999_999]).unwrap();
+        assert_eq!(report.deleted, 0, "odd keys were never inserted");
+        assert_eq!(t.lsm_stats().tombstones, 0);
+    }
+
+    #[test]
+    fn range_delete_kills_old_runs_and_reinserts_resurrect() {
+        let mut t = table(500);
+        let report = t.delete_range(100, 298).unwrap();
+        assert_eq!(report.deleted, 100);
+        assert_eq!(t.lookup(200).unwrap(), None);
+        assert_eq!(t.scan().unwrap().len(), 400);
+
+        t.insert(&Tuple::new(vec![200, 9, 9])).unwrap();
+        assert_eq!(t.lookup(200).unwrap(), Some(Tuple::new(vec![200, 9, 9])));
+        assert_eq!(t.scan().unwrap().len(), 401);
+
+        // Push everything through compaction and re-check.
+        t.flush().unwrap();
+        for _ in 0..8 {
+            t.insert(&Tuple::new(vec![20_000 + t.seq, 0, 0])).unwrap();
+            t.flush().unwrap();
+        }
+        assert_eq!(t.lookup(200).unwrap(), Some(Tuple::new(vec![200, 9, 9])));
+        assert_eq!(t.lookup(202).unwrap(), None);
+        let report = t.audit_self().unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn purge_all_pays_the_whole_bill() {
+        let mut t = table(400);
+        t.bulk_delete(&(0..150).map(|i| i * 4).collect::<Vec<_>>())
+            .unwrap();
+        let compactions = t.purge_all().unwrap();
+        assert!(compactions > 0, "tombstones were buffered, purge must work");
+        assert_eq!(t.lsm_stats().tombstones, 0);
+        assert_eq!(t.scan().unwrap().len(), 250);
+        let report = t.audit_self().unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn levels_are_partitioned_into_bounded_runs() {
+        let t = table(2000);
+        let s = t.lsm_stats();
+        assert!(s.runs > 4, "2000 rows at 2 pages/run must partition: {s:?}");
+        for runs in &t.levels {
+            for run in runs {
+                // One carried range tombstone may spill a page past the cap.
+                assert!(run.n_pages <= t.cfg.max_run_pages + 1, "{}", run.n_pages);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_audit_catches_a_leak() {
+        let mut t = table(300);
+        t.bulk_delete(&[0, 2, 4]).unwrap();
+        assert!(t.audit_pages().is_clean());
+        // Forget a run without freeing its pages: the catalog now owns
+        // pages no live run covers.
+        let run = t
+            .levels
+            .iter_mut()
+            .find(|l| !l.is_empty())
+            .unwrap()
+            .remove(0);
+        let report = t.audit_pages();
+        assert!(!report.is_clean());
+        assert!(report.render().contains("stray"), "{}", report.render());
+        // Restore so drop paths stay consistent.
+        t.levels[0].push(run);
+    }
+}

@@ -30,7 +30,7 @@ use crate::disk::PageId;
 ///
 /// The discriminants double as the WAL wire tags (pinned by
 /// `bd-wal`'s `wire_format_is_stable_across_versions`): Probe=0, Table=1,
-/// Index=2, Hash=3, Temp=4, Spatial=5.
+/// Index=2, Hash=3, Temp=4, Spatial=5, Lsm=6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StructureId {
     /// The probe index (`I_A`). This is a *phase role*, not a page owner:
@@ -51,6 +51,11 @@ pub enum StructureId {
     /// A spatial (R-tree) index, by attribute number. Outside the bulk
     /// delete's phase set; owned pages exist so the catalog stays total.
     Spatial(u16),
+    /// An LSM table's run pages, table-scoped like [`StructureId::index_of`]
+    /// (wire tag 6; decoders predating it reject the tag instead of
+    /// misreading the record). Outside the WAL bulk-delete phase set — LSM
+    /// deletes are tombstone writes purged by compaction, not logged phases.
+    Lsm(u16),
 }
 
 impl std::fmt::Display for StructureId {
@@ -64,6 +69,8 @@ impl std::fmt::Display for StructureId {
             StructureId::Hash(a) => write!(f, "hash({a})"),
             StructureId::Temp => write!(f, "temp"),
             StructureId::Spatial(a) => write!(f, "spatial({a})"),
+            StructureId::Lsm(a) if *a >= 256 => write!(f, "lsm({}.{})", a >> 8, a & 0xFF),
+            StructureId::Lsm(a) => write!(f, "lsm({a})"),
         }
     }
 }
@@ -81,13 +88,17 @@ impl StructureId {
             StructureId::Hash(_) => 3,
             StructureId::Temp => 4,
             StructureId::Spatial(_) => 5,
+            StructureId::Lsm(_) => 6,
         }
     }
 
     /// Attribute payload, if the variant carries one.
     fn attr(self) -> u16 {
         match self {
-            StructureId::Index(a) | StructureId::Hash(a) | StructureId::Spatial(a) => a,
+            StructureId::Index(a)
+            | StructureId::Hash(a)
+            | StructureId::Spatial(a)
+            | StructureId::Lsm(a) => a,
             _ => 0,
         }
     }
@@ -100,6 +111,7 @@ impl StructureId {
             3 => StructureId::Hash(attr),
             4 => StructureId::Temp,
             5 => StructureId::Spatial(attr),
+            6 => StructureId::Lsm(attr),
             _ => return None,
         })
     }
@@ -123,6 +135,13 @@ impl StructureId {
     /// scoping as [`StructureId::index_of`]).
     pub fn hash_of(table: usize, attr: usize) -> StructureId {
         StructureId::Hash(Self::scope(table, attr))
+    }
+
+    /// Page-owner tag for table `table`'s LSM run pages (same scoping as
+    /// [`StructureId::index_of`]; the attribute slot is zero — an LSM
+    /// table owns one page set covering all its runs).
+    pub fn lsm_of(table: usize) -> StructureId {
+        StructureId::Lsm(Self::scope(table, 0))
     }
 
     fn scope(table: usize, attr: usize) -> u16 {
@@ -328,6 +347,7 @@ mod tests {
         c.note_alloc(2, 1, StructureId::Hash(3));
         c.note_alloc(3, 1, StructureId::Temp);
         c.note_alloc(4, 1, StructureId::Spatial(9));
+        c.note_alloc(5, 2, StructureId::lsm_of(1));
         c.free(0);
         let mut buf = Vec::new();
         c.encode(&mut buf);
@@ -362,5 +382,32 @@ mod tests {
         assert_eq!(StructureId::Index(5).to_string(), "index(5)");
         assert_eq!(StructureId::Hash(2).to_string(), "hash(2)");
         assert_eq!(StructureId::Spatial(1).to_string(), "spatial(1)");
+        assert_eq!(StructureId::Lsm(4).to_string(), "lsm(4)");
+        assert_eq!(StructureId::lsm_of(2).to_string(), "lsm(2.0)");
+    }
+
+    #[test]
+    fn lsm_tag_is_pinned_and_scoped() {
+        // Wire tag 6 is pinned: a catalog of one Lsm page encodes as
+        // count=1, tag 6, attr little-endian.
+        let mut c = PageCatalog::new();
+        c.note_alloc(0, 1, StructureId::Lsm(0x0203));
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        assert_eq!(buf, vec![1, 0, 0, 0, 6, 0x03, 0x02]);
+        // Truncation anywhere and unknown tags still fail after the new
+        // variant (tag 7 stays unknown).
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(PageCatalog::decode(&buf[..cut], &mut pos).is_none());
+        }
+        let mut bad = buf.clone();
+        bad[4] = 7;
+        let mut pos = 0;
+        assert!(PageCatalog::decode(&bad, &mut pos).is_none());
+        // lsm_of packs the table id like index_of/hash_of, but Lsm owners
+        // are not "scoped parts" structures for media recovery.
+        assert_eq!(StructureId::lsm_of(3), StructureId::Lsm(3 << 8));
+        assert_eq!(StructureId::lsm_of(3).scoped_parts(), None);
     }
 }

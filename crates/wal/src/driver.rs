@@ -296,8 +296,8 @@ fn run_phase(
                             .map_err(DbError::Storage)?;
                     }
                 }
-                StructureId::Temp | StructureId::Spatial(_) => {
-                    unreachable!("scratch and spatial structures are never bulk-delete phases")
+                StructureId::Temp | StructureId::Spatial(_) | StructureId::Lsm(_) => {
+                    unreachable!("scratch, spatial and LSM structures are never bulk-delete phases")
                 }
             }
         }
@@ -493,7 +493,10 @@ pub fn run_bulk_delete_parallel(
                     .index_on(*attr as usize)
                     .map(|i| i.def.unique)
                     .unwrap_or(false),
-                StructureId::Hash(_) | StructureId::Temp | StructureId::Spatial(_) => false,
+                StructureId::Hash(_)
+                | StructureId::Temp
+                | StructureId::Spatial(_)
+                | StructureId::Lsm(_) => false,
             })
             .count()
     };
@@ -674,7 +677,7 @@ impl MediaDamage {
             StructureId::Probe => self.tree_attrs.contains(&probe_attr),
             StructureId::Index(a) => self.tree_attrs.contains(&(a as usize)),
             StructureId::Hash(a) => self.hash_attrs.contains(&(a as usize)),
-            StructureId::Temp | StructureId::Spatial(_) => false,
+            StructureId::Temp | StructureId::Spatial(_) | StructureId::Lsm(_) => false,
         }
     }
 }
@@ -747,7 +750,9 @@ fn classify_media_damage(
                     damage.foreign.push(s);
                 }
             }
-            Some(StructureId::Temp) | Some(StructureId::Spatial(_)) => report.healed_scratch += 1,
+            Some(StructureId::Temp) | Some(StructureId::Spatial(_)) | Some(StructureId::Lsm(_)) => {
+                report.healed_scratch += 1
+            }
             Some(StructureId::Probe) => {
                 unreachable!("probe is a phase role; its pages are catalogued as Index")
             }
@@ -847,7 +852,10 @@ fn absorb_maintenance_damage(damage: &mut MediaDamage, open: &[StructureId], hom
                     damage.foreign.push(s);
                 }
             }
-            StructureId::Probe | StructureId::Temp | StructureId::Spatial(_) => {}
+            StructureId::Probe
+            | StructureId::Temp
+            | StructureId::Spatial(_)
+            | StructureId::Lsm(_) => {}
         }
     }
     damage.tree_attrs.sort_unstable();

@@ -431,6 +431,10 @@ fn encode_structure(out: &mut Vec<u8>, s: StructureId) {
             out.push(5);
             put_u16(out, a);
         }
+        StructureId::Lsm(a) => {
+            out.push(6);
+            put_u16(out, a);
+        }
     }
 }
 
@@ -442,6 +446,7 @@ fn decode_structure(r: &mut Reader<'_>) -> Result<StructureId, WalError> {
         3 => StructureId::Hash(r.u16()?),
         4 => StructureId::Temp,
         5 => StructureId::Spatial(r.u16()?),
+        6 => StructureId::Lsm(r.u16()?),
         t => return Err(WalError::CorruptLog(format!("unknown structure tag {t}"))),
     })
 }
@@ -509,6 +514,12 @@ mod tests {
         });
         roundtrip(LogRecord::StructureDone {
             structure: StructureId::Spatial(2),
+        });
+        roundtrip(LogRecord::StructureDone {
+            structure: StructureId::Lsm(2),
+        });
+        roundtrip(LogRecord::MaintainBegin {
+            structure: StructureId::lsm_of(1),
         });
         let mut catalog = PageCatalog::new();
         catalog.note_alloc(0, 4, StructureId::Table);
@@ -600,6 +611,10 @@ mod tests {
     #[test]
     fn unknown_structure_tag_is_a_decode_error() {
         assert!(is_corrupt(&[4, 7]), "StructureDone with structure tag 7");
+        // Lsm claimed tag 6; the next unassigned tag still fails, and a
+        // truncated Lsm payload is corruption, not a panic.
+        assert!(is_corrupt(&[4, 6]), "Lsm with its u16 payload cut off");
+        assert!(is_corrupt(&[4, 6, 2]), "Lsm with half its u16 payload");
     }
 
     #[test]
@@ -655,6 +670,9 @@ mod tests {
             LogRecord::MaintainEnd {
                 structure: StructureId::Index(2),
             },
+            LogRecord::StructureDone {
+                structure: StructureId::Lsm(3),
+            },
         ];
         for rec in victims {
             let bytes = rec.encode();
@@ -701,6 +719,21 @@ mod tests {
             }
             .encode(),
             vec![4, 3, 3, 0]
+        );
+        // Lsm extends the structure tag space at 6, same shape as Hash:
+        // one byte of tag, little-endian u16 payload.
+        assert_eq!(
+            LogRecord::StructureDone {
+                structure: StructureId::Lsm(2)
+            }
+            .encode(),
+            vec![4, 6, 2, 0]
+        );
+        assert_eq!(
+            LogRecord::decode(&[4, 6, 2, 0]).unwrap(),
+            LogRecord::StructureDone {
+                structure: StructureId::Lsm(2)
+            }
         );
         // Campaign manifest records, pinned byte-for-byte: a campaign log
         // written today must recover under every future version.

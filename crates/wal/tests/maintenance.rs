@@ -37,7 +37,7 @@ fn deleted(n_rows: usize) -> (Database, usize) {
         let a = TableSpec::tiny(n_rows).generate_rows();
         a.iter().map(|r| r.attr(0)).filter(|k| k % 3 != 0).collect()
     };
-    strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+    strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
     db.pool().flush_all().unwrap();
     (db, tid)
 }
@@ -112,7 +112,7 @@ fn deleted_dense(n_rows: usize) -> (Database, usize) {
         a.sort_unstable();
         a[n_rows / 6..n_rows - n_rows / 6].to_vec()
     };
-    strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+    strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
     db.pool().flush_all().unwrap();
     (db, tid)
 }

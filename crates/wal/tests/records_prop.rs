@@ -11,6 +11,7 @@ fn structure_strategy() -> impl Strategy<Value = StructureId> {
         Just(StructureId::Table),
         any::<u16>().prop_map(StructureId::Index),
         any::<u16>().prop_map(StructureId::Hash),
+        any::<u16>().prop_map(StructureId::Lsm),
     ]
 }
 

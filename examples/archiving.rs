@@ -73,6 +73,7 @@ fn main() -> DbResult<()> {
         ORDER_ID,
         &archive_ids,
         ReorgPolicy::FreeAtEmpty,
+        1,
     )?;
     println!("\n{}", plan.render(db.table(tid)?));
     println!("{}", outcome.report.summary());

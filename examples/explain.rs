@@ -52,7 +52,7 @@ fn main() -> DbResult<()> {
     let (plan, estimate) = plan_delete_costed(table, 0, keys.len(), 256 * 1024, 1 << 20)?;
     let est_ms = estimate.sim_ms(&cm);
     let outcome =
-        bd_core::strategy::vertical(&mut db, tid, &keys, &plan, ReorgPolicy::FreeAtEmpty)?;
+        bd_core::strategy::vertical(&mut db, tid, &keys, &plan, ReorgPolicy::FreeAtEmpty, 1)?;
     println!(
         "executed the roomy-workspace plan: estimated {:.1} s, measured {:.1} s",
         est_ms / 1000.0,

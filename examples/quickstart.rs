@@ -36,7 +36,7 @@ fn main() -> DbResult<()> {
 
     // Vertical bulk delete, planned by the optimizer.
     let (mut db, tid, d) = build()?;
-    let (plan, bulk) = strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty)?;
+    let (plan, bulk) = strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1)?;
     db.check_consistency(tid)?;
     println!("{}", bulk.report.summary());
     println!("\n{}", plan.render(db.table(tid)?));

@@ -69,7 +69,7 @@ fn main() -> DbResult<()> {
         let victims = sale_ids_of_month(&db, tid, expired)?;
         let use_bulk = new_month % 2 == 0;
         let (label, report) = if use_bulk {
-            let out = strategy::vertical_sort_merge(&mut db, tid, SALE_ID, &victims)?;
+            let out = strategy::vertical_sort_merge(&mut db, tid, SALE_ID, &victims, 1)?;
             ("bulk delete", out.report)
         } else {
             let out = strategy::horizontal(&mut db, tid, SALE_ID, &victims, true)?;

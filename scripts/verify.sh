@@ -63,3 +63,16 @@ cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_mainta
 if [ -f BENCH_9.json ]; then
     cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_9.json
 fi
+
+# Engine-comparison smoke: the delete-fraction sweep replayed through the
+# engine seam (B-tree bulk delete / drop&create vs the delete-aware LSM's
+# tombstone and forced-purge arms) at a bounded scale. Every LSM cell is
+# differentially audited against its B-tree twin and its page catalog is
+# checked for leaks; the emitted snapshot must validate.
+cargo run --release -p bd-bench --bin repro -- --lsm --rows 20000 --bench-json target/bench_lsm_ci.json
+cargo run --release -p bd-bench --bin repro -- --check-bench target/bench_lsm_ci.json
+
+# The committed engine-comparison snapshot must stay schema-valid.
+if [ -f BENCH_10.json ]; then
+    cargo run --release -p bd-bench --bin repro -- --check-bench BENCH_10.json
+fi

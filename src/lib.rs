@@ -43,7 +43,7 @@
 //! // DELETE FROM orders WHERE id IN (0, 2, 4, ...): plan + execute.
 //! let d: Vec<u64> = (0..5_000).step_by(2).collect();
 //! let (plan, outcome) =
-//!     strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty).unwrap();
+//!     strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 1).unwrap();
 //! println!("{}", plan.render(db.table(tid).unwrap()));
 //! assert_eq!(outcome.deleted.len(), 2_500);
 //! db.check_consistency(tid).unwrap();
@@ -52,6 +52,7 @@
 pub use bd_btree as btree;
 pub use bd_core as core;
 pub use bd_exec as exec;
+pub use bd_lsm as lsm;
 pub use bd_storage as storage;
 pub use bd_txn as txn;
 pub use bd_wal as wal;
@@ -60,11 +61,13 @@ pub use bd_workload as workload;
 /// Common imports.
 pub mod prelude {
     pub use bd_btree::{BTreeConfig, Key, ReorgPolicy};
+    pub use bd_core::engine::{audit_engine_equivalence, BtreeEngine, TableEngine};
     pub use bd_core::{
         audit_equivalence, audit_table, strategy, AuditFinding, AuditReport, Database,
         DatabaseConfig, DbError, DbResult, DeletePlan, IndexDef, RebuildMode, Schema, ShadowDb,
         TableId, Tuple,
     };
+    pub use bd_lsm::{LsmConfig, LsmTable};
     pub use bd_storage::{CostModel, DiskStats, Rid};
     pub use bd_txn::{PropagationMode, TxnDb};
     pub use bd_wal::{recover, run_bulk_delete, CrashInjector, CrashSite, LogManager};

@@ -94,7 +94,7 @@ fn audit_equivalence_detects_single_entry_divergence() {
     let d = w_a.delete_set(0.2, 60);
     assert_eq!(d, w_b.delete_set(0.2, 60), "same seed, same delete set");
     strategy::horizontal(&mut db_a, w_a.tid, 0, &d, true).unwrap();
-    strategy::vertical_sort_merge(&mut db_b, w_b.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w_b.tid, 0, &d, 1).unwrap();
     let eq = audit_equivalence(&db_a, &db_b, w_a.tid).unwrap();
     assert!(eq.is_clean(), "different strategies must agree: {eq}");
 
@@ -130,8 +130,8 @@ fn physical_shape_mode_separates_layout_from_logic() {
     let (mut db_a, w) = build(1200, 71);
     let (mut db_b, _) = build(1200, 71);
     let d = w.delete_set(0.25, 72);
-    strategy::vertical_sort_merge(&mut db_a, w.tid, 0, &d).unwrap();
-    strategy::vertical_sort_merge(&mut db_b, w.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge(&mut db_a, w.tid, 0, &d, 1).unwrap();
+    strategy::vertical_sort_merge(&mut db_b, w.tid, 0, &d, 1).unwrap();
     let eq =
         audit_equivalence_with(&db_a, &db_b, w.tid, AuditOptions::with_physical_shape()).unwrap();
     assert!(eq.is_clean(), "same strategy must be deterministic: {eq}");
@@ -139,7 +139,7 @@ fn physical_shape_mode_separates_layout_from_logic() {
     // Vertical (in-place leaf edits) vs drop&create (packed bulk-load
     // rebuild): logically equivalent, physically different layouts.
     let (mut db_c, _) = build(1200, 71);
-    strategy::drop_create(&mut db_c, w.tid, 0, &d, RebuildMode::BulkLoad).unwrap();
+    strategy::drop_create(&mut db_c, w.tid, 0, &d, RebuildMode::BulkLoad, 1).unwrap();
     let logical = audit_equivalence(&db_a, &db_c, w.tid).unwrap();
     assert!(logical.is_clean(), "strategies agree logically: {logical}");
     let shaped =

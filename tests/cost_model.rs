@@ -44,8 +44,9 @@ fn vertical_estimate_tracks_measurement() {
         let est = plan_cost(db.table(w.tid).unwrap(), &plan, &env(&db, w.tid, d.len()))
             .unwrap()
             .sim_ms(&CostModel::default());
-        let out = bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty)
-            .unwrap();
+        let out =
+            bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty, 1)
+                .unwrap();
         let measured = out.report.sim_ms();
         assert!(
             within_factor(est, measured, 3.0),
@@ -100,8 +101,8 @@ fn costed_planner_returns_executable_cheapest_plan() {
     )
     .unwrap();
     assert!(estimate.pages_read > 0.0);
-    let out =
-        bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+    let out = bd_core::strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty, 1)
+        .unwrap();
     assert_eq!(out.deleted.len(), d.len());
     db.check_consistency(w.tid).unwrap();
     // The cost-based choice is at least as cheap (by its own estimate) as

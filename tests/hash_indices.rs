@@ -45,13 +45,13 @@ fn every_strategy_maintains_hash_indices() {
         (
             "drop&create",
             Box::new(|db, tid, d| {
-                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad).unwrap();
+                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad, 1).unwrap();
             }),
         ),
         (
             "vertical",
             Box::new(|db, tid, d| {
-                strategy::vertical_sort_merge(db, tid, 0, d).unwrap();
+                strategy::vertical_sort_merge(db, tid, 0, d, 1).unwrap();
             }),
         ),
     ];
@@ -73,7 +73,7 @@ fn every_strategy_maintains_hash_indices() {
 fn vertical_report_shows_traditional_hash_phase() {
     let (mut db, w) = build(600);
     let d = w.delete_set(0.2, 7);
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
     let phases: Vec<&str> = out.report.phases.iter().map(|p| p.name.as_str()).collect();
     assert!(
         phases

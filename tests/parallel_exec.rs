@@ -27,9 +27,8 @@ fn parallel_run_matches_serial_physical_state() {
     let (mut db_parallel, _) = build(3_000, 11);
     let d = w.delete_set(0.2, 12);
 
-    let serial = strategy::vertical_sort_merge(&mut db_serial, w.tid, 0, &d).unwrap();
-    let parallel =
-        strategy::vertical_sort_merge_parallel(&mut db_parallel, w.tid, 0, &d, 3).unwrap();
+    let serial = strategy::vertical_sort_merge(&mut db_serial, w.tid, 0, &d, 1).unwrap();
+    let parallel = strategy::vertical_sort_merge(&mut db_parallel, w.tid, 0, &d, 3).unwrap();
 
     assert_eq!(serial.deleted.len(), parallel.deleted.len());
     assert_eq!(serial.deleted, parallel.deleted, "same rows, same order");
@@ -60,7 +59,7 @@ fn phase_breakdown_order_is_deterministic() {
     let names = |workers: usize| -> (Vec<String>, Vec<Option<u32>>) {
         let (mut db, w) = build(2_000, 21);
         let d = w.delete_set(0.25, 22);
-        let out = strategy::vertical_sort_merge_parallel(&mut db, w.tid, 0, &d, workers).unwrap();
+        let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, workers).unwrap();
         (
             out.report.phases.iter().map(|p| p.name.clone()).collect(),
             out.report.phases.iter().map(|p| p.group).collect(),
@@ -98,7 +97,7 @@ fn unique_arms_run_serially_before_the_fan_out() {
     }
     let d: Vec<u64> = (0..2_000).step_by(4).collect();
     let (_, out) =
-        strategy::vertical_auto_parallel(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 2).unwrap();
+        strategy::vertical_auto(&mut db, tid, 0, &d, ReorgPolicy::FreeAtEmpty, 2).unwrap();
     db.check_consistency(tid).unwrap();
 
     let phases = &out.report.phases;
@@ -124,7 +123,7 @@ fn transient_fault_degrades_but_completes_bit_identical() {
     let (mut db_faulty, _) = build(3_000, 41);
     let d = w.delete_set(0.3, 42);
 
-    let clean = strategy::vertical_sort_merge_parallel(&mut db_ref, w.tid, 0, &d, 3).unwrap();
+    let clean = strategy::vertical_sort_merge(&mut db_ref, w.tid, 0, &d, 3).unwrap();
 
     // A transient fault at a leaf of I_B, sized to outlast the buffer
     // pool's bounded retry (4 attempts per pin): the arm dies concurrently,
@@ -142,7 +141,7 @@ fn transient_fault_degrades_but_completes_bit_identical() {
         disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad).transient(6)))
     });
 
-    let faulty = strategy::vertical_sort_merge_parallel(&mut db_faulty, w.tid, 0, &d, 3)
+    let faulty = strategy::vertical_sort_merge(&mut db_faulty, w.tid, 0, &d, 3)
         .expect("transient fault must not abort the statement");
 
     assert_eq!(clean.deleted, faulty.deleted, "same rows deleted");
@@ -180,7 +179,7 @@ fn failing_arm_aborts_run_without_poisoning_the_pool() {
         .with_disk(|disk| disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(bad))));
     db.pool().set_retry_policy(bd_storage::RetryPolicy::none());
 
-    let err = strategy::vertical_sort_merge_parallel(&mut db, w.tid, 0, &d, 3).unwrap_err();
+    let err = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 3).unwrap_err();
     assert_eq!(
         err,
         DbError::Storage(StorageError::InjectedFault(bad)),
@@ -198,4 +197,41 @@ fn failing_arm_aborts_run_without_poisoning_the_pool() {
         !report.is_clean(),
         "interrupted run must leave an auditable divergence"
     );
+}
+
+/// The historical serial/parallel entry-point pairs survive as deprecated
+/// shims over the collapsed `workers: usize` API; a shim run must be
+/// physically identical to the base-name run.
+#[test]
+#[allow(deprecated)]
+fn deprecated_parallel_shims_match_the_collapsed_entry_points() {
+    let (mut db_base, w) = build(2_000, 31);
+    let (mut db_shim, _) = build(2_000, 31);
+    let d = w.delete_set(0.2, 32);
+
+    let base = strategy::vertical_sort_merge(&mut db_base, w.tid, 0, &d, 2).unwrap();
+    let shim = strategy::vertical_sort_merge_parallel(&mut db_shim, w.tid, 0, &d, 2).unwrap();
+    assert_eq!(base.deleted, shim.deleted);
+    let eq = audit_equivalence(&db_base, &db_shim, w.tid).unwrap();
+    assert!(eq.is_clean(), "shim diverged from base entry point: {eq}");
+
+    let (mut db_base, _) = build(2_000, 31);
+    let (mut db_shim, _) = build(2_000, 31);
+    let base = strategy::drop_create(&mut db_base, w.tid, 0, &d, RebuildMode::BulkLoad, 2).unwrap();
+    let shim = strategy::drop_create_parallel(&mut db_shim, w.tid, 0, &d, RebuildMode::BulkLoad, 2)
+        .unwrap();
+    assert_eq!(base.deleted, shim.deleted);
+    let eq = audit_equivalence(&db_base, &db_shim, w.tid).unwrap();
+    assert!(eq.is_clean(), "drop_create shim diverged: {eq}");
+
+    let (mut db_base, _) = build(2_000, 31);
+    let (mut db_shim, _) = build(2_000, 31);
+    let (_, base) =
+        strategy::vertical_auto(&mut db_base, w.tid, 0, &d, ReorgPolicy::FreeAtEmpty, 2).unwrap();
+    let (_, shim) =
+        strategy::vertical_auto_parallel(&mut db_shim, w.tid, 0, &d, ReorgPolicy::FreeAtEmpty, 2)
+            .unwrap();
+    assert_eq!(base.deleted, shim.deleted);
+    let eq = audit_equivalence(&db_base, &db_shim, w.tid).unwrap();
+    assert!(eq.is_clean(), "vertical_auto shim diverged: {eq}");
 }

@@ -45,7 +45,7 @@ fn every_method_combination_is_equivalent() {
     let reference = {
         let (mut db, w) = build(900, 2 << 20, false);
         let d = w.delete_set(0.25, 1);
-        strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+        strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
         db.check_consistency(w.tid).unwrap();
         state(&db, w.tid)
     };
@@ -61,7 +61,7 @@ fn every_method_combination_is_equivalent() {
             let d = w.delete_set(0.25, 1);
             let plan = plan_with(m, t);
             let out =
-                strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+                strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty, 1).unwrap();
             assert_eq!(out.deleted.len(), d.len(), "{m:?}/{t:?}");
             db.check_consistency(w.tid).unwrap();
             assert_eq!(state(&db, w.tid), reference, "{m:?}/{t:?} diverged");
@@ -78,7 +78,7 @@ fn partitioned_hash_with_tiny_workspace_still_correct() {
         IndexMethod::PartitionedHash { partitions: 16 },
         TableMethod::Merge { presort: true },
     );
-    let out = strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+    let out = strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     db.check_consistency(w.tid).unwrap();
 }
@@ -90,7 +90,7 @@ fn clustered_probe_plan_elides_rid_sort_and_is_correct() {
     let table = db.table(w.tid).unwrap();
     let plan = plan_delete(table, 0, d.len(), db.workspace().capacity()).unwrap();
     assert_eq!(plan.table, TableMethod::Merge { presort: false });
-    let out = strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty).unwrap();
+    let out = strategy::vertical(&mut db, w.tid, &d, &plan, ReorgPolicy::FreeAtEmpty, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     db.check_consistency(w.tid).unwrap();
 }

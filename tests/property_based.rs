@@ -45,7 +45,7 @@ proptest! {
             .filter(|(_, &p)| p)
             .map(|(r, _)| r.0)
             .collect();
-        let out = strategy::vertical_sort_merge(&mut db, tid, 0, &d).unwrap();
+        let out = strategy::vertical_sort_merge(&mut db, tid, 0, &d, 1).unwrap();
         prop_assert_eq!(out.deleted.len(), d.len());
         for k in &d {
             model.remove(k);
@@ -132,7 +132,7 @@ proptest! {
             w.attach_index(&mut db, IndexDef::secondary(1)).unwrap();
             let d = w.delete_set(frac, seed + 7);
             if vertical {
-                strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+                strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
             } else {
                 strategy::horizontal(&mut db, w.tid, 0, &d, seed % 2 == 0).unwrap();
             }

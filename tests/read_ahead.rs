@@ -44,7 +44,7 @@ fn spilling_vertical_delete_leaves_no_temp_pages() {
         "probe sort_all must free its own runs"
     );
 
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     db.check_consistency(w.tid).unwrap();
     let temp = db.pool().catalog().pages_of(StructureId::Temp);
@@ -60,7 +60,7 @@ fn spilling_vertical_delete_leaves_no_temp_pages() {
 fn transient_fault_in_prefetch_chain_degrades_to_pin_retry() {
     let (mut reference, wr) = build(8_000, 1 << 20, 21);
     let d = wr.delete_set(0.4, 22);
-    strategy::vertical_sort_merge(&mut reference, wr.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge(&mut reference, wr.tid, 0, &d, 1).unwrap();
     reference.check_consistency(wr.tid).unwrap();
 
     let (mut db, w) = build(8_000, 1 << 20, 21);
@@ -71,7 +71,7 @@ fn transient_fault_in_prefetch_chain_degrades_to_pin_retry() {
     db.pool().with_disk(|disk| {
         disk.set_fault_plan(FaultPlan::new().inject(FaultSpec::read_page(victim).transient(6)))
     });
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     assert!(
         out.report.io.retries > 0,
@@ -90,7 +90,7 @@ fn transient_fault_in_prefetch_chain_degrades_to_pin_retry() {
 fn torn_write_under_prefetch_chain_heals_from_replica() {
     let (mut reference, wr) = build(8_000, 1 << 20, 33);
     let d = wr.delete_set(0.4, 34);
-    strategy::vertical_sort_merge(&mut reference, wr.tid, 0, &d).unwrap();
+    strategy::vertical_sort_merge(&mut reference, wr.tid, 0, &d, 1).unwrap();
 
     let (mut db, w) = build(8_000, 1 << 20, 33);
     let victim = db.table(w.tid).unwrap().heap.page_ids()[15];
@@ -100,7 +100,7 @@ fn torn_write_under_prefetch_chain_heals_from_replica() {
     });
     // The delete dirties and flushes the victim page; the primary copy is
     // torn, the replica lands intact.
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
 
     // A cold scan prefetches the heap in chains; the chain over the torn

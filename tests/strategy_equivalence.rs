@@ -59,7 +59,7 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "drop&create/bulkload",
             Box::new(|db, tid, d| {
-                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad)
+                strategy::drop_create(db, tid, 0, d, RebuildMode::BulkLoad, 1)
                     .unwrap()
                     .deleted
                     .len()
@@ -68,7 +68,7 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "drop&create/inserts",
             Box::new(|db, tid, d| {
-                strategy::drop_create(db, tid, 0, d, RebuildMode::InsertEach)
+                strategy::drop_create(db, tid, 0, d, RebuildMode::InsertEach, 1)
                     .unwrap()
                     .deleted
                     .len()
@@ -77,7 +77,7 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "vertical/sort-merge",
             Box::new(|db, tid, d| {
-                strategy::vertical_sort_merge(db, tid, 0, d)
+                strategy::vertical_sort_merge(db, tid, 0, d, 1)
                     .unwrap()
                     .deleted
                     .len()
@@ -86,7 +86,7 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
         (
             "vertical/auto",
             Box::new(|db, tid, d| {
-                strategy::vertical_auto(db, tid, 0, d, ReorgPolicy::FreeAtEmpty)
+                strategy::vertical_auto(db, tid, 0, d, ReorgPolicy::FreeAtEmpty, 1)
                     .unwrap()
                     .1
                     .deleted
@@ -97,7 +97,7 @@ fn run_all_strategies(n_rows: usize, frac: f64, seed: u64) {
             "vertical/compact",
             Box::new(|db, tid, d| {
                 let plan = bd_core::plan_sort_merge(db.table(tid).unwrap(), 0).unwrap();
-                strategy::vertical(db, tid, d, &plan, ReorgPolicy::CompactLeaves)
+                strategy::vertical(db, tid, d, &plan, ReorgPolicy::CompactLeaves, 1)
                     .unwrap()
                     .deleted
                     .len()
@@ -154,7 +154,7 @@ fn empty_delete_set_is_noop_everywhere() {
     for out in [
         strategy::horizontal(&mut db, w.tid, 0, &[], true).unwrap(),
         strategy::horizontal(&mut db, w.tid, 0, &[], false).unwrap(),
-        strategy::vertical_sort_merge(&mut db, w.tid, 0, &[]).unwrap(),
+        strategy::vertical_sort_merge(&mut db, w.tid, 0, &[], 1).unwrap(),
     ] {
         assert_eq!(out.deleted.len(), 0);
     }
@@ -167,7 +167,7 @@ fn missing_keys_delete_nothing() {
     let (mut db, w) = build(500, 1, 7);
     let before = state(&db, w.tid);
     let ghosts = w.missing_keys(100, 9);
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &ghosts).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &ghosts, 1).unwrap();
     assert_eq!(out.deleted.len(), 0);
     let out = strategy::horizontal(&mut db, w.tid, 0, &ghosts, true).unwrap();
     assert_eq!(out.deleted.len(), 0);
@@ -179,7 +179,7 @@ fn deleted_rows_are_returned_for_archiving() {
     let (mut db, w) = build(500, 2, 13);
     let d = w.delete_set(0.2, 17);
     let expect: std::collections::HashSet<u64> = d.iter().copied().collect();
-    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d).unwrap();
+    let out = strategy::vertical_sort_merge(&mut db, w.tid, 0, &d, 1).unwrap();
     assert_eq!(out.deleted.len(), d.len());
     for (_, tuple) in &out.deleted {
         assert!(expect.contains(&tuple.attr(0)));
@@ -194,13 +194,42 @@ fn repeated_bulk_deletes_compose() {
     let all: Vec<u64> = w.a_values.clone();
     let first: Vec<u64> = all.iter().copied().step_by(3).collect();
     let second: Vec<u64> = all.iter().copied().skip(1).step_by(3).collect();
-    strategy::vertical_sort_merge(&mut db, w.tid, 0, &first).unwrap();
+    strategy::vertical_sort_merge(&mut db, w.tid, 0, &first, 1).unwrap();
     db.check_consistency(w.tid).unwrap();
-    strategy::vertical_sort_merge(&mut db, w.tid, 0, &second).unwrap();
+    strategy::vertical_sort_merge(&mut db, w.tid, 0, &second, 1).unwrap();
     db.check_consistency(w.tid).unwrap();
     let remaining = db.table(w.tid).unwrap().heap.len();
     assert_eq!(remaining, 1000 - first.len() - second.len());
     // Deleting already-deleted keys again is a no-op.
-    let again = strategy::vertical_sort_merge(&mut db, w.tid, 0, &first).unwrap();
+    let again = strategy::vertical_sort_merge(&mut db, w.tid, 0, &first, 1).unwrap();
     assert_eq!(again.deleted.len(), 0);
+}
+
+#[test]
+fn lsm_engine_matches_btree_engine_on_the_paper_workload() {
+    // The same design-space workload the strategies above run, replayed
+    // through the engine seam: a B-tree engine using the vertical
+    // sort-merge plan and the delete-aware LSM engine must agree on
+    // every surviving row after each delete round.
+    let spec = TableSpec::tiny(900).with_seed(41);
+    let rows = spec.generate_rows();
+    let mut btree = BtreeEngine::new(spec.schema(), 2 << 20, 1).unwrap();
+    let mut lsm = LsmTable::new(spec.schema(), 2 << 20, LsmConfig::tiny());
+    btree.bulk_load(&rows).unwrap();
+    lsm.bulk_load(&rows).unwrap();
+
+    for (frac, seed) in [(0.1, 43), (0.4, 47), (0.25, 53)] {
+        let keys: Vec<Key> = {
+            let mut db = Database::new(DatabaseConfig::with_total_memory(1 << 20));
+            let w = spec.build(&mut db).unwrap();
+            w.delete_set(frac, seed)
+        };
+        let a = btree.bulk_delete(&keys).unwrap();
+        let b = lsm.bulk_delete(&keys).unwrap();
+        assert_eq!(a.deleted, b.deleted, "delete counts diverged at {frac}");
+        let eq = audit_engine_equivalence(&mut btree, &mut lsm).unwrap();
+        assert!(eq.is_clean(), "after {frac}: {}", eq.render());
+        assert!(lsm.audit_pages().is_clean(), "after {frac}");
+    }
+    assert!(lsm.lsm_stats().compactions > 0, "workload must compact");
 }
