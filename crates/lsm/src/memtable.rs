@@ -73,8 +73,12 @@ impl Memtable {
 
     /// Bury `lo ..= hi`: drops the memtable's own entries in the range
     /// (the tombstone is newer than all of them) and records the range
-    /// tombstone for the older levels.
+    /// tombstone for the older levels. An inverted range (`lo > hi`) is
+    /// empty and a no-op, matching the B-tree engine's `delete_range`.
     pub fn delete_range(&mut self, lo: Key, hi: Key) {
+        if lo > hi {
+            return;
+        }
         let doomed: Vec<Key> = self.entries.range(lo..=hi).map(|(k, _)| *k).collect();
         for k in doomed {
             self.entries.remove(&k);
@@ -104,8 +108,11 @@ impl Memtable {
         &self.range_tombs
     }
 
-    /// Point entries in `lo ..= hi`, key-ascending.
+    /// Point entries in `lo ..= hi`, key-ascending; empty when `lo > hi`.
     pub fn range(&self, lo: Key, hi: Key) -> Vec<(Key, MemEntry)> {
+        if lo > hi {
+            return Vec::new();
+        }
         self.entries
             .range(lo..=hi)
             .map(|(k, e)| (*k, e.clone()))
@@ -154,5 +161,16 @@ mod tests {
         let items = m.drain_sorted();
         assert!(m.is_empty());
         assert_eq!(items, vec![(4, Item::RangeDel(6)), (7, Item::Put(vec![2]))]);
+    }
+
+    #[test]
+    fn inverted_ranges_are_empty_no_ops() {
+        let mut m = Memtable::new();
+        m.put(5, vec![1]);
+        m.delete_range(10, 5);
+        assert_eq!(m.get(5), Some(MemEntry::Put(vec![1])), "nothing deleted");
+        assert!(m.range_tombs().is_empty(), "no tombstone recorded");
+        assert!(m.range(10, 5).is_empty());
+        assert_eq!(m.len(), 1);
     }
 }

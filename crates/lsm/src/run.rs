@@ -108,20 +108,7 @@ impl Run {
         assert!(!items.is_empty(), "empty runs are never written");
 
         // Greedy packing: page boundaries become fence keys.
-        let mut pages: Vec<&[(Key, Item)]> = Vec::new();
-        let mut start = 0;
-        let mut used = PAGE_HEADER;
-        for (i, (_, item)) in items.iter().enumerate() {
-            let len = item.encoded_len(record_len);
-            assert!(PAGE_HEADER + len <= PAGE_SIZE, "item exceeds a page");
-            if used + len > PAGE_SIZE {
-                pages.push(&items[start..i]);
-                start = i;
-                used = PAGE_HEADER;
-            }
-            used += len;
-        }
-        pages.push(&items[start..]);
+        let pages = layout_pages(items, record_len);
 
         let n_pages = pages.len();
         let first_page = pool.allocate_contiguous(n_pages, owner);
@@ -210,25 +197,38 @@ impl Run {
 
     /// Point lookup inside the run: the put/tombstone stored under `key`,
     /// if any. Range tombstones are *not* consulted here — the table
-    /// layer applies them by sequence. One page read at most (fences),
-    /// and none at all when the bloom filter rejects.
+    /// layer applies them by sequence. One page read in the common case
+    /// (fences), and none at all when the bloom filter rejects.
     pub fn search(&self, pool: &Arc<BufferPool>, key: Key) -> StorageResult<Option<Item>> {
         if !self.may_contain(key) {
             return Ok(None);
         }
-        // Last page whose fence is <= key.
-        let page_idx = match self.fences.partition_point(|&f| f <= key) {
+        // Last page whose fence is <= key. [`layout_pages`] keeps
+        // equal-key groups on one page, but a group bigger than a page is
+        // force-split — so when the fence *equals* the probe key, the
+        // key's items may start on an earlier page; walk back to the
+        // first page that can hold them.
+        let last = match self.fences.partition_point(|&f| f <= key) {
             0 => return Ok(None),
             p => p - 1,
         };
-        let pid = self.first_page + page_idx as PageId;
-        let guard = pool.pin_read(pid)?;
-        for (k, item) in parse_page(&guard[..], self.record_len) {
-            if k == key && !matches!(item, Item::RangeDel(_)) {
-                return Ok(Some(item));
-            }
-            if k > key {
-                break;
+        let mut first = last;
+        while first > 0 && self.fences[first] == key {
+            first -= 1;
+        }
+        for page_idx in first..=last {
+            let pid = self.first_page + page_idx as PageId;
+            let items = {
+                let guard = pool.pin_read(pid)?;
+                parse_page(&guard[..], self.record_len)
+            };
+            for (k, item) in items {
+                if k == key && !matches!(item, Item::RangeDel(_)) {
+                    return Ok(Some(item));
+                }
+                if k > key {
+                    return Ok(None);
+                }
             }
         }
         Ok(None)
@@ -250,7 +250,13 @@ impl Run {
             return Ok(Vec::new());
         }
         // First page that can hold `lo` .. last page whose fence is <= hi.
-        let first = self.fences.partition_point(|&f| f <= lo).saturating_sub(1);
+        // As in [`Run::search`], a fence equal to `lo` can mean items at
+        // `lo` straddle from the preceding page (force-split equal-key
+        // group); back up past every such page.
+        let mut first = self.fences.partition_point(|&f| f <= lo).saturating_sub(1);
+        while first > 0 && self.fences[first] == lo {
+            first -= 1;
+        }
         let last = match self.fences.partition_point(|&f| f <= hi) {
             0 => return Ok(Vec::new()),
             p => p - 1,
@@ -289,36 +295,98 @@ impl Run {
     }
 }
 
+/// Greedy page layout shared by [`Run::write`] and [`partition_items`]:
+/// pack sorted items into pages front to back, but **never start a new
+/// page between equal-key items** — a put and a range tombstone anchored
+/// at the same key must share a page, or the fence of the following page
+/// would equal the key and a fence-guided point lookup would miss the
+/// earlier item. The only exception is an equal-key group that cannot fit
+/// on one page by itself; [`Run::search`] / [`Run::scan_range`] handle
+/// that straddle by also visiting preceding same-fence pages.
+fn layout_pages(items: &[(Key, Item)], record_len: usize) -> Vec<&[(Key, Item)]> {
+    let mut pages: Vec<&[(Key, Item)]> = Vec::new();
+    let mut start = 0;
+    let mut used = PAGE_HEADER;
+    for (i, (key, item)) in items.iter().enumerate() {
+        let len = item.encoded_len(record_len);
+        assert!(PAGE_HEADER + len <= PAGE_SIZE, "item exceeds a page");
+        if used + len > PAGE_SIZE {
+            // Back the split up to the start of the current equal-key
+            // group, unless the group (plus this item) overflows a page
+            // on its own — then a forced mid-group split is the only
+            // layout that fits.
+            let mut split = i;
+            while split > start && items[split - 1].0 == *key {
+                split -= 1;
+            }
+            let group: usize = items[split..i]
+                .iter()
+                .map(|(_, it)| it.encoded_len(record_len))
+                .sum();
+            if split == start || PAGE_HEADER + group + len > PAGE_SIZE {
+                split = i;
+            }
+            pages.push(&items[start..split]);
+            start = split;
+            used = PAGE_HEADER
+                + items[start..i]
+                    .iter()
+                    .map(|(_, it)| it.encoded_len(record_len))
+                    .sum::<usize>();
+        }
+        used += len;
+    }
+    pages.push(&items[start..]);
+    pages
+}
+
 /// Split sorted items into chunks that each pack into at most `max_pages`
 /// pages under the same greedy layout [`Run::write`] uses — the partition
 /// step that keeps runs at SST-file granularity, so a compaction never
 /// rewrites more than the victim plus the partitions it overlaps.
+///
+/// A chunk boundary is never placed between equal-key items: sibling runs
+/// sharing a key would overlap (`max_key == min_key`) and break the level
+/// non-overlap invariant. When a boundary would land inside an equal-key
+/// group, the whole group moves into the next chunk.
 pub fn partition_items(
     items: Vec<(Key, Item)>,
     record_len: usize,
     max_pages: usize,
 ) -> Vec<Vec<(Key, Item)>> {
     let max_pages = max_pages.max(1);
-    let mut chunks = Vec::new();
-    let mut chunk: Vec<(Key, Item)> = Vec::new();
-    let mut pages = 1usize;
-    let mut used = PAGE_HEADER;
-    for (key, item) in items {
-        let len = item.encoded_len(record_len);
-        if used + len > PAGE_SIZE {
-            if pages == max_pages {
-                chunks.push(std::mem::take(&mut chunk));
-                pages = 1;
-            } else {
-                pages += 1;
+    // Chunk at every `max_pages`-th page boundary of the shared layout;
+    // those boundaries already avoid equal-key splits except when a
+    // single group overflows a page, which the walk-back below fixes.
+    let mut breaks: Vec<usize> = Vec::new();
+    {
+        let pages = layout_pages(&items, record_len);
+        let mut idx = 0;
+        for (pi, page) in pages.iter().enumerate() {
+            if pi > 0 && pi % max_pages == 0 {
+                breaks.push(idx);
             }
-            used = PAGE_HEADER;
+            idx += page.len();
         }
-        used += len;
-        chunk.push((key, item));
     }
-    if !chunk.is_empty() {
-        chunks.push(chunk);
+    let mut chunks: Vec<Vec<(Key, Item)>> = Vec::with_capacity(breaks.len() + 1);
+    {
+        let mut prev = 0;
+        let mut rest = items;
+        for mut b in breaks {
+            // Move a straddling equal-key group wholly into the next
+            // chunk; drop the break when the group swallows the chunk.
+            while b > prev && rest[b - prev - 1].0 == rest[b - prev].0 {
+                b -= 1;
+            }
+            if b > prev {
+                let tail = rest.split_off(b - prev);
+                chunks.push(rest);
+                rest = tail;
+                prev = b;
+            }
+        }
+        chunks.push(rest);
     }
     // A range tombstone reaching past its partition would make sibling
     // partitions overlap (its `hi` extends `max_key`). Split it at each
@@ -445,6 +513,162 @@ impl RunCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bd_storage::{CostModel, SimDisk};
+
+    fn pool() -> Arc<BufferPool> {
+        BufferPool::with_byte_budget(SimDisk::new(CostModel::default()), 1 << 20)
+    }
+
+    /// Items whose greedy layout, were it key-oblivious, would end a page
+    /// exactly at `Put(straddle_key)` with the same key's range tombstone
+    /// overflowing onto the next page (the resurrect-after-range-delete
+    /// straddle): `n` puts fill the page to within a tombstone's width of
+    /// the end, then the tombstone, then trailing puts.
+    fn straddle_items(record_len: usize) -> (Key, Vec<(Key, Item)>) {
+        let put_len = 1 + 8 + record_len;
+        let n = (PAGE_SIZE - PAGE_HEADER) / put_len;
+        let used = PAGE_HEADER + n * put_len;
+        let tomb_len = 1 + 8 + 8;
+        assert!(
+            used <= PAGE_SIZE && used + tomb_len > PAGE_SIZE,
+            "geometry drifted: {used} of {PAGE_SIZE}"
+        );
+        let straddle_key = n as Key - 1;
+        let mut items: Vec<(Key, Item)> = (0..n as Key)
+            .map(|k| (k, Item::Put(vec![k as u8; record_len])))
+            .collect();
+        items.push((straddle_key, Item::RangeDel(straddle_key)));
+        for k in n as Key..n as Key + 20 {
+            items.push((k, Item::Put(vec![k as u8; record_len])));
+        }
+        (straddle_key, items)
+    }
+
+    #[test]
+    fn equal_key_put_and_range_tombstone_share_a_page() {
+        // A resurrected put followed by a same-key-anchored range
+        // tombstone (memtable drain order) must not be split across a
+        // page boundary: the follower page's fence would equal the key
+        // and a fence-guided search would miss the put, silently reading
+        // a live key as deleted.
+        let record_len = 64;
+        let pool = pool();
+        let (key, items) = straddle_items(record_len);
+        let run = Run::write(
+            &pool,
+            StructureId::lsm_of(0),
+            record_len,
+            &items,
+            1,
+            Some(1),
+            10,
+        )
+        .unwrap();
+        assert!(run.n_pages >= 2, "must span pages: {}", run.n_pages);
+        let put = Item::Put(vec![key as u8; record_len]);
+        assert_eq!(run.search(&pool, key).unwrap(), Some(put.clone()));
+        assert_eq!(
+            run.scan_range(&pool, key, key + 5).unwrap().first(),
+            Some(&(key, put)),
+            "range scan anchored at the straddle key must keep the put"
+        );
+        // Every other key stays reachable too.
+        for (k, item) in &items {
+            if matches!(item, Item::Put(_)) {
+                assert_eq!(
+                    run.search(&pool, *k).unwrap().as_ref(),
+                    Some(item),
+                    "key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_equal_key_group_straddles_but_stays_readable() {
+        // A single equal-key group bigger than a page *must* be split;
+        // search/scan then walk back across the same-fence pages instead
+        // of trusting the fence index alone.
+        let record_len = 64;
+        let pool = pool();
+        let mut items: Vec<(Key, Item)> = (0..30u64)
+            .map(|k| (k, Item::Put(vec![k as u8; record_len])))
+            .collect();
+        // ~5.1 KB of tombstones anchored at one key: forces a mid-group
+        // page split whatever the packer does.
+        for _ in 0..300 {
+            items.push((30, Item::RangeDel(31)));
+        }
+        items.push((30, Item::RangeDel(30)));
+        items.sort_by_key(|(k, _)| *k);
+        let at_30 = items
+            .iter()
+            .position(|(k, _)| *k == 30)
+            .expect("key present");
+        items.insert(at_30, (30, Item::Put(vec![30u8; record_len])));
+        for k in 31..60u64 {
+            items.push((k, Item::Put(vec![k as u8; record_len])));
+        }
+        let run = Run::write(
+            &pool,
+            StructureId::lsm_of(0),
+            record_len,
+            &items,
+            1,
+            Some(1),
+            10,
+        )
+        .unwrap();
+        assert!(
+            run.fences.windows(2).any(|w| w[0] == w[1] || w[1] == 30),
+            "group must straddle for this test to bite: {:?}",
+            run.fences
+        );
+        assert_eq!(
+            run.search(&pool, 30).unwrap(),
+            Some(Item::Put(vec![30u8; record_len]))
+        );
+        assert_eq!(
+            run.scan_range(&pool, 30, 35).unwrap().first(),
+            Some(&(30, Item::Put(vec![30u8; record_len])))
+        );
+    }
+
+    #[test]
+    fn partition_never_splits_equal_key_groups() {
+        // A chunk boundary between a put and its same-key range tombstone
+        // would give sibling runs max_key == min_key — overlapping runs,
+        // which the structural audit rejects. Includes an oversized
+        // equal-key group so the boundary walk-back (not just the
+        // equal-key-aware page layout) is exercised.
+        let record_len = 64;
+        let mut items: Vec<(Key, Item)> = Vec::new();
+        for k in 0..200u64 {
+            items.push((k, Item::Put(vec![0u8; record_len])));
+            items.push((k, Item::RangeDel(k)));
+        }
+        for _ in 0..300 {
+            items.push((100, Item::RangeDel(100)));
+        }
+        items.sort_by_key(|(k, _)| *k);
+        let chunks = partition_items(items, record_len, 1);
+        assert!(chunks.len() > 3, "must partition: {}", chunks.len());
+        for w in chunks.windows(2) {
+            let max_prev = w[0]
+                .iter()
+                .map(|(k, it)| match it {
+                    Item::RangeDel(hi) => *hi,
+                    _ => *k,
+                })
+                .max()
+                .unwrap();
+            let min_next = w[1][0].0;
+            assert!(
+                max_prev < min_next,
+                "sibling chunks overlap: max {max_prev} >= min {min_next}"
+            );
+        }
+    }
 
     #[test]
     fn partitioning_splits_range_tombstones_at_boundaries() {

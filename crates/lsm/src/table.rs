@@ -860,6 +860,16 @@ mod tests {
     }
 
     #[test]
+    fn inverted_range_delete_is_a_noop_like_the_btree() {
+        let mut t = table(100);
+        let report = t.delete_range(10, 5).unwrap();
+        assert_eq!(report.deleted, 0, "inverted range covers nothing");
+        assert_eq!(t.range_lookup(10, 5).unwrap(), vec![]);
+        assert_eq!(t.scan().unwrap().len(), 100);
+        assert!(t.audit_self().unwrap().is_clean());
+    }
+
+    #[test]
     fn purge_all_pays_the_whole_bill() {
         let mut t = table(400);
         t.bulk_delete(&(0..150).map(|i| i * 4).collect::<Vec<_>>())
